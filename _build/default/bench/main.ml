@@ -1,0 +1,323 @@
+(* Bechamel benchmark harness.
+
+   One benchmark per experiment (E1..E10) measuring the computational core
+   that regenerates it (table rendering excluded), plus microbenchmarks of
+   the hot primitives (request-bound functions, fragmentation, event
+   queue, stride dispatch).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Gmf_util
+
+(* ------------------------------------------------------------------ *)
+(* Experiment-level benchmarks                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 = Workload.Scenarios.fig1_videoconf ()
+
+let bench_e1 =
+  Test.make ~name:"e1:worked-example"
+    (Staged.stage (fun () -> ignore (Experiments.E1_worked_example.compute ())))
+
+let bench_e2 =
+  Test.make ~name:"e2:holistic-fig1"
+    (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze fig1)))
+
+let e3_scenario =
+  let model = Click.Switch_model.make ~ninterfaces:48 ~processors:16 () in
+  let topo = Traffic.Scenario.topo fig1 in
+  Traffic.Scenario.make
+    ~switches:(List.map (fun n -> (n, model)) (Traffic.Scenario.switch_nodes fig1))
+    ~topo ~flows:(Traffic.Scenario.flows fig1) ()
+
+let bench_e3 =
+  Test.make ~name:"e3:multiprocessor-switch"
+    (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze e3_scenario)))
+
+let e4_candidates, e4_topo =
+  let topo, hosts, sw =
+    Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:2 ()
+  in
+  ( List.init 5 (fun id ->
+        Traffic.Flow.make ~id
+          ~name:(Printf.sprintf "video%d" id)
+          ~spec:(Workload.Mpeg.spec ~deadline:(Timeunit.ms 260) ())
+          ~encap:Ethernet.Encap.Udp
+          ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+          ~priority:5),
+    topo )
+
+let bench_e4 =
+  Test.make ~name:"e4:greedy-admission"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Admission.admit_greedily ~topo:e4_topo ~switches:[]
+              e4_candidates)))
+
+let bench_e5 =
+  Test.make ~name:"e5:analyze+simulate-fig1"
+    (Staged.stage (fun () ->
+         ignore
+           (Experiments.E5_validation.validate ~duration:(Timeunit.ms 300)
+              ~name:"bench" fig1)))
+
+let bench_e6 =
+  Test.make ~name:"e6:convergence-sweep"
+    (Staged.stage (fun () -> ignore (Experiments.E6_convergence.sweep ())))
+
+let e7_star_scenario =
+  let topo, hosts, sw =
+    Workload.Topologies.star ~rate_bps:1_000_000_000 ~hosts:16 ()
+  in
+  let flows =
+    List.init 8 (fun id ->
+        Traffic.Flow.make ~id
+          ~name:(Printf.sprintf "v%d" id)
+          ~spec:(Workload.Mpeg.spec ~deadline:(Timeunit.ms 260) ())
+          ~encap:Ethernet.Encap.Udp
+          ~route:
+            (Network.Route.make topo [ hosts.(2 * id); sw; hosts.((2 * id) + 1) ])
+          ~priority:(id mod 8))
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let bench_e7_flows =
+  Test.make ~name:"e7:scaling-8-flows"
+    (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze e7_star_scenario)))
+
+let e7_chain = Workload.Scenarios.multihop_chain ~switches:8 ()
+
+let bench_e7_chain =
+  Test.make ~name:"e7:scaling-8-switch-chain"
+    (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze e7_chain)))
+
+let bench_e8_faithful =
+  Test.make ~name:"e8:faithful-fig1"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Holistic.analyze ~config:Analysis.Config.faithful fig1)))
+
+let bench_e8_repaired =
+  Test.make ~name:"e8:repaired-fig1"
+    (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze fig1)))
+
+let bench_e9 =
+  Test.make ~name:"e9:stride-600-quanta"
+    (Staged.stage (fun () ->
+         ignore (Experiments.E9_stride.allocation_table ~steps:600 [ 3; 2; 1 ])))
+
+let e10_scenario =
+  let topo, hosts, sw =
+    Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:9 ()
+  in
+  let flows =
+    List.init 8 (fun rank ->
+        Traffic.Flow.make ~id:rank
+          ~name:(Printf.sprintf "rank%d" rank)
+          ~spec:
+            (Workload.Mpeg.spec
+               ~sizes:
+                 { Workload.Mpeg.i_plus_p_bytes = 11_000; p_bytes = 5_000;
+                   b_bytes = 2_000 }
+               ~deadline:(Timeunit.ms 260) ())
+          ~encap:Ethernet.Encap.Udp
+          ~route:(Network.Route.make topo [ hosts.(rank); sw; hosts.(8) ])
+          ~priority:rank)
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let bench_e10 =
+  Test.make ~name:"e10:8-priority-analysis"
+    (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze e10_scenario)))
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let demand =
+  let flow = Traffic.Scenario.flow fig1 Workload.Scenarios.video_flow_id in
+  Traffic.Link_params.time_demand
+    (Traffic.Scenario.params fig1 flow ~src:0 ~dst:4)
+
+let bench_mx =
+  Test.make ~name:"micro:MX-request-bound"
+    (Staged.stage (fun () ->
+         ignore (Gmf.Demand.bound demand ~capped:false (Timeunit.ms 137))))
+
+let bench_fragment =
+  Test.make ~name:"micro:fragmentation-64kB"
+    (Staged.stage (fun () ->
+         ignore (Ethernet.Fragment.fragment_wire_bits ~nbits:524_288)))
+
+let bench_heap =
+  Test.make ~name:"micro:heap-push-pop-256"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~cmp:compare () in
+         for i = 255 downto 0 do
+           Heap.push h i
+         done;
+         while not (Heap.is_empty h) do
+           ignore (Heap.pop h)
+         done))
+
+let bench_engine =
+  Test.make ~name:"micro:engine-1k-events"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 1_000 do
+           Sim.Engine.schedule_at e ~at:i (fun () -> ())
+         done;
+         Sim.Engine.run e))
+
+let stride_state = Stride.Scheduler.round_robin ~ntasks:8
+
+let bench_stride =
+  Test.make ~name:"micro:stride-select"
+    (Staged.stage (fun () -> ignore (Stride.Scheduler.select stride_state)))
+
+let bench_sim_100ms =
+  Test.make ~name:"micro:netsim-fig1-100ms"
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.Netsim.run
+              ~config:
+                { Sim.Sim_config.default with duration = Timeunit.ms 100 }
+              fig1)))
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks of the extensions                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bench_pathfind =
+  let topo = Traffic.Scenario.topo fig1 in
+  Test.make ~name:"ext:pathfind-all-routes"
+    (Staged.stage (fun () ->
+         ignore (Network.Pathfind.all_routes topo ~src:0 ~dst:3)))
+
+let bench_backlog =
+  let ctx = Analysis.Ctx.create fig1 in
+  let report = Analysis.Holistic.run ctx in
+  Test.make ~name:"ext:backlog-bounds"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Backlog.egress_bounds ctx report)))
+
+let bench_dbf =
+  let task =
+    Gmf.Dbf.of_spec Workload.Mpeg.fig3_spec ~cost_of:(fun f ->
+        Ethernet.Fragment.tx_time
+          ~nbits:
+            (Ethernet.Encap.nbits Ethernet.Encap.Udp
+               ~payload_bits:f.Gmf.Frame_spec.payload_bits)
+          ~rate_bps:100_000_000)
+  in
+  Test.make ~name:"ext:dbf-one-second"
+    (Staged.stage (fun () -> ignore (Gmf.Dbf.dbf task (Timeunit.s 1))))
+
+let bench_contract =
+  let trace =
+    Workload.Contract.synthetic_mpeg_trace (Rng.create ~seed:3) ~packets:120 ()
+  in
+  Test.make ~name:"ext:contract-extraction"
+    (Staged.stage (fun () ->
+         ignore
+           (Workload.Contract.of_trace ~cycle:9 ~deadline:(Timeunit.ms 150)
+              trace)))
+
+let bench_scenario_io =
+  let text = Scenario_io.Print.to_string fig1 in
+  Test.make ~name:"ext:scenario-parse"
+    (Staged.stage (fun () ->
+         match Scenario_io.Parse.scenario_of_string text with
+         | Ok _ -> ()
+         | Error _ -> assert false))
+
+let bench_priority_assign =
+  let flows = Traffic.Scenario.flows fig1 in
+  Test.make ~name:"ext:priority-assignment"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Priority_assign.assign
+              Analysis.Priority_assign.Deadline_monotonic flows)))
+
+let bench_e17 =
+  Test.make ~name:"ext:tight-jitter-fig1"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Holistic.analyze ~config:Analysis.Config.tight fig1)))
+
+let bench_e18 =
+  Test.make ~name:"ext:stage-validation-rows"
+    (Staged.stage (fun () ->
+         ignore (Experiments.E18_stage_validation.rows ())))
+
+let bench_rerouting =
+  let topo = Traffic.Scenario.topo fig1 in
+  let candidate =
+    Traffic.Flow.make ~id:90 ~name:"candidate" ~spec:Workload.Mpeg.fig3_spec
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ 1; 4; 6; 3 ])
+      ~priority:5
+  in
+  Test.make ~name:"ext:rerouting-admit"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Rerouting.admit fig1 ~candidate)))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  [
+    bench_e1; bench_e2; bench_e3; bench_e4; bench_e5; bench_e6;
+    bench_e7_flows; bench_e7_chain; bench_e8_faithful; bench_e8_repaired;
+    bench_e9; bench_e10; bench_mx; bench_fragment; bench_heap; bench_engine;
+    bench_stride; bench_sim_100ms; bench_pathfind; bench_backlog; bench_dbf;
+    bench_contract; bench_scenario_io; bench_priority_assign; bench_rerouting;
+    bench_e17; bench_e18;
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"gmfnet" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("benchmark", Tablefmt.Left); ("time/run", Tablefmt.Right);
+          ("r^2", Tablefmt.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure per_test ->
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Timeunit.to_string (int_of_float e)
+            | _ -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "n/a"
+          in
+          rows := (name, estimate, r2) :: !rows)
+        per_test)
+    results;
+  List.iter
+    (fun (name, estimate, r2) -> Tablefmt.add_row table [ name; estimate; r2 ])
+    (List.sort compare !rows);
+  Tablefmt.print table

@@ -1,0 +1,597 @@
+(* gmfnet - command-line front end.
+
+   Subcommands:
+     list        named scenarios and experiments
+     analyze     holistic schedulability analysis of a named scenario
+     simulate    discrete-event simulation of a named scenario
+     admission   admission check with per-stage utilization conditions
+     experiment  run one experiment (E1..E10) or all of them *)
+
+open Cmdliner
+open Gmf_util
+
+(* ------------------------------------------------------------------ *)
+(* Named scenarios                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let scenarios =
+  [
+    ("fig1",
+     "the paper's Figure 1 network with video conferencing + VoIP + bulk",
+     fun rate -> Workload.Scenarios.fig1_videoconf ?rate_bps:rate ());
+    ("voip",
+     "G.711 calls crossing a single software switch",
+     fun rate -> Workload.Scenarios.single_switch_voip ?rate_bps:rate ());
+    ("chain",
+     "an MPEG flow over a chain of switches with VoIP cross traffic",
+     fun rate -> Workload.Scenarios.multihop_chain ?rate_bps:rate ());
+    ("enterprise",
+     "an access/core tree: VoIP + video + backups converging on a server",
+     fun rate -> Workload.Scenarios.enterprise ?rate_bps:rate ());
+  ]
+
+let build_scenario ?file name rate =
+  match file with
+  | Some path -> (
+      match Scenario_io.Parse.scenario_of_file path with
+      | Ok scenario -> Ok scenario
+      | Error e ->
+          Error (Format.asprintf "%s: %a" path Scenario_io.Parse.pp_error e))
+  | None -> (
+      match List.find_opt (fun (n, _, _) -> n = name) scenarios with
+      | Some (_, _, f) -> Ok (f rate)
+      | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (try: %s)" name
+               (String.concat ", " (List.map (fun (n, _, _) -> n) scenarios))))
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_arg =
+  let doc = "Named scenario to operate on (see $(b,gmfnet list))." in
+  Arg.(value & opt string "fig1" & info [ "s"; "scenario" ] ~docv:"NAME" ~doc)
+
+let file_arg =
+  let doc =
+    "Load the scenario from a description file instead of a named scenario      (see lib/scenario_io/parse.mli for the grammar)."
+  in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"PATH" ~doc)
+
+let rate_arg =
+  let doc = "Override every link's bit rate (bits per second)." in
+  Arg.(value & opt (some int) None & info [ "rate" ] ~docv:"BPS" ~doc)
+
+let variant_arg =
+  let doc =
+    "Analysis variant: $(b,repaired) (default), $(b,faithful) \
+     (paper-literal equations; see DESIGN.md repairs R1/R2/R7), or \
+     $(b,tight) (repaired + tight jitter propagation)."
+  in
+  let variant =
+    Arg.enum
+      [
+        ("repaired", Analysis.Config.default);
+        ("faithful", Analysis.Config.faithful);
+        ("tight", Analysis.Config.tight);
+      ]
+  in
+  Arg.(value & opt variant Analysis.Config.default & info [ "variant" ] ~doc)
+
+let exit_of_result = function
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline ("gmfnet: " ^ msg);
+      1
+
+(* ------------------------------------------------------------------ *)
+(* list                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "scenarios:";
+    List.iter
+      (fun (n, d, _) -> Printf.printf "  %-8s %s\n" n d)
+      scenarios;
+    print_endline "\nexperiments:";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-4s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.description)
+      Experiments.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List named scenarios and experiments.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_report report =
+  Experiments.Exp_common.kv "verdict" (Experiments.Exp_common.verdict_string report);
+  Experiments.Exp_common.kv "holistic rounds"
+    (string_of_int report.Analysis.Holistic.rounds);
+  let table =
+    Tablefmt.create
+      ~columns:
+        [
+          ("flow", Tablefmt.Left); ("prio", Tablefmt.Right);
+          ("frame", Tablefmt.Right); ("R bound", Tablefmt.Right);
+          ("deadline", Tablefmt.Right); ("slack", Tablefmt.Right);
+          ("meets", Tablefmt.Left);
+        ]
+  in
+  List.iter
+    (fun res ->
+      Array.iter
+        (fun (fr : Analysis.Result_types.frame_result) ->
+          Tablefmt.add_row table
+            [
+              res.Analysis.Result_types.flow.Traffic.Flow.name;
+              string_of_int res.Analysis.Result_types.flow.Traffic.Flow.priority;
+              string_of_int fr.Analysis.Result_types.frame;
+              Timeunit.to_string fr.Analysis.Result_types.total;
+              Timeunit.to_string fr.Analysis.Result_types.deadline;
+              Timeunit.to_string (Analysis.Result_types.slack fr);
+              (if Analysis.Result_types.meets_deadline fr then "yes" else "NO");
+            ])
+        res.Analysis.Result_types.frames)
+    report.Analysis.Holistic.results;
+  Tablefmt.print table
+
+let csv_arg =
+  let doc = "Emit machine-readable CSV (frames, or stages with $(b,--csv stages))." in
+  Arg.(
+    value
+    & opt ~vopt:(Some "frames") (some (enum [ ("frames", "frames"); ("stages", "stages") ])) None
+    & info [ "csv" ] ~docv:"WHAT" ~doc)
+
+let analyze_cmd =
+  let run name file rate config csv =
+    exit_of_result
+      (Result.map
+         (fun scenario ->
+           let report = Analysis.Holistic.analyze ~config scenario in
+           match csv with
+           | Some "stages" ->
+               print_string (Analysis.Report_io.stage_csv report)
+           | Some _ -> print_string (Analysis.Report_io.frame_csv report)
+           | None -> print_report report)
+         (build_scenario ?file name rate))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Upper-bound every flow's end-to-end response time.")
+    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg
+          $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let duration_arg =
+  let doc = "Traffic-generation duration in milliseconds." in
+  Arg.(value & opt int 1_000 & info [ "d"; "duration" ] ~docv:"MS" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic master seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let jitter_mode_arg =
+  let doc = "Sub-packet release pattern: $(b,spread), $(b,bunched) or $(b,random)." in
+  let mode =
+    Arg.enum
+      [
+        ("spread", Sim.Sim_config.Spread);
+        ("bunched", Sim.Sim_config.Bunched);
+        ("random", Sim.Sim_config.Random);
+      ]
+  in
+  Arg.(value & opt mode Sim.Sim_config.Spread & info [ "jitter-mode" ] ~doc)
+
+let slack_arg =
+  let doc =
+    "Mean extra inter-arrival spacing as a fraction of the period \
+     (0 = strictly periodic sources)."
+  in
+  Arg.(value & opt float 0. & info [ "slack" ] ~docv:"FRAC" ~doc)
+
+let capacity_arg =
+  let doc =
+    "Finite switch-queue capacity in Ethernet frames (default: unbounded); \
+     overflows are dropped and counted."
+  in
+  Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"FRAMES" ~doc)
+
+let phasing_arg =
+  let doc = "Start each flow at a random offset within its cycle." in
+  Arg.(value & flag & info [ "random-phasing" ] ~doc)
+
+let busy_poll_arg =
+  let doc =
+    "Adversarial switch-CPU model: idle tasks burn their full quantum \
+     (the CIRC worst case of the analysis)."
+  in
+  Arg.(value & flag & info [ "busy-poll" ] ~doc)
+
+let trace_arg =
+  let doc = "Print the full journey of the first N completed packets." in
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+
+let simulate_cmd =
+  let run name file rate duration seed jitter_mode slack capacity phasing
+      busy_poll trace_limit =
+    exit_of_result
+      (Result.map
+         (fun scenario ->
+           let release =
+             if slack <= 0. then Sim.Sim_config.Periodic
+             else Sim.Sim_config.Random_slack slack
+           in
+           let config =
+             {
+               Sim.Sim_config.duration = Timeunit.ms duration;
+               seed;
+               release;
+               jitter = jitter_mode;
+               random_phasing = phasing;
+               queue_capacity = capacity;
+               busy_poll;
+               trace_limit;
+             }
+           in
+           let report = Sim.Netsim.run ~config scenario in
+           Experiments.Exp_common.kv "packets released"
+             (string_of_int report.Sim.Netsim.packets_released);
+           Experiments.Exp_common.kv "packets completed"
+             (string_of_int report.Sim.Netsim.packets_completed);
+           Experiments.Exp_common.kv "simulated span"
+             (Timeunit.to_string report.Sim.Netsim.sim_end);
+           Experiments.Exp_common.kv "fragments dropped"
+             (string_of_int report.Sim.Netsim.fragments_dropped);
+           List.iter
+             (fun (sw, u) ->
+               Experiments.Exp_common.kv
+                 (Printf.sprintf "switch %d CPU utilization" sw)
+                 (Printf.sprintf "%.4f" u))
+             report.Sim.Netsim.cpu_utilization;
+           List.iter
+             (fun ((sw, peer), frames) ->
+               if frames > 1 then
+                 Experiments.Exp_common.kv
+                   (Printf.sprintf "queue high-water out %d->%d" sw peer)
+                   (Printf.sprintf "%d frames" frames))
+             report.Sim.Netsim.egress_backlog;
+           let table =
+             Tablefmt.create
+               ~columns:
+                 [
+                   ("flow", Tablefmt.Left); ("frame", Tablefmt.Right);
+                   ("samples", Tablefmt.Right); ("max R", Tablefmt.Right);
+                   ("mean R", Tablefmt.Right); ("p99 R", Tablefmt.Right);
+                 ]
+           in
+           List.iter
+             (fun flow ->
+               let id = flow.Traffic.Flow.id in
+               for frame = 0 to Traffic.Flow.n flow - 1 do
+                 match
+                   Sim.Collector.responses report.Sim.Netsim.collector
+                     ~flow:id ~frame
+                 with
+                 | None -> ()
+                 | Some stats ->
+                     Tablefmt.add_row table
+                       [
+                         flow.Traffic.Flow.name; string_of_int frame;
+                         string_of_int (Stats.count stats);
+                         Timeunit.to_string (Stats.max stats);
+                         Timeunit.to_string
+                           (int_of_float (Stats.mean stats));
+                         Timeunit.to_string (Stats.percentile stats 99.);
+                       ]
+               done)
+             (Traffic.Scenario.flows scenario);
+           Tablefmt.print table;
+           List.iter
+             (fun (j : Sim.Collector.journey) ->
+               Printf.printf "packet flow=%d frame=%d seq=%d:\n" j.Sim.Collector.j_flow
+                 j.Sim.Collector.j_frame j.Sim.Collector.j_seq;
+               List.iter
+                 (fun (t, what) ->
+                   Printf.printf "  %-12s %s\n" (Timeunit.to_string t) what)
+                 j.Sim.Collector.j_events)
+             (Sim.Collector.journeys report.Sim.Netsim.collector))
+         (build_scenario ?file name rate))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate the scenario on the Figure 5 switch model.")
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ duration_arg $ seed_arg
+      $ jitter_mode_arg $ slack_arg $ capacity_arg $ phasing_arg
+      $ busy_poll_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* admission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let admission_cmd =
+  let run name file rate config =
+    exit_of_result
+      (Result.map
+         (fun scenario ->
+           let decision = Analysis.Admission.check ~config scenario in
+           Experiments.Exp_common.kv "admitted"
+             (if decision.Analysis.Admission.admitted then "yes" else "no");
+           Experiments.Exp_common.kv "verdict"
+             (Experiments.Exp_common.verdict_string decision.Analysis.Admission.report);
+           let ctx = Analysis.Ctx.create ~config scenario in
+           let checks = Analysis.Conditions.check_all ctx in
+           print_endline "per-stage utilization conditions (eqs 20/34-35):";
+           List.iter
+             (fun c ->
+               Format.printf "  %a@." Analysis.Conditions.pp_check c)
+             checks)
+         (build_scenario ?file name rate))
+  in
+  Cmd.v
+    (Cmd.info "admission"
+       ~doc:"Admission-control decision with utilization conditions.")
+    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let duration_arg =
+    let doc = "Simulated traffic duration in milliseconds." in
+    Arg.(value & opt int 2_000 & info [ "d"; "duration" ] ~docv:"MS" ~doc)
+  in
+  let run name file rate duration =
+    exit_of_result
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           let row =
+             Experiments.E5_validation.validate
+               ~duration:(Timeunit.ms duration) ~name:"scenario" scenario
+           in
+           let kv = Experiments.Exp_common.kv in
+           if not row.Experiments.E5_validation.schedulable then begin
+             kv "schedulable" "no (nothing to validate)";
+             Ok ()
+           end
+           else begin
+             kv "schedulable" "yes";
+             kv "worst analytic bound"
+               (Timeunit.to_string row.Experiments.E5_validation.worst_bound);
+             kv "worst simulated response"
+               (Timeunit.to_string row.Experiments.E5_validation.worst_observed);
+             kv "tightness (observed/bound)"
+               (Printf.sprintf "%.3f" row.Experiments.E5_validation.tightness);
+             if row.Experiments.E5_validation.sound then begin
+               kv "bounds dominate the simulation" "yes";
+               Ok ()
+             end
+             else Error "SOUNDNESS VIOLATION: the simulator exceeded a bound"
+           end))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Cross-check the analysis against the discrete-event simulator           for a scenario (bounds must dominate all observations).")
+    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ duration_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let run name file rate config =
+    exit_of_result
+      (Result.map
+         (fun scenario ->
+           let kv = Experiments.Exp_common.kv in
+           (* Traffic headroom: scale every flow's payloads. *)
+           let headroom =
+             Analysis.Sensitivity.max_payload_scale ~config
+               ~build:(fun ~scale ->
+                 Traffic.Scenario.map_flows scenario ~f:(fun f ->
+                     Traffic.Flow.scale_payloads f scale))
+               ()
+           in
+           kv "traffic headroom (payload scale)"
+             (match headroom with
+             | Some h -> Printf.sprintf "%.2fx" h
+             | None -> "none (already unschedulable)");
+           (* Switch-CPU slack: scale every switch model's task costs. *)
+           let with_cpu_scale circ_scale =
+             let scale_cost c =
+               max 0 (int_of_float (circ_scale *. float_of_int c))
+             in
+             let switches =
+               List.map
+                 (fun n ->
+                   let m = Traffic.Scenario.switch_model scenario n in
+                   ( n,
+                     Click.Switch_model.make
+                       ~croute:(scale_cost m.Click.Switch_model.croute)
+                       ~csend:(scale_cost m.Click.Switch_model.csend)
+                       ~processors:m.Click.Switch_model.processors
+                       ~ninterfaces:m.Click.Switch_model.ninterfaces () ))
+                 (Traffic.Scenario.switch_nodes scenario)
+             in
+             Traffic.Scenario.make ~switches
+               ~topo:(Traffic.Scenario.topo scenario)
+               ~flows:(Traffic.Scenario.flows scenario)
+               ()
+           in
+           let cpu_slack =
+             Analysis.Sensitivity.max_circ ~config
+               ~build:(fun ~circ_scale -> with_cpu_scale circ_scale)
+               ()
+           in
+           kv "switch-CPU slack (CROUTE/CSEND scale)"
+             (match cpu_slack with
+             | Some s -> Printf.sprintf "%.1fx" s
+             | None -> "none");
+           (* Worst per-flow slack today. *)
+           let report = Analysis.Holistic.analyze ~config scenario in
+           kv "verdict" (Experiments.Exp_common.verdict_string report);
+           List.iter
+             (fun res ->
+               let worst = Analysis.Result_types.worst_frame res in
+               kv
+                 (Printf.sprintf "slack of %s"
+                    res.Analysis.Result_types.flow.Traffic.Flow.name)
+                 (Timeunit.to_string (Analysis.Result_types.slack worst)))
+             report.Analysis.Holistic.results)
+         (build_scenario ?file name rate))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Capacity planning: traffic headroom, switch-CPU slack and           per-flow deadline slack for a scenario.")
+    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg)
+
+(* ------------------------------------------------------------------ *)
+(* backlog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let backlog_cmd =
+  let run name file rate config =
+    exit_of_result
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           let ctx = Analysis.Ctx.create ~config scenario in
+           let report = Analysis.Holistic.run ctx in
+           match
+             ( Analysis.Backlog.egress_bounds ctx report,
+               Analysis.Backlog.ingress_bounds ctx report )
+           with
+           | Ok egress, Ok ingress ->
+               let table =
+                 Tablefmt.create
+                   ~columns:
+                     [
+                       ("queue", Tablefmt.Left);
+                       ("max frames", Tablefmt.Right);
+                       ("memory", Tablefmt.Right);
+                     ]
+               in
+               let add kind (b : Analysis.Backlog.queue_bound) =
+                 Tablefmt.add_row table
+                   [
+                     Printf.sprintf "%s %d%s%d" kind b.Analysis.Backlog.node
+                       (if kind = "out" then "->" else "<-")
+                       b.Analysis.Backlog.peer;
+                     string_of_int b.Analysis.Backlog.frames;
+                     Printf.sprintf "%d B" (b.Analysis.Backlog.bits / 8);
+                   ]
+               in
+               List.iter (add "out") egress;
+               List.iter (add "in") ingress;
+               Tablefmt.print table;
+               Ok ()
+           | Error msg, _ | _, Error msg -> Error msg))
+  in
+  Cmd.v
+    (Cmd.info "backlog"
+       ~doc:
+         "Buffer requirements per switch queue derived from the           response-time analysis (safe memory sizing).")
+    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let flow_arg =
+    let doc = "Flow id to explain." in
+    Arg.(value & opt int 0 & info [ "flow" ] ~docv:"ID" ~doc)
+  in
+  let run name file rate config flow_id =
+    exit_of_result
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           match
+             List.find_opt
+               (fun f -> f.Traffic.Flow.id = flow_id)
+               (Traffic.Scenario.flows scenario)
+           with
+           | None -> Error (Printf.sprintf "no flow with id %d" flow_id)
+           | Some flow ->
+               let report = Analysis.Holistic.analyze ~config scenario in
+               Experiments.Exp_common.kv "flow" flow.Traffic.Flow.name;
+               Experiments.Exp_common.kv "route"
+                 (Format.asprintf "%a" Network.Route.pp flow.Traffic.Flow.route);
+               Experiments.Exp_common.kv "verdict"
+                 (Experiments.Exp_common.verdict_string report);
+               (match
+                  List.find_opt
+                    (fun r ->
+                      r.Analysis.Result_types.flow.Traffic.Flow.id = flow_id)
+                    report.Analysis.Holistic.results
+                with
+               | None ->
+                   print_endline
+                     "  (no per-frame results: the analysis did not converge)"
+               | Some res ->
+                   Array.iter
+                     (fun fr ->
+                       Format.printf "%a@."
+                         Analysis.Result_types.pp_frame_result fr)
+                     res.Analysis.Result_types.frames);
+               Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Per-stage breakdown of one flow's response-time bound (the           Figure 6 pipeline, stage by stage).")
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ flow_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (E1..E10) or $(b,all)." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run id =
+    if String.lowercase_ascii id = "all" then begin
+      Experiments.Registry.run_all ();
+      0
+    end
+    else
+      match Experiments.Registry.find id with
+      | Some e ->
+          e.Experiments.Registry.run ();
+          0
+      | None ->
+          prerr_endline ("gmfnet: unknown experiment " ^ id);
+          1
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a paper experiment (see EXPERIMENTS.md).")
+    Term.(const run $ id_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc =
+    "schedulability analysis of generalized multiframe traffic on multihop \
+     networks of software-implemented Ethernet switches"
+  in
+  Cmd.group
+    (Cmd.info "gmfnet" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; analyze_cmd; simulate_cmd; admission_cmd; explain_cmd;
+      backlog_cmd; plan_cmd; validate_cmd; experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/contract_metering.ml: Analysis Array Ethernet Format Gmf Gmf_util List Network Printf Rng Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Ethernet Format Gmf Gmf_util List Network Printf Sim Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+examples/switch_sizing.ml: Analysis Click Ethernet Format Gmf_util List Printf Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+examples/videoconf.ml: Analysis Ethernet Format Gmf_util List Network Printf Timeunit Traffic Workload

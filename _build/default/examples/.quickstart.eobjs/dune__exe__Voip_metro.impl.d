@@ -1,0 +1,1 @@
+examples/voip_metro.ml: Analysis Array Ethernet Fun Gmf Gmf_util List Network Option Printf Sim Timeunit Traffic Workload

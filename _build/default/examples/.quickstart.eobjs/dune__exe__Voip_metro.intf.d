@@ -1,0 +1,1 @@
+examples/voip_metro.mli:

@@ -1,0 +1,85 @@
+(* Video conferencing on the paper's example network (Figures 1-3).
+
+   Walks the exact setting of the paper: the Figure 1 topology, the Figure 3
+   MPEG stream on the Figure 2 route, competing audio/VoIP/bulk flows — then
+   acts as the network operator's admission controller when a new
+   conference call asks to join.
+
+   Run with:  dune exec examples/videoconf.exe *)
+
+open Gmf_util
+
+let () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  Format.printf "%a@." Traffic.Scenario.pp scenario;
+
+  (* The operator's first question: does the current flow set meet all
+     deadlines? *)
+  let report = Analysis.Holistic.analyze scenario in
+  Format.printf "current flow set: %a@." Analysis.Holistic.pp_verdict
+    report.Analysis.Holistic.verdict;
+  List.iter
+    (fun res ->
+      let worst = Analysis.Result_types.worst_frame res in
+      Printf.printf "  %-12s R <= %-12s D = %s\n"
+        res.Analysis.Result_types.flow.Traffic.Flow.name
+        (Timeunit.to_string worst.Analysis.Result_types.total)
+        (Timeunit.to_string worst.Analysis.Result_types.deadline))
+    report.Analysis.Holistic.results;
+
+  (* A new conference call between endhosts 1 and 2 asks to join: one video
+     flow and one audio flow, as in Section 2.1.  Test them one by one, as
+     an admission controller would. *)
+  let topo = Traffic.Scenario.topo scenario in
+  let new_audio =
+    Traffic.Flow.make ~id:10 ~name:"audio:1->2"
+      ~spec:(Workload.Voip.g711_spec ()) ~encap:Ethernet.Encap.Rtp_udp
+      ~route:(Network.Route.make topo [ 1; 4; 5; 2 ])
+      ~priority:6
+  in
+  let new_video =
+    Traffic.Flow.make ~id:11 ~name:"video:1->2" ~spec:Workload.Mpeg.fig3_spec
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ 1; 4; 5; 2 ])
+      ~priority:5
+  in
+  let try_admit label candidate =
+    let decision = Analysis.Admission.admit scenario ~candidate in
+    Printf.printf "admit %-12s -> %s\n" label
+      (if decision.Analysis.Admission.admitted then "ACCEPTED" else "REJECTED")
+  in
+  try_admit "audio call" new_audio;
+  try_admit "video call" new_video;
+
+  (* The full conference (audio + video together). *)
+  let both =
+    Traffic.Scenario.make ~topo
+      ~flows:(Traffic.Scenario.flows scenario @ [ new_audio; new_video ])
+      ()
+  in
+  let decision = Analysis.Admission.check both in
+  Printf.printf "admit full conference (audio+video) -> %s\n"
+    (if decision.Analysis.Admission.admitted then "ACCEPTED" else "REJECTED");
+
+  (* If the 10 Mbit/s edge cannot carry a second conference, a 100 Mbit/s
+     upgrade can - re-run the same question on faster links. *)
+  let upgraded_base = Workload.Scenarios.fig1_videoconf ~rate_bps:100_000_000 () in
+  let utopo = Traffic.Scenario.topo upgraded_base in
+  let re_route flow =
+    Traffic.Flow.make ~id:flow.Traffic.Flow.id ~name:flow.Traffic.Flow.name
+      ~spec:flow.Traffic.Flow.spec ~encap:flow.Traffic.Flow.encap
+      ~route:
+        (Network.Route.make utopo
+           (Network.Route.nodes flow.Traffic.Flow.route))
+      ~priority:flow.Traffic.Flow.priority
+  in
+  let upgraded =
+    Traffic.Scenario.make ~topo:utopo
+      ~flows:
+        (Traffic.Scenario.flows upgraded_base
+        @ [ re_route new_audio; re_route new_video ])
+      ()
+  in
+  let decision = Analysis.Admission.check upgraded in
+  Printf.printf "same conference after 100 Mbit/s upgrade -> %s\n"
+    (if decision.Analysis.Admission.admitted then "ACCEPTED" else "REJECTED")

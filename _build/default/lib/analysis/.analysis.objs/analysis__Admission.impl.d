@@ -1,0 +1,1 @@
+lib/analysis/admission.ml: Holistic List Traffic

@@ -1,0 +1,1 @@
+lib/analysis/admission.mli: Click Config Holistic Network Traffic

@@ -1,0 +1,1 @@
+lib/analysis/backlog.ml: Array Ctx Ethernet Format Holistic List Network Result_types Stage Traffic

@@ -1,0 +1,1 @@
+lib/analysis/backlog.mli: Ctx Format Holistic Network

@@ -1,0 +1,1 @@
+lib/analysis/conditions.ml: Ctx Egress First_hop Format Ingress List Stage Traffic

@@ -1,0 +1,1 @@
+lib/analysis/conditions.mli: Ctx Format Stage Traffic

@@ -1,0 +1,1 @@
+lib/analysis/config.ml: Format Gmf_util Timeunit

@@ -1,0 +1,1 @@
+lib/analysis/config.mli: Format Gmf_util

@@ -1,0 +1,1 @@
+lib/analysis/ctx.ml: Array Config Gmf Hashtbl Jitter_state List Network Stage Traffic

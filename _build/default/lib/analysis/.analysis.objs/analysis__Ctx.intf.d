@@ -1,0 +1,1 @@
+lib/analysis/ctx.mli: Config Gmf_util Jitter_state Network Stage Traffic

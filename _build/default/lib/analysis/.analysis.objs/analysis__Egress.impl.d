@@ -1,0 +1,1 @@
+lib/analysis/egress.ml: Array Config Ctx Gmf List Network Stage Stage_common Traffic

@@ -1,0 +1,1 @@
+lib/analysis/egress.mli: Ctx Network Result_types Traffic

@@ -1,0 +1,1 @@
+lib/analysis/first_hop.ml: Array Ctx Gmf List Network Stage Stage_common Traffic

@@ -1,0 +1,1 @@
+lib/analysis/first_hop.mli: Ctx Result_types Traffic

@@ -1,0 +1,1 @@
+lib/analysis/fixpoint.ml: Format Gmf_util Printf Timeunit

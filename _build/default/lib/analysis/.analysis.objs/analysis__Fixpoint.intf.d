@@ -1,0 +1,1 @@
+lib/analysis/fixpoint.mli: Format Gmf_util

@@ -1,0 +1,1 @@
+lib/analysis/holistic.ml: Array Config Ctx Format Gmf_util Jitter_state List Pipeline Result_types Traffic

@@ -1,0 +1,1 @@
+lib/analysis/holistic.mli: Config Ctx Format Result_types Traffic

@@ -1,0 +1,1 @@
+lib/analysis/ingress.mli: Ctx Network Result_types Traffic

@@ -1,0 +1,1 @@
+lib/analysis/jitter_state.ml: Gmf_util Hashtbl Option Stage Timeunit Traffic

@@ -1,0 +1,1 @@
+lib/analysis/jitter_state.mli: Gmf_util Stage Traffic

@@ -1,0 +1,1 @@
+lib/analysis/pipeline.ml: Array Click Config Ctx Egress First_hop Gmf Ingress List Network Option Result_types Stage Traffic

@@ -1,0 +1,1 @@
+lib/analysis/pipeline.mli: Ctx Result_types Traffic

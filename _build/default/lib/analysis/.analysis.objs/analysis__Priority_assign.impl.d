@@ -1,0 +1,1 @@
+lib/analysis/priority_assign.ml: Array Ethernet Gmf Holistic List Result_types Traffic

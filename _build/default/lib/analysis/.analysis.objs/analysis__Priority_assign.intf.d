@@ -1,0 +1,1 @@
+lib/analysis/priority_assign.mli: Click Config Gmf_util Network Traffic

@@ -1,0 +1,1 @@
+lib/analysis/report_io.ml: Array Buffer Format Holistic List Printf Result_types Stage String Traffic

@@ -1,0 +1,1 @@
+lib/analysis/report_io.mli: Holistic

@@ -1,0 +1,1 @@
+lib/analysis/rerouting.ml: Holistic List Network Traffic

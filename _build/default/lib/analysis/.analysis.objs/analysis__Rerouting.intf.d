@@ -1,0 +1,1 @@
+lib/analysis/rerouting.mli: Click Config Holistic Network Traffic

@@ -1,0 +1,1 @@
+lib/analysis/result_types.ml: Array Format Gmf_util List Stage Timeunit Traffic

@@ -1,0 +1,1 @@
+lib/analysis/result_types.mli: Format Gmf_util Stage Traffic

@@ -1,0 +1,1 @@
+lib/analysis/sensitivity.ml: Holistic

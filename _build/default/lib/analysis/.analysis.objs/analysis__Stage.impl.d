@@ -1,0 +1,1 @@
+lib/analysis/stage.ml: Format Hashtbl List Network Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/stage.mli: Format Network

@@ -1,0 +1,1 @@
+lib/analysis/stage_common.ml: Array Config Ctx Fixpoint Gmf_util Printf Result_types Timeunit Traffic

@@ -1,0 +1,1 @@
+lib/analysis/stage_common.mli: Ctx Gmf_util Result_types Stage Traffic

@@ -1,0 +1,27 @@
+type decision = { admitted : bool; report : Holistic.report }
+
+let check ?config scenario =
+  let report = Holistic.analyze ?config scenario in
+  { admitted = Holistic.is_schedulable report; report }
+
+let rebuild scenario extra_flows =
+  Traffic.Scenario.make ~topo:(Traffic.Scenario.topo scenario)
+    ~flows:(Traffic.Scenario.flows scenario @ extra_flows)
+    ()
+
+let admit ?config scenario ~candidate =
+  check ?config (rebuild scenario [ candidate ])
+
+let admit_greedily ?config ~topo ~switches candidates =
+  let try_set flows =
+    let scenario = Traffic.Scenario.make ~switches ~topo ~flows () in
+    (check ?config scenario).admitted
+  in
+  let rec go accepted rejected = function
+    | [] -> (List.rev accepted, List.rev rejected)
+    | candidate :: rest ->
+        let attempt = List.rev (candidate :: accepted) in
+        if try_set attempt then go (candidate :: accepted) rejected rest
+        else go accepted (candidate :: rejected) rest
+  in
+  go [] [] candidates

@@ -1,0 +1,37 @@
+(** Admission control (paper Section 3.5, last paragraph).
+
+    A network operator asked to carry a new flow re-runs the holistic
+    analysis on the extended flow set and admits the flow only if every
+    flow — old and new — still meets every deadline.  Rejection therefore
+    protects the already-admitted flows. *)
+
+type decision = {
+  admitted : bool;
+  report : Holistic.report;
+      (** The analysis of the extended flow set (for an [admit] call) or of
+          the scenario as-is (for [check]). *)
+}
+
+val check : ?config:Config.t -> Traffic.Scenario.t -> decision
+(** [check scenario] verifies the scenario's current flow set. *)
+
+val admit :
+  ?config:Config.t ->
+  Traffic.Scenario.t ->
+  candidate:Traffic.Flow.t ->
+  decision
+(** [admit scenario ~candidate] tests the scenario with [candidate] added.
+    The scenario itself is not modified; the caller rebuilds it on
+    acceptance.  Raises [Invalid_argument] if the candidate's id collides
+    with an existing flow. *)
+
+val admit_greedily :
+  ?config:Config.t ->
+  topo:Network.Topology.t ->
+  switches:(Network.Node.id * Click.Switch_model.t) list ->
+  Traffic.Flow.t list ->
+  Traffic.Flow.t list * Traffic.Flow.t list
+(** [admit_greedily ~topo ~switches candidates] processes candidates in
+    order, keeping each flow whose addition leaves the set schedulable.
+    Returns (admitted, rejected).  This is the acceptance-ratio engine of
+    experiment E4. *)

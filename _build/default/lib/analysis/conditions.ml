@@ -1,0 +1,47 @@
+type check = {
+  flow_id : Traffic.Flow.id;
+  flow_name : string;
+  stage : Stage.t;
+  utilization : float;
+  satisfied : bool;
+}
+
+let make_check flow stage utilization =
+  {
+    flow_id = flow.Traffic.Flow.id;
+    flow_name = flow.Traffic.Flow.name;
+    stage;
+    utilization;
+    satisfied = utilization < 1.0;
+  }
+
+let check_flow ctx ~flow =
+  let condition stage =
+    let utilization =
+      match stage with
+      | Stage.First_link _ -> First_hop.utilization_condition ctx ~flow
+      | Stage.Ingress node -> Ingress.utilization_condition ctx ~flow ~node
+      | Stage.Egress (node, _) -> Egress.utilization_condition ctx ~flow ~node
+    in
+    make_check flow stage utilization
+  in
+  List.map condition (Stage.stages_of_route flow.Traffic.Flow.route)
+
+let check_all ctx =
+  Traffic.Scenario.flows (Ctx.scenario ctx)
+  |> List.concat_map (fun flow -> check_flow ctx ~flow)
+
+let all_satisfied checks = List.for_all (fun c -> c.satisfied) checks
+
+let worst = function
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc c -> if c.utilization > acc.utilization then c else acc)
+           first rest)
+
+let pp_check fmt c =
+  Format.fprintf fmt "%s at %a: U=%.4f %s" c.flow_name Stage.pp c.stage
+    c.utilization
+    (if c.satisfied then "ok" else "VIOLATED")

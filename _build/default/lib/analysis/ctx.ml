@@ -1,0 +1,85 @@
+type demand_kind = Time | Count
+
+type t = {
+  scenario : Traffic.Scenario.t;
+  config : Config.t;
+  mutable jitters : Jitter_state.t;
+  demands :
+    (Traffic.Flow.id * Network.Node.id * Network.Node.id * demand_kind,
+     Gmf.Demand.t)
+    Hashtbl.t;
+}
+
+let install_source_jitters scenario state =
+  List.iter
+    (fun flow ->
+      let route = flow.Traffic.Flow.route in
+      let source = Network.Route.source route in
+      let stage =
+        Stage.First_link (source, Network.Route.succ route source)
+      in
+      let jitters = Gmf.Spec.jitters flow.Traffic.Flow.spec in
+      Array.iteri
+        (fun frame value ->
+          Jitter_state.set state ~flow:flow.Traffic.Flow.id ~stage ~frame
+            value)
+        jitters)
+    (Traffic.Scenario.flows scenario)
+
+let create ?(config = Config.default) scenario =
+  let jitters = Jitter_state.create () in
+  install_source_jitters scenario jitters;
+  { scenario; config; jitters; demands = Hashtbl.create 64 }
+
+let scenario t = t.scenario
+let config t = t.config
+let jitters t = t.jitters
+
+let reset_jitters t =
+  let fresh = Jitter_state.create () in
+  install_source_jitters t.scenario fresh;
+  t.jitters <- fresh
+
+let params t flow ~src ~dst = Traffic.Scenario.params t.scenario flow ~src ~dst
+
+let demand t flow ~src ~dst kind =
+  let key = (flow.Traffic.Flow.id, src, dst, kind) in
+  match Hashtbl.find_opt t.demands key with
+  | Some d -> d
+  | None ->
+      let p = params t flow ~src ~dst in
+      let d =
+        match kind with
+        | Time -> Traffic.Link_params.time_demand p
+        | Count -> Traffic.Link_params.count_demand p
+      in
+      Hashtbl.replace t.demands key d;
+      d
+
+(* The paper's MXS (eq 10) clamps each window's demand to the interval
+   length, which makes MX(0) = 0: with all jitters zero, the queuing-time
+   recurrences then accept w = 0 as a fixed point and report no interference
+   at all.  The Repaired variant therefore uses the uncapped window maximum —
+   the classical request-bound reading, where a competing frame arriving at
+   the critical instant contributes its full transmission time (repair R7 in
+   DESIGN.md). *)
+let mx t flow ~src ~dst ~dt =
+  let capped =
+    match t.config.Config.variant with
+    | Config.Faithful -> true
+    | Config.Repaired -> false
+  in
+  Gmf.Demand.bound (demand t flow ~src ~dst Time) ~capped dt
+
+let nx t flow ~src ~dst ~dt =
+  Gmf.Demand.bound (demand t flow ~src ~dst Count) ~capped:false dt
+
+let extra t flow ~stage =
+  Jitter_state.extra t.jitters ~flow:flow.Traffic.Flow.id
+    ~n_frames:(Traffic.Flow.n flow) ~stage
+
+let set_jitter t flow ~frame ~stage value =
+  Jitter_state.set t.jitters ~flow:flow.Traffic.Flow.id ~stage ~frame value
+
+let get_jitter t flow ~frame ~stage =
+  Jitter_state.get t.jitters ~flow:flow.Traffic.Flow.id ~stage ~frame

@@ -1,0 +1,42 @@
+(** Egress-stage analysis: from the priority queue of a switch until
+    reception at the next node (paper Section 3.4, eqs 28–35).
+
+    The output queue is static-priority (IEEE 802.1p) at Ethernet-frame
+    granularity, so the interference set is hep(tau_i, N) — flows of equal
+    or higher priority on the same output link (eq 2).  Two additional
+    effects are modeled:
+
+    - {b blocking}: one maximal lower-priority Ethernet frame may already be
+      in transmission — the MFT term seeding eq (28) and opening eqs
+      (30)–(31);
+    - {b stride-scheduling granularity}: the send task only moves a frame to
+      the NIC once per CIRC(N) rotation, so every interfering Ethernet frame
+      additionally costs one CIRC(N) — the NX * CIRC terms of eqs (29) and
+      (31).
+
+    Recurrences:
+    - busy period (eqs 28–29):
+      [t = MFT + sum over hep+self of MX(tau_j, t+extra_j)
+           + (sum over hep+self of NX(tau_j, t+extra_j)) * CIRC];
+    - queuing time (eqs 30–31):
+      [w(q) = MFT + q*CSUM_i + sum over hep of MX(...) + NX(...)*CIRC];
+      the Repaired variant adds the flow's own rotations,
+      [(q*NSUM_i + m_i^k) * CIRC] (repair R2);
+    - response (eqs 32–33):
+      [R = max_q (w(q) - q*TSUM_i + C_i^k) + prop(N, succ)]. *)
+
+val analyze :
+  Ctx.t ->
+  flow:Traffic.Flow.t ->
+  node:Network.Node.id ->
+  frame:int ->
+  (Result_types.stage_response, Result_types.failure) result
+(** [analyze ctx ~flow ~node ~frame] bounds the egress response at switch
+    [node] towards succ(tau_i, node).  Raises [Invalid_argument] if [frame]
+    is out of range or [node] is not an intermediate switch of the route. *)
+
+val utilization_condition :
+  Ctx.t -> flow:Traffic.Flow.t -> node:Network.Node.id -> float
+(** Left side of eqs (34)–(35): utilization of the output link by
+    hep(tau_i, node) plus the flow itself.  The analysis cannot converge
+    when this reaches 1 (eq 34) and may converge below it (eq 35). *)

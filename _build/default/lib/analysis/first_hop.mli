@@ -1,0 +1,27 @@
+(** First-hop analysis (paper Section 3.2, eqs 14–20).
+
+    The source node is an IP endhost or router whose queuing discipline the
+    network operator does not control, so the only assumption is that it is
+    work-conserving.  Consequently {e every} flow sharing the first link
+    interferes regardless of priority:
+
+    - busy period (eqs 14–15):
+      [t = sum over j in flows(S, succ) of MX(tau_j, t + extra_j)],
+      seeded with the frame's own transmission time (repair R1);
+    - queuing time of the qth instance (eqs 16–17):
+      [w(q) = q*CSUM_i + sum over j <> i of MX(tau_j, w(q) + extra_j)];
+    - response (eqs 18–19):
+      [R = max_q (w(q) - q*TSUM_i + C_i^k) + prop(S, succ)]. *)
+
+val analyze :
+  Ctx.t ->
+  flow:Traffic.Flow.t ->
+  frame:int ->
+  (Result_types.stage_response, Result_types.failure) result
+(** [analyze ctx ~flow ~frame] bounds the first-hop response of GMF frame
+    [frame].  Raises [Invalid_argument] if [frame] is out of range. *)
+
+val utilization_condition : Ctx.t -> flow:Traffic.Flow.t -> float
+(** Left side of eq (20): total utilization of the first link by all flows
+    crossing it.  The analysis is guaranteed to converge when this is
+    strictly below 1. *)

@@ -1,0 +1,25 @@
+open Gmf_util
+
+type outcome = Converged of Timeunit.ns | Diverged of string
+
+let iterate ~f ~seed ~max_iters ~horizon =
+  if max_iters <= 0 then invalid_arg "Fixpoint.iterate: non-positive cap";
+  if seed < 0 then invalid_arg "Fixpoint.iterate: negative seed";
+  let rec go t iters =
+    if t > horizon then
+      Diverged
+        (Printf.sprintf "exceeded horizon (%s)" (Timeunit.to_string horizon))
+    else if iters >= max_iters then
+      Diverged (Printf.sprintf "no fixed point after %d iterations" max_iters)
+    else begin
+      let t' = f t in
+      if t' = t then Converged t else go t' (iters + 1)
+    end
+  in
+  go seed 0
+
+let map o g = match o with Converged t -> Converged (g t) | d -> d
+
+let pp fmt = function
+  | Converged t -> Format.fprintf fmt "converged(%a)" Timeunit.pp t
+  | Diverged msg -> Format.fprintf fmt "diverged(%s)" msg

@@ -1,0 +1,26 @@
+(** Integer fixed-point iteration for the busy-period and queuing-time
+    recurrences (eqs 15, 17, 22, 24, 29, 31).
+
+    All recurrences have the shape [t_{v+1} = f t_v] with [f] monotone in
+    its argument, so over the integers the iteration either reaches an exact
+    fixed point or crosses the horizon. *)
+
+type outcome =
+  | Converged of Gmf_util.Timeunit.ns  (** [f t = t] was reached. *)
+  | Diverged of string
+      (** The horizon or the iteration cap was exceeded; the message says
+          which. *)
+
+val iterate :
+  f:(Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns) ->
+  seed:Gmf_util.Timeunit.ns ->
+  max_iters:int ->
+  horizon:Gmf_util.Timeunit.ns ->
+  outcome
+(** [iterate ~f ~seed ~max_iters ~horizon] runs the recurrence from [seed].
+    Raises [Invalid_argument] if [max_iters <= 0] or [seed < 0]. *)
+
+val map : outcome -> (Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns) -> outcome
+(** [map o g] applies [g] to a converged value. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,91 @@
+type verdict =
+  | Schedulable
+  | Deadline_miss of Result_types.failure list
+  | Analysis_failed of Result_types.failure list
+  | No_fixed_point of int
+
+type report = {
+  verdict : verdict;
+  rounds : int;
+  results : Result_types.flow_result list;
+}
+
+let deadline_misses results =
+  List.concat_map
+    (fun res ->
+      Array.to_list res.Result_types.frames
+      |> List.filter_map (fun fr ->
+             if Result_types.meets_deadline fr then None
+             else
+               Some
+                 {
+                   Result_types.flow_id = res.Result_types.flow.Traffic.Flow.id;
+                   frame = fr.Result_types.frame;
+                   failed_stage = None;
+                   reason =
+                     Format.asprintf "bound %a exceeds deadline %a"
+                       Gmf_util.Timeunit.pp fr.Result_types.total
+                       Gmf_util.Timeunit.pp fr.Result_types.deadline;
+                 }))
+    results
+
+let run_round ctx =
+  let flows = Traffic.Scenario.flows (Ctx.scenario ctx) in
+  let rec go flows acc failures =
+    match flows with
+    | [] -> (List.rev acc, List.rev failures)
+    | flow :: rest -> begin
+        match Pipeline.analyze_flow ctx ~flow with
+        | Ok res -> go rest (res :: acc) failures
+        | Error f -> go rest acc (f :: failures)
+      end
+  in
+  go flows [] []
+
+let run ctx =
+  Ctx.reset_jitters ctx;
+  let max_rounds = (Ctx.config ctx).Config.max_holistic_rounds in
+  let rec rounds n =
+    let before = Jitter_state.copy (Ctx.jitters ctx) in
+    let results, failures = run_round ctx in
+    if failures <> [] then
+      { verdict = Analysis_failed failures; rounds = n; results }
+    else if Jitter_state.equal before (Ctx.jitters ctx) then begin
+      match deadline_misses results with
+      | [] -> { verdict = Schedulable; rounds = n; results }
+      | misses -> { verdict = Deadline_miss misses; rounds = n; results }
+    end
+    else if n >= max_rounds then
+      { verdict = No_fixed_point n; rounds = n; results }
+    else rounds (n + 1)
+  in
+  rounds 1
+
+let analyze ?config scenario = run (Ctx.create ?config scenario)
+
+let is_schedulable report = report.verdict = Schedulable
+
+let pp_verdict fmt = function
+  | Schedulable -> Format.pp_print_string fmt "schedulable"
+  | Deadline_miss fs ->
+      Format.fprintf fmt "deadline miss (%d frame%s)" (List.length fs)
+        (if List.length fs = 1 then "" else "s")
+  | Analysis_failed fs ->
+      Format.fprintf fmt "analysis failed (%d failure%s)" (List.length fs)
+        (if List.length fs = 1 then "" else "s")
+  | No_fixed_point n ->
+      Format.fprintf fmt "no jitter fixed point after %d rounds" n
+
+let pp fmt report =
+  Format.fprintf fmt "@[<v>verdict: %a (after %d round%s)@," pp_verdict
+    report.verdict report.rounds
+    (if report.rounds = 1 then "" else "s");
+  List.iter
+    (fun res ->
+      Format.fprintf fmt "@[<v 2>%s:@," res.Result_types.flow.Traffic.Flow.name;
+      Array.iter
+        (fun fr -> Format.fprintf fmt "%a" Result_types.pp_frame_result fr)
+        res.Result_types.frames;
+      Format.fprintf fmt "@]@,")
+    report.results;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,38 @@
+(** Holistic fixed-point over mutually-interfering flows (paper Section 3.5,
+    after Tindell & Clark).
+
+    Only source jitters are known a priori.  Starting from zero jitter at
+    every non-source stage, each round re-runs the pipeline analysis of
+    every flow; the per-stage jitters computed in one round are the [extra]
+    terms of the next.  Jitters grow monotonically, so the iteration either
+    reaches a fixed point (the bounds are then valid) or keeps growing —
+    divergence, reported as unschedulable (repair R6). *)
+
+type verdict =
+  | Schedulable
+  | Deadline_miss of Result_types.failure list
+      (** Fixed point reached but some frame's bound exceeds its deadline. *)
+  | Analysis_failed of Result_types.failure list
+      (** A stage diverged or a cap was hit. *)
+  | No_fixed_point of int
+      (** Jitters still changing after the configured number of rounds. *)
+
+type report = {
+  verdict : verdict;
+  rounds : int;  (** Holistic rounds actually executed. *)
+  results : Result_types.flow_result list;
+      (** Per-flow bounds from the last completed round (valid only when
+          [verdict = Schedulable] or [Deadline_miss _]). *)
+}
+
+val run : Ctx.t -> report
+(** [run ctx] executes the holistic iteration on the context's scenario,
+    resetting the jitter state first. *)
+
+val analyze : ?config:Config.t -> Traffic.Scenario.t -> report
+(** One-shot convenience: build a context and {!run}. *)
+
+val is_schedulable : report -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp : Format.formatter -> report -> unit

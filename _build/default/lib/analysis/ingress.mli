@@ -1,0 +1,32 @@
+(** Ingress-stage analysis: reception at a switch until enqueueing in the
+    outgoing priority queue (paper Section 3.3, eqs 21–27).
+
+    Inside switch [N] one round-robin-scheduled software task serves the NIC
+    FIFO of the interface towards prec(tau_i, N); it is serviced once every
+    CIRC(N) and moves one Ethernet frame per service.  The NIC FIFO is
+    priority-blind, so every flow arriving over the same incoming link
+    interferes; interference is counted in Ethernet frames via NX
+    (eqs 12–13) and each frame costs one CIRC(N) rotation:
+
+    - busy period (eqs 21–22):
+      [t = (sum over j in flows(prec, N) of NX(tau_j, t + extra_j)) * CIRC];
+    - queuing time (eqs 23–24, Faithful):
+      [w(q) = q*CIRC + (sum over j <> i of NX(tau_j, w(q)+extra_j)) * CIRC];
+      the Repaired variant charges the analyzed flow's own Ethernet frames,
+      [w(q) = (q*NSUM_i + m_i^k - 1)*CIRC + interference] (repair R2);
+    - response (eqs 25–26): [R = max_q (w(q) - q*TSUM_i + CIRC)]. *)
+
+val analyze :
+  Ctx.t ->
+  flow:Traffic.Flow.t ->
+  node:Network.Node.id ->
+  frame:int ->
+  (Result_types.stage_response, Result_types.failure) result
+(** [analyze ctx ~flow ~node ~frame] bounds the ingress response at switch
+    [node].  Raises [Invalid_argument] if [frame] is out of range or [node]
+    is not an intermediate switch of the flow's route. *)
+
+val utilization_condition :
+  Ctx.t -> flow:Traffic.Flow.t -> node:Network.Node.id -> float
+(** Analogue of eq (20) for the ingress task: sum over flows of the incoming
+    link of [NSUM_j * CIRC(N) / TSUM_j].  Below 1, the task keeps up. *)

@@ -1,0 +1,37 @@
+open Gmf_util
+
+type key = Traffic.Flow.id * Stage.t * int
+
+type t = (key, Timeunit.ns) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+let get t ~flow ~stage ~frame =
+  Option.value ~default:0 (Hashtbl.find_opt t (flow, stage, frame))
+
+let set t ~flow ~stage ~frame value =
+  if value < 0 then invalid_arg "Jitter_state.set: negative jitter";
+  if frame < 0 then invalid_arg "Jitter_state.set: negative frame index";
+  if value = 0 then Hashtbl.remove t (flow, stage, frame)
+  else Hashtbl.replace t (flow, stage, frame) value
+
+let extra t ~flow ~n_frames ~stage =
+  let best = ref 0 in
+  for frame = 0 to n_frames - 1 do
+    let v = get t ~flow ~stage ~frame in
+    if v > !best then best := v
+  done;
+  !best
+
+let copy t = Hashtbl.copy t
+
+let equal a b =
+  let subset x y =
+    Hashtbl.fold
+      (fun k v acc ->
+        acc && Option.value ~default:0 (Hashtbl.find_opt y k) = v)
+      x true
+  in
+  subset a b && subset b a
+
+let max_value t = Hashtbl.fold (fun _ v acc -> max v acc) t 0

@@ -1,0 +1,35 @@
+(** Per-(flow, frame, stage) generalized-jitter bookkeeping for the holistic
+    iteration (paper Section 3.5).
+
+    GJ_i^{k,stage} is the generalized jitter of frame [k] of flow [i] when
+    it reaches [stage].  The pipeline algorithm (Figure 6) writes these as
+    it accumulates response times; the analysis of any other flow then reads
+    the per-flow maximum as its [extra] term. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> flow:Traffic.Flow.id -> stage:Stage.t -> frame:int ->
+  Gmf_util.Timeunit.ns
+(** Jitter of one frame at one stage; 0 until set. *)
+
+val set : t -> flow:Traffic.Flow.id -> stage:Stage.t -> frame:int ->
+  Gmf_util.Timeunit.ns -> unit
+(** Raises [Invalid_argument] on a negative value or frame index. *)
+
+val extra : t -> flow:Traffic.Flow.id -> n_frames:int -> stage:Stage.t ->
+  Gmf_util.Timeunit.ns
+(** extra_j of Section 3.2: max over the flow's [n_frames] frames of the
+    jitter at [stage]. *)
+
+val copy : t -> t
+(** Deep copy, for round-over-round comparison. *)
+
+val equal : t -> t -> bool
+(** True when both states hold exactly the same values (treating unset
+    entries as 0). *)
+
+val max_value : t -> Gmf_util.Timeunit.ns
+(** Largest jitter recorded anywhere (0 when empty) — used for divergence
+    detection. *)

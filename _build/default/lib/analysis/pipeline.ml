@@ -1,0 +1,81 @@
+(* Lower bound on every packet's response at a stage: even an uncontended
+   packet must transmit itself (link stages) or consume its own task
+   rotations (ingress).  Used by the tight-jitter rule: jitter grows by the
+   stage's response-time variability R - R_min, never by less than 0. *)
+let stage_min_response ctx flow ~frame stage =
+  let scenario = Ctx.scenario ctx in
+  match stage with
+  | Stage.First_link (src, dst) | Stage.Egress (src, dst) ->
+      let p = Ctx.params ctx flow ~src ~dst in
+      p.Traffic.Link_params.c.(frame)
+      + p.Traffic.Link_params.link.Network.Link.prop
+  | Stage.Ingress node ->
+      let prec = Network.Route.prec flow.Traffic.Flow.route node in
+      let p = Ctx.params ctx flow ~src:prec ~dst:node in
+      let model = Traffic.Scenario.switch_model scenario node in
+      p.Traffic.Link_params.eth_frames.(frame)
+      * model.Click.Switch_model.croute
+
+let analyze_frame ctx ~flow ~frame =
+  if frame < 0 || frame >= Traffic.Flow.n flow then
+    invalid_arg "Pipeline.analyze_frame: frame index out of range";
+  let spec_frame = Gmf.Spec.frame flow.Traffic.Flow.spec frame in
+  let gj = spec_frame.Gmf.Frame_spec.jitter in
+  let deadline = spec_frame.Gmf.Frame_spec.deadline in
+  let stages = Stage.stages_of_route flow.Traffic.Flow.route in
+  let tight = (Ctx.config ctx).Config.tight_jitter in
+  let analyze_stage stage =
+    match stage with
+    | Stage.First_link _ -> First_hop.analyze ctx ~flow ~frame
+    | Stage.Ingress node -> Ingress.analyze ctx ~flow ~node ~frame
+    | Stage.Egress (node, _) -> Egress.analyze ctx ~flow ~node ~frame
+  in
+  (* RSUM accumulates stage responses into the end-to-end bound (Figure 6
+     line 24); JSUM is the generalized jitter handed to the next stage.
+     The paper advances both by the full stage response; under the
+     tight-jitter rule JSUM only grows by the stage's variability. *)
+  let rec walk stages rsum jsum acc =
+    match stages with
+    | [] ->
+        Ok
+          {
+            Result_types.frame;
+            stages = List.rev acc;
+            total = rsum;
+            deadline;
+          }
+    | stage :: rest -> begin
+        Ctx.set_jitter ctx flow ~frame ~stage jsum;
+        match analyze_stage stage with
+        | Error failure -> Error failure
+        | Ok stage_response ->
+            let r = stage_response.Result_types.response in
+            let jitter_growth =
+              if tight then
+                max 0 (r - stage_min_response ctx flow ~frame stage)
+              else r
+            in
+            walk rest (rsum + r) (jsum + jitter_growth)
+              (stage_response :: acc)
+      end
+  in
+  walk stages gj gj []
+
+let analyze_flow ctx ~flow =
+  let n = Traffic.Flow.n flow in
+  let results = Array.make n None in
+  let rec go k =
+    if k >= n then
+      Ok
+        {
+          Result_types.flow;
+          frames = Array.map Option.get results;
+        }
+    else
+      match analyze_frame ctx ~flow ~frame:k with
+      | Error failure -> Error failure
+      | Ok fr ->
+          results.(k) <- Some fr;
+          go (k + 1)
+  in
+  go 0

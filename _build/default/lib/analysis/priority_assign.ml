@@ -1,0 +1,96 @@
+type policy =
+  | Deadline_monotonic
+  | Rate_monotonic
+  | Lightest_first
+  | Uniform of int
+
+let reprioritize flow priority =
+  Traffic.Flow.make ~id:flow.Traffic.Flow.id ~name:flow.Traffic.Flow.name
+    ~spec:flow.Traffic.Flow.spec ~encap:flow.Traffic.Flow.encap
+    ~route:flow.Traffic.Flow.route ~priority
+
+(* Spread [levels] classes over 0..7: level 0 is the lowest class. *)
+let class_of_level ~levels level =
+  if levels = 1 then 0 else level * 7 / (levels - 1)
+
+(* Mean wire bandwidth over a cycle in bits/s, independent of link speed. *)
+let bandwidth flow =
+  let bits =
+    Array.to_list (Traffic.Flow.nbits_all flow)
+    |> List.fold_left
+         (fun acc nbits -> acc + Ethernet.Fragment.total_wire_bits ~nbits)
+         0
+  in
+  float_of_int bits /. (float_of_int (Traffic.Flow.tsum flow) /. 1e9)
+
+let urgency policy flow =
+  (* Larger urgency = higher class. *)
+  match policy with
+  | Deadline_monotonic ->
+      -.float_of_int (Gmf.Spec.min_deadline flow.Traffic.Flow.spec)
+  | Rate_monotonic ->
+      -.float_of_int (Gmf.Spec.min_period flow.Traffic.Flow.spec)
+  | Lightest_first -> -.bandwidth flow
+  | Uniform _ -> 0.
+
+let assign ?(levels = 8) policy flows =
+  if levels < 1 || levels > 8 then
+    invalid_arg "Priority_assign.assign: levels outside 1..8";
+  match policy with
+  | Uniform cls -> List.map (fun f -> reprioritize f cls) flows
+  | _ ->
+      let n = List.length flows in
+      let ranked =
+        List.stable_sort
+          (fun a b ->
+            match compare (urgency policy a) (urgency policy b) with
+            | 0 -> compare a.Traffic.Flow.id b.Traffic.Flow.id
+            | c -> c)
+          flows
+      in
+      (* rank 0 = least urgent = lowest class *)
+      List.mapi
+        (fun rank flow ->
+          let level = if n = 1 then levels - 1 else rank * levels / n in
+          reprioritize flow (class_of_level ~levels (min level (levels - 1))))
+        ranked
+      |> List.sort (fun a b -> compare a.Traffic.Flow.id b.Traffic.Flow.id)
+
+let worst_bound report =
+  List.fold_left
+    (fun acc res ->
+      max acc
+        (Result_types.worst_frame res).Result_types.total)
+    0 report.Holistic.results
+
+let best_exhaustive ?config ?(levels = 8) ~topo ~switches flows =
+  if levels < 1 || levels > 8 then
+    invalid_arg "Priority_assign.best_exhaustive: levels outside 1..8";
+  let flows = Array.of_list flows in
+  let n = Array.length flows in
+  let best = ref None in
+  let classes = Array.init levels (fun l -> class_of_level ~levels l) in
+  let assignment = Array.make n 0 in
+  let rec enumerate i =
+    if i = n then begin
+      let candidate =
+        Array.to_list
+          (Array.mapi (fun j f -> reprioritize f classes.(assignment.(j))) flows)
+      in
+      let scenario = Traffic.Scenario.make ~switches ~topo ~flows:candidate () in
+      let report = Holistic.analyze ?config scenario in
+      if Holistic.is_schedulable report then begin
+        let bound = worst_bound report in
+        match !best with
+        | Some (_, best_bound) when best_bound <= bound -> ()
+        | _ -> best := Some (candidate, bound)
+      end
+    end
+    else
+      for level = 0 to levels - 1 do
+        assignment.(i) <- level;
+        enumerate (i + 1)
+      done
+  in
+  enumerate 0;
+  !best

@@ -1,0 +1,41 @@
+(** 802.1p priority-assignment policies.
+
+    The paper assumes every flow arrives with its priority chosen; in
+    practice the operator must map flows onto the 2–8 classes their
+    switches support (Section 1).  This module implements the standard
+    policies and an exhaustive optimal search for small flow sets, so the
+    policies can be compared (experiment E14).
+
+    All policies only rewrite the [priority] field; routes, specs and ids
+    are preserved.  Remarks are cleared (a policy assigns one class per
+    flow). *)
+
+type policy =
+  | Deadline_monotonic
+      (** Smaller minimum deadline -> higher class (the classical DM rule,
+          optimal for preemptive single resources and a strong heuristic
+          here). *)
+  | Rate_monotonic
+      (** Smaller minimum period -> higher class. *)
+  | Lightest_first
+      (** Lower bandwidth (CSUM/TSUM on the first link) -> higher class:
+          protects thin interactive flows from bulk ones. *)
+  | Uniform of int  (** Everyone in one class (no differentiation). *)
+
+val assign :
+  ?levels:int -> policy -> Traffic.Flow.t list -> Traffic.Flow.t list
+(** [assign ~levels policy flows] maps flows onto [levels] classes (2..8,
+    default 8) spread over the 802.1p range, ties broken by flow id.
+    Raises [Invalid_argument] if [levels] is outside 1..8. *)
+
+val best_exhaustive :
+  ?config:Config.t ->
+  ?levels:int ->
+  topo:Network.Topology.t ->
+  switches:(Network.Node.id * Click.Switch_model.t) list ->
+  Traffic.Flow.t list ->
+  (Traffic.Flow.t list * Gmf_util.Timeunit.ns) option
+(** Exhaustively searches class assignments (at most [levels]^n — use for
+    n <= 6 flows) for one that is schedulable, minimizing the largest
+    worst-frame bound; [None] when no assignment is schedulable.  The
+    returned flows carry the winning priorities. *)

@@ -1,0 +1,48 @@
+let sanitize name =
+  String.map (fun c -> if c = ',' || c = '\n' then '_' else c) name
+
+let frame_csv report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "flow_id,flow_name,priority,frame,bound_ns,deadline_ns,slack_ns,meets\n";
+  List.iter
+    (fun res ->
+      let flow = res.Result_types.flow in
+      Array.iter
+        (fun (fr : Result_types.frame_result) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%s,%d,%d,%d,%d,%d,%b\n" flow.Traffic.Flow.id
+               (sanitize flow.Traffic.Flow.name)
+               flow.Traffic.Flow.priority fr.Result_types.frame
+               fr.Result_types.total fr.Result_types.deadline
+               (Result_types.slack fr)
+               (Result_types.meets_deadline fr)))
+        res.Result_types.frames)
+    report.Holistic.results;
+  Buffer.contents buf
+
+let stage_csv report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "flow_id,flow_name,frame,stage,response_ns,busy_ns,q\n";
+  List.iter
+    (fun res ->
+      let flow = res.Result_types.flow in
+      Array.iter
+        (fun (fr : Result_types.frame_result) ->
+          List.iter
+            (fun (sr : Result_types.stage_response) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d,%s,%d,%s,%d,%d,%d\n" flow.Traffic.Flow.id
+                   (sanitize flow.Traffic.Flow.name)
+                   fr.Result_types.frame
+                   (Format.asprintf "%a" Stage.pp sr.Result_types.stage)
+                   sr.Result_types.response sr.Result_types.busy_len
+                   sr.Result_types.q_count))
+            fr.Result_types.stages)
+        res.Result_types.frames)
+    report.Holistic.results;
+  Buffer.contents buf
+
+let verdict_line report =
+  Format.asprintf "verdict,%a,rounds,%d" Holistic.pp_verdict
+    report.Holistic.verdict report.Holistic.rounds

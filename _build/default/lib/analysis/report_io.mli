@@ -1,0 +1,19 @@
+(** Machine-readable export of analysis results.
+
+    Operators feed bounds into dashboards and provisioning scripts; CSV is
+    the lowest-friction interchange.  One row per (flow, frame) with the
+    per-stage responses flattened into a stage column. *)
+
+val frame_csv : Holistic.report -> string
+(** Header
+    [flow_id,flow_name,priority,frame,bound_ns,deadline_ns,slack_ns,meets]
+    then one row per (flow, frame), flows in id order.  Fields containing
+    commas are never produced (names are caller-controlled; commas in
+    names are replaced by [_]). *)
+
+val stage_csv : Holistic.report -> string
+(** Header [flow_id,flow_name,frame,stage,response_ns,busy_ns,q] then one
+    row per (flow, frame, stage) in pipeline order. *)
+
+val verdict_line : Holistic.report -> string
+(** One-line machine summary: [verdict,<verdict>,rounds,<n>]. *)

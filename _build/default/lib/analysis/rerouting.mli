@@ -1,0 +1,39 @@
+(** Admission with rerouting: when a candidate flow is rejected on its
+    default route, try alternative routes before giving up.
+
+    The paper fixes every route a priori; combined with
+    {!Network.Pathfind} this module gives the operator the obvious
+    next move — the admission gain is measured by experiment E14. *)
+
+type decision = {
+  admitted : bool;
+  route : Network.Route.t option;
+      (** The route that was accepted (possibly the candidate's own);
+          [None] when every alternative failed. *)
+  attempts : int;  (** Number of routes tried. *)
+  report : Holistic.report;
+      (** Analysis of the accepted configuration, or of the last attempt
+          when rejected. *)
+}
+
+val admit :
+  ?config:Config.t ->
+  ?max_routes:int ->
+  Traffic.Scenario.t ->
+  candidate:Traffic.Flow.t ->
+  decision
+(** [admit scenario ~candidate] first tries the candidate's own route, then
+    up to [max_routes] (default 4) alternatives from
+    [Network.Pathfind.k_shortest] ordered by hop count.  The scenario
+    itself is never modified. *)
+
+val admit_greedily :
+  ?config:Config.t ->
+  ?max_routes:int ->
+  topo:Network.Topology.t ->
+  switches:(Network.Node.id * Click.Switch_model.t) list ->
+  Traffic.Flow.t list ->
+  Traffic.Flow.t list * Traffic.Flow.t list
+(** Greedy admission with rerouting; returns (admitted — with their final,
+    possibly rerouted, routes — and rejected).  Comparable to
+    [Admission.admit_greedily], which never reroutes. *)

@@ -1,0 +1,72 @@
+open Gmf_util
+
+(* The paper's per-frame analysis assumes every busy period begins with a
+   release of the analyzed frame k itself (eqs 16/23/30 charge only whole
+   prior cycles, q * CSUM).  That is unsound when earlier frames of the
+   same flow can still be in service at frame k's release — e.g. the
+   Figure 3 stream on a 10 Mbit/s link, where the I+P packet's 36.6 ms
+   transmission exceeds its 30 ms period, so the following B packet always
+   queues behind it (observed by the simulator, experiment E18).
+
+   Repair R8 (DESIGN.md): under [Config.Repaired] the scan below maximizes
+   over busy periods starting [l] own frames before frame k
+   (l = 0..n_i - 1); the own-work charge grows by the l predecessors'
+   demand while the subtraction in [finish] grows only by their minimum
+   separations.  [Config.Faithful] keeps the paper's l = 0. *)
+
+let window_before arr ~k ~len =
+  let n = Array.length arr in
+  let rec go i acc =
+    if i >= len then acc
+    else go (i + 1) (acc + arr.((((k - 1 - i) mod n) + n) mod n))
+  in
+  go 0 0
+
+let run ~ctx ~stage ~flow ~frame ~busy_seed ~busy_step ~w_base ~w_step ~finish
+    =
+  let cfg = Ctx.config ctx in
+  let fail reason =
+    Error
+      {
+        Result_types.flow_id = flow.Traffic.Flow.id;
+        frame;
+        failed_stage = Some stage;
+        reason;
+      }
+  in
+  let fixed ~f ~seed =
+    Fixpoint.iterate ~f ~seed ~max_iters:cfg.Config.max_busy_iters
+      ~horizon:cfg.Config.horizon
+  in
+  match fixed ~f:busy_step ~seed:busy_seed with
+  | Fixpoint.Diverged msg -> fail ("busy period: " ^ msg)
+  | Fixpoint.Converged busy_len -> begin
+      let tsum = Traffic.Flow.tsum flow in
+      let q_count = max 1 (Timeunit.cdiv busy_len tsum) in
+      let l_count =
+        match cfg.Config.variant with
+        | Config.Faithful -> 1
+        | Config.Repaired -> Traffic.Flow.n flow
+      in
+      if q_count > cfg.Config.max_q then
+        fail
+          (Printf.sprintf "Q=%d exceeds the configured cap %d" q_count
+             cfg.Config.max_q)
+      else begin
+        (* Scan every candidate busy-period shape: q whole own cycles plus
+           l own predecessor frames ahead of the analyzed instance.  The
+           stage bound is the worst response among them. *)
+        let rec scan q l best =
+          if q >= q_count then
+            Ok { Result_types.stage; response = best; busy_len; q_count }
+          else if l >= l_count then scan (q + 1) 0 best
+          else
+            match fixed ~f:(w_step ~q ~l) ~seed:(w_base ~q ~l) with
+            | Fixpoint.Diverged msg ->
+                fail (Printf.sprintf "w(q=%d,l=%d): %s" q l msg)
+            | Fixpoint.Converged w ->
+                scan q (l + 1) (max best (finish ~q ~l ~w))
+        in
+        scan 0 0 min_int
+      end
+    end

@@ -1,0 +1,37 @@
+(** Machinery shared by the three stage analyses: the busy-period → Q →
+    per-instance-queuing-time → max-response scan that eqs (14)–(19),
+    (21)–(26) and (28)–(33) all instantiate.
+
+    On top of the paper's scan over cycle instances [q], the [Repaired]
+    variant also scans the busy-period start position [l] = number of the
+    analyzed flow's own frames released (at minimum separation) before the
+    analyzed instance — repair R8, closing the own-flow carry-in soundness
+    hole of the paper's equations (see the implementation comment and
+    experiment E18).  Under [Faithful], [l] is always 0 as the paper
+    writes it. *)
+
+val run :
+  ctx:Ctx.t ->
+  stage:Stage.t ->
+  flow:Traffic.Flow.t ->
+  frame:int ->
+  busy_seed:Gmf_util.Timeunit.ns ->
+  busy_step:(Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns) ->
+  w_base:(q:int -> l:int -> Gmf_util.Timeunit.ns) ->
+  w_step:(q:int -> l:int -> Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns) ->
+  finish:(q:int -> l:int -> w:Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns) ->
+  (Result_types.stage_response, Result_types.failure) result
+(** [run] executes the scheme:
+
+    + iterate [busy_step] from [busy_seed] to the busy-period length [t];
+    + [Q = max 1 (ceil (t / TSUM_i))], capped by the configuration;
+    + for every (q, l) pair, iterate [w_step ~q ~l] from [w_base ~q ~l]
+      to [w(q,l)];
+    + the stage response is [max over (q,l) of finish ~q ~l ~w].
+
+    Any divergence is reported as a [failure] naming the stage. *)
+
+val window_before : int array -> k:int -> len:int -> int
+(** [window_before arr ~k ~len] sums, cyclically, the [len] entries of
+    [arr] preceding index [k] — the demand (or minimum separation) of the
+    analyzed frame's [len] own predecessors.  0 when [len = 0]. *)

@@ -1,0 +1,1 @@
+lib/baseline/sporadic.ml: Analysis Array Gmf List Traffic

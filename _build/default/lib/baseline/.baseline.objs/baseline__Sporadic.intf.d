@@ -1,0 +1,1 @@
+lib/baseline/sporadic.mli: Analysis Click Gmf Network Traffic

@@ -1,0 +1,1 @@
+lib/click/switch_model.ml: Format Gmf_util Stride Timeunit

@@ -1,0 +1,1 @@
+lib/click/switch_model.mli: Format Gmf_util Stride

@@ -1,0 +1,39 @@
+open Gmf_util
+
+type t = {
+  ninterfaces : int;
+  croute : Timeunit.ns;
+  csend : Timeunit.ns;
+  processors : int;
+}
+
+let default_croute = Timeunit.us_frac 2.7
+let default_csend = Timeunit.us_frac 1.0
+
+let make ?(croute = default_croute) ?(csend = default_csend) ?(processors = 1)
+    ~ninterfaces () =
+  if ninterfaces <= 0 then
+    invalid_arg "Switch_model.make: non-positive interface count";
+  if croute < 0 || csend < 0 then
+    invalid_arg "Switch_model.make: negative task cost";
+  if processors <= 0 then
+    invalid_arg "Switch_model.make: non-positive processor count";
+  if ninterfaces mod processors <> 0 then
+    invalid_arg
+      "Switch_model.make: processors must evenly divide interfaces \
+       (paper's multiprocessor construction)";
+  { ninterfaces; croute; csend; processors }
+
+let interfaces_per_processor t = t.ninterfaces / t.processors
+
+let circ t = interfaces_per_processor t * (t.croute + t.csend)
+
+let scheduler t =
+  Stride.Scheduler.round_robin ~ntasks:(2 * interfaces_per_processor t)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "switch(%d ports, %d cpu%s, CROUTE=%a, CSEND=%a, CIRC=%a)" t.ninterfaces
+    t.processors
+    (if t.processors = 1 then "" else "s")
+    Timeunit.pp t.croute Timeunit.pp t.csend Timeunit.pp (circ t)

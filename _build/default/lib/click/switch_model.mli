@@ -1,0 +1,52 @@
+(** Cost model of a Click software-implemented Ethernet switch
+    (paper Sections 2.1–2.2, Figure 5, and the multiprocessor discussion in
+    the Conclusions).
+
+    Per interface there are two software tasks: an ingress task (NIC FIFO →
+    priority queue, cost CROUTE) and an egress task (priority queue → NIC
+    FIFO, cost CSEND).  The CPU runs all tasks under stride scheduling with
+    equal tickets (round-robin), so each task is serviced once every
+
+      CIRC(N) = (NINTERFACES(N) / m) * (CROUTE(N) + CSEND(N))
+
+    where [m] is the number of processors (Conclusions; [m = 1] in the body
+    of the paper).  With the paper's measured CROUTE = 2.7 us and
+    CSEND = 1.0 us, a 4-port single-CPU switch has CIRC = 14.8 us and a
+    48-port 16-CPU switch has CIRC = 11.1 us. *)
+
+type t = private {
+  ninterfaces : int;
+  croute : Gmf_util.Timeunit.ns;
+  csend : Gmf_util.Timeunit.ns;
+  processors : int;
+}
+
+val default_croute : Gmf_util.Timeunit.ns
+(** 2.7 us — the paper's measured dequeue-classify-enqueue cost. *)
+
+val default_csend : Gmf_util.Timeunit.ns
+(** 1.0 us — the paper's measured priority-queue-to-NIC cost. *)
+
+val make :
+  ?croute:Gmf_util.Timeunit.ns ->
+  ?csend:Gmf_util.Timeunit.ns ->
+  ?processors:int ->
+  ninterfaces:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] if [ninterfaces <= 0], costs are negative,
+    [processors <= 0], or [processors] does not divide [ninterfaces]
+    (the paper's multiprocessor construction requires even division). *)
+
+val circ : t -> Gmf_util.Timeunit.ns
+(** CIRC(N): worst-case time between two consecutive services of any task
+    on this switch. *)
+
+val interfaces_per_processor : t -> int
+
+val scheduler : t -> Stride.Scheduler.t
+(** A fresh round-robin stride scheduler over the 2×(interfaces per
+    processor) tasks handled by one processor of this switch, ingress tasks
+    first.  Used by the simulator. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ethernet/constants.mli:

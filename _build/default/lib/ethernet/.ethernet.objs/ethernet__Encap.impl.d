@@ -1,0 +1,1 @@
+lib/ethernet/encap.ml: Constants Format Gmf_util

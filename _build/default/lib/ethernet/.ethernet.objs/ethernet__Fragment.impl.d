@@ -1,0 +1,1 @@
+lib/ethernet/fragment.ml: Constants Gmf_util List Timeunit

@@ -1,0 +1,1 @@
+lib/ethernet/fragment.mli: Gmf_util

@@ -1,0 +1,20 @@
+let bits_of_bytes b = 8 * b
+
+let eth_header_bits = bits_of_bytes 14
+let eth_crc_bits = bits_of_bytes 4
+let eth_preamble_bits = bits_of_bytes 8
+let eth_ifg_bits = bits_of_bytes 12
+
+let eth_overhead_bits =
+  eth_header_bits + eth_crc_bits + eth_preamble_bits + eth_ifg_bits
+
+let eth_mtu_bits = bits_of_bytes 1500
+let eth_max_frame_bits = eth_mtu_bits + eth_overhead_bits
+let eth_min_payload_bits = bits_of_bytes 46
+let eth_min_frame_bits = eth_min_payload_bits + eth_overhead_bits
+let ip_header_bits = bits_of_bytes 20
+let udp_header_bits = bits_of_bytes 8
+let rtp_header_bits = bits_of_bytes 16
+let frag_data_bits = eth_mtu_bits - ip_header_bits
+let priority_levels_min = 2
+let priority_levels_max = 8

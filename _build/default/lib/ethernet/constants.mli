@@ -1,0 +1,54 @@
+(** Wire-format constants of IEEE 802.3 Ethernet as used by the paper
+    (Section 3.1).
+
+    All sizes are in bits.  The paper counts the inter-frame gap and the
+    preamble as part of a frame's cost on the wire, because they occupy link
+    time exactly like payload bits do. *)
+
+val eth_header_bits : int
+(** 14-byte Ethernet MAC header (destination, source, EtherType). *)
+
+val eth_crc_bits : int
+(** 4-byte frame check sequence. *)
+
+val eth_preamble_bits : int
+(** 8-byte preamble + start-frame delimiter. *)
+
+val eth_ifg_bits : int
+(** 12-byte inter-frame gap. *)
+
+val eth_overhead_bits : int
+(** Total per-frame overhead: header + CRC + preamble/SFD + IFG = 304 bits. *)
+
+val eth_mtu_bits : int
+(** Maximum Ethernet payload (1500 bytes = 12000 bits). *)
+
+val eth_max_frame_bits : int
+(** Maximum on-wire frame cost: MTU + overhead = 12304 bits.  This is the
+    numerator of the paper's MFT (eq 1). *)
+
+val eth_min_payload_bits : int
+(** Minimum Ethernet payload (46 bytes); shorter payloads are padded. *)
+
+val eth_min_frame_bits : int
+(** Minimum on-wire frame cost: 46-byte payload + overhead = 672 bits. *)
+
+val ip_header_bits : int
+(** 20-byte IPv4 header, present in every fragment. *)
+
+val udp_header_bits : int
+(** 8-byte UDP header, present once per datagram. *)
+
+val rtp_header_bits : int
+(** RTP header, present once per datagram when RTP encapsulation is used.
+    The paper budgets 16 bytes for it. *)
+
+val frag_data_bits : int
+(** Data capacity of one Ethernet frame above the IP layer:
+    MTU − IP header = 1480 bytes = 11840 bits. *)
+
+val priority_levels_min : int
+(** Fewest 802.1p priority levels found in commodity switches (paper: 2). *)
+
+val priority_levels_max : int
+(** Most 802.1p priority levels (paper: 8; 802.1p itself defines 8). *)

@@ -1,0 +1,19 @@
+type t = Udp | Rtp_udp
+
+let pp fmt = function
+  | Udp -> Format.pp_print_string fmt "UDP"
+  | Rtp_udp -> Format.pp_print_string fmt "RTP/UDP"
+
+let equal a b =
+  match (a, b) with
+  | Udp, Udp | Rtp_udp, Rtp_udp -> true
+  | Udp, Rtp_udp | Rtp_udp, Udp -> false
+
+let header_bits = function
+  | Udp -> Constants.udp_header_bits
+  | Rtp_udp -> Constants.udp_header_bits + Constants.rtp_header_bits
+
+let nbits encap ~payload_bits =
+  if payload_bits < 0 then invalid_arg "Encap.nbits: negative payload";
+  let whole_bytes = 8 * Gmf_util.Timeunit.cdiv payload_bits 8 in
+  whole_bytes + header_bits encap

@@ -1,0 +1,28 @@
+(** Datagram encapsulation math (paper Section 3.1).
+
+    A GMF frame carries [S] bits of application payload.  Before it reaches
+    the wire it is wrapped in transport headers; the paper gives two cases
+    and we follow them exactly:
+
+    - plain UDP:  [nbits = ceil(S/8)*8 + 8*8]
+    - RTP/UDP:    [nbits = ceil(S/8)*8 + 16*8 + 8*8]
+
+    [nbits] is the number of bits above the IP layer ("data bits"); the
+    20-byte IP header is accounted per Ethernet fragment by {!Fragment}. *)
+
+type t = Udp | Rtp_udp
+(** Encapsulation used by a flow. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable name, ["UDP"] or ["RTP/UDP"]. *)
+
+val equal : t -> t -> bool
+
+val header_bits : t -> int
+(** Transport header budget added once per datagram (UDP: 64 bits;
+    RTP/UDP: 192 bits). *)
+
+val nbits : t -> payload_bits:int -> int
+(** [nbits encap ~payload_bits] is the datagram size above IP: the payload
+    rounded up to whole bytes plus {!header_bits}.
+    Raises [Invalid_argument] if [payload_bits < 0]. *)

@@ -1,0 +1,35 @@
+open Gmf_util
+
+let check_nbits name nbits =
+  if nbits <= 0 then invalid_arg (name ^ ": non-positive datagram size")
+
+let fragment_count ~nbits =
+  check_nbits "Fragment.fragment_count" nbits;
+  Timeunit.cdiv nbits Constants.frag_data_bits
+
+let trailing_wire_bits data_bits =
+  let unpadded =
+    data_bits + Constants.ip_header_bits + Constants.eth_overhead_bits
+  in
+  max unpadded Constants.eth_min_frame_bits
+
+let fragment_wire_bits ~nbits =
+  check_nbits "Fragment.fragment_wire_bits" nbits;
+  let full = Timeunit.fdiv nbits Constants.frag_data_bits in
+  let rem = nbits - (full * Constants.frag_data_bits) in
+  let fulls = List.init full (fun _ -> Constants.eth_max_frame_bits) in
+  if rem = 0 then fulls else fulls @ [ trailing_wire_bits rem ]
+
+let total_wire_bits ~nbits =
+  List.fold_left ( + ) 0 (fragment_wire_bits ~nbits)
+
+let mft ~rate_bps =
+  Timeunit.tx_time_ns ~bits:Constants.eth_max_frame_bits ~rate_bps
+
+let fragment_tx_times ~nbits ~rate_bps =
+  List.map
+    (fun bits -> Timeunit.tx_time_ns ~bits ~rate_bps)
+    (fragment_wire_bits ~nbits)
+
+let tx_time ~nbits ~rate_bps =
+  List.fold_left ( + ) 0 (fragment_tx_times ~nbits ~rate_bps)

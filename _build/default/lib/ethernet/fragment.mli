@@ -1,0 +1,40 @@
+(** IP fragmentation of a UDP datagram into Ethernet frames and the
+    resulting link-time costs (paper Section 3.1, eq 1 and the transmission
+    time C of frame k of flow i).
+
+    A datagram of [nbits] data bits (see {!Encap.nbits}) fragments into
+    [ceil (nbits / 11840)] Ethernet frames: every fragment except possibly
+    the last carries the full 1480 bytes of data; every fragment carries its
+    own 20-byte IP header and the 304-bit Ethernet overhead, and is padded
+    up to the 64-byte Ethernet minimum if needed.  This reconstructs the
+    OCR-damaged formula of the paper (repair R3 in DESIGN.md); for datagrams
+    that are a multiple of 11840 bits it agrees with the unambiguous branch
+    of the paper's formula. *)
+
+val fragment_count : nbits:int -> int
+(** Number of Ethernet frames the datagram becomes.  A datagram always
+    produces at least one frame (even a 0-payload datagram still carries the
+    transport header).  Raises [Invalid_argument] if [nbits <= 0]. *)
+
+val fragment_wire_bits : nbits:int -> int list
+(** On-wire cost in bits of each fragment, in transmission order.  Full
+    fragments cost {!Constants.eth_max_frame_bits}; the trailing fragment
+    costs its data + IP header + Ethernet overhead, at least
+    {!Constants.eth_min_frame_bits}. *)
+
+val total_wire_bits : nbits:int -> int
+(** Sum of {!fragment_wire_bits}. *)
+
+val mft : rate_bps:int -> Gmf_util.Timeunit.ns
+(** [mft ~rate_bps] is the Maximum-Frame-Transmission-Time of eq (1):
+    the time a maximum-size Ethernet frame occupies a link of the given
+    bit rate. *)
+
+val tx_time : nbits:int -> rate_bps:int -> Gmf_util.Timeunit.ns
+(** [tx_time ~nbits ~rate_bps] is the total link time of the datagram:
+    the sum of the per-fragment transmission times (each rounded up to a
+    whole nanosecond).  This is the C_i^k of the paper for one link, and is
+    exactly the time the discrete-event simulator charges. *)
+
+val fragment_tx_times : nbits:int -> rate_bps:int -> Gmf_util.Timeunit.ns list
+(** Per-fragment transmission times, in order; sums to {!tx_time}. *)

@@ -1,0 +1,1 @@
+lib/experiments/e10_priorities.ml: Analysis Array Ethernet Exp_common Gmf_util List Network Printf Sim Tablefmt Timeunit Traffic Workload

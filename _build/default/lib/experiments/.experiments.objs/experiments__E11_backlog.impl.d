@@ -1,0 +1,1 @@
+lib/experiments/e11_backlog.ml: Analysis Array Ethernet Exp_common Gmf Gmf_util List Network Printf Sim Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e12_contract.ml: Analysis Array Ethernet Exp_common Gmf_util List Network Printf Rng Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e13_sizing.ml: Analysis Array Click Ethernet Exp_common List Network Printf Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e14_priority_assignment.ml: Analysis Array Ethernet Exp_common Gmf Gmf_util List Network Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e14_priority_assignment.mli: Gmf_util

@@ -1,0 +1,1 @@
+lib/experiments/e15_rerouting.ml: Analysis Array Ethernet Exp_common Gmf_util List Network Printf Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e16_hardware.ml: Analysis Click Exp_common Gmf_util List Option Printf Sim Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e17_tight_jitter.mli: Gmf_util

@@ -1,0 +1,1 @@
+lib/experiments/e18_stage_validation.ml: Analysis Array Exp_common Format Gmf_util Hashtbl List Printf Sim Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e18_stage_validation.mli: Gmf_util Traffic

@@ -1,0 +1,1 @@
+lib/experiments/e19_fuzz_campaign.ml: Analysis Array Exp_common Gmf_util List Printf Rng Sim Timeunit Traffic Workload

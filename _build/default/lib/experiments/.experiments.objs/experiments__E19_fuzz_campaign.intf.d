@@ -1,0 +1,1 @@
+lib/experiments/e19_fuzz_campaign.mli:

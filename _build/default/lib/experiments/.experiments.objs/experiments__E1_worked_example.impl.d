@@ -1,0 +1,1 @@
+lib/experiments/e1_worked_example.ml: Array Exp_common Gmf Gmf_util Printf Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e1_worked_example.mli: Gmf_util

@@ -1,0 +1,1 @@
+lib/experiments/e2_pipeline.ml: Analysis Array Exp_common Format Gmf_util List Tablefmt Timeunit Traffic Workload

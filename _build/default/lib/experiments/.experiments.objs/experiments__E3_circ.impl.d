@@ -1,0 +1,1 @@
+lib/experiments/e3_circ.ml: Analysis Click Ethernet Exp_common Gmf_util List Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e3_circ.mli: Gmf_util

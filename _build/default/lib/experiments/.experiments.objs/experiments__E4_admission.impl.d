@@ -1,0 +1,1 @@
+lib/experiments/e4_admission.ml: Analysis Array Baseline Ethernet Exp_common Gmf_util List Network Printf Tablefmt Timeunit Traffic Workload

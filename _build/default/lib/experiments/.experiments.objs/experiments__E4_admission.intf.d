@@ -1,0 +1,1 @@
+lib/experiments/e4_admission.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e5_validation.ml: Analysis Array Exp_common Gmf_util List Printf Rng Sim Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e5_validation.mli: Gmf_util Traffic

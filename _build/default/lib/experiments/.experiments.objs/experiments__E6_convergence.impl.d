@@ -1,0 +1,1 @@
+lib/experiments/e6_convergence.ml: Analysis Array Ethernet Exp_common Gmf Gmf_util List Network Printf Tablefmt Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+lib/experiments/e7_scaling.ml: Analysis Array Ethernet Exp_common Gmf Gmf_util List Network Printf Sys Tablefmt Timeunit Traffic Workload

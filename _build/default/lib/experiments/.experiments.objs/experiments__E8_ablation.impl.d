@@ -1,0 +1,1 @@
+lib/experiments/e8_ablation.ml: Analysis Array Ethernet Exp_common Gmf Gmf_util List Network Option Printf Sim Tablefmt Timeunit Traffic Workload

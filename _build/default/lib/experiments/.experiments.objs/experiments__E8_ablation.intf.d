@@ -1,0 +1,1 @@
+lib/experiments/e8_ablation.mli: Gmf_util

@@ -1,0 +1,1 @@
+lib/experiments/e9_stride.ml: Array Click Exp_common Gmf_util List Printf Rng Stride String Tablefmt Timeunit

@@ -1,0 +1,101 @@
+open Gmf_util
+
+type row = {
+  priority : int;
+  bound : Timeunit.ns;
+  observed : Timeunit.ns option;
+}
+
+let n_flows = 8
+
+(* Map rank r (0 = lowest) onto one of [levels] classes spread over 0..7,
+   e.g. levels=2 -> classes 0 and 7. *)
+let class_of_rank ~levels rank =
+  let bucket = rank * levels / n_flows in
+  if levels = 1 then 0 else bucket * 7 / (levels - 1)
+
+let scenario ~levels =
+  let topo, hosts, sw =
+    Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:(n_flows + 1) ()
+  in
+  let flows =
+    List.init n_flows (fun rank ->
+        Traffic.Flow.make ~id:rank
+          ~name:(Printf.sprintf "rank%d" rank)
+          ~spec:
+            (Workload.Mpeg.spec
+               ~sizes:
+                 {
+                   Workload.Mpeg.i_plus_p_bytes = 11_000;
+                   p_bytes = 5_000;
+                   b_bytes = 2_000;
+                 }
+               ~deadline:(Timeunit.ms 260) ())
+          ~encap:Ethernet.Encap.Udp
+          ~route:
+            (Network.Route.make topo [ hosts.(rank); sw; hosts.(n_flows) ])
+          ~priority:(class_of_rank ~levels rank)
+          )
+    |> List.rev
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let sweep ?(levels = 8) () =
+  let scenario = scenario ~levels in
+  let report = Analysis.Holistic.analyze scenario in
+  let sim =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.s 2 }
+      scenario
+  in
+  List.map
+    (fun flow ->
+      let id = flow.Traffic.Flow.id in
+      {
+        priority = flow.Traffic.Flow.priority;
+        bound = Exp_common.worst_total report id;
+        observed = Sim.Collector.max_response_flow sim.Sim.Netsim.collector ~flow:id;
+      })
+    (Traffic.Scenario.flows scenario)
+
+let print_rows rows =
+  let table =
+    Tablefmt.create
+      ~columns:
+        [
+          ("rank", Tablefmt.Right); ("802.1p class", Tablefmt.Right);
+          ("analytic bound", Tablefmt.Right); ("sim worst", Tablefmt.Right);
+        ]
+  in
+  List.iteri
+    (fun rank r ->
+      Tablefmt.add_row table
+        [
+          string_of_int rank; string_of_int r.priority;
+          Timeunit.to_string r.bound;
+          (match r.observed with
+          | Some o -> Timeunit.to_string o
+          | None -> "-");
+        ])
+    rows;
+  Tablefmt.print table
+
+let run () =
+  Exp_common.section
+    "E10: 802.1p priority differentiation on a shared egress queue";
+  print_endline "8 priority levels (one class per flow):";
+  let rows8 = sweep () in
+  print_rows rows8;
+  let monotone =
+    let rec check = function
+      | a :: (b :: _ as rest) -> a.bound >= b.bound && check rest
+      | _ -> true
+    in
+    (* rows are in flow id order = rank order (low prio first after rev?) *)
+    check (List.sort (fun a b -> compare a.priority b.priority) rows8)
+  in
+  Exp_common.kv "bounds monotone in priority"
+    (if monotone then "yes (lower class => larger bound)" else "NO");
+  print_newline ();
+  print_endline "2 priority levels (cheap-switch configuration, Section 1):";
+  print_rows (sweep ~levels:2 ())

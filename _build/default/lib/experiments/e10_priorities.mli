@@ -1,0 +1,22 @@
+(** E10 — IEEE 802.1p priority differentiation (Section 1 items ii-iii:
+    2-8 priority levels in commodity switches).
+
+    Eight identical video-like flows, one per 802.1p class, share a single
+    switch egress queue.  The analysis' egress stage is the only
+    priority-sensitive stage (first hop and ingress are priority-blind), so
+    the bounds must decrease monotonically with the class; the simulator
+    must agree.  The experiment also collapses the eight classes onto the
+    2-level configuration the paper says cheap switches offer. *)
+
+type row = {
+  priority : int;
+  bound : Gmf_util.Timeunit.ns;
+  observed : Gmf_util.Timeunit.ns option;
+}
+
+val sweep : ?levels:int -> unit -> row list
+(** [sweep ~levels ()] maps the eight flows onto [levels] 802.1p classes
+    (flows keep their rank order; classes are spread over 0..7).
+    Default 8. *)
+
+val run : unit -> unit

@@ -1,0 +1,20 @@
+(** E11 — switch buffer sizing (extension; see Analysis.Backlog).
+
+    The paper's Figure 5 queues are implicitly unbounded.  This experiment
+    derives, from the completed response-time analysis, how many Ethernet
+    frames each switch queue can ever hold, and validates the bound against
+    the simulator's observed high-water marks on the Figure 1 scenario and
+    the multihop chain. *)
+
+type row = {
+  scenario : string;
+  kind : [ `Egress | `Ingress ];
+  node : Network.Node.id;
+  peer : Network.Node.id;
+  bound_frames : int;
+  observed_frames : int option;
+}
+
+val rows : unit -> row list
+
+val run : unit -> unit

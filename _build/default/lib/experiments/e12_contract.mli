@@ -1,0 +1,21 @@
+(** E12 — GMF contract extraction from metered traffic (extension; see
+    Workload.Contract).
+
+    The paper assumes GMF parameters are given.  This experiment plays the
+    operator who only has packet traces: two noisy MPEG-like sources are
+    metered, the tightest GMF contract is extracted from each trace, the
+    extracted flows are run through the admission controller, and the
+    resulting bounds are compared against flows declared with the encoder's
+    nominal settings. *)
+
+type summary = {
+  trace_packets : int;
+  contract_respected : bool;
+  extracted_admitted : bool;
+  extracted_bound : Gmf_util.Timeunit.ns option;
+  nominal_bound : Gmf_util.Timeunit.ns option;
+}
+
+val compute : ?seed:int -> unit -> summary
+
+val run : unit -> unit

@@ -1,0 +1,18 @@
+(** E13 — capacity planning on the schedulability frontier (extension; see
+    Analysis.Sensitivity).
+
+    Answers, for the Figure 1 workload, the questions an operator asks
+    after "is it schedulable?": the slowest uniform link speed that still
+    meets every deadline, the traffic growth headroom at 10 and
+    100 Mbit/s, and how much slower the switch CPU could be. *)
+
+type answers = {
+  min_rate_bps : int option;
+  headroom_at_10m : float option;
+  headroom_at_100m : float option;
+  cpu_slack : float option;
+}
+
+val compute : unit -> answers
+
+val run : unit -> unit

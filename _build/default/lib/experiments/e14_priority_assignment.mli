@@ -1,0 +1,19 @@
+(** E14 — 802.1p priority-assignment policies (extension; see
+    Analysis.Priority_assign).
+
+    The paper takes priorities as given; the operator must choose them.
+    A mixed workload (VoIP, video, bulk) is assigned classes by each
+    policy at 2 and at 8 levels; the resulting verdicts and worst bounds
+    are compared, including against the exhaustive optimum. *)
+
+type row = {
+  policy : string;
+  levels : int;
+  schedulable : bool;
+  worst_bound : Gmf_util.Timeunit.ns option;
+  voip_bound : Gmf_util.Timeunit.ns option;
+}
+
+val rows : unit -> row list
+
+val run : unit -> unit

@@ -1,0 +1,18 @@
+(** E15 — admission with rerouting (extension; see Analysis.Rerouting and
+    Network.Pathfind).
+
+    The Figure 1 network has two disjoint switch paths between endhosts 0
+    and 3 (via switch 6 directly, or via switches 5 and 6).  Fixed-route
+    admission saturates the direct path and starts rejecting; rerouting
+    admission places the overflow on the longer path.  The experiment
+    offers identical video flows one by one and compares admitted counts. *)
+
+type point = {
+  offered : int;
+  fixed_admitted : int;
+  rerouted_admitted : int;
+}
+
+val sweep : ?max_flows:int -> unit -> point list
+
+val run : unit -> unit

@@ -1,0 +1,21 @@
+(** E16 — software-implemented vs hardware switches (extension).
+
+    The paper's subject is the extra delay a {e software} switch adds: the
+    per-frame CROUTE/CSEND processing and the CIRC task-rotation
+    granularity.  Setting both task costs to zero turns the model into an
+    idealized store-and-forward hardware switch with 802.1p queues, so the
+    same analysis and simulator quantify the software penalty exactly. *)
+
+type comparison = {
+  scenario : string;
+  software_bound : Gmf_util.Timeunit.ns;
+  hardware_bound : Gmf_util.Timeunit.ns;
+  software_observed : Gmf_util.Timeunit.ns;
+  hardware_observed : Gmf_util.Timeunit.ns;
+}
+
+val compare_on : name:string -> rate_bps:int -> comparison
+(** The Figure 1 video flow under both switch models at the given link
+    speed. *)
+
+val run : unit -> unit

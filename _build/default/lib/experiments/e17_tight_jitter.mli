@@ -1,0 +1,20 @@
+(** E17 — tight jitter propagation (extension; see Config.tight_jitter).
+
+    The paper grows the downstream generalized jitter by the full stage
+    response time (Figure 6); classical holistic analysis grows it only by
+    the response-time variability R − R_min.  The experiment measures the
+    bound reduction on the Figure 1 scenario and on multihop chains of
+    increasing length (the gain compounds per hop), and re-validates the
+    tightened bounds against the simulator. *)
+
+type row = {
+  label : string;
+  paper_bound : Gmf_util.Timeunit.ns;
+  tight_bound : Gmf_util.Timeunit.ns;
+  observed : Gmf_util.Timeunit.ns;
+  sound : bool;  (** observed <= tight bound *)
+}
+
+val rows : unit -> row list
+
+val run : unit -> unit

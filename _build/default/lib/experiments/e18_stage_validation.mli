@@ -1,0 +1,22 @@
+(** E18 — stage-level soundness validation (extension).
+
+    E5 validates end-to-end bounds; this experiment drills into the
+    decomposition itself: for every (flow, frame, stage) triple of the
+    Figure 1 scenario, the simulator's largest observed residence in that
+    stage is compared against the stage's analytic response bound from the
+    Figure 6 pipeline.  Every stage bound must dominate — a much stronger
+    check, since end-to-end slack cannot hide a per-stage violation. *)
+
+type row = {
+  flow_name : string;
+  frame : int;
+  stage : string;
+  bound : Gmf_util.Timeunit.ns;
+  observed : Gmf_util.Timeunit.ns option;
+  sound : bool;
+}
+
+val rows : ?scenario:Traffic.Scenario.t -> unit -> row list
+(** Default scenario: Figure 1. *)
+
+val run : unit -> unit

@@ -1,0 +1,24 @@
+(** E19 — randomized mass validation campaign (extension).
+
+    The single strongest piece of evidence for the whole stack: generate
+    many random scenarios (random switch fabrics, random GMF flows on
+    shortest paths), analyze each under both variants, simulate every
+    schedulable one under dense arrivals, and check per-(flow, frame)
+    domination.  Reports aggregate statistics; any violation is listed.
+
+    All randomness is seeded, so the campaign is reproducible. *)
+
+type summary = {
+  scenarios : int;
+  schedulable : int;
+  violations : string list;  (** Human-readable descriptions; empty = sound. *)
+  mean_tightness : float;  (** Mean over schedulable scenarios. *)
+  faithful_smaller : int;
+      (** Scenarios where the paper-literal variant produced a smaller
+          (i.e. potentially unsound) bound than the repaired one. *)
+}
+
+val campaign : ?count:int -> ?seed:int -> unit -> summary
+(** Default 30 scenarios from master seed 7. *)
+
+val run : unit -> unit

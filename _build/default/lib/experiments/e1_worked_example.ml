@@ -1,0 +1,71 @@
+open Gmf_util
+
+type result = {
+  csum : Timeunit.ns;
+  nsum : int;
+  tsum : Timeunit.ns;
+  mft : Timeunit.ns;
+}
+
+let params () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let flow = Traffic.Scenario.flow scenario Workload.Scenarios.video_flow_id in
+  (flow, Traffic.Scenario.params scenario flow ~src:0 ~dst:4)
+
+let compute () =
+  let flow, p = params () in
+  {
+    csum = Traffic.Link_params.csum p;
+    nsum = Traffic.Link_params.nsum p;
+    tsum = Traffic.Flow.tsum flow;
+    mft = Traffic.Link_params.mft p;
+  }
+
+let frame_label k =
+  match k with
+  | 0 -> "I+P"
+  | 3 | 6 -> "P"
+  | _ -> "B"
+
+let run () =
+  Exp_common.section
+    "E1: worked example (Figures 3-4, Section 3.1) - MPEG stream on \
+     link(0,4) at 10 Mbit/s";
+  let flow, p = params () in
+  let spec = flow.Traffic.Flow.spec in
+  let table =
+    Tablefmt.create
+      ~columns:
+        [
+          ("k", Tablefmt.Right); ("type", Tablefmt.Left);
+          ("S (payload b)", Tablefmt.Right); ("nbits", Tablefmt.Right);
+          ("eth frames", Tablefmt.Right); ("C on link(0,4)", Tablefmt.Right);
+          ("T", Tablefmt.Right); ("GJ", Tablefmt.Right);
+        ]
+  in
+  for k = 0 to Gmf.Spec.n spec - 1 do
+    let f = Gmf.Spec.frame spec k in
+    Tablefmt.add_row table
+      [
+        string_of_int k; frame_label k;
+        string_of_int f.Gmf.Frame_spec.payload_bits;
+        string_of_int (Traffic.Flow.nbits flow k);
+        string_of_int p.Traffic.Link_params.eth_frames.(k);
+        Timeunit.to_string p.Traffic.Link_params.c.(k);
+        Timeunit.to_string f.Gmf.Frame_spec.period;
+        Timeunit.to_string f.Gmf.Frame_spec.jitter;
+      ]
+  done;
+  Tablefmt.print table;
+  let r = compute () in
+  print_newline ();
+  Exp_common.check_line ~label:"NSUM (eq 5, Ethernet frames per cycle)"
+    ~expected:"94" ~got:(string_of_int r.nsum);
+  Exp_common.check_line ~label:"TSUM (eq 6, cycle length)" ~expected:"270ms"
+    ~got:(Timeunit.to_string r.tsum);
+  Exp_common.check_line ~label:"MFT (eq 1)" ~expected:"1.2304ms"
+    ~got:(Timeunit.to_string r.mft);
+  Exp_common.kv "CSUM (eq 4; paper digits OCR-damaged, repair R4)"
+    (Timeunit.to_string r.csum);
+  Exp_common.kv "link utilization CSUM/TSUM"
+    (Printf.sprintf "%.4f" (Traffic.Link_params.utilization p))

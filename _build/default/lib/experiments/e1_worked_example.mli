@@ -1,0 +1,20 @@
+(** E1 — the worked example of Section 3.1 / Figures 3 and 4.
+
+    Regenerates, for the Figure 3 MPEG stream on link(0,4) at 10 Mbit/s:
+    the per-frame transmission times C_i^k, the Ethernet-frame counts,
+    CSUM (eq 4), NSUM (eq 5), TSUM (eq 6) and MFT (eq 1), and checks the
+    two values the paper text states (NSUM = 94, TSUM = 270 ms) plus
+    MFT = 1.2304 ms. *)
+
+type result = {
+  csum : Gmf_util.Timeunit.ns;
+  nsum : int;
+  tsum : Gmf_util.Timeunit.ns;
+  mft : Gmf_util.Timeunit.ns;
+}
+
+val compute : unit -> result
+(** The derived values, without printing. *)
+
+val run : unit -> unit
+(** Print the full Figure-4-style table and the paper-vs-measured checks. *)

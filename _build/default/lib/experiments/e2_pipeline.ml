@@ -1,0 +1,71 @@
+open Gmf_util
+
+let report () =
+  Analysis.Holistic.analyze (Workload.Scenarios.fig1_videoconf ())
+
+let stage_columns stages =
+  List.map
+    (fun (sr : Analysis.Result_types.stage_response) ->
+      Format.asprintf "%a" Analysis.Stage.pp sr.Analysis.Result_types.stage)
+    stages
+
+let run () =
+  Exp_common.section
+    "E2: end-to-end bounds on the Figure 1 network (algorithm of Figure 6)";
+  let r = report () in
+  Exp_common.kv "verdict" (Exp_common.verdict_string r);
+  Exp_common.kv "holistic rounds" (string_of_int r.Analysis.Holistic.rounds);
+  print_newline ();
+  (* Per-stage breakdown of the video flow (route of Figure 2). *)
+  let video = Exp_common.flow_result r Workload.Scenarios.video_flow_id in
+  let sample = video.Analysis.Result_types.frames.(0) in
+  let columns =
+    [ ("frame", Tablefmt.Right) ]
+    @ List.map
+        (fun c -> (c, Tablefmt.Right))
+        (stage_columns sample.Analysis.Result_types.stages)
+    @ [ ("R (total)", Tablefmt.Right); ("D", Tablefmt.Right);
+        ("slack", Tablefmt.Right) ]
+  in
+  let table = Tablefmt.create ~columns in
+  Array.iter
+    (fun (fr : Analysis.Result_types.frame_result) ->
+      Tablefmt.add_row table
+        ([ string_of_int fr.Analysis.Result_types.frame ]
+        @ List.map
+            (fun (sr : Analysis.Result_types.stage_response) ->
+              Timeunit.to_string sr.Analysis.Result_types.response)
+            fr.Analysis.Result_types.stages
+        @ [
+            Timeunit.to_string fr.Analysis.Result_types.total;
+            Timeunit.to_string fr.Analysis.Result_types.deadline;
+            Timeunit.to_string (Analysis.Result_types.slack fr);
+          ]))
+    video.Analysis.Result_types.frames;
+  print_endline "video flow 0->4->6->3 (Figure 2), per GMF frame:";
+  Tablefmt.print table;
+  print_newline ();
+  (* Summary over all flows. *)
+  let summary =
+    Tablefmt.create
+      ~columns:
+        [
+          ("flow", Tablefmt.Left); ("prio", Tablefmt.Right);
+          ("worst R", Tablefmt.Right); ("D", Tablefmt.Right);
+          ("meets", Tablefmt.Left);
+        ]
+  in
+  List.iter
+    (fun res ->
+      let worst = Analysis.Result_types.worst_frame res in
+      Tablefmt.add_row summary
+        [
+          res.Analysis.Result_types.flow.Traffic.Flow.name;
+          string_of_int res.Analysis.Result_types.flow.Traffic.Flow.priority;
+          Timeunit.to_string worst.Analysis.Result_types.total;
+          Timeunit.to_string worst.Analysis.Result_types.deadline;
+          (if Analysis.Result_types.meets_deadline worst then "yes" else "NO");
+        ])
+    r.Analysis.Holistic.results;
+  print_endline "all flows, worst frame:";
+  Tablefmt.print summary

@@ -1,0 +1,11 @@
+(** E2 — end-to-end response-time bounds on the example network
+    (Figures 1, 2 and 6).
+
+    Runs the holistic analysis on the Figure 1 scenario and prints, for the
+    Figure 2 video flow, the per-frame per-stage breakdown produced by the
+    Figure 6 algorithm, plus a worst-case summary for every flow. *)
+
+val report : unit -> Analysis.Holistic.report
+(** The holistic analysis of the Figure 1 scenario. *)
+
+val run : unit -> unit

@@ -1,0 +1,20 @@
+(** E3 — sensitivity to CIRC(N), the task-service rotation time
+    (Section 2.2 and the multiprocessor discussion in the Conclusions).
+
+    Sweeps switch configurations (port count x processors) on the Figure 1
+    scenario and reports the video flow's end-to-end bound, reproducing the
+    paper's two headline CIRC values (4 ports / 1 CPU -> 14.8 us;
+    48 ports / 16 CPUs -> 11.1 us) and the Conclusions' claim that the
+    16-processor switch keeps up with 1 Gbit/s links (CIRC < MFT). *)
+
+type row = {
+  ports : int;
+  processors : int;
+  circ : Gmf_util.Timeunit.ns;
+  video_bound : Gmf_util.Timeunit.ns option;
+      (** None when the configuration is unschedulable. *)
+}
+
+val sweep : unit -> row list
+
+val run : unit -> unit

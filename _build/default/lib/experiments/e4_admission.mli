@@ -1,0 +1,20 @@
+(** E4 — admission-controller comparison: GMF analysis vs the sporadic-model
+    baseline (Section 3.5's admission controller; the gain of the GMF model
+    is the paper's motivation for adopting it).
+
+    Identical video-like GMF flows are offered one by one on a fixed path
+    through one switch; both admission controllers run greedily.  The GMF
+    analysis knows only one I-sized packet per cycle exists, while the
+    sporadic abstraction must assume every packet is I-sized, so it
+    saturates far earlier. *)
+
+type point = {
+  offered : int;  (** Number of flows offered so far. *)
+  offered_utilization : float;  (** Bottleneck-link utilization offered. *)
+  gmf_admitted : int;
+  sporadic_admitted : int;
+}
+
+val sweep : ?max_flows:int -> unit -> point list
+
+val run : unit -> unit

@@ -1,0 +1,113 @@
+open Gmf_util
+
+type row = {
+  name : string;
+  schedulable : bool;
+  sound : bool;
+  worst_bound : Timeunit.ns;
+  worst_observed : Timeunit.ns;
+  tightness : float;
+}
+
+let validate ?(duration = Timeunit.s 2) ?(busy_poll = false) ~name scenario =
+  let report = Analysis.Holistic.analyze scenario in
+  if not (Analysis.Holistic.is_schedulable report) then
+    {
+      name;
+      schedulable = false;
+      sound = true;
+      worst_bound = 0;
+      worst_observed = 0;
+      tightness = 0.;
+    }
+  else begin
+    let sim =
+      Sim.Netsim.run
+        ~config:{ Sim.Sim_config.default with duration; busy_poll }
+        scenario
+    in
+    let sound = ref true in
+    let worst_bound = ref 0 in
+    let worst_observed = ref 0 in
+    let tightness = ref 0. in
+    List.iter
+      (fun res ->
+        let flow_id = res.Analysis.Result_types.flow.Traffic.Flow.id in
+        Array.iter
+          (fun (fr : Analysis.Result_types.frame_result) ->
+            let bound = fr.Analysis.Result_types.total in
+            worst_bound := max !worst_bound bound;
+            match
+              Sim.Collector.max_response sim.Sim.Netsim.collector
+                ~flow:flow_id ~frame:fr.Analysis.Result_types.frame
+            with
+            | None -> ()
+            | Some observed ->
+                worst_observed := max !worst_observed observed;
+                if observed > bound then sound := false;
+                let t = float_of_int observed /. float_of_int bound in
+                if t > !tightness then tightness := t)
+          res.Analysis.Result_types.frames)
+      report.Analysis.Holistic.results;
+    {
+      name;
+      schedulable = true;
+      sound = !sound;
+      worst_bound = !worst_bound;
+      worst_observed = !worst_observed;
+      tightness = !tightness;
+    }
+  end
+
+let random_star seed =
+  let rng = Rng.create ~seed in
+  let topo, hosts, _sw =
+    Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:4 ()
+  in
+  let pairs = Workload.Random_gen.random_pairs rng ~hosts ~count:4 in
+  let flows = Workload.Random_gen.flows_between rng ~topo ~pairs () in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let rows () =
+  [
+    validate ~name:"fig1-videoconf" (Workload.Scenarios.fig1_videoconf ());
+    validate ~name:"fig1 (busy-poll cpu)" ~busy_poll:true
+      (Workload.Scenarios.fig1_videoconf ());
+    validate ~name:"voip-star" (Workload.Scenarios.single_switch_voip ());
+    validate ~name:"multihop-chain" (Workload.Scenarios.multihop_chain ());
+    validate ~name:"enterprise-tree" (Workload.Scenarios.enterprise ());
+  ]
+  @ List.map
+      (fun seed -> validate ~name:(Printf.sprintf "random-%d" seed)
+          (random_star seed))
+      [ 1; 2; 3; 4; 5 ]
+
+let run () =
+  Exp_common.section
+    "E5: soundness validation - simulator observations vs analytic bounds";
+  let table =
+    Tablefmt.create
+      ~columns:
+        [
+          ("scenario", Tablefmt.Left); ("schedulable", Tablefmt.Left);
+          ("worst bound", Tablefmt.Right); ("worst observed", Tablefmt.Right);
+          ("tightness", Tablefmt.Right); ("sound", Tablefmt.Left);
+        ]
+  in
+  let all_sound = ref true in
+  List.iter
+    (fun r ->
+      if not r.sound then all_sound := false;
+      Tablefmt.add_row table
+        [
+          r.name;
+          (if r.schedulable then "yes" else "no (skipped)");
+          (if r.schedulable then Timeunit.to_string r.worst_bound else "-");
+          (if r.schedulable then Timeunit.to_string r.worst_observed else "-");
+          (if r.schedulable then Printf.sprintf "%.3f" r.tightness else "-");
+          (if r.sound then "yes" else "VIOLATED");
+        ])
+    (rows ());
+  Tablefmt.print table;
+  Exp_common.kv "all bounds dominate observations"
+    (if !all_sound then "yes" else "NO - soundness violation!")

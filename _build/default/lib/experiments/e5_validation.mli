@@ -1,0 +1,32 @@
+(** E5 — soundness validation: analytic bounds vs simulated worst cases.
+
+    For every scenario the analysis declares schedulable, the discrete-event
+    simulator (which implements exactly the Figure 5 switch model) is run
+    under dense periodic arrivals, and the largest observed response of
+    every (flow, frame) pair is compared against its analytic bound.  The
+    bound must dominate every observation; the tightness column reports
+    observed/bound for the worst pair. *)
+
+type row = {
+  name : string;
+  schedulable : bool;
+  sound : bool;  (** Every observation at or below its bound. *)
+  worst_bound : Gmf_util.Timeunit.ns;
+  worst_observed : Gmf_util.Timeunit.ns;
+  tightness : float;  (** max over pairs of observed/bound, 0 when idle. *)
+}
+
+val validate :
+  ?duration:Gmf_util.Timeunit.ns ->
+  ?busy_poll:bool ->
+  name:string ->
+  Traffic.Scenario.t ->
+  row
+(** Analyze + simulate one scenario; [busy_poll] selects the adversarial
+    switch-CPU model (idle tasks burn their quantum). *)
+
+val rows : unit -> row list
+(** The standard E5 suite: Figure 1 (with both CPU models), VoIP star,
+    multihop chain, and five seeded random scenarios. *)
+
+val run : unit -> unit

@@ -1,0 +1,20 @@
+(** E6 — convergence boundary of the fixed-point analysis
+    (eqs 20 and 34–35).
+
+    Two identical flows share one path through a switch; shrinking their
+    period drives the shared-link utilization towards and past 1.  The
+    experiment reports the eq-20/34-35 utilizations, the holistic verdict,
+    the rounds needed, and the video bound — showing the bound blowing up
+    as U -> 1 and the analysis refusing to converge past it. *)
+
+type point = {
+  period : Gmf_util.Timeunit.ns;
+  link_utilization : float;  (** eq 20 / eqs 34-35 term. *)
+  verdict : string;
+  rounds : int;
+  bound : Gmf_util.Timeunit.ns option;
+}
+
+val sweep : unit -> point list
+
+val run : unit -> unit

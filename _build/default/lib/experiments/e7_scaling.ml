@@ -1,0 +1,106 @@
+open Gmf_util
+
+type row = { label : string; parameter : int; seconds : float }
+
+let time_it f =
+  (* Median of three runs, in CPU seconds. *)
+  let once () =
+    let t0 = Sys.time () in
+    ignore (f ());
+    Sys.time () -. t0
+  in
+  let samples = List.sort compare [ once (); once (); once () ] in
+  List.nth samples 1
+
+let star_with_flows count =
+  let topo, hosts, sw =
+    Workload.Topologies.star ~rate_bps:1_000_000_000 ~hosts:(2 * count) ()
+  in
+  let flows =
+    List.init count (fun id ->
+        Traffic.Flow.make ~id
+          ~name:(Printf.sprintf "v%d" id)
+          ~spec:(Workload.Mpeg.spec ~deadline:(Timeunit.ms 260) ())
+          ~encap:Ethernet.Encap.Udp
+          ~route:
+            (Network.Route.make topo [ hosts.(2 * id); sw; hosts.((2 * id) + 1) ])
+          ~priority:(id mod 8))
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let flows_axis () =
+  List.map
+    (fun count ->
+      let scenario = star_with_flows count in
+      {
+        label = "flows";
+        parameter = count;
+        seconds = time_it (fun () -> Analysis.Holistic.analyze scenario);
+      })
+    [ 2; 4; 8; 16; 32 ]
+
+let hops_axis () =
+  List.map
+    (fun switches ->
+      let scenario =
+        Workload.Scenarios.multihop_chain ~switches
+          ~rate_bps:1_000_000_000 ()
+      in
+      {
+        label = "switches";
+        parameter = switches;
+        seconds = time_it (fun () -> Analysis.Holistic.analyze scenario);
+      })
+    [ 2; 4; 8; 16 ]
+
+let chain_spec n =
+  (* A GMF cycle of n frames alternating large and small packets. *)
+  Gmf.Spec.make
+    (List.init n (fun k ->
+         Gmf.Frame_spec.make ~period:(Timeunit.ms 30)
+           ~deadline:(Timeunit.ms (30 * n))
+           ~jitter:(Timeunit.ms 1)
+           ~payload_bits:(if k mod 3 = 0 then 8 * 44_000 else 8 * 8_000)))
+
+let frames_axis () =
+  List.map
+    (fun n ->
+      let topo, hosts, sw =
+        Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:2 ()
+      in
+      let flows =
+        List.init 2 (fun id ->
+            Traffic.Flow.make ~id
+              ~name:(Printf.sprintf "f%d" id)
+              ~spec:(chain_spec n) ~encap:Ethernet.Encap.Udp
+              ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+              ~priority:5)
+      in
+      let scenario = Traffic.Scenario.make ~topo ~flows () in
+      {
+        label = "n_frames";
+        parameter = n;
+        seconds = time_it (fun () -> Analysis.Holistic.analyze scenario);
+      })
+    [ 3; 9; 18; 36 ]
+
+let print_axis title rows =
+  print_endline title;
+  let table =
+    Tablefmt.create
+      ~columns:
+        [ ("parameter", Tablefmt.Right); ("analysis CPU time", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row table
+        [ string_of_int r.parameter; Printf.sprintf "%.4fs" r.seconds ])
+    rows;
+  Tablefmt.print table;
+  print_newline ()
+
+let run () =
+  Exp_common.section "E7: analysis cost scaling (admission-control latency)";
+  print_axis "flows sharing one switch:" (flows_axis ());
+  print_axis "switches on the route (multihop chain):" (hops_axis ());
+  print_axis "GMF frames per cycle (n_i):" (frames_axis ())

@@ -1,0 +1,127 @@
+open Gmf_util
+
+type comparison = {
+  flow_name : string;
+  faithful : Timeunit.ns;
+  repaired : Timeunit.ns;
+}
+
+let fig1_comparison () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let rep_f = Analysis.Holistic.analyze ~config:Analysis.Config.faithful scenario in
+  let rep_r = Analysis.Holistic.analyze scenario in
+  List.map
+    (fun flow ->
+      let id = flow.Traffic.Flow.id in
+      {
+        flow_name = flow.Traffic.Flow.name;
+        faithful = Exp_common.worst_total rep_f id;
+        repaired = Exp_common.worst_total rep_r id;
+      })
+    (Traffic.Scenario.flows scenario)
+
+let zero_jitter_scenario () =
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:2 () in
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 10) ~deadline:(Timeunit.ms 50)
+          ~jitter:0 ~payload_bits:(8 * 1_472);
+      ]
+  in
+  let flows =
+    List.init 2 (fun id ->
+        Traffic.Flow.make ~id
+          ~name:(Printf.sprintf "f%d" id)
+          ~spec ~encap:Ethernet.Encap.Udp
+          ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+          ~priority:5)
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let zero_jitter_demo () =
+  let scenario = zero_jitter_scenario () in
+  let rep_f = Analysis.Holistic.analyze ~config:Analysis.Config.faithful scenario in
+  let rep_r = Analysis.Holistic.analyze scenario in
+  let comparison =
+    {
+      flow_name = "f0 (zero jitter, shared source)";
+      faithful = Exp_common.worst_total rep_f 0;
+      repaired = Exp_common.worst_total rep_r 0;
+    }
+  in
+  (* Simulate with synchronized bunched releases: both flows' packets land
+     in the source queue at the same instants. *)
+  let sim =
+    Sim.Netsim.run
+      ~config:
+        {
+          Sim.Sim_config.default with
+          duration = Timeunit.ms 500;
+          jitter = Sim.Sim_config.Bunched;
+        }
+      scenario
+  in
+  let observed =
+    Option.value ~default:0
+      (Sim.Collector.max_response_flow sim.Sim.Netsim.collector ~flow:0)
+  in
+  (comparison, observed)
+
+let carry_in_demo () =
+  (* The Figure 3 stream's frame 1 queues behind the oversized I+P packet
+     (repair R8): per-frame comparison on fig1. *)
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let bound config frame =
+    let report = Analysis.Holistic.analyze ~config scenario in
+    let res = Exp_common.flow_result report Workload.Scenarios.video_flow_id in
+    res.Analysis.Result_types.frames.(frame).Analysis.Result_types.total
+  in
+  (bound Analysis.Config.faithful 1, bound Analysis.Config.default 1)
+
+let run () =
+  Exp_common.section
+    "E8: ablation - paper-literal (Faithful) vs Repaired equations";
+  print_endline "Figure 1 scenario (source jitter 1 ms on video):";
+  let table =
+    Tablefmt.create
+      ~columns:
+        [
+          ("flow", Tablefmt.Left); ("faithful R", Tablefmt.Right);
+          ("repaired R", Tablefmt.Right); ("repaired/faithful", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun c ->
+      Tablefmt.add_row table
+        [
+          c.flow_name;
+          Timeunit.to_string c.faithful;
+          Timeunit.to_string c.repaired;
+          Exp_common.ratio c.repaired c.faithful;
+        ])
+    (fig1_comparison ());
+  Tablefmt.print table;
+  print_newline ();
+  print_endline
+    "zero-jitter stress (two synchronized flows, one source queue):";
+  let c, observed = zero_jitter_demo () in
+  Exp_common.kv "faithful bound (eqs 10/17 literal)"
+    (Timeunit.to_string c.faithful);
+  Exp_common.kv "repaired bound (R7)" (Timeunit.to_string c.repaired);
+  Exp_common.kv "simulator worst observed" (Timeunit.to_string observed);
+  Exp_common.kv "faithful sound here?"
+    (if observed > c.faithful then
+       "NO - observation exceeds it (the defect repair R7 fixes)"
+     else "yes");
+  Exp_common.kv "repaired sound here?"
+    (if observed > c.repaired then "NO" else "yes");
+  print_newline ();
+  print_endline "own-flow carry-in on fig1's video frame 1 (repair R8):";
+  let faithful_f1, repaired_f1 = carry_in_demo () in
+  Exp_common.kv "paper-literal bound" (Timeunit.to_string faithful_f1);
+  Exp_common.kv "repaired bound (includes I+P backlog)"
+    (Timeunit.to_string repaired_f1);
+  Exp_common.kv "why it matters"
+    "the simulator observes ~12.8ms at the first hop alone, above the \
+     literal first-hop bound (see E18)" 

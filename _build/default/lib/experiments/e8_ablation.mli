@@ -1,0 +1,25 @@
+(** E8 — ablation of the documented repairs (DESIGN.md R1/R2/R7):
+    paper-literal [Faithful] equations vs the [Repaired] variant.
+
+    Two comparisons:
+
+    - on the Figure 1 scenario (non-zero source jitter), the two variants
+      differ moderately — the repairs only add own-Ethernet-frame rotation
+      charges and critical-instant interference;
+    - on a zero-jitter two-flow scenario, the Faithful equations lose the
+      competing flow entirely (MX(0) = 0, repair R7) and produce a bound
+      the simulator immediately exceeds — demonstrating why the repair is
+      needed for soundness. *)
+
+type comparison = {
+  flow_name : string;
+  faithful : Gmf_util.Timeunit.ns;
+  repaired : Gmf_util.Timeunit.ns;
+}
+
+val fig1_comparison : unit -> comparison list
+
+val zero_jitter_demo : unit ->
+  comparison * Gmf_util.Timeunit.ns (* observed in simulation *)
+
+val run : unit -> unit

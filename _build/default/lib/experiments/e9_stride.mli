@@ -1,0 +1,29 @@
+(** E9 — stride-scheduler characterization (Section 2.2, citing
+    Waldspurger & Weihl).
+
+    Reproduces the defining behaviours the analysis relies on:
+
+    - proportional service: a 3:2:1 ticket allocation yields 3:2:1 service
+      counts with per-task error bounded by the task count;
+    - the all-tickets-equal configuration (Click's default, the paper's
+      assumption) degenerates to exact round-robin, which is what makes
+      CIRC(N) = NINTERFACES x (CROUTE + CSEND) the worst-case service
+      interval;
+    - inside the simulated switch, two consecutive services of the same
+      task are never further apart than CIRC(N). *)
+
+type allocation_row = {
+  tickets : int;
+  runs : int;
+  expected : float;
+  error : float;
+}
+
+val allocation_table : steps:int -> int list -> allocation_row list
+(** Service counts after [steps] quanta for the given ticket vector. *)
+
+val max_service_gap_in_switch : unit -> Gmf_util.Timeunit.ns * Gmf_util.Timeunit.ns
+(** (worst observed gap between ingress-task services in a simulated loaded
+    switch, the analytic CIRC bound). *)
+
+val run : unit -> unit

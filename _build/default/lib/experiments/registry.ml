@@ -1,0 +1,71 @@
+type entry = { id : string; description : string; run : unit -> unit }
+
+let all =
+  [
+    { id = "E1";
+      description =
+        "Worked example: Figure 3 MPEG stream on link(0,4) (CSUM/NSUM/TSUM/MFT)";
+      run = E1_worked_example.run };
+    { id = "E2";
+      description =
+        "End-to-end bounds on the Figure 1 network (Figure 6 pipeline)";
+      run = E2_pipeline.run };
+    { id = "E3";
+      description = "CIRC sensitivity and multiprocessor switches (Conclusions)";
+      run = E3_circ.run };
+    { id = "E4";
+      description = "Admission ratio: GMF analysis vs sporadic baseline";
+      run = E4_admission.run };
+    { id = "E5";
+      description = "Soundness validation: simulator vs analytic bounds";
+      run = E5_validation.run };
+    { id = "E6";
+      description = "Convergence boundary of the fixed points (eqs 20/34-35)";
+      run = E6_convergence.run };
+    { id = "E7";
+      description = "Analysis cost scaling (flows / hops / cycle length)";
+      run = E7_scaling.run };
+    { id = "E8";
+      description = "Ablation: paper-literal vs repaired equations";
+      run = E8_ablation.run };
+    { id = "E9";
+      description = "Stride-scheduler characterization (Section 2.2)";
+      run = E9_stride.run };
+    { id = "E10";
+      description = "802.1p priority differentiation (2-8 levels)";
+      run = E10_priorities.run };
+    { id = "E11";
+      description =
+        "Switch buffer sizing: backlog bounds vs simulated high-water marks";
+      run = E11_backlog.run };
+    { id = "E12";
+      description = "GMF contract extraction from metered packet traces";
+      run = E12_contract.run };
+    { id = "E13";
+      description = "Capacity planning: searches on the schedulability frontier";
+      run = E13_sizing.run };
+    { id = "E14";
+      description = "802.1p priority-assignment policies vs the optimum";
+      run = E14_priority_assignment.run };
+    { id = "E15";
+      description = "Admission with rerouting vs fixed routes";
+      run = E15_rerouting.run };
+    { id = "E16";
+      description = "Software vs idealized hardware switches";
+      run = E16_hardware.run };
+    { id = "E17";
+      description = "Tight jitter propagation vs the paper's full-R rule";
+      run = E17_tight_jitter.run };
+    { id = "E18";
+      description = "Stage-level validation: per-stage residences vs bounds";
+      run = E18_stage_validation.run };
+    { id = "E19";
+      description = "Randomized mass validation campaign";
+      run = E19_fuzz_campaign.run };
+  ]
+
+let find id =
+  let target = String.uppercase_ascii id in
+  List.find_opt (fun e -> e.id = target) all
+
+let run_all () = List.iter (fun e -> e.run ()) all

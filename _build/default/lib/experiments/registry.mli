@@ -1,0 +1,13 @@
+(** Experiment registry: maps experiment ids (E1..E10) to their drivers.
+    Used by the [gmfnet experiment] CLI command and the test suite. *)
+
+type entry = { id : string; description : string; run : unit -> unit }
+
+val all : entry list
+(** Every experiment, in id order. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by id ("e4" matches "E4"). *)
+
+val run_all : unit -> unit
+(** Run every experiment in order. *)

@@ -1,0 +1,1 @@
+lib/gmf/dbf.ml: Array Demand Gmf_util List Spec Timeunit

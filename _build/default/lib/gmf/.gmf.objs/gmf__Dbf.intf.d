@@ -1,0 +1,1 @@
+lib/gmf/dbf.mli: Frame_spec Gmf_util Spec

@@ -1,0 +1,1 @@
+lib/gmf/demand.ml: Array Gmf_util Timeunit

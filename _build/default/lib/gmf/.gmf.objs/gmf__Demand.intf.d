@@ -1,0 +1,1 @@
+lib/gmf/demand.mli: Gmf_util

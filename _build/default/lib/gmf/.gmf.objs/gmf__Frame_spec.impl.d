@@ -1,0 +1,1 @@
+lib/gmf/frame_spec.ml: Format Gmf_util Timeunit

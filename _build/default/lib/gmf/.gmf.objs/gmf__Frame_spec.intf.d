@@ -1,0 +1,1 @@
+lib/gmf/frame_spec.mli: Format Gmf_util

@@ -1,0 +1,1 @@
+lib/gmf/spec.ml: Array Format Frame_spec Gmf_util Timeunit

@@ -1,0 +1,1 @@
+lib/gmf/spec.mli: Format Frame_spec Gmf_util

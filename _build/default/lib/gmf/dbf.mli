@@ -1,0 +1,46 @@
+(** Demand-bound functions and the EDF feasibility test for GMF tasks on a
+    single preemptive resource — the original analysis of Baruah, Chen,
+    Gorinsky & Mok ("Generalized multiframe tasks", Real-Time Systems 17,
+    1999), the paper's reference [6].
+
+    The multihop analysis of this library never needs EDF, but the
+    single-resource test is the natural sanity baseline for GMF parameter
+    choices (and for validating a source node that schedules its own
+    packets by deadline), so it ships as part of the GMF substrate.
+
+    [dbf t] is the largest total demand of jobs that have both their
+    arrival and their absolute deadline inside any interval of length [t],
+    over all release sequences permitted by the GMF contract (densest
+    releases, every cyclic starting frame). *)
+
+type t
+
+val make :
+  costs:int array ->
+  periods:Gmf_util.Timeunit.ns array ->
+  deadlines:Gmf_util.Timeunit.ns array ->
+  t
+(** Same validation rules as {!Demand.make}; deadlines must be positive. *)
+
+val of_spec : Spec.t -> cost_of:(Frame_spec.t -> int) -> t
+(** Convenience: derive costs from a spec (e.g. transmission times via a
+    link, or execution times). *)
+
+val dbf : t -> Gmf_util.Timeunit.ns -> int
+(** [dbf t dt] for [dt >= 0]; 0 for negative [dt].  Takes
+    O(n * (dt / TSUM + n)) time. *)
+
+val utilization : t -> float
+(** CSUM / TSUM — [dbf t / t] converges to this as [t] grows. *)
+
+val deadline_events : t -> horizon:Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns list
+(** All distinct interval lengths at which this task's [dbf] can step,
+    up to [horizon]: the points an exact EDF test must check. *)
+
+val edf_feasible : horizon:Gmf_util.Timeunit.ns -> t list -> bool
+(** [edf_feasible ~horizon tasks] checks [sum_j dbf_j(t) <= t] at every
+    deadline event up to [horizon].  With [horizon] at least
+    [max deadline + TSUM_total / (1 - U)] this is exact for [U < 1]
+    (standard busy-period argument); it returns [false] immediately when
+    total utilization exceeds 1.  Raises [Invalid_argument] if
+    [horizon <= 0]. *)

@@ -1,0 +1,89 @@
+open Gmf_util
+
+type t = {
+  n : int;
+  costs : int array;
+  periods : Timeunit.ns array;
+  cost_prefix : int array; (* cost_prefix.(i) = sum of costs.(0..i-1), i <= 2n *)
+  span_prefix : int array; (* span_prefix.(i) = sum of periods.(0..i-1), i <= 2n *)
+  cost_total : int;
+  tsum : Timeunit.ns;
+}
+
+let make ~costs ~periods =
+  let n = Array.length costs in
+  if n = 0 then invalid_arg "Demand.make: empty cycle";
+  if Array.length periods <> n then
+    invalid_arg "Demand.make: costs/periods length mismatch";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Demand.make: negative cost")
+    costs;
+  Array.iter
+    (fun p -> if p < 0 then invalid_arg "Demand.make: negative period")
+    periods;
+  (* Prefix sums over two unrolled cycles let any window of up to n frames
+     starting anywhere be summed in O(1). *)
+  let prefix arr =
+    let p = Array.make ((2 * n) + 1) 0 in
+    for i = 0 to (2 * n) - 1 do
+      p.(i + 1) <- p.(i) + arr.(i mod n)
+    done;
+    p
+  in
+  let cost_prefix = prefix costs in
+  let span_prefix = prefix periods in
+  let cost_total = cost_prefix.(n) in
+  let tsum = span_prefix.(n) in
+  if tsum <= 0 then invalid_arg "Demand.make: zero cycle length";
+  { n; costs = Array.copy costs; periods = Array.copy periods;
+    cost_prefix; span_prefix; cost_total; tsum }
+
+let n t = t.n
+let cost_total t = t.cost_total
+let tsum t = t.tsum
+
+(* Cost of [len] frames starting at [k1]: wraps whole cycles analytically and
+   reads the remainder from the unrolled prefix table. *)
+let window_cost t ~k1 ~len =
+  if k1 < 0 then invalid_arg "Demand.window_cost: negative k1";
+  if len < 0 then invalid_arg "Demand.window_cost: negative len";
+  let k1 = k1 mod t.n in
+  let cycles = len / t.n and rest = len mod t.n in
+  (cycles * t.cost_total) + t.cost_prefix.(k1 + rest) - t.cost_prefix.(k1)
+
+let window_span t ~k1 ~len =
+  if k1 < 0 then invalid_arg "Demand.window_span: negative k1";
+  if len < 0 then invalid_arg "Demand.window_span: negative len";
+  if len <= 1 then 0
+  else begin
+    let k1 = k1 mod t.n in
+    let m = len - 1 in
+    let cycles = m / t.n and rest = m mod t.n in
+    (cycles * t.tsum) + t.span_prefix.(k1 + rest) - t.span_prefix.(k1)
+  end
+
+let small t ~capped dt =
+  if dt < 0 then 0
+  else begin
+    let best = ref 0 in
+    for k1 = 0 to t.n - 1 do
+      for len = 1 to t.n do
+        if window_span t ~k1 ~len <= dt then begin
+          let cost = window_cost t ~k1 ~len in
+          let cost = if capped then min dt cost else cost in
+          if cost > !best then best := cost
+        end
+      done
+    done;
+    !best
+  end
+
+let bound t ~capped dt =
+  if dt < 0 then 0
+  else begin
+    let cycles = dt / t.tsum in
+    let rest = dt - (cycles * t.tsum) in
+    (cycles * t.cost_total) + small t ~capped rest
+  end
+
+let utilization t = float_of_int t.cost_total /. float_of_int t.tsum

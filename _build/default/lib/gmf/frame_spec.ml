@@ -1,0 +1,23 @@
+open Gmf_util
+
+type t = {
+  period : Timeunit.ns;
+  deadline : Timeunit.ns;
+  jitter : Timeunit.ns;
+  payload_bits : int;
+}
+
+let make ~period ~deadline ~jitter ~payload_bits =
+  if period < 0 then invalid_arg "Frame_spec.make: negative period";
+  if deadline <= 0 then invalid_arg "Frame_spec.make: non-positive deadline";
+  if jitter < 0 then invalid_arg "Frame_spec.make: negative jitter";
+  if payload_bits < 0 then invalid_arg "Frame_spec.make: negative payload";
+  { period; deadline; jitter; payload_bits }
+
+let equal a b =
+  a.period = b.period && a.deadline = b.deadline && a.jitter = b.jitter
+  && a.payload_bits = b.payload_bits
+
+let pp fmt t =
+  Format.fprintf fmt "{T=%a; D=%a; GJ=%a; S=%db}" Timeunit.pp t.period
+    Timeunit.pp t.deadline Timeunit.pp t.jitter t.payload_bits

@@ -1,0 +1,36 @@
+(** One frame of a generalized multiframe (GMF) flow (paper Section 2.3).
+
+    A GMF flow cycles through [n_i] frames; frame [k] is described by four
+    scalars, one element from each of the tuples T_i, D_i, GJ_i, S_i:
+
+    - [period]: T_i^k, the minimum separation between the arrival of frame
+      [k] and frame [k+1] at the source;
+    - [deadline]: D_i^k, the relative end-to-end deadline of frame [k];
+    - [jitter]: GJ_i^k, the generalized jitter at the source — all Ethernet
+      frames of the packet are released within [\[t, t + GJ_i^k)] of its
+      arrival [t];
+    - [payload_bits]: S_i^k, the application payload of the UDP packet. *)
+
+type t = private {
+  period : Gmf_util.Timeunit.ns;
+  deadline : Gmf_util.Timeunit.ns;
+  jitter : Gmf_util.Timeunit.ns;
+  payload_bits : int;
+}
+
+val make :
+  period:Gmf_util.Timeunit.ns ->
+  deadline:Gmf_util.Timeunit.ns ->
+  jitter:Gmf_util.Timeunit.ns ->
+  payload_bits:int ->
+  t
+(** [make ~period ~deadline ~jitter ~payload_bits] validates and builds a
+    frame.  Raises [Invalid_argument] if [period < 0], [deadline <= 0],
+    [jitter < 0], or [payload_bits < 0].  (A zero period is legal in the GMF
+    model — two frames may arrive simultaneously — as long as the whole
+    cycle has positive length; {!Spec.make} checks that.) *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [{T=30ms; D=100ms; GJ=1ms; S=352000b}]. *)

@@ -1,0 +1,58 @@
+open Gmf_util
+
+type t = { frames : Frame_spec.t array; tsum : Timeunit.ns }
+
+let make frames =
+  if frames = [] then invalid_arg "Spec.make: empty frame list";
+  let frames = Array.of_list frames in
+  let tsum =
+    Array.fold_left (fun acc (f : Frame_spec.t) -> acc + f.period) 0 frames
+  in
+  if tsum <= 0 then invalid_arg "Spec.make: zero-length cycle (TSUM = 0)";
+  { frames; tsum }
+
+let n t = Array.length t.frames
+
+let frame t k =
+  if k < 0 then invalid_arg "Spec.frame: negative index";
+  t.frames.(k mod Array.length t.frames)
+
+let frames t = Array.copy t.frames
+let tsum t = t.tsum
+
+let map_field f t = Array.map f t.frames
+
+let periods t = map_field (fun (f : Frame_spec.t) -> f.period) t
+let deadlines t = map_field (fun (f : Frame_spec.t) -> f.deadline) t
+let jitters t = map_field (fun (f : Frame_spec.t) -> f.jitter) t
+let payloads t = map_field (fun (f : Frame_spec.t) -> f.payload_bits) t
+
+let fold_max f t =
+  Array.fold_left (fun acc fr -> max acc (f fr)) min_int t.frames
+
+let fold_min f t =
+  Array.fold_left (fun acc fr -> min acc (f fr)) max_int t.frames
+
+let max_jitter t = fold_max (fun (f : Frame_spec.t) -> f.jitter) t
+let min_deadline t = fold_min (fun (f : Frame_spec.t) -> f.deadline) t
+let min_period t = fold_min (fun (f : Frame_spec.t) -> f.period) t
+
+let rotate t k =
+  if k < 0 then invalid_arg "Spec.rotate: negative rotation";
+  let len = Array.length t.frames in
+  let k = k mod len in
+  let rotated = Array.init len (fun i -> t.frames.((i + k) mod len)) in
+  { frames = rotated; tsum = t.tsum }
+
+let equal a b =
+  Array.length a.frames = Array.length b.frames
+  && Array.for_all2 Frame_spec.equal a.frames b.frames
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 2>GMF(n=%d, TSUM=%a)[" (n t) Timeunit.pp t.tsum;
+  Array.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf fmt ";@ ";
+      Frame_spec.pp fmt f)
+    t.frames;
+  Format.fprintf fmt "]@]"

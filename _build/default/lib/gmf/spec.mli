@@ -1,0 +1,59 @@
+(** A generalized multiframe specification: the cyclic tuple of frames of one
+    flow (paper Section 2.3).
+
+    The spec is the traffic description at the source node; it knows nothing
+    about routes or link speeds.  Per-link transmission costs are derived by
+    the [traffic] library. *)
+
+type t
+
+val make : Frame_spec.t list -> t
+(** [make frames] builds a spec from the cyclic frame list (frame 0 first).
+    Raises [Invalid_argument] if the list is empty or if the cycle length
+    [TSUM = sum of periods] is zero (the analysis divides by TSUM). *)
+
+val n : t -> int
+(** Number of frames in the cycle (the paper's n_i). *)
+
+val frame : t -> int -> Frame_spec.t
+(** [frame t k] is frame [k mod n t]; any non-negative [k] is accepted so
+    callers can walk the cycle without reducing indices themselves.
+    Raises [Invalid_argument] if [k < 0]. *)
+
+val frames : t -> Frame_spec.t array
+(** A fresh copy of the frame cycle. *)
+
+val tsum : t -> Gmf_util.Timeunit.ns
+(** TSUM_i (eq 6): the minimum cycle length, the sum of all periods. *)
+
+val periods : t -> Gmf_util.Timeunit.ns array
+(** Per-frame periods T_i^k, as a fresh array. *)
+
+val deadlines : t -> Gmf_util.Timeunit.ns array
+(** Per-frame end-to-end deadlines D_i^k. *)
+
+val jitters : t -> Gmf_util.Timeunit.ns array
+(** Per-frame source jitters GJ_i^k. *)
+
+val payloads : t -> int array
+(** Per-frame payload sizes S_i^k in bits. *)
+
+val max_jitter : t -> Gmf_util.Timeunit.ns
+(** [max_jitter t] is max_k GJ_i^k — the paper's [extra] term for a flow at
+    its source. *)
+
+val min_deadline : t -> Gmf_util.Timeunit.ns
+(** Smallest relative deadline across frames (used by the sporadic
+    baseline). *)
+
+val min_period : t -> Gmf_util.Timeunit.ns
+(** Smallest per-frame period (used by the sporadic baseline).  Note that a
+    single period may be 0; the baseline guards against that. *)
+
+val rotate : t -> int -> t
+(** [rotate t k] is the same cyclic spec starting at frame [k] — useful for
+    tests of cycle-invariance.  Raises [Invalid_argument] if [k < 0]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/network/link.ml: Ethernet Format Gmf_util Node Timeunit

@@ -1,0 +1,1 @@
+lib/network/node.mli: Format

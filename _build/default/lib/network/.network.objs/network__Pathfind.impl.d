@@ -1,0 +1,1 @@
+lib/network/pathfind.ml: Link List Node Route Topology

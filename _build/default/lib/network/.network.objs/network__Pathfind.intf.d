@@ -1,0 +1,1 @@
+lib/network/pathfind.mli: Node Route Topology

@@ -1,0 +1,1 @@
+lib/network/route.ml: Array Format Hashtbl List Node Printf Topology

@@ -1,0 +1,1 @@
+lib/network/topology.ml: Array Format Hashtbl Link List Node Option Printf Queue

@@ -1,0 +1,17 @@
+open Gmf_util
+
+type t = { src : Node.id; dst : Node.id; rate_bps : int; prop : Timeunit.ns }
+
+let make ~src ~dst ~rate_bps ~prop =
+  if rate_bps <= 0 then invalid_arg "Link.make: non-positive rate";
+  if prop < 0 then invalid_arg "Link.make: negative propagation delay";
+  if src = dst then invalid_arg "Link.make: self-loop";
+  { src; dst; rate_bps; prop }
+
+let mft t = Ethernet.Fragment.mft ~rate_bps:t.rate_bps
+
+let tx_time t ~nbits = Ethernet.Fragment.tx_time ~nbits ~rate_bps:t.rate_bps
+
+let pp fmt t =
+  Format.fprintf fmt "link(%d->%d, %d bps, prop=%a)" t.src t.dst t.rate_bps
+    Timeunit.pp t.prop

@@ -1,0 +1,26 @@
+(** Directed point-to-point links (paper Section 2.1).
+
+    [linkspeed(N1,N2)] is the bit rate and [prop(N1,N2)] the propagation
+    delay.  Links are directed because the analysis treats each output queue
+    separately; {!Topology.add_duplex_link} installs both directions. *)
+
+type t = private {
+  src : Node.id;
+  dst : Node.id;
+  rate_bps : int;
+  prop : Gmf_util.Timeunit.ns;
+}
+
+val make :
+  src:Node.id -> dst:Node.id -> rate_bps:int -> prop:Gmf_util.Timeunit.ns -> t
+(** Raises [Invalid_argument] if [rate_bps <= 0], [prop < 0], or
+    [src = dst]. *)
+
+val mft : t -> Gmf_util.Timeunit.ns
+(** Maximum-Frame-Transmission-Time of this link (eq 1). *)
+
+val tx_time : t -> nbits:int -> Gmf_util.Timeunit.ns
+(** Transmission time of a whole datagram of [nbits] data bits over this
+    link (the C_i^k of Section 3.1). *)
+
+val pp : Format.formatter -> t -> unit

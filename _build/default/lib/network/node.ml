@@ -1,0 +1,18 @@
+type id = int
+type kind = Endhost | Switch | Router
+type t = { id : id; name : string; kind : kind }
+
+let kind_to_string = function
+  | Endhost -> "endhost"
+  | Switch -> "switch"
+  | Router -> "router"
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+let pp fmt t =
+  Format.fprintf fmt "node%d(%s,%a)" t.id t.name pp_kind t.kind
+
+let is_switch t = t.kind = Switch
+
+let may_terminate_flow t =
+  match t.kind with Endhost | Router -> true | Switch -> false

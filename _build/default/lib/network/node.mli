@@ -1,0 +1,26 @@
+(** Network nodes (paper Section 2.1, Figure 1).
+
+    Three node kinds exist: IP endhosts (PCs running the applications),
+    software-implemented Ethernet switches, and IP routers connecting the
+    analyzed network to the outside.  Flows start and end at endhosts or
+    routers and are relayed only by switches. *)
+
+type id = int
+(** Dense non-negative node identifier, assigned by {!Topology.add_node}. *)
+
+type kind = Endhost | Switch | Router
+
+type t = { id : id; name : string; kind : kind }
+
+val kind_to_string : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["node3(name,endhost)"]. *)
+
+val is_switch : t -> bool
+
+val may_terminate_flow : t -> bool
+(** True for endhosts and routers: the node kinds that can be the source or
+    destination of a flow. *)

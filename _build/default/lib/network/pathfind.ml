@@ -1,0 +1,38 @@
+let all_routes ?(max_hops = 8) topo ~src ~dst =
+  if max_hops < 1 then invalid_arg "Pathfind.all_routes: max_hops < 1";
+  let ok_endpoint n = Node.may_terminate_flow (Topology.node topo n) in
+  if (not (ok_endpoint src)) || not (ok_endpoint dst) then []
+  else begin
+    let results = ref [] in
+    (* DFS over switch-only interiors.  [path] is reversed. *)
+    let rec explore here path hops =
+      if hops > max_hops then ()
+      else
+        List.iter
+          (fun next ->
+            if not (List.mem next path) then
+              if next = dst then
+                results := List.rev (next :: path) :: !results
+              else if Node.is_switch (Topology.node topo next) then
+                explore next (next :: path) (hops + 1))
+          (Topology.out_neighbors topo here)
+    in
+    explore src [ src ] 1;
+    !results
+    |> List.sort (fun a b ->
+           match compare (List.length a) (List.length b) with
+           | 0 -> compare a b
+           | c -> c)
+    |> List.map (Route.make topo)
+  end
+
+let k_shortest ?max_hops ?(k = 4) topo ~src ~dst =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+  in
+  take k (all_routes ?max_hops topo ~src ~dst)
+
+let route_capacity topo route =
+  Route.links route topo
+  |> List.fold_left (fun acc (l : Link.t) -> min acc l.rate_bps) max_int

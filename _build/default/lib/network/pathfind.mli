@@ -1,0 +1,27 @@
+(** Route enumeration beyond the single shortest path.
+
+    The paper takes each flow's route as pre-specified; an operator still
+    has to pick it.  This module enumerates candidate routes (loop-free,
+    switch-only interiors, as {!Route} requires) so admission control can
+    try alternatives when the default path is saturated. *)
+
+val all_routes :
+  ?max_hops:int ->
+  Topology.t ->
+  src:Node.id ->
+  dst:Node.id ->
+  Route.t list
+(** Every valid route from [src] to [dst] with at most [max_hops] links
+    (default 8), ordered by hop count then lexicographically by node
+    sequence.  Exhaustive DFS — intended for the small edge topologies this
+    library targets.  Empty if the endpoints cannot terminate flows or are
+    unreachable. *)
+
+val k_shortest :
+  ?max_hops:int -> ?k:int -> Topology.t -> src:Node.id -> dst:Node.id ->
+  Route.t list
+(** The first [k] (default 4) routes of {!all_routes}. *)
+
+val route_capacity : Topology.t -> Route.t -> int
+(** The smallest link rate along the route (bits/s) — a quick filter for
+    candidate ordering. *)

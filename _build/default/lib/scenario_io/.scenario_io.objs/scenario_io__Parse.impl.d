@@ -1,0 +1,1 @@
+lib/scenario_io/parse.ml: Click Ethernet Format Gmf Hashtbl In_channel List Network Option Printf String Traffic Units

@@ -1,0 +1,1 @@
+lib/scenario_io/parse.mli: Format Traffic

@@ -1,0 +1,1 @@
+lib/scenario_io/print.ml: Array Buffer Click Ethernet Gmf List Network Out_channel Printf String Traffic Units

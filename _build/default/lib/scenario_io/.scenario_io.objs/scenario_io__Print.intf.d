@@ -1,0 +1,1 @@
+lib/scenario_io/print.mli: Traffic

@@ -1,0 +1,1 @@
+lib/scenario_io/units.ml: Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/scenario_io/units.mli: Gmf_util

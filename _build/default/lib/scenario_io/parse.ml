@@ -1,0 +1,326 @@
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let words line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun w -> w <> "")
+
+(* key=value arguments after the positional words *)
+let parse_kvs lineno tokens =
+  List.map
+    (fun token ->
+      match String.index_opt token '=' with
+      | Some i ->
+          ( String.sub token 0 i,
+            String.sub token (i + 1) (String.length token - i - 1) )
+      | None -> fail lineno "expected key=value, got %S" token)
+    tokens
+
+let lookup kvs key = List.assoc_opt key kvs
+
+let require lineno kvs key =
+  match lookup kvs key with
+  | Some v -> v
+  | None -> fail lineno "missing required argument %s=..." key
+
+let reject_unknown lineno kvs allowed =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then fail lineno "unknown argument %S" k)
+    kvs
+
+let unit_arg lineno parse what value =
+  match parse value with Ok v -> v | Error msg -> fail lineno "%s: %s" what msg
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type pending_flow = {
+  f_line : int;
+  f_name : string;
+  f_from : string;
+  f_to : string;
+  f_route : string list option;
+  f_prio : int;
+  f_encap : Ethernet.Encap.t;
+  f_remarks : (string * string * int) list; (* (src, dst, priority) *)
+  mutable f_frames : Gmf.Frame_spec.t list; (* reversed *)
+}
+
+type state = {
+  topo : Network.Topology.t;
+  names : (string, Network.Node.id) Hashtbl.t;
+  mutable switches : (Network.Node.id * Click.Switch_model.t) list;
+  mutable flows : Traffic.Flow.t list; (* reversed *)
+  mutable next_flow_id : int;
+  mutable current : pending_flow option;
+}
+
+let node_id st lineno name =
+  match Hashtbl.find_opt st.names name with
+  | Some id -> id
+  | None -> fail lineno "unknown node %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Directives                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let directive_node st lineno = function
+  | [ name; kind ] ->
+      if Hashtbl.mem st.names name then fail lineno "duplicate node %S" name;
+      let kind =
+        match kind with
+        | "endhost" -> Network.Node.Endhost
+        | "switch" -> Network.Node.Switch
+        | "router" -> Network.Node.Router
+        | other -> fail lineno "unknown node kind %S" other
+      in
+      Hashtbl.replace st.names name
+        (Network.Topology.add_node st.topo ~name ~kind)
+  | _ -> fail lineno "usage: node <name> endhost|switch|router"
+
+let link_args st lineno src dst rest =
+  let kvs = parse_kvs lineno rest in
+  reject_unknown lineno kvs [ "rate"; "prop" ];
+  let rate = unit_arg lineno Units.rate "rate" (require lineno kvs "rate") in
+  let prop =
+    match lookup kvs "prop" with
+    | Some v -> unit_arg lineno Units.duration "prop" v
+    | None -> 0
+  in
+  (node_id st lineno src, node_id st lineno dst, rate, prop)
+
+let directive_link st lineno = function
+  | src :: dst :: rest ->
+      let src, dst, rate_bps, prop = link_args st lineno src dst rest in
+      (try Network.Topology.add_link st.topo ~src ~dst ~rate_bps ~prop
+       with Invalid_argument msg -> fail lineno "%s" msg)
+  | _ -> fail lineno "usage: link <src> <dst> rate=<rate> [prop=<duration>]"
+
+let directive_duplex st lineno = function
+  | a :: b :: rest ->
+      let a, b, rate_bps, prop = link_args st lineno a b rest in
+      (try Network.Topology.add_duplex_link st.topo ~a ~b ~rate_bps ~prop
+       with Invalid_argument msg -> fail lineno "%s" msg)
+  | _ -> fail lineno "usage: duplex <a> <b> rate=<rate> [prop=<duration>]"
+
+let directive_switch st lineno = function
+  | name :: rest ->
+      let id = node_id st lineno name in
+      let kvs = parse_kvs lineno rest in
+      reject_unknown lineno kvs [ "ports"; "cpus"; "croute"; "csend" ];
+      let int_arg key default =
+        match lookup kvs key with
+        | None -> default
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some i -> i
+            | None -> fail lineno "bad integer for %s: %S" key v)
+      in
+      let ports = int_arg "ports" (max 1 (Network.Topology.degree st.topo id)) in
+      let cpus = int_arg "cpus" 1 in
+      let croute =
+        match lookup kvs "croute" with
+        | Some v -> unit_arg lineno Units.duration "croute" v
+        | None -> Click.Switch_model.default_croute
+      in
+      let csend =
+        match lookup kvs "csend" with
+        | Some v -> unit_arg lineno Units.duration "csend" v
+        | None -> Click.Switch_model.default_csend
+      in
+      let model =
+        try
+          Click.Switch_model.make ~croute ~csend ~processors:cpus
+            ~ninterfaces:ports ()
+        with Invalid_argument msg -> fail lineno "%s" msg
+      in
+      if List.mem_assoc id st.switches then
+        fail lineno "duplicate switch directive for %S" name;
+      st.switches <- (id, model) :: st.switches
+  | [] -> fail lineno "usage: switch <name> [ports=..] [cpus=..] ..."
+
+let directive_flow st lineno = function
+  | name :: rest ->
+      if st.current <> None then fail lineno "flow block not closed by 'end'";
+      let kvs = parse_kvs lineno rest in
+      reject_unknown lineno kvs
+        [ "from"; "to"; "route"; "prio"; "encap"; "remark" ];
+      let prio =
+        match lookup kvs "prio" with
+        | None -> 0
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some p when p >= 0 && p <= 7 -> p
+            | _ -> fail lineno "prio must be 0..7, got %S" v)
+      in
+      let encap =
+        match lookup kvs "encap" with
+        | None | Some "udp" -> Ethernet.Encap.Udp
+        | Some "rtp" -> Ethernet.Encap.Rtp_udp
+        | Some other -> fail lineno "unknown encap %S (udp|rtp)" other
+      in
+      let route =
+        Option.map (String.split_on_char ',') (lookup kvs "route")
+      in
+      (* remark=<src>/<dst>:<prio>[,<src>/<dst>:<prio>...] *)
+      let remarks =
+        match lookup kvs "remark" with
+        | None -> []
+        | Some text ->
+            String.split_on_char ',' text
+            |> List.map (fun item ->
+                   match String.split_on_char ':' item with
+                   | [ hop; prio_text ] -> (
+                       match
+                         (String.split_on_char '/' hop,
+                          int_of_string_opt prio_text)
+                       with
+                       | [ src; dst ], Some p -> (src, dst, p)
+                       | _ ->
+                           fail lineno
+                             "bad remark %S (want src/dst:prio)" item)
+                   | _ -> fail lineno "bad remark %S (want src/dst:prio)" item)
+      in
+      st.current <-
+        Some
+          {
+            f_line = lineno;
+            f_name = name;
+            f_from = require lineno kvs "from";
+            f_to = require lineno kvs "to";
+            f_route = route;
+            f_prio = prio;
+            f_encap = encap;
+            f_remarks = remarks;
+            f_frames = [];
+          }
+  | [] -> fail lineno "usage: flow <name> from=<node> to=<node> ..."
+
+let directive_frame st lineno rest =
+  match st.current with
+  | None -> fail lineno "'frame' outside a flow block"
+  | Some flow ->
+      let kvs = parse_kvs lineno rest in
+      reject_unknown lineno kvs [ "period"; "deadline"; "jitter"; "payload" ];
+      let dur key = unit_arg lineno Units.duration key (require lineno kvs key) in
+      let jitter =
+        match lookup kvs "jitter" with
+        | Some v -> unit_arg lineno Units.duration "jitter" v
+        | None -> 0
+      in
+      let payload_bits =
+        unit_arg lineno Units.size_bits "payload" (require lineno kvs "payload")
+      in
+      let frame =
+        try
+          Gmf.Frame_spec.make ~period:(dur "period") ~deadline:(dur "deadline")
+            ~jitter ~payload_bits
+        with Invalid_argument msg -> fail lineno "%s" msg
+      in
+      flow.f_frames <- frame :: flow.f_frames
+
+let finish_flow st lineno =
+  match st.current with
+  | None -> fail lineno "'end' without a flow block"
+  | Some flow ->
+      st.current <- None;
+      if flow.f_frames = [] then
+        fail flow.f_line "flow %S has no frames" flow.f_name;
+      let src = node_id st flow.f_line flow.f_from in
+      let dst = node_id st flow.f_line flow.f_to in
+      let route_nodes =
+        match flow.f_route with
+        | Some names -> List.map (node_id st flow.f_line) names
+        | None -> (
+            match Network.Topology.shortest_path st.topo ~src ~dst with
+            | Some path -> path
+            | None ->
+                fail flow.f_line "no path from %S to %S" flow.f_from flow.f_to)
+      in
+      if route_nodes = [] || List.hd route_nodes <> src then
+        fail flow.f_line "route of %S must start at from=%S" flow.f_name
+          flow.f_from;
+      let spec =
+        try Gmf.Spec.make (List.rev flow.f_frames)
+        with Invalid_argument msg -> fail flow.f_line "%s" msg
+      in
+      let remarks =
+        List.map
+          (fun (src, dst, p) ->
+            ((node_id st flow.f_line src, node_id st flow.f_line dst), p))
+          flow.f_remarks
+      in
+      let traffic_flow =
+        try
+          Traffic.Flow.with_remarks
+            (Traffic.Flow.make ~id:st.next_flow_id ~name:flow.f_name ~spec
+               ~encap:flow.f_encap
+               ~route:(Network.Route.make st.topo route_nodes)
+               ~priority:flow.f_prio)
+            remarks
+        with Invalid_argument msg -> fail flow.f_line "%s" msg
+      in
+      st.next_flow_id <- st.next_flow_id + 1;
+      st.flows <- traffic_flow :: st.flows
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_of_string text =
+  let st =
+    {
+      topo = Network.Topology.create ();
+      names = Hashtbl.create 32;
+      switches = [];
+      flows = [];
+      next_flow_id = 0;
+      current = None;
+    }
+  in
+  try
+    List.iteri
+      (fun index raw ->
+        let lineno = index + 1 in
+        match words (strip_comment raw) with
+        | [] -> ()
+        | "node" :: rest -> directive_node st lineno rest
+        | "link" :: rest -> directive_link st lineno rest
+        | "duplex" :: rest -> directive_duplex st lineno rest
+        | "switch" :: rest -> directive_switch st lineno rest
+        | "flow" :: rest -> directive_flow st lineno rest
+        | "frame" :: rest -> directive_frame st lineno rest
+        | [ "end" ] -> finish_flow st lineno
+        | keyword :: _ -> fail lineno "unknown directive %S" keyword)
+      (String.split_on_char '\n' text);
+    (match st.current with
+    | Some flow -> fail flow.f_line "flow %S not closed by 'end'" flow.f_name
+    | None -> ());
+    match
+      Traffic.Scenario.make ~switches:(List.rev st.switches) ~topo:st.topo
+        ~flows:(List.rev st.flows) ()
+    with
+    | scenario -> Ok scenario
+    | exception Invalid_argument msg -> Error { line = 0; message = msg }
+  with Fail e -> Error e
+
+let scenario_of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> scenario_of_string text
+  | exception Sys_error msg -> Error { line = 0; message = msg }

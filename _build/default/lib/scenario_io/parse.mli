@@ -1,0 +1,32 @@
+(** Parser for the plain-text scenario description language.
+
+    Grammar (one directive per line, [#] starts a comment, blank lines
+    ignored):
+
+    {v
+    node <name> endhost|switch|router
+    link <src> <dst> rate=<rate> [prop=<duration>]       # directed
+    duplex <a> <b> rate=<rate> [prop=<duration>]         # both directions
+    switch <name> [ports=<int>] [cpus=<int>]
+                  [croute=<duration>] [csend=<duration>]
+    flow <name> from=<node> to=<node> [route=<n1>,<n2>,...]
+                [prio=<0..7>] [encap=udp|rtp]
+      frame period=<duration> deadline=<duration>
+            [jitter=<duration>] payload=<size>
+      ... more frames ...
+    end
+    v}
+
+    A [flow] block runs until [end]; it needs at least one [frame].  When
+    [route] is omitted the fewest-hops path is used.  A [switch] directive
+    is optional per switch node (defaults: ports = node degree, 1 CPU, the
+    paper's measured task costs). *)
+
+type error = { line : int; message : string }
+
+val scenario_of_string : string -> (Traffic.Scenario.t, error) result
+
+val scenario_of_file : string -> (Traffic.Scenario.t, error) result
+(** Reads the file; an unreadable file reports on line 0. *)
+
+val pp_error : Format.formatter -> error -> unit

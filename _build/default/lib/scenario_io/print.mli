@@ -1,0 +1,12 @@
+(** Printer for the scenario description language.
+
+    [to_string scenario] renders a description that {!Parse.scenario_of_string}
+    parses back into a structurally identical scenario (round-trip tested).
+    Directed links are printed individually ([link] lines, never [duplex]),
+    routes are always explicit, and every switch with a model gets a
+    [switch] directive, so nothing depends on defaulting rules. *)
+
+val to_string : Traffic.Scenario.t -> string
+
+val to_file : string -> Traffic.Scenario.t -> unit
+(** [to_file path scenario] writes {!to_string} to [path]. *)

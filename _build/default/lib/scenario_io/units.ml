@@ -1,0 +1,70 @@
+let split_suffix str suffixes =
+  (* Longest matching suffix wins ("ms" before "s"). *)
+  let by_length (a, _) (b, _) =
+    compare (String.length b) (String.length a)
+  in
+  let rec find = function
+    | [] -> (str, None)
+    | (suffix, scale) :: rest ->
+        let n = String.length str and m = String.length suffix in
+        if n > m && String.sub str (n - m) m = suffix then
+          (String.sub str 0 (n - m), Some scale)
+        else find rest
+  in
+  find (List.sort by_length suffixes)
+
+let number text =
+  match float_of_string_opt (String.trim text) with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "not a number: %S" text)
+
+let duration str =
+  let text, scale =
+    split_suffix str
+      [ ("ns", 1.); ("us", 1e3); ("ms", 1e6); ("s", 1e9) ]
+  in
+  match number text with
+  | Error _ -> Error (Printf.sprintf "bad duration %S (want e.g. 2.7us)" str)
+  | Ok value ->
+      let scale = Option.value ~default:1. scale in
+      let ns = Float.round (value *. scale) in
+      if ns < 0. then Error (Printf.sprintf "negative duration %S" str)
+      else Ok (int_of_float ns)
+
+let rate str =
+  let text, scale = split_suffix str [ ("k", 1e3); ("M", 1e6); ("G", 1e9) ] in
+  match number text with
+  | Error _ -> Error (Printf.sprintf "bad rate %S (want e.g. 100M)" str)
+  | Ok value ->
+      let scale = Option.value ~default:1. scale in
+      let bps = Float.round (value *. scale) in
+      if bps <= 0. then Error (Printf.sprintf "non-positive rate %S" str)
+      else Ok (int_of_float bps)
+
+let size_bits str =
+  let text, scale = split_suffix str [ ("B", 8.); ("b", 1.) ] in
+  match number text with
+  | Error _ -> Error (Printf.sprintf "bad size %S (want e.g. 1500B)" str)
+  | Ok value ->
+      let scale = Option.value ~default:1. scale in
+      let bits = Float.round (value *. scale) in
+      if bits < 0. then Error (Printf.sprintf "negative size %S" str)
+      else Ok (int_of_float bits)
+
+let print_duration ns =
+  if ns = 0 then "0"
+  else if ns mod 1_000_000_000 = 0 then
+    Printf.sprintf "%ds" (ns / 1_000_000_000)
+  else if ns mod 1_000_000 = 0 then Printf.sprintf "%dms" (ns / 1_000_000)
+  else if ns mod 1_000 = 0 then Printf.sprintf "%dus" (ns / 1_000)
+  else Printf.sprintf "%dns" ns
+
+let print_rate bps =
+  if bps mod 1_000_000_000 = 0 then Printf.sprintf "%dG" (bps / 1_000_000_000)
+  else if bps mod 1_000_000 = 0 then Printf.sprintf "%dM" (bps / 1_000_000)
+  else if bps mod 1_000 = 0 then Printf.sprintf "%dk" (bps / 1_000)
+  else string_of_int bps
+
+let print_size_bits bits =
+  if bits <> 0 && bits mod 8 = 0 then Printf.sprintf "%dB" (bits / 8)
+  else Printf.sprintf "%db" bits

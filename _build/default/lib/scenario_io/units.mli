@@ -1,0 +1,25 @@
+(** Unit-suffixed literal parsing for the scenario description language.
+
+    - durations: ["250ns"], ["2.7us"], ["33ms"], ["1s"], or a bare ["0"];
+    - bit rates: ["10M"], ["100M"], ["1G"], ["9600"], ["64k"] (bits/s);
+    - data sizes: ["1500B"] (bytes) or ["12000b"] (bits).
+
+    All parsers are total: they return [Error message] rather than raise. *)
+
+val duration : string -> (Gmf_util.Timeunit.ns, string) result
+(** Fractional values are rounded to the nearest nanosecond. *)
+
+val rate : string -> (int, string) result
+(** Suffix k/M/G multiplies by 10^3/10^6/10^9.  Must be positive. *)
+
+val size_bits : string -> (int, string) result
+(** ["B"] suffix = bytes, ["b"] or none = bits.  Must be non-negative. *)
+
+val print_duration : Gmf_util.Timeunit.ns -> string
+(** Canonical rendering accepted back by {!duration}. *)
+
+val print_rate : int -> string
+(** Canonical rendering accepted back by {!rate}. *)
+
+val print_size_bits : int -> string
+(** Canonical rendering accepted back by {!size_bits}. *)

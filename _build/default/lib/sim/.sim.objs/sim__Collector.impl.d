@@ -1,0 +1,1 @@
+lib/sim/collector.ml: Gmf_util Hashtbl List Network Option Stats Timeunit Traffic

@@ -1,0 +1,1 @@
+lib/sim/collector.mli: Gmf_util Network Traffic

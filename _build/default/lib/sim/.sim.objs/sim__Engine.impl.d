@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Gmf_util Heap Timeunit

@@ -1,0 +1,1 @@
+lib/sim/netsim.ml: Array Click Collector Engine Ethernet Gmf Gmf_util Hashtbl List Network Option Printf Queue Rng Sim_config Stride Timeunit Traffic

@@ -1,0 +1,1 @@
+lib/sim/netsim.mli: Collector Gmf_util Network Sim_config Traffic

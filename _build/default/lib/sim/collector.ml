@@ -1,0 +1,101 @@
+open Gmf_util
+
+type stage =
+  | S_first of Network.Node.id * Network.Node.id
+  | S_in of Network.Node.id
+  | S_out of Network.Node.id * Network.Node.id
+
+type journey = {
+  j_flow : Traffic.Flow.id;
+  j_frame : int;
+  j_seq : int;
+  j_events : (Timeunit.ns * string) list;  (* chronological *)
+}
+
+type t = {
+  table : (Traffic.Flow.id * int, Stats.t) Hashtbl.t;
+  stage_table : (Traffic.Flow.id * int * stage, Stats.t) Hashtbl.t;
+  mutable journeys : journey list; (* reversed *)
+  mutable released : int;
+  mutable completed : int;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 64;
+    stage_table = Hashtbl.create 256;
+    journeys = [];
+    released = 0;
+    completed = 0;
+  }
+
+let record t ~flow ~frame ~released ~completed =
+  if completed < released then
+    invalid_arg "Collector.record: completion before release";
+  let key = (flow.Traffic.Flow.id, frame) in
+  let stats =
+    match Hashtbl.find_opt t.table key with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.replace t.table key s;
+        s
+  in
+  Stats.add stats (completed - released);
+  t.completed <- t.completed + 1
+
+let note_released t = t.released <- t.released + 1
+
+let completed_count t = t.completed
+let released_count t = t.released
+let incomplete t = t.released - t.completed
+
+let responses t ~flow ~frame = Hashtbl.find_opt t.table (flow, frame)
+
+let max_response t ~flow ~frame =
+  Option.map Stats.max (responses t ~flow ~frame)
+
+let max_response_flow t ~flow =
+  Hashtbl.fold
+    (fun (fid, _) stats acc ->
+      if fid <> flow then acc
+      else
+        match acc with
+        | None -> Some (Stats.max stats)
+        | Some m -> Some (max m (Stats.max stats)))
+    t.table None
+
+let record_stage_span t ~flow ~frame ~stage ~span =
+  if span < 0 then invalid_arg "Collector.record_stage_span: negative span";
+  let key = (flow, frame, stage) in
+  let stats =
+    match Hashtbl.find_opt t.stage_table key with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.replace t.stage_table key s;
+        s
+  in
+  Stats.add stats span
+
+let max_stage_span t ~flow ~frame ~stage =
+  Option.map Stats.max (Hashtbl.find_opt t.stage_table (flow, frame, stage))
+
+let stages_seen t ~flow ~frame =
+  Hashtbl.fold
+    (fun (f, k, stage) _ acc ->
+      if f = flow && k = frame then stage :: acc else acc)
+    t.stage_table []
+  |> List.sort_uniq compare
+
+let record_journey t ~flow ~frame ~seq ~events =
+  t.journeys <-
+    { j_flow = flow; j_frame = frame; j_seq = seq;
+      j_events = List.sort compare events }
+    :: t.journeys
+
+let journeys t = List.rev t.journeys
+
+let flows_seen t =
+  Hashtbl.fold (fun (fid, _) _ acc -> fid :: acc) t.table []
+  |> List.sort_uniq compare

@@ -1,0 +1,87 @@
+(** Per-packet response-time collection.
+
+    The response time of a packet is the span from its GMF arrival at the
+    source (the enqueue of its first Ethernet frame) until the destination
+    has received {e all} its Ethernet frames — the paper's definition in
+    Section 2.1. *)
+
+type stage =
+  | S_first of Network.Node.id * Network.Node.id
+      (** Source output queue + first link (paper Section 3.2). *)
+  | S_in of Network.Node.id  (** Switch ingress, NIC FIFO -> priority queue. *)
+  | S_out of Network.Node.id * Network.Node.id
+      (** Priority queue -> received at the next node. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  flow:Traffic.Flow.t ->
+  frame:int ->
+  released:Gmf_util.Timeunit.ns ->
+  completed:Gmf_util.Timeunit.ns ->
+  unit
+(** Records one completed packet.  Raises [Invalid_argument] if
+    [completed < released]. *)
+
+val note_released : t -> unit
+(** Counts a released packet (matched against completions at the end). *)
+
+val completed_count : t -> int
+val released_count : t -> int
+
+val incomplete : t -> int
+(** Packets released but not completed when the simulation ended (in
+    flight or dropped — the simulator never drops, so in flight). *)
+
+val responses : t -> flow:Traffic.Flow.id -> frame:int -> Gmf_util.Stats.t option
+(** Response-time samples of one (flow, GMF frame) pair; [None] if that
+    frame never completed. *)
+
+val record_stage_span :
+  t ->
+  flow:Traffic.Flow.id ->
+  frame:int ->
+  stage:stage ->
+  span:Gmf_util.Timeunit.ns ->
+  unit
+(** Records one packet's residence in one pipeline stage (measured by the
+    simulator from the instant the whole packet is available at the stage
+    until it has wholly left it).  Raises [Invalid_argument] on a negative
+    span. *)
+
+val max_stage_span :
+  t -> flow:Traffic.Flow.id -> frame:int -> stage:stage ->
+  Gmf_util.Timeunit.ns option
+(** Largest recorded residence of the (flow, frame) pair in the stage. *)
+
+val stages_seen : t -> flow:Traffic.Flow.id -> frame:int -> stage list
+(** The stages with at least one recorded span for the pair. *)
+
+type journey = {
+  j_flow : Traffic.Flow.id;
+  j_frame : int;
+  j_seq : int;  (** Per-flow packet sequence number. *)
+  j_events : (Gmf_util.Timeunit.ns * string) list;
+      (** Chronological boundary events of the packet's life. *)
+}
+
+val record_journey :
+  t -> flow:Traffic.Flow.id -> frame:int -> seq:int ->
+  events:(Gmf_util.Timeunit.ns * string) list -> unit
+(** Store one traced packet's journey (events are sorted on insert). *)
+
+val journeys : t -> journey list
+(** Traced journeys, in completion order. *)
+
+val max_response : t -> flow:Traffic.Flow.id -> frame:int ->
+  Gmf_util.Timeunit.ns option
+(** Largest observed response of the pair. *)
+
+val max_response_flow : t -> flow:Traffic.Flow.id -> Gmf_util.Timeunit.ns option
+(** Largest observed response over all frames of the flow. *)
+
+val flows_seen : t -> Traffic.Flow.id list
+(** Flow ids with at least one completion, ascending. *)

@@ -1,0 +1,33 @@
+open Gmf_util
+
+type event = { time : Timeunit.ns; action : unit -> unit }
+
+type t = { heap : event Heap.t; mutable clock : Timeunit.ns }
+
+let create () =
+  { heap = Heap.create ~cmp:(fun a b -> compare a.time b.time) (); clock = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push t.heap { time = at; action }
+
+let schedule_after t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~at:(t.clock + delay) action
+
+let run ?(until = max_int) t =
+  let rec loop () =
+    match Heap.peek t.heap with
+    | None -> ()
+    | Some ev when ev.time > until -> ()
+    | Some _ ->
+        let ev = Heap.pop_exn t.heap in
+        t.clock <- ev.time;
+        ev.action ();
+        loop ()
+  in
+  loop ()
+
+let pending t = Heap.length t.heap

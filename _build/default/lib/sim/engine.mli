@@ -1,0 +1,28 @@
+(** Discrete-event simulation engine.
+
+    A time-ordered heap of callbacks.  Events scheduled at the same instant
+    run in scheduling order (the heap is FIFO among equal keys), which keeps
+    runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Gmf_util.Timeunit.ns
+(** Current simulation time (0 before the first event runs). *)
+
+val schedule_at : t -> at:Gmf_util.Timeunit.ns -> (unit -> unit) -> unit
+(** [schedule_at t ~at f] runs [f] at absolute time [at].
+    Raises [Invalid_argument] if [at] is in the past. *)
+
+val schedule_after : t -> delay:Gmf_util.Timeunit.ns -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] runs [f] [delay] nanoseconds from now.
+    Raises [Invalid_argument] on a negative delay. *)
+
+val run : ?until:Gmf_util.Timeunit.ns -> t -> unit
+(** [run ?until t] processes events in time order.  Events with a timestamp
+    strictly greater than [until] remain queued (default: run to
+    exhaustion). *)
+
+val pending : t -> int
+(** Number of queued events. *)

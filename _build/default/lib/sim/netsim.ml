@@ -1,0 +1,540 @@
+open Gmf_util
+
+(* ------------------------------------------------------------------ *)
+(* Entities                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type packet = {
+  flow : Traffic.Flow.t;
+  frame : int;
+  seq : int; (* per-flow packet sequence number *)
+  released : Timeunit.ns;
+  mutable last_release : Timeunit.ns;
+      (* when the packet's final Ethernet frame entered the source queue *)
+  nfrags : int;
+  mutable arrived : int;
+  mutable marks : ((char * Network.Node.id) * Timeunit.ns) list;
+      (* last time a fragment crossed a stage boundary: 'a' = arrived at a
+         switch's ingress FIFO, 'e' = enqueued in its priority queue *)
+}
+
+type fragment = { packet : packet; wire_bits : int }
+
+(* An outgoing NIC: a FIFO buffer feeding one directed link.  Source nodes
+   use it directly as their per-link output queue; switches use it as the
+   network card's FIFO that the egress task refills.  Following the paper's
+   model, a frame occupies the card until its transmission completes, so
+   the egress task refills only then — the link can idle for up to one task
+   rotation between frames, exactly the effect the analysis' NX * CIRC
+   terms cover.  [on_idle] fires when the card drains completely. *)
+type port = {
+  link : Network.Link.t;
+  buffer : fragment Queue.t;
+  mutable busy : bool;
+  mutable on_idle : unit -> unit;
+}
+
+type task_kind = Task_ingress | Task_egress
+
+type iface = {
+  neighbor : Network.Node.id;
+  in_fifo : fragment Queue.t;
+  prio : fragment Queue.t array; (* indexed by 802.1p priority, 0..7 *)
+  out_port : port option; (* None when there is no link towards neighbor *)
+  mutable in_fifo_max : int;  (* high-water mark of the ingress NIC FIFO *)
+  mutable prio_backlog : int; (* current total frames across prio queues *)
+  mutable prio_max : int;     (* high-water mark of the egress prio queues *)
+}
+
+type processor = {
+  sched : Stride.Scheduler.t;
+  tasks : (task_kind * iface) array; (* index = stride task id *)
+  croute : Timeunit.ns;
+  csend : Timeunit.ns;
+  mutable running : bool;
+  mutable busy_ns : Timeunit.ns; (* cumulative task execution time *)
+}
+
+type switch_state = {
+  sw_node : Network.Node.id;
+  ifaces : iface array;
+  by_neighbor : (Network.Node.id, iface) Hashtbl.t;
+  proc_of_iface : processor array; (* same index space as [ifaces] *)
+}
+
+type state = {
+  engine : Engine.t;
+  scenario : Traffic.Scenario.t;
+  collector : Collector.t;
+  switches : (Network.Node.id, switch_state) Hashtbl.t;
+  source_ports : (Network.Node.id * Network.Node.id, port) Hashtbl.t;
+  frag_bits : (Traffic.Flow.id * int, int list) Hashtbl.t;
+  config : Sim_config.t;
+  master_rng : Rng.t;
+  mutable dropped : int;
+  mutable traced : int; (* journeys recorded so far *)
+}
+
+type report = {
+  collector : Collector.t;
+  sim_end : Timeunit.ns;
+  packets_released : int;
+  packets_completed : int;
+  fragments_dropped : int;
+      (* Ethernet frames discarded at full switch queues (always 0 with
+         unbounded queues) *)
+  cpu_utilization : (Network.Node.id * float) list;
+      (* per switch: the busiest processor's task-execution time as a
+         fraction of the simulated span *)
+  egress_backlog : ((Network.Node.id * Network.Node.id) * int) list;
+      (* ((switch, next hop), max frames ever waiting in its priority
+         queues), for every switch interface with an outgoing link *)
+  ingress_backlog : ((Network.Node.id * Network.Node.id) * int) list;
+      (* ((switch, predecessor), max frames ever waiting in its NIC
+         ingress FIFO) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Link transmission                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec try_transmit st port =
+  if not port.busy then
+    match Queue.take_opt port.buffer with
+    | None -> ()
+    | Some frag ->
+        port.busy <- true;
+        let tx =
+          Timeunit.tx_time_ns ~bits:frag.wire_bits
+            ~rate_bps:port.link.Network.Link.rate_bps
+        in
+        Engine.schedule_after st.engine ~delay:tx (fun () ->
+            port.busy <- false;
+            Engine.schedule_after st.engine ~delay:port.link.Network.Link.prop
+              (fun () -> deliver st port.link frag);
+            if Queue.is_empty port.buffer then port.on_idle ();
+            try_transmit st port)
+
+(* ------------------------------------------------------------------ *)
+(* Reception                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and set_mark packet kind node time =
+  packet.marks <- ((kind, node), time) :: List.remove_assoc (kind, node) packet.marks
+
+(* Derive per-stage residences from the boundary marks once the packet has
+   fully arrived, mirroring the analysis' stage decomposition. *)
+and record_stage_spans (st : state) packet completed =
+  let record stage from_t to_t =
+    if from_t >= 0 && to_t >= from_t then
+      Collector.record_stage_span st.collector
+        ~flow:packet.flow.Traffic.Flow.id ~frame:packet.frame ~stage
+        ~span:(to_t - from_t)
+  in
+  let mark kind node =
+    Option.value ~default:(-1) (List.assoc_opt (kind, node) packet.marks)
+  in
+  let route = packet.flow.Traffic.Flow.route in
+  let dest = Network.Route.destination packet.flow.Traffic.Flow.route in
+  let arrival node = if node = dest then completed else mark 'a' node in
+  let source = Network.Route.source route in
+  let first_next = Network.Route.succ route source in
+  record (Collector.S_first (source, first_next)) packet.last_release
+    (arrival first_next);
+  List.iter
+    (fun n ->
+      let next = Network.Route.succ route n in
+      record (Collector.S_in n) (mark 'a' n) (mark 'e' n);
+      record (Collector.S_out (n, next)) (mark 'e' n) (arrival next))
+    (Network.Route.intermediate_switches route)
+
+and deliver st link frag =
+  let here = link.Network.Link.dst in
+  let packet = frag.packet in
+  if here = Traffic.Flow.destination packet.flow then begin
+    packet.arrived <- packet.arrived + 1;
+    if packet.arrived = packet.nfrags then begin
+      let completed = Engine.now st.engine in
+      Collector.record st.collector ~flow:packet.flow ~frame:packet.frame
+        ~released:packet.released ~completed;
+      record_stage_spans st packet completed;
+      if st.traced < st.config.Sim_config.trace_limit then begin
+        st.traced <- st.traced + 1;
+        let events =
+          ((packet.released, "released at source") ::
+           (packet.last_release, "last Ethernet frame queued") ::
+           (completed, "all Ethernet frames at destination") ::
+           List.map
+             (fun ((kind, node), time) ->
+               ( time,
+                 Printf.sprintf
+                   (if kind = 'a' then "last frame into switch %d"
+                    else "last frame into priority queue of switch %d")
+                   node ))
+             packet.marks)
+        in
+        Collector.record_journey st.collector ~flow:packet.flow.Traffic.Flow.id
+          ~frame:packet.frame ~seq:packet.seq ~events
+      end
+    end
+  end
+  else begin
+    let sw =
+      match Hashtbl.find_opt st.switches here with
+      | Some sw -> sw
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Netsim: node %d relays but is not a switch" here)
+    in
+    let iface = Hashtbl.find sw.by_neighbor link.Network.Link.src in
+    let full =
+      match st.config.Sim_config.queue_capacity with
+      | Some cap -> Queue.length iface.in_fifo >= cap
+      | None -> false
+    in
+    if full then st.dropped <- st.dropped + 1
+    else begin
+      set_mark frag.packet 'a' here (Engine.now st.engine);
+      Queue.push frag iface.in_fifo;
+      if Queue.length iface.in_fifo > iface.in_fifo_max then
+        iface.in_fifo_max <- Queue.length iface.in_fifo;
+      let idx = ref (-1) in
+      Array.iteri (fun i ifc -> if ifc == iface then idx := i) sw.ifaces;
+      wake st sw sw.proc_of_iface.(!idx)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Switch CPU: stride-scheduled ingress/egress tasks                  *)
+(* ------------------------------------------------------------------ *)
+
+and highest_prio_frag iface =
+  let rec scan p =
+    if p < 0 then None
+    else
+      match Queue.take_opt iface.prio.(p) with
+      | Some frag -> Some frag
+      | None -> scan (p - 1)
+  in
+  scan (Array.length iface.prio - 1)
+
+and task_ready (kind, iface) =
+  match kind with
+  | Task_ingress -> not (Queue.is_empty iface.in_fifo)
+  | Task_egress -> begin
+      match iface.out_port with
+      | None -> false
+      | Some port ->
+          (* The card is free only when nothing waits in it AND nothing is
+             on the wire (paper model: one committed frame at a time). *)
+          Queue.is_empty port.buffer && not port.busy
+          && Array.exists (fun q -> not (Queue.is_empty q)) iface.prio
+    end
+
+(* One dispatch decision.  A task with no work costs nothing (Click's idle
+   poll is far below CROUTE/CSEND); after a full fruitless rotation the CPU
+   sleeps until {!wake}.  Skipping idle tasks for free makes the simulator
+   only faster than the analysis' CIRC-per-rotation worst case, never
+   slower, preserving the bound-domination property checked by E5. *)
+and cpu_step st sw proc scans =
+  if scans >= Array.length proc.tasks then proc.running <- false
+  else begin
+    let tid = Stride.Scheduler.select proc.sched in
+    let ((kind, iface) as task) = proc.tasks.(tid) in
+    if not (task_ready task) then begin
+      if st.config.Sim_config.busy_poll then begin
+        (* Adversarial CPU model: the idle task still burns its quantum,
+           matching the CIRC(N) worst case of the analysis. *)
+        let cost =
+          match kind with
+          | Task_ingress -> proc.croute
+          | Task_egress -> proc.csend
+        in
+        proc.busy_ns <- proc.busy_ns + cost;
+        Engine.schedule_after st.engine ~delay:cost (fun () ->
+            cpu_step st sw proc (scans + 1))
+      end
+      else cpu_step st sw proc (scans + 1)
+    end
+    else
+      match kind with
+      | Task_ingress ->
+          let frag = Queue.pop iface.in_fifo in
+          proc.busy_ns <- proc.busy_ns + proc.croute;
+          Engine.schedule_after st.engine ~delay:proc.croute (fun () ->
+              route_fragment st sw frag;
+              cpu_step st sw proc 0)
+      | Task_egress ->
+          let frag = Option.get (highest_prio_frag iface) in
+          iface.prio_backlog <- iface.prio_backlog - 1;
+          proc.busy_ns <- proc.busy_ns + proc.csend;
+          Engine.schedule_after st.engine ~delay:proc.csend (fun () ->
+              let port = Option.get iface.out_port in
+              Queue.push frag port.buffer;
+              try_transmit st port;
+              cpu_step st sw proc 0)
+  end
+
+and route_fragment st sw frag =
+  let next = Network.Route.succ frag.packet.flow.Traffic.Flow.route sw.sw_node in
+  match Hashtbl.find_opt sw.by_neighbor next with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Netsim: switch %d has no interface towards %d"
+           sw.sw_node next)
+  | Some iface ->
+      let full =
+        match st.config.Sim_config.queue_capacity with
+        | Some cap -> iface.prio_backlog >= cap
+        | None -> false
+      in
+      if full then st.dropped <- st.dropped + 1
+      else begin
+        set_mark frag.packet 'e' sw.sw_node (Engine.now st.engine);
+        let prio =
+          Traffic.Flow.priority_on frag.packet.flow ~src:sw.sw_node ~dst:next
+        in
+        Queue.push frag iface.prio.(prio);
+        iface.prio_backlog <- iface.prio_backlog + 1;
+        if iface.prio_backlog > iface.prio_max then
+          iface.prio_max <- iface.prio_backlog;
+        let idx = ref (-1) in
+        Array.iteri (fun i ifc -> if ifc == iface then idx := i) sw.ifaces;
+        wake st sw sw.proc_of_iface.(!idx)
+      end
+
+and wake st sw proc =
+  if not proc.running then begin
+    proc.running <- true;
+    Engine.schedule_after st.engine ~delay:0 (fun () -> cpu_step st sw proc 0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let neighbors_of topo node =
+  (* Union of outgoing and incoming link peers, deterministic order. *)
+  let outs = Network.Topology.out_neighbors topo node in
+  let ins =
+    Network.Topology.links topo
+    |> List.filter_map (fun l ->
+           if l.Network.Link.dst = node then Some l.Network.Link.src else None)
+  in
+  List.sort_uniq compare (outs @ ins)
+
+let build_switch st node =
+  let topo = Traffic.Scenario.topo st.scenario in
+  let model = Traffic.Scenario.switch_model st.scenario node in
+  let neighbor_ids = neighbors_of topo node in
+  let make_iface neighbor =
+    let out_port =
+      Network.Topology.find_link topo ~src:node ~dst:neighbor
+      |> Option.map (fun link ->
+             { link; buffer = Queue.create (); busy = false;
+               on_idle = (fun () -> ()) })
+    in
+    {
+      neighbor;
+      in_fifo = Queue.create ();
+      prio = Array.init 8 (fun _ -> Queue.create ());
+      out_port;
+      in_fifo_max = 0;
+      prio_backlog = 0;
+      prio_max = 0;
+    }
+  in
+  let ifaces = Array.of_list (List.map make_iface neighbor_ids) in
+  let per_proc = Click.Switch_model.interfaces_per_processor model in
+  let nprocs = Timeunit.cdiv (max 1 (Array.length ifaces)) per_proc in
+  let proc_ifaces =
+    Array.init nprocs (fun p ->
+        Array.to_list ifaces
+        |> List.filteri (fun i _ -> i / per_proc = p))
+  in
+  let make_proc ifcs =
+    let tasks =
+      List.concat_map
+        (fun ifc -> [ (Task_ingress, ifc); (Task_egress, ifc) ])
+        ifcs
+      |> Array.of_list
+    in
+    {
+      sched = Stride.Scheduler.round_robin ~ntasks:(Array.length tasks);
+      tasks;
+      croute = model.Click.Switch_model.croute;
+      csend = model.Click.Switch_model.csend;
+      running = false;
+      busy_ns = 0;
+    }
+  in
+  let procs = Array.map make_proc proc_ifaces in
+  let proc_of_iface =
+    Array.init (Array.length ifaces) (fun i -> procs.(i / per_proc))
+  in
+  let by_neighbor = Hashtbl.create 8 in
+  Array.iter (fun ifc -> Hashtbl.replace by_neighbor ifc.neighbor ifc) ifaces;
+  let sw = { sw_node = node; ifaces; by_neighbor; proc_of_iface } in
+  (* NIC drain events make the egress task runnable again. *)
+  Array.iteri
+    (fun i ifc ->
+      match ifc.out_port with
+      | None -> ()
+      | Some port ->
+          port.on_idle <- (fun () -> wake st sw sw.proc_of_iface.(i)))
+    ifaces;
+  Hashtbl.replace st.switches node sw
+
+let source_port st source next_hop =
+  let key = (source, next_hop) in
+  match Hashtbl.find_opt st.source_ports key with
+  | Some port -> port
+  | None ->
+      let topo = Traffic.Scenario.topo st.scenario in
+      let link = Network.Topology.link_exn topo ~src:source ~dst:next_hop in
+      let port =
+        { link; buffer = Queue.create (); busy = false;
+          on_idle = (fun () -> ()) }
+      in
+      Hashtbl.replace st.source_ports key port;
+      port
+
+let fragment_bits st flow frame =
+  let key = (flow.Traffic.Flow.id, frame) in
+  match Hashtbl.find_opt st.frag_bits key with
+  | Some bits -> bits
+  | None ->
+      let nbits = Traffic.Flow.nbits flow frame in
+      let bits = Ethernet.Fragment.fragment_wire_bits ~nbits in
+      Hashtbl.replace st.frag_bits key bits;
+      bits
+
+(* ------------------------------------------------------------------ *)
+(* Traffic generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let jitter_offsets st rng ~nfrags ~gj =
+  if gj = 0 || nfrags <= 1 then List.init nfrags (fun _ -> 0)
+  else
+    match st.config.Sim_config.jitter with
+    | Sim_config.Bunched -> List.init nfrags (fun _ -> 0)
+    | Sim_config.Spread -> List.init nfrags (fun f -> f * gj / nfrags)
+    | Sim_config.Random ->
+        let offsets =
+          List.init (nfrags - 1) (fun _ -> Rng.int rng gj)
+          |> List.sort compare
+        in
+        0 :: offsets
+
+let start_flow st flow =
+  let rng = Rng.split st.master_rng in
+  let spec = flow.Traffic.Flow.spec in
+  let n = Gmf.Spec.n spec in
+  let source = Traffic.Flow.source flow in
+  let next_hop = Network.Route.succ flow.Traffic.Flow.route source in
+  let port = source_port st source next_hop in
+  let seq_counter = ref 0 in
+  let release_packet k time =
+    Collector.note_released st.collector;
+    let bits = fragment_bits st flow k in
+    let packet =
+      { flow; frame = k; seq = !seq_counter; released = time;
+        last_release = time; nfrags = List.length bits; arrived = 0;
+        marks = [] }
+    in
+    incr seq_counter;
+    let gj = (Gmf.Spec.frame spec k).Gmf.Frame_spec.jitter in
+    let offsets = jitter_offsets st rng ~nfrags:packet.nfrags ~gj in
+    packet.last_release <-
+      time + List.fold_left max 0 offsets;
+    List.iter2
+      (fun wire_bits offset ->
+        Engine.schedule_at st.engine ~at:(time + offset) (fun () ->
+            Queue.push { packet; wire_bits } port.buffer;
+            try_transmit st port))
+      bits offsets
+  in
+  let rec arrivals k time =
+    if time < st.config.Sim_config.duration then begin
+      release_packet k time;
+      let period = (Gmf.Spec.frame spec k).Gmf.Frame_spec.period in
+      let slack =
+        match st.config.Sim_config.release with
+        | Sim_config.Periodic -> 0
+        | Sim_config.Random_slack f ->
+            if period = 0 then 0
+            else
+              int_of_float
+                (Rng.exponential rng ~mean:(f *. float_of_int period))
+      in
+      let next = time + period + slack in
+      Engine.schedule_at st.engine ~at:next (fun () ->
+          arrivals ((k + 1) mod n) next)
+    end
+  in
+  let phase =
+    if st.config.Sim_config.random_phasing then
+      Rng.int rng (Gmf.Spec.tsum spec)
+    else 0
+  in
+  Engine.schedule_at st.engine ~at:phase (fun () -> arrivals 0 phase)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = Sim_config.default) scenario =
+  let st =
+    {
+      engine = Engine.create ();
+      scenario;
+      collector = Collector.create ();
+      switches = Hashtbl.create 16;
+      source_ports = Hashtbl.create 16;
+      frag_bits = Hashtbl.create 64;
+      config;
+      master_rng = Rng.create ~seed:config.Sim_config.seed;
+      dropped = 0;
+      traced = 0;
+    }
+  in
+  List.iter (build_switch st) (Traffic.Scenario.switch_nodes scenario);
+  List.iter (start_flow st) (Traffic.Scenario.flows scenario);
+  Engine.run st.engine;
+  let egress_backlog = ref [] and ingress_backlog = ref [] in
+  let cpu_utilization = ref [] in
+  let span = max 1 (Engine.now st.engine) in
+  Hashtbl.iter
+    (fun node sw ->
+      (* Deduplicate processors by physical identity (they contain
+         closures, so structural comparison is unusable). *)
+      let distinct =
+        Array.fold_left
+          (fun acc p -> if List.memq p acc then acc else p :: acc)
+          [] sw.proc_of_iface
+      in
+      let busiest =
+        List.fold_left (fun acc p -> max acc p.busy_ns) 0 distinct
+      in
+      cpu_utilization :=
+        (node, float_of_int busiest /. float_of_int span)
+        :: !cpu_utilization;
+      Array.iter
+        (fun ifc ->
+          if ifc.out_port <> None then
+            egress_backlog := ((node, ifc.neighbor), ifc.prio_max)
+              :: !egress_backlog;
+          ingress_backlog := ((node, ifc.neighbor), ifc.in_fifo_max)
+            :: !ingress_backlog)
+        sw.ifaces)
+    st.switches;
+  {
+    collector = st.collector;
+    sim_end = Engine.now st.engine;
+    packets_released = Collector.released_count st.collector;
+    packets_completed = Collector.completed_count st.collector;
+    fragments_dropped = st.dropped;
+    cpu_utilization = List.sort compare !cpu_utilization;
+    egress_backlog = List.sort compare !egress_backlog;
+    ingress_backlog = List.sort compare !ingress_backlog;
+  }

@@ -1,0 +1,42 @@
+(** Discrete-event model of the whole network of Figure 5: GMF traffic
+    sources, work-conserving source output queues, links with transmission
+    and propagation delay, and software-implemented Ethernet switches whose
+    CPU runs the per-interface ingress/egress tasks under stride (round-
+    robin) scheduling.
+
+    The model matches the analysis assumptions except where the analysis is
+    deliberately pessimistic (an idle task costs the simulator nothing while
+    the analysis charges a full CIRC rotation), so for any scenario and any
+    run the observed response times must stay at or below the analytic
+    bounds — the soundness check of experiment E5. *)
+
+type report = {
+  collector : Collector.t;
+  sim_end : Gmf_util.Timeunit.ns;  (** Time of the last processed event. *)
+  packets_released : int;
+  packets_completed : int;
+  fragments_dropped : int;
+      (** Ethernet frames discarded at full switch queues — always 0 under
+          the default unbounded queues; see
+          [Sim_config.t.queue_capacity]. *)
+  cpu_utilization : (Network.Node.id * float) list;
+      (** Per switch: the busiest processor's cumulative task-execution
+          time as a fraction of the simulated span — an operational
+          counterpart of the ingress-task utilization condition. *)
+  egress_backlog : ((Network.Node.id * Network.Node.id) * int) list;
+      (** High-water marks of every switch output priority queue, keyed by
+          (switch, next hop) and measured in Ethernet frames — compared
+          against [Analysis.Backlog.egress_bounds] by experiment E11. *)
+  ingress_backlog : ((Network.Node.id * Network.Node.id) * int) list;
+      (** High-water marks of every switch ingress NIC FIFO, keyed by
+          (switch, sending neighbour). *)
+}
+
+val run : ?config:Sim_config.t -> Traffic.Scenario.t -> report
+(** [run ?config scenario] simulates the scenario for
+    [config.duration] of traffic generation, drains in-flight packets, and
+    returns the collected response times.
+
+    Raises [Invalid_argument] if a flow's route uses a link absent from the
+    topology (scenarios built through [Traffic.Scenario.make] cannot
+    trigger this). *)

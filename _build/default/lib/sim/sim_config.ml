@@ -1,0 +1,44 @@
+open Gmf_util
+
+type release_pattern = Periodic | Random_slack of float
+
+type jitter_pattern = Spread | Bunched | Random
+
+type t = {
+  duration : Timeunit.ns;
+  seed : int;
+  release : release_pattern;
+  jitter : jitter_pattern;
+  random_phasing : bool;
+  queue_capacity : int option;
+  busy_poll : bool;
+  trace_limit : int;
+}
+
+let default =
+  {
+    duration = Timeunit.s 1;
+    seed = 42;
+    release = Periodic;
+    jitter = Spread;
+    random_phasing = false;
+    queue_capacity = None;
+    busy_poll = false;
+    trace_limit = 0;
+  }
+
+let release_to_string = function
+  | Periodic -> "periodic"
+  | Random_slack f -> Printf.sprintf "random-slack(%.2f)" f
+
+let jitter_to_string = function
+  | Spread -> "spread"
+  | Bunched -> "bunched"
+  | Random -> "random"
+
+let pp fmt t =
+  Format.fprintf fmt "sim(%a, seed=%d, %s, jitter=%s, phasing=%s)" Timeunit.pp
+    t.duration t.seed
+    (release_to_string t.release)
+    (jitter_to_string t.jitter)
+    (if t.random_phasing then "random" else "synchronized")

@@ -1,0 +1,58 @@
+(** Simulation run parameters. *)
+
+type release_pattern =
+  | Periodic
+      (** Every frame arrives exactly its period after the previous one —
+          the densest arrival sequence the GMF contract allows, used by the
+          validation experiments. *)
+  | Random_slack of float
+      (** Exponential extra spacing with the given mean, expressed as a
+          fraction of the frame's period.  Models sources that underrun
+          their contract. *)
+
+type jitter_pattern =
+  | Spread
+      (** The [m] Ethernet frames of a packet are released at
+          [t + f * GJ / m] for [f = 0..m-1] — spanning almost the whole
+          allowed window. *)
+  | Bunched  (** All Ethernet frames released at the arrival instant. *)
+  | Random  (** Uniform offsets in [\[0, GJ)], sorted, first forced to 0. *)
+
+type t = {
+  duration : Gmf_util.Timeunit.ns;
+      (** Sources release packets during [\[0, duration)]; the run then
+          drains in-flight packets. *)
+  seed : int;  (** Master seed; every flow derives its own stream. *)
+  release : release_pattern;
+  jitter : jitter_pattern;
+  random_phasing : bool;
+      (** When true each flow starts at a random offset within its cycle;
+          when false all flows release frame 0 at time 0 (a synchronized
+          critical-instant-like start). *)
+  queue_capacity : int option;
+      (** Capacity, in Ethernet frames, of every switch queue (each ingress
+          NIC FIFO and each output priority-queue set).  [None] = unbounded
+          (the paper's Figure 5 assumption).  With a finite capacity,
+          arrivals to a full queue are dropped and counted — used to
+          validate the [Analysis.Backlog] bounds operationally: sizing
+          queues to the analytic bound must yield zero drops. *)
+  busy_poll : bool;
+      (** Switch-CPU model for idle tasks.  [false] (default): an idle task
+          yields instantly, so a rotation over idle tasks is free — an
+          optimistic but valid refinement.  [true]: every selected task
+          consumes its full CROUTE/CSEND even without work, which is
+          exactly the worst case behind the analysis' CIRC(N) constant —
+          the adversarial setting for tightness measurements.  (The CPU
+          still parks after one fully idle rotation and is woken by the
+          next arrival.) *)
+  trace_limit : int;
+      (** Record the full boundary-event journey of the first [trace_limit]
+          completed packets (0 = off).  Read them back with
+          [Collector.journeys]. *)
+}
+
+val default : t
+(** 1 s, seed 42, periodic, spread jitter, synchronized start, unbounded
+    queues. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stride/scheduler.mli:

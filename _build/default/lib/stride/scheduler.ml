@@ -1,0 +1,83 @@
+let stride1 = 1 lsl 20
+
+type task_id = int
+
+type task = {
+  tickets : int;
+  stride : int;
+  mutable pass : int;
+  mutable runs : int;
+}
+
+type t = { mutable tasks : task array; mutable count : int }
+
+let create () = { tasks = [||]; count = 0 }
+
+let add_task t ~tickets =
+  if tickets <= 0 then invalid_arg "Scheduler.add_task: non-positive tickets";
+  if tickets > stride1 then invalid_arg "Scheduler.add_task: tickets too large";
+  let stride = stride1 / tickets in
+  let task = { tickets; stride; pass = stride; runs = 0 } in
+  let cap = Array.length t.tasks in
+  if t.count = cap then begin
+    let grown = Array.make (max 8 (2 * cap)) task in
+    Array.blit t.tasks 0 grown 0 cap;
+    t.tasks <- grown
+  end;
+  t.tasks.(t.count) <- task;
+  t.count <- t.count + 1;
+  t.count - 1
+
+let task_count t = t.count
+
+let check t id name =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "%s: unknown task %d" name id)
+
+let tickets t id =
+  check t id "Scheduler.tickets";
+  t.tasks.(id).tickets
+
+let stride_of t id =
+  check t id "Scheduler.stride_of";
+  t.tasks.(id).stride
+
+let pass_of t id =
+  check t id "Scheduler.pass_of";
+  t.tasks.(id).pass
+
+let least_pass t =
+  if t.count = 0 then invalid_arg "Scheduler.select: no tasks";
+  let best = ref 0 in
+  for i = 1 to t.count - 1 do
+    if t.tasks.(i).pass < t.tasks.(!best).pass then best := i
+  done;
+  !best
+
+let peek t = least_pass t
+
+let select t =
+  let id = least_pass t in
+  let task = t.tasks.(id) in
+  task.pass <- task.pass + task.stride;
+  task.runs <- task.runs + 1;
+  id
+
+let run_count t id =
+  check t id "Scheduler.run_count";
+  t.tasks.(id).runs
+
+let reset t =
+  for i = 0 to t.count - 1 do
+    let task = t.tasks.(i) in
+    task.pass <- task.stride;
+    task.runs <- 0
+  done
+
+let round_robin ~ntasks =
+  if ntasks <= 0 then invalid_arg "Scheduler.round_robin: no tasks";
+  let t = create () in
+  for _ = 1 to ntasks do
+    ignore (add_task t ~tickets:1)
+  done;
+  t

@@ -1,0 +1,53 @@
+(** Stride scheduling (Waldspurger & Weihl, 1995), as used by Click to
+    schedule the software tasks inside an Ethernet switch (paper
+    Section 2.2).
+
+    Each task has a static [tickets] allocation.  Its [stride] is a large
+    constant divided by its tickets; its [pass] counter starts at its stride
+    and advances by its stride each time the task runs.  The dispatcher
+    always selects the task with the least pass, breaking ties by task index
+    (which makes the all-tickets-equal configuration collapse to exact
+    round-robin — the Click default the paper assumes). *)
+
+val stride1 : int
+(** The large constant from which strides are derived (2^20, as in the
+    original paper's implementation). *)
+
+type task_id = int
+(** Dense identifier returned by {!add_task}. *)
+
+type t
+
+val create : unit -> t
+
+val add_task : t -> tickets:int -> task_id
+(** Registers a task.  Raises [Invalid_argument] if [tickets <= 0] or
+    [tickets > stride1]. *)
+
+val task_count : t -> int
+
+val tickets : t -> task_id -> int
+
+val stride_of : t -> task_id -> int
+(** [stride1 / tickets], the per-run pass increment. *)
+
+val pass_of : t -> task_id -> int
+(** Current pass value (monotonically increasing). *)
+
+val select : t -> task_id
+(** [select t] returns the task that runs next (least pass, ties by lowest
+    id) and charges it one quantum (pass += stride).  Raises
+    [Invalid_argument] when no task is registered. *)
+
+val peek : t -> task_id
+(** Like {!select} but without charging. *)
+
+val run_count : t -> task_id -> int
+(** How many times the task has been selected so far. *)
+
+val reset : t -> unit
+(** Resets all pass counters to their strides and all run counts to zero. *)
+
+val round_robin : ntasks:int -> t
+(** [round_robin ~ntasks] is a scheduler with [ntasks] tasks of one ticket
+    each — the configuration used throughout the paper's analysis. *)

@@ -1,0 +1,1 @@
+lib/traffic/flow.ml: Array Ethernet Float Format Gmf Hashtbl List Network Printf

@@ -1,0 +1,1 @@
+lib/traffic/flow.mli: Ethernet Format Gmf Gmf_util Network

@@ -1,0 +1,1 @@
+lib/traffic/link_params.ml: Array Flow Format Gmf Gmf_util Network Timeunit

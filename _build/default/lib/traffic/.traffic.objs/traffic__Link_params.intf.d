@@ -1,0 +1,1 @@
+lib/traffic/link_params.mli: Flow Format Gmf Gmf_util Network

@@ -1,0 +1,1 @@
+lib/traffic/scenario.ml: Array Click Flow Format Hashtbl Link_params List Network Printf

@@ -1,0 +1,1 @@
+lib/traffic/scenario.mli: Click Flow Format Gmf_util Link_params Network

@@ -1,0 +1,75 @@
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  spec : Gmf.Spec.t;
+  encap : Ethernet.Encap.t;
+  route : Network.Route.t;
+  priority : int;
+  remarks : ((Network.Node.id * Network.Node.id) * int) list;
+}
+
+let check_priority p =
+  if p < 0 || p > 7 then
+    invalid_arg "Flow.make: priority outside the 802.1p range 0..7"
+
+let make ~id ~name ~spec ~encap ~route ~priority =
+  if id < 0 then invalid_arg "Flow.make: negative id";
+  check_priority priority;
+  { id; name; spec; encap; route; priority; remarks = [] }
+
+let with_remarks t remarks =
+  let hops = Network.Route.hops t.route in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (hop, p) ->
+      check_priority p;
+      if not (List.mem hop hops) then
+        invalid_arg
+          (Printf.sprintf
+             "Flow.with_remarks: remark on hop %d->%d not on the route"
+             (fst hop) (snd hop));
+      if Hashtbl.mem seen hop then
+        invalid_arg
+          (Printf.sprintf "Flow.with_remarks: hop %d->%d remarked twice"
+             (fst hop) (snd hop));
+      Hashtbl.replace seen hop ())
+    remarks;
+  { t with remarks }
+
+let scale_payloads t factor =
+  if factor <= 0. then invalid_arg "Flow.scale_payloads: non-positive factor";
+  let scale (f : Gmf.Frame_spec.t) =
+    Gmf.Frame_spec.make ~period:f.period ~deadline:f.deadline ~jitter:f.jitter
+      ~payload_bits:
+        (max 1 (int_of_float (Float.round (float_of_int f.payload_bits *. factor))))
+  in
+  let spec =
+    Gmf.Spec.make (List.map scale (Array.to_list (Gmf.Spec.frames t.spec)))
+  in
+  { t with spec }
+
+let priority_on t ~src ~dst =
+  match List.assoc_opt (src, dst) t.remarks with
+  | Some p -> p
+  | None -> t.priority
+
+let n t = Gmf.Spec.n t.spec
+let tsum t = Gmf.Spec.tsum t.spec
+
+let nbits t k =
+  let frame = Gmf.Spec.frame t.spec k in
+  Ethernet.Encap.nbits t.encap ~payload_bits:frame.Gmf.Frame_spec.payload_bits
+
+let nbits_all t = Array.init (n t) (fun k -> nbits t k)
+
+let source t = Network.Route.source t.route
+let destination t = Network.Route.destination t.route
+
+let equal_priority_or_higher ~than ~src ~dst t =
+  priority_on t ~src ~dst >= priority_on than ~src ~dst
+
+let pp fmt t =
+  Format.fprintf fmt "flow%d(%s, prio=%d, %a, route=%a, n=%d)" t.id t.name
+    t.priority Ethernet.Encap.pp t.encap Network.Route.pp t.route (n t)

@@ -1,0 +1,77 @@
+(** A flow: GMF traffic specification + encapsulation + route + priority
+    (paper Sections 2.1 and 2.3).
+
+    Priorities are the IEEE 802.1p class of the flow's Ethernet frames:
+    an integer where a {e larger} value means {e higher} priority (as in
+    802.1p itself, where 7 outranks 0).  The analysis only compares
+    priorities of flows sharing a link.
+
+    The paper's priority function is per link — prio(tau_i, N1, N2) in
+    eq (2) — because a network operator may remark the 802.1p class at any
+    switch.  A flow therefore carries a default [priority] plus optional
+    per-hop [remarks]. *)
+
+type id = int
+
+type t = private {
+  id : id;
+  name : string;
+  spec : Gmf.Spec.t;
+  encap : Ethernet.Encap.t;
+  route : Network.Route.t;
+  priority : int;
+  remarks : ((Network.Node.id * Network.Node.id) * int) list;
+      (** Per-hop 802.1p overrides, keyed by (link src, link dst). *)
+}
+
+val make :
+  id:id ->
+  name:string ->
+  spec:Gmf.Spec.t ->
+  encap:Ethernet.Encap.t ->
+  route:Network.Route.t ->
+  priority:int ->
+  t
+(** Builds a flow with no remarks (every hop uses [priority]).
+    Raises [Invalid_argument] if [id < 0] or the priority is outside 0..7
+    (the 802.1p code-point range). *)
+
+val with_remarks :
+  t -> ((Network.Node.id * Network.Node.id) * int) list -> t
+(** [with_remarks flow remarks] installs per-hop 802.1p overrides.
+    Raises [Invalid_argument] if any priority is outside 0..7, a remark
+    names a hop that is not on the route, or a hop is remarked twice. *)
+
+val scale_payloads : t -> float -> t
+(** [scale_payloads flow factor] multiplies every frame's payload by
+    [factor] (at least one bit each), keeping everything else — used by
+    capacity-planning sweeps.  Raises [Invalid_argument] if
+    [factor <= 0]. *)
+
+val priority_on :
+  t -> src:Network.Node.id -> dst:Network.Node.id -> int
+(** prio(tau, src, dst): the remark for that hop if present, otherwise the
+    default priority. *)
+
+val n : t -> int
+(** Number of GMF frames in the flow's cycle. *)
+
+val tsum : t -> Gmf_util.Timeunit.ns
+
+val nbits : t -> int -> int
+(** [nbits flow k] is the datagram size above IP of GMF frame [k mod n]
+    (eq in Section 3.1: payload rounded to bytes + transport headers). *)
+
+val nbits_all : t -> int array
+(** [nbits] for every frame of the cycle. *)
+
+val source : t -> Network.Node.id
+val destination : t -> Network.Node.id
+
+val equal_priority_or_higher :
+  than:t -> src:Network.Node.id -> dst:Network.Node.id -> t -> bool
+(** [equal_priority_or_higher ~than:i ~src ~dst j] is
+    [prio(j, src, dst) >= prio(i, src, dst)] — the comparison inside the
+    paper's hep set (eq 2), evaluated on the shared link. *)
+
+val pp : Format.formatter -> t -> unit

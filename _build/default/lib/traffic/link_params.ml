@@ -1,0 +1,35 @@
+open Gmf_util
+
+type t = {
+  flow : Flow.t;
+  link : Network.Link.t;
+  c : Timeunit.ns array;
+  eth_frames : int array;
+}
+
+let make ~flow ~link =
+  let nbits = Flow.nbits_all flow in
+  let c = Array.map (fun bits -> Network.Link.tx_time link ~nbits:bits) nbits in
+  let mft_ns = Network.Link.mft link in
+  (* Eq (5): number of Ethernet frames of GMF frame k as ceil(C / MFT). *)
+  let eth_frames = Array.map (fun ci -> Timeunit.cdiv ci mft_ns) c in
+  { flow; link; c; eth_frames }
+
+let csum t = Array.fold_left ( + ) 0 t.c
+let nsum t = Array.fold_left ( + ) 0 t.eth_frames
+let mft t = Network.Link.mft t.link
+
+let time_demand t =
+  Gmf.Demand.make ~costs:t.c ~periods:(Gmf.Spec.periods t.flow.Flow.spec)
+
+let count_demand t =
+  Gmf.Demand.make ~costs:t.eth_frames
+    ~periods:(Gmf.Spec.periods t.flow.Flow.spec)
+
+let utilization t = float_of_int (csum t) /. float_of_int (Flow.tsum t.flow)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<hov 2>params(%s on %a): CSUM=%a NSUM=%d TSUM=%a util=%.4f@]"
+    t.flow.Flow.name Network.Link.pp t.link Timeunit.pp (csum t) (nsum t)
+    Timeunit.pp (Flow.tsum t.flow) (utilization t)

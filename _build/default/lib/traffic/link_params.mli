@@ -1,0 +1,43 @@
+(** Per-(flow, link) derived parameters (paper Section 3.1, Figure 4).
+
+    Given a flow and one link of its route, this module derives the values
+    the analysis consumes: the transmission time C_i^k of every GMF frame,
+    the Ethernet-frame count of every GMF frame, CSUM/NSUM over the cycle,
+    and the {!Gmf.Demand} tables behind MX/MXS (link time) and NX/NXS
+    (frame counts). *)
+
+type t = private {
+  flow : Flow.t;
+  link : Network.Link.t;
+  c : Gmf_util.Timeunit.ns array;  (** C_i^k, per GMF frame. *)
+  eth_frames : int array;  (** Ethernet frames per GMF frame. *)
+}
+
+val make : flow:Flow.t -> link:Network.Link.t -> t
+(** Derives all per-frame values.  The link need not be on the flow's route
+    (the first-hop analysis of an IP-router source uses the incoming link of
+    the router, which the operator models explicitly). *)
+
+val csum : t -> Gmf_util.Timeunit.ns
+(** CSUM (eq 4): total link time of one cycle. *)
+
+val nsum : t -> int
+(** NSUM (eq 5): total Ethernet frames of one cycle.  Computed as the paper
+    does, as [sum_k ceil(C_i^k / MFT)]; {!Ethernet.Fragment.fragment_count}
+    yields the same value (tested). *)
+
+val mft : t -> Gmf_util.Timeunit.ns
+(** The link's Maximum-Frame-Transmission-Time (eq 1). *)
+
+val time_demand : t -> Gmf.Demand.t
+(** Demand tables with per-frame cost C_i^k — evaluate with
+    [Gmf.Demand.bound ~capped:true] to get MX (eq 11). *)
+
+val count_demand : t -> Gmf.Demand.t
+(** Demand tables with per-frame cost = Ethernet-frame count — evaluate with
+    [Gmf.Demand.bound ~capped:false] to get NX (eq 13). *)
+
+val utilization : t -> float
+(** CSUM / TSUM of this flow on this link (a term of eq 20). *)
+
+val pp : Format.formatter -> t -> unit

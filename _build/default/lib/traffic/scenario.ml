@@ -1,0 +1,117 @@
+type t = {
+  topo : Network.Topology.t;
+  flows : Flow.t array; (* sorted by id *)
+  switches : (Network.Node.id, Click.Switch_model.t) Hashtbl.t;
+  params_cache : (Flow.id * Network.Node.id * Network.Node.id, Link_params.t)
+    Hashtbl.t;
+}
+
+let make ?(switches = []) ~topo ~flows () =
+  let flows = Array.of_list flows in
+  Array.sort (fun a b -> compare a.Flow.id b.Flow.id) flows;
+  for i = 1 to Array.length flows - 1 do
+    if flows.(i).Flow.id = flows.(i - 1).Flow.id then
+      invalid_arg
+        (Printf.sprintf "Scenario.make: duplicate flow id %d" flows.(i).Flow.id)
+  done;
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (node_id, model) ->
+      let node = Network.Topology.node topo node_id in
+      if not (Network.Node.is_switch node) then
+        invalid_arg
+          (Printf.sprintf "Scenario.make: node %d is not a switch" node_id);
+      let degree = Network.Topology.degree topo node_id in
+      if model.Click.Switch_model.ninterfaces < degree then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario.make: switch %d has %d links but model has %d ports"
+             node_id degree model.Click.Switch_model.ninterfaces);
+      Hashtbl.replace table node_id model)
+    switches;
+  (* Default model for every switch that routes traffic but was not given
+     an explicit model. *)
+  Array.iter
+    (fun flow ->
+      List.iter
+        (fun node_id ->
+          if not (Hashtbl.mem table node_id) then begin
+            let degree = Network.Topology.degree topo node_id in
+            Hashtbl.replace table node_id
+              (Click.Switch_model.make ~ninterfaces:(max 1 degree) ())
+          end)
+        (Network.Route.intermediate_switches flow.Flow.route))
+    flows;
+  { topo; flows; switches = table; params_cache = Hashtbl.create 64 }
+
+let topo t = t.topo
+let flows t = Array.to_list t.flows
+let flow_count t = Array.length t.flows
+
+let flow t id =
+  match Array.find_opt (fun f -> f.Flow.id = id) t.flows with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Scenario.flow: unknown id %d" id)
+
+let switch_model t node_id =
+  match Hashtbl.find_opt t.switches node_id with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Scenario.switch_model: node %d has no switch model"
+           node_id)
+
+let circ t node_id = Click.Switch_model.circ (switch_model t node_id)
+
+let switch_nodes t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.switches []
+  |> List.sort compare
+
+let flows_on t ~src ~dst =
+  Array.to_list t.flows
+  |> List.filter (fun f ->
+         List.mem (src, dst) (Network.Route.hops f.Flow.route))
+
+let hep t flow_i ~node =
+  let succ = Network.Route.succ flow_i.Flow.route node in
+  flows_on t ~src:node ~dst:succ
+  |> List.filter (fun j ->
+         j.Flow.id <> flow_i.Flow.id
+         && Flow.equal_priority_or_higher ~than:flow_i ~src:node ~dst:succ j)
+
+let lp t flow_i ~node =
+  let succ = Network.Route.succ flow_i.Flow.route node in
+  flows_on t ~src:node ~dst:succ
+  |> List.filter (fun j ->
+         j.Flow.id <> flow_i.Flow.id
+         && not
+              (Flow.equal_priority_or_higher ~than:flow_i ~src:node ~dst:succ
+                 j))
+
+let params t flow ~src ~dst =
+  let key = (flow.Flow.id, src, dst) in
+  match Hashtbl.find_opt t.params_cache key with
+  | Some p -> p
+  | None ->
+      let link = Network.Topology.link_exn t.topo ~src ~dst in
+      let p = Link_params.make ~flow ~link in
+      Hashtbl.replace t.params_cache key p;
+      p
+
+let link_utilization t ~src ~dst =
+  flows_on t ~src ~dst
+  |> List.fold_left
+       (fun acc f -> acc +. Link_params.utilization (params t f ~src ~dst))
+       0.
+
+let map_flows t ~f =
+  let switches =
+    Hashtbl.fold (fun id m acc -> (id, m) :: acc) t.switches []
+  in
+  make ~switches ~topo:t.topo ~flows:(List.map f (flows t)) ()
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>scenario: %d flows@," (Array.length t.flows);
+  Array.iter (fun f -> Format.fprintf fmt "  %a@," Flow.pp f) t.flows;
+  Network.Topology.pp fmt t.topo;
+  Format.fprintf fmt "@]"

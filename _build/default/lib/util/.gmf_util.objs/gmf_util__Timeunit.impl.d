@@ -1,0 +1,1 @@
+lib/util/timeunit.ml: Float Format Printf Stdlib String

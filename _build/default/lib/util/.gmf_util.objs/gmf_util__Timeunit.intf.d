@@ -1,0 +1,1 @@
+lib/util/timeunit.mli: Format

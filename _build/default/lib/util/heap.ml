@@ -1,0 +1,101 @@
+(* Each pushed element carries a monotonically increasing sequence number so
+   that elements equal under the user ordering come out in insertion order. *)
+
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let entry_cmp h a b =
+  let c = h.cmp a.value b.value in
+  if c <> 0 then c else compare a.seq b.seq
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let dummy = h.data.(0) in
+    let data = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp h h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_cmp h h.data.(l) h.data.(!smallest) < 0 then
+    smallest := l;
+  if r < h.size && entry_cmp h h.data.(r) h.data.(!smallest) < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  let e = { value = x; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 8 e else grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0).value
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    (* Release the slot so the GC can reclaim the element. *)
+    if h.size < Array.length h.data then h.data.(h.size) <- top;
+    Some top.value
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_sorted_list h =
+  let copy =
+    {
+      cmp = h.cmp;
+      data = Array.sub h.data 0 (Array.length h.data);
+      size = h.size;
+      next_seq = h.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,37 @@
+(** Array-backed binary min-heap.
+
+    Used as the event queue of the discrete-event simulator and by the stride
+    scheduler's dispatch queue.  The ordering is given at creation time; ties
+    are broken by insertion order (FIFO among equals), which the simulator
+    relies on for deterministic replay. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum first).
+    Elements comparing equal under [cmp] are dequeued in insertion order. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. Amortized O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** [pop_exn h] is [pop h]; raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes all elements. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains a copy of [h] in ascending order; [h] itself is
+    unchanged.  Intended for tests and debugging. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The workload generators and the simulator use this instead of
+    [Stdlib.Random] so that every experiment is reproducible from a seed
+    printed in its output, independent of the OCaml runtime version. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each flow / node its own stream. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element. [arr] must be non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution (used for
+    randomized slack in workload generation). [mean] must be positive. *)

@@ -1,0 +1,91 @@
+type t = {
+  mutable samples : int list; (* reversed insertion order *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+  mutable sorted : int array option; (* cache, invalidated by add *)
+}
+
+let create () =
+  { samples = []; count = 0; sum = 0; min = max_int; max = min_int;
+    sorted = None }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.sorted <- None
+
+let add_list t xs = List.iter (add t) xs
+
+let count t = t.count
+let sum t = t.sum
+
+let require_nonempty name t =
+  if t.count = 0 then invalid_arg (name ^ ": empty accumulator")
+
+let min t =
+  require_nonempty "Stats.min" t;
+  t.min
+
+let max t =
+  require_nonempty "Stats.max" t;
+  t.max
+
+let mean t =
+  require_nonempty "Stats.mean" t;
+  float_of_int t.sum /. float_of_int t.count
+
+let stddev t =
+  require_nonempty "Stats.stddev" t;
+  let m = mean t in
+  let acc = ref 0. in
+  List.iter
+    (fun x ->
+      let d = float_of_int x -. m in
+      acc := !acc +. (d *. d))
+    t.samples;
+  sqrt (!acc /. float_of_int t.count)
+
+let sorted t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list t.samples in
+      Array.sort compare arr;
+      t.sorted <- Some arr;
+      arr
+
+let percentile t p =
+  require_nonempty "Stats.percentile" t;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let arr = sorted t in
+  let n = Array.length arr in
+  (* Nearest-rank definition: smallest value such that at least p% of the
+     samples are <= it. *)
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  arr.(idx)
+
+let median t = percentile t 50.
+
+let to_list t = List.rev t.samples
+
+let histogram t ~buckets =
+  require_nonempty "Stats.histogram" t;
+  if buckets <= 0 then invalid_arg "Stats.histogram: non-positive buckets";
+  let lo = t.min and hi = t.max in
+  let span = Stdlib.max 1 (hi - lo + 1) in
+  let width = (span + buckets - 1) / buckets in
+  let counts = Array.make buckets 0 in
+  List.iter
+    (fun x ->
+      let b = Stdlib.min (buckets - 1) ((x - lo) / width) in
+      counts.(b) <- counts.(b) + 1)
+    t.samples;
+  List.init buckets (fun b ->
+      let b_lo = lo + (b * width) in
+      (b_lo, b_lo + width - 1, counts.(b)))

@@ -1,0 +1,51 @@
+(** Small descriptive-statistics toolkit for experiment reporting.
+
+    Works on integer samples (nanosecond response times, frame counts) and
+    keeps every sample, so exact order statistics are available.  The sample
+    counts in this project are small (at most a few million), so retention is
+    cheap and avoids streaming-quantile approximation error in the
+    paper-vs-measured tables. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] is an empty accumulator. *)
+
+val add : t -> int -> unit
+(** [add t x] records one sample. *)
+
+val add_list : t -> int list -> unit
+(** [add_list t xs] records every sample of [xs]. *)
+
+val count : t -> int
+(** Number of samples recorded. *)
+
+val min : t -> int
+(** Smallest sample. Raises [Invalid_argument] when empty. *)
+
+val max : t -> int
+(** Largest sample. Raises [Invalid_argument] when empty. *)
+
+val sum : t -> int
+(** Sum of all samples. *)
+
+val mean : t -> float
+(** Arithmetic mean. Raises [Invalid_argument] when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation. Raises [Invalid_argument] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] is the nearest-rank [p]-th percentile, [0 <= p <= 100].
+    Raises [Invalid_argument] when empty or [p] out of range. *)
+
+val median : t -> int
+(** [median t] is [percentile t 50.]. *)
+
+val to_list : t -> int list
+(** All samples in insertion order. *)
+
+val histogram : t -> buckets:int -> (int * int * int) list
+(** [histogram t ~buckets] partitions [\[min, max\]] into [buckets]
+    equal-width buckets and returns [(lo, hi, count)] per bucket.
+    Raises [Invalid_argument] when empty or [buckets <= 0]. *)

@@ -1,0 +1,58 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Tablefmt.create: no columns";
+  {
+    headers = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.aligns then
+    invalid_arg "Tablefmt.add_row: wrong cell count";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let ncols = Array.length t.aligns in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) t.rows;
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    match t.aligns.(i) with
+    | Left -> c ^ String.make n ' '
+    | Right -> String.make n ' ' ^ c
+  in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "-+-"
+  in
+  let line cells = String.concat " | " (List.mapi pad cells) in
+  let body =
+    List.rev_map
+      (function Cells c -> line c | Separator -> rule)
+      t.rows
+  in
+  String.concat "\n" (line t.headers :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()

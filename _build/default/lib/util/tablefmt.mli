@@ -1,0 +1,28 @@
+(** Plain-text table rendering for experiment output.
+
+    Every experiment in [EXPERIMENTS.md] prints its paper-vs-measured rows
+    through this module so the benches, the CLI and the examples all produce
+    the same aligned format. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] is an empty table with the given header cells and
+    per-column alignment.  Raises [Invalid_argument] on an empty column
+    list. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the cell
+    count differs from the column count. *)
+
+val add_separator : t -> unit
+(** [add_separator t] inserts a horizontal rule between the rows added so far
+    and those added later. *)
+
+val render : t -> string
+(** [render t] is the table as a multi-line string (no trailing newline). *)
+
+val print : t -> unit
+(** [print t] writes [render t] and a newline to standard output. *)

@@ -1,0 +1,1 @@
+lib/workload/contract.ml: Array Gmf Gmf_util List Rng Timeunit

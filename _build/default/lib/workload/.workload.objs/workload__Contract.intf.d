@@ -1,0 +1,1 @@
+lib/workload/contract.mli: Gmf Gmf_util

@@ -1,0 +1,1 @@
+lib/workload/mpeg.ml: Float Gmf Gmf_util List Timeunit

@@ -1,0 +1,1 @@
+lib/workload/mpeg.mli: Gmf Gmf_util

@@ -1,0 +1,1 @@
+lib/workload/random_gen.ml: Array Ethernet Gmf Gmf_util List Network Printf Rng Timeunit Traffic

@@ -1,0 +1,1 @@
+lib/workload/random_gen.mli: Ethernet Gmf Gmf_util Network Traffic

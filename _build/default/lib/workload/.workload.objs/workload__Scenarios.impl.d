@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Array Ethernet Gmf_util List Mpeg Network Printf Timeunit Topologies Traffic Voip

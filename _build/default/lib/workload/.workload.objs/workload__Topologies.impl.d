@@ -1,0 +1,1 @@
+lib/workload/topologies.ml: Array Network Option Printf

@@ -1,0 +1,1 @@
+lib/workload/topologies.mli: Gmf_util Network

@@ -1,0 +1,1 @@
+lib/workload/voip.ml: Gmf Gmf_util List Timeunit

@@ -1,0 +1,1 @@
+lib/workload/voip.mli: Gmf Gmf_util

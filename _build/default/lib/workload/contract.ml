@@ -1,0 +1,84 @@
+open Gmf_util
+
+type trace = (Timeunit.ns * int) list
+
+let check_trace trace =
+  let rec go = function
+    | (t1, s1) :: ((t2, _) :: _ as rest) ->
+        if s1 < 0 then invalid_arg "Contract: negative payload";
+        if t2 <= t1 then
+          invalid_arg "Contract: instants must be strictly increasing";
+        go rest
+    | [ (_, s) ] -> if s < 0 then invalid_arg "Contract: negative payload"
+    | [] -> ()
+  in
+  go trace
+
+let of_trace ~cycle ~deadline ?(jitter = 0) trace =
+  if cycle < 1 then invalid_arg "Contract.of_trace: cycle < 1";
+  check_trace trace;
+  if List.length trace < cycle + 1 then
+    invalid_arg
+      "Contract.of_trace: need at least cycle+1 packets to observe every \
+       separation";
+  let min_sep = Array.make cycle max_int in
+  let max_size = Array.make cycle 0 in
+  let rec scan index = function
+    | (t1, s1) :: ((t2, _) :: _ as rest) ->
+        let k = index mod cycle in
+        if t2 - t1 < min_sep.(k) then min_sep.(k) <- t2 - t1;
+        if s1 > max_size.(k) then max_size.(k) <- s1;
+        scan (index + 1) rest
+    | [ (_, s1) ] ->
+        let k = index mod cycle in
+        if s1 > max_size.(k) then max_size.(k) <- s1
+    | [] -> ()
+  in
+  scan 0 trace;
+  List.init cycle (fun k ->
+      Gmf.Frame_spec.make ~period:min_sep.(k) ~deadline ~jitter
+        ~payload_bits:max_size.(k))
+  |> Gmf.Spec.make
+
+let respects spec trace =
+  check_trace trace;
+  let n = Gmf.Spec.n spec in
+  let rec go index = function
+    | (t1, s1) :: ((t2, _) :: _ as rest) ->
+        let f = Gmf.Spec.frame spec (index mod n) in
+        s1 <= f.Gmf.Frame_spec.payload_bits
+        && t2 - t1 >= f.Gmf.Frame_spec.period
+        && go (index + 1) rest
+    | [ (_, s1) ] ->
+        let f = Gmf.Spec.frame spec (index mod n) in
+        s1 <= f.Gmf.Frame_spec.payload_bits
+    | [] -> true
+  in
+  go 0 trace
+
+let synthetic_mpeg_trace rng ?(gop = 9) ?(base_interval = Timeunit.ms 30)
+    ?(interval_noise = Timeunit.ms 5) ~packets () =
+  if packets < 1 then invalid_arg "Contract.synthetic_mpeg_trace: no packets";
+  if gop < 1 then invalid_arg "Contract.synthetic_mpeg_trace: bad gop";
+  let nominal k =
+    if k = 0 then 8 * 44_000
+    else if k mod 3 = 0 then 8 * 20_000
+    else 8 * 8_000
+  in
+  let size k =
+    let base = nominal (k mod gop) in
+    (* +/- 25% uniform *)
+    let delta = Rng.int_in rng (-base / 4) (base / 4) in
+    max 8 (base + delta)
+  in
+  let rec build index time acc =
+    if index >= packets then List.rev acc
+    else begin
+      let gap =
+        base_interval
+        + if interval_noise > 0 then Rng.int rng interval_noise else 0
+      in
+      build (index + 1) (time + gap) ((time, size index) :: acc)
+    end
+  in
+  build 0 0 []

@@ -1,0 +1,52 @@
+(** GMF contract extraction from packet traces.
+
+    The paper assumes flows arrive already described in the GMF model; in
+    practice an operator meters a source (or reads an encoder's settings)
+    and must derive the tuples T_i, S_i from observations.  This module
+    extracts, from a packet trace with a known cycle length (e.g. the GOP
+    length of an MPEG encoder), the tightest GMF contract that the trace
+    respects:
+
+    - T_k = the smallest observed separation between a packet at cycle
+      position k and its successor;
+    - S_k = the largest observed payload at position k;
+    - GJ_k = a caller-supplied bound (packet traces carry no sub-packet
+      release information).
+
+    The extracted contract {e dominates} the trace: replaying the trace
+    against the contract violates neither the minimum-separation nor the
+    maximum-size constraints (tested, including against the contract's
+    request-bound functions). *)
+
+type trace = (Gmf_util.Timeunit.ns * int) list
+(** (arrival instant, payload bits), strictly increasing instants. *)
+
+val of_trace :
+  cycle:int ->
+  deadline:Gmf_util.Timeunit.ns ->
+  ?jitter:Gmf_util.Timeunit.ns ->
+  trace ->
+  Gmf.Spec.t
+(** [of_trace ~cycle ~deadline trace] extracts the contract.  The first
+    trace entry is cycle position 0.  Raises [Invalid_argument] when
+    [cycle < 1], the trace has fewer than [cycle + 1] packets (every
+    position needs at least one observed separation), instants are not
+    strictly increasing, or a payload is negative. *)
+
+val respects : Gmf.Spec.t -> trace -> bool
+(** [respects spec trace] checks the trace against the contract: position
+    [k] payloads at most S_k and separations at least T_k.  (The first
+    packet is position 0.) *)
+
+val synthetic_mpeg_trace :
+  Gmf_util.Rng.t ->
+  ?gop:int ->
+  ?base_interval:Gmf_util.Timeunit.ns ->
+  ?interval_noise:Gmf_util.Timeunit.ns ->
+  packets:int ->
+  unit ->
+  trace
+(** A noisy MPEG-like trace for tests and demos: GOP pattern of [gop]
+    packets (default 9, I-sized first), nominal [base_interval] (default
+    30 ms) plus uniform positive noise up to [interval_noise] (default
+    5 ms), payload sizes varying ±25% around the Figure 3 sizes. *)

@@ -1,0 +1,35 @@
+open Gmf_util
+
+type sizes = { i_plus_p_bytes : int; p_bytes : int; b_bytes : int }
+
+let fig3_sizes = { i_plus_p_bytes = 44_000; p_bytes = 20_000; b_bytes = 8_000 }
+
+let gop_pattern sizes =
+  let ip = 8 * sizes.i_plus_p_bytes in
+  let p = 8 * sizes.p_bytes in
+  let b = 8 * sizes.b_bytes in
+  [ ip; b; b; p; b; b; p; b; b ]
+
+let spec ?(sizes = fig3_sizes) ?(frame_interval = Timeunit.ms 30)
+    ?(jitter = Timeunit.ms 1) ?(deadline = Timeunit.ms 150) () =
+  gop_pattern sizes
+  |> List.map (fun payload_bits ->
+         Gmf.Frame_spec.make ~period:frame_interval ~deadline ~jitter
+           ~payload_bits)
+  |> Gmf.Spec.make
+
+let fig3_spec = spec ()
+
+let scaled_spec ~rate_scale =
+  if rate_scale <= 0. then invalid_arg "Mpeg.scaled_spec: non-positive scale";
+  let scale bytes =
+    max 1 (int_of_float (Float.round (float_of_int bytes *. rate_scale)))
+  in
+  let sizes =
+    {
+      i_plus_p_bytes = scale fig3_sizes.i_plus_p_bytes;
+      p_bytes = scale fig3_sizes.p_bytes;
+      b_bytes = scale fig3_sizes.b_bytes;
+    }
+  in
+  spec ~sizes ()

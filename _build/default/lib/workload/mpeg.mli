@@ -1,0 +1,45 @@
+(** MPEG video traffic in the GMF model (paper Figure 3 and Figure 4).
+
+    The paper's running example is a movie that repeats the 9-frame group of
+    pictures IBBPBBPBB, transmitted in the order [I+P, B, B, P, B, B, P, B,
+    B] (B frames are differences against both neighbouring reference frames,
+    so the reference following a B must be sent first) with one UDP packet
+    per MPEG frame every 30 ms.
+
+    The exact payload sizes behind Figure 4 are not recoverable from the
+    paper text (repair R4 in DESIGN.md); {!fig3_spec} uses sizes chosen so
+    that the two values the text does state are matched exactly on a
+    10 Mbit/s link: NSUM = 94 Ethernet frames per cycle and TSUM = 270 ms. *)
+
+type sizes = {
+  i_plus_p_bytes : int;  (** Payload of the leading I+P packet. *)
+  p_bytes : int;  (** Payload of a P packet. *)
+  b_bytes : int;  (** Payload of a B packet. *)
+}
+
+val fig3_sizes : sizes
+(** I+P = 44000, P = 20000, B = 8000 bytes: reproduces NSUM = 94 with UDP
+    encapsulation. *)
+
+val gop_pattern : sizes -> int list
+(** Payloads in bits of the 9 packets in transmission order
+    [I+P, B, B, P, B, B, P, B, B]. *)
+
+val spec :
+  ?sizes:sizes ->
+  ?frame_interval:Gmf_util.Timeunit.ns ->
+  ?jitter:Gmf_util.Timeunit.ns ->
+  ?deadline:Gmf_util.Timeunit.ns ->
+  unit ->
+  Gmf.Spec.t
+(** [spec ()] is the GMF spec of the Figure 3 stream: 9 frames, 30 ms
+    inter-arrival, 1 ms generalized jitter (the value Figure 4 assumes) and
+    a 150 ms end-to-end deadline unless overridden. *)
+
+val fig3_spec : Gmf.Spec.t
+(** [spec ()] with all defaults. *)
+
+val scaled_spec : rate_scale:float -> Gmf.Spec.t
+(** A Figure-3-shaped stream with payloads scaled by [rate_scale] (at least
+    one byte per packet) — used to build workload mixes of varying load.
+    Raises [Invalid_argument] if [rate_scale <= 0]. *)

@@ -1,0 +1,99 @@
+open Gmf_util
+
+type profile = {
+  n_frames : int * int;
+  period : Timeunit.ns * Timeunit.ns;
+  payload_bytes : int * int;
+  jitter : Timeunit.ns * Timeunit.ns;
+  deadline_factor : float * float;
+  priorities : int * int;
+}
+
+let default_profile =
+  {
+    n_frames = (3, 9);
+    period = (Timeunit.ms 20, Timeunit.ms 40);
+    payload_bytes = (1_000, 30_000);
+    jitter = (0, Timeunit.ms 2);
+    deadline_factor = (0.5, 1.5);
+    priorities = (0, 7);
+  }
+
+let range rng (lo, hi) = Rng.int_in rng lo hi
+
+let float_range rng (lo, hi) = lo +. Rng.float rng (hi -. lo)
+
+let spec rng profile =
+  let n = range rng profile.n_frames in
+  let periods = Array.init n (fun _ -> range rng profile.period) in
+  let tsum = Array.fold_left ( + ) 0 periods in
+  let factor = float_range rng profile.deadline_factor in
+  let deadline = max 1 (int_of_float (factor *. float_of_int tsum)) in
+  List.init n (fun k ->
+      Gmf.Frame_spec.make ~period:periods.(k) ~deadline
+        ~jitter:(range rng profile.jitter)
+        ~payload_bits:(8 * range rng profile.payload_bytes))
+  |> Gmf.Spec.make
+
+let flows_between rng ?(profile = default_profile)
+    ?(encap = Ethernet.Encap.Udp) ~topo ~pairs () =
+  List.mapi
+    (fun id (src, dst) ->
+      match Network.Topology.shortest_path topo ~src ~dst with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Random_gen.flows_between: no path %d->%d" src dst)
+      | Some path ->
+          Traffic.Flow.make ~id
+            ~name:(Printf.sprintf "rnd%d" id)
+            ~spec:(spec rng profile) ~encap
+            ~route:(Network.Route.make topo path)
+            ~priority:(range rng profile.priorities))
+    pairs
+
+let random_pairs rng ~hosts ~count =
+  if Array.length hosts < 2 then
+    invalid_arg "Random_gen.random_pairs: need two hosts";
+  List.init count (fun _ ->
+      let src = Rng.pick rng hosts in
+      let rec pick_dst () =
+        let dst = Rng.pick rng hosts in
+        if dst = src then pick_dst () else dst
+      in
+      (src, pick_dst ()))
+
+let random_topology rng ?(rate_bps = 100_000_000) ~switches ~hosts () =
+  if switches < 1 then invalid_arg "Random_gen.random_topology: no switches";
+  if hosts < 2 then invalid_arg "Random_gen.random_topology: need two hosts";
+  let topo = Network.Topology.create () in
+  let sw =
+    Array.init switches (fun i ->
+        Network.Topology.add_node topo
+          ~name:(Printf.sprintf "sw%d" i)
+          ~kind:Network.Node.Switch)
+  in
+  (* Random spanning tree: attach switch i to a random earlier switch. *)
+  for i = 1 to switches - 1 do
+    let parent = sw.(Rng.int rng i) in
+    Network.Topology.add_duplex_link topo ~a:sw.(i) ~b:parent ~rate_bps
+      ~prop:0
+  done;
+  (* A few extra cross links for path diversity (skip duplicates). *)
+  let extra = max 0 (switches / 3) in
+  for _ = 1 to extra do
+    let a = Rng.pick rng sw and b = Rng.pick rng sw in
+    if a <> b && Network.Topology.find_link topo ~src:a ~dst:b = None then
+      Network.Topology.add_duplex_link topo ~a ~b ~rate_bps ~prop:0
+  done;
+  let host_ids =
+    Array.init hosts (fun h ->
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "h%d" h)
+            ~kind:Network.Node.Endhost
+        in
+        Network.Topology.add_duplex_link topo ~a:id ~b:(Rng.pick rng sw)
+          ~rate_bps ~prop:0;
+        id)
+  in
+  (topo, host_ids)

@@ -1,0 +1,55 @@
+(** Random GMF workload generation for the admission, validation and scaling
+    experiments (E4–E7).
+
+    Generation is fully deterministic from the given RNG, so every
+    experiment row can be reproduced from its printed seed. *)
+
+type profile = {
+  n_frames : int * int;  (** Inclusive range of cycle lengths n_i. *)
+  period : Gmf_util.Timeunit.ns * Gmf_util.Timeunit.ns;
+      (** Range of per-frame periods. *)
+  payload_bytes : int * int;  (** Range of per-frame payloads. *)
+  jitter : Gmf_util.Timeunit.ns * Gmf_util.Timeunit.ns;
+  deadline_factor : float * float;
+      (** Deadline = factor * TSUM of the generated spec. *)
+  priorities : int * int;  (** 802.1p priority range. *)
+}
+
+val default_profile : profile
+(** Video-like flows: 3–9 frames, 20–40 ms periods, 1–30 kB payloads,
+    0–2 ms jitter, deadlines 0.5–1.5 TSUM, priorities 0–7. *)
+
+val spec : Gmf_util.Rng.t -> profile -> Gmf.Spec.t
+(** One random GMF spec drawn from the profile. *)
+
+val flows_between :
+  Gmf_util.Rng.t ->
+  ?profile:profile ->
+  ?encap:Ethernet.Encap.t ->
+  topo:Network.Topology.t ->
+  pairs:(Network.Node.id * Network.Node.id) list ->
+  unit ->
+  Traffic.Flow.t list
+(** One random flow per (source, destination) pair, routed on the
+    fewest-hop path.  Flow ids are 0, 1, 2, ... in pair order.  Raises
+    [Invalid_argument] when a pair is not connected. *)
+
+val random_pairs :
+  Gmf_util.Rng.t ->
+  hosts:Network.Node.id array ->
+  count:int ->
+  (Network.Node.id * Network.Node.id) list
+(** [count] random ordered pairs of distinct hosts. *)
+
+val random_topology :
+  Gmf_util.Rng.t ->
+  ?rate_bps:int ->
+  switches:int ->
+  hosts:int ->
+  unit ->
+  Network.Topology.t * Network.Node.id array
+(** A random connected switch fabric: a random spanning tree over
+    [switches] switches (plus a few extra cross links for path diversity),
+    with [hosts] endhosts attached to random switches.  Returns (topology,
+    host ids).  Raises [Invalid_argument] if [switches < 1] or
+    [hosts < 2]. *)

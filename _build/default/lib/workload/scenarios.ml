@@ -1,0 +1,138 @@
+open Gmf_util
+
+let video_flow_id = 0
+
+let mbit100 = 100_000_000
+
+let fig1_videoconf ?(rate_bps = 10_000_000) () =
+  let net = Topologies.example ~rate_bps () in
+  let h = net.Topologies.endhosts and s = net.Topologies.switches in
+  let route nodes = Network.Route.make net.Topologies.topo nodes in
+  let flow id name spec encap nodes priority =
+    Traffic.Flow.make ~id ~name ~spec ~encap ~route:(route nodes) ~priority
+  in
+  let video = Mpeg.fig3_spec in
+  let audio = Voip.g711_spec () in
+  let bulk =
+    Voip.spec ~period:(Timeunit.ms 20) ~payload_bytes:4_000
+      ~deadline:(Timeunit.ms 200) ()
+  in
+  let flows =
+    [
+      flow video_flow_id "video:0->3" video Ethernet.Encap.Udp
+        [ h.(0); s.(0); s.(2); h.(3) ] 5;
+      flow 1 "audio:0->3" audio Ethernet.Encap.Rtp_udp
+        [ h.(0); s.(0); s.(2); h.(3) ] 6;
+      flow 2 "video:3->0" video Ethernet.Encap.Udp
+        [ h.(3); s.(2); s.(0); h.(0) ] 5;
+      flow 3 "audio:3->0" audio Ethernet.Encap.Rtp_udp
+        [ h.(3); s.(2); s.(0); h.(0) ] 6;
+      flow 4 "voip:1->2" audio Ethernet.Encap.Rtp_udp
+        [ h.(1); s.(0); s.(1); h.(2) ] 7;
+      flow 5 "bulk:7->1" bulk Ethernet.Encap.Udp
+        [ net.Topologies.router; s.(1); s.(0); h.(1) ] 0;
+    ]
+  in
+  Traffic.Scenario.make ~topo:net.Topologies.topo ~flows ()
+
+let fig2_route scenario =
+  (Traffic.Scenario.flow scenario video_flow_id).Traffic.Flow.route
+
+let single_switch_voip ?(calls = 4) ?(rate_bps = mbit100) () =
+  if calls < 1 then invalid_arg "Scenarios.single_switch_voip: need a call";
+  let topo, hosts, sw = Topologies.star ~rate_bps ~hosts:(2 * calls) () in
+  let flows =
+    List.init calls (fun i ->
+        Traffic.Flow.make ~id:i
+          ~name:(Printf.sprintf "call%d" i)
+          ~spec:(Voip.g711_spec ()) ~encap:Ethernet.Encap.Rtp_udp
+          ~route:
+            (Network.Route.make topo [ hosts.(2 * i); sw; hosts.((2 * i) + 1) ])
+          ~priority:(7 - (i mod 2)))
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let multihop_chain ?(switches = 4) ?(rate_bps = mbit100) () =
+  if switches < 2 then invalid_arg "Scenarios.multihop_chain: need 2 switches";
+  let topo, hosts, sw =
+    Topologies.line ~rate_bps ~hosts_per_switch:2 ~switches ()
+  in
+  let last = switches - 1 in
+  let video_route =
+    (hosts.(0).(0) :: Array.to_list sw) @ [ hosts.(last).(0) ]
+  in
+  let video =
+    Traffic.Flow.make ~id:0 ~name:"video:end-to-end"
+      ~spec:(Mpeg.spec ~deadline:(Timeunit.ms 200) ())
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo video_route)
+      ~priority:5
+  in
+  (* One VoIP flow per inter-switch link plus one on the final access link,
+     so every hop of the video flow sees higher-priority cross traffic. *)
+  let cross_inter =
+    List.init (switches - 1) (fun i ->
+        Traffic.Flow.make ~id:(1 + i)
+          ~name:(Printf.sprintf "voip:sw%d->sw%d" i (i + 1))
+          ~spec:(Voip.g711_spec ()) ~encap:Ethernet.Encap.Rtp_udp
+          ~route:
+            (Network.Route.make topo
+               [ hosts.(i).(1); sw.(i); sw.(i + 1); hosts.(i + 1).(1) ])
+          ~priority:7)
+  in
+  let cross_last =
+    Traffic.Flow.make ~id:switches ~name:"voip:last-hop"
+      ~spec:(Voip.g711_spec ()) ~encap:Ethernet.Encap.Rtp_udp
+      ~route:(Network.Route.make topo [ hosts.(last).(1); sw.(last); hosts.(last).(0) ])
+      ~priority:7
+  in
+  Traffic.Scenario.make ~topo ~flows:(video :: cross_last :: cross_inter) ()
+
+let enterprise ?(access_switches = 3) ?(rate_bps = mbit100) () =
+  let topo, hosts, access, core =
+    Topologies.tree ~rate_bps ~access_switches ~hosts_per_access:3 ()
+  in
+  (* The shared server sits on its own access switch port 0 of switch 0's
+     third host; give it a dedicated access switch instead: reuse host
+     (0, 2) as the server. *)
+  let server = hosts.(0).(2) in
+  let to_server a h =
+    let src = hosts.(a).(h) in
+    if a = 0 then [ src; access.(0); server ]
+    else [ src; access.(a); core; access.(0); server ]
+  in
+  (* The server cannot source a flow to itself: skip any flow whose source
+     host is the server (only host (0, 2) qualifies). *)
+  let maybe id name spec encap a h priority =
+    if hosts.(a).(h) = server then []
+    else
+      [
+        Traffic.Flow.make ~id ~name ~spec ~encap
+          ~route:(Network.Route.make topo (to_server a h))
+          ~priority;
+      ]
+  in
+  let backup_spec =
+    Voip.spec ~period:(Timeunit.ms 50) ~payload_bytes:60_000
+      ~deadline:(Timeunit.ms 500) ()
+  in
+  let flows =
+    List.concat
+      (List.concat
+         (List.init access_switches (fun a ->
+              [
+                maybe (3 * a)
+                  (Printf.sprintf "voip%d" a)
+                  (Voip.g711_spec ()) Ethernet.Encap.Rtp_udp a 0 7;
+                maybe
+                  ((3 * a) + 1)
+                  (Printf.sprintf "video%d" a)
+                  (Mpeg.spec ~deadline:(Timeunit.ms 200) ())
+                  Ethernet.Encap.Udp a 1 5;
+                maybe
+                  ((3 * a) + 2)
+                  (Printf.sprintf "backup%d" a)
+                  backup_spec Ethernet.Encap.Udp a 2 0;
+              ])))
+  in
+  Traffic.Scenario.make ~topo ~flows ()

@@ -1,0 +1,42 @@
+(** Named, ready-to-run scenarios used by the CLI, the examples and the
+    experiments. *)
+
+val fig1_videoconf : ?rate_bps:int -> unit -> Traffic.Scenario.t
+(** The paper's running example: the Figure 1 network with
+
+    - the Figure 3 MPEG video flow on the Figure 2 route (0 -> 4 -> 6 -> 3)
+      at priority 5, with its G.711 audio companion at priority 6 (a video
+      conferencing process is "associated with two flows: one for video and
+      one for audio", Section 2.1);
+    - a reverse video+audio pair from endhost 3 to endhost 0;
+    - a VoIP call from endhost 1 to endhost 2 (via 4 and 5) at priority 7;
+    - a best-effort-like bulk UDP flow from router 7 to endhost 1 at
+      priority 0.
+
+    Default link speed is the worked example's 10 Mbit/s. *)
+
+val fig2_route : Traffic.Scenario.t -> Network.Route.t
+(** The 0 -> 4 -> 6 -> 3 route inside {!fig1_videoconf}'s topology. *)
+
+val video_flow_id : Traffic.Flow.id
+(** Id of the Figure 2/3 video flow inside {!fig1_videoconf} (= 0). *)
+
+val single_switch_voip :
+  ?calls:int -> ?rate_bps:int -> unit -> Traffic.Scenario.t
+(** [calls] independent G.711 calls crossing one switch — the "VoIP in
+    medical care" setting of the introduction.  Call [i] runs from host
+    [2i] to host [2i+1] at priority 7 minus [i mod 2] (two 802.1p classes).
+    Default 4 calls at 100 Mbit/s. *)
+
+val multihop_chain :
+  ?switches:int -> ?rate_bps:int -> unit -> Traffic.Scenario.t
+(** One MPEG flow traversing a chain of [switches] switches end to end,
+    with a VoIP cross-flow injected at every switch.  Exercises jitter
+    accumulation over many hops.  Default 4 switches at 100 Mbit/s. *)
+
+val enterprise :
+  ?access_switches:int -> ?rate_bps:int -> unit -> Traffic.Scenario.t
+(** An enterprise edge on a {!Topologies.tree}: per access switch, one
+    VoIP call and one video stream to a server behind the core, plus one
+    low-priority bulk backup crossing the core.  Default 3 access switches
+    at 100 Mbit/s access / 1 Gbit/s uplinks. *)

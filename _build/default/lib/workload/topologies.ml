@@ -1,0 +1,145 @@
+type example_net = {
+  topo : Network.Topology.t;
+  endhosts : Network.Node.id array;
+  switches : Network.Node.id array;
+  router : Network.Node.id;
+}
+
+let mbit10 = 10_000_000
+
+let example ?(rate_bps = mbit10) ?(prop = 0) () =
+  let topo = Network.Topology.create () in
+  let host i =
+    Network.Topology.add_node topo
+      ~name:(Printf.sprintf "host%d" i)
+      ~kind:Network.Node.Endhost
+  in
+  let endhosts = Array.init 4 host in
+  let switch i =
+    Network.Topology.add_node topo
+      ~name:(Printf.sprintf "sw%d" (i + 4))
+      ~kind:Network.Node.Switch
+  in
+  let switches = Array.init 3 switch in
+  let router =
+    Network.Topology.add_node topo ~name:"router7" ~kind:Network.Node.Router
+  in
+  let connect a b = Network.Topology.add_duplex_link topo ~a ~b ~rate_bps ~prop in
+  (* Switch 4: endhosts 0, 1 and switches 5, 6 (Figure 5's four ports). *)
+  connect endhosts.(0) switches.(0);
+  connect endhosts.(1) switches.(0);
+  connect switches.(0) switches.(1);
+  connect switches.(0) switches.(2);
+  (* Switch 5: endhost 2, router 7 and switch 6. *)
+  connect endhosts.(2) switches.(1);
+  connect router switches.(1);
+  connect switches.(1) switches.(2);
+  (* Switch 6: endhost 3. *)
+  connect endhosts.(3) switches.(2);
+  { topo; endhosts; switches; router }
+
+let line ?(rate_bps = mbit10) ?(prop = 0) ~hosts_per_switch ~switches () =
+  if switches < 1 then invalid_arg "Topologies.line: need a switch";
+  if hosts_per_switch < 1 then invalid_arg "Topologies.line: need hosts";
+  let topo = Network.Topology.create () in
+  let switch_ids =
+    Array.init switches (fun s ->
+        Network.Topology.add_node topo
+          ~name:(Printf.sprintf "sw%d" s)
+          ~kind:Network.Node.Switch)
+  in
+  let hosts =
+    Array.init switches (fun s ->
+        Array.init hosts_per_switch (fun h ->
+            let id =
+              Network.Topology.add_node topo
+                ~name:(Printf.sprintf "h%d_%d" s h)
+                ~kind:Network.Node.Endhost
+            in
+            Network.Topology.add_duplex_link topo ~a:id ~b:switch_ids.(s)
+              ~rate_bps ~prop;
+            id))
+  in
+  for s = 0 to switches - 2 do
+    Network.Topology.add_duplex_link topo ~a:switch_ids.(s)
+      ~b:switch_ids.(s + 1) ~rate_bps ~prop
+  done;
+  (topo, hosts, switch_ids)
+
+let star ?(rate_bps = mbit10) ?(prop = 0) ~hosts () =
+  if hosts < 2 then invalid_arg "Topologies.star: need two hosts";
+  let topo = Network.Topology.create () in
+  let sw =
+    Network.Topology.add_node topo ~name:"sw" ~kind:Network.Node.Switch
+  in
+  let host_ids =
+    Array.init hosts (fun h ->
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "h%d" h)
+            ~kind:Network.Node.Endhost
+        in
+        Network.Topology.add_duplex_link topo ~a:id ~b:sw ~rate_bps ~prop;
+        id)
+  in
+  (topo, host_ids, sw)
+
+let ring ?(rate_bps = mbit10) ?(prop = 0) ~switches () =
+  if switches < 3 then invalid_arg "Topologies.ring: need three switches";
+  let topo = Network.Topology.create () in
+  let sw =
+    Array.init switches (fun i ->
+        Network.Topology.add_node topo
+          ~name:(Printf.sprintf "sw%d" i)
+          ~kind:Network.Node.Switch)
+  in
+  let hosts =
+    Array.init switches (fun i ->
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "h%d" i)
+            ~kind:Network.Node.Endhost
+        in
+        Network.Topology.add_duplex_link topo ~a:id ~b:sw.(i) ~rate_bps ~prop;
+        id)
+  in
+  for i = 0 to switches - 1 do
+    Network.Topology.add_duplex_link topo ~a:sw.(i)
+      ~b:sw.((i + 1) mod switches)
+      ~rate_bps ~prop
+  done;
+  (topo, hosts, sw)
+
+let tree ?(rate_bps = mbit10) ?uplink_bps ?(prop = 0) ~access_switches
+    ~hosts_per_access () =
+  if access_switches < 1 then invalid_arg "Topologies.tree: need a switch";
+  if hosts_per_access < 1 then invalid_arg "Topologies.tree: need hosts";
+  let uplink_bps = Option.value ~default:(10 * rate_bps) uplink_bps in
+  let topo = Network.Topology.create () in
+  let core =
+    Network.Topology.add_node topo ~name:"core" ~kind:Network.Node.Switch
+  in
+  let access =
+    Array.init access_switches (fun a ->
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "acc%d" a)
+            ~kind:Network.Node.Switch
+        in
+        Network.Topology.add_duplex_link topo ~a:id ~b:core
+          ~rate_bps:uplink_bps ~prop;
+        id)
+  in
+  let hosts =
+    Array.init access_switches (fun a ->
+        Array.init hosts_per_access (fun h ->
+            let id =
+              Network.Topology.add_node topo
+                ~name:(Printf.sprintf "h%d_%d" a h)
+                ~kind:Network.Node.Endhost
+            in
+            Network.Topology.add_duplex_link topo ~a:id ~b:access.(a)
+              ~rate_bps ~prop;
+            id))
+  in
+  (topo, hosts, access, core)

@@ -1,0 +1,65 @@
+(** Topology builders: the paper's example network plus parametric shapes
+    for the scaling and admission experiments. *)
+
+type example_net = {
+  topo : Network.Topology.t;
+  endhosts : Network.Node.id array;  (** Nodes 0..3 of Figure 1. *)
+  switches : Network.Node.id array;  (** Nodes 4..6 of Figure 1. *)
+  router : Network.Node.id;  (** Node 7 of Figure 1. *)
+}
+
+val example :
+  ?rate_bps:int -> ?prop:Gmf_util.Timeunit.ns -> unit -> example_net
+(** The network of Figure 1: endhosts 0–3, software switches 4–6, IP router
+    7.  Connectivity reconstructed from Figures 1, 2 and 5: switch 4 links
+    to endhosts 0 and 1 and to switches 5 and 6 (the four interfaces shown
+    in Figure 5); switch 5 links to endhost 2, router 7 and switches 4 and
+    6; switch 6 links to endhost 3 and switches 4 and 5.  The route of
+    Figure 2 (0 -> 4 -> 6 -> 3) exists.  Default link speed is the worked
+    example's 10 Mbit/s, default propagation 0. *)
+
+val line :
+  ?rate_bps:int ->
+  ?prop:Gmf_util.Timeunit.ns ->
+  hosts_per_switch:int ->
+  switches:int ->
+  unit ->
+  Network.Topology.t * Network.Node.id array array * Network.Node.id array
+(** [line ~hosts_per_switch ~switches ()] is a chain of switches, each with
+    its own endhosts.  Returns (topology, hosts.(s).(h), switch ids).
+    Used by the multihop scaling experiment. *)
+
+val star :
+  ?rate_bps:int ->
+  ?prop:Gmf_util.Timeunit.ns ->
+  hosts:int ->
+  unit ->
+  Network.Topology.t * Network.Node.id array * Network.Node.id
+(** A single switch with [hosts] endhosts — the smallest setting exercising
+    all three analysis stages. *)
+
+val ring :
+  ?rate_bps:int ->
+  ?prop:Gmf_util.Timeunit.ns ->
+  switches:int ->
+  unit ->
+  Network.Topology.t * Network.Node.id array * Network.Node.id array
+(** [ring ~switches ()] is a cycle of switches (at least 3), each with one
+    endhost.  Returns (topology, hosts, switch ids).  Every host pair has
+    two disjoint switch paths (clockwise and counter-clockwise) — the
+    canonical rerouting setting. *)
+
+val tree :
+  ?rate_bps:int ->
+  ?uplink_bps:int ->
+  ?prop:Gmf_util.Timeunit.ns ->
+  access_switches:int ->
+  hosts_per_access:int ->
+  unit ->
+  Network.Topology.t * Network.Node.id array array * Network.Node.id array
+  * Network.Node.id
+(** [tree ~access_switches ~hosts_per_access ()] is the classic enterprise
+    edge: a core switch, [access_switches] access switches hanging off it
+    (uplinks at [uplink_bps], default 10x the access rate), and
+    [hosts_per_access] endhosts per access switch.  Returns
+    (topology, hosts.(a).(h), access switch ids, core switch id). *)

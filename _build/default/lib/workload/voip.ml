@@ -1,0 +1,23 @@
+open Gmf_util
+
+let spec ~period ~payload_bytes ~deadline ?(jitter = 0) () =
+  Gmf.Spec.make
+    [
+      Gmf.Frame_spec.make ~period ~deadline ~jitter
+        ~payload_bits:(8 * payload_bytes);
+    ]
+
+let g711_spec ?(deadline = Timeunit.ms 150) ?(jitter = 0) () =
+  spec ~period:(Timeunit.ms 20) ~payload_bytes:160 ~deadline ~jitter ()
+
+let talkspurt_spec ?(talk_packets = 20) ?(silence = Timeunit.ms 200)
+    ?(period = Timeunit.ms 20) ?(payload_bytes = 160)
+    ?(deadline = Timeunit.ms 150) () =
+  if talk_packets < 1 then
+    invalid_arg "Voip.talkspurt_spec: need at least one talk packet";
+  let talk k =
+    let p = if k = talk_packets - 1 then period + silence else period in
+    Gmf.Frame_spec.make ~period:p ~deadline ~jitter:0
+      ~payload_bits:(8 * payload_bytes)
+  in
+  Gmf.Spec.make (List.init talk_packets talk)

@@ -1,0 +1,34 @@
+(** Voice-over-IP traffic — the application motivating the paper's
+    introduction (Section 1).
+
+    A VoIP stream is constant-bit-rate: one RTP/UDP packet per voice frame.
+    In the GMF model that is the degenerate single-frame cycle. *)
+
+val g711_spec :
+  ?deadline:Gmf_util.Timeunit.ns -> ?jitter:Gmf_util.Timeunit.ns -> unit ->
+  Gmf.Spec.t
+(** G.711 at the common 20 ms packetization: 160 bytes of payload every
+    20 ms.  Default deadline 150 ms (the ITU-T one-way target for
+    interactive speech), default jitter 0. *)
+
+val spec :
+  period:Gmf_util.Timeunit.ns ->
+  payload_bytes:int ->
+  deadline:Gmf_util.Timeunit.ns ->
+  ?jitter:Gmf_util.Timeunit.ns ->
+  unit ->
+  Gmf.Spec.t
+(** Arbitrary CBR stream: one packet of [payload_bytes] every [period]. *)
+
+val talkspurt_spec :
+  ?talk_packets:int ->
+  ?silence:Gmf_util.Timeunit.ns ->
+  ?period:Gmf_util.Timeunit.ns ->
+  ?payload_bytes:int ->
+  ?deadline:Gmf_util.Timeunit.ns ->
+  unit ->
+  Gmf.Spec.t
+(** A VoIP source with silence suppression, where GMF pays off: a cycle of
+    [talk_packets] voice packets followed by one packet whose period is
+    stretched by [silence] (the minimum silence gap).  Default: 20 packets
+    of 160 bytes every 20 ms, then at least 200 ms of silence. *)

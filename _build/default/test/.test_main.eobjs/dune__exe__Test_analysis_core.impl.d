@@ -1,0 +1,1 @@
+test/test_analysis_core.ml: Alcotest Analysis Array Config Ctx Fixpoint Fun Gmf_util Jitter_state List Network Stage String Timeunit Traffic Workload

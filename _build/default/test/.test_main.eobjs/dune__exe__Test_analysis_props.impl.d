@@ -1,0 +1,1 @@
+test/test_analysis_props.ml: Alcotest Analysis Array Click Ethernet Experiments Gmf Gmf_util List Network QCheck QCheck_alcotest Timeunit Traffic Workload

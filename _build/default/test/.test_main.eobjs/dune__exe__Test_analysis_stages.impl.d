@@ -1,0 +1,1 @@
+test/test_analysis_stages.ml: Alcotest Analysis Array Config Ctx Egress Ethernet First_hop Gmf Gmf_util Ingress List Network Printf Result_types Stage Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Analysis Array Ethernet Gmf Gmf_util List Network Printf Timeunit Traffic Workload

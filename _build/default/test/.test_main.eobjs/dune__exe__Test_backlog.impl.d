@@ -1,0 +1,1 @@
+test/test_backlog.ml: Alcotest Analysis Array Ethernet Gmf Gmf_util List Network Printf Result Rng Sim Timeunit Traffic Workload

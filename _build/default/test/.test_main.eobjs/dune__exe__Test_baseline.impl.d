@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Analysis Array Baseline Ethernet Gmf Gmf_util List Network Printf Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_busy_poll.ml: Alcotest Analysis Array Click Ethernet Gmf_util List Network Option Printf Sim Timeunit Traffic Workload

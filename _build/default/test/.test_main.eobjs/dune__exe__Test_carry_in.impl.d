@@ -1,0 +1,1 @@
+test/test_carry_in.ml: Alcotest Analysis Array Ethernet Gmf Gmf_util Network Option Printf Sim Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_click.ml: Alcotest Click Gmf_util Stride Switch_model Timeunit

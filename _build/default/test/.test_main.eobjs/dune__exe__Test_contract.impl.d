@@ -1,0 +1,1 @@
+test/test_contract.ml: Alcotest Array Gmf Gmf_util List QCheck QCheck_alcotest Rng Timeunit Workload

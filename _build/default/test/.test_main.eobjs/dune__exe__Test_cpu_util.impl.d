@@ -1,0 +1,1 @@
+test/test_cpu_util.ml: Alcotest Ethernet Gmf_util List Network Printf Sim Timeunit Traffic Workload

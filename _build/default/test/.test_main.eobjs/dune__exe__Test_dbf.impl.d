@@ -1,0 +1,1 @@
+test/test_dbf.ml: Alcotest Array Gmf List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest Array Gmf Printf QCheck QCheck_alcotest

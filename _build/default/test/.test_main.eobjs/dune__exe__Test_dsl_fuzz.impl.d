@@ -1,0 +1,1 @@
+test/test_dsl_fuzz.ml: Gen Gmf_util List QCheck QCheck_alcotest Rng Scenario_io String

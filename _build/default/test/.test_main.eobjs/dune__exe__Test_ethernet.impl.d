@@ -1,0 +1,1 @@
+test/test_ethernet.ml: Alcotest Constants Encap Ethernet Fragment List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Gmf_util List Option Printf Timeunit Workload

@@ -1,0 +1,1 @@
+test/test_finite_queues.ml: Alcotest Analysis Array Ethernet Gmf Gmf_util List Network Printf Sim Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_gmf.ml: Alcotest Gmf Gmf_util Timeunit

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Gmf_util Heap List QCheck QCheck_alcotest

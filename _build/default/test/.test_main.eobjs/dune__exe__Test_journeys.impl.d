@@ -1,0 +1,1 @@
+test/test_journeys.ml: Alcotest Gmf_util Hashtbl List Sim String Timeunit Workload

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Gmf_util List Network Option Timeunit Workload

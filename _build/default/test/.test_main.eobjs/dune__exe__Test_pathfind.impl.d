@@ -1,0 +1,1 @@
+test/test_pathfind.ml: Alcotest Array List Network Workload

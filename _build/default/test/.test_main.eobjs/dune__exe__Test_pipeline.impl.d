@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Admission Alcotest Analysis Array Conditions Ctx Ethernet Gmf Gmf_util Holistic List Network Pipeline Printf Result_types Stage Timeunit Traffic Workload

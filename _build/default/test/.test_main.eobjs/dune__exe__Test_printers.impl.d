@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Analysis Array Click Ethernet Filename Format Fun Gmf Gmf_util List Network Scenario_io Sim String Sys Timeunit Traffic Workload

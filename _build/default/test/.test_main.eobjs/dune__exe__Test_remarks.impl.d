@@ -1,0 +1,1 @@
+test/test_remarks.ml: Alcotest Analysis Ethernet Gmf Gmf_util List Network Option Result Scenario_io Sim Timeunit Traffic

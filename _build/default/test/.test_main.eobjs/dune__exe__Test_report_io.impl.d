@@ -1,0 +1,1 @@
+test/test_report_io.ml: Alcotest Analysis Array Ethernet Experiments Filename List Network Printf Scenario_io String Traffic Workload

@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Analysis Array Ethernet Experiments Gmf Gmf_util List Network Option Printf Sim Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_scenario_io.ml: Alcotest Analysis Array Click Ethernet Gmf Gmf_util List Network Printf QCheck QCheck_alcotest Result Rng Scenario_io String Timeunit Traffic Workload

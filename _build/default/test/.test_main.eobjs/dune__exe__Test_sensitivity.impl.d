@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Analysis Array Click Ethernet Gmf Gmf_util Network Printf Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ethernet Gmf Gmf_util List Network Option Printf Sim Stats Timeunit Traffic Workload

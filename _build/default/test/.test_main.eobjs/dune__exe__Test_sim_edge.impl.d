@@ -1,0 +1,1 @@
+test/test_sim_edge.ml: Alcotest Analysis Array Click Ethernet Experiments Gmf Gmf_util List Network Option Printf Sim Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Gmf_util List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_stride.ml: Alcotest Float Gen List QCheck QCheck_alcotest Scheduler Stride

@@ -1,0 +1,1 @@
+test/test_tablefmt.ml: Alcotest Gmf_util List String Tablefmt

@@ -1,0 +1,1 @@
+test/test_tight_jitter.ml: Alcotest Analysis Array Ethernet Experiments Gmf_util List Network Printf Sim Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_timeunit.ml: Alcotest Gmf_util Timeunit

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Click Ethernet Gmf Gmf_util List Network Printf Timeunit Traffic Workload

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Analysis Array Gmf_util Hashtbl List Printf Rng Sim Timeunit Traffic Workload

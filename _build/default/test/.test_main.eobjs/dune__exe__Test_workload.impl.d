@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Analysis Array Gmf Gmf_util List Network Rng Timeunit Traffic Workload

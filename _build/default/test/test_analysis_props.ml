@@ -1,0 +1,170 @@
+(* Property tests on the analysis as a whole: the response-time bound must
+   react monotonically to every workload/platform parameter.  Violations of
+   these properties are how analysis bugs usually surface. *)
+open Gmf_util
+
+(* A deterministic two-flow star scenario parameterized by everything the
+   properties vary.  Flow 0 is the analyzed flow, flow 1 the competitor. *)
+type params = {
+  payload_scale : float;
+  competitor_priority : int;
+  croute_ns : int;
+  rate_bps : int;
+  jitter_ns : int;
+}
+
+let base_params =
+  {
+    payload_scale = 1.0;
+    competitor_priority = 5;
+    croute_ns = 2_700;
+    rate_bps = 100_000_000;
+    jitter_ns = 0;
+  }
+
+let scenario_of p =
+  let topo, hosts, sw = Workload.Topologies.star ~rate_bps:p.rate_bps ~hosts:3 () in
+  let model =
+    Click.Switch_model.make ~croute:p.croute_ns ~csend:1_000 ~ninterfaces:3 ()
+  in
+  let payload scale base =
+    max 8 (int_of_float (float_of_int base *. scale))
+  in
+  let spec scale jitter =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 30)
+          ~deadline:(Timeunit.ms 400) ~jitter
+          ~payload_bits:(payload scale (8 * 30_000));
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 30)
+          ~deadline:(Timeunit.ms 400) ~jitter
+          ~payload_bits:(payload scale (8 * 6_000));
+      ]
+  in
+  let analyzed =
+    Traffic.Flow.make ~id:0 ~name:"analyzed" ~spec:(spec p.payload_scale p.jitter_ns)
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(2) ])
+      ~priority:4
+  in
+  let competitor =
+    Traffic.Flow.make ~id:1 ~name:"competitor" ~spec:(spec 1.0 0)
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(1); sw; hosts.(2) ])
+      ~priority:p.competitor_priority
+  in
+  Traffic.Scenario.make ~switches:[ (sw, model) ] ~topo
+    ~flows:[ analyzed; competitor ] ()
+
+let bound_of ?config p =
+  let report = Analysis.Holistic.analyze ?config (scenario_of p) in
+  match report.Analysis.Holistic.verdict with
+  | Analysis.Holistic.Schedulable | Analysis.Holistic.Deadline_miss _ ->
+      Some (Experiments.Exp_common.worst_total report 0)
+  | _ -> None
+
+let check_ordered name smaller larger =
+  match (smaller, larger) with
+  | Some a, Some b ->
+      if a > b then
+        QCheck.Test.fail_reportf "%s: %s should be <= %s" name
+          (Timeunit.to_string a) (Timeunit.to_string b)
+      else true
+  | None, Some _ ->
+      QCheck.Test.fail_reportf "%s: smaller diverged, larger did not" name
+  | _ -> true (* larger diverged: vacuous *)
+
+let prop_monotone_in_payload =
+  QCheck.Test.make ~name:"bound monotone in payload size" ~count:25
+    QCheck.(pair (float_range 0.2 2.0) (float_range 1.0 1.8))
+    (fun (scale, grow) ->
+      let small = bound_of { base_params with payload_scale = scale } in
+      let large =
+        bound_of { base_params with payload_scale = scale *. grow }
+      in
+      check_ordered "payload" small large)
+
+let prop_monotone_in_competitor_priority =
+  QCheck.Test.make ~name:"bound monotone in competitor priority" ~count:10
+    QCheck.(pair (int_range 0 7) (int_range 0 7))
+    (fun (p1, p2) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      check_ordered "competitor priority"
+        (bound_of { base_params with competitor_priority = lo })
+        (bound_of { base_params with competitor_priority = hi }))
+
+let prop_monotone_in_circ =
+  QCheck.Test.make ~name:"bound monotone in CROUTE" ~count:25
+    QCheck.(pair (int_range 100 20_000) (int_range 0 20_000))
+    (fun (croute, extra) ->
+      check_ordered "croute"
+        (bound_of { base_params with croute_ns = croute })
+        (bound_of { base_params with croute_ns = croute + extra }))
+
+let prop_antitone_in_rate =
+  QCheck.Test.make ~name:"bound antitone in link rate" ~count:25
+    QCheck.(pair (int_range 10_000_000 500_000_000) (float_range 1.0 8.0))
+    (fun (rate, speedup) ->
+      let faster = int_of_float (float_of_int rate *. speedup) in
+      check_ordered "rate"
+        (bound_of { base_params with rate_bps = faster })
+        (bound_of { base_params with rate_bps = rate }))
+
+let prop_monotone_in_jitter =
+  QCheck.Test.make ~name:"bound monotone in source jitter" ~count:25
+    QCheck.(pair (int_range 0 5_000_000) (int_range 0 5_000_000))
+    (fun (j, extra) ->
+      check_ordered "jitter"
+        (bound_of { base_params with jitter_ns = j })
+        (bound_of { base_params with jitter_ns = j + extra }))
+
+let prop_repaired_dominates_faithful =
+  QCheck.Test.make ~name:"repaired bounds dominate faithful" ~count:25
+    QCheck.(pair (float_range 0.2 2.0) (int_range 0 2_000_000))
+    (fun (scale, jitter) ->
+      let p = { base_params with payload_scale = scale; jitter_ns = jitter } in
+      check_ordered "variant"
+        (bound_of ~config:Analysis.Config.faithful p)
+        (bound_of p))
+
+let test_added_flow_never_helps () =
+  (* Admitting a third flow must not reduce the existing flows' bounds. *)
+  let scenario = scenario_of base_params in
+  let topo = Traffic.Scenario.topo scenario in
+  let extra =
+    Traffic.Flow.make ~id:2 ~name:"extra" ~spec:(Workload.Voip.g711_spec ())
+      ~encap:Ethernet.Encap.Rtp_udp
+      ~route:(Network.Route.make topo [ 1; 0; 3 ])
+      ~priority:6
+  in
+  let with_extra =
+    Traffic.Scenario.make ~topo
+      ~flows:(Traffic.Scenario.flows scenario @ [ extra ])
+      ()
+  in
+  let bounds s =
+    let report = Analysis.Holistic.analyze s in
+    List.filter_map
+      (fun r ->
+        if r.Analysis.Result_types.flow.Traffic.Flow.id <= 1 then
+          Some
+            (Analysis.Result_types.worst_frame r).Analysis.Result_types.total
+        else None)
+      report.Analysis.Holistic.results
+  in
+  List.iter2
+    (fun before after ->
+      Alcotest.(check bool) "no bound shrank" true (after >= before))
+    (bounds scenario) (bounds with_extra)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_monotone_in_payload;
+    QCheck_alcotest.to_alcotest prop_monotone_in_competitor_priority;
+    QCheck_alcotest.to_alcotest prop_monotone_in_circ;
+    QCheck_alcotest.to_alcotest prop_antitone_in_rate;
+    QCheck_alcotest.to_alcotest prop_monotone_in_jitter;
+    QCheck_alcotest.to_alcotest prop_repaired_dominates_faithful;
+    Alcotest.test_case "added flow never helps" `Quick
+      test_added_flow_never_helps;
+  ]

@@ -1,0 +1,149 @@
+(* Backlog (buffer-sizing) bounds: Analysis.Backlog vs the simulator's
+   queue high-water marks. *)
+open Gmf_util
+
+let analyzed scenario =
+  let ctx = Analysis.Ctx.create scenario in
+  let report = Analysis.Holistic.run ctx in
+  (ctx, report)
+
+let bounds_ok = function
+  | Ok bounds -> bounds
+  | Error msg -> Alcotest.failf "backlog bounds failed: %s" msg
+
+let test_single_flow_bounds () =
+  (* One single-Ethernet-frame flow through one switch: at most one frame of
+     it can ever sit in each queue plus the next cycle's arrival within the
+     jitter window - the bound must be small but at least 1. *)
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:2 () in
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 10) ~deadline:(Timeunit.ms 50)
+          ~jitter:0 ~payload_bits:(8 * 1_472);
+      ]
+  in
+  let flow =
+    Traffic.Flow.make ~id:0 ~name:"solo" ~spec ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+      ~priority:5
+  in
+  let scenario = Traffic.Scenario.make ~topo ~flows:[ flow ] () in
+  let ctx, report = analyzed scenario in
+  let egress = bounds_ok (Analysis.Backlog.egress_bounds ctx report) in
+  let ingress = bounds_ok (Analysis.Backlog.ingress_bounds ctx report) in
+  Alcotest.(check int) "one egress queue" 1 (List.length egress);
+  Alcotest.(check int) "one ingress fifo" 1 (List.length ingress);
+  let e = List.hd egress in
+  Alcotest.(check int) "egress bound = 1 frame" 1 e.Analysis.Backlog.frames;
+  Alcotest.(check int) "bits = frames * max frame"
+    (e.Analysis.Backlog.frames * 12_304)
+    e.Analysis.Backlog.bits;
+  Alcotest.(check int) "ingress bound = 1 frame" 1
+    (List.hd ingress).Analysis.Backlog.frames
+
+let test_bounds_require_schedulable () =
+  (* Overloaded scenario: the analysis fails and backlog bounds refuse. *)
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:2 () in
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 2) ~deadline:(Timeunit.ms 50)
+          ~jitter:0 ~payload_bits:(8 * 1_472);
+      ]
+  in
+  let flows =
+    List.init 2 (fun id ->
+        Traffic.Flow.make ~id ~name:(Printf.sprintf "f%d" id) ~spec
+          ~encap:Ethernet.Encap.Udp
+          ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+          ~priority:5)
+  in
+  let scenario = Traffic.Scenario.make ~topo ~flows () in
+  let ctx, report = analyzed scenario in
+  Alcotest.(check bool) "egress bounds rejected" true
+    (Result.is_error (Analysis.Backlog.egress_bounds ctx report));
+  Alcotest.(check bool) "ingress bounds rejected" true
+    (Result.is_error (Analysis.Backlog.ingress_bounds ctx report))
+
+let check_domination name scenario =
+  let ctx, report = analyzed scenario in
+  if Analysis.Holistic.is_schedulable report then begin
+    let sim =
+      Sim.Netsim.run
+        ~config:{ Sim.Sim_config.default with duration = Timeunit.s 1 }
+        scenario
+    in
+    let check kind bounds observed_table =
+      List.iter
+        (fun (b : Analysis.Backlog.queue_bound) ->
+          match
+            List.assoc_opt
+              (b.Analysis.Backlog.node, b.Analysis.Backlog.peer)
+              observed_table
+          with
+          | None -> ()
+          | Some observed ->
+              if observed > b.Analysis.Backlog.frames then
+                Alcotest.failf "%s %s queue %d<->%d: observed %d > bound %d"
+                  name kind b.Analysis.Backlog.node b.Analysis.Backlog.peer
+                  observed b.Analysis.Backlog.frames)
+        bounds
+    in
+    check "egress"
+      (bounds_ok (Analysis.Backlog.egress_bounds ctx report))
+      sim.Sim.Netsim.egress_backlog;
+    check "ingress"
+      (bounds_ok (Analysis.Backlog.ingress_bounds ctx report))
+      sim.Sim.Netsim.ingress_backlog
+  end
+
+let test_domination_fig1 () =
+  check_domination "fig1" (Workload.Scenarios.fig1_videoconf ())
+
+let test_domination_chain () =
+  check_domination "chain" (Workload.Scenarios.multihop_chain ())
+
+let test_domination_random () =
+  for seed = 11 to 16 do
+    let rng = Rng.create ~seed in
+    let topo, hosts, _sw =
+      Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:4 ()
+    in
+    let pairs = Workload.Random_gen.random_pairs rng ~hosts ~count:4 in
+    let flows = Workload.Random_gen.flows_between rng ~topo ~pairs () in
+    check_domination
+      (Printf.sprintf "random-%d" seed)
+      (Traffic.Scenario.make ~topo ~flows ())
+  done
+
+let test_sim_reports_queues () =
+  let sim =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 300 }
+      (Workload.Scenarios.fig1_videoconf ())
+  in
+  (* Each of the three switches reports its interfaces; occupancies are
+     positive somewhere. *)
+  Alcotest.(check bool) "egress marks present" true
+    (List.length sim.Sim.Netsim.egress_backlog > 0);
+  Alcotest.(check bool) "some queue was used" true
+    (List.exists (fun (_, m) -> m > 0) sim.Sim.Netsim.egress_backlog);
+  Alcotest.(check bool) "ingress marks present" true
+    (List.length sim.Sim.Netsim.ingress_backlog > 0);
+  (* Keys are (switch, neighbor) pairs with switch in {4,5,6}. *)
+  List.iter
+    (fun ((sw, _), _) ->
+      Alcotest.(check bool) "key is a switch" true (sw >= 4 && sw <= 6))
+    sim.Sim.Netsim.egress_backlog
+
+let tests =
+  [
+    Alcotest.test_case "single flow bounds" `Quick test_single_flow_bounds;
+    Alcotest.test_case "requires schedulable" `Quick
+      test_bounds_require_schedulable;
+    Alcotest.test_case "domination: fig1" `Slow test_domination_fig1;
+    Alcotest.test_case "domination: chain" `Slow test_domination_chain;
+    Alcotest.test_case "domination: random" `Slow test_domination_random;
+    Alcotest.test_case "sim reports queues" `Quick test_sim_reports_queues;
+  ]

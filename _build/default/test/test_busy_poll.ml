@@ -1,0 +1,109 @@
+(* Adversarial busy-poll CPU model: idle tasks burn their quantum, matching
+   the analysis' CIRC worst case. *)
+open Gmf_util
+
+let scenario () = Workload.Scenarios.fig1_videoconf ()
+
+let run ~busy_poll scenario =
+  Sim.Netsim.run
+    ~config:
+      { Sim.Sim_config.default with duration = Timeunit.ms 500; busy_poll }
+    scenario
+
+let test_busy_poll_slower () =
+  let s = scenario () in
+  let idle = run ~busy_poll:false s in
+  let busy = run ~busy_poll:true s in
+  (* Everything still completes... *)
+  Alcotest.(check int) "no stuck packets" 0
+    (Sim.Collector.incomplete busy.Sim.Netsim.collector);
+  (* ...but responses only get worse, never better. *)
+  List.iter
+    (fun fid ->
+      let m report =
+        Option.get
+          (Sim.Collector.max_response_flow report.Sim.Netsim.collector
+             ~flow:fid)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d: busy-poll >= idle-skip" fid)
+        true
+        (m busy >= m idle))
+    (Sim.Collector.flows_seen idle.Sim.Netsim.collector)
+
+let test_busy_poll_cpu_hotter () =
+  let s = scenario () in
+  let idle = run ~busy_poll:false s in
+  let busy = run ~busy_poll:true s in
+  List.iter
+    (fun (sw, u_busy) ->
+      let u_idle = List.assoc sw idle.Sim.Netsim.cpu_utilization in
+      Alcotest.(check bool)
+        (Printf.sprintf "switch %d hotter under busy-poll" sw)
+        true (u_busy >= u_idle))
+    busy.Sim.Netsim.cpu_utilization
+
+let test_busy_poll_still_dominated () =
+  (* The analysis assumes the busy-poll worst case, so its bounds must still
+     dominate the adversarial simulator. *)
+  let s = scenario () in
+  let report = Analysis.Holistic.analyze s in
+  let sim = run ~busy_poll:true s in
+  List.iter
+    (fun res ->
+      let fid = res.Analysis.Result_types.flow.Traffic.Flow.id in
+      Array.iter
+        (fun (fr : Analysis.Result_types.frame_result) ->
+          match
+            Sim.Collector.max_response sim.Sim.Netsim.collector ~flow:fid
+              ~frame:fr.Analysis.Result_types.frame
+          with
+          | None -> ()
+          | Some observed ->
+              Alcotest.(check bool)
+                (Printf.sprintf "flow %d frame %d dominated" fid
+                   fr.Analysis.Result_types.frame)
+                true
+                (observed <= fr.Analysis.Result_types.total))
+        res.Analysis.Result_types.frames)
+    report.Analysis.Holistic.results
+
+let test_ingress_latency_approaches_circ () =
+  (* One packet through an otherwise idle 4-port switch: with busy-poll its
+     single Ethernet frame can wait up to a full rotation at the ingress
+     task but never longer than CIRC + CROUTE. *)
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:4 () in
+  let model = Click.Switch_model.make ~ninterfaces:4 () in
+  let flow =
+    Traffic.Flow.make ~id:0 ~name:"probe"
+      ~spec:(Workload.Voip.g711_spec ()) ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+      ~priority:5
+  in
+  let scenario =
+    Traffic.Scenario.make ~switches:[ (sw, model) ] ~topo ~flows:[ flow ] ()
+  in
+  let sim = run ~busy_poll:true scenario in
+  match
+    Sim.Collector.max_stage_span sim.Sim.Netsim.collector ~flow:0 ~frame:0
+      ~stage:(Sim.Collector.S_in sw)
+  with
+  | None -> Alcotest.fail "no ingress span recorded"
+  | Some span ->
+      let circ = Click.Switch_model.circ model in
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s within CIRC + CROUTE"
+           (Timeunit.to_string span))
+        true
+        (span <= circ + 2_700);
+      (* And the rotation really costs something: more than just CROUTE. *)
+      Alcotest.(check bool) "rotation delay visible" true (span > 2_700)
+
+let tests =
+  [
+    Alcotest.test_case "busy-poll slower" `Quick test_busy_poll_slower;
+    Alcotest.test_case "busy-poll cpu hotter" `Quick test_busy_poll_cpu_hotter;
+    Alcotest.test_case "still dominated" `Slow test_busy_poll_still_dominated;
+    Alcotest.test_case "ingress approaches CIRC" `Quick
+      test_ingress_latency_approaches_circ;
+  ]

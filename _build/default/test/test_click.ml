@@ -1,0 +1,56 @@
+open Gmf_util
+open Click
+
+let test_paper_circ () =
+  (* Section 2.2: a 4-interface switch with the measured costs is serviced
+     every 4 * (2.7 + 1.0) us = 14.8 us. *)
+  let model = Switch_model.make ~ninterfaces:4 () in
+  Alcotest.(check int) "CIRC = 14.8us" (Timeunit.us_frac 14.8)
+    (Switch_model.circ model);
+  Alcotest.(check int) "default croute" 2_700
+    model.Switch_model.croute;
+  Alcotest.(check int) "default csend" 1_000 model.Switch_model.csend
+
+let test_multiprocessor_circ () =
+  (* Conclusions: 48 ports on 16 processors -> 3 interfaces each ->
+     CIRC = 3 * 3.7 us = 11.1 us. *)
+  let model = Switch_model.make ~ninterfaces:48 ~processors:16 () in
+  Alcotest.(check int) "interfaces per processor" 3
+    (Switch_model.interfaces_per_processor model);
+  Alcotest.(check int) "CIRC = 11.1us" (Timeunit.us_frac 11.1)
+    (Switch_model.circ model)
+
+let test_validation () =
+  Alcotest.check_raises "no interfaces"
+    (Invalid_argument "Switch_model.make: non-positive interface count")
+    (fun () -> ignore (Switch_model.make ~ninterfaces:0 ()));
+  Alcotest.check_raises "uneven division"
+    (Invalid_argument
+       "Switch_model.make: processors must evenly divide interfaces \
+        (paper's multiprocessor construction)") (fun () ->
+      ignore (Switch_model.make ~ninterfaces:5 ~processors:2 ()))
+
+let test_scheduler_shape () =
+  let model = Switch_model.make ~ninterfaces:4 ~processors:2 () in
+  let sched = Switch_model.scheduler model in
+  (* Two interfaces per processor, two tasks per interface. *)
+  Alcotest.(check int) "4 tasks" 4 (Stride.Scheduler.task_count sched);
+  Alcotest.(check int) "equal tickets" 1 (Stride.Scheduler.tickets sched 0)
+
+let test_custom_costs () =
+  let model =
+    Switch_model.make ~croute:(Timeunit.us 5) ~csend:(Timeunit.us 2)
+      ~ninterfaces:8 ()
+  in
+  Alcotest.(check int) "CIRC scales" (8 * Timeunit.us 7)
+    (Switch_model.circ model)
+
+let tests =
+  [
+    Alcotest.test_case "paper CIRC 14.8us" `Quick test_paper_circ;
+    Alcotest.test_case "multiprocessor CIRC 11.1us" `Quick
+      test_multiprocessor_circ;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "scheduler shape" `Quick test_scheduler_shape;
+    Alcotest.test_case "custom costs" `Quick test_custom_costs;
+  ]

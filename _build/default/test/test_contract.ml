@@ -1,0 +1,130 @@
+(* GMF contract extraction from packet traces. *)
+open Gmf_util
+
+let simple_trace =
+  (* Two cycle positions: big packet then small, nominal gaps 10/20 with
+     some slack. *)
+  [
+    (0, 1_000); (12, 200); (30, 900); (40, 250); (62, 1_100); (72, 180);
+  ]
+
+let test_extraction () =
+  let spec =
+    Workload.Contract.of_trace ~cycle:2 ~deadline:(Timeunit.ms 1) simple_trace
+  in
+  Alcotest.(check int) "two positions" 2 (Gmf.Spec.n spec);
+  let f0 = Gmf.Spec.frame spec 0 and f1 = Gmf.Spec.frame spec 1 in
+  (* Gaps after position 0: 12, 10, 10 -> min 10.
+     Gaps after position 1: 18, 22 -> min 18. *)
+  Alcotest.(check int) "T0 = min separation" 10 f0.Gmf.Frame_spec.period;
+  Alcotest.(check int) "T1 = min separation" 18 f1.Gmf.Frame_spec.period;
+  (* Sizes: position 0 max 1100, position 1 max 250. *)
+  Alcotest.(check int) "S0 = max size" 1_100 f0.Gmf.Frame_spec.payload_bits;
+  Alcotest.(check int) "S1 = max size" 250 f1.Gmf.Frame_spec.payload_bits
+
+let test_extraction_validation () =
+  Alcotest.check_raises "cycle < 1"
+    (Invalid_argument "Contract.of_trace: cycle < 1") (fun () ->
+      ignore (Workload.Contract.of_trace ~cycle:0 ~deadline:1 simple_trace));
+  Alcotest.check_raises "too short"
+    (Invalid_argument
+       "Contract.of_trace: need at least cycle+1 packets to observe every \
+        separation") (fun () ->
+      ignore (Workload.Contract.of_trace ~cycle:2 ~deadline:1 [ (0, 1) ]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Contract: instants must be strictly increasing")
+    (fun () ->
+      ignore
+        (Workload.Contract.of_trace ~cycle:1 ~deadline:1 [ (5, 1); (5, 1) ]))
+
+let test_respects () =
+  let spec =
+    Workload.Contract.of_trace ~cycle:2 ~deadline:(Timeunit.ms 1) simple_trace
+  in
+  Alcotest.(check bool) "extracted contract dominates its trace" true
+    (Workload.Contract.respects spec simple_trace);
+  (* A trace with a too-large packet violates. *)
+  Alcotest.(check bool) "oversized packet violates" false
+    (Workload.Contract.respects spec [ (0, 2_000); (10, 100) ]);
+  (* A trace arriving too fast violates. *)
+  Alcotest.(check bool) "early arrival violates" false
+    (Workload.Contract.respects spec [ (0, 100); (5, 100) ])
+
+let test_synthetic_trace_shape () =
+  let rng = Rng.create ~seed:5 in
+  let trace =
+    Workload.Contract.synthetic_mpeg_trace rng ~packets:50 ()
+  in
+  Alcotest.(check int) "fifty packets" 50 (List.length trace);
+  (* Instants strictly increase, gaps at least the base interval. *)
+  let rec check = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+        Alcotest.(check bool) "gap >= 30ms" true (t2 - t1 >= Timeunit.ms 30);
+        check rest
+    | _ -> ()
+  in
+  check trace;
+  (* I packets are the biggest. *)
+  let sizes = List.map snd trace in
+  let i_size = List.nth sizes 0 in
+  Alcotest.(check bool) "I-packet at least nominal-25%" true
+    (i_size >= 8 * 33_000)
+
+let prop_extracted_contract_dominates =
+  QCheck.Test.make ~name:"extracted contract dominates noisy traces"
+    ~count:60
+    QCheck.(pair (int_range 1 100_000) (int_range 12 60))
+    (fun (seed, packets) ->
+      let rng = Rng.create ~seed in
+      let trace =
+        Workload.Contract.synthetic_mpeg_trace rng ~packets ()
+      in
+      let spec =
+        Workload.Contract.of_trace ~cycle:9 ~deadline:(Timeunit.ms 100) trace
+      in
+      Workload.Contract.respects spec trace)
+
+let prop_contract_rbf_dominates_trace_demand =
+  (* The contract's request-bound function (NX with unit costs) dominates
+     the packet count of every window of the trace it was extracted from -
+     the property that makes extracted contracts safe inputs to the
+     multihop analysis. *)
+  QCheck.Test.make ~name:"contract rbf dominates trace windows" ~count:40
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let trace =
+        Workload.Contract.synthetic_mpeg_trace rng ~packets:40 ()
+      in
+      let spec =
+        Workload.Contract.of_trace ~cycle:9 ~deadline:(Timeunit.ms 100) trace
+      in
+      let demand =
+        Gmf.Demand.make
+          ~costs:(Array.map (fun _ -> 1) (Gmf.Spec.periods spec))
+          ~periods:(Gmf.Spec.periods spec)
+      in
+      let arr = Array.of_list trace in
+      let m = Array.length arr in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        for j = i to m - 1 do
+          let window = fst arr.(j) - fst arr.(i) in
+          let count = j - i + 1 in
+          if count > Gmf.Demand.bound demand ~capped:false window then
+            ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "extraction" `Quick test_extraction;
+    Alcotest.test_case "extraction validation" `Quick
+      test_extraction_validation;
+    Alcotest.test_case "respects" `Quick test_respects;
+    Alcotest.test_case "synthetic trace shape" `Quick
+      test_synthetic_trace_shape;
+    QCheck_alcotest.to_alcotest prop_extracted_contract_dominates;
+    QCheck_alcotest.to_alcotest prop_contract_rbf_dominates_trace_demand;
+  ]

@@ -1,0 +1,78 @@
+(* Switch-CPU utilization accounting in the simulator. *)
+open Gmf_util
+
+let run_fig1 ?(rate_bps = 10_000_000) () =
+  Sim.Netsim.run
+    ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 500 }
+    (Workload.Scenarios.fig1_videoconf ~rate_bps ())
+
+let test_reported_per_switch () =
+  let report = run_fig1 () in
+  let util = report.Sim.Netsim.cpu_utilization in
+  Alcotest.(check (list int)) "switches 4,5,6 reported" [ 4; 5; 6 ]
+    (List.map fst util);
+  List.iter
+    (fun (sw, u) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "switch %d in [0,1] (u=%.6f)" sw u)
+        true
+        (u >= 0. && u <= 1.))
+    util
+
+let test_busy_switch_busier () =
+  (* Switch 4 relays both video directions plus voip and bulk; switch 5
+     only voip and bulk.  Its CPU must be busier. *)
+  let report = run_fig1 () in
+  let u sw = List.assoc sw report.Sim.Netsim.cpu_utilization in
+  Alcotest.(check bool) "sw4 busier than sw5" true (u 4 > u 5);
+  Alcotest.(check bool) "some real work happened" true (u 4 > 0.)
+
+let test_more_traffic_more_cpu () =
+  (* Same scenario at 100 Mbit/s: same packet count in the window, same CPU
+     work, so utilization stays in the same ballpark; but doubling traffic
+     (two video pairs vs one) increases switch 4's CPU time. *)
+  let base = run_fig1 () in
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let topo = Traffic.Scenario.topo scenario in
+  let clone =
+    let video = Traffic.Scenario.flow scenario 0 in
+    Traffic.Flow.make ~id:50 ~name:"video2" ~spec:video.Traffic.Flow.spec
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ 1; 4; 6; 3 ])
+      ~priority:4
+  in
+  let doubled =
+    Traffic.Scenario.make ~topo
+      ~flows:(Traffic.Scenario.flows scenario @ [ clone ])
+      ()
+  in
+  let heavier =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 500 }
+      doubled
+  in
+  let u report sw = List.assoc sw report.Sim.Netsim.cpu_utilization in
+  Alcotest.(check bool) "more flows, more CPU at sw4" true
+    (u heavier 4 > u base 4)
+
+let test_cpu_far_below_saturation () =
+  (* The paper's point: CROUTE+CSEND are microseconds while packets take
+     milliseconds at 10 Mbit/s, so the switch CPU is nearly idle even on a
+     loaded network. *)
+  let report = run_fig1 () in
+  List.iter
+    (fun (sw, u) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "switch %d below 10%% (u=%.4f)" sw u)
+        true (u < 0.10))
+    report.Sim.Netsim.cpu_utilization
+
+let tests =
+  [
+    Alcotest.test_case "reported per switch" `Quick test_reported_per_switch;
+    Alcotest.test_case "busy switch busier" `Quick test_busy_switch_busier;
+    Alcotest.test_case "more traffic, more cpu" `Quick
+      test_more_traffic_more_cpu;
+    Alcotest.test_case "cpu far below saturation" `Quick
+      test_cpu_far_below_saturation;
+  ]

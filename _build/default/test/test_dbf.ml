@@ -1,0 +1,132 @@
+(* Demand-bound functions and the single-resource EDF test (the original
+   GMF analysis of Baruah et al., the paper's reference [6]). *)
+
+let example () =
+  Gmf.Dbf.make ~costs:[| 3; 1; 2 |] ~periods:[| 10; 20; 30 |]
+    ~deadlines:[| 5; 15; 25 |]
+
+let test_dbf_hand_values () =
+  let t = example () in
+  let dbf = Gmf.Dbf.dbf t in
+  Alcotest.(check int) "dbf(0)" 0 (dbf 0);
+  Alcotest.(check int) "dbf(4): nothing due yet" 0 (dbf 4);
+  Alcotest.(check int) "dbf(5): frame 0 alone" 3 (dbf 5);
+  (* k1=0: releases at 0 (D=5,c=3) and 10 (D=25,c=1): both due by 25. *)
+  Alcotest.(check int) "dbf(25)" 4 (dbf 25);
+  (* k1=1: releases 0 (D=15), 20 (D=45), 50 (D=55): total 1+2+3 = 6;
+     k1=0 gives 3+1+2 = 6 at 55 as well. *)
+  Alcotest.(check int) "dbf(55)" 6 (dbf 55);
+  (* k1=0 second cycle: release 60 with D=65 adds another 3. *)
+  Alcotest.(check int) "dbf(65)" 9 (dbf 65);
+  Alcotest.(check int) "negative dt" 0 (dbf (-1))
+
+let test_dbf_of_spec () =
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:10 ~deadline:5 ~jitter:0 ~payload_bits:300;
+        Gmf.Frame_spec.make ~period:20 ~deadline:15 ~jitter:0 ~payload_bits:100;
+      ]
+  in
+  let t =
+    Gmf.Dbf.of_spec spec ~cost_of:(fun f -> f.Gmf.Frame_spec.payload_bits / 100)
+  in
+  Alcotest.(check int) "dbf(5) from spec" 3 (Gmf.Dbf.dbf t 5);
+  Alcotest.(check (float 1e-9)) "utilization" (4. /. 30.)
+    (Gmf.Dbf.utilization t)
+
+let test_deadline_events () =
+  let t = example () in
+  let events = Gmf.Dbf.deadline_events t ~horizon:60 in
+  (* From k1=0: 5, 25, 55; k1=1: 15, 45; k1=2: 25, 35 (release 30, D 5).
+     All distinct values <= 60, sorted. *)
+  Alcotest.(check bool) "sorted" true (List.sort compare events = events);
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event %d present" expected)
+        true (List.mem expected events))
+    [ 5; 15; 25; 35; 45; 55 ];
+  Alcotest.(check bool) "all within horizon" true
+    (List.for_all (fun e -> e <= 60) events)
+
+let test_edf_feasible () =
+  (* Low utilization, loose deadlines: feasible. *)
+  Alcotest.(check bool) "loose task feasible" true
+    (Gmf.Dbf.edf_feasible ~horizon:200
+       [ Gmf.Dbf.make ~costs:[| 2; 1 |] ~periods:[| 10; 10 |]
+           ~deadlines:[| 10; 10 |] ]);
+  (* Demand exceeding a deadline: infeasible even at low utilization. *)
+  Alcotest.(check bool) "tight deadline infeasible" false
+    (Gmf.Dbf.edf_feasible ~horizon:200
+       [ Gmf.Dbf.make ~costs:[| 10 |] ~periods:[| 100 |] ~deadlines:[| 5 |] ]);
+  (* Over-utilization short-circuits. *)
+  Alcotest.(check bool) "overload infeasible" false
+    (Gmf.Dbf.edf_feasible ~horizon:200
+       [
+         Gmf.Dbf.make ~costs:[| 6 |] ~periods:[| 10 |] ~deadlines:[| 10 |];
+         Gmf.Dbf.make ~costs:[| 6 |] ~periods:[| 10 |] ~deadlines:[| 10 |];
+       ]);
+  (* Two tasks that exactly fill the resource with implicit deadlines. *)
+  Alcotest.(check bool) "U=1 harmonic feasible" true
+    (Gmf.Dbf.edf_feasible ~horizon:200
+       [
+         Gmf.Dbf.make ~costs:[| 5 |] ~periods:[| 10 |] ~deadlines:[| 10 |];
+         Gmf.Dbf.make ~costs:[| 5 |] ~periods:[| 10 |] ~deadlines:[| 10 |];
+       ]);
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Dbf.edf_feasible: non-positive horizon") (fun () ->
+      ignore (Gmf.Dbf.edf_feasible ~horizon:0 []))
+
+let arb_gmf_task =
+  QCheck.make
+    ~print:(fun (c, p, d) ->
+      Printf.sprintf "c=%s p=%s d=%s"
+        (QCheck.Print.(list int) (Array.to_list c))
+        (QCheck.Print.(list int) (Array.to_list p))
+        (QCheck.Print.(list int) (Array.to_list d)))
+    QCheck.Gen.(
+      int_range 1 5 >>= fun n ->
+      let* costs = array_size (return n) (int_range 0 20) in
+      let* periods = array_size (return n) (int_range 1 30) in
+      let* deadlines = array_size (return n) (int_range 1 60) in
+      return (costs, periods, deadlines))
+
+let prop_dbf_monotone =
+  QCheck.Test.make ~name:"dbf monotone" ~count:300
+    QCheck.(triple arb_gmf_task (int_range 0 300) (int_range 0 100))
+    (fun ((c, p, d), dt, extra) ->
+      let t = Gmf.Dbf.make ~costs:c ~periods:p ~deadlines:d in
+      Gmf.Dbf.dbf t dt <= Gmf.Dbf.dbf t (dt + extra))
+
+let prop_dbf_below_rbf =
+  QCheck.Test.make ~name:"dbf <= request bound (NX-style)" ~count:300
+    QCheck.(pair arb_gmf_task (int_range 0 300))
+    (fun ((c, p, d), dt) ->
+      let t = Gmf.Dbf.make ~costs:c ~periods:p ~deadlines:d in
+      let demand = Gmf.Demand.make ~costs:c ~periods:p in
+      Gmf.Dbf.dbf t dt <= Gmf.Demand.bound demand ~capped:false dt)
+
+let prop_dbf_cycle_growth =
+  (* For dt past the largest deadline, every first-cycle job is due within
+     dt + TSUM, so exactly one extra cycle's demand appears. *)
+  QCheck.Test.make ~name:"dbf grows by CSUM per extra cycle" ~count:200
+    QCheck.(pair arb_gmf_task (int_range 0 200))
+    (fun ((c, p, d), dt) ->
+      let t = Gmf.Dbf.make ~costs:c ~periods:p ~deadlines:d in
+      let demand = Gmf.Demand.make ~costs:c ~periods:p in
+      let tsum = Gmf.Demand.tsum demand in
+      let csum = Gmf.Demand.cost_total demand in
+      let dt = dt + Array.fold_left max 0 d in
+      Gmf.Dbf.dbf t (dt + tsum) = Gmf.Dbf.dbf t dt + csum)
+
+let tests =
+  [
+    Alcotest.test_case "dbf hand values" `Quick test_dbf_hand_values;
+    Alcotest.test_case "dbf of spec" `Quick test_dbf_of_spec;
+    Alcotest.test_case "deadline events" `Quick test_deadline_events;
+    Alcotest.test_case "edf feasibility" `Quick test_edf_feasible;
+    QCheck_alcotest.to_alcotest prop_dbf_monotone;
+    QCheck_alcotest.to_alcotest prop_dbf_below_rbf;
+    QCheck_alcotest.to_alcotest prop_dbf_cycle_growth;
+  ]

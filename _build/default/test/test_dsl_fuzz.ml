@@ -1,0 +1,65 @@
+(* Fuzzing the scenario parser: arbitrary text must produce Ok or a
+   well-formed Error — never an exception. *)
+
+let directives =
+  [| "node"; "link"; "duplex"; "switch"; "flow"; "frame"; "end"; "#"; "" |]
+
+let words_pool =
+  [|
+    "a"; "b"; "sw"; "endhost"; "switch"; "router"; "rate=10M"; "rate=0";
+    "rate=xx"; "prop=1ms"; "prop=-1"; "from=a"; "to=b"; "prio=5"; "prio=99";
+    "encap=rtp"; "encap=?"; "route=a,b"; "remark=a/b:3"; "remark=bad";
+    "period=1ms"; "deadline=2ms"; "jitter=0"; "payload=100B"; "payload=-1";
+    "ports=4"; "cpus=2"; "croute=1us"; "csend=1us"; "=="; "x=y=z"; "\t";
+  |]
+
+let gen_line rng =
+  let open Gmf_util in
+  let n = Rng.int rng 6 in
+  let parts =
+    List.init n (fun _ -> Rng.pick rng words_pool)
+  in
+  String.concat " " (Rng.pick rng directives :: parts)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser never raises on garbage" ~count:500
+    QCheck.(pair (int_range 0 100_000) (int_range 0 30))
+    (fun (seed, lines) ->
+      let rng = Gmf_util.Rng.create ~seed in
+      let text =
+        String.concat "\n" (List.init lines (fun _ -> gen_line rng))
+      in
+      match Scenario_io.Parse.scenario_of_string text with
+      | Ok _ -> true
+      | Error e -> e.Scenario_io.Parse.line >= 0)
+
+let prop_parser_total_binaryish =
+  QCheck.Test.make ~name:"parser never raises on binary noise" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 400))
+    (fun text ->
+      match Scenario_io.Parse.scenario_of_string text with
+      | Ok _ -> true
+      | Error _ -> true)
+
+let prop_valid_prefix_plus_garbage =
+  (* A valid scenario followed by one garbage line errors on exactly that
+     line. *)
+  QCheck.Test.make ~name:"error points at the garbage line" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gmf_util.Rng.create ~seed in
+      let valid =
+        "node a endhost\nnode b endhost\nlink a b rate=10M\n\
+         flow f from=a to=b\n  frame period=1ms deadline=2ms payload=10B\nend"
+      in
+      let garbage = "blorp " ^ Gmf_util.Rng.pick rng words_pool in
+      match Scenario_io.Parse.scenario_of_string (valid ^ "\n" ^ garbage) with
+      | Ok _ -> false
+      | Error e -> e.Scenario_io.Parse.line = 7)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_parser_total;
+    QCheck_alcotest.to_alcotest prop_parser_total_binaryish;
+    QCheck_alcotest.to_alcotest prop_valid_prefix_plus_garbage;
+  ]

@@ -1,0 +1,121 @@
+open Ethernet
+
+let test_constants () =
+  (* Values stated explicitly in the paper, Section 3.1. *)
+  Alcotest.(check int) "overhead = 304 bits" 304 Constants.eth_overhead_bits;
+  Alcotest.(check int) "max frame = 12304 bits" 12_304
+    Constants.eth_max_frame_bits;
+  Alcotest.(check int) "frag data = 11840 bits" 11_840
+    Constants.frag_data_bits;
+  Alcotest.(check int) "ip header = 160 bits" 160 Constants.ip_header_bits;
+  Alcotest.(check int) "udp header = 64 bits" 64 Constants.udp_header_bits;
+  Alcotest.(check int) "rtp budget = 128 bits" 128 Constants.rtp_header_bits;
+  Alcotest.(check int) "min frame = 672 bits" 672 Constants.eth_min_frame_bits
+
+let test_encap_nbits () =
+  (* nbits = ceil(S/8)*8 + 8*8 for UDP (paper eq in 3.1). *)
+  Alcotest.(check int) "udp exact bytes" (800 + 64)
+    (Encap.nbits Encap.Udp ~payload_bits:800);
+  Alcotest.(check int) "udp rounds to bytes" (808 + 64)
+    (Encap.nbits Encap.Udp ~payload_bits:801);
+  Alcotest.(check int) "rtp adds 16 bytes" (800 + 64 + 128)
+    (Encap.nbits Encap.Rtp_udp ~payload_bits:800);
+  Alcotest.(check int) "zero payload still has headers" 64
+    (Encap.nbits Encap.Udp ~payload_bits:0);
+  Alcotest.check_raises "negative payload"
+    (Invalid_argument "Encap.nbits: negative payload") (fun () ->
+      ignore (Encap.nbits Encap.Udp ~payload_bits:(-1)))
+
+let test_encap_header_bits () =
+  Alcotest.(check int) "udp" 64 (Encap.header_bits Encap.Udp);
+  Alcotest.(check int) "rtp/udp" 192 (Encap.header_bits Encap.Rtp_udp);
+  Alcotest.(check bool) "equal" true (Encap.equal Encap.Udp Encap.Udp);
+  Alcotest.(check bool) "not equal" false (Encap.equal Encap.Udp Encap.Rtp_udp)
+
+let test_fragment_count () =
+  Alcotest.(check int) "one bit -> one frame" 1 (Fragment.fragment_count ~nbits:1);
+  Alcotest.(check int) "exactly full" 1 (Fragment.fragment_count ~nbits:11_840);
+  Alcotest.(check int) "one over" 2 (Fragment.fragment_count ~nbits:11_841);
+  Alcotest.(check int) "three full" 3
+    (Fragment.fragment_count ~nbits:(3 * 11_840));
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Fragment.fragment_count: non-positive datagram size")
+    (fun () -> ignore (Fragment.fragment_count ~nbits:0))
+
+let test_fragment_wire_bits () =
+  (* Full fragment costs the max frame. *)
+  Alcotest.(check (list int)) "single full" [ 12_304 ]
+    (Fragment.fragment_wire_bits ~nbits:11_840);
+  (* Trailing fragment: data + IP header + overhead. *)
+  Alcotest.(check (list int)) "full + trailer"
+    [ 12_304; 1_000 + 160 + 304 ]
+    (Fragment.fragment_wire_bits ~nbits:(11_840 + 1_000));
+  (* Tiny trailing fragment padded to the Ethernet minimum. *)
+  Alcotest.(check (list int)) "min-size trailer" [ 12_304; 672 ]
+    (Fragment.fragment_wire_bits ~nbits:(11_840 + 8));
+  (* Tiny datagram alone also padded. *)
+  Alcotest.(check (list int)) "tiny datagram" [ 672 ]
+    (Fragment.fragment_wire_bits ~nbits:64)
+
+let test_mft () =
+  (* Eq (1) at the worked example's 10 Mbit/s. *)
+  Alcotest.(check int) "10 Mbit/s" 1_230_400 (Fragment.mft ~rate_bps:10_000_000);
+  Alcotest.(check int) "100 Mbit/s" 123_040
+    (Fragment.mft ~rate_bps:100_000_000);
+  Alcotest.(check int) "1 Gbit/s" 12_304
+    (Fragment.mft ~rate_bps:1_000_000_000)
+
+let test_tx_time () =
+  let rate_bps = 10_000_000 in
+  (* One full frame = MFT. *)
+  Alcotest.(check int) "full frame" 1_230_400
+    (Fragment.tx_time ~nbits:11_840 ~rate_bps);
+  (* Sum of per-fragment times. *)
+  let per_frag = Fragment.fragment_tx_times ~nbits:20_000 ~rate_bps in
+  Alcotest.(check int) "two fragments" 2 (List.length per_frag);
+  Alcotest.(check int) "sum matches"
+    (List.fold_left ( + ) 0 per_frag)
+    (Fragment.tx_time ~nbits:20_000 ~rate_bps)
+
+let prop_wire_total_vs_count =
+  QCheck.Test.make ~name:"wire bits consistent with fragment count" ~count:500
+    QCheck.(int_range 1 200_000)
+    (fun nbits ->
+      let frags = Fragment.fragment_wire_bits ~nbits in
+      List.length frags = Fragment.fragment_count ~nbits
+      && List.for_all
+           (fun b ->
+             b >= Ethernet.Constants.eth_min_frame_bits
+             && b <= Ethernet.Constants.eth_max_frame_bits)
+           frags)
+
+let prop_wire_monotone =
+  QCheck.Test.make ~name:"total wire bits monotone in datagram size"
+    ~count:500
+    QCheck.(pair (int_range 1 100_000) (int_range 0 100_000))
+    (fun (nbits, extra) ->
+      Fragment.total_wire_bits ~nbits
+      <= Fragment.total_wire_bits ~nbits:(nbits + extra))
+
+let prop_last_fragment_not_larger =
+  QCheck.Test.make ~name:"every fragment except trailer is maximal" ~count:500
+    QCheck.(int_range 1 300_000)
+    (fun nbits ->
+      match List.rev (Fragment.fragment_wire_bits ~nbits) with
+      | [] -> false
+      | _last :: firsts ->
+          List.for_all (fun b -> b = Ethernet.Constants.eth_max_frame_bits) firsts)
+
+let tests =
+  [
+    Alcotest.test_case "wire constants" `Quick test_constants;
+    Alcotest.test_case "encap nbits" `Quick test_encap_nbits;
+    Alcotest.test_case "encap headers" `Quick test_encap_header_bits;
+    Alcotest.test_case "fragment count" `Quick test_fragment_count;
+    Alcotest.test_case "fragment wire bits" `Quick test_fragment_wire_bits;
+    Alcotest.test_case "MFT (eq 1)" `Quick test_mft;
+    Alcotest.test_case "tx time" `Quick test_tx_time;
+    QCheck_alcotest.to_alcotest prop_wire_total_vs_count;
+    QCheck_alcotest.to_alcotest prop_wire_monotone;
+    QCheck_alcotest.to_alcotest prop_last_fragment_not_larger;
+  ]

@@ -1,0 +1,241 @@
+(* Experiment drivers: check the registry wiring and the headline values
+   each experiment's compute core produces (printing goes to the captured
+   test log). *)
+open Gmf_util
+
+let test_registry () =
+  Alcotest.(check int) "nineteen experiments" 19
+    (List.length Experiments.Registry.all);
+  (* Lookup is case-insensitive and total. *)
+  Alcotest.(check bool) "find e4" true
+    (Option.is_some (Experiments.Registry.find "e4"));
+  Alcotest.(check bool) "find E10" true
+    (Option.is_some (Experiments.Registry.find "E10"));
+  Alcotest.(check bool) "unknown" true
+    (Option.is_none (Experiments.Registry.find "E99"));
+  (* Ids are unique. *)
+  let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_e1_values () =
+  let r = Experiments.E1_worked_example.compute () in
+  Alcotest.(check int) "NSUM" 94 r.Experiments.E1_worked_example.nsum;
+  Alcotest.(check int) "TSUM" (Timeunit.ms 270)
+    r.Experiments.E1_worked_example.tsum;
+  Alcotest.(check int) "MFT" 1_230_400 r.Experiments.E1_worked_example.mft;
+  Alcotest.(check int) "CSUM" 110_019_200 r.Experiments.E1_worked_example.csum
+
+let test_e3_sweep () =
+  let rows = Experiments.E3_circ.sweep () in
+  Alcotest.(check int) "six configurations" 6 (List.length rows);
+  (* CIRC of the two headline configurations. *)
+  let circ_of ports cpus =
+    (List.find
+       (fun r ->
+         r.Experiments.E3_circ.ports = ports
+         && r.Experiments.E3_circ.processors = cpus)
+       rows)
+      .Experiments.E3_circ.circ
+  in
+  Alcotest.(check int) "14.8us" 14_800 (circ_of 4 1);
+  Alcotest.(check int) "11.1us" 11_100 (circ_of 48 16);
+  (* Bounds grow with CIRC among the single-CPU rows. *)
+  let single_cpu =
+    List.filter (fun r -> r.Experiments.E3_circ.processors = 1) rows
+    |> List.sort (fun a b ->
+           compare a.Experiments.E3_circ.circ b.Experiments.E3_circ.circ)
+  in
+  let bounds =
+    List.filter_map (fun r -> r.Experiments.E3_circ.video_bound) single_cpu
+  in
+  Alcotest.(check bool) "monotone in CIRC" true
+    (List.sort compare bounds = bounds)
+
+let test_e4_gap () =
+  let points = Experiments.E4_admission.sweep ~max_flows:10 () in
+  Alcotest.(check int) "ten points" 10 (List.length points);
+  let last = List.nth points 9 in
+  Alcotest.(check bool) "GMF admits more than sporadic" true
+    (last.Experiments.E4_admission.gmf_admitted
+     > last.Experiments.E4_admission.sporadic_admitted);
+  (* Admission counts never exceed the offer and never decrease. *)
+  let rec monotone prev = function
+    | [] -> true
+    | p :: rest ->
+        p.Experiments.E4_admission.gmf_admitted >= prev
+        && p.Experiments.E4_admission.gmf_admitted
+           <= p.Experiments.E4_admission.offered
+        && monotone p.Experiments.E4_admission.gmf_admitted rest
+  in
+  Alcotest.(check bool) "gmf counts monotone" true (monotone 0 points)
+
+let test_e5_fig1_sound () =
+  let row =
+    Experiments.E5_validation.validate ~duration:(Timeunit.ms 400)
+      ~name:"fig1" (Workload.Scenarios.fig1_videoconf ())
+  in
+  Alcotest.(check bool) "schedulable" true
+    row.Experiments.E5_validation.schedulable;
+  Alcotest.(check bool) "sound" true row.Experiments.E5_validation.sound;
+  Alcotest.(check bool) "tightness in (0,1]" true
+    (row.Experiments.E5_validation.tightness > 0.
+     && row.Experiments.E5_validation.tightness <= 1.)
+
+let test_e6_boundary () =
+  let points = Experiments.E6_convergence.sweep () in
+  (* Every point below utilization 1 is schedulable, every point above
+     fails. *)
+  List.iter
+    (fun p ->
+      if p.Experiments.E6_convergence.link_utilization < 1. then
+        Alcotest.(check string)
+          (Printf.sprintf "U=%.3f schedulable"
+             p.Experiments.E6_convergence.link_utilization)
+          "schedulable" p.Experiments.E6_convergence.verdict
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "U=%.3f fails"
+             p.Experiments.E6_convergence.link_utilization)
+          true
+          (p.Experiments.E6_convergence.verdict <> "schedulable"))
+    points
+
+let test_e8_variants () =
+  let comparisons = Experiments.E8_ablation.fig1_comparison () in
+  Alcotest.(check int) "six flows" 6 (List.length comparisons);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.Experiments.E8_ablation.flow_name ^ ": repaired >= faithful")
+        true
+        (c.Experiments.E8_ablation.repaired
+         >= c.Experiments.E8_ablation.faithful))
+    comparisons
+
+let test_e9_allocation () =
+  let rows = Experiments.E9_stride.allocation_table ~steps:600 [ 3; 2; 1 ] in
+  Alcotest.(check (list int)) "runs 300/200/100" [ 300; 200; 100 ]
+    (List.map (fun r -> r.Experiments.E9_stride.runs) rows);
+  let gap, circ = Experiments.E9_stride.max_service_gap_in_switch () in
+  Alcotest.(check bool) "gap <= CIRC" true (gap <= circ)
+
+let test_e10_monotone () =
+  let rows = Experiments.E10_priorities.sweep () in
+  Alcotest.(check int) "eight classes" 8 (List.length rows);
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare a.Experiments.E10_priorities.priority
+          b.Experiments.E10_priorities.priority)
+      rows
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Experiments.E10_priorities.bound
+        >= b.Experiments.E10_priorities.bound
+        && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "bounds fall with priority" true (monotone sorted);
+  (* Simulated observations never exceed their bounds. *)
+  List.iter
+    (fun r ->
+      match r.Experiments.E10_priorities.observed with
+      | None -> ()
+      | Some o ->
+          Alcotest.(check bool) "observed <= bound" true
+            (o <= r.Experiments.E10_priorities.bound))
+    rows
+
+let test_e12_contract () =
+  let s = Experiments.E12_contract.compute () in
+  Alcotest.(check bool) "contract dominates traces" true
+    s.Experiments.E12_contract.contract_respected;
+  Alcotest.(check bool) "extracted flows admitted" true
+    s.Experiments.E12_contract.extracted_admitted;
+  (* The extraction is per-position, so it cannot be wildly more pessimistic
+     than the nominal declaration; both settings here are schedulable and
+     within the same order of magnitude. *)
+  match
+    (s.Experiments.E12_contract.extracted_bound,
+     s.Experiments.E12_contract.nominal_bound)
+  with
+  | Some extracted, Some nominal ->
+      Alcotest.(check bool) "bounds comparable" true
+        (extracted < 2 * nominal && nominal < 2 * extracted)
+  | _ -> Alcotest.fail "both settings should be schedulable"
+
+let test_e13_sizing () =
+  let a = Experiments.E13_sizing.compute () in
+  (match a.Experiments.E13_sizing.min_rate_bps with
+  | Some rate ->
+      (* The 10 Mbit/s worked example is schedulable (E2), so the minimum
+         uniform rate is at most 10 Mbit/s; a two-way video pair cannot fit
+         below ~5 Mbit/s. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "min rate %d sane" rate)
+        true
+        (rate > 2_000_000 && rate <= 10_000_000)
+  | None -> Alcotest.fail "a feasible rate must exist");
+  (match a.Experiments.E13_sizing.headroom_at_100m with
+  | Some h -> Alcotest.(check bool) "headroom at 100M > 5x" true (h > 5.)
+  | None -> Alcotest.fail "100M headroom must exist");
+  match
+    (a.Experiments.E13_sizing.headroom_at_10m,
+     a.Experiments.E13_sizing.headroom_at_100m)
+  with
+  | Some h10, Some h100 ->
+      Alcotest.(check bool) "more rate, more headroom" true (h100 > h10)
+  | _ -> Alcotest.fail "headrooms must exist"
+
+let test_e18_stage_validation () =
+  let rows = Experiments.E18_stage_validation.rows () in
+  Alcotest.(check int) "110 stage checks on fig1" 110 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s frame %d %s sound"
+           r.Experiments.E18_stage_validation.flow_name
+           r.Experiments.E18_stage_validation.frame
+           r.Experiments.E18_stage_validation.stage)
+        true r.Experiments.E18_stage_validation.sound)
+    rows
+
+let test_e19_campaign () =
+  let s = Experiments.E19_fuzz_campaign.campaign ~count:8 ~seed:123 () in
+  Alcotest.(check int) "eight scenarios" 8
+    s.Experiments.E19_fuzz_campaign.scenarios;
+  Alcotest.(check (list string)) "no violations" []
+    s.Experiments.E19_fuzz_campaign.violations;
+  Alcotest.(check bool) "tightness sane" true
+    (s.Experiments.E19_fuzz_campaign.mean_tightness >= 0.
+    && s.Experiments.E19_fuzz_campaign.mean_tightness <= 1.)
+
+let test_run_all_prints () =
+  (* E1/E2/E3/E9 print quickly; run them via the registry to cover the
+     run-functions themselves (the heavy ones are covered above). *)
+  List.iter
+    (fun id ->
+      match Experiments.Registry.find id with
+      | Some e -> e.Experiments.Registry.run ()
+      | None -> Alcotest.failf "missing %s" id)
+    [ "E1"; "E2"; "E3"; "E9" ]
+
+let tests =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "E1 headline values" `Quick test_e1_values;
+    Alcotest.test_case "E3 sweep" `Quick test_e3_sweep;
+    Alcotest.test_case "E4 admission gap" `Slow test_e4_gap;
+    Alcotest.test_case "E5 fig1 sound" `Slow test_e5_fig1_sound;
+    Alcotest.test_case "E6 boundary" `Quick test_e6_boundary;
+    Alcotest.test_case "E8 variants ordered" `Quick test_e8_variants;
+    Alcotest.test_case "E9 allocation" `Quick test_e9_allocation;
+    Alcotest.test_case "E10 monotone" `Slow test_e10_monotone;
+    Alcotest.test_case "E12 contract pipeline" `Slow test_e12_contract;
+    Alcotest.test_case "E13 sizing" `Slow test_e13_sizing;
+    Alcotest.test_case "E18 stage validation" `Slow test_e18_stage_validation;
+    Alcotest.test_case "E19 fuzz campaign" `Slow test_e19_campaign;
+    Alcotest.test_case "experiment drivers print" `Slow test_run_all_prints;
+  ]

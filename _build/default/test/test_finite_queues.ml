@@ -1,0 +1,91 @@
+(* Finite switch queues with drop accounting, validating the backlog bounds
+   operationally: queues sized to the analytic bound never drop. *)
+open Gmf_util
+
+let converging_scenario () =
+  let topo, hosts, sw =
+    Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:3 ()
+  in
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 20) ~deadline:(Timeunit.ms 120)
+          ~jitter:0 ~payload_bits:(8 * 50_000);
+      ]
+  in
+  let flows =
+    List.init 2 (fun id ->
+        Traffic.Flow.make ~id
+          ~name:(Printf.sprintf "burst%d" id)
+          ~spec ~encap:Ethernet.Encap.Udp
+          ~route:(Network.Route.make topo [ hosts.(id); sw; hosts.(2) ])
+          ~priority:5)
+  in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let run_with_capacity scenario capacity =
+  Sim.Netsim.run
+    ~config:
+      {
+        Sim.Sim_config.default with
+        duration = Timeunit.s 1;
+        queue_capacity = capacity;
+      }
+    scenario
+
+let test_unbounded_never_drops () =
+  let report = run_with_capacity (converging_scenario ()) None in
+  Alcotest.(check int) "no drops" 0 report.Sim.Netsim.fragments_dropped;
+  Alcotest.(check int) "all packets complete" 0
+    (Sim.Collector.incomplete report.Sim.Netsim.collector)
+
+let test_bound_sized_queues_never_drop () =
+  let scenario = converging_scenario () in
+  let ctx = Analysis.Ctx.create scenario in
+  let report = Analysis.Holistic.run ctx in
+  let bound_frames =
+    match Analysis.Backlog.egress_bounds ctx report with
+    | Ok bounds ->
+        List.fold_left
+          (fun acc (b : Analysis.Backlog.queue_bound) ->
+            max acc b.Analysis.Backlog.frames)
+          0 bounds
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "bound positive" true (bound_frames > 0);
+  let sim = run_with_capacity scenario (Some bound_frames) in
+  Alcotest.(check int) "no drops at bound capacity" 0
+    sim.Sim.Netsim.fragments_dropped
+
+let test_undersized_queues_drop () =
+  (* Two 50 kB packets (34 fragments each) converge; a 4-frame queue must
+     overflow. *)
+  let sim = run_with_capacity (converging_scenario ()) (Some 4) in
+  Alcotest.(check bool) "drops occurred" true
+    (sim.Sim.Netsim.fragments_dropped > 0);
+  (* Dropped fragments leave packets incomplete. *)
+  Alcotest.(check bool) "some packets incomplete" true
+    (Sim.Collector.incomplete sim.Sim.Netsim.collector > 0)
+
+let test_capacity_monotone () =
+  (* More capacity never drops more. *)
+  let scenario = converging_scenario () in
+  let drops cap =
+    (run_with_capacity scenario (Some cap)).Sim.Netsim.fragments_dropped
+  in
+  let d2 = drops 2 and d8 = drops 8 and d32 = drops 32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "drops %d >= %d >= %d" d2 d8 d32)
+    true
+    (d2 >= d8 && d8 >= d32)
+
+let tests =
+  [
+    Alcotest.test_case "unbounded never drops" `Quick
+      test_unbounded_never_drops;
+    Alcotest.test_case "bound-sized queues never drop" `Quick
+      test_bound_sized_queues_never_drop;
+    Alcotest.test_case "undersized queues drop" `Quick
+      test_undersized_queues_drop;
+    Alcotest.test_case "capacity monotone" `Quick test_capacity_monotone;
+  ]

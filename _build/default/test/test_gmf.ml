@@ -1,0 +1,73 @@
+open Gmf_util
+
+let frame ?(period = Timeunit.ms 30) ?(deadline = Timeunit.ms 100)
+    ?(jitter = 0) ?(payload_bits = 8_000) () =
+  Gmf.Frame_spec.make ~period ~deadline ~jitter ~payload_bits
+
+let test_frame_spec_validation () =
+  ignore (frame ());
+  ignore (frame ~period:0 ());
+  Alcotest.check_raises "negative period"
+    (Invalid_argument "Frame_spec.make: negative period") (fun () ->
+      ignore (frame ~period:(-1) ()));
+  Alcotest.check_raises "zero deadline"
+    (Invalid_argument "Frame_spec.make: non-positive deadline") (fun () ->
+      ignore (frame ~deadline:0 ()));
+  Alcotest.check_raises "negative jitter"
+    (Invalid_argument "Frame_spec.make: negative jitter") (fun () ->
+      ignore (frame ~jitter:(-1) ()));
+  Alcotest.check_raises "negative payload"
+    (Invalid_argument "Frame_spec.make: negative payload") (fun () ->
+      ignore (frame ~payload_bits:(-1) ()))
+
+let test_spec_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Spec.make: empty frame list")
+    (fun () -> ignore (Gmf.Spec.make []));
+  Alcotest.check_raises "zero cycle"
+    (Invalid_argument "Spec.make: zero-length cycle (TSUM = 0)") (fun () ->
+      ignore (Gmf.Spec.make [ frame ~period:0 () ]))
+
+let three_frame_spec () =
+  Gmf.Spec.make
+    [
+      frame ~period:(Timeunit.ms 10) ~jitter:(Timeunit.ms 1)
+        ~payload_bits:1_000 ();
+      frame ~period:(Timeunit.ms 20) ~jitter:(Timeunit.ms 2)
+        ~payload_bits:2_000 ();
+      frame ~period:(Timeunit.ms 30) ~jitter:0 ~payload_bits:3_000 ();
+    ]
+
+let test_spec_accessors () =
+  let spec = three_frame_spec () in
+  Alcotest.(check int) "n" 3 (Gmf.Spec.n spec);
+  Alcotest.(check int) "tsum" (Timeunit.ms 60) (Gmf.Spec.tsum spec);
+  Alcotest.(check int) "max_jitter" (Timeunit.ms 2) (Gmf.Spec.max_jitter spec);
+  Alcotest.(check int) "min_period" (Timeunit.ms 10) (Gmf.Spec.min_period spec);
+  Alcotest.(check (array int)) "periods"
+    [| Timeunit.ms 10; Timeunit.ms 20; Timeunit.ms 30 |]
+    (Gmf.Spec.periods spec);
+  Alcotest.(check (array int)) "payloads" [| 1_000; 2_000; 3_000 |]
+    (Gmf.Spec.payloads spec);
+  (* Cyclic indexing. *)
+  Alcotest.(check int) "frame 4 = frame 1" 2_000
+    (Gmf.Spec.frame spec 4).Gmf.Frame_spec.payload_bits;
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Spec.frame: negative index") (fun () ->
+      ignore (Gmf.Spec.frame spec (-1)))
+
+let test_rotate () =
+  let spec = three_frame_spec () in
+  let rotated = Gmf.Spec.rotate spec 1 in
+  Alcotest.(check int) "same tsum" (Gmf.Spec.tsum spec) (Gmf.Spec.tsum rotated);
+  Alcotest.(check int) "frame 0 of rotation" 2_000
+    (Gmf.Spec.frame rotated 0).Gmf.Frame_spec.payload_bits;
+  Alcotest.(check bool) "rotate n = identity" true
+    (Gmf.Spec.equal spec (Gmf.Spec.rotate spec 3))
+
+let tests =
+  [
+    Alcotest.test_case "frame validation" `Quick test_frame_spec_validation;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
+    Alcotest.test_case "rotation" `Quick test_rotate;
+  ]

@@ -1,0 +1,82 @@
+open Gmf_util
+
+let int_heap () = Heap.create ~cmp:compare ()
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (Heap.length h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (Heap.to_sorted_list h);
+  (* to_sorted_list must not consume the heap *)
+  Alcotest.(check int) "still full" 7 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.pop h)
+
+let test_fifo_ties () =
+  (* Elements equal under cmp come out in insertion order. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  List.iter (Heap.push h) [ (1, "a"); (0, "x"); (1, "b"); (1, "c") ];
+  let labels = List.map snd (Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "fifo among equals" [ "x"; "a"; "b"; "c" ]
+    labels
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.(check int) "pop 5" 5 (Heap.pop_exn h);
+  Heap.push h 1;
+  Heap.push h 20;
+  Alcotest.(check int) "pop 1" 1 (Heap.pop_exn h);
+  Alcotest.(check int) "pop 10" 10 (Heap.pop_exn h);
+  Alcotest.(check int) "pop 20" 20 (Heap.pop_exn h);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Heap.push h 7;
+  Alcotest.(check int) "usable after clear" 7 (Heap.pop_exn h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_pop_monotone =
+  QCheck.Test.make ~name:"successive pops are non-decreasing" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some x -> prev <= x && drain x
+      in
+      drain min_int)
+
+let tests =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo among ties" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_pop_monotone;
+  ]

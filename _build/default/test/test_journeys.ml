@@ -1,0 +1,73 @@
+(* Packet-journey tracing. *)
+open Gmf_util
+
+let run ~trace_limit =
+  Sim.Netsim.run
+    ~config:
+      { Sim.Sim_config.default with duration = Timeunit.ms 100; trace_limit }
+    (Workload.Scenarios.fig1_videoconf ())
+
+let test_off_by_default () =
+  let report = run ~trace_limit:0 in
+  Alcotest.(check int) "no journeys" 0
+    (List.length (Sim.Collector.journeys report.Sim.Netsim.collector))
+
+let test_limit_respected () =
+  let report = run ~trace_limit:3 in
+  Alcotest.(check int) "exactly three" 3
+    (List.length (Sim.Collector.journeys report.Sim.Netsim.collector))
+
+let test_journey_contents () =
+  List.iter
+    (fun (j : Sim.Collector.journey) ->
+      let events = j.Sim.Collector.j_events in
+      Alcotest.(check bool) "at least release + completion" true
+        (List.length events >= 2);
+      (* Chronological. *)
+      let times = List.map fst events in
+      Alcotest.(check bool) "sorted" true (List.sort compare times = times);
+      (* First event is the release, last is the completion. *)
+      (match (events, List.rev events) with
+      | (t0, _) :: _, (t_end, what_end) :: _ ->
+          Alcotest.(check int) "starts at release 0-ish" 0 (min 0 t0);
+          Alcotest.(check bool) "ends at destination" true
+            (what_end = "all Ethernet frames at destination");
+          Alcotest.(check bool) "positive span" true (t_end > t0)
+      | _ -> Alcotest.fail "empty journey");
+      (* A 3-hop route traverses two switches: two 'into switch' and two
+         'into priority queue' events. *)
+      let count needle =
+        List.length
+          (List.filter
+             (fun (_, what) ->
+               String.length what >= String.length needle
+               && String.sub what 0 (String.length needle) = needle)
+             events)
+      in
+      Alcotest.(check int) "two switch arrivals" 2 (count "last frame into switch");
+      Alcotest.(check int) "two priority enqueues" 2
+        (count "last frame into priority queue"))
+    (Sim.Collector.journeys (run ~trace_limit:5).Sim.Netsim.collector)
+
+let test_seq_numbers_advance () =
+  let report = run ~trace_limit:20 in
+  (* Among traced journeys of the same (flow, frame), seq strictly
+     increases with completion order. *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (j : Sim.Collector.journey) ->
+      let key = (j.Sim.Collector.j_flow, j.Sim.Collector.j_frame) in
+      (match Hashtbl.find_opt tbl key with
+      | Some prev ->
+          Alcotest.(check bool) "seq increases" true (j.Sim.Collector.j_seq > prev)
+      | None -> ());
+      Hashtbl.replace tbl key j.Sim.Collector.j_seq)
+    (Sim.Collector.journeys report.Sim.Netsim.collector)
+
+let tests =
+  [
+    Alcotest.test_case "off by default" `Quick test_off_by_default;
+    Alcotest.test_case "limit respected" `Quick test_limit_respected;
+    Alcotest.test_case "journey contents" `Quick test_journey_contents;
+    Alcotest.test_case "seq numbers advance" `Quick test_seq_numbers_advance;
+  ]

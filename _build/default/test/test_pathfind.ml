@@ -1,0 +1,91 @@
+(* Route enumeration (Network.Pathfind). *)
+
+let example () = Workload.Topologies.example ()
+
+let test_all_routes_fig1 () =
+  let net = example () in
+  let topo = net.Workload.Topologies.topo in
+  let routes = Network.Pathfind.all_routes topo ~src:0 ~dst:3 in
+  let node_lists = List.map Network.Route.nodes routes in
+  (* 0->4->6->3 (the Figure 2 route) and 0->4->5->6->3. *)
+  Alcotest.(check int) "two routes" 2 (List.length routes);
+  Alcotest.(check bool) "figure 2 route found" true
+    (List.mem [ 0; 4; 6; 3 ] node_lists);
+  Alcotest.(check bool) "detour found" true
+    (List.mem [ 0; 4; 5; 6; 3 ] node_lists);
+  (* Shortest first. *)
+  Alcotest.(check (list int)) "ordered by hops" [ 0; 4; 6; 3 ]
+    (List.hd node_lists)
+
+let test_max_hops_filter () =
+  let net = example () in
+  let topo = net.Workload.Topologies.topo in
+  let short = Network.Pathfind.all_routes ~max_hops:3 topo ~src:0 ~dst:3 in
+  Alcotest.(check int) "only the direct route" 1 (List.length short);
+  let none = Network.Pathfind.all_routes ~max_hops:2 topo ~src:0 ~dst:3 in
+  Alcotest.(check int) "none within two hops" 0 (List.length none)
+
+let test_k_shortest () =
+  let net = example () in
+  let topo = net.Workload.Topologies.topo in
+  Alcotest.(check int) "k=1" 1
+    (List.length (Network.Pathfind.k_shortest ~k:1 topo ~src:0 ~dst:3));
+  Alcotest.(check int) "k larger than available" 2
+    (List.length (Network.Pathfind.k_shortest ~k:10 topo ~src:0 ~dst:3))
+
+let test_endpoints_and_reachability () =
+  let net = example () in
+  let topo = net.Workload.Topologies.topo in
+  (* A switch cannot terminate a flow. *)
+  Alcotest.(check int) "switch destination rejected" 0
+    (List.length (Network.Pathfind.all_routes topo ~src:0 ~dst:4));
+  (* Router node 7 is a valid endpoint. *)
+  Alcotest.(check bool) "router endpoint ok" true
+    (List.length (Network.Pathfind.all_routes topo ~src:7 ~dst:0) >= 1);
+  (* Unreachable node. *)
+  let lonely =
+    Network.Topology.add_node topo ~name:"lonely" ~kind:Network.Node.Endhost
+  in
+  Alcotest.(check int) "unreachable" 0
+    (List.length (Network.Pathfind.all_routes topo ~src:0 ~dst:lonely))
+
+let test_route_capacity () =
+  let topo = Network.Topology.create () in
+  let a = Network.Topology.add_node topo ~name:"a" ~kind:Network.Node.Endhost in
+  let s = Network.Topology.add_node topo ~name:"s" ~kind:Network.Node.Switch in
+  let b = Network.Topology.add_node topo ~name:"b" ~kind:Network.Node.Endhost in
+  Network.Topology.add_duplex_link topo ~a ~b:s ~rate_bps:1_000_000_000 ~prop:0;
+  Network.Topology.add_duplex_link topo ~a:s ~b ~rate_bps:10_000_000 ~prop:0;
+  let route = Network.Route.make topo [ a; s; b ] in
+  Alcotest.(check int) "bottleneck rate" 10_000_000
+    (Network.Pathfind.route_capacity topo route)
+
+let test_routes_are_valid () =
+  (* Every enumerated route passes Route.make's validation by construction;
+     double-check interior switch-ness on a richer topology. *)
+  let topo, hosts, _sw =
+    Workload.Topologies.line ~hosts_per_switch:2 ~switches:4 ()
+  in
+  let routes =
+    Network.Pathfind.all_routes topo ~src:hosts.(0).(0) ~dst:hosts.(3).(1)
+  in
+  Alcotest.(check bool) "at least one route" true (List.length routes >= 1);
+  List.iter
+    (fun route ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) "interior is a switch" true
+            (Network.Node.is_switch (Network.Topology.node topo n)))
+        (Network.Route.intermediate_switches route))
+    routes
+
+let tests =
+  [
+    Alcotest.test_case "all routes on Figure 1" `Quick test_all_routes_fig1;
+    Alcotest.test_case "max hops" `Quick test_max_hops_filter;
+    Alcotest.test_case "k shortest" `Quick test_k_shortest;
+    Alcotest.test_case "endpoints/reachability" `Quick
+      test_endpoints_and_reachability;
+    Alcotest.test_case "route capacity" `Quick test_route_capacity;
+    Alcotest.test_case "routes are valid" `Quick test_routes_are_valid;
+  ]

@@ -1,0 +1,206 @@
+(* Per-link 802.1p remarking: the paper's prio(tau, N1, N2) in eq (2) is a
+   per-link function, so a flow's class may be rewritten at any switch. *)
+open Gmf_util
+
+(* Two flows crossing a two-switch chain host0 -> swA -> swB -> host1. *)
+let chain_scenario ~flow0_remarks =
+  let topo = Network.Topology.create () in
+  let h0 = Network.Topology.add_node topo ~name:"h0" ~kind:Network.Node.Endhost in
+  let h1 = Network.Topology.add_node topo ~name:"h1" ~kind:Network.Node.Endhost in
+  let a = Network.Topology.add_node topo ~name:"swA" ~kind:Network.Node.Switch in
+  let b = Network.Topology.add_node topo ~name:"swB" ~kind:Network.Node.Switch in
+  let rate_bps = 10_000_000 in
+  Network.Topology.add_duplex_link topo ~a:h0 ~b:a ~rate_bps ~prop:0;
+  Network.Topology.add_duplex_link topo ~a ~b ~rate_bps ~prop:0;
+  Network.Topology.add_duplex_link topo ~a:b ~b:h1 ~rate_bps ~prop:0;
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 20) ~deadline:(Timeunit.ms 100)
+          ~jitter:0 ~payload_bits:(8 * 1_472);
+      ]
+  in
+  let route = Network.Route.make topo [ h0; a; b; h1 ] in
+  let flow0 =
+    Traffic.Flow.with_remarks
+      (Traffic.Flow.make ~id:0 ~name:"f0" ~spec ~encap:Ethernet.Encap.Udp
+         ~route ~priority:3)
+      flow0_remarks
+  in
+  let flow1 =
+    Traffic.Flow.make ~id:1 ~name:"f1" ~spec ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ h0; a; b; h1 ])
+      ~priority:4
+  in
+  (Traffic.Scenario.make ~topo ~flows:[ flow0; flow1 ] (), (h0, a, b, h1))
+
+let test_priority_lookup () =
+  let scenario, (h0, a, b, h1) = chain_scenario ~flow0_remarks:[] in
+  let flow0 = Traffic.Scenario.flow scenario 0 in
+  Alcotest.(check int) "default everywhere" 3
+    (Traffic.Flow.priority_on flow0 ~src:h0 ~dst:a);
+  let remarked = Traffic.Flow.with_remarks flow0 [ ((a, b), 7) ] in
+  Alcotest.(check int) "remarked hop" 7
+    (Traffic.Flow.priority_on remarked ~src:a ~dst:b);
+  Alcotest.(check int) "other hops keep default" 3
+    (Traffic.Flow.priority_on remarked ~src:b ~dst:h1)
+
+let test_remark_validation () =
+  let scenario, (_, a, b, _) = chain_scenario ~flow0_remarks:[] in
+  let flow0 = Traffic.Scenario.flow scenario 0 in
+  Alcotest.check_raises "off-route hop"
+    (Invalid_argument
+       "Flow.with_remarks: remark on hop 9->8 not on the route") (fun () ->
+      ignore (Traffic.Flow.with_remarks flow0 [ ((9, 8), 5) ]));
+  Alcotest.check_raises "duplicate hop"
+    (Invalid_argument "Flow.with_remarks: hop 2->3 remarked twice") (fun () ->
+      ignore (Traffic.Flow.with_remarks flow0 [ ((a, b), 5); ((a, b), 6) ]));
+  Alcotest.check_raises "bad priority"
+    (Invalid_argument "Flow.make: priority outside the 802.1p range 0..7")
+    (fun () -> ignore (Traffic.Flow.with_remarks flow0 [ ((a, b), 9) ]))
+
+let test_hep_changes_per_link () =
+  (* flow0 (default prio 3) is promoted to 7 on the middle hop only.  On
+     that hop flow1 (prio 4) no longer outranks it; elsewhere it does. *)
+  let scenario, (_, a, b, _) = chain_scenario ~flow0_remarks:[] in
+  let flow0 = Traffic.Scenario.flow scenario 0 in
+  let promoted = Traffic.Flow.with_remarks flow0 [ ((a, b), 7) ] in
+  let scenario2 =
+    Traffic.Scenario.make
+      ~topo:(Traffic.Scenario.topo scenario)
+      ~flows:[ promoted; Traffic.Scenario.flow scenario 1 ]
+      ()
+  in
+  let promoted = Traffic.Scenario.flow scenario2 0 in
+  let hep_at node =
+    Traffic.Scenario.hep scenario2 promoted ~node
+    |> List.map (fun f -> f.Traffic.Flow.id)
+  in
+  Alcotest.(check (list int)) "flow1 outranks on a->b? no" [] (hep_at a);
+  Alcotest.(check (list int)) "flow1 outranks on b->h1" [ 1 ] (hep_at b);
+  (* Conversely flow1 now sees flow0 as hep on the middle link. *)
+  let flow1 = Traffic.Scenario.flow scenario2 1 in
+  Alcotest.(check (list int)) "flow0 hep for flow1 at a" [ 0 ]
+    (Traffic.Scenario.hep scenario2 flow1 ~node:a
+    |> List.map (fun f -> f.Traffic.Flow.id))
+
+let test_remark_lowers_bound () =
+  (* Promoting flow0 on every switch hop must not increase (and here
+     strictly decreases) its egress bounds. *)
+  let base, (_, a, b, _) = chain_scenario ~flow0_remarks:[] in
+  let promoted_scenario =
+    let flow0 = Traffic.Scenario.flow base 0 in
+    let h1 = Traffic.Flow.destination flow0 in
+    Traffic.Scenario.make
+      ~topo:(Traffic.Scenario.topo base)
+      ~flows:
+        [
+          Traffic.Flow.with_remarks flow0 [ ((a, b), 7); ((b, h1), 7) ];
+          Traffic.Scenario.flow base 1;
+        ]
+      ()
+  in
+  let bound scenario =
+    let report = Analysis.Holistic.analyze scenario in
+    match report.Analysis.Holistic.results with
+    | r0 :: _ ->
+        (Analysis.Result_types.worst_frame r0).Analysis.Result_types.total
+    | [] -> Alcotest.fail "no results"
+  in
+  Alcotest.(check bool) "promotion shrinks the bound" true
+    (bound promoted_scenario < bound base)
+
+let test_sim_respects_remarks () =
+  (* In simulation, a frame remarked to class 7 on the bottleneck hop jumps
+     the queue of class-4 traffic there. *)
+  let base, (_, a, b, _) = chain_scenario ~flow0_remarks:[] in
+  let promote scenario =
+    let flow0 = Traffic.Scenario.flow scenario 0 in
+    let h1 = Traffic.Flow.destination flow0 in
+    Traffic.Scenario.make
+      ~topo:(Traffic.Scenario.topo scenario)
+      ~flows:
+        [
+          Traffic.Flow.with_remarks flow0 [ ((a, b), 7); ((b, h1), 7) ];
+          Traffic.Scenario.flow scenario 1;
+        ]
+      ()
+  in
+  let observe scenario =
+    let sim =
+      Sim.Netsim.run
+        ~config:
+          { Sim.Sim_config.default with
+            duration = Timeunit.ms 500; jitter = Sim.Sim_config.Bunched }
+        scenario
+    in
+    Option.value ~default:0
+      (Sim.Collector.max_response_flow sim.Sim.Netsim.collector ~flow:0)
+  in
+  Alcotest.(check bool) "promoted flow not slower" true
+    (observe (promote base) <= observe base)
+
+let test_dsl_remark_roundtrip () =
+  let text =
+    {|node h0 endhost
+node h1 endhost
+node swA switch
+node swB switch
+duplex h0 swA rate=10M
+duplex swA swB rate=10M
+duplex swB h1 rate=10M
+flow f from=h0 to=h1 prio=3 remark=swA/swB:7,swB/h1:6
+  frame period=20ms deadline=100ms payload=1472B
+end
+|}
+  in
+  match Scenario_io.Parse.scenario_of_string text with
+  | Error e -> Alcotest.failf "parse failed: %a" Scenario_io.Parse.pp_error e
+  | Ok scenario -> (
+      let flow = Traffic.Scenario.flow scenario 0 in
+      Alcotest.(check int) "remark on middle hop" 7
+        (Traffic.Flow.priority_on flow ~src:2 ~dst:3);
+      Alcotest.(check int) "remark on last hop" 6
+        (Traffic.Flow.priority_on flow ~src:3 ~dst:1);
+      Alcotest.(check int) "default on first hop" 3
+        (Traffic.Flow.priority_on flow ~src:0 ~dst:2);
+      (* Round trip preserves the remarks. *)
+      match
+        Scenario_io.Parse.scenario_of_string
+          (Scenario_io.Print.to_string scenario)
+      with
+      | Error e ->
+          Alcotest.failf "reparse failed: %a" Scenario_io.Parse.pp_error e
+      | Ok reparsed ->
+          let flow' = Traffic.Scenario.flow reparsed 0 in
+          Alcotest.(check (list (pair (pair int int) int)))
+            "remarks preserved" flow.Traffic.Flow.remarks
+            flow'.Traffic.Flow.remarks)
+
+let test_dsl_remark_errors () =
+  let bad text =
+    Result.is_error (Scenario_io.Parse.scenario_of_string text)
+  in
+  Alcotest.(check bool) "malformed remark" true
+    (bad
+       "node a endhost\nnode b endhost\nlink a b rate=1M\n\
+        flow f from=a to=b remark=nonsense\n\
+        frame period=1ms deadline=1ms payload=1B\nend");
+  Alcotest.(check bool) "off-route remark" true
+    (bad
+       "node a endhost\nnode b endhost\nnode c endhost\nlink a b rate=1M\n\
+        link b c rate=1M\n\
+        flow f from=a to=b remark=b/c:5\n\
+        frame period=1ms deadline=1ms payload=1B\nend")
+
+let tests =
+  [
+    Alcotest.test_case "priority_on lookup" `Quick test_priority_lookup;
+    Alcotest.test_case "remark validation" `Quick test_remark_validation;
+    Alcotest.test_case "hep changes per link" `Quick test_hep_changes_per_link;
+    Alcotest.test_case "promotion lowers bound" `Quick test_remark_lowers_bound;
+    Alcotest.test_case "simulator respects remarks" `Quick
+      test_sim_respects_remarks;
+    Alcotest.test_case "DSL remark round-trip" `Quick test_dsl_remark_roundtrip;
+    Alcotest.test_case "DSL remark errors" `Quick test_dsl_remark_errors;
+  ]

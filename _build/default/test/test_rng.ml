@@ -1,0 +1,105 @@
+open Gmf_util
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done;
+  Alcotest.(check int) "singleton range" 9 (Rng.int_in rng 9 9);
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Rng.int_in: empty range") (fun () ->
+      ignore (Rng.int_in rng 2 1))
+
+let test_float () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1_000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:6 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true
+    (Rng.next_int64 child1 <> Rng.next_int64 child2)
+
+let test_pick_shuffle () =
+  let rng = Rng.create ~seed:8 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 100 do
+    let picked = Rng.pick rng arr in
+    Alcotest.(check bool) "pick is member" true
+      (Array.exists (fun x -> x = picked) arr)
+  done;
+  let shuffled = Array.copy arr in
+  Rng.shuffle rng shuffled;
+  Alcotest.(check (list int)) "shuffle is a permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Array.to_list shuffled))
+
+let test_exponential () =
+  let rng = Rng.create ~seed:9 in
+  let n = 10_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential rng ~mean:3.0 in
+    Alcotest.(check bool) "non-negative" true (x >= 0.);
+    acc := !acc +. x
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 3.0" true (mean > 2.7 && mean < 3.3)
+
+let test_uniformity () =
+  (* Rough chi-square-free sanity check on bucket counts. *)
+  let rng = Rng.create ~seed:10 in
+  let buckets = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced" i)
+        true
+        (c > (n / 10) - 500 && c < (n / 10) + 500))
+    buckets
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "pick/shuffle" `Quick test_pick_shuffle;
+    Alcotest.test_case "exponential mean" `Quick test_exponential;
+    Alcotest.test_case "uniformity" `Quick test_uniformity;
+  ]

@@ -1,0 +1,242 @@
+open Gmf_util
+
+(* ---------------- units ---------------- *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let test_units_duration () =
+  Alcotest.(check int) "ns" 250 (ok (Scenario_io.Units.duration "250ns"));
+  Alcotest.(check int) "us fractional" 2_700
+    (ok (Scenario_io.Units.duration "2.7us"));
+  Alcotest.(check int) "ms" (Timeunit.ms 33)
+    (ok (Scenario_io.Units.duration "33ms"));
+  Alcotest.(check int) "s" (Timeunit.s 1) (ok (Scenario_io.Units.duration "1s"));
+  Alcotest.(check int) "bare zero" 0 (ok (Scenario_io.Units.duration "0"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Scenario_io.Units.duration "fast"));
+  Alcotest.(check bool) "negative rejected" true
+    (Result.is_error (Scenario_io.Units.duration "-3ms"))
+
+let test_units_rate () =
+  Alcotest.(check int) "bare" 9_600 (ok (Scenario_io.Units.rate "9600"));
+  Alcotest.(check int) "k" 64_000 (ok (Scenario_io.Units.rate "64k"));
+  Alcotest.(check int) "M" 100_000_000 (ok (Scenario_io.Units.rate "100M"));
+  Alcotest.(check int) "G" 1_000_000_000 (ok (Scenario_io.Units.rate "1G"));
+  Alcotest.(check bool) "zero rejected" true
+    (Result.is_error (Scenario_io.Units.rate "0"))
+
+let test_units_size () =
+  Alcotest.(check int) "bytes" 12_000 (ok (Scenario_io.Units.size_bits "1500B"));
+  Alcotest.(check int) "bits" 100 (ok (Scenario_io.Units.size_bits "100b"));
+  Alcotest.(check int) "bare = bits" 100 (ok (Scenario_io.Units.size_bits "100"))
+
+let test_units_roundtrip () =
+  List.iter
+    (fun ns ->
+      Alcotest.(check int)
+        (Printf.sprintf "duration %d" ns)
+        ns
+        (ok (Scenario_io.Units.duration (Scenario_io.Units.print_duration ns))))
+    [ 0; 1; 999; 1_000; 2_700; 14_800; Timeunit.ms 33; Timeunit.s 2 ];
+  List.iter
+    (fun bps ->
+      Alcotest.(check int)
+        (Printf.sprintf "rate %d" bps)
+        bps
+        (ok (Scenario_io.Units.rate (Scenario_io.Units.print_rate bps))))
+    [ 9_600; 64_000; 10_000_000; 1_000_000_000 ];
+  List.iter
+    (fun bits ->
+      Alcotest.(check int)
+        (Printf.sprintf "size %d" bits)
+        bits
+        (ok
+           (Scenario_io.Units.size_bits (Scenario_io.Units.print_size_bits bits))))
+    [ 0; 7; 8; 12_000; 352_064 ]
+
+(* ---------------- parsing ---------------- *)
+
+let example_text =
+  {|# two PCs behind one switch
+node pc_a endhost
+node pc_b endhost
+node sw switch
+duplex pc_a sw rate=100M prop=5us
+duplex pc_b sw rate=100M prop=5us
+switch sw ports=4 cpus=1 croute=2.7us csend=1us
+
+flow video from=pc_a to=pc_b prio=5 encap=rtp
+  frame period=33ms deadline=120ms jitter=1ms payload=30000B
+  frame period=33ms deadline=120ms payload=6000B
+end
+
+flow voip from=pc_b to=pc_a route=pc_b,sw,pc_a prio=7 encap=rtp
+  frame period=20ms deadline=150ms payload=160B
+end
+|}
+
+let parse_ok text =
+  match Scenario_io.Parse.scenario_of_string text with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse failed: %a" Scenario_io.Parse.pp_error e
+
+let test_parse_example () =
+  let s = parse_ok example_text in
+  Alcotest.(check int) "two flows" 2 (Traffic.Scenario.flow_count s);
+  let video = Traffic.Scenario.flow s 0 in
+  Alcotest.(check string) "name" "video" video.Traffic.Flow.name;
+  Alcotest.(check int) "frames" 2 (Traffic.Flow.n video);
+  Alcotest.(check int) "priority" 5 video.Traffic.Flow.priority;
+  Alcotest.(check bool) "encap rtp" true
+    (Ethernet.Encap.equal video.Traffic.Flow.encap Ethernet.Encap.Rtp_udp);
+  (* shortest-path routing was applied: pc_a -> sw -> pc_b *)
+  Alcotest.(check int) "3-node route" 3
+    (List.length (Network.Route.nodes video.Traffic.Flow.route));
+  (* explicit switch model was picked up *)
+  let sw_id = Traffic.Flow.destination video |> fun _ -> 2 in
+  Alcotest.(check int) "CIRC from directive" (Timeunit.us_frac 14.8)
+    (Traffic.Scenario.circ s sw_id);
+  (* payload/jitter/prop parsed with units *)
+  let frame0 = Gmf.Spec.frame video.Traffic.Flow.spec 0 in
+  Alcotest.(check int) "payload bytes" (8 * 30_000)
+    frame0.Gmf.Frame_spec.payload_bits;
+  Alcotest.(check int) "jitter" (Timeunit.ms 1) frame0.Gmf.Frame_spec.jitter;
+  let link = Network.Topology.link_exn (Traffic.Scenario.topo s) ~src:0 ~dst:2 in
+  Alcotest.(check int) "prop" (Timeunit.us 5) link.Network.Link.prop
+
+let check_error text fragment =
+  match Scenario_io.Parse.scenario_of_string text with
+  | Ok _ -> Alcotest.failf "expected a parse error mentioning %S" fragment
+  | Error e ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e.Scenario_io.Parse.message
+           fragment)
+        true
+        (contains e.Scenario_io.Parse.message fragment)
+
+let test_parse_errors () =
+  check_error "blorp x" "unknown directive";
+  check_error "node a endhost\nnode a endhost" "duplicate node";
+  check_error "node a endhost\nlink a b rate=1M" "unknown node";
+  check_error "node a endhost\nnode b endhost\nlink a b" "missing required";
+  check_error "node a endhost\nnode b endhost\nlink a b rate=fast" "bad rate";
+  check_error
+    "node a endhost\nnode b endhost\nlink a b rate=1M\nflow f from=a to=b\nend"
+    "no frames";
+  check_error
+    "node a endhost\nnode b endhost\nflow f from=a to=b\n\
+     frame period=1ms deadline=1ms payload=1B\nend"
+    "no path";
+  check_error
+    "node a endhost\nnode b endhost\nlink a b rate=1M\nflow f from=a to=b\n\
+     frame period=1ms deadline=1ms payload=1B"
+    "not closed";
+  check_error "frame period=1ms deadline=1ms payload=1B" "outside a flow";
+  check_error "end" "'end' without";
+  check_error "node s switch\nswitch s ports=5 cpus=2" "evenly divide";
+  check_error
+    "node a endhost\nnode b endhost\nlink a b rate=1M\n\
+     flow f from=a to=b prio=9\nframe period=1ms deadline=1ms payload=1B\nend"
+    "prio"
+
+let test_error_line_numbers () =
+  match Scenario_io.Parse.scenario_of_string "node a endhost\n\nblorp" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line 3" 3 e.Scenario_io.Parse.line
+
+(* ---------------- round trip ---------------- *)
+
+let scenario_signature s =
+  let flows =
+    List.map
+      (fun f ->
+        ( f.Traffic.Flow.name,
+          f.Traffic.Flow.priority,
+          f.Traffic.Flow.encap,
+          Network.Route.nodes f.Traffic.Flow.route,
+          Array.to_list (Gmf.Spec.frames f.Traffic.Flow.spec) ))
+      (Traffic.Scenario.flows s)
+  in
+  let links =
+    List.map
+      (fun (l : Network.Link.t) -> (l.src, l.dst, l.rate_bps, l.prop))
+      (Network.Topology.links (Traffic.Scenario.topo s))
+    |> List.sort compare
+  in
+  let switches =
+    List.map
+      (fun id ->
+        let m = Traffic.Scenario.switch_model s id in
+        ( id,
+          m.Click.Switch_model.ninterfaces,
+          m.Click.Switch_model.processors,
+          m.Click.Switch_model.croute,
+          m.Click.Switch_model.csend ))
+      (Traffic.Scenario.switch_nodes s)
+  in
+  (flows, links, switches)
+
+let test_roundtrip_named_scenarios () =
+  List.iter
+    (fun (name, scenario) ->
+      let printed = Scenario_io.Print.to_string scenario in
+      let reparsed = parse_ok printed in
+      Alcotest.(check bool)
+        (name ^ " round-trips")
+        true
+        (scenario_signature scenario = scenario_signature reparsed))
+    [
+      ("fig1", Workload.Scenarios.fig1_videoconf ());
+      ("voip", Workload.Scenarios.single_switch_voip ());
+      ("chain", Workload.Scenarios.multihop_chain ());
+    ]
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"random scenarios round-trip" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let topo, hosts, _sw = Workload.Topologies.star ~hosts:4 () in
+      let pairs = Workload.Random_gen.random_pairs rng ~hosts ~count:3 in
+      let flows = Workload.Random_gen.flows_between rng ~topo ~pairs () in
+      let scenario = Traffic.Scenario.make ~topo ~flows () in
+      let printed = Scenario_io.Print.to_string scenario in
+      match Scenario_io.Parse.scenario_of_string printed with
+      | Error _ -> false
+      | Ok reparsed ->
+          scenario_signature scenario = scenario_signature reparsed)
+
+let test_roundtrip_analysis_agrees () =
+  (* The reparsed scenario must produce identical bounds. *)
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let reparsed = parse_ok (Scenario_io.Print.to_string scenario) in
+  let totals s =
+    (Analysis.Holistic.analyze s).Analysis.Holistic.results
+    |> List.concat_map (fun r ->
+           Array.to_list r.Analysis.Result_types.frames
+           |> List.map (fun fr -> fr.Analysis.Result_types.total))
+  in
+  Alcotest.(check (list int)) "same bounds" (totals scenario) (totals reparsed)
+
+let tests =
+  [
+    Alcotest.test_case "units: durations" `Quick test_units_duration;
+    Alcotest.test_case "units: rates" `Quick test_units_rate;
+    Alcotest.test_case "units: sizes" `Quick test_units_size;
+    Alcotest.test_case "units: round-trip" `Quick test_units_roundtrip;
+    Alcotest.test_case "parse example" `Quick test_parse_example;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "named scenarios round-trip" `Quick
+      test_roundtrip_named_scenarios;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+    Alcotest.test_case "reparsed analysis agrees" `Quick
+      test_roundtrip_analysis_agrees;
+  ]

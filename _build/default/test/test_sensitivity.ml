@@ -1,0 +1,119 @@
+(* Sensitivity (capacity-planning) searches. *)
+open Gmf_util
+
+let build_star ~rate_bps ~scale ~circ_scale =
+  let topo, hosts, sw = Workload.Topologies.star ~rate_bps ~hosts:2 () in
+  let croute =
+    max 0
+      (int_of_float
+         (circ_scale *. float_of_int Click.Switch_model.default_croute))
+  in
+  let csend =
+    max 0
+      (int_of_float
+         (circ_scale *. float_of_int Click.Switch_model.default_csend))
+  in
+  let model = Click.Switch_model.make ~croute ~csend ~ninterfaces:2 () in
+  let flow =
+    Traffic.Flow.make ~id:0 ~name:"video"
+      ~spec:
+        (Workload.Mpeg.spec
+           ~sizes:
+             {
+               Workload.Mpeg.i_plus_p_bytes =
+                 max 1 (int_of_float (44_000. *. scale));
+               p_bytes = max 1 (int_of_float (20_000. *. scale));
+               b_bytes = max 1 (int_of_float (8_000. *. scale));
+             }
+           ~deadline:(Timeunit.ms 150) ())
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+      ~priority:5
+  in
+  Traffic.Scenario.make ~switches:[ (sw, model) ] ~topo ~flows:[ flow ] ()
+
+let test_min_link_rate () =
+  let build ~rate_bps = build_star ~rate_bps ~scale:1.0 ~circ_scale:1.0 in
+  match Analysis.Sensitivity.min_link_rate ~build () with
+  | None -> Alcotest.fail "10 Gbit/s must suffice"
+  | Some rate ->
+      (* The Figure 3 stream is schedulable at 10 Mbit/s (E2) but its I+P
+         frame cannot meet 150 ms at, say, 2 Mbit/s. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "min rate %d plausible" rate)
+        true
+        (rate > 2_000_000 && rate <= 10_000_000);
+      (* The found rate works; 70%% of it does not. *)
+      let ok r =
+        Analysis.Holistic.is_schedulable
+          (Analysis.Holistic.analyze (build ~rate_bps:r))
+      in
+      Alcotest.(check bool) "found rate schedulable" true (ok rate);
+      Alcotest.(check bool) "well below it unschedulable" false
+        (ok (rate * 7 / 10))
+
+let test_max_payload_scale () =
+  let build ~scale = build_star ~rate_bps:100_000_000 ~scale ~circ_scale:1.0 in
+  match Analysis.Sensitivity.max_payload_scale ~build () with
+  | None -> Alcotest.fail "base scale must work"
+  | Some scale ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scale %.2f in a sane range" scale)
+        true
+        (scale > 1.0 && scale < 64.);
+      let ok s =
+        Analysis.Holistic.is_schedulable
+          (Analysis.Holistic.analyze (build ~scale:s))
+      in
+      Alcotest.(check bool) "found scale schedulable" true (ok scale);
+      Alcotest.(check bool) "140% of it unschedulable" false (ok (scale *. 1.4))
+
+let test_max_circ () =
+  let build ~circ_scale =
+    build_star ~rate_bps:100_000_000 ~scale:1.0 ~circ_scale
+  in
+  match Analysis.Sensitivity.max_circ ~build () with
+  | None -> Alcotest.fail "the measured costs must work"
+  | Some scale ->
+      Alcotest.(check bool)
+        (Printf.sprintf "CPU slack %.1fx" scale)
+        true (scale >= 1.0)
+
+let test_impossible_reports_none () =
+  (* A deadline below one frame's transmission time at any allowed rate. *)
+  let build ~rate_bps =
+    let topo, hosts, sw = Workload.Topologies.star ~rate_bps ~hosts:2 () in
+    let spec =
+      Gmf.Spec.make
+        [
+          Gmf.Frame_spec.make ~period:(Timeunit.ms 10)
+            ~deadline:(Timeunit.ns 10) ~jitter:0 ~payload_bits:(8 * 1_472);
+        ]
+    in
+    let flow =
+      Traffic.Flow.make ~id:0 ~name:"f" ~spec ~encap:Ethernet.Encap.Udp
+        ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+        ~priority:5
+    in
+    Traffic.Scenario.make ~topo ~flows:[ flow ] ()
+  in
+  Alcotest.(check bool) "impossible -> None" true
+    (Analysis.Sensitivity.min_link_rate ~build () = None)
+
+let test_bad_range () =
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Sensitivity.min_link_rate: bad range") (fun () ->
+      ignore
+        (Analysis.Sensitivity.min_link_rate ~lo:10 ~hi:5
+           ~build:(fun ~rate_bps ->
+             build_star ~rate_bps ~scale:1.0 ~circ_scale:1.0)
+           ()))
+
+let tests =
+  [
+    Alcotest.test_case "min link rate" `Slow test_min_link_rate;
+    Alcotest.test_case "max payload scale" `Slow test_max_payload_scale;
+    Alcotest.test_case "max circ scale" `Slow test_max_circ;
+    Alcotest.test_case "impossible -> None" `Quick test_impossible_reports_none;
+    Alcotest.test_case "bad range" `Quick test_bad_range;
+  ]

@@ -1,0 +1,242 @@
+open Gmf_util
+
+(* ---------------- engine ---------------- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  Sim.Engine.schedule_at e ~at:30 (note "c");
+  Sim.Engine.schedule_at e ~at:10 (note "a");
+  Sim.Engine.schedule_at e ~at:20 (note "b");
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Sim.Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> Sim.Engine.schedule_at e ~at:5 (fun () -> log := tag :: !log))
+    [ "1"; "2"; "3" ];
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "fifo among equals" [ "1"; "2"; "3" ]
+    (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule_at e ~at:10 (fun () ->
+      log := "outer" :: !log;
+      Sim.Engine.schedule_after e ~delay:5 (fun () -> log := "inner" :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "clock" 15 (Sim.Engine.now e)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun t -> Sim.Engine.schedule_at e ~at:t (fun () -> incr count))
+    [ 1; 2; 3; 4 ];
+  Sim.Engine.run ~until:2 e;
+  Alcotest.(check int) "two ran" 2 !count;
+  Alcotest.(check int) "two left" 2 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "all ran" 4 !count
+
+let test_engine_past_rejected () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule_at e ~at:10 (fun () ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+          Sim.Engine.schedule_at e ~at:5 (fun () -> ())));
+  Sim.Engine.run e
+
+(* ---------------- collector ---------------- *)
+
+let dummy_flow () =
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:2 () in
+  Traffic.Flow.make ~id:0 ~name:"f" ~spec:(Workload.Voip.g711_spec ())
+    ~encap:Ethernet.Encap.Udp
+    ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+    ~priority:5
+
+let test_collector () =
+  let c = Sim.Collector.create () in
+  let flow = dummy_flow () in
+  Sim.Collector.note_released c;
+  Sim.Collector.note_released c;
+  Sim.Collector.record c ~flow ~frame:0 ~released:100 ~completed:250;
+  Alcotest.(check int) "released" 2 (Sim.Collector.released_count c);
+  Alcotest.(check int) "completed" 1 (Sim.Collector.completed_count c);
+  Alcotest.(check int) "incomplete" 1 (Sim.Collector.incomplete c);
+  Alcotest.(check (option int)) "max response" (Some 150)
+    (Sim.Collector.max_response c ~flow:0 ~frame:0);
+  Alcotest.(check (option int)) "missing frame" None
+    (Sim.Collector.max_response c ~flow:0 ~frame:1);
+  Sim.Collector.record c ~flow ~frame:1 ~released:0 ~completed:400;
+  Alcotest.(check (option int)) "flow max over frames" (Some 400)
+    (Sim.Collector.max_response_flow c ~flow:0);
+  Alcotest.(check (list int)) "flows seen" [ 0 ] (Sim.Collector.flows_seen c);
+  Alcotest.check_raises "negative response"
+    (Invalid_argument "Collector.record: completion before release") (fun () ->
+      Sim.Collector.record c ~flow ~frame:0 ~released:10 ~completed:5)
+
+(* ---------------- netsim ---------------- *)
+
+(* Hand-traced timeline for one single-Ethernet-frame packet crossing one
+   switch at 10 Mbit/s (derivation in the test source):
+   tx 1.2304ms + CROUTE 2.7us + CSEND 1us + tx 1.2304ms = 2.4645 ms. *)
+let expected_single = 1_230_400 + 2_700 + 1_000 + 1_230_400
+
+let single_flow_scenario ?(payload_bytes = 1_472) ?(period = Timeunit.ms 10) ()
+    =
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:2 () in
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period ~deadline:(Timeunit.ms 50) ~jitter:0
+          ~payload_bits:(8 * payload_bytes);
+      ]
+  in
+  let flow =
+    Traffic.Flow.make ~id:0 ~name:"solo" ~spec ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+      ~priority:5
+  in
+  Traffic.Scenario.make ~topo ~flows:[ flow ] ()
+
+let run_ms scenario ms =
+  Sim.Netsim.run
+    ~config:{ Sim.Sim_config.default with duration = Timeunit.ms ms }
+    scenario
+
+let test_netsim_single_packet_timeline () =
+  let scenario = single_flow_scenario () in
+  let report = run_ms scenario 35 in
+  Alcotest.(check int) "4 packets released" 4 report.Sim.Netsim.packets_released;
+  Alcotest.(check int) "all completed" 0
+    (Sim.Collector.incomplete report.Sim.Netsim.collector);
+  Alcotest.(check (option int)) "exact response" (Some expected_single)
+    (Sim.Collector.max_response report.Sim.Netsim.collector ~flow:0 ~frame:0);
+  (* Uncontended periodic flow: every instance sees the same response. *)
+  let stats =
+    Option.get
+      (Sim.Collector.responses report.Sim.Netsim.collector ~flow:0 ~frame:0)
+  in
+  Alcotest.(check int) "min = max" (Stats.min stats) (Stats.max stats)
+
+let test_netsim_fragmented_packet () =
+  (* 2000-byte payload -> nbits = 16064 -> fragments of 12304 and 4688 wire
+     bits.  Hand-traced completion: fragment 2 reaches the switch at
+     1.6992 ms, is routed by 1.7019 ms, then waits for fragment 1's
+     transmission (until 2.4645 ms) because the paper's card model commits
+     one frame at a time; the egress task then moves it (1 us) and its
+     468.8 us transmission ends at 2.9343 ms. *)
+  let scenario = single_flow_scenario ~payload_bytes:2_000 () in
+  let report = run_ms scenario 5 in
+  Alcotest.(check (option int)) "exact fragmented response"
+    (Some 2_934_300)
+    (Sim.Collector.max_response report.Sim.Netsim.collector ~flow:0 ~frame:0)
+
+let test_netsim_conservation () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let report = run_ms scenario 500 in
+  Alcotest.(check int) "nothing stuck" 0
+    (Sim.Collector.incomplete report.Sim.Netsim.collector);
+  Alcotest.(check bool) "packets flowed" true
+    (report.Sim.Netsim.packets_completed > 50);
+  (* Six flows all completed something. *)
+  Alcotest.(check (list int)) "all flows seen" [ 0; 1; 2; 3; 4; 5 ]
+    (Sim.Collector.flows_seen report.Sim.Netsim.collector)
+
+let test_netsim_deterministic () =
+  let run () =
+    let report = run_ms (Workload.Scenarios.fig1_videoconf ()) 200 in
+    List.map
+      (fun fid ->
+        Sim.Collector.max_response_flow report.Sim.Netsim.collector ~flow:fid)
+      (Sim.Collector.flows_seen report.Sim.Netsim.collector)
+  in
+  Alcotest.(check (list (option int))) "same seed, same run" (run ()) (run ())
+
+let test_netsim_seed_changes_random_runs () =
+  let run seed =
+    let config =
+      {
+        Sim.Sim_config.default with
+        duration = Timeunit.ms 300;
+        seed;
+        release = Sim.Sim_config.Random_slack 0.5;
+        random_phasing = true;
+      }
+    in
+    let report = Sim.Netsim.run ~config (Workload.Scenarios.fig1_videoconf ()) in
+    report.Sim.Netsim.packets_released
+  in
+  (* Different seeds shift phases/slacks; released counts usually differ.
+     At minimum the runs must both make progress. *)
+  Alcotest.(check bool) "seeded runs progress" true
+    (run 1 > 0 && run 2 > 0)
+
+let test_netsim_priority_inversion_bounded () =
+  (* One high-priority VoIP flow vs a low-priority bulk flow sharing the
+     switch egress: the VoIP response must stay near its uncontended value
+     plus at most one blocking frame. *)
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:3 () in
+  let voip =
+    Traffic.Flow.make ~id:0 ~name:"voip" ~spec:(Workload.Voip.g711_spec ())
+      ~encap:Ethernet.Encap.Rtp_udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(2) ])
+      ~priority:7
+  in
+  let bulk_spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 4)
+          ~deadline:(Timeunit.ms 100) ~jitter:0 ~payload_bits:(8 * 40_000);
+      ]
+  in
+  let bulk =
+    Traffic.Flow.make ~id:1 ~name:"bulk" ~spec:bulk_spec
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(1); sw; hosts.(2) ])
+      ~priority:0
+  in
+  let scenario = Traffic.Scenario.make ~topo ~flows:[ voip; bulk ] () in
+  let report = run_ms scenario 500 in
+  let voip_max =
+    Option.get (Sim.Collector.max_response_flow report.Sim.Netsim.collector ~flow:0)
+  in
+  (* Uncontended: ~2 * 193.6us + task costs.  With priority queuing the
+     whole 40 kB bulk packet (26 frames, ~32 ms) cannot get in the way;
+     only one blocking frame (1.23 ms) plus queueing can. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "voip shielded by 802.1p (max = %s)"
+       (Timeunit.to_string voip_max))
+    true
+    (voip_max < Timeunit.ms 5)
+
+let tests =
+  [
+    Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine same-time fifo" `Quick
+      test_engine_same_time_fifo;
+    Alcotest.test_case "engine nested" `Quick test_engine_nested_scheduling;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "engine rejects past" `Quick test_engine_past_rejected;
+    Alcotest.test_case "collector" `Quick test_collector;
+    Alcotest.test_case "single packet timeline" `Quick
+      test_netsim_single_packet_timeline;
+    Alcotest.test_case "fragmented packet timeline" `Quick
+      test_netsim_fragmented_packet;
+    Alcotest.test_case "conservation on Figure 1" `Quick
+      test_netsim_conservation;
+    Alcotest.test_case "deterministic replay" `Quick test_netsim_deterministic;
+    Alcotest.test_case "random seeds progress" `Quick
+      test_netsim_seed_changes_random_runs;
+    Alcotest.test_case "802.1p shields voip" `Quick
+      test_netsim_priority_inversion_bounded;
+  ]

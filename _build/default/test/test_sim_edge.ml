@@ -1,0 +1,132 @@
+(* Simulator edge configurations: multiprocessor switches, direct routes,
+   routers as sources, and the switch-model sweep. *)
+open Gmf_util
+
+let test_direct_route_sim () =
+  (* Source wired straight to destination: no switch is involved and the
+     response is exactly the transmission time. *)
+  let topo = Network.Topology.create () in
+  let a = Network.Topology.add_node topo ~name:"a" ~kind:Network.Node.Endhost in
+  let b = Network.Topology.add_node topo ~name:"b" ~kind:Network.Node.Endhost in
+  Network.Topology.add_duplex_link topo ~a ~b ~rate_bps:10_000_000 ~prop:100;
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make ~period:(Timeunit.ms 10) ~deadline:(Timeunit.ms 50)
+          ~jitter:0 ~payload_bits:(8 * 1_472);
+      ]
+  in
+  let flow =
+    Traffic.Flow.make ~id:0 ~name:"direct" ~spec ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ a; b ])
+      ~priority:5
+  in
+  let scenario = Traffic.Scenario.make ~topo ~flows:[ flow ] () in
+  let sim =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 50 }
+      scenario
+  in
+  Alcotest.(check (option int)) "tx + prop exactly" (Some 1_230_500)
+    (Sim.Collector.max_response sim.Sim.Netsim.collector ~flow:0 ~frame:0);
+  (* And the analysis agrees (single first-link stage). *)
+  let report = Analysis.Holistic.analyze scenario in
+  Alcotest.(check int) "analysis bound" 1_230_500
+    (Experiments.Exp_common.worst_total report 0)
+
+let multiproc_scenario () =
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:4 () in
+  let model = Click.Switch_model.make ~ninterfaces:4 ~processors:2 () in
+  let flows =
+    List.init 2 (fun id ->
+        Traffic.Flow.make ~id
+          ~name:(Printf.sprintf "f%d" id)
+          ~spec:
+            (Gmf.Spec.make
+               [
+                 Gmf.Frame_spec.make ~period:(Timeunit.ms 10)
+                   ~deadline:(Timeunit.ms 50) ~jitter:0
+                   ~payload_bits:(8 * 1_472);
+               ])
+          ~encap:Ethernet.Encap.Udp
+          ~route:
+            (Network.Route.make topo [ hosts.(id); sw; hosts.(id + 2) ])
+          ~priority:5)
+  in
+  Traffic.Scenario.make ~switches:[ (sw, model) ] ~topo ~flows ()
+
+let test_multiprocessor_switch_sim () =
+  let scenario = multiproc_scenario () in
+  let sim =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 100 }
+      scenario
+  in
+  Alcotest.(check int) "all packets complete" 0
+    (Sim.Collector.incomplete sim.Sim.Netsim.collector);
+  (* Analysis bounds still dominate on the 2-CPU switch. *)
+  let report = Analysis.Holistic.analyze scenario in
+  Alcotest.(check bool) "schedulable" true
+    (Analysis.Holistic.is_schedulable report);
+  List.iter
+    (fun fid ->
+      let observed =
+        Option.get
+          (Sim.Collector.max_response_flow sim.Sim.Netsim.collector ~flow:fid)
+      in
+      let bound = Experiments.Exp_common.worst_total report fid in
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d: %s <= %s" fid
+           (Timeunit.to_string observed)
+           (Timeunit.to_string bound))
+        true (observed <= bound))
+    [ 0; 1 ]
+
+let test_multiproc_faster_than_uniproc () =
+  (* Same traffic, same switch, 2 CPUs vs 1: the analysis bound with two
+     processors (CIRC halved) is never larger. *)
+  let bound processors =
+    let topo, hosts, sw = Workload.Topologies.star ~hosts:4 () in
+    let model = Click.Switch_model.make ~ninterfaces:4 ~processors () in
+    let flow =
+      Traffic.Flow.make ~id:0 ~name:"f"
+        ~spec:
+          (Gmf.Spec.make
+             [
+               Gmf.Frame_spec.make ~period:(Timeunit.ms 10)
+                 ~deadline:(Timeunit.ms 50) ~jitter:0
+                 ~payload_bits:(8 * 1_472);
+             ])
+        ~encap:Ethernet.Encap.Udp
+        ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+        ~priority:5
+    in
+    let scenario =
+      Traffic.Scenario.make ~switches:[ (sw, model) ] ~topo ~flows:[ flow ] ()
+    in
+    Experiments.Exp_common.worst_total (Analysis.Holistic.analyze scenario) 0
+  in
+  Alcotest.(check bool) "2 CPUs never worse" true (bound 2 <= bound 1)
+
+let test_router_source_sim () =
+  (* Flow sourced at the IP router of the Figure 1 network (the paper's
+     'IP-router may be a source node' case) flows end to end. *)
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let sim =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 200 }
+      scenario
+  in
+  (* flow 5 is bulk:7->1, sourced at router node 7. *)
+  Alcotest.(check bool) "router-sourced flow completed" true
+    (Sim.Collector.max_response_flow sim.Sim.Netsim.collector ~flow:5 <> None)
+
+let tests =
+  [
+    Alcotest.test_case "direct route" `Quick test_direct_route_sim;
+    Alcotest.test_case "multiprocessor switch" `Quick
+      test_multiprocessor_switch_sim;
+    Alcotest.test_case "2 CPUs never worse" `Quick
+      test_multiproc_faster_than_uniproc;
+    Alcotest.test_case "router as source" `Quick test_router_source_sim;
+  ]

@@ -1,0 +1,88 @@
+open Gmf_util
+
+let filled xs =
+  let s = Stats.create () in
+  Stats.add_list s xs;
+  s
+
+let test_basic () =
+  let s = filled [ 4; 1; 3; 2; 5 ] in
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check int) "min" 1 (Stats.min s);
+  Alcotest.(check int) "max" 5 (Stats.max s);
+  Alcotest.(check int) "sum" 15 (Stats.sum s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.0) (Stats.stddev s)
+
+let test_empty_raises () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count 0" 0 (Stats.count s);
+  Alcotest.check_raises "min" (Invalid_argument "Stats.min: empty accumulator")
+    (fun () -> ignore (Stats.min s));
+  Alcotest.check_raises "percentile"
+    (Invalid_argument "Stats.percentile: empty accumulator") (fun () ->
+      ignore (Stats.percentile s 50.))
+
+let test_percentiles () =
+  let s = filled (List.init 100 (fun i -> i + 1)) in
+  Alcotest.(check int) "p50" 50 (Stats.percentile s 50.);
+  Alcotest.(check int) "p90" 90 (Stats.percentile s 90.);
+  Alcotest.(check int) "p100" 100 (Stats.percentile s 100.);
+  Alcotest.(check int) "p0 clamps to first" 1 (Stats.percentile s 0.);
+  Alcotest.(check int) "median" 50 (Stats.median s);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile s 101.))
+
+let test_percentile_cache_invalidation () =
+  let s = filled [ 10; 20; 30 ] in
+  Alcotest.(check int) "p100 before" 30 (Stats.percentile s 100.);
+  Stats.add s 40;
+  Alcotest.(check int) "p100 after add" 40 (Stats.percentile s 100.)
+
+let test_to_list_order () =
+  let s = filled [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "insertion order" [ 3; 1; 2 ] (Stats.to_list s)
+
+let test_histogram () =
+  let s = filled [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let buckets = Stats.histogram s ~buckets:2 in
+  Alcotest.(check int) "two buckets" 2 (List.length buckets);
+  let counts = List.map (fun (_, _, c) -> c) buckets in
+  Alcotest.(check (list int)) "even split" [ 5; 5 ] counts;
+  let total =
+    List.fold_left (fun acc (_, _, c) -> acc + c) 0
+      (Stats.histogram s ~buckets:3)
+  in
+  Alcotest.(check int) "histogram conserves samples" 10 total
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean between min and max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) small_int)
+    (fun xs ->
+      let s = filled xs in
+      let m = Stats.mean s in
+      float_of_int (Stats.min s) <= m +. 1e-9
+      && m <= float_of_int (Stats.max s) +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) small_int)
+              (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (xs, (p1, p2)) ->
+      let s = filled xs in
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile s lo <= Stats.percentile s hi)
+
+let tests =
+  [
+    Alcotest.test_case "basic moments" `Quick test_basic;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "cache invalidation" `Quick
+      test_percentile_cache_invalidation;
+    Alcotest.test_case "to_list order" `Quick test_to_list_order;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

@@ -1,0 +1,110 @@
+open Stride
+
+let test_round_robin_order () =
+  (* All tickets equal: stride scheduling collapses to round-robin, the
+     configuration the paper assumes (Section 2.2). *)
+  let s = Scheduler.round_robin ~ntasks:4 in
+  let order = List.init 12 (fun _ -> Scheduler.select s) in
+  Alcotest.(check (list int)) "cyclic order"
+    [ 0; 1; 2; 3; 0; 1; 2; 3; 0; 1; 2; 3 ]
+    order
+
+let test_ticket_proportionality () =
+  (* A ticket=2 task runs twice as often as a ticket=1 task (the paper's
+     example). *)
+  let s = Scheduler.create () in
+  let heavy = Scheduler.add_task s ~tickets:2 in
+  let light = Scheduler.add_task s ~tickets:1 in
+  for _ = 1 to 300 do
+    ignore (Scheduler.select s)
+  done;
+  Alcotest.(check int) "2:1 ratio" (2 * Scheduler.run_count s light)
+    (Scheduler.run_count s heavy)
+
+let test_three_way_ratio () =
+  (* The 3:2:1 allocation from the Waldspurger-Weihl paper. *)
+  let s = Scheduler.create () in
+  let a = Scheduler.add_task s ~tickets:3 in
+  let b = Scheduler.add_task s ~tickets:2 in
+  let c = Scheduler.add_task s ~tickets:1 in
+  for _ = 1 to 600 do
+    ignore (Scheduler.select s)
+  done;
+  Alcotest.(check int) "a ran 300" 300 (Scheduler.run_count s a);
+  Alcotest.(check int) "b ran 200" 200 (Scheduler.run_count s b);
+  Alcotest.(check int) "c ran 100" 100 (Scheduler.run_count s c)
+
+let test_pass_accounting () =
+  let s = Scheduler.create () in
+  let t = Scheduler.add_task s ~tickets:4 in
+  let stride = Scheduler.stride_of s t in
+  Alcotest.(check int) "stride = stride1/tickets" (Scheduler.stride1 / 4) stride;
+  Alcotest.(check int) "initial pass = stride" stride (Scheduler.pass_of s t);
+  ignore (Scheduler.select s);
+  Alcotest.(check int) "pass advances by stride" (2 * stride)
+    (Scheduler.pass_of s t)
+
+let test_peek_vs_select () =
+  let s = Scheduler.round_robin ~ntasks:2 in
+  let p = Scheduler.peek s in
+  Alcotest.(check int) "peek does not charge" p (Scheduler.peek s);
+  Alcotest.(check int) "select returns peeked" p (Scheduler.select s);
+  Alcotest.(check bool) "next differs" true (Scheduler.peek s <> p)
+
+let test_reset () =
+  let s = Scheduler.round_robin ~ntasks:3 in
+  for _ = 1 to 7 do
+    ignore (Scheduler.select s)
+  done;
+  Scheduler.reset s;
+  Alcotest.(check int) "runs cleared" 0 (Scheduler.run_count s 0);
+  Alcotest.(check int) "order restarts at 0" 0 (Scheduler.select s)
+
+let test_validation () =
+  let s = Scheduler.create () in
+  Alcotest.check_raises "zero tickets"
+    (Invalid_argument "Scheduler.add_task: non-positive tickets") (fun () ->
+      ignore (Scheduler.add_task s ~tickets:0));
+  Alcotest.check_raises "select with no tasks"
+    (Invalid_argument "Scheduler.select: no tasks") (fun () ->
+      ignore (Scheduler.select s));
+  Alcotest.check_raises "empty round robin"
+    (Invalid_argument "Scheduler.round_robin: no tasks") (fun () ->
+      ignore (Scheduler.round_robin ~ntasks:0))
+
+let prop_relative_error_bounded =
+  (* Basic stride scheduling's absolute throughput error for any single task
+     is O(n_tasks) quanta (Waldspurger & Weihl 1995, Section 3.3); with a
+     single competing task it is at most one quantum. *)
+  QCheck.Test.make ~name:"per-task allocation error bounded" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 5) (int_range 1 8))
+        (int_range 1 400))
+    (fun (tickets, steps) ->
+      let tickets = List.map (fun t -> max 1 (min 8 t)) tickets in
+      let s = Scheduler.create () in
+      let ids = List.map (fun t -> (Scheduler.add_task s ~tickets:t, t)) tickets in
+      let total = List.fold_left (fun acc t -> acc + t) 0 tickets in
+      let bound = float_of_int (List.length tickets) in
+      for _ = 1 to steps do
+        ignore (Scheduler.select s)
+      done;
+      List.for_all
+        (fun (id, t) ->
+          let expected = float_of_int (steps * t) /. float_of_int total in
+          let got = float_of_int (Scheduler.run_count s id) in
+          Float.abs (got -. expected) <= bound +. 1e-9)
+        ids)
+
+let tests =
+  [
+    Alcotest.test_case "round-robin collapse" `Quick test_round_robin_order;
+    Alcotest.test_case "2:1 tickets" `Quick test_ticket_proportionality;
+    Alcotest.test_case "3:2:1 tickets" `Quick test_three_way_ratio;
+    Alcotest.test_case "pass accounting" `Quick test_pass_accounting;
+    Alcotest.test_case "peek vs select" `Quick test_peek_vs_select;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_relative_error_bounded;
+  ]

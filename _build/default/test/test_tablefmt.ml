@@ -1,0 +1,56 @@
+open Gmf_util
+
+let test_render_alignment () =
+  let t =
+    Tablefmt.create
+      ~columns:[ ("name", Tablefmt.Left); ("value", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_row t [ "longer"; "22" ];
+  let rendered = Tablefmt.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (match lines with
+  | header :: rule :: row1 :: _ ->
+      Alcotest.(check string) "header" "name   | value" header;
+      Alcotest.(check string) "rule" "-------+------" rule;
+      Alcotest.(check string) "row right-aligned" "x      |     1" row1
+  | _ -> Alcotest.fail "unexpected shape");
+  (* every line has equal width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_separator () =
+  let t = Tablefmt.create ~columns:[ ("c", Tablefmt.Left) ] in
+  Tablefmt.add_row t [ "a" ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t [ "b" ];
+  let lines = String.split_on_char '\n' (Tablefmt.render t) in
+  Alcotest.(check int) "5 lines" 5 (List.length lines)
+
+let test_errors () =
+  Alcotest.check_raises "no columns"
+    (Invalid_argument "Tablefmt.create: no columns") (fun () ->
+      ignore (Tablefmt.create ~columns:[]));
+  let t = Tablefmt.create ~columns:[ ("a", Tablefmt.Left) ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Tablefmt.add_row: wrong cell count") (fun () ->
+      Tablefmt.add_row t [ "1"; "2" ])
+
+let test_wide_cells () =
+  let t =
+    Tablefmt.create ~columns:[ ("a", Tablefmt.Right); ("b", Tablefmt.Left) ]
+  in
+  Tablefmt.add_row t [ "123456789"; "x" ];
+  let first_line = List.hd (String.split_on_char '\n' (Tablefmt.render t)) in
+  Alcotest.(check string) "header padded to cell width" "        a | b"
+    first_line
+
+let tests =
+  [
+    Alcotest.test_case "render + alignment" `Quick test_render_alignment;
+    Alcotest.test_case "separator" `Quick test_separator;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "wide cells" `Quick test_wide_cells;
+  ]

@@ -1,0 +1,109 @@
+(* Tight jitter propagation (Config.tight_jitter). *)
+open Gmf_util
+
+let test_config_presets () =
+  Alcotest.(check bool) "default is paper rule" false
+    Analysis.Config.default.Analysis.Config.tight_jitter;
+  Alcotest.(check bool) "tight preset" true
+    Analysis.Config.tight.Analysis.Config.tight_jitter
+
+let bound ?config scenario flow_id =
+  Experiments.Exp_common.worst_total
+    (Analysis.Holistic.analyze ?config scenario)
+    flow_id
+
+let test_never_looser () =
+  (* Tight jitter can only shrink interference, so per-flow bounds never
+     grow.  Check on every named scenario. *)
+  List.iter
+    (fun (name, scenario) ->
+      List.iter
+        (fun flow ->
+          let id = flow.Traffic.Flow.id in
+          let paper = bound scenario id in
+          let tight = bound ~config:Analysis.Config.tight scenario id in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s flow %d: tight <= paper" name id)
+            true (tight <= paper))
+        (Traffic.Scenario.flows scenario))
+    [
+      ("fig1", Workload.Scenarios.fig1_videoconf ());
+      ("voip", Workload.Scenarios.single_switch_voip ());
+      ("chain", Workload.Scenarios.multihop_chain ());
+    ]
+
+let test_uncontended_flow_unchanged () =
+  (* A flow alone in the network has no interferers, so the tight rule
+     changes nothing at all. *)
+  let topo, hosts, sw = Workload.Topologies.star ~hosts:2 () in
+  let flow =
+    Traffic.Flow.make ~id:0 ~name:"solo" ~spec:Workload.Mpeg.fig3_spec
+      ~encap:Ethernet.Encap.Udp
+      ~route:(Network.Route.make topo [ hosts.(0); sw; hosts.(1) ])
+      ~priority:5
+  in
+  let scenario = Traffic.Scenario.make ~topo ~flows:[ flow ] () in
+  Alcotest.(check int) "identical bound" (bound scenario 0)
+    (bound ~config:Analysis.Config.tight scenario 0)
+
+let test_e17_reduction_and_soundness () =
+  let rows = Experiments.E17_tight_jitter.rows () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Experiments.E17_tight_jitter.label ^ " tight <= paper")
+        true
+        (r.Experiments.E17_tight_jitter.tight_bound
+         <= r.Experiments.E17_tight_jitter.paper_bound);
+      Alcotest.(check bool)
+        (r.Experiments.E17_tight_jitter.label ^ " sound")
+        true r.Experiments.E17_tight_jitter.sound)
+    rows;
+  (* The deep-merge rows actually gain something. *)
+  let deep = List.nth rows 4 in
+  Alcotest.(check bool) "deep merge gains" true
+    (deep.Experiments.E17_tight_jitter.tight_bound
+     < deep.Experiments.E17_tight_jitter.paper_bound)
+
+let test_tight_validation_against_sim () =
+  (* Full per-(flow, frame) domination under the tight rule on fig1. *)
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let report = Analysis.Holistic.analyze ~config:Analysis.Config.tight scenario in
+  Alcotest.(check bool) "schedulable" true
+    (Analysis.Holistic.is_schedulable report);
+  let sim =
+    Sim.Netsim.run
+      ~config:{ Sim.Sim_config.default with duration = Timeunit.s 1 }
+      scenario
+  in
+  List.iter
+    (fun res ->
+      let id = res.Analysis.Result_types.flow.Traffic.Flow.id in
+      Array.iter
+        (fun (fr : Analysis.Result_types.frame_result) ->
+          match
+            Sim.Collector.max_response sim.Sim.Netsim.collector ~flow:id
+              ~frame:fr.Analysis.Result_types.frame
+          with
+          | None -> ()
+          | Some observed ->
+              Alcotest.(check bool)
+                (Printf.sprintf "flow %d frame %d" id
+                   fr.Analysis.Result_types.frame)
+                true
+                (observed <= fr.Analysis.Result_types.total))
+        res.Analysis.Result_types.frames)
+    report.Analysis.Holistic.results
+
+let tests =
+  [
+    Alcotest.test_case "config presets" `Quick test_config_presets;
+    Alcotest.test_case "never looser" `Slow test_never_looser;
+    Alcotest.test_case "uncontended unchanged" `Quick
+      test_uncontended_flow_unchanged;
+    Alcotest.test_case "E17 reduction + soundness" `Slow
+      test_e17_reduction_and_soundness;
+    Alcotest.test_case "tight bounds dominate sim" `Slow
+      test_tight_validation_against_sim;
+  ]

@@ -1,0 +1,61 @@
+open Gmf_util
+
+let check_int = Alcotest.(check int)
+
+let test_constructors () =
+  check_int "ns" 5 (Timeunit.ns 5);
+  check_int "us" 5_000 (Timeunit.us 5);
+  check_int "ms" 5_000_000 (Timeunit.ms 5);
+  check_int "s" 5_000_000_000 (Timeunit.s 5);
+  check_int "us_frac 2.7" 2_700 (Timeunit.us_frac 2.7);
+  check_int "us_frac 1.0" 1_000 (Timeunit.us_frac 1.0);
+  check_int "us_frac rounds" 1_234 (Timeunit.us_frac 1.2341)
+
+let test_conversions () =
+  Alcotest.(check (float 1e-9)) "to_us" 14.8 (Timeunit.to_us 14_800);
+  Alcotest.(check (float 1e-9)) "to_ms" 270. (Timeunit.to_ms (Timeunit.ms 270));
+  Alcotest.(check (float 1e-9)) "to_s" 1.5 (Timeunit.to_s 1_500_000_000)
+
+let test_pp () =
+  let check_pp expected t =
+    Alcotest.(check string) expected expected (Timeunit.to_string t)
+  in
+  check_pp "999ns" 999;
+  check_pp "1us" 1_000;
+  check_pp "14.8us" 14_800;
+  check_pp "270ms" (Timeunit.ms 270);
+  check_pp "1.2304ms" 1_230_400;
+  check_pp "2s" (Timeunit.s 2)
+
+let test_cdiv_fdiv () =
+  check_int "cdiv exact" 4 (Timeunit.cdiv 12 3);
+  check_int "cdiv up" 5 (Timeunit.cdiv 13 3);
+  check_int "cdiv zero" 0 (Timeunit.cdiv 0 3);
+  check_int "fdiv exact" 4 (Timeunit.fdiv 12 3);
+  check_int "fdiv down" 4 (Timeunit.fdiv 13 3);
+  Alcotest.check_raises "cdiv by zero"
+    (Invalid_argument "Timeunit.cdiv: non-positive divisor") (fun () ->
+      ignore (Timeunit.cdiv 1 0));
+  Alcotest.check_raises "cdiv negative"
+    (Invalid_argument "Timeunit.cdiv: negative dividend") (fun () ->
+      ignore (Timeunit.cdiv (-1) 2))
+
+let test_tx_time () =
+  (* 12304 bits at 10 Mbit/s = 1.2304 ms: the paper's MFT example. *)
+  check_int "MFT at 10Mbps" 1_230_400
+    (Timeunit.tx_time_ns ~bits:12_304 ~rate_bps:10_000_000);
+  (* Rounded up, never down. *)
+  check_int "rounds up" 2 (Timeunit.tx_time_ns ~bits:3 ~rate_bps:2_000_000_000);
+  check_int "zero bits" 0 (Timeunit.tx_time_ns ~bits:0 ~rate_bps:10);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Timeunit.tx_time_ns: non-positive rate") (fun () ->
+      ignore (Timeunit.tx_time_ns ~bits:1 ~rate_bps:0))
+
+let tests =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+    Alcotest.test_case "cdiv/fdiv" `Quick test_cdiv_fdiv;
+    Alcotest.test_case "tx_time" `Quick test_tx_time;
+  ]

@@ -1,0 +1,139 @@
+(* Soundness validation: for every scenario the analysis declares
+   schedulable, the simulator's observed per-frame response times must never
+   exceed the analytic per-frame bounds (experiment E5's property, run here
+   at test scale). *)
+open Gmf_util
+
+let bound_table report =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun res ->
+      Array.iter
+        (fun (fr : Analysis.Result_types.frame_result) ->
+          Hashtbl.replace table
+            (res.Analysis.Result_types.flow.Traffic.Flow.id,
+             fr.Analysis.Result_types.frame)
+            fr.Analysis.Result_types.total)
+        res.Analysis.Result_types.frames)
+    report.Analysis.Holistic.results;
+  table
+
+let check_domination ~name scenario sim_config =
+  let report = Analysis.Holistic.analyze scenario in
+  if Analysis.Holistic.is_schedulable report then begin
+    let bounds = bound_table report in
+    let sim = Sim.Netsim.run ~config:sim_config scenario in
+    Alcotest.(check int)
+      (name ^ ": no packet stuck")
+      0
+      (Sim.Collector.incomplete sim.Sim.Netsim.collector);
+    Hashtbl.iter
+      (fun (flow_id, frame) bound ->
+        match
+          Sim.Collector.max_response sim.Sim.Netsim.collector ~flow:flow_id
+            ~frame
+        with
+        | None -> ()
+        | Some observed ->
+            if observed > bound then
+              Alcotest.failf
+                "%s: flow %d frame %d observed %s exceeds bound %s" name
+                flow_id frame
+                (Timeunit.to_string observed)
+                (Timeunit.to_string bound))
+      bounds;
+    true
+  end
+  else false
+
+let sim_config ?(jitter = Sim.Sim_config.Spread) ?(seed = 42)
+    ?(release = Sim.Sim_config.Periodic) ?(random_phasing = false) ms =
+  {
+    Sim.Sim_config.default with
+    duration = Timeunit.ms ms;
+    seed;
+    release;
+    jitter;
+    random_phasing;
+  }
+
+let test_fig1_domination () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  Alcotest.(check bool) "fig1 schedulable" true
+    (check_domination ~name:"fig1" scenario (sim_config 1_000))
+
+let test_fig1_domination_jitter_modes () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  List.iter
+    (fun (label, jitter) ->
+      ignore
+        (check_domination ~name:("fig1-" ^ label) scenario
+           (sim_config ~jitter 500)))
+    [
+      ("spread", Sim.Sim_config.Spread);
+      ("bunched", Sim.Sim_config.Bunched);
+      ("random", Sim.Sim_config.Random);
+    ]
+
+let test_chain_domination () =
+  let scenario = Workload.Scenarios.multihop_chain ~switches:5 () in
+  Alcotest.(check bool) "chain schedulable" true
+    (check_domination ~name:"chain" scenario (sim_config 1_000))
+
+let test_enterprise_domination () =
+  (* Heterogeneous link speeds (100M access, 1G uplinks): the scenario that
+     exposed the NIC double-buffering bug in an earlier simulator version -
+     kept as a regression trap. *)
+  let scenario = Workload.Scenarios.enterprise () in
+  Alcotest.(check bool) "enterprise schedulable" true
+    (check_domination ~name:"enterprise" scenario (sim_config 2_000))
+
+let test_voip_domination () =
+  let scenario = Workload.Scenarios.single_switch_voip ~calls:6 () in
+  Alcotest.(check bool) "voip schedulable" true
+    (check_domination ~name:"voip" scenario (sim_config 1_000))
+
+let test_random_scenarios_domination () =
+  (* Random star scenarios across seeds; skip the unschedulable draws. *)
+  let schedulable = ref 0 in
+  for seed = 1 to 8 do
+    let rng = Rng.create ~seed in
+    let topo, hosts, _sw = Workload.Topologies.star ~rate_bps:100_000_000 ~hosts:4 () in
+    let pairs = Workload.Random_gen.random_pairs rng ~hosts ~count:4 in
+    let flows = Workload.Random_gen.flows_between rng ~topo ~pairs () in
+    let scenario = Traffic.Scenario.make ~topo ~flows () in
+    List.iter
+      (fun (label, phase) ->
+        if
+          check_domination
+            ~name:(Printf.sprintf "random-%d-%s" seed label)
+            scenario
+            (sim_config ~seed ~random_phasing:phase 400)
+        then incr schedulable)
+      [ ("sync", false); ("phased", true) ]
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some random draws schedulable (%d)" !schedulable)
+    true (!schedulable > 0)
+
+let test_random_slack_domination () =
+  (* Sources that underrun their contract must still respect the bounds. *)
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  ignore
+    (check_domination ~name:"fig1-slack" scenario
+       (sim_config ~release:(Sim.Sim_config.Random_slack 0.3) ~seed:7 800))
+
+let tests =
+  [
+    Alcotest.test_case "figure 1 domination" `Slow test_fig1_domination;
+    Alcotest.test_case "jitter modes domination" `Slow
+      test_fig1_domination_jitter_modes;
+    Alcotest.test_case "multihop chain domination" `Slow test_chain_domination;
+    Alcotest.test_case "voip domination" `Slow test_voip_domination;
+    Alcotest.test_case "enterprise domination" `Slow
+      test_enterprise_domination;
+    Alcotest.test_case "random scenarios domination" `Slow
+      test_random_scenarios_domination;
+    Alcotest.test_case "random slack domination" `Slow
+      test_random_slack_domination;
+  ]

@@ -1,0 +1,173 @@
+open Gmf_util
+
+let test_mpeg_pattern () =
+  let pattern = Workload.Mpeg.gop_pattern Workload.Mpeg.fig3_sizes in
+  Alcotest.(check int) "nine packets" 9 (List.length pattern);
+  (* Transmission order I+P B B P B B P B B (Figure 3). *)
+  Alcotest.(check (list int)) "order"
+    [ 352_000; 64_000; 64_000; 160_000; 64_000; 64_000; 160_000; 64_000;
+      64_000 ]
+    pattern
+
+let test_mpeg_spec_defaults () =
+  let spec = Workload.Mpeg.fig3_spec in
+  Alcotest.(check int) "n = 9" 9 (Gmf.Spec.n spec);
+  Alcotest.(check int) "TSUM = 270ms" (Timeunit.ms 270) (Gmf.Spec.tsum spec);
+  Alcotest.(check int) "GJ = 1ms (Figure 4)" (Timeunit.ms 1)
+    (Gmf.Spec.max_jitter spec);
+  Alcotest.(check int) "period = 30ms" (Timeunit.ms 30)
+    (Gmf.Spec.frame spec 0).Gmf.Frame_spec.period
+
+let test_mpeg_scaled () =
+  let spec = Workload.Mpeg.scaled_spec ~rate_scale:0.5 in
+  Alcotest.(check int) "half I+P" (8 * 22_000)
+    (Gmf.Spec.frame spec 0).Gmf.Frame_spec.payload_bits;
+  (* Tiny scales never hit zero payload. *)
+  let tiny = Workload.Mpeg.scaled_spec ~rate_scale:1e-9 in
+  Alcotest.(check int) "floor of one byte" 8
+    (Gmf.Spec.frame tiny 0).Gmf.Frame_spec.payload_bits;
+  Alcotest.check_raises "non-positive scale"
+    (Invalid_argument "Mpeg.scaled_spec: non-positive scale") (fun () ->
+      ignore (Workload.Mpeg.scaled_spec ~rate_scale:0.))
+
+let test_voip_g711 () =
+  let spec = Workload.Voip.g711_spec () in
+  Alcotest.(check int) "single frame" 1 (Gmf.Spec.n spec);
+  let f = Gmf.Spec.frame spec 0 in
+  Alcotest.(check int) "20ms period" (Timeunit.ms 20) f.Gmf.Frame_spec.period;
+  Alcotest.(check int) "160 bytes" (8 * 160) f.Gmf.Frame_spec.payload_bits;
+  Alcotest.(check int) "150ms deadline" (Timeunit.ms 150)
+    f.Gmf.Frame_spec.deadline
+
+let test_voip_talkspurt () =
+  let spec = Workload.Voip.talkspurt_spec () in
+  Alcotest.(check int) "20 packets" 20 (Gmf.Spec.n spec);
+  (* 19 packets at 20ms + 1 packet at 20ms + 200ms silence. *)
+  Alcotest.(check int) "TSUM includes silence"
+    ((20 * Timeunit.ms 20) + Timeunit.ms 200)
+    (Gmf.Spec.tsum spec);
+  (* The silence sits on the last frame. *)
+  Alcotest.(check int) "last period stretched"
+    (Timeunit.ms 220)
+    (Gmf.Spec.frame spec 19).Gmf.Frame_spec.period
+
+let test_topologies_line () =
+  let topo, hosts, sw =
+    Workload.Topologies.line ~hosts_per_switch:2 ~switches:3 ()
+  in
+  Alcotest.(check int) "3 switches" 3 (Array.length sw);
+  Alcotest.(check int) "9 nodes" 9 (Network.Topology.node_count topo);
+  (* End-to-end path exists through the chain. *)
+  (match
+     Network.Topology.shortest_path topo ~src:hosts.(0).(0) ~dst:hosts.(2).(1)
+   with
+  | Some path -> Alcotest.(check int) "5 nodes on path" 5 (List.length path)
+  | None -> Alcotest.fail "chain should be connected");
+  (* Middle switch: two hosts + two switch neighbours. *)
+  Alcotest.(check int) "middle degree" 4 (Network.Topology.degree topo sw.(1))
+
+let test_random_gen_determinism () =
+  let gen seed =
+    let rng = Rng.create ~seed in
+    let topo, hosts, _sw = Workload.Topologies.star ~hosts:4 () in
+    let pairs = Workload.Random_gen.random_pairs rng ~hosts ~count:5 in
+    Workload.Random_gen.flows_between rng ~topo ~pairs ()
+  in
+  let sig_of flows =
+    List.map
+      (fun f ->
+        (f.Traffic.Flow.id, Traffic.Flow.n f, Traffic.Flow.tsum f,
+         f.Traffic.Flow.priority))
+      flows
+  in
+  Alcotest.(check bool) "same seed same flows" true
+    (sig_of (gen 11) = sig_of (gen 11));
+  Alcotest.(check bool) "different seeds differ" true
+    (sig_of (gen 11) <> sig_of (gen 12))
+
+let test_random_gen_profile_ranges () =
+  let rng = Rng.create ~seed:42 in
+  let profile = Workload.Random_gen.default_profile in
+  for _ = 1 to 50 do
+    let spec = Workload.Random_gen.spec rng profile in
+    let n = Gmf.Spec.n spec in
+    Alcotest.(check bool) "n in range" true (n >= 3 && n <= 9);
+    Array.iter
+      (fun (f : Gmf.Frame_spec.t) ->
+        Alcotest.(check bool) "period in range" true
+          (f.period >= Timeunit.ms 20 && f.period <= Timeunit.ms 40);
+        Alcotest.(check bool) "payload in range" true
+          (f.payload_bits >= 8_000 && f.payload_bits <= 240_000))
+      (Gmf.Spec.frames spec)
+  done
+
+let test_random_pairs_distinct () =
+  let rng = Rng.create ~seed:3 in
+  let hosts = [| 10; 11; 12 |] in
+  List.iter
+    (fun (a, b) -> Alcotest.(check bool) "distinct endpoints" true (a <> b))
+    (Workload.Random_gen.random_pairs rng ~hosts ~count:100)
+
+let test_tree_topology () =
+  let topo, hosts, access, core =
+    Workload.Topologies.tree ~access_switches:3 ~hosts_per_access:2 ()
+  in
+  Alcotest.(check int) "nodes: 1 core + 3 access + 6 hosts" 10
+    (Network.Topology.node_count topo);
+  Alcotest.(check int) "core degree" 3 (Network.Topology.degree topo core);
+  Array.iter
+    (fun a ->
+      Alcotest.(check int) "access degree" 3 (Network.Topology.degree topo a))
+    access;
+  (* Uplinks are 10x the access rate by default. *)
+  let uplink = Network.Topology.link_exn topo ~src:access.(0) ~dst:core in
+  let access_link =
+    Network.Topology.link_exn topo ~src:hosts.(0).(0) ~dst:access.(0)
+  in
+  Alcotest.(check int) "uplink 10x"
+    (10 * access_link.Network.Link.rate_bps)
+    uplink.Network.Link.rate_bps
+
+let test_enterprise_scenario () =
+  let s = Workload.Scenarios.enterprise () in
+  (* 3 access switches x 3 flows, minus the 3 flows the server would source
+     at itself (only backup0 of switch 0 collides... the server is host
+     (0,2), so exactly one flow is dropped). *)
+  Alcotest.(check int) "eight flows" 8 (Traffic.Scenario.flow_count s);
+  Alcotest.(check bool) "schedulable" true
+    (Analysis.Holistic.is_schedulable (Analysis.Holistic.analyze s))
+
+let test_scenarios_build_and_schedule () =
+  let voip = Workload.Scenarios.single_switch_voip () in
+  Alcotest.(check int) "4 calls" 4 (Traffic.Scenario.flow_count voip);
+  Alcotest.(check bool) "voip schedulable" true
+    (Analysis.Holistic.is_schedulable (Analysis.Holistic.analyze voip));
+  let chain = Workload.Scenarios.multihop_chain () in
+  Alcotest.(check int) "1 video + 4 voip" 5 (Traffic.Scenario.flow_count chain);
+  Alcotest.(check bool) "chain schedulable" true
+    (Analysis.Holistic.is_schedulable (Analysis.Holistic.analyze chain))
+
+let test_fig2_route () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  Alcotest.(check (list int)) "Figure 2 route" [ 0; 4; 6; 3 ]
+    (Network.Route.nodes (Workload.Scenarios.fig2_route scenario))
+
+let tests =
+  [
+    Alcotest.test_case "mpeg gop pattern" `Quick test_mpeg_pattern;
+    Alcotest.test_case "mpeg spec defaults" `Quick test_mpeg_spec_defaults;
+    Alcotest.test_case "mpeg scaling" `Quick test_mpeg_scaled;
+    Alcotest.test_case "voip g711" `Quick test_voip_g711;
+    Alcotest.test_case "voip talkspurt" `Quick test_voip_talkspurt;
+    Alcotest.test_case "line topology" `Quick test_topologies_line;
+    Alcotest.test_case "random gen determinism" `Quick
+      test_random_gen_determinism;
+    Alcotest.test_case "random gen ranges" `Quick test_random_gen_profile_ranges;
+    Alcotest.test_case "random pairs distinct" `Quick
+      test_random_pairs_distinct;
+    Alcotest.test_case "tree topology" `Quick test_tree_topology;
+    Alcotest.test_case "enterprise scenario" `Quick test_enterprise_scenario;
+    Alcotest.test_case "named scenarios schedulable" `Quick
+      test_scenarios_build_and_schedule;
+    Alcotest.test_case "Figure 2 route" `Quick test_fig2_route;
+  ]
