@@ -320,4 +320,20 @@ let () =
   List.iter
     (fun (name, estimate, r2) -> Tablefmt.add_row table [ name; estimate; r2 ])
     (List.sort compare !rows);
-  Tablefmt.print table
+  Tablefmt.print table;
+  (* One instrumented pass of the e2 workload after timing: a convergence
+     telemetry snapshot per bench run (the timed loops above run with
+     observability off, so the numbers are unperturbed). *)
+  let reg = Gmf_obs.Metrics.default in
+  Gmf_obs.Metrics.set_enabled reg true;
+  Gmf_obs.Metrics.reset reg;
+  ignore (Analysis.Holistic.analyze fig1);
+  ignore
+    (Sim.Netsim.run
+       ~config:{ Sim.Sim_config.default with duration = Timeunit.ms 100 }
+       fig1);
+  Gmf_obs.Metrics.set_enabled reg false;
+  print_newline ();
+  print_endline "telemetry of one instrumented holistic + 100ms sim pass:";
+  print_newline ();
+  print_string (Gmf_obs.Export.metrics_tables (Gmf_obs.Metrics.snapshot reg))

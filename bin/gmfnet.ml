@@ -86,6 +86,62 @@ let exit_of_result = function
       1
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags                                                *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_arg =
+  let doc =
+    "Collect runtime metrics.  With no $(docv), print them as tables after \
+     the run; with $(docv), write them as JSON-lines instead."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record spans and write them to $(docv) in Chrome trace_event format \
+     (open with chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Runs [f] with the process-wide registry/tracer switched on as requested,
+   then emits the collected telemetry.  Output happens even when [f] fails
+   so a diverging analysis still leaves its partial metrics behind; an
+   unwritable output path surfaces as an ordinary CLI error. *)
+let with_obs ?metrics ?trace_out f =
+  let reg = Gmf_obs.Metrics.default and tr = Gmf_obs.Tracer.default in
+  if metrics <> None then begin
+    Gmf_obs.Metrics.set_enabled reg true;
+    Gmf_obs.Metrics.reset reg
+  end;
+  if trace_out <> None then begin
+    Gmf_obs.Tracer.set_enabled tr true;
+    Gmf_obs.Tracer.reset tr
+  end;
+  let emit () =
+    (match metrics with
+    | None -> ()
+    | Some "-" ->
+        let tables = Gmf_obs.Export.metrics_tables (Gmf_obs.Metrics.snapshot reg) in
+        if tables <> "" then Printf.printf "\n%s\n" tables
+    | Some path ->
+        Gmf_obs.Export.write_file ~path
+          (Gmf_obs.Export.metrics_to_jsonl (Gmf_obs.Metrics.snapshot reg)));
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        Gmf_obs.Export.write_file ~path
+          (Gmf_obs.Export.chrome_trace (Gmf_obs.Tracer.spans tr))
+  in
+  match f () with
+  | () -> ( try Ok (emit ()) with Sys_error msg -> Error msg)
+  | exception e ->
+      (try emit () with Sys_error _ -> ());
+      raise e
+
+(* ------------------------------------------------------------------ *)
 (* list                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -150,23 +206,22 @@ let csv_arg =
     & info [ "csv" ] ~docv:"WHAT" ~doc)
 
 let analyze_cmd =
-  let run name file rate config csv =
+  let run name file rate config csv metrics trace_out =
     exit_of_result
-      (Result.map
-         (fun scenario ->
-           let report = Analysis.Holistic.analyze ~config scenario in
-           match csv with
-           | Some "stages" ->
-               print_string (Analysis.Report_io.stage_csv report)
-           | Some _ -> print_string (Analysis.Report_io.frame_csv report)
-           | None -> print_report report)
-         (build_scenario ?file name rate))
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           with_obs ?metrics ?trace_out (fun () ->
+               let report = Analysis.Holistic.analyze ~config scenario in
+               match csv with
+               | Some "stages" ->
+                   print_string (Analysis.Report_io.stage_csv report)
+               | Some _ -> print_string (Analysis.Report_io.frame_csv report)
+               | None -> print_report report)))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Upper-bound every flow's end-to-end response time.")
     Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg
-          $ csv_arg)
+          $ csv_arg $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
@@ -223,10 +278,10 @@ let trace_arg =
 
 let simulate_cmd =
   let run name file rate duration seed jitter_mode slack capacity phasing
-      busy_poll trace_limit =
+      busy_poll trace_limit metrics trace_out =
     exit_of_result
-      (Result.map
-         (fun scenario ->
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           with_obs ?metrics ?trace_out @@ fun () ->
            let release =
              if slack <= 0. then Sim.Sim_config.Periodic
              else Sim.Sim_config.Random_slack slack
@@ -304,8 +359,7 @@ let simulate_cmd =
                  (fun (t, what) ->
                    Printf.printf "  %-12s %s\n" (Timeunit.to_string t) what)
                  j.Sim.Collector.j_events)
-             (Sim.Collector.journeys report.Sim.Netsim.collector))
-         (build_scenario ?file name rate))
+             (Sim.Collector.journeys report.Sim.Netsim.collector)))
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -313,7 +367,7 @@ let simulate_cmd =
     Term.(
       const run $ scenario_arg $ file_arg $ rate_arg $ duration_arg $ seed_arg
       $ jitter_mode_arg $ slack_arg $ capacity_arg $ phasing_arg
-      $ busy_poll_arg $ trace_arg)
+      $ busy_poll_arg $ trace_arg $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* admission                                                          *)
@@ -553,6 +607,61 @@ let explain_cmd =
       const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ flow_arg)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run name file rate config metrics trace_out =
+    exit_of_result
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           (* [profile] always collects: both the registry and the tracer
+              are on for the run regardless of the output flags. *)
+           let reg = Gmf_obs.Metrics.default and tr = Gmf_obs.Tracer.default in
+           Gmf_obs.Metrics.set_enabled reg true;
+           Gmf_obs.Metrics.reset reg;
+           Gmf_obs.Tracer.set_enabled tr true;
+           Gmf_obs.Tracer.reset tr;
+           let report = Analysis.Holistic.analyze ~config scenario in
+           let kv = Experiments.Exp_common.kv in
+           kv "verdict" (Experiments.Exp_common.verdict_string report);
+           kv "holistic rounds"
+             (string_of_int report.Analysis.Holistic.rounds);
+           kv "fixpoint calls"
+             (string_of_int
+                (Gmf_obs.Metrics.counter_value
+                   (Gmf_obs.Metrics.counter reg "fixpoint.calls")));
+           kv "fixpoint iterations"
+             (string_of_int
+                (Gmf_obs.Metrics.counter_value
+                   (Gmf_obs.Metrics.counter reg "fixpoint.iters.total")));
+           let snap = Gmf_obs.Metrics.snapshot reg in
+           let tables = Gmf_obs.Export.metrics_tables snap in
+           if tables <> "" then Printf.printf "\n%s\n" tables;
+           let phases = Gmf_obs.Export.phase_table (Gmf_obs.Tracer.aggregate tr) in
+           if phases <> "" then Printf.printf "\n%s\n" phases;
+           try
+             (match metrics with
+             | Some path when path <> "-" ->
+                 Gmf_obs.Export.write_file ~path
+                   (Gmf_obs.Export.metrics_to_jsonl snap)
+             | Some _ | None -> ());
+             (match trace_out with
+             | Some path ->
+                 Gmf_obs.Export.write_file ~path
+                   (Gmf_obs.Export.chrome_trace (Gmf_obs.Tracer.spans tr))
+             | None -> ());
+             Ok ()
+           with Sys_error msg -> Error msg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Analyze a scenario with full telemetry: convergence counters,           per-stage iteration histograms and wall-clock per analysis phase.")
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg
+      $ metrics_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -591,7 +700,7 @@ let main =
     (Cmd.info "gmfnet" ~version:"1.0.0" ~doc)
     [
       list_cmd; analyze_cmd; simulate_cmd; admission_cmd; explain_cmd;
-      backlog_cmd; plan_cmd; validate_cmd; experiment_cmd;
+      backlog_cmd; plan_cmd; validate_cmd; profile_cmd; experiment_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -3,10 +3,17 @@
 
     All recurrences have the shape [t_{v+1} = f t_v] with [f] monotone in
     its argument, so over the integers the iteration either reaches an exact
-    fixed point or crosses the horizon. *)
+    fixed point or crosses the horizon.
+
+    Every call feeds the convergence telemetry of {!Gmf_obs.Metrics.default}
+    (counters [fixpoint.calls], [fixpoint.iters.total],
+    [fixpoint.diverged.horizon], [fixpoint.diverged.cap]; histogram
+    [fixpoint.iters]) — all no-ops while the registry is disabled. *)
 
 type outcome =
-  | Converged of Gmf_util.Timeunit.ns  (** [f t = t] was reached. *)
+  | Converged of { value : Gmf_util.Timeunit.ns; iters : int }
+      (** [f value = value] was reached; [iters] is the number of
+          evaluations of [f] performed (at least 1). *)
   | Diverged of string
       (** The horizon or the iteration cap was exceeded; the message says
           which. *)
@@ -21,6 +28,6 @@ val iterate :
     Raises [Invalid_argument] if [max_iters <= 0] or [seed < 0]. *)
 
 val map : outcome -> (Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns) -> outcome
-(** [map o g] applies [g] to a converged value. *)
+(** [map o g] applies [g] to a converged value (keeping its [iters]). *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -29,13 +29,34 @@ let deadline_misses results =
                  }))
     results
 
+(* Convergence telemetry of the Tindell & Clark-style outer iteration. *)
+let m_runs = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "holistic.runs"
+
+let m_rounds =
+  Gmf_obs.Metrics.histogram Gmf_obs.Metrics.default "holistic.rounds"
+
+let m_jitter_delta =
+  Gmf_obs.Metrics.histogram
+    ~bounds:
+      [| 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000;
+         1_000_000_000 |]
+    Gmf_obs.Metrics.default "holistic.jitter_delta_ns"
+
 let run_round ctx =
   let flows = Traffic.Scenario.flows (Ctx.scenario ctx) in
+  let tracer = Gmf_obs.Tracer.default in
+  let analyze flow =
+    if Gmf_obs.Tracer.enabled tracer then
+      Gmf_obs.Tracer.with_span tracer ~cat:"analysis"
+        ("flow:" ^ flow.Traffic.Flow.name)
+        (fun () -> Pipeline.analyze_flow ctx ~flow)
+    else Pipeline.analyze_flow ctx ~flow
+  in
   let rec go flows acc failures =
     match flows with
     | [] -> (List.rev acc, List.rev failures)
     | flow :: rest -> begin
-        match Pipeline.analyze_flow ctx ~flow with
+        match analyze flow with
         | Ok res -> go rest (res :: acc) failures
         | Error f -> go rest acc (f :: failures)
       end
@@ -45,21 +66,35 @@ let run_round ctx =
 let run ctx =
   Ctx.reset_jitters ctx;
   let max_rounds = (Ctx.config ctx).Config.max_holistic_rounds in
+  let metrics_on = Gmf_obs.Metrics.enabled Gmf_obs.Metrics.default in
+  let finish n report =
+    Gmf_obs.Metrics.incr m_runs;
+    Gmf_obs.Metrics.observe m_rounds n;
+    report
+  in
   let rec rounds n =
     let before = Jitter_state.copy (Ctx.jitters ctx) in
-    let results, failures = run_round ctx in
+    let results, failures =
+      Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"analysis"
+        "holistic.round" (fun () -> run_round ctx)
+    in
+    if metrics_on then
+      Gmf_obs.Metrics.observe m_jitter_delta
+        (Jitter_state.max_delta before (Ctx.jitters ctx));
     if failures <> [] then
-      { verdict = Analysis_failed failures; rounds = n; results }
+      finish n { verdict = Analysis_failed failures; rounds = n; results }
     else if Jitter_state.equal before (Ctx.jitters ctx) then begin
       match deadline_misses results with
-      | [] -> { verdict = Schedulable; rounds = n; results }
-      | misses -> { verdict = Deadline_miss misses; rounds = n; results }
+      | [] -> finish n { verdict = Schedulable; rounds = n; results }
+      | misses ->
+          finish n { verdict = Deadline_miss misses; rounds = n; results }
     end
     else if n >= max_rounds then
-      { verdict = No_fixed_point n; rounds = n; results }
+      finish n { verdict = No_fixed_point n; rounds = n; results }
     else rounds (n + 1)
   in
-  rounds 1
+  Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"analysis"
+    "holistic.run" (fun () -> rounds 1)
 
 let analyze ?config scenario = run (Ctx.create ?config scenario)
 

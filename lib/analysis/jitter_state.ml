@@ -35,3 +35,13 @@ let equal a b =
   subset a b && subset b a
 
 let max_value t = Hashtbl.fold (fun _ v acc -> max v acc) t 0
+
+let max_delta a b =
+  let one x y acc =
+    Hashtbl.fold
+      (fun k v acc ->
+        let w = Option.value ~default:0 (Hashtbl.find_opt y k) in
+        Stdlib.max acc (abs (v - w)))
+      x acc
+  in
+  one a b (one b a 0)

@@ -33,3 +33,8 @@ val equal : t -> t -> bool
 val max_value : t -> Gmf_util.Timeunit.ns
 (** Largest jitter recorded anywhere (0 when empty) — used for divergence
     detection. *)
+
+val max_delta : t -> t -> Gmf_util.Timeunit.ns
+(** Largest absolute per-entry difference between two states (treating
+    unset entries as 0); 0 iff {!equal}.  Feeds the holistic convergence
+    telemetry: the per-round jitter delta. *)

@@ -22,6 +22,22 @@ let window_before arr ~k ~len =
   in
   go 0 0
 
+(* Per-stage-kind convergence histograms: the profile subcommand reports
+   where fixpoint iterations are spent across the three stage analyses. *)
+let iters_first_link =
+  Gmf_obs.Metrics.histogram Gmf_obs.Metrics.default "fixpoint.iters.first_link"
+
+let iters_ingress =
+  Gmf_obs.Metrics.histogram Gmf_obs.Metrics.default "fixpoint.iters.ingress"
+
+let iters_egress =
+  Gmf_obs.Metrics.histogram Gmf_obs.Metrics.default "fixpoint.iters.egress"
+
+let iters_hist = function
+  | Stage.First_link _ -> iters_first_link
+  | Stage.Ingress _ -> iters_ingress
+  | Stage.Egress _ -> iters_egress
+
 let run ~ctx ~stage ~flow ~frame ~busy_seed ~busy_step ~w_base ~w_step ~finish
     =
   let cfg = Ctx.config ctx in
@@ -34,13 +50,21 @@ let run ~ctx ~stage ~flow ~frame ~busy_seed ~busy_step ~w_base ~w_step ~finish
         reason;
       }
   in
+  let stage_iters = iters_hist stage in
   let fixed ~f ~seed =
-    Fixpoint.iterate ~f ~seed ~max_iters:cfg.Config.max_busy_iters
-      ~horizon:cfg.Config.horizon
+    let outcome =
+      Fixpoint.iterate ~f ~seed ~max_iters:cfg.Config.max_busy_iters
+        ~horizon:cfg.Config.horizon
+    in
+    (match outcome with
+    | Fixpoint.Converged { iters; _ } ->
+        Gmf_obs.Metrics.observe stage_iters iters
+    | Fixpoint.Diverged _ -> ());
+    outcome
   in
   match fixed ~f:busy_step ~seed:busy_seed with
   | Fixpoint.Diverged msg -> fail ("busy period: " ^ msg)
-  | Fixpoint.Converged busy_len -> begin
+  | Fixpoint.Converged { value = busy_len; _ } -> begin
       let tsum = Traffic.Flow.tsum flow in
       let q_count = max 1 (Timeunit.cdiv busy_len tsum) in
       let l_count =
@@ -64,7 +88,7 @@ let run ~ctx ~stage ~flow ~frame ~busy_seed ~busy_step ~w_base ~w_step ~finish
             match fixed ~f:(w_step ~q ~l) ~seed:(w_base ~q ~l) with
             | Fixpoint.Diverged msg ->
                 fail (Printf.sprintf "w(q=%d,l=%d): %s" q l msg)
-            | Fixpoint.Converged w ->
+            | Fixpoint.Converged { value = w; _ } ->
                 scan q (l + 1) (max best (finish ~q ~l ~w))
         in
         scan 0 0 min_int

@@ -1,0 +1,310 @@
+open Gmf_util
+
+(* ---------------- JSON encoding ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_to_jsonl (s : Tracer.span) =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"tid\":%d,\"begin_ns\":%d,\"dur_ns\":%d,\"depth\":%d}"
+    (json_escape s.Tracer.name) (json_escape s.Tracer.cat) s.Tracer.tid
+    s.Tracer.begin_ns s.Tracer.dur_ns s.Tracer.depth
+
+let spans_to_jsonl spans =
+  String.concat "" (List.map (fun s -> span_to_jsonl s ^ "\n") spans)
+
+(* ---------------- JSON-lines parsing (spans) ---------------- *)
+
+(* Minimal recursive-descent parser for the flat objects produced above:
+   string and integer values only.  Written in the same hand-rolled style
+   as [Scenario_io.Parse] — no JSON library in the dependency cone. *)
+
+type json_field = Fstr of string | Fint of int
+
+exception Parse_error of string
+
+let parse_flat_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      Stdlib.incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then Stdlib.incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> Stdlib.incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape";
+            (match line.[!pos + 1] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'u' ->
+                if !pos + 5 >= n then fail "truncated \\u escape";
+                let code =
+                  try int_of_string ("0x" ^ String.sub line (!pos + 2) 4)
+                  with _ -> fail "bad \\u escape"
+                in
+                if code > 0xff then fail "non-latin \\u escape"
+                else Buffer.add_char buf (Char.chr code);
+                pos := !pos + 4
+            | c -> fail (Printf.sprintf "unknown escape '\\%c'" c));
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            Stdlib.incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = Some '-' then Stdlib.incr pos;
+    while !pos < n && line.[!pos] >= '0' && line.[!pos] <= '9' do
+      Stdlib.incr pos
+    done;
+    if !pos = start then fail "expected integer";
+    int_of_string (String.sub line start (!pos - start))
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then Stdlib.incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      let value =
+        if peek () = Some '"' then Fstr (parse_string ())
+        else Fint (parse_int ())
+      in
+      fields := (key, value) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          Stdlib.incr pos;
+          members ()
+      | Some '}' -> Stdlib.incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  List.rev !fields
+
+let span_of_jsonl line =
+  match parse_flat_object line with
+  | exception Parse_error msg -> Error msg
+  | fields ->
+      let str key =
+        match List.assoc_opt key fields with
+        | Some (Fstr s) -> Ok s
+        | Some (Fint _) -> Error (Printf.sprintf "field %S: expected string" key)
+        | None -> Error (Printf.sprintf "missing field %S" key)
+      in
+      let int key =
+        match List.assoc_opt key fields with
+        | Some (Fint i) -> Ok i
+        | Some (Fstr _) ->
+            Error (Printf.sprintf "field %S: expected integer" key)
+        | None -> Error (Printf.sprintf "missing field %S" key)
+      in
+      let ( let* ) = Result.bind in
+      let* name = str "name" in
+      let* cat = str "cat" in
+      let* tid = int "tid" in
+      let* begin_ns = int "begin_ns" in
+      let* dur_ns = int "dur_ns" in
+      let* depth = int "depth" in
+      Ok { Tracer.name; cat; tid; begin_ns; dur_ns; depth }
+
+(* ---------------- metrics JSON-lines ---------------- *)
+
+let metrics_to_jsonl (snap : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"counter\",\"value\":%d}\n"
+           (json_escape name) value))
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, last, max_v) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"metric\":\"%s\",\"kind\":\"gauge\",\"value\":%g,\"max\":%g}\n"
+           (json_escape name) last
+           (if max_v = neg_infinity then last else max_v)))
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, h) ->
+      let buckets =
+        h.Metrics.h_buckets
+        |> List.map (fun (upper, count) ->
+               match upper with
+               | Some u -> Printf.sprintf "{\"le\":%d,\"count\":%d}" u count
+               | None -> Printf.sprintf "{\"le\":null,\"count\":%d}" count)
+        |> String.concat ","
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"metric\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"buckets\":[%s]}\n"
+           (json_escape name) h.Metrics.h_count h.Metrics.h_sum buckets))
+    snap.Metrics.histograms;
+  Buffer.contents buf
+
+(* ---------------- Chrome trace_event ---------------- *)
+
+let chrome_trace spans =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i (s : Tracer.span) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+           (json_escape s.Tracer.name) (json_escape s.Tracer.cat) s.Tracer.tid
+           (float_of_int s.Tracer.begin_ns /. 1e3)
+           (float_of_int s.Tracer.dur_ns /. 1e3)))
+    spans;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* ---------------- plain-text tables ---------------- *)
+
+let bucket_cells h =
+  h.Metrics.h_buckets
+  |> List.filter_map (fun (upper, count) ->
+         if count = 0 then None
+         else
+           Some
+             (match upper with
+             | Some u -> Printf.sprintf "<=%d:%d" u count
+             | None -> Printf.sprintf ">:%d" count))
+  |> String.concat " "
+
+let metrics_tables (snap : Metrics.snapshot) =
+  let parts = ref [] in
+  if snap.Metrics.histograms <> [] then begin
+    let table =
+      Tablefmt.create
+        ~columns:
+          [
+            ("histogram", Tablefmt.Left); ("count", Tablefmt.Right);
+            ("mean", Tablefmt.Right); ("max", Tablefmt.Right);
+            ("buckets", Tablefmt.Left);
+          ]
+    in
+    List.iter
+      (fun (name, h) ->
+        Tablefmt.add_row table
+          [
+            name;
+            string_of_int h.Metrics.h_count;
+            (match h.Metrics.h_mean with
+            | Some m -> Printf.sprintf "%.1f" m
+            | None -> "-");
+            (match h.Metrics.h_max with
+            | Some m -> string_of_int m
+            | None -> "-");
+            bucket_cells h;
+          ])
+      snap.Metrics.histograms;
+    parts := Tablefmt.render table :: !parts
+  end;
+  if snap.Metrics.gauges <> [] then begin
+    let table =
+      Tablefmt.create
+        ~columns:
+          [
+            ("gauge", Tablefmt.Left); ("value", Tablefmt.Right);
+            ("max", Tablefmt.Right);
+          ]
+    in
+    List.iter
+      (fun (name, last, max_v) ->
+        Tablefmt.add_row table
+          [
+            name;
+            Printf.sprintf "%g" last;
+            (if max_v = neg_infinity then "-" else Printf.sprintf "%g" max_v);
+          ])
+      snap.Metrics.gauges;
+    parts := Tablefmt.render table :: !parts
+  end;
+  if snap.Metrics.counters <> [] then begin
+    let table =
+      Tablefmt.create
+        ~columns:[ ("counter", Tablefmt.Left); ("value", Tablefmt.Right) ]
+    in
+    List.iter
+      (fun (name, value) ->
+        Tablefmt.add_row table [ name; string_of_int value ])
+      snap.Metrics.counters;
+    parts := Tablefmt.render table :: !parts
+  end;
+  String.concat "\n\n" !parts
+
+let phase_table rows =
+  if rows = [] then ""
+  else begin
+    let table =
+      Tablefmt.create
+        ~columns:
+          [
+            ("phase", Tablefmt.Left); ("calls", Tablefmt.Right);
+            ("total", Tablefmt.Right); ("mean", Tablefmt.Right);
+          ]
+    in
+    List.iter
+      (fun (name, count, total_ns) ->
+        Tablefmt.add_row table
+          [
+            name; string_of_int count; Timeunit.to_string total_ns;
+            Timeunit.to_string (if count = 0 then 0 else total_ns / count);
+          ])
+      rows;
+    Tablefmt.render table
+  end
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,133 @@
+type span = {
+  name : string;
+  cat : string;
+  tid : int;
+  begin_ns : int;
+  dur_ns : int;
+  depth : int;
+}
+
+type open_span = { o_name : string; o_cat : string; o_begin : int }
+
+type t = {
+  on : bool ref;
+  clock : unit -> int;
+  mutable epoch : int option; (* first clock reading after create/reset *)
+  mutable last : int; (* monotonic clamp *)
+  mutable stack : open_span list;
+  ring : span option array;
+  mutable next : int; (* ring write index *)
+  mutable total : int; (* spans ever recorded *)
+  agg : (string, int ref * int ref) Hashtbl.t; (* name -> count, total ns *)
+}
+
+let wall_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(enabled = false) ?(capacity = 65536) ?(clock = wall_clock) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: non-positive capacity";
+  {
+    on = ref enabled;
+    clock;
+    epoch = None;
+    last = 0;
+    stack = [];
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    agg = Hashtbl.create 32;
+  }
+
+let default = create ()
+
+let enabled t = !(t.on)
+let set_enabled t v = t.on := v
+
+let now t =
+  let abs = t.clock () in
+  let epoch =
+    match t.epoch with
+    | Some e -> e
+    | None ->
+        t.epoch <- Some abs;
+        abs
+  in
+  let rel = abs - epoch in
+  let rel = if rel > t.last then rel else t.last in
+  t.last <- rel;
+  rel
+
+let record t span =
+  t.ring.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1;
+  let count, total_ns =
+    match Hashtbl.find_opt t.agg span.name with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0) in
+        Hashtbl.replace t.agg span.name cell;
+        cell
+  in
+  Stdlib.incr count;
+  total_ns := !total_ns + span.dur_ns
+
+let enter ?(cat = "span") t name =
+  if !(t.on) then
+    t.stack <- { o_name = name; o_cat = cat; o_begin = now t } :: t.stack
+
+let exit t =
+  if !(t.on) then
+    match t.stack with
+    | [] -> invalid_arg "Tracer.exit: no open span"
+    | o :: rest ->
+        t.stack <- rest;
+        record t
+          {
+            name = o.o_name;
+            cat = o.o_cat;
+            tid = 0;
+            begin_ns = o.o_begin;
+            dur_ns = now t - o.o_begin;
+            depth = List.length rest;
+          }
+
+let with_span ?cat t name f =
+  if not !(t.on) then f ()
+  else begin
+    enter ?cat t name;
+    Fun.protect ~finally:(fun () -> exit t) f
+  end
+
+let emit ?(cat = "span") ?(tid = 0) t ~name ~begin_ns ~end_ns =
+  if !(t.on) then begin
+    if end_ns < begin_ns then invalid_arg "Tracer.emit: span ends before it begins";
+    record t
+      { name; cat; tid; begin_ns; dur_ns = end_ns - begin_ns; depth = 0 }
+  end
+
+let spans t =
+  let cap = Array.length t.ring in
+  let stored = min t.total cap in
+  let first = if t.total <= cap then 0 else t.next in
+  List.init stored (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let recorded t = t.total
+let dropped t = t.total - min t.total (Array.length t.ring)
+
+let aggregate t =
+  Hashtbl.fold
+    (fun name (count, total_ns) acc -> (name, !count, !total_ns) :: acc)
+    t.agg []
+  |> List.sort compare
+
+let reset t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0;
+  t.stack <- [];
+  t.epoch <- None;
+  t.last <- 0;
+  Hashtbl.reset t.agg

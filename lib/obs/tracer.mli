@@ -1,0 +1,78 @@
+(** Nestable begin/end span tracing with a bounded ring buffer.
+
+    Two recording modes share one buffer:
+
+    + {!enter}/{!exit} (or {!with_span}) measure {e wall-clock} spans with
+      the tracer's monotonic clock — used around analysis phases;
+    + {!emit} records a span whose endpoints the caller already knows —
+      used by the simulator to turn packet lifetimes and stage residences
+      (in {e simulated} nanoseconds) into trace events.
+
+    The ring keeps the most recent [capacity] spans; older ones are
+    overwritten but still feed the per-name {!aggregate} totals, so
+    wall-clock-per-phase reporting never depends on buffer retention.
+
+    Like {!Metrics}, a disabled tracer reduces every call to a
+    load-and-branch. *)
+
+type span = {
+  name : string;
+  cat : string;  (** Trace-viewer category, e.g. ["analysis"] or ["packet"]. *)
+  tid : int;  (** Trace-viewer lane; 0 for wall-clock spans. *)
+  begin_ns : int;  (** Nanoseconds since the tracer's epoch (or sim time). *)
+  dur_ns : int;
+  depth : int;  (** Nesting depth at [enter] time; 0 for {!emit}. *)
+}
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> ?clock:(unit -> int) -> unit -> t
+(** [create ()] is a disabled tracer with a 65536-span ring.  [clock] (for
+    tests) supplies absolute nanoseconds; readings are re-based to the
+    first one and clamped monotonically non-decreasing.  The default clock
+    is the wall clock.  Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val default : t
+(** The process-wide tracer the built-in instrumentation records into. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Toggle only while no span is open: disabling between {!enter} and
+    {!exit} orphans the open span. *)
+
+val enter : ?cat:string -> t -> string -> unit
+(** Opens a nested span ([cat] defaults to ["span"]). *)
+
+val exit : t -> unit
+(** Closes the innermost open span and records it.  Raises
+    [Invalid_argument] when enabled with no open span; no-op when
+    disabled. *)
+
+val with_span : ?cat:string -> t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span, closing it even if [f]
+    raises. *)
+
+val emit :
+  ?cat:string -> ?tid:int -> t -> name:string -> begin_ns:int ->
+  end_ns:int -> unit
+(** Records a pre-measured span verbatim (no monotonic re-basing — the
+    caller owns the time domain).  Raises [Invalid_argument] if
+    [end_ns < begin_ns]. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val recorded : t -> int
+(** Spans ever recorded, including those the ring has overwritten. *)
+
+val dropped : t -> int
+(** [recorded t - List.length (spans t)]. *)
+
+val aggregate : t -> (string * int * int) list
+(** Per-name [(name, count, total_dur_ns)] over {e all} recorded spans
+    (dropped ones included), sorted by name. *)
+
+val reset : t -> unit
+(** Clears spans, aggregates and the open-span stack; re-bases the epoch
+    at the next reading.  Keeps the enabled flag. *)

@@ -15,16 +15,25 @@ type journey = {
 type t = {
   table : (Traffic.Flow.id * int, Stats.t) Hashtbl.t;
   stage_table : (Traffic.Flow.id * int * stage, Stats.t) Hashtbl.t;
-  mutable journeys : journey list; (* reversed *)
+  journey_cap : int;
+  mutable journeys : journey list; (* reversed; at most [journey_cap] *)
+  mutable retained : int; (* = List.length journeys *)
+  mutable journey_total : int; (* journeys ever offered, kept or not *)
   mutable released : int;
   mutable completed : int;
 }
 
-let create () =
+let default_journey_cap = 1024
+
+let create ?(journey_cap = default_journey_cap) () =
+  if journey_cap < 0 then invalid_arg "Collector.create: negative journey cap";
   {
     table = Hashtbl.create 64;
     stage_table = Hashtbl.create 256;
+    journey_cap;
     journeys = [];
+    retained = 0;
+    journey_total = 0;
     released = 0;
     completed = 0;
   }
@@ -89,12 +98,17 @@ let stages_seen t ~flow ~frame =
   |> List.sort_uniq compare
 
 let record_journey t ~flow ~frame ~seq ~events =
-  t.journeys <-
-    { j_flow = flow; j_frame = frame; j_seq = seq;
-      j_events = List.sort compare events }
-    :: t.journeys
+  t.journey_total <- t.journey_total + 1;
+  if t.retained < t.journey_cap then begin
+    t.journeys <-
+      { j_flow = flow; j_frame = frame; j_seq = seq;
+        j_events = List.sort compare events }
+      :: t.journeys;
+    t.retained <- t.retained + 1
+  end
 
 let journeys t = List.rev t.journeys
+let journey_count t = t.journey_total
 
 let flows_seen t =
   Hashtbl.fold (fun (fid, _) _ acc -> fid :: acc) t.table []

@@ -14,7 +14,15 @@ type stage =
 
 type t
 
-val create : unit -> t
+val default_journey_cap : int
+(** 1024 — the default bound on retained journeys. *)
+
+val create : ?journey_cap:int -> unit -> t
+(** [create ()] is an empty collector retaining at most [journey_cap]
+    (default {!default_journey_cap}) traced journeys; later
+    {!record_journey} calls still count in {!journey_count} but are not
+    stored, so unbounded simulations cannot grow the journey list without
+    limit.  Raises [Invalid_argument] on a negative cap. *)
 
 val record :
   t ->
@@ -71,10 +79,16 @@ type journey = {
 val record_journey :
   t -> flow:Traffic.Flow.id -> frame:int -> seq:int ->
   events:(Gmf_util.Timeunit.ns * string) list -> unit
-(** Store one traced packet's journey (events are sorted on insert). *)
+(** Store one traced packet's journey (events are sorted on insert).
+    Dropped silently — except for {!journey_count} — once the journey cap
+    is reached. *)
 
 val journeys : t -> journey list
-(** Traced journeys, in completion order. *)
+(** Retained traced journeys, in completion order (at most the cap given
+    to {!create}). *)
+
+val journey_count : t -> int
+(** Journeys ever recorded, including those dropped by the cap. *)
 
 val max_response : t -> flow:Traffic.Flow.id -> frame:int ->
   Gmf_util.Timeunit.ns option

@@ -2,16 +2,28 @@ open Gmf_util
 
 type event = { time : Timeunit.ns; action : unit -> unit }
 
-type t = { heap : event Heap.t; mutable clock : Timeunit.ns }
+type t = {
+  heap : event Heap.t;
+  mutable clock : Timeunit.ns;
+  mutable dispatched : int;
+  mutable max_pending : int;
+}
 
 let create () =
-  { heap = Heap.create ~cmp:(fun a b -> compare a.time b.time) (); clock = 0 }
+  {
+    heap = Heap.create ~cmp:(fun a b -> compare a.time b.time) ();
+    clock = 0;
+    dispatched = 0;
+    max_pending = 0;
+  }
 
 let now t = t.clock
 
 let schedule_at t ~at action =
   if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.heap { time = at; action }
+  Heap.push t.heap { time = at; action };
+  let n = Heap.length t.heap in
+  if n > t.max_pending then t.max_pending <- n
 
 let schedule_after t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
@@ -25,9 +37,12 @@ let run ?(until = max_int) t =
     | Some _ ->
         let ev = Heap.pop_exn t.heap in
         t.clock <- ev.time;
+        t.dispatched <- t.dispatched + 1;
         ev.action ();
         loop ()
   in
   loop ()
 
 let pending t = Heap.length t.heap
+let dispatched t = t.dispatched
+let max_pending t = t.max_pending

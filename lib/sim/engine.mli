@@ -26,3 +26,10 @@ val run : ?until:Gmf_util.Timeunit.ns -> t -> unit
 
 val pending : t -> int
 (** Number of queued events. *)
+
+val dispatched : t -> int
+(** Events executed so far — the simulator's work counter, published as the
+    [sim.events.dispatched] metric at the end of a run. *)
+
+val max_pending : t -> int
+(** High-water mark of the event heap since {!create}. *)

@@ -123,13 +123,26 @@ and set_mark packet kind node time =
   packet.marks <- ((kind, node), time) :: List.remove_assoc (kind, node) packet.marks
 
 (* Derive per-stage residences from the boundary marks once the packet has
-   fully arrived, mirroring the analysis' stage decomposition. *)
+   fully arrived, mirroring the analysis' stage decomposition.  When the
+   span tracer is live, each residence also becomes a sim-time trace event
+   (one lane per flow) so a whole run can be opened in Perfetto. *)
+and stage_trace_name = function
+  | Collector.S_first (s, d) -> Printf.sprintf "first %d->%d" s d
+  | Collector.S_in n -> Printf.sprintf "in %d" n
+  | Collector.S_out (s, d) -> Printf.sprintf "out %d->%d" s d
+
 and record_stage_spans (st : state) packet completed =
+  let tracer = Gmf_obs.Tracer.default in
   let record stage from_t to_t =
-    if from_t >= 0 && to_t >= from_t then
+    if from_t >= 0 && to_t >= from_t then begin
       Collector.record_stage_span st.collector
         ~flow:packet.flow.Traffic.Flow.id ~frame:packet.frame ~stage
-        ~span:(to_t - from_t)
+        ~span:(to_t - from_t);
+      if Gmf_obs.Tracer.enabled tracer then
+        Gmf_obs.Tracer.emit tracer ~cat:"stage"
+          ~tid:packet.flow.Traffic.Flow.id ~name:(stage_trace_name stage)
+          ~begin_ns:from_t ~end_ns:to_t
+    end
   in
   let mark kind node =
     Option.value ~default:(-1) (List.assoc_opt (kind, node) packet.marks)
@@ -158,6 +171,13 @@ and deliver st link frag =
       Collector.record st.collector ~flow:packet.flow ~frame:packet.frame
         ~released:packet.released ~completed;
       record_stage_spans st packet completed;
+      let tracer = Gmf_obs.Tracer.default in
+      if Gmf_obs.Tracer.enabled tracer then
+        Gmf_obs.Tracer.emit tracer ~cat:"packet"
+          ~tid:packet.flow.Traffic.Flow.id
+          ~name:
+            (Printf.sprintf "%s#%d" packet.flow.Traffic.Flow.name packet.frame)
+          ~begin_ns:packet.released ~end_ns:completed;
       if st.traced < st.config.Sim_config.trace_limit then begin
         st.traced <- st.traced + 1;
         let events =
@@ -488,7 +508,12 @@ let run ?(config = Sim_config.default) scenario =
     {
       engine = Engine.create ();
       scenario;
-      collector = Collector.create ();
+      collector =
+        Collector.create
+          ~journey_cap:
+            (max Collector.default_journey_cap
+               config.Sim_config.trace_limit)
+          ();
       switches = Hashtbl.create 16;
       source_ports = Hashtbl.create 16;
       frag_bits = Hashtbl.create 64;
@@ -500,7 +525,9 @@ let run ?(config = Sim_config.default) scenario =
   in
   List.iter (build_switch st) (Traffic.Scenario.switch_nodes scenario);
   List.iter (start_flow st) (Traffic.Scenario.flows scenario);
+  let wall_before = Unix.gettimeofday () in
   Engine.run st.engine;
+  let wall_ns = (Unix.gettimeofday () -. wall_before) *. 1e9 in
   let egress_backlog = ref [] and ingress_backlog = ref [] in
   let cpu_utilization = ref [] in
   let span = max 1 (Engine.now st.engine) in
@@ -528,6 +555,37 @@ let run ?(config = Sim_config.default) scenario =
             :: !ingress_backlog)
         sw.ifaces)
     st.switches;
+  let egress_backlog = List.sort compare !egress_backlog in
+  let ingress_backlog = List.sort compare !ingress_backlog in
+  let metrics = Gmf_obs.Metrics.default in
+  if Gmf_obs.Metrics.enabled metrics then begin
+    let counter = Gmf_obs.Metrics.counter metrics in
+    let gauge name v = Gmf_obs.Metrics.set_gauge (Gmf_obs.Metrics.gauge metrics name) v in
+    Gmf_obs.Metrics.incr ~by:(Engine.dispatched st.engine)
+      (counter "sim.events.dispatched");
+    Gmf_obs.Metrics.incr
+      ~by:(Collector.released_count st.collector)
+      (counter "sim.packets.released");
+    Gmf_obs.Metrics.incr
+      ~by:(Collector.completed_count st.collector)
+      (counter "sim.packets.completed");
+    Gmf_obs.Metrics.incr ~by:st.dropped (counter "sim.fragments.dropped");
+    Gmf_obs.Metrics.incr
+      ~by:(Collector.journey_count st.collector)
+      (counter "sim.journeys.recorded");
+    gauge "sim.heap.max_pending" (float_of_int (Engine.max_pending st.engine));
+    let high_water rows =
+      List.fold_left (fun acc (_, frames) -> max acc frames) 0 rows
+    in
+    gauge "sim.queue.egress_high_water"
+      (float_of_int (high_water egress_backlog));
+    gauge "sim.queue.ingress_high_water"
+      (float_of_int (high_water ingress_backlog));
+    gauge "sim.wall_ms" (wall_ns /. 1e6);
+    if wall_ns > 0. then
+      gauge "sim.ratio.sim_per_wall"
+        (float_of_int (Engine.now st.engine) /. wall_ns)
+  end;
   {
     collector = st.collector;
     sim_end = Engine.now st.engine;
@@ -535,6 +593,6 @@ let run ?(config = Sim_config.default) scenario =
     packets_completed = Collector.completed_count st.collector;
     fragments_dropped = st.dropped;
     cpu_utilization = List.sort compare !cpu_utilization;
-    egress_backlog = List.sort compare !egress_backlog;
-    ingress_backlog = List.sort compare !ingress_backlog;
+    egress_backlog;
+    ingress_backlog;
   }

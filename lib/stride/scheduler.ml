@@ -46,6 +46,12 @@ let pass_of t id =
   check t id "Scheduler.pass_of";
   t.tasks.(id).pass
 
+(* One process-wide dispatch counter across every scheduler instance: the
+   simulator's switches each own a scheduler, and the interesting figure is
+   total task dispatches per run. *)
+let m_dispatches =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "stride.dispatches"
+
 let least_pass t =
   if t.count = 0 then invalid_arg "Scheduler.select: no tasks";
   let best = ref 0 in
@@ -61,6 +67,7 @@ let select t =
   let task = t.tasks.(id) in
   task.pass <- task.pass + task.stride;
   task.runs <- task.runs + 1;
+  Gmf_obs.Metrics.incr m_dispatches;
   id
 
 let run_count t id =

@@ -5,13 +5,18 @@ open Analysis
 let test_fixpoint_converges () =
   (* f(t) = 100 for all t: converges in one step. *)
   match Fixpoint.iterate ~f:(fun _ -> 100) ~seed:0 ~max_iters:10 ~horizon:1_000 with
-  | Fixpoint.Converged v -> Alcotest.(check int) "value" 100 v
+  | Fixpoint.Converged { value; iters } ->
+      Alcotest.(check int) "value" 100 value;
+      (* Two evaluations: seed -> 100, then 100 -> 100 confirms. *)
+      Alcotest.(check int) "iters" 2 iters
   | Fixpoint.Diverged m -> Alcotest.fail m
 
 let test_fixpoint_identity_seed () =
   (* The seed itself can be the fixed point. *)
   match Fixpoint.iterate ~f:(fun t -> t) ~seed:7 ~max_iters:10 ~horizon:100 with
-  | Fixpoint.Converged v -> Alcotest.(check int) "seed is fixpoint" 7 v
+  | Fixpoint.Converged { value; iters } ->
+      Alcotest.(check int) "seed is fixpoint" 7 value;
+      Alcotest.(check int) "one evaluation" 1 iters
   | Fixpoint.Diverged m -> Alcotest.fail m
 
 let test_fixpoint_horizon () =

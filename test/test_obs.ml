@@ -1,0 +1,244 @@
+(* Tests of the observability library: metrics registry, span tracer,
+   exporters. *)
+open Gmf_obs
+
+(* ---------------- metrics registry ---------------- *)
+
+let test_metrics_disabled_noop () =
+  let reg = Metrics.create () in
+  Alcotest.(check bool) "disabled by default" false (Metrics.enabled reg);
+  let c = Metrics.counter reg "c" in
+  let g = Metrics.gauge reg "g" in
+  let h = Metrics.histogram reg "h" in
+  Metrics.incr c;
+  Metrics.incr ~by:10 c;
+  Metrics.set_gauge g 3.0;
+  Metrics.observe h 5;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Metrics.gauge_value g);
+  let snap = Metrics.snapshot reg in
+  let summary = List.assoc "h" snap.Metrics.histograms in
+  Alcotest.(check int) "histogram untouched" 0 summary.Metrics.h_count
+
+let test_metrics_counters_gauges () =
+  let reg = Metrics.create ~enabled:true () in
+  let c = Metrics.counter reg "events" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "counter accumulates" 42 (Metrics.counter_value c);
+  (* Handles intern: same name yields the same cell. *)
+  Metrics.incr (Metrics.counter reg "events");
+  Alcotest.(check int) "interned handle" 43 (Metrics.counter_value c);
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set_gauge g 7.0;
+  Metrics.set_gauge g 3.0;
+  Alcotest.(check (float 0.)) "gauge holds last" 3.0 (Metrics.gauge_value g);
+  Alcotest.(check (float 0.)) "gauge tracks max" 7.0 (Metrics.gauge_max g)
+
+let test_metrics_histogram_bucketing () =
+  let reg = Metrics.create ~enabled:true () in
+  let h = Metrics.histogram ~bounds:[| 10; 100; 1000 |] reg "lat" in
+  List.iter (Metrics.observe h) [ 1; 10; 11; 100; 5_000; 7_000 ];
+  let snap = Metrics.snapshot reg in
+  let summary = List.assoc "lat" snap.Metrics.histograms in
+  Alcotest.(check int) "count" 6 summary.Metrics.h_count;
+  Alcotest.(check int) "sum" 12_122 summary.Metrics.h_sum;
+  Alcotest.(check (option int)) "min" (Some 1) summary.Metrics.h_min;
+  Alcotest.(check (option int)) "max" (Some 7_000) summary.Metrics.h_max;
+  Alcotest.(check (list (pair (option int) int)))
+    "buckets: <=10 holds 1 and 10; <=100 holds 11 and 100; overflow holds 2"
+    [ (Some 10, 2); (Some 100, 2); (Some 1000, 0); (None, 2) ]
+    summary.Metrics.h_buckets;
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Metrics.histogram: bounds not strictly increasing")
+    (fun () -> ignore (Metrics.histogram ~bounds:[| 5; 5 |] reg "bad"));
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Metrics.histogram: empty bounds") (fun () ->
+      ignore (Metrics.histogram ~bounds:[||] reg "bad"))
+
+let test_metrics_reset_and_snapshot_order () =
+  let reg = Metrics.create ~enabled:true () in
+  Metrics.incr (Metrics.counter reg "zeta");
+  Metrics.incr (Metrics.counter reg "alpha");
+  Metrics.set_gauge (Metrics.gauge reg "g") 2.5;
+  let snap = Metrics.snapshot reg in
+  Alcotest.(check (list (pair string int)))
+    "counters sorted by name"
+    [ ("alpha", 1); ("zeta", 1) ]
+    snap.Metrics.counters;
+  Metrics.reset reg;
+  let c = Metrics.counter reg "zeta" in
+  Alcotest.(check int) "reset zeroes but keeps handles" 0
+    (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check int) "handle live after reset" 1 (Metrics.counter_value c)
+
+(* ---------------- tracer ---------------- *)
+
+(* A deterministic clock: each reading advances by the next step. *)
+let stepped_clock steps =
+  let remaining = ref steps and now = ref 0 in
+  fun () ->
+    (match !remaining with
+    | [] -> ()
+    | s :: rest ->
+        now := !now + s;
+        remaining := rest);
+    !now
+
+let test_tracer_nesting () =
+  let clock = stepped_clock [ 100; 10; 10; 10; 10 ] in
+  let tr = Tracer.create ~enabled:true ~clock () in
+  Tracer.enter tr "outer";
+  Tracer.enter ~cat:"analysis" tr "inner";
+  Tracer.exit tr;
+  Tracer.exit tr;
+  match Tracer.spans tr with
+  | [ inner; outer ] ->
+      (* Spans are recorded at [exit], so the inner span lands first. *)
+      Alcotest.(check string) "inner name" "inner" inner.Tracer.name;
+      Alcotest.(check string) "inner cat" "analysis" inner.Tracer.cat;
+      Alcotest.(check int) "inner depth" 1 inner.Tracer.depth;
+      Alcotest.(check int) "inner begin (re-based)" 10 inner.Tracer.begin_ns;
+      Alcotest.(check int) "inner duration" 10 inner.Tracer.dur_ns;
+      Alcotest.(check int) "outer depth" 0 outer.Tracer.depth;
+      Alcotest.(check int) "outer begin" 0 outer.Tracer.begin_ns;
+      Alcotest.(check int) "outer spans everything" 30 outer.Tracer.dur_ns
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_tracer_with_span_and_errors () =
+  let tr = Tracer.create ~enabled:true ~clock:(stepped_clock [ 0; 1; 1 ]) () in
+  let r = Tracer.with_span tr "work" (fun () -> 99) in
+  Alcotest.(check int) "with_span returns" 99 r;
+  Alcotest.(check int) "one span" 1 (List.length (Tracer.spans tr));
+  (* The span closes even when the body raises. *)
+  (try Tracer.with_span tr "boom" (fun () -> failwith "x") with _ -> ());
+  Alcotest.(check int) "raised span recorded" 2 (List.length (Tracer.spans tr));
+  Alcotest.check_raises "unbalanced exit"
+    (Invalid_argument "Tracer.exit: no open span") (fun () -> Tracer.exit tr);
+  (* Disabled tracer: everything is a no-op, including exit. *)
+  let off = Tracer.create () in
+  Tracer.enter off "ignored";
+  Tracer.exit off;
+  Tracer.exit off;
+  Alcotest.(check int) "disabled records nothing" 0 (Tracer.recorded off)
+
+let test_tracer_ring_and_aggregate () =
+  let tr = Tracer.create ~enabled:true ~capacity:3 () in
+  for i = 1 to 5 do
+    Tracer.emit tr ~name:"tick" ~begin_ns:(i * 10) ~end_ns:((i * 10) + i)
+  done;
+  Alcotest.(check int) "recorded counts all" 5 (Tracer.recorded tr);
+  Alcotest.(check int) "dropped = recorded - capacity" 2 (Tracer.dropped tr);
+  let retained = Tracer.spans tr in
+  Alcotest.(check (list int)) "ring keeps newest, oldest first"
+    [ 30; 40; 50 ]
+    (List.map (fun s -> s.Tracer.begin_ns) retained);
+  (* Aggregates survive ring overwrite: durations 1+2+3+4+5 = 15. *)
+  Alcotest.(check (list (triple string int int)))
+    "aggregate over all recorded"
+    [ ("tick", 5, 15) ]
+    (Tracer.aggregate tr);
+  Tracer.reset tr;
+  Alcotest.(check int) "reset clears" 0 (Tracer.recorded tr);
+  Alcotest.(check bool) "reset keeps enabled" true (Tracer.enabled tr)
+
+let test_tracer_emit_validation () =
+  let tr = Tracer.create ~enabled:true () in
+  Alcotest.check_raises "backwards span"
+    (Invalid_argument "Tracer.emit: span ends before it begins") (fun () ->
+      Tracer.emit tr ~name:"bad" ~begin_ns:10 ~end_ns:5);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Tracer.create: non-positive capacity") (fun () ->
+      ignore (Tracer.create ~capacity:0 ()))
+
+(* ---------------- exporters ---------------- *)
+
+let test_export_jsonl_roundtrip () =
+  let span =
+    {
+      Tracer.name = "stage \"in\"\n4";
+      cat = "analysis";
+      tid = 3;
+      begin_ns = 1_234;
+      dur_ns = 567;
+      depth = 2;
+    }
+  in
+  (match Export.span_of_jsonl (Export.span_to_jsonl span) with
+  | Ok parsed ->
+      Alcotest.(check string) "name survives escaping" span.Tracer.name
+        parsed.Tracer.name;
+      Alcotest.(check bool) "full round-trip" true (parsed = span)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (match Export.span_of_jsonl "{\"name\":\"x\"" with
+  | Ok _ -> Alcotest.fail "truncated line must not parse"
+  | Error _ -> ());
+  match Export.span_of_jsonl "not json" with
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+  | Error _ -> ()
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_export_chrome_trace () =
+  let tr = Tracer.create ~enabled:true () in
+  Tracer.emit tr ~cat:"packet" ~tid:2 ~name:"video#0" ~begin_ns:1_000
+    ~end_ns:3_500;
+  let doc = Export.chrome_trace (Tracer.spans tr) in
+  Alcotest.(check bool) "has traceEvents" true (contains doc "\"traceEvents\"");
+  Alcotest.(check bool) "complete event" true (contains doc "\"ph\":\"X\"");
+  (* 1000 ns -> 1.000 us, 2500 ns -> 2.500 us. *)
+  Alcotest.(check bool) "ts in microseconds" true (contains doc "\"ts\":1.000");
+  Alcotest.(check bool) "dur in microseconds" true
+    (contains doc "\"dur\":2.500");
+  Alcotest.(check bool) "tid preserved" true (contains doc "\"tid\":2")
+
+let test_export_metrics_formats () =
+  let reg = Metrics.create ~enabled:true () in
+  Metrics.incr ~by:5 (Metrics.counter reg "sim.events");
+  Metrics.set_gauge (Metrics.gauge reg "heap") 12.0;
+  Metrics.observe (Metrics.histogram ~bounds:[| 2; 4 |] reg "iters") 3;
+  let snap = Metrics.snapshot reg in
+  let jsonl = Export.metrics_to_jsonl snap in
+  Alcotest.(check bool) "counter line" true
+    (contains jsonl "\"metric\":\"sim.events\"");
+  Alcotest.(check bool) "counter kind" true
+    (contains jsonl "\"kind\":\"counter\"");
+  Alcotest.(check bool) "histogram buckets" true (contains jsonl "\"le\":2");
+  Alcotest.(check bool) "overflow bucket" true (contains jsonl "\"le\":null");
+  let tables = Export.metrics_tables snap in
+  Alcotest.(check bool) "table mentions counter" true
+    (contains tables "sim.events");
+  Alcotest.(check bool) "table mentions histogram" true
+    (contains tables "iters");
+  Alcotest.(check string) "no metrics, no tables" ""
+    (Export.metrics_tables (Metrics.snapshot (Metrics.create ())));
+  let phases = Export.phase_table [ ("holistic.round", 4, 8_000) ] in
+  Alcotest.(check bool) "phase table has name" true
+    (contains phases "holistic.round");
+  Alcotest.(check string) "no phases, no table" "" (Export.phase_table [])
+
+let tests =
+  [
+    Alcotest.test_case "metrics disabled no-op" `Quick
+      test_metrics_disabled_noop;
+    Alcotest.test_case "counters and gauges" `Quick
+      test_metrics_counters_gauges;
+    Alcotest.test_case "histogram bucketing" `Quick
+      test_metrics_histogram_bucketing;
+    Alcotest.test_case "reset and snapshot order" `Quick
+      test_metrics_reset_and_snapshot_order;
+    Alcotest.test_case "span nesting" `Quick test_tracer_nesting;
+    Alcotest.test_case "with_span and errors" `Quick
+      test_tracer_with_span_and_errors;
+    Alcotest.test_case "ring buffer and aggregate" `Quick
+      test_tracer_ring_and_aggregate;
+    Alcotest.test_case "emit validation" `Quick test_tracer_emit_validation;
+    Alcotest.test_case "jsonl round-trip" `Quick test_export_jsonl_roundtrip;
+    Alcotest.test_case "chrome trace format" `Quick test_export_chrome_trace;
+    Alcotest.test_case "metrics export formats" `Quick
+      test_export_metrics_formats;
+  ]

@@ -54,7 +54,10 @@ let test_analysis_printers () =
   | [] -> Alcotest.fail "no conditions");
   (* Fixpoint outcomes *)
   Alcotest.(check bool) "converged pp" true
-    (contains (str Analysis.Fixpoint.pp (Analysis.Fixpoint.Converged 1000)) "1us");
+    (contains
+       (str Analysis.Fixpoint.pp
+          (Analysis.Fixpoint.Converged { value = 1000; iters = 1 }))
+       "1us");
   Alcotest.(check bool) "diverged pp" true
     (contains (str Analysis.Fixpoint.pp (Analysis.Fixpoint.Diverged "boom")) "boom")
 

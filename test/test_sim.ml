@@ -84,6 +84,19 @@ let test_collector () =
     (Invalid_argument "Collector.record: completion before release") (fun () ->
       Sim.Collector.record c ~flow ~frame:0 ~released:10 ~completed:5)
 
+let test_collector_journey_cap () =
+  let c = Sim.Collector.create ~journey_cap:2 () in
+  for seq = 0 to 4 do
+    Sim.Collector.record_journey c ~flow:0 ~frame:0 ~seq
+      ~events:[ (0, "released"); (100, "completed") ]
+  done;
+  Alcotest.(check int) "retained at cap" 2
+    (List.length (Sim.Collector.journeys c));
+  Alcotest.(check int) "all counted" 5 (Sim.Collector.journey_count c);
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Collector.create: negative journey cap") (fun () ->
+      ignore (Sim.Collector.create ~journey_cap:(-1) ()))
+
 (* ---------------- netsim ---------------- *)
 
 (* Hand-traced timeline for one single-Ethernet-frame packet crossing one
@@ -218,6 +231,39 @@ let test_netsim_priority_inversion_bounded () =
        (Timeunit.to_string voip_max))
     true
     (voip_max < Timeunit.ms 5)
+
+let test_netsim_metrics () =
+  (* With the default registry enabled, a run publishes event and queue
+     telemetry. *)
+  let reg = Gmf_obs.Metrics.default in
+  Gmf_obs.Metrics.set_enabled reg true;
+  Gmf_obs.Metrics.reset reg;
+  Fun.protect
+    ~finally:(fun () ->
+      Gmf_obs.Metrics.set_enabled reg false;
+      Gmf_obs.Metrics.reset reg)
+    (fun () ->
+      let report = run_ms (Workload.Scenarios.fig1_videoconf ()) 100 in
+      Alcotest.(check bool) "events dispatched" true
+        (Gmf_obs.Metrics.counter_value
+           (Gmf_obs.Metrics.counter reg "sim.events.dispatched")
+         > 0);
+      Alcotest.(check int) "released matches report"
+        report.Sim.Netsim.packets_released
+        (Gmf_obs.Metrics.counter_value
+           (Gmf_obs.Metrics.counter reg "sim.packets.released"));
+      Alcotest.(check bool) "heap high-water" true
+        (Gmf_obs.Metrics.gauge_value
+           (Gmf_obs.Metrics.gauge reg "sim.heap.max_pending")
+         >= 1.0);
+      Alcotest.(check bool) "egress queue high-water" true
+        (Gmf_obs.Metrics.gauge_value
+           (Gmf_obs.Metrics.gauge reg "sim.queue.egress_high_water")
+         >= 1.0);
+      Alcotest.(check bool) "stride dispatches" true
+        (Gmf_obs.Metrics.counter_value
+           (Gmf_obs.Metrics.counter reg "stride.dispatches")
+         > 0))
 
 let tests =
   [
