@@ -2,6 +2,7 @@
 
    Subcommands:
      list        named scenarios and experiments
+     lint        static diagnostics over a scenario, no fixpoint involved
      analyze     holistic schedulability analysis of a named scenario
      simulate    discrete-event simulation of a named scenario
      admission   admission check with per-stage utilization conditions
@@ -161,6 +162,86 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List named scenarios and experiments.")
     Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let file_pos_arg =
+    let doc =
+      "Scenario description file to lint (equivalent to $(b,--file))."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit diagnostics as JSON-lines (one object per line)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let deny_arg =
+    let doc =
+      "Exit non-zero when any diagnostic at or above $(docv) fires: \
+       $(b,error) (default), $(b,warning) or $(b,hint)."
+    in
+    let level =
+      Arg.enum
+        [
+          ("error", Gmf_diag.Error);
+          ("warning", Gmf_diag.Warning);
+          ("hint", Gmf_diag.Hint);
+        ]
+    in
+    Arg.(value & opt level Gmf_diag.Error & info [ "deny" ] ~docv:"LEVEL" ~doc)
+  in
+  let rules_arg =
+    let doc = "List every rule code of the catalog and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let run pos_file name file rate config json deny rules =
+    if rules then begin
+      let table =
+        Tablefmt.create
+          ~columns:
+            [
+              ("code", Tablefmt.Left); ("category", Tablefmt.Left);
+              ("severity", Tablefmt.Left); ("title", Tablefmt.Left);
+            ]
+      in
+      List.iter
+        (fun (r : Gmf_lint.Rules.rule) ->
+          Tablefmt.add_row table
+            [
+              r.Gmf_lint.Rules.code;
+              Gmf_lint.Rules.category_to_string r.Gmf_lint.Rules.category;
+              Gmf_diag.severity_to_string r.Gmf_lint.Rules.default_severity;
+              r.Gmf_lint.Rules.title;
+            ])
+        Gmf_lint.Rules.catalog;
+      Tablefmt.print table;
+      0
+    end
+    else
+      let file = match pos_file with Some _ -> pos_file | None -> file in
+      match build_scenario ?file name rate with
+      | Error msg ->
+          prerr_endline ("gmfnet: " ^ msg);
+          1
+      | Ok scenario ->
+          let report = Gmf_lint.Lint.run ~config scenario in
+          if json then
+            print_string
+              (Gmf_lint.Lint_json.to_jsonl
+                 report.Gmf_lint.Lint.diagnostics)
+          else Format.printf "%a@." Gmf_lint.Lint.pp_report report;
+          if Gmf_lint.Lint.fatal ~deny report then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static diagnostics over a scenario: structural problems           (GMF0xx), paper model preconditions (GMF1xx) and utilization           impossibilities (GMF2xx) — without running any fixpoint.")
+    Term.(
+      const run $ file_pos_arg $ scenario_arg $ file_arg $ rate_arg
+      $ variant_arg $ json_arg $ deny_arg $ rules_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
@@ -634,6 +715,14 @@ let profile_cmd =
              (string_of_int
                 (Gmf_obs.Metrics.counter_value
                    (Gmf_obs.Metrics.counter reg "fixpoint.iters.total")));
+           (* Run the lint pass under the enabled registry so the
+              per-rule lint.hits.* counters appear in the tables. *)
+           let lint = Gmf_lint.Lint.run ~config scenario in
+           kv "lint diagnostics"
+             (Printf.sprintf "%d error(s), %d warning(s), %d hint(s)"
+                (List.length (Gmf_lint.Lint.errors lint))
+                (List.length (Gmf_lint.Lint.warnings lint))
+                (List.length (Gmf_lint.Lint.hints lint)));
            let snap = Gmf_obs.Metrics.snapshot reg in
            let tables = Gmf_obs.Export.metrics_tables snap in
            if tables <> "" then Printf.printf "\n%s\n" tables;
@@ -699,8 +788,9 @@ let main =
   Cmd.group
     (Cmd.info "gmfnet" ~version:"1.0.0" ~doc)
     [
-      list_cmd; analyze_cmd; simulate_cmd; admission_cmd; explain_cmd;
-      backlog_cmd; plan_cmd; validate_cmd; profile_cmd; experiment_cmd;
+      list_cmd; lint_cmd; analyze_cmd; simulate_cmd; admission_cmd;
+      explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
+      experiment_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

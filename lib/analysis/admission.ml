@@ -1,8 +1,43 @@
-type decision = { admitted : bool; report : Holistic.report }
+type decision = {
+  admitted : bool;
+  report : Holistic.report;
+  diagnostics : Gmf_diag.t list;
+}
+
+(* A lint error becomes a synthetic analysis failure so existing report
+   consumers (CLI, experiments) render rejections uniformly. *)
+let failure_of_diag (d : Gmf_diag.t) =
+  let flow_id, frame =
+    match d.Gmf_diag.subject with
+    | Gmf_diag.Flow { id; _ } | Gmf_diag.Node { id; _ } -> (id, 0)
+    | Gmf_diag.Frame { id; frame; _ } -> (id, frame)
+    | Gmf_diag.Scenario | Gmf_diag.Config | Gmf_diag.Link _ -> (-1, 0)
+  in
+  {
+    Result_types.flow_id;
+    frame;
+    failed_stage = None;
+    reason = Gmf_diag.to_string d;
+  }
 
 let check ?config scenario =
-  let report = Holistic.analyze ?config scenario in
-  { admitted = Holistic.is_schedulable report; report }
+  let lint = Gmf_lint.Lint.run ?config scenario in
+  let diagnostics = lint.Gmf_lint.Lint.diagnostics in
+  match Gmf_lint.Lint.errors lint with
+  | _ :: _ as errors ->
+      (* Reject statically: the holistic fixpoint is never entered. *)
+      let report =
+        {
+          Holistic.verdict =
+            Holistic.Analysis_failed (List.map failure_of_diag errors);
+          rounds = 0;
+          results = [];
+        }
+      in
+      { admitted = false; report; diagnostics }
+  | [] ->
+      let report = Holistic.analyze ?config scenario in
+      { admitted = Holistic.is_schedulable report; report; diagnostics }
 
 let rebuild scenario extra_flows =
   Traffic.Scenario.make ~topo:(Traffic.Scenario.topo scenario)

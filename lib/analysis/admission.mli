@@ -9,11 +9,19 @@ type decision = {
   admitted : bool;
   report : Holistic.report;
       (** The analysis of the extended flow set (for an [admit] call) or of
-          the scenario as-is (for [check]). *)
+          the scenario as-is (for [check]).  When the lint pre-pass found
+          errors the verdict is [Analysis_failed] with one synthetic
+          failure per lint error and [rounds = 0] — the holistic fixpoint
+          was never entered. *)
+  diagnostics : Gmf_diag.t list;
+      (** Every diagnostic of the [Gmf_lint] pre-pass, errors and
+          non-fatal warnings/hints alike. *)
 }
 
 val check : ?config:Config.t -> Traffic.Scenario.t -> decision
-(** [check scenario] verifies the scenario's current flow set. *)
+(** [check scenario] runs the [Gmf_lint] pre-pass, rejects immediately on
+    any lint error (no fixpoint is executed), and otherwise verifies the
+    scenario's flow set with the holistic analysis. *)
 
 val admit :
   ?config:Config.t ->

@@ -1,47 +1,20 @@
 (** Knobs of the schedulability analysis.
 
-    The [variant] selects between the paper's literal equations and the
-    repaired ones documented in DESIGN.md (repair R2):
+    Re-export of {!Analysis_config} (the definitions live below [Analysis]
+    so that static passes such as [Gmf_lint] can inspect the configuration
+    without depending on the analyzer).  See {!Analysis_config} for the
+    full documentation of the [Faithful]/[Repaired] variants and the
+    jitter-propagation rule. *)
 
-    - [Faithful]: the ingress/egress stages charge the analyzed flow one
-      task rotation per cycle ([q * CIRC]) as written in eqs (23)–(25) and
-      (30)–(32), even when a GMF frame fragments into several Ethernet
-      frames.
-    - [Repaired]: each own Ethernet frame is charged one rotation
-      ([q * NSUM_i * CIRC] per cycle plus [m_i^k * CIRC] for the packet
-      under analysis), which dominates the Faithful bound and is the sound
-      choice when packets exceed one Ethernet frame.  [Repaired] also drops
-      the [min(t, .)] clamp of MXS (eq 10) in favour of the classical
-      request-bound reading (repair R7): under the paper's clamp, MX(0) = 0
-      and the queuing-time recurrences accept w = 0 as a fixed point when
-      all jitters are zero, losing all interference.
+type variant = Analysis_config.variant = Faithful | Repaired
 
-    Both variants seed busy-period iterations with the frame's own demand
-    (repair R1) — the paper's zero seed makes the recurrences degenerate
-    when all jitters are zero. *)
-
-type variant = Faithful | Repaired
-
-type t = {
+type t = Analysis_config.t = {
   variant : variant;
   tight_jitter : bool;
-      (** Jitter-propagation rule along the pipeline (Figure 6 lines
-          10/15/19).  [false] (the paper): the next stage's generalized
-          jitter grows by the full stage response time R.  [true]: it grows
-          by the response-time {e variability} R − R_min, where R_min is a
-          lower bound on every packet's stage response (its own
-          transmission + propagation on link stages, its own task rotations
-          at ingress) — the classical tightening of holistic analysis
-          (Tindell & Clark).  End-to-end bounds (RSUM) are unaffected;
-          only the interference other flows see shrinks. *)
   max_busy_iters : int;
-      (** Fixed-point iteration cap per busy period / per w(q). *)
-  max_q : int;  (** Cap on the number of cycle instances examined (Q). *)
+  max_q : int;
   horizon : Gmf_util.Timeunit.ns;
-      (** Busy periods and queuing delays beyond this length are treated as
-          divergence (unschedulable). *)
   max_holistic_rounds : int;
-      (** Cap on the outer jitter-propagation fixed point. *)
 }
 
 val default : t

@@ -100,7 +100,26 @@ let analyze_frame ctx ~flow ~frame =
   in
   walk stages gj gj []
 
+(* Static impossibility gate: when a link or ingress rotation on this
+   flow's route is utilization-overloaded, the busy-period recurrences
+   provably diverge — skip them and fail with the diagnostic instead of
+   burning [max_busy_iters] iterations to find out. *)
+let lint_gate ctx ~flow =
+  match Gmf_lint.Rules.flow_gate (Ctx.scenario ctx) flow with
+  | [] -> None
+  | d :: _ ->
+      Some
+        {
+          Result_types.flow_id = flow.Traffic.Flow.id;
+          frame = 0;
+          failed_stage = None;
+          reason = Gmf_diag.to_string d;
+        }
+
 let analyze_flow ctx ~flow =
+  match lint_gate ctx ~flow with
+  | Some failure -> Error failure
+  | None ->
   let n = Traffic.Flow.n flow in
   let results = Array.make n None in
   let rec go k =

@@ -27,4 +27,10 @@ val analyze_flow :
   flow:Traffic.Flow.t ->
   (Result_types.flow_result, Result_types.failure) result
 (** Bounds for every frame of the flow (frame 0 first).  Stops at the first
-    failing frame. *)
+    failing frame.
+
+    Before any fixpoint runs, the [Gmf_lint.Rules.flow_gate] pre-pass
+    checks the utilization impossibility conditions ([GMF201]/[GMF203])
+    on the flow's route; a violated condition fails immediately with the
+    rendered diagnostic as the reason — the recurrences would only have
+    diverged against a cap. *)

@@ -44,7 +44,7 @@ let analyze ?config scenario =
 let check ?config scenario =
   let report = analyze ?config scenario in
   { Analysis.Admission.admitted = Analysis.Holistic.is_schedulable report;
-    report }
+    report; diagnostics = [] }
 
 let admit_greedily ?config ~topo ~switches candidates =
   let decide flows =

@@ -1,0 +1,36 @@
+open Gmf_util
+
+type variant = Faithful | Repaired
+
+type t = {
+  variant : variant;
+  tight_jitter : bool;
+  max_busy_iters : int;
+  max_q : int;
+  horizon : Timeunit.ns;
+  max_holistic_rounds : int;
+}
+
+let default =
+  {
+    variant = Repaired;
+    tight_jitter = false;
+    max_busy_iters = 10_000;
+    max_q = 4_096;
+    horizon = Timeunit.s 100;
+    max_holistic_rounds = 64;
+  }
+
+let faithful = { default with variant = Faithful }
+let tight = { default with tight_jitter = true }
+
+let variant_to_string = function
+  | Faithful -> "faithful"
+  | Repaired -> "repaired"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "config(%s%s, busy_iters<=%d, Q<=%d, horizon=%a, rounds<=%d)"
+    (variant_to_string t.variant)
+    (if t.tight_jitter then ", tight-jitter" else "")
+    t.max_busy_iters t.max_q Timeunit.pp t.horizon t.max_holistic_rounds

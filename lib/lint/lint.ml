@@ -1,0 +1,22 @@
+type report = { diagnostics : Gmf_diag.t list }
+
+let runs = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "lint.runs"
+
+(* Counters are interned by name, so re-registering per run is cheap and
+   keeps rule implementations free of metrics plumbing. *)
+let hit d =
+  Gmf_obs.Metrics.incr
+    (Gmf_obs.Metrics.counter Gmf_obs.Metrics.default
+       ("lint.hits." ^ d.Gmf_diag.code))
+
+let run ?config scenario =
+  Gmf_obs.Metrics.incr runs;
+  let diagnostics = Rules.scenario_rules ?config scenario in
+  List.iter hit diagnostics;
+  { diagnostics }
+
+let errors r = Gmf_diag.by_severity Gmf_diag.Error r.diagnostics
+let warnings r = Gmf_diag.by_severity Gmf_diag.Warning r.diagnostics
+let hints r = Gmf_diag.by_severity Gmf_diag.Hint r.diagnostics
+let fatal ~deny r = Gmf_diag.at_least deny r.diagnostics <> []
+let pp_report fmt r = Gmf_diag.pp_list fmt r.diagnostics

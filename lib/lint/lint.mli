@@ -1,0 +1,23 @@
+(** The lint pass: run every rule, record hit-rate metrics, classify.
+
+    [run] is the entry point the CLI, [Analysis.Admission] and tests use.
+    It never executes a fixpoint — every rule in {!Rules} is a pure
+    traversal of the scenario/topology/config — so gating an analysis on
+    it costs O(flows × route length). *)
+
+type report = { diagnostics : Gmf_diag.t list  (** Sorted by code. *) }
+
+val run : ?config:Analysis_config.t -> Traffic.Scenario.t -> report
+(** Run {!Rules.scenario_rules} and bump the per-rule
+    [lint.hits.<CODE>] counters plus [lint.runs] on
+    {!Gmf_obs.Metrics.default} (visible under [gmfnet profile]). *)
+
+val errors : report -> Gmf_diag.t list
+val warnings : report -> Gmf_diag.t list
+val hints : report -> Gmf_diag.t list
+
+val fatal : deny:Gmf_diag.severity -> report -> bool
+(** [fatal ~deny report] is true when any diagnostic sits at or above
+    the deny level — the CLI's [--deny] exit policy. *)
+
+val pp_report : Format.formatter -> report -> unit

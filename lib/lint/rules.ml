@@ -1,0 +1,646 @@
+open Gmf_util
+
+type category = Structural | Model | Utilization
+
+let category_to_string = function
+  | Structural -> "structural"
+  | Model -> "model"
+  | Utilization -> "utilization"
+
+type rule = {
+  code : string;
+  category : category;
+  default_severity : Gmf_diag.severity;
+  title : string;
+  reference : string;
+}
+
+let catalog =
+  [
+    {
+      code = "GMF001";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "duplicate flow name";
+      reference = "Section 2.3 (flows are identified by name in reports)";
+    };
+    {
+      code = "GMF002";
+      category = Structural;
+      default_severity = Gmf_diag.Hint;
+      title = "redundant 802.1p remark";
+      reference = "eq (2): a remark equal to the default priority is a no-op";
+    };
+    {
+      code = "GMF003";
+      category = Structural;
+      default_severity = Gmf_diag.Warning;
+      title = "isolated node";
+      reference = "Section 2.1 (every node should attach to the network)";
+    };
+    {
+      code = "GMF004";
+      category = Structural;
+      default_severity = Gmf_diag.Hint;
+      title = "link carries no flow";
+      reference = "Section 3 (flows(N1,N2) is empty)";
+    };
+    {
+      code = "GMF005";
+      category = Structural;
+      default_severity = Gmf_diag.Hint;
+      title = "route longer than the shortest path";
+      reference = "Section 2.1 (routes are pre-specified, detours are legal \
+                   but add stages)";
+    };
+    {
+      code = "GMF006";
+      category = Structural;
+      default_severity = Gmf_diag.Hint;
+      title = "switch model on a switch no route crosses";
+      reference = "Section 2.2 (CIRC only matters on relaying switches)";
+    };
+    {
+      code = "GMF010";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "priority outside the 802.1p range";
+      reference = "Section 2.1 (802.1p code points are 0..7)";
+    };
+    {
+      code = "GMF011";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "remark on a hop not on the route";
+      reference = "eq (2): prio(tau,N1,N2) is defined on route links only";
+    };
+    {
+      code = "GMF012";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "hop remarked twice";
+      reference = "eq (2): one priority per flow per link";
+    };
+    {
+      code = "GMF013";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "non-positive payload scale factor";
+      reference = "Section 2.3 (payloads are positive)";
+    };
+    {
+      code = "GMF101";
+      category = Model;
+      default_severity = Gmf_diag.Hint;
+      title = "frame deadline exceeds its period";
+      reference = "Section 2.3 (D > T is legal but admits cross-cycle \
+                   backlog; the analysis walks Q instances)";
+    };
+    {
+      code = "GMF102";
+      category = Model;
+      default_severity = Gmf_diag.Warning;
+      title = "source jitter at least the frame period";
+      reference = "eqs (21)-(35) charge interference per jitter window; \
+                   GJ >= T makes bursts of back-to-back cycles possible";
+    };
+    {
+      code = "GMF103";
+      category = Model;
+      default_severity = Gmf_diag.Hint;
+      title = "payload fragments into several Ethernet frames";
+      reference = "Section 3.1 / DESIGN.md R2-R3: fragmentation is where \
+                   the Faithful variant under-charges rotations";
+    };
+    {
+      code = "GMF104";
+      category = Model;
+      default_severity = Gmf_diag.Hint;
+      title = "equal 802.1p priority on a shared link";
+      reference = "eq (2): hep() counts priority ties as interference both \
+                   ways; bounds for tied flows are mutually pessimistic";
+    };
+    {
+      code = "GMF105";
+      category = Model;
+      default_severity = Gmf_diag.Hint;
+      title = "switch model has more interfaces than links";
+      reference = "Section 2.2: CIRC(N) grows with NINTERFACES(N); unused \
+                   ports still cost a rotation slot";
+    };
+    {
+      code = "GMF201";
+      category = Utilization;
+      default_severity = Gmf_diag.Error;
+      title = "link utilization at least 1";
+      reference = "eq (20): sum of CSUM/TSUM over flows(N1,N2) must stay \
+                   below 1";
+    };
+    {
+      code = "GMF202";
+      category = Utilization;
+      default_severity = Gmf_diag.Error;
+      title = "deadline below the uncontended response time";
+      reference = "Figure 6: RSUM starts at GJ and adds at least each \
+                   stage's own transmission/rotation time";
+    };
+    {
+      code = "GMF203";
+      category = Utilization;
+      default_severity = Gmf_diag.Error;
+      title = "ingress task rotation overload";
+      reference = "eqs (34)-(35): sum of NSUM*CIRC/TSUM over an ingress \
+                   link must stay below 1";
+    };
+    {
+      code = "GMF204";
+      category = Utilization;
+      default_severity = Gmf_diag.Hint;
+      title = "link near saturation";
+      reference = "eq (20): utilization in [0.9, 1) converges but busy \
+                   periods grow sharply";
+    };
+    {
+      code = "GMF205";
+      category = Utilization;
+      default_severity = Gmf_diag.Warning;
+      title = "analysis horizon below a frame deadline";
+      reference = "Config.horizon treats longer busy periods as divergence; \
+                   a horizon under max D cannot prove schedulability";
+    };
+    {
+      code = "GMF206";
+      category = Utilization;
+      default_severity = Gmf_diag.Error;
+      title = "non-positive analysis iteration cap";
+      reference = "Section 3.5: the fixed points need at least one \
+                   iteration and one holistic round";
+    };
+  ]
+
+let find code = List.find_opt (fun r -> r.code = code) catalog
+
+(* ---------------- shared helpers ---------------- *)
+
+let flow_subject (f : Traffic.Flow.t) =
+  Gmf_diag.Flow { id = f.Traffic.Flow.id; name = f.Traffic.Flow.name }
+
+let frame_subject (f : Traffic.Flow.t) k =
+  Gmf_diag.Frame { id = f.Traffic.Flow.id; name = f.Traffic.Flow.name; frame = k }
+
+let node_subject topo id =
+  Gmf_diag.Node { id; name = (Network.Topology.node topo id).Network.Node.name }
+
+(* Directed links actually crossed by some flow's route. *)
+let used_links scenario =
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      List.iter
+        (fun hop -> Hashtbl.replace used hop ())
+        (Network.Route.hops f.Traffic.Flow.route))
+    (Traffic.Scenario.flows scenario);
+  used
+
+(* Left side of eqs (34)-(35) for one ingress link (src -> switch): every
+   Ethernet frame entering the switch there costs one CIRC rotation. *)
+let ingress_utilization scenario ~src ~node =
+  let circ = Traffic.Scenario.circ scenario node in
+  List.fold_left
+    (fun acc f ->
+      let p = Traffic.Scenario.params scenario f ~src ~dst:node in
+      acc
+      +. float_of_int (Traffic.Link_params.nsum p * circ)
+         /. float_of_int (Traffic.Flow.tsum f))
+    0.
+    (Traffic.Scenario.flows_on scenario ~src ~dst:node)
+
+(* GJ + the sum of per-stage response-time lower bounds of Figure 6: own
+   transmission + propagation on every link stage, own rotations at every
+   ingress stage.  Mirrors [Pipeline.stage_min_response]. *)
+let min_response scenario (f : Traffic.Flow.t) ~frame =
+  let route = f.Traffic.Flow.route in
+  let links =
+    List.fold_left
+      (fun acc (src, dst) ->
+        let p = Traffic.Scenario.params scenario f ~src ~dst in
+        acc
+        + p.Traffic.Link_params.c.(frame)
+        + p.Traffic.Link_params.link.Network.Link.prop)
+      0 (Network.Route.hops route)
+  in
+  let ingresses =
+    List.fold_left
+      (fun acc node ->
+        let src = Network.Route.prec route node in
+        let p = Traffic.Scenario.params scenario f ~src ~dst:node in
+        let model = Traffic.Scenario.switch_model scenario node in
+        acc
+        + p.Traffic.Link_params.eth_frames.(frame)
+          * model.Click.Switch_model.croute)
+      0
+      (Network.Route.intermediate_switches route)
+  in
+  let gj = (Gmf.Spec.frame f.Traffic.Flow.spec frame).Gmf.Frame_spec.jitter in
+  gj + links + ingresses
+
+(* ---------------- GMF0xx: structural ---------------- *)
+
+let check_duplicate_names scenario =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (f : Traffic.Flow.t) ->
+      match Hashtbl.find_opt seen f.Traffic.Flow.name with
+      | Some first ->
+          Some
+            (Gmf_diag.error ~code:"GMF001" ~subject:(flow_subject f)
+               ~suggestion:"give every flow a distinct name"
+               "flow name %S already used by flow %d" f.Traffic.Flow.name
+               first)
+      | None ->
+          Hashtbl.add seen f.Traffic.Flow.name f.Traffic.Flow.id;
+          None)
+    (Traffic.Scenario.flows scenario)
+
+let check_redundant_remarks scenario =
+  List.concat_map
+    (fun (f : Traffic.Flow.t) ->
+      List.filter_map
+        (fun ((src, dst), p) ->
+          if p = f.Traffic.Flow.priority then
+            Some
+              (Gmf_diag.hint ~code:"GMF002" ~subject:(flow_subject f)
+                 ~suggestion:"drop the remark; the default already applies"
+                 "remark on hop %d->%d repeats the default priority %d" src
+                 dst p)
+          else None)
+        f.Traffic.Flow.remarks)
+    (Traffic.Scenario.flows scenario)
+
+let check_isolated_nodes scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  let attached = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Network.Link.t) ->
+      Hashtbl.replace attached l.Network.Link.src ();
+      Hashtbl.replace attached l.Network.Link.dst ())
+    (Network.Topology.links topo);
+  List.filter_map
+    (fun (n : Network.Node.t) ->
+      if Hashtbl.mem attached n.Network.Node.id then None
+      else
+        Some
+          (Gmf_diag.warning ~code:"GMF003"
+             ~subject:(node_subject topo n.Network.Node.id)
+             ~suggestion:"add a link or remove the node"
+             "node has no links"))
+    (Network.Topology.nodes topo)
+
+let check_unused_links scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  let used = used_links scenario in
+  List.filter_map
+    (fun (l : Network.Link.t) ->
+      let src = l.Network.Link.src and dst = l.Network.Link.dst in
+      if Hashtbl.mem used (src, dst) then None
+      else
+        Some
+          (Gmf_diag.hint ~code:"GMF004"
+             ~subject:(Gmf_diag.Link { src; dst })
+             ~suggestion:"no flow routes over this direction"
+             "link carries no flow"))
+    (Network.Topology.links topo)
+
+let check_detour_routes scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  List.filter_map
+    (fun (f : Traffic.Flow.t) ->
+      let route = f.Traffic.Flow.route in
+      let src = Network.Route.source route
+      and dst = Network.Route.destination route in
+      match Network.Topology.shortest_path topo ~src ~dst with
+      | Some path
+        when List.length path - 1 < Network.Route.hop_count route ->
+          Some
+            (Gmf_diag.hint ~code:"GMF005" ~subject:(flow_subject f)
+               ~suggestion:
+                 (Printf.sprintf "a %d-hop path exists"
+                    (List.length path - 1))
+               "route takes %d hops where %d suffice"
+               (Network.Route.hop_count route)
+               (List.length path - 1))
+      | _ -> None)
+    (Traffic.Scenario.flows scenario)
+
+let check_unused_switches scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  let crossed = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      List.iter
+        (fun node -> Hashtbl.replace crossed node ())
+        (Network.Route.intermediate_switches f.Traffic.Flow.route))
+    (Traffic.Scenario.flows scenario);
+  List.filter_map
+    (fun node ->
+      if Hashtbl.mem crossed node then None
+      else
+        Some
+          (Gmf_diag.hint ~code:"GMF006" ~subject:(node_subject topo node)
+             ~suggestion:"no route relays through this switch"
+             "switch model is never exercised"))
+    (Traffic.Scenario.switch_nodes scenario)
+
+(* ---------------- GMF1xx: model preconditions ---------------- *)
+
+let check_deadline_vs_period scenario =
+  List.concat_map
+    (fun (f : Traffic.Flow.t) ->
+      let spec = f.Traffic.Flow.spec in
+      List.filter_map
+        (fun k ->
+          let fr = Gmf.Spec.frame spec k in
+          if fr.Gmf.Frame_spec.deadline > fr.Gmf.Frame_spec.period then
+            Some
+              (Gmf_diag.hint ~code:"GMF101" ~subject:(frame_subject f k)
+                 ~suggestion:
+                   "legal, but consecutive cycles may overlap in the network"
+                 "deadline %s exceeds period %s"
+                 (Timeunit.to_string fr.Gmf.Frame_spec.deadline)
+                 (Timeunit.to_string fr.Gmf.Frame_spec.period))
+          else None)
+        (List.init (Gmf.Spec.n spec) Fun.id))
+    (Traffic.Scenario.flows scenario)
+
+let check_jitter_vs_period scenario =
+  List.concat_map
+    (fun (f : Traffic.Flow.t) ->
+      let spec = f.Traffic.Flow.spec in
+      List.filter_map
+        (fun k ->
+          let fr = Gmf.Spec.frame spec k in
+          if
+            fr.Gmf.Frame_spec.period > 0
+            && fr.Gmf.Frame_spec.jitter >= fr.Gmf.Frame_spec.period
+          then
+            Some
+              (Gmf_diag.warning ~code:"GMF102" ~subject:(frame_subject f k)
+                 ~suggestion:
+                   "bursts of back-to-back releases inflate every bound"
+                 "source jitter %s is at least the period %s"
+                 (Timeunit.to_string fr.Gmf.Frame_spec.jitter)
+                 (Timeunit.to_string fr.Gmf.Frame_spec.period))
+          else None)
+        (List.init (Gmf.Spec.n spec) Fun.id))
+    (Traffic.Scenario.flows scenario)
+
+let check_fragmentation ~(config : Analysis_config.t) scenario =
+  List.concat_map
+    (fun (f : Traffic.Flow.t) ->
+      List.filter_map
+        (fun k ->
+          let nbits = Traffic.Flow.nbits f k in
+          let frags = Ethernet.Fragment.fragment_count ~nbits in
+          if frags > 1 then
+            let build =
+              match config.Analysis_config.variant with
+              | Analysis_config.Faithful ->
+                  Gmf_diag.warning
+                    ~suggestion:
+                      "the faithful variant under-charges rotations for \
+                       fragmented frames; prefer --variant repaired"
+              | Analysis_config.Repaired ->
+                  Gmf_diag.hint
+                    ~suggestion:"each fragment costs a CIRC rotation"
+            in
+            Some
+              (build ~code:"GMF103" ~subject:(frame_subject f k)
+                 "datagram of %d bits fragments into %d Ethernet frames"
+                 nbits frags)
+          else None)
+        (List.init (Traffic.Flow.n f) Fun.id))
+    (Traffic.Scenario.flows scenario)
+
+let check_priority_ties scenario =
+  let used = used_links scenario in
+  Hashtbl.fold
+    (fun (src, dst) () acc ->
+      let flows = Traffic.Scenario.flows_on scenario ~src ~dst in
+      let by_prio = Hashtbl.create 8 in
+      List.iter
+        (fun (f : Traffic.Flow.t) ->
+          let p = Traffic.Flow.priority_on f ~src ~dst in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt by_prio p)
+          in
+          Hashtbl.replace by_prio p (f :: prev))
+        flows;
+      Hashtbl.fold
+        (fun p group acc ->
+          if List.length group >= 2 then
+            Gmf_diag.hint ~code:"GMF104"
+              ~subject:(Gmf_diag.Link { src; dst })
+              ~suggestion:
+                "hep() counts ties as interference both ways; distinct \
+                 priorities tighten both bounds"
+              "%d flows share priority %d on this link"
+              (List.length group) p
+            :: acc
+          else acc)
+        by_prio acc)
+    used []
+
+let check_overprovisioned_switches scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  List.filter_map
+    (fun node ->
+      let model = Traffic.Scenario.switch_model scenario node in
+      let degree = Network.Topology.degree topo node in
+      if model.Click.Switch_model.ninterfaces > degree then
+        Some
+          (Gmf_diag.hint ~code:"GMF105" ~subject:(node_subject topo node)
+             ~suggestion:
+               (Printf.sprintf
+                  "unused ports still cost rotation slots; CIRC is %s"
+                  (Timeunit.to_string (Click.Switch_model.circ model)))
+             "model has %d interfaces but the node has %d links"
+             model.Click.Switch_model.ninterfaces degree)
+      else None)
+    (Traffic.Scenario.switch_nodes scenario)
+
+(* ---------------- GMF2xx: utilization / config ---------------- *)
+
+let check_link_utilization scenario =
+  let used = used_links scenario in
+  Hashtbl.fold
+    (fun (src, dst) () acc ->
+      let u = Traffic.Scenario.link_utilization scenario ~src ~dst in
+      if u >= 1. then
+        Gmf_diag.error ~code:"GMF201"
+          ~subject:(Gmf_diag.Link { src; dst })
+          ~suggestion:"shed flows or raise the link rate"
+          "utilization %.3f violates the necessary condition of eq (20)" u
+        :: acc
+      else if u >= 0.9 then
+        Gmf_diag.hint ~code:"GMF204"
+          ~subject:(Gmf_diag.Link { src; dst })
+          ~suggestion:"busy periods grow sharply near saturation"
+          "utilization %.3f is within 10%% of saturation" u
+        :: acc
+      else acc)
+    used []
+
+let check_ingress_utilization scenario =
+  let crossed = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      let route = f.Traffic.Flow.route in
+      List.iter
+        (fun node ->
+          Hashtbl.replace crossed (Network.Route.prec route node, node) ())
+        (Network.Route.intermediate_switches route))
+    (Traffic.Scenario.flows scenario);
+  let topo = Traffic.Scenario.topo scenario in
+  Hashtbl.fold
+    (fun (src, node) () acc ->
+      let u = ingress_utilization scenario ~src ~node in
+      if u >= 1. then
+        Gmf_diag.error ~code:"GMF203" ~subject:(node_subject topo node)
+          ~suggestion:
+            (Printf.sprintf
+               "frames entering via link %d->%d alone oversubscribe the \
+                rotation; fewer frames or more processors"
+               src node)
+          "ingress rotation utilization %.3f on link %d->%d violates eqs \
+           (34)-(35)"
+          u src node
+        :: acc
+      else acc)
+    crossed []
+
+let check_impossible_deadlines scenario =
+  List.concat_map
+    (fun (f : Traffic.Flow.t) ->
+      List.filter_map
+        (fun k ->
+          let d =
+            (Gmf.Spec.frame f.Traffic.Flow.spec k).Gmf.Frame_spec.deadline
+          in
+          let floor = min_response scenario f ~frame:k in
+          if floor > d then
+            Some
+              (Gmf_diag.error ~code:"GMF202" ~subject:(frame_subject f k)
+                 ~suggestion:
+                   "even an uncontended packet misses; relax the deadline \
+                    or shorten the route"
+                 "jitter plus uncontended stage responses total %s, above \
+                  the deadline %s"
+                 (Timeunit.to_string floor) (Timeunit.to_string d))
+          else None)
+        (List.init (Traffic.Flow.n f) Fun.id))
+    (Traffic.Scenario.flows scenario)
+
+let check_config ~(config : Analysis_config.t) scenario =
+  let caps =
+    List.filter_map
+      (fun (name, v) ->
+        if v <= 0 then
+          Some
+            (Gmf_diag.error ~code:"GMF206" ~subject:Gmf_diag.Config
+               ~suggestion:"every cap must be positive"
+               "%s = %d leaves the analysis no iterations" name v)
+        else None)
+      [
+        ("max_busy_iters", config.Analysis_config.max_busy_iters);
+        ("max_q", config.Analysis_config.max_q);
+        ("max_holistic_rounds", config.Analysis_config.max_holistic_rounds);
+        ("horizon", config.Analysis_config.horizon);
+      ]
+  in
+  let max_deadline =
+    List.fold_left
+      (fun acc (f : Traffic.Flow.t) ->
+        Array.fold_left max acc (Gmf.Spec.deadlines f.Traffic.Flow.spec))
+      0
+      (Traffic.Scenario.flows scenario)
+  in
+  let horizon =
+    if
+      config.Analysis_config.horizon > 0
+      && config.Analysis_config.horizon < max_deadline
+    then
+      [
+        Gmf_diag.warning ~code:"GMF205" ~subject:Gmf_diag.Config
+          ~suggestion:"raise --horizon above the largest deadline"
+          "horizon %s is below the largest frame deadline %s; verdicts \
+           degrade to divergence"
+          (Timeunit.to_string config.Analysis_config.horizon)
+          (Timeunit.to_string max_deadline);
+      ]
+    else []
+  in
+  caps @ horizon
+
+(* ---------------- entry points ---------------- *)
+
+let by_code_then_message (a : Gmf_diag.t) (b : Gmf_diag.t) =
+  match compare a.Gmf_diag.code b.Gmf_diag.code with
+  | 0 -> compare a.Gmf_diag.message b.Gmf_diag.message
+  | c -> c
+
+let scenario_rules ?(config = Analysis_config.default) scenario =
+  List.sort by_code_then_message
+    (List.concat
+       [
+         check_duplicate_names scenario;
+         check_redundant_remarks scenario;
+         check_isolated_nodes scenario;
+         check_unused_links scenario;
+         check_detour_routes scenario;
+         check_unused_switches scenario;
+         check_deadline_vs_period scenario;
+         check_jitter_vs_period scenario;
+         check_fragmentation ~config scenario;
+         check_priority_ties scenario;
+         check_overprovisioned_switches scenario;
+         check_link_utilization scenario;
+         check_ingress_utilization scenario;
+         check_impossible_deadlines scenario;
+         check_config ~config scenario;
+       ])
+
+let flow_gate scenario (f : Traffic.Flow.t) =
+  let route = f.Traffic.Flow.route in
+  let links =
+    List.filter_map
+      (fun (src, dst) ->
+        let u = Traffic.Scenario.link_utilization scenario ~src ~dst in
+        if u >= 1. then
+          Some
+            (Gmf_diag.error ~code:"GMF201"
+               ~subject:(Gmf_diag.Link { src; dst })
+               ~suggestion:"shed flows or raise the link rate"
+               "utilization %.3f violates the necessary condition of eq \
+                (20)"
+               u)
+        else None)
+      (Network.Route.hops route)
+  in
+  let ingresses =
+    List.filter_map
+      (fun node ->
+        let src = Network.Route.prec route node in
+        let u = ingress_utilization scenario ~src ~node in
+        if u >= 1. then
+          Some
+            (Gmf_diag.error ~code:"GMF203"
+               ~subject:
+                 (node_subject (Traffic.Scenario.topo scenario) node)
+               ~suggestion:"fewer frames or more processors"
+               "ingress rotation utilization %.3f on link %d->%d violates \
+                eqs (34)-(35)"
+               u src node)
+        else None)
+      (Network.Route.intermediate_switches route)
+  in
+  List.sort by_code_then_message (links @ ingresses)

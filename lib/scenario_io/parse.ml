@@ -1,10 +1,29 @@
-type error = { line : int; message : string }
+type error = {
+  line : int;
+  column : int option;
+  source : string option;
+  message : string;
+}
 
-let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+let pp_error fmt e =
+  (match e.column with
+  | Some c -> Format.fprintf fmt "line %d, column %d: %s" e.line c e.message
+  | None -> Format.fprintf fmt "line %d: %s" e.line e.message);
+  match e.source with
+  | None -> ()
+  | Some src -> (
+      Format.fprintf fmt "@.  %s" src;
+      match e.column with
+      | Some c when c >= 1 -> Format.fprintf fmt "@.  %s^" (String.make (c - 1) ' ')
+      | _ -> ())
 
-exception Fail of error
+(* The raising path carries the offending token (when the failing site
+   knows one); the driver resolves it against the source line into a
+   column and attaches the line itself. *)
+exception Fail of { line : int; token : string option; message : string }
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+let fail ?token line fmt =
+  Printf.ksprintf (fun message -> raise (Fail { line; token; message })) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Tokenizing                                                         *)
@@ -27,7 +46,7 @@ let parse_kvs lineno tokens =
       | Some i ->
           ( String.sub token 0 i,
             String.sub token (i + 1) (String.length token - i - 1) )
-      | None -> fail lineno "expected key=value, got %S" token)
+      | None -> fail ~token lineno "expected key=value, got %S" token)
     tokens
 
 let lookup kvs key = List.assoc_opt key kvs
@@ -40,11 +59,13 @@ let require lineno kvs key =
 let reject_unknown lineno kvs allowed =
   List.iter
     (fun (k, _) ->
-      if not (List.mem k allowed) then fail lineno "unknown argument %S" k)
+      if not (List.mem k allowed) then fail ~token:k lineno "unknown argument %S" k)
     kvs
 
 let unit_arg lineno parse what value =
-  match parse value with Ok v -> v | Error msg -> fail lineno "%s: %s" what msg
+  match parse value with
+  | Ok v -> v
+  | Error msg -> fail ~token:value lineno "%s: %s" what msg
 
 (* ------------------------------------------------------------------ *)
 (* Parser state                                                       *)
@@ -74,7 +95,7 @@ type state = {
 let node_id st lineno name =
   match Hashtbl.find_opt st.names name with
   | Some id -> id
-  | None -> fail lineno "unknown node %S" name
+  | None -> fail ~token:name lineno "unknown node %S" name
 
 (* ------------------------------------------------------------------ *)
 (* Directives                                                         *)
@@ -82,13 +103,14 @@ let node_id st lineno name =
 
 let directive_node st lineno = function
   | [ name; kind ] ->
-      if Hashtbl.mem st.names name then fail lineno "duplicate node %S" name;
+      if Hashtbl.mem st.names name then
+        fail ~token:name lineno "duplicate node %S" name;
       let kind =
         match kind with
         | "endhost" -> Network.Node.Endhost
         | "switch" -> Network.Node.Switch
         | "router" -> Network.Node.Router
-        | other -> fail lineno "unknown node kind %S" other
+        | other -> fail ~token:other lineno "unknown node kind %S" other
       in
       Hashtbl.replace st.names name
         (Network.Topology.add_node st.topo ~name ~kind)
@@ -130,7 +152,7 @@ let directive_switch st lineno = function
         | Some v -> (
             match int_of_string_opt v with
             | Some i -> i
-            | None -> fail lineno "bad integer for %s: %S" key v)
+            | None -> fail ~token:v lineno "bad integer for %s: %S" key v)
       in
       let ports = int_arg "ports" (max 1 (Network.Topology.degree st.topo id)) in
       let cpus = int_arg "cpus" 1 in
@@ -151,7 +173,7 @@ let directive_switch st lineno = function
         with Invalid_argument msg -> fail lineno "%s" msg
       in
       if List.mem_assoc id st.switches then
-        fail lineno "duplicate switch directive for %S" name;
+        fail ~token:name lineno "duplicate switch directive for %S" name;
       st.switches <- (id, model) :: st.switches
   | [] -> fail lineno "usage: switch <name> [ports=..] [cpus=..] ..."
 
@@ -167,13 +189,14 @@ let directive_flow st lineno = function
         | Some v -> (
             match int_of_string_opt v with
             | Some p when p >= 0 && p <= 7 -> p
-            | _ -> fail lineno "prio must be 0..7, got %S" v)
+            | _ -> fail ~token:v lineno "prio must be 0..7, got %S" v)
       in
       let encap =
         match lookup kvs "encap" with
         | None | Some "udp" -> Ethernet.Encap.Udp
         | Some "rtp" -> Ethernet.Encap.Rtp_udp
-        | Some other -> fail lineno "unknown encap %S (udp|rtp)" other
+        | Some other ->
+            fail ~token:other lineno "unknown encap %S (udp|rtp)" other
       in
       let route =
         Option.map (String.split_on_char ',') (lookup kvs "route")
@@ -193,9 +216,10 @@ let directive_flow st lineno = function
                        with
                        | [ src; dst ], Some p -> (src, dst, p)
                        | _ ->
-                           fail lineno
+                           fail ~token:item lineno
                              "bad remark %S (want src/dst:prio)" item)
-                   | _ -> fail lineno "bad remark %S (want src/dst:prio)" item)
+                   | _ ->
+                       fail ~token:item lineno "bad remark %S (want src/dst:prio)" item)
       in
       st.current <-
         Some
@@ -283,6 +307,31 @@ let finish_flow st lineno =
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* First occurrence of [token] in [src] (whole-word-ish: tokens come from
+   whitespace splitting, so plain substring search is faithful enough). *)
+let find_column src token =
+  let ns = String.length src and nt = String.length token in
+  if nt = 0 || nt > ns then None
+  else
+    let rec go i =
+      if i + nt > ns then None
+      else if String.sub src i nt = token then Some (i + 1)
+      else go (i + 1)
+    in
+    go 0
+
+let enrich lines ~line ~token message =
+  let source =
+    if line >= 1 && line <= Array.length lines then Some lines.(line - 1)
+    else None
+  in
+  let column =
+    match (source, token) with
+    | Some src, Some tok -> find_column src tok
+    | _ -> None
+  in
+  { line; column; source; message }
+
 let scenario_of_string text =
   let st =
     {
@@ -294,8 +343,9 @@ let scenario_of_string text =
       current = None;
     }
   in
+  let lines = Array.of_list (String.split_on_char '\n' text) in
   try
-    List.iteri
+    Array.iteri
       (fun index raw ->
         let lineno = index + 1 in
         match words (strip_comment raw) with
@@ -307,8 +357,8 @@ let scenario_of_string text =
         | "flow" :: rest -> directive_flow st lineno rest
         | "frame" :: rest -> directive_frame st lineno rest
         | [ "end" ] -> finish_flow st lineno
-        | keyword :: _ -> fail lineno "unknown directive %S" keyword)
-      (String.split_on_char '\n' text);
+        | keyword :: _ -> fail ~token:keyword lineno "unknown directive %S" keyword)
+      lines;
     (match st.current with
     | Some flow -> fail flow.f_line "flow %S not closed by 'end'" flow.f_name
     | None -> ());
@@ -317,10 +367,12 @@ let scenario_of_string text =
         ~flows:(List.rev st.flows) ()
     with
     | scenario -> Ok scenario
-    | exception Invalid_argument msg -> Error { line = 0; message = msg }
-  with Fail e -> Error e
+    | exception Invalid_argument msg ->
+        Error { line = 0; column = None; source = None; message = msg }
+  with Fail { line; token; message } -> Error (enrich lines ~line ~token message)
 
 let scenario_of_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> scenario_of_string text
-  | exception Sys_error msg -> Error { line = 0; message = msg }
+  | exception Sys_error msg ->
+      Error { line = 0; column = None; source = None; message = msg }

@@ -22,7 +22,14 @@
     is optional per switch node (defaults: ports = node degree, 1 CPU, the
     paper's measured task costs). *)
 
-type error = { line : int; message : string }
+type error = {
+  line : int;  (** 1-based; 0 for whole-file problems. *)
+  column : int option;
+      (** 1-based position of the offending token on [source], when the
+          failing site could name one. *)
+  source : string option;  (** The offending source line, verbatim. *)
+  message : string;
+}
 
 val scenario_of_string : string -> (Traffic.Scenario.t, error) result
 
@@ -30,3 +37,11 @@ val scenario_of_file : string -> (Traffic.Scenario.t, error) result
 (** Reads the file; an unreadable file reports on line 0. *)
 
 val pp_error : Format.formatter -> error -> unit
+(** Compiler-style rendering: the position and message on the first
+    line, then (when known) the source line and a caret under the
+    offending column:
+    {v
+    line 2, column 11: unknown node kind "endhostX"
+      node a endhostX
+               ^
+    v} *)

@@ -10,45 +10,95 @@ type t = {
   remarks : ((Network.Node.id * Network.Node.id) * int) list;
 }
 
-let check_priority p =
+(* Raising wrappers reproduce the historical [Invalid_argument] strings;
+   the prefix depends on which constructor the code belongs to (priority
+   checks always raised under the [Flow.make:] banner, even from
+   [with_remarks]). *)
+let raise_diag d =
+  let prefix =
+    match d.Gmf_diag.code with
+    | "GMF011" | "GMF012" -> "Flow.with_remarks: "
+    | "GMF013" -> "Flow.scale_payloads: "
+    | _ -> "Flow.make: "
+  in
+  invalid_arg (prefix ^ d.Gmf_diag.message)
+
+let checked_priority ~subject p =
   if p < 0 || p > 7 then
-    invalid_arg "Flow.make: priority outside the 802.1p range 0..7"
+    Error
+      (Gmf_diag.error ~code:"GMF010" ~subject
+         ~suggestion:
+           (Printf.sprintf "got %d; 802.1p code points are integers in 0..7" p)
+         "priority outside the 802.1p range 0..7")
+  else Ok ()
+
+let make_checked ~id ~name ~spec ~encap ~route ~priority =
+  if id < 0 then invalid_arg "Flow.make: negative id";
+  match checked_priority ~subject:(Gmf_diag.Flow { id; name }) priority with
+  | Error _ as e -> e
+  | Ok () -> Ok { id; name; spec; encap; route; priority; remarks = [] }
 
 let make ~id ~name ~spec ~encap ~route ~priority =
-  if id < 0 then invalid_arg "Flow.make: negative id";
-  check_priority priority;
-  { id; name; spec; encap; route; priority; remarks = [] }
+  match make_checked ~id ~name ~spec ~encap ~route ~priority with
+  | Ok t -> t
+  | Error d -> raise_diag d
 
-let with_remarks t remarks =
+let with_remarks_checked t remarks =
+  let subject = Gmf_diag.Flow { id = t.id; name = t.name } in
   let hops = Network.Route.hops t.route in
   let seen = Hashtbl.create 4 in
-  List.iter
-    (fun (hop, p) ->
-      check_priority p;
-      if not (List.mem hop hops) then
-        invalid_arg
-          (Printf.sprintf
-             "Flow.with_remarks: remark on hop %d->%d not on the route"
-             (fst hop) (snd hop));
-      if Hashtbl.mem seen hop then
-        invalid_arg
-          (Printf.sprintf "Flow.with_remarks: hop %d->%d remarked twice"
-             (fst hop) (snd hop));
-      Hashtbl.replace seen hop ())
-    remarks;
-  { t with remarks }
+  let rec go = function
+    | [] -> Ok { t with remarks }
+    | ((src, dst), p) :: rest -> (
+        match checked_priority ~subject p with
+        | Error _ as e -> e
+        | Ok () ->
+            if not (List.mem (src, dst) hops) then
+              Error
+                (Gmf_diag.error ~code:"GMF011" ~subject
+                   ~suggestion:"remarks may only name links the route crosses"
+                   "remark on hop %d->%d not on the route" src dst)
+            else if Hashtbl.mem seen (src, dst) then
+              Error
+                (Gmf_diag.error ~code:"GMF012" ~subject
+                   ~suggestion:"keep a single remark per link"
+                   "hop %d->%d remarked twice" src dst)
+            else (
+              Hashtbl.replace seen (src, dst) ();
+              go rest))
+  in
+  go remarks
+
+let with_remarks t remarks =
+  match with_remarks_checked t remarks with
+  | Ok t -> t
+  | Error d -> raise_diag d
+
+let scale_payloads_checked t factor =
+  if factor <= 0. then
+    Error
+      (Gmf_diag.error ~code:"GMF013"
+         ~subject:(Gmf_diag.Flow { id = t.id; name = t.name })
+         ~suggestion:(Printf.sprintf "got %g; the factor must be > 0" factor)
+         "non-positive factor")
+  else
+    let scale (f : Gmf.Frame_spec.t) =
+      Gmf.Frame_spec.make ~period:f.period ~deadline:f.deadline
+        ~jitter:f.jitter
+        ~payload_bits:
+          (max 1
+             (int_of_float
+                (Float.round (float_of_int f.payload_bits *. factor))))
+    in
+    let spec =
+      Gmf.Spec.make (List.map scale (Array.to_list (Gmf.Spec.frames t.spec)))
+    in
+    Ok { t with spec }
 
 let scale_payloads t factor =
-  if factor <= 0. then invalid_arg "Flow.scale_payloads: non-positive factor";
-  let scale (f : Gmf.Frame_spec.t) =
-    Gmf.Frame_spec.make ~period:f.period ~deadline:f.deadline ~jitter:f.jitter
-      ~payload_bits:
-        (max 1 (int_of_float (Float.round (float_of_int f.payload_bits *. factor))))
-  in
-  let spec =
-    Gmf.Spec.make (List.map scale (Array.to_list (Gmf.Spec.frames t.spec)))
-  in
-  { t with spec }
+  match scale_payloads_checked t factor with
+  | Ok t -> t
+  | Error d -> raise_diag d
 
 let priority_on t ~src ~dst =
   match List.assoc_opt (src, dst) t.remarks with

@@ -24,6 +24,20 @@ type t = private {
       (** Per-hop 802.1p overrides, keyed by (link src, link dst). *)
 }
 
+val make_checked :
+  id:id ->
+  name:string ->
+  spec:Gmf.Spec.t ->
+  encap:Ethernet.Encap.t ->
+  route:Network.Route.t ->
+  priority:int ->
+  (t, Gmf_diag.t) result
+(** Builds a flow with no remarks (every hop uses [priority]).
+    Returns [Error] with code [GMF010] if the priority is outside 0..7
+    (the 802.1p code-point range).  Still raises [Invalid_argument] on
+    [id < 0] — ids are assigned programmatically, a negative one is a
+    caller bug, not a user input problem. *)
+
 val make :
   id:id ->
   name:string ->
@@ -32,21 +46,30 @@ val make :
   route:Network.Route.t ->
   priority:int ->
   t
-(** Builds a flow with no remarks (every hop uses [priority]).
-    Raises [Invalid_argument] if [id < 0] or the priority is outside 0..7
-    (the 802.1p code-point range). *)
+(** Raising variant of {!make_checked}: raises [Invalid_argument] where
+    it returns [Error]. *)
+
+val with_remarks_checked :
+  t ->
+  ((Network.Node.id * Network.Node.id) * int) list ->
+  (t, Gmf_diag.t) result
+(** [with_remarks_checked flow remarks] installs per-hop 802.1p
+    overrides.  Returns [Error] with code [GMF010] (priority outside
+    0..7), [GMF011] (remark names a hop not on the route) or [GMF012]
+    (hop remarked twice). *)
 
 val with_remarks :
   t -> ((Network.Node.id * Network.Node.id) * int) list -> t
-(** [with_remarks flow remarks] installs per-hop 802.1p overrides.
-    Raises [Invalid_argument] if any priority is outside 0..7, a remark
-    names a hop that is not on the route, or a hop is remarked twice. *)
+(** Raising variant of {!with_remarks_checked}. *)
+
+val scale_payloads_checked : t -> float -> (t, Gmf_diag.t) result
+(** [scale_payloads_checked flow factor] multiplies every frame's payload
+    by [factor] (at least one bit each), keeping everything else — used
+    by capacity-planning sweeps.  Returns [Error] with code [GMF013] if
+    [factor <= 0]. *)
 
 val scale_payloads : t -> float -> t
-(** [scale_payloads flow factor] multiplies every frame's payload by
-    [factor] (at least one bit each), keeping everything else — used by
-    capacity-planning sweeps.  Raises [Invalid_argument] if
-    [factor <= 0]. *)
+(** Raising variant of {!scale_payloads_checked}. *)
 
 val priority_on :
   t -> src:Network.Node.id -> dst:Network.Node.id -> int

@@ -57,9 +57,89 @@ let prop_valid_prefix_plus_garbage =
       | Ok _ -> false
       | Error e -> e.Scenario_io.Parse.line = 7)
 
+(* ------------------------------------------------------------------ *)
+(* Lint as a soundness gate: any scenario the linter accepts with zero  *)
+(* errors must be analyzable and simulatable without raising.           *)
+(* ------------------------------------------------------------------ *)
+
+(* A structurally valid scenario with randomized parameters: a duplex
+   chain of endhosts around 0..2 switches, 1..3 flows over shortest
+   paths.  Parameters are drawn wide enough to trip lint errors (link
+   overload, impossible deadlines) on some draws. *)
+let gen_valid_text rng =
+  let open Gmf_util in
+  let nswitches = Rng.int rng 3 in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "node h0 endhost\nnode h1 endhost\n";
+  for i = 0 to nswitches - 1 do
+    Buffer.add_string buf (Printf.sprintf "node s%d switch\n" i)
+  done;
+  let chain =
+    "h0" :: List.init nswitches (Printf.sprintf "s%d") @ [ "h1" ]
+  in
+  let rate = Rng.pick rng [| "1M"; "10M"; "100M" |] in
+  List.iteri
+    (fun i n ->
+      if i > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "duplex %s %s rate=%s\n"
+             (List.nth chain (i - 1)) n rate))
+    chain;
+  for i = 0 to nswitches - 1 do
+    if Rng.int rng 2 = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "switch s%d cpus=%d croute=%dus\n" i
+           (1 + Rng.int rng 2) (1 + Rng.int rng 50))
+  done;
+  let nflows = 1 + Rng.int rng 3 in
+  for i = 0 to nflows - 1 do
+    let src, dst = if Rng.int rng 2 = 0 then ("h0", "h1") else ("h1", "h0") in
+    Buffer.add_string buf
+      (Printf.sprintf "flow f%d from=%s to=%s prio=%d\n" i src dst
+         (Rng.int rng 8));
+    for _ = 0 to Rng.int rng 2 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  frame period=%dms deadline=%dms jitter=%dus payload=%dB\n"
+           (1 + Rng.int rng 10)
+           (1 + Rng.int rng 20)
+           (Rng.int rng 500)
+           (20 + Rng.int rng 2000))
+    done;
+    Buffer.add_string buf "end\n"
+  done;
+  Buffer.contents buf
+
+let prop_lint_clean_never_raises =
+  QCheck.Test.make ~name:"lint-clean scenarios analyze and simulate" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gmf_util.Rng.create ~seed in
+      let text = gen_valid_text rng in
+      match Scenario_io.Parse.scenario_of_string text with
+      | Error _ -> true (* not this property's concern *)
+      | Ok scenario ->
+          let report = Gmf_lint.Lint.run scenario in
+          if Gmf_lint.Lint.errors report <> [] then true
+          else begin
+            (* zero lint errors: neither the analysis nor the simulator
+               may raise *)
+            ignore (Analysis.Holistic.analyze scenario);
+            ignore
+              (Sim.Netsim.run
+                 ~config:
+                   {
+                     Sim.Sim_config.default with
+                     Sim.Sim_config.duration = Gmf_util.Timeunit.ms 20;
+                   }
+                 scenario);
+            true
+          end)
+
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_parser_total;
     QCheck_alcotest.to_alcotest prop_parser_total_binaryish;
     QCheck_alcotest.to_alcotest prop_valid_prefix_plus_garbage;
+    QCheck_alcotest.to_alcotest prop_lint_clean_never_raises;
   ]

@@ -1,0 +1,412 @@
+(* Golden tests for Gmf_lint: one scenario per diagnostic code, the JSON
+   round-trip, and the admission gate that must reject lint errors without
+   entering the holistic fixpoint. *)
+
+let parse text =
+  match Scenario_io.Parse.scenario_of_string text with
+  | Ok s -> s
+  | Error e ->
+      Alcotest.failf "test scenario does not parse: %a"
+        Scenario_io.Parse.pp_error e
+
+let lint ?config text =
+  (Gmf_lint.Lint.run ?config (parse text)).Gmf_lint.Lint.diagnostics
+
+let codes ds =
+  List.sort_uniq compare (List.map (fun d -> d.Gmf_diag.code) ds)
+
+let find_code code ds = List.find_opt (fun d -> d.Gmf_diag.code = code) ds
+
+let check_fires ?config ~code ~severity text =
+  let ds = lint ?config text in
+  match find_code code ds with
+  | None ->
+      Alcotest.failf "expected %s, got {%s}" code
+        (String.concat ", " (codes ds))
+  | Some d ->
+      Alcotest.(check string)
+        (code ^ " severity")
+        (Gmf_diag.severity_to_string severity)
+        (Gmf_diag.severity_to_string d.Gmf_diag.severity);
+      (* every emitted code must exist in the rule catalog, at the
+         catalog's default severity *)
+      (match Gmf_lint.Rules.find code with
+      | None -> Alcotest.failf "%s missing from Rules.catalog" code
+      | Some _ -> ())
+
+let clean =
+  "node a endhost\nnode b endhost\nlink a b rate=100M\n\
+   flow f from=a to=b\n  frame period=1ms deadline=1ms payload=100B\nend"
+
+let frame1 = "  frame period=1ms deadline=1ms payload=100B\n"
+
+(* ---------------- GMF0xx: structural ---------------- *)
+
+let test_clean_scenario () =
+  let ds = lint clean in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds);
+  Alcotest.(check bool) "not fatal" false
+    (Gmf_lint.Lint.fatal ~deny:Gmf_diag.Hint
+       (Gmf_lint.Lint.run (parse clean)))
+
+let test_gmf001_duplicate_flow_name () =
+  check_fires ~code:"GMF001" ~severity:Gmf_diag.Error
+    ("node a endhost\nnode b endhost\nlink a b rate=100M\n\
+      flow f from=a to=b\n" ^ frame1 ^ "end\nflow f from=a to=b\n" ^ frame1
+   ^ "end")
+
+let test_gmf002_redundant_remark () =
+  check_fires ~code:"GMF002" ~severity:Gmf_diag.Hint
+    ("node a endhost\nnode b endhost\nlink a b rate=100M\n\
+      flow f from=a to=b prio=3 remark=a/b:3\n" ^ frame1 ^ "end")
+
+let test_gmf003_isolated_node () =
+  check_fires ~code:"GMF003" ~severity:Gmf_diag.Warning
+    ("node a endhost\nnode b endhost\nnode c endhost\nlink a b rate=100M\n\
+      flow f from=a to=b\n" ^ frame1 ^ "end")
+
+let test_gmf004_unused_link () =
+  check_fires ~code:"GMF004" ~severity:Gmf_diag.Hint
+    ("node a endhost\nnode b endhost\nlink a b rate=100M\n\
+      link b a rate=100M\nflow f from=a to=b\n" ^ frame1 ^ "end")
+
+let test_gmf005_detour_route () =
+  check_fires ~code:"GMF005" ~severity:Gmf_diag.Hint
+    ("node a endhost\nnode b endhost\nnode c switch\nlink a b rate=100M\n\
+      link a c rate=100M\nlink c b rate=100M\n\
+      flow f from=a to=b route=a,c,b\n" ^ frame1 ^ "end")
+
+let test_gmf006_unused_switch () =
+  check_fires ~code:"GMF006" ~severity:Gmf_diag.Hint
+    ("node a endhost\nnode b endhost\nnode sw switch\nlink a b rate=100M\n\
+      duplex a sw rate=100M\nswitch sw\nflow f from=a to=b\n" ^ frame1 ^ "end")
+
+(* GMF010-013 come from the checked constructors of Traffic.Flow: the DSL
+   rejects them before a scenario exists, so exercise the API directly. *)
+
+let mini_flow () =
+  let topo = Network.Topology.create () in
+  let a = Network.Topology.add_node topo ~name:"a" ~kind:Network.Node.Endhost in
+  let b = Network.Topology.add_node topo ~name:"b" ~kind:Network.Node.Endhost in
+  Network.Topology.add_link topo ~src:a ~dst:b ~rate_bps:100_000_000 ~prop:0;
+  let spec =
+    Gmf.Spec.make
+      [
+        Gmf.Frame_spec.make
+          ~period:(Gmf_util.Timeunit.ms 1)
+          ~deadline:(Gmf_util.Timeunit.ms 1) ~jitter:0 ~payload_bits:800;
+      ]
+  in
+  let route = Network.Route.make topo [ a; b ] in
+  let make priority =
+    Traffic.Flow.make_checked ~id:0 ~name:"f" ~spec ~encap:Ethernet.Encap.Udp
+      ~route ~priority
+  in
+  let make_raising priority =
+    ignore
+      (Traffic.Flow.make ~id:0 ~name:"f" ~spec ~encap:Ethernet.Encap.Udp
+         ~route ~priority)
+  in
+  (make, make_raising, a, b)
+
+let expect_diag ~code = function
+  | Ok _ -> Alcotest.failf "expected Error %s, got Ok" code
+  | Error d ->
+      Alcotest.(check string) "code" code d.Gmf_diag.code;
+      Alcotest.(check string) "severity" "error"
+        (Gmf_diag.severity_to_string d.Gmf_diag.severity)
+
+let test_gmf010_priority_range () =
+  let make, make_raising, _, _ = mini_flow () in
+  expect_diag ~code:"GMF010" (make 9);
+  expect_diag ~code:"GMF010" (make (-1));
+  (* the raising variant preserves the historical exception string *)
+  Alcotest.check_raises "legacy exception"
+    (Invalid_argument "Flow.make: priority outside the 802.1p range 0..7")
+    (fun () -> make_raising 9)
+
+let test_gmf011_remark_off_route () =
+  let make, _, a, b = mini_flow () in
+  match make 5 with
+  | Error d -> Alcotest.failf "flow should build: %s" d.Gmf_diag.message
+  | Ok f -> expect_diag ~code:"GMF011"
+      (Traffic.Flow.with_remarks_checked f [ ((b, a), 3) ])
+
+let test_gmf012_hop_remarked_twice () =
+  let make, _, a, b = mini_flow () in
+  match make 5 with
+  | Error d -> Alcotest.failf "flow should build: %s" d.Gmf_diag.message
+  | Ok f ->
+      expect_diag ~code:"GMF012"
+        (Traffic.Flow.with_remarks_checked f [ ((a, b), 3); ((a, b), 2) ]);
+      (* a remark with an out-of-range priority is GMF010 again *)
+      expect_diag ~code:"GMF010"
+        (Traffic.Flow.with_remarks_checked f [ ((a, b), 99) ])
+
+let test_gmf013_scale_factor () =
+  let make, _, _, _ = mini_flow () in
+  match make 5 with
+  | Error d -> Alcotest.failf "flow should build: %s" d.Gmf_diag.message
+  | Ok f ->
+      expect_diag ~code:"GMF013" (Traffic.Flow.scale_payloads_checked f 0.);
+      Alcotest.check_raises "legacy exception"
+        (Invalid_argument "Flow.scale_payloads: non-positive factor")
+        (fun () -> ignore (Traffic.Flow.scale_payloads f (-1.)))
+
+(* ---------------- GMF1xx: model preconditions ---------------- *)
+
+let test_gmf101_deadline_over_period () =
+  check_fires ~code:"GMF101" ~severity:Gmf_diag.Hint
+    "node a endhost\nnode b endhost\nlink a b rate=100M\n\
+     flow f from=a to=b\n  frame period=1ms deadline=2ms payload=100B\nend"
+
+let test_gmf102_jitter_over_period () =
+  check_fires ~code:"GMF102" ~severity:Gmf_diag.Warning
+    "node a endhost\nnode b endhost\nlink a b rate=100M\n\
+     flow f from=a to=b\n\
+    \  frame period=1ms deadline=1ms jitter=1ms payload=100B\nend"
+
+let fragmented =
+  "node a endhost\nnode b endhost\nlink a b rate=100M\n\
+   flow f from=a to=b\n  frame period=1ms deadline=1ms payload=3000B\nend"
+
+let test_gmf103_fragmentation () =
+  (* severity depends on the analysis variant: the Faithful analysis
+     under-charges rotations for fragmented frames (DESIGN.md R2-R3) *)
+  check_fires ~code:"GMF103" ~severity:Gmf_diag.Hint fragmented;
+  check_fires ~config:Analysis.Config.faithful ~code:"GMF103"
+    ~severity:Gmf_diag.Warning fragmented
+
+let test_gmf104_priority_tie () =
+  check_fires ~code:"GMF104" ~severity:Gmf_diag.Hint
+    ("node a endhost\nnode b endhost\nlink a b rate=100M\n\
+      flow f from=a to=b prio=3\n" ^ frame1
+   ^ "end\nflow g from=a to=b prio=3\n" ^ frame1 ^ "end")
+
+let test_gmf105_overprovisioned_switch () =
+  check_fires ~code:"GMF105" ~severity:Gmf_diag.Hint
+    ("node a endhost\nnode b endhost\nnode sw switch\nlink a sw rate=100M\n\
+      link sw b rate=100M\nswitch sw ports=8\nflow f from=a to=b\n" ^ frame1
+   ^ "end")
+
+(* ---------------- GMF2xx: utilization / config ---------------- *)
+
+let test_gmf201_link_overload () =
+  check_fires ~code:"GMF201" ~severity:Gmf_diag.Error
+    "node a endhost\nnode b endhost\nlink a b rate=1M\n\
+     flow f from=a to=b\n  frame period=1ms deadline=1ms payload=1000B\nend"
+
+let test_gmf202_impossible_deadline () =
+  (* C of a 1000 B datagram at 1 Mbit/s is ~8.5 ms, far above 10 us, but
+     the 1 s period keeps the link utilization negligible. *)
+  check_fires ~code:"GMF202" ~severity:Gmf_diag.Error
+    "node a endhost\nnode b endhost\nlink a b rate=1M\n\
+     flow f from=a to=b\n  frame period=1s deadline=10us payload=1000B\nend"
+
+let test_gmf203_ingress_overload () =
+  (* circ = (2 ports / 1 cpu) * (croute + csend) > 2 ms per frame, one
+     frame per 1 ms period: rotation utilization > 1 (eqs 34-35). *)
+  check_fires ~code:"GMF203" ~severity:Gmf_diag.Error
+    "node a endhost\nnode b endhost\nnode sw switch\nlink a sw rate=100M\n\
+     link sw b rate=100M\nswitch sw cpus=1 croute=1ms\n\
+     flow f from=a to=b\n  frame period=1ms deadline=100ms payload=100B\nend"
+
+let test_gmf204_near_saturation () =
+  let text =
+    "node a endhost\nnode b endhost\nlink a b rate=10M\n\
+     flow f from=a to=b\n  frame period=1ms deadline=1ms payload=1100B\nend"
+  in
+  let scenario = parse text in
+  let u = Traffic.Scenario.link_utilization scenario ~src:0 ~dst:1 in
+  if not (u >= 0.9 && u < 1.) then
+    Alcotest.failf "fixture drifted: utilization %.3f not in [0.9, 1)" u;
+  check_fires ~code:"GMF204" ~severity:Gmf_diag.Hint text
+
+let test_gmf205_short_horizon () =
+  let config =
+    { Analysis.Config.default with
+      Analysis.Config.horizon = Gmf_util.Timeunit.ms 1 }
+  in
+  check_fires ~config ~code:"GMF205" ~severity:Gmf_diag.Warning
+    "node a endhost\nnode b endhost\nlink a b rate=100M\n\
+     flow f from=a to=b\n  frame period=20ms deadline=10ms payload=100B\nend"
+
+let test_gmf206_nonpositive_caps () =
+  let config =
+    { Analysis.Config.default with Analysis.Config.max_busy_iters = 0 }
+  in
+  check_fires ~config ~code:"GMF206" ~severity:Gmf_diag.Error clean
+
+(* ---------------- catalog invariants ---------------- *)
+
+let test_catalog () =
+  let cs = List.map (fun r -> r.Gmf_lint.Rules.code) Gmf_lint.Rules.catalog in
+  Alcotest.(check int) "codes are unique" (List.length cs)
+    (List.length (List.sort_uniq compare cs));
+  Alcotest.(check bool) "at least 12 rules" true (List.length cs >= 12);
+  List.iter
+    (fun c ->
+      match Gmf_lint.Rules.find c with
+      | Some r -> Alcotest.(check string) "find" c r.Gmf_lint.Rules.code
+      | None -> Alcotest.failf "find %s = None" c)
+    cs;
+  (* all three categories are populated *)
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool)
+        (Gmf_lint.Rules.category_to_string cat ^ " populated")
+        true
+        (List.exists
+           (fun r -> r.Gmf_lint.Rules.category = cat)
+           Gmf_lint.Rules.catalog))
+    [ Gmf_lint.Rules.Structural; Gmf_lint.Rules.Model;
+      Gmf_lint.Rules.Utilization ]
+
+(* ---------------- JSON round-trip ---------------- *)
+
+let diag = Alcotest.testable Gmf_diag.pp ( = )
+
+let test_json_roundtrip () =
+  let ds =
+    [
+      Gmf_diag.error ~code:"GMF201"
+        ~subject:(Gmf_diag.Link { src = 0; dst = 1 })
+        ~suggestion:"shed flows" "utilization %.3f" 1.25;
+      Gmf_diag.warning ~code:"GMF205" ~subject:Gmf_diag.Config
+        "horizon too short";
+      Gmf_diag.hint ~code:"GMF002"
+        ~subject:(Gmf_diag.Flow { id = 3; name = "voip \"a\"\\b" })
+        "tricky\nmessage\twith\rescapes";
+      Gmf_diag.error ~code:"GMF202"
+        ~subject:(Gmf_diag.Frame { id = 1; name = "f"; frame = 2 })
+        ~suggestion:"relax the deadline" "floor above deadline";
+      Gmf_diag.warning ~code:"GMF003"
+        ~subject:(Gmf_diag.Node { id = 7; name = "sw0" })
+        "node has no links";
+      Gmf_diag.hint ~code:"GMF999" ~subject:Gmf_diag.Scenario "whole-set note";
+    ]
+  in
+  match Gmf_lint.Lint_json.of_jsonl (Gmf_lint.Lint_json.to_jsonl ds) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok ds' -> Alcotest.(check (list diag)) "round-trip" ds ds'
+
+let test_json_rejects_garbage () =
+  (match Gmf_lint.Lint_json.of_jsonl_line "{\"code\":}" with
+  | Ok _ -> Alcotest.fail "accepted malformed JSON"
+  | Error _ -> ());
+  match Gmf_lint.Lint_json.of_jsonl_line "{\"code\":\"GMF001\"}" with
+  | Ok _ -> Alcotest.fail "accepted incomplete diagnostic"
+  | Error _ -> ()
+
+let test_json_of_real_run () =
+  let report =
+    Gmf_lint.Lint.run
+      (parse
+         ("node a endhost\nnode b endhost\nlink a b rate=100M\n\
+           flow f from=a to=b\n" ^ frame1 ^ "end\nflow f from=a to=b\n"
+        ^ frame1 ^ "end"))
+  in
+  let ds = report.Gmf_lint.Lint.diagnostics in
+  Alcotest.(check bool) "run has diagnostics" true (ds <> []);
+  match Gmf_lint.Lint_json.of_jsonl (Gmf_lint.Lint_json.to_jsonl ds) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok ds' -> Alcotest.(check (list diag)) "round-trip" ds ds'
+
+(* ---------------- the admission gate ---------------- *)
+
+let with_metrics f =
+  let reg = Gmf_obs.Metrics.default in
+  let was = Gmf_obs.Metrics.enabled reg in
+  Gmf_obs.Metrics.set_enabled reg true;
+  Gmf_obs.Metrics.reset reg;
+  Fun.protect
+    ~finally:(fun () ->
+      Gmf_obs.Metrics.reset reg;
+      Gmf_obs.Metrics.set_enabled reg was)
+    f
+
+let test_admission_rejects_without_fixpoint () =
+  with_metrics @@ fun () ->
+  let fixpoint_calls =
+    Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "fixpoint.calls"
+  in
+  let bad =
+    parse
+      ("node a endhost\nnode b endhost\nlink a b rate=100M\n\
+        flow f from=a to=b\n" ^ frame1 ^ "end\nflow f from=a to=b\n" ^ frame1
+     ^ "end")
+  in
+  let d = Analysis.Admission.check bad in
+  Alcotest.(check bool) "rejected" false d.Analysis.Admission.admitted;
+  Alcotest.(check int) "no holistic rounds" 0
+    d.Analysis.Admission.report.Analysis.Holistic.rounds;
+  (match d.Analysis.Admission.report.Analysis.Holistic.verdict with
+  | Analysis.Holistic.Analysis_failed (_ :: _) -> ()
+  | v ->
+      Alcotest.failf "expected Analysis_failed, got %a"
+        Analysis.Holistic.pp_verdict v);
+  Alcotest.(check bool) "lint diagnostics attached" true
+    (Gmf_diag.has_errors d.Analysis.Admission.diagnostics);
+  Alcotest.(check int) "fixpoint never entered" 0
+    (Gmf_obs.Metrics.counter_value fixpoint_calls);
+  (* lint rule counters are visible on the default registry *)
+  Alcotest.(check bool) "lint.runs counted" true
+    (Gmf_obs.Metrics.counter_value
+       (Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "lint.runs")
+    > 0);
+  Alcotest.(check bool) "lint.hits.GMF001 counted" true
+    (Gmf_obs.Metrics.counter_value
+       (Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "lint.hits.GMF001")
+    > 0);
+  (* control: a clean scenario does reach the fixpoint *)
+  let d2 = Analysis.Admission.check (parse clean) in
+  Alcotest.(check bool) "clean scenario admitted" true
+    d2.Analysis.Admission.admitted;
+  Alcotest.(check bool) "fixpoint entered for clean scenario" true
+    (Gmf_obs.Metrics.counter_value fixpoint_calls > 0)
+
+let tests =
+  [
+    Alcotest.test_case "clean scenario is diagnostic-free" `Quick
+      test_clean_scenario;
+    Alcotest.test_case "GMF001 duplicate flow name" `Quick
+      test_gmf001_duplicate_flow_name;
+    Alcotest.test_case "GMF002 redundant remark" `Quick
+      test_gmf002_redundant_remark;
+    Alcotest.test_case "GMF003 isolated node" `Quick test_gmf003_isolated_node;
+    Alcotest.test_case "GMF004 unused link" `Quick test_gmf004_unused_link;
+    Alcotest.test_case "GMF005 detour route" `Quick test_gmf005_detour_route;
+    Alcotest.test_case "GMF006 unused switch" `Quick test_gmf006_unused_switch;
+    Alcotest.test_case "GMF010 priority range" `Quick test_gmf010_priority_range;
+    Alcotest.test_case "GMF011 remark off route" `Quick
+      test_gmf011_remark_off_route;
+    Alcotest.test_case "GMF012 hop remarked twice" `Quick
+      test_gmf012_hop_remarked_twice;
+    Alcotest.test_case "GMF013 scale factor" `Quick test_gmf013_scale_factor;
+    Alcotest.test_case "GMF101 deadline over period" `Quick
+      test_gmf101_deadline_over_period;
+    Alcotest.test_case "GMF102 jitter over period" `Quick
+      test_gmf102_jitter_over_period;
+    Alcotest.test_case "GMF103 fragmentation by variant" `Quick
+      test_gmf103_fragmentation;
+    Alcotest.test_case "GMF104 priority tie" `Quick test_gmf104_priority_tie;
+    Alcotest.test_case "GMF105 overprovisioned switch" `Quick
+      test_gmf105_overprovisioned_switch;
+    Alcotest.test_case "GMF201 link overload" `Quick test_gmf201_link_overload;
+    Alcotest.test_case "GMF202 impossible deadline" `Quick
+      test_gmf202_impossible_deadline;
+    Alcotest.test_case "GMF203 ingress overload" `Quick
+      test_gmf203_ingress_overload;
+    Alcotest.test_case "GMF204 near saturation" `Quick
+      test_gmf204_near_saturation;
+    Alcotest.test_case "GMF205 short horizon" `Quick test_gmf205_short_horizon;
+    Alcotest.test_case "GMF206 non-positive caps" `Quick
+      test_gmf206_nonpositive_caps;
+    Alcotest.test_case "rule catalog invariants" `Quick test_catalog;
+    Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "JSON rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "JSON round-trip of a real run" `Quick
+      test_json_of_real_run;
+    Alcotest.test_case "admission rejects without fixpoint" `Quick
+      test_admission_rejects_without_fixpoint;
+  ]

@@ -151,6 +151,41 @@ let test_error_line_numbers () =
   | Ok _ -> Alcotest.fail "expected error"
   | Error e -> Alcotest.(check int) "line 3" 3 e.Scenario_io.Parse.line
 
+let test_error_columns_and_caret () =
+  (* The offending token is resolved into a 1-based column on the source
+     line, and pp_error renders a caret snippet under it. *)
+  (match Scenario_io.Parse.scenario_of_string "node a endhostX" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check (option int)) "column" (Some 8) e.Scenario_io.Parse.column;
+      Alcotest.(check (option string))
+        "source" (Some "node a endhostX") e.Scenario_io.Parse.source;
+      Alcotest.(check string) "caret rendering"
+        "line 1, column 8: unknown node kind \"endhostX\"\n\
+        \  node a endhostX\n\
+        \         ^"
+        (Format.asprintf "%a" Scenario_io.Parse.pp_error e));
+  (* A failure that cannot name a token still carries the source line but
+     no column, and renders without a caret. *)
+  (match
+     Scenario_io.Parse.scenario_of_string
+       "node a endhost\nnode b endhost\nlink a b"
+   with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check (option int)) "no column" None e.Scenario_io.Parse.column;
+      Alcotest.(check (option string))
+        "source" (Some "link a b") e.Scenario_io.Parse.source;
+      Alcotest.(check string) "no caret"
+        "line 3: missing required argument rate=...\n  link a b"
+        (Format.asprintf "%a" Scenario_io.Parse.pp_error e));
+  (* Whole-file errors (line 0) have neither source nor column. *)
+  match Scenario_io.Parse.scenario_of_file "/nonexistent/nowhere.gmfnet" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check (option string)) "no source" None e.Scenario_io.Parse.source;
+      Alcotest.(check (option int)) "no column" None e.Scenario_io.Parse.column
+
 (* ---------------- round trip ---------------- *)
 
 let scenario_signature s =
@@ -234,6 +269,8 @@ let tests =
     Alcotest.test_case "parse example" `Quick test_parse_example;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "error columns and caret" `Quick
+      test_error_columns_and_caret;
     Alcotest.test_case "named scenarios round-trip" `Quick
       test_roundtrip_named_scenarios;
     QCheck_alcotest.to_alcotest prop_roundtrip_random;
