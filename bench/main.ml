@@ -263,6 +263,151 @@ let bench_rerouting =
          ignore (Analysis.Rerouting.admit fig1 ~candidate)))
 
 (* ------------------------------------------------------------------ *)
+(* Admission-control churn (Gmf_admctl)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A 50-event trace of interleaved admits and removals over a 4-switch
+   line.  Long-haul flows make cold fixpoints propagate jitter across
+   several rounds, which is exactly what warm starts amortize.  Replayed
+   three ways: warm (the session default), cold (every event from
+   scratch) and an instrumented shadow pass that feeds the admctl.*
+   counters, including the rounds the warm starts saved. *)
+module Admctl_churn = struct
+  module Session = Gmf_admctl.Session
+
+  let hosts_per_switch = 3
+  let nswitches = 4
+
+  let topo, hosts, switches =
+    Workload.Topologies.line ~rate_bps:100_000_000 ~hosts_per_switch
+      ~switches:nswitches ()
+
+  let route_between (s1, h1) (s2, h2) =
+    let lo = min s1 s2 and hi = max s1 s2 in
+    let mids = Array.to_list (Array.sub switches lo (hi - lo + 1)) in
+    let mids = if s1 <= s2 then mids else List.rev mids in
+    Network.Route.make topo ((hosts.(s1).(h1) :: mids) @ [ hosts.(s2).(h2) ])
+
+  let mk_flow ~id ~prio ~src ~dst kind =
+    let spec =
+      match kind with
+      | `Voip -> Workload.Voip.g711_spec ()
+      | `Video ->
+          Workload.Mpeg.spec ~deadline:(Timeunit.ms 260)
+            ~jitter:(Timeunit.ms 1) ()
+    in
+    Traffic.Flow.make ~id
+      ~name:(Printf.sprintf "f%d" id)
+      ~spec ~encap:Ethernet.Encap.Udp ~route:(route_between src dst)
+      ~priority:prio
+
+  (* Build-up of 20 flows, then 30 churn events: remove the oldest
+     admitted flow, admit a fresh replacement elsewhere.  Deterministic
+     (fixed seed) so warm, cold and shadow replays see the same trace. *)
+  let events =
+    let rng = Rng.create ~seed:42 in
+    let next_id = ref 0 in
+    let live = Queue.create () in
+    let admit () =
+      let id = !next_id in
+      incr next_id;
+      let s1 = Rng.int rng nswitches in
+      let s2 = (s1 + 1 + Rng.int rng (nswitches - 1)) mod nswitches in
+      let h1 = Rng.int rng hosts_per_switch
+      and h2 = Rng.int rng hosts_per_switch in
+      let kind = if Rng.int rng 5 = 0 then `Video else `Voip in
+      let flow =
+        mk_flow ~id ~prio:(Rng.int rng 8) ~src:(s1, h1) ~dst:(s2, h2) kind
+      in
+      Queue.add id live;
+      Session.Admit flow
+    in
+    let evs = ref [] in
+    for _ = 1 to 20 do
+      evs := admit () :: !evs
+    done;
+    for i = 1 to 30 do
+      if i mod 2 = 0 then evs := admit () :: !evs
+      else evs := Session.Remove (Queue.take live) :: !evs
+    done;
+    List.rev !evs
+
+  let replay_events ~warm ~shadow events =
+    let session = Session.create ~warm ~shadow ~topo () in
+    List.iter (fun ev -> ignore (Session.apply session ev)) events;
+    Session.summary session
+
+  let replay ~warm ~shadow () = replay_events ~warm ~shadow events
+
+  (* The timed table uses a short prefix so bechamel gets enough runs for
+     a meaningful estimate; the JSON report replays the full trace. *)
+  let bench =
+    let prefix = List.filteri (fun i _ -> i < 8) events in
+    Test.make ~name:"ext:admctl-churn8"
+      (Staged.stage (fun () ->
+           ignore (replay_events ~warm:true ~shadow:false prefix)))
+
+  let json_report () =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let warm, warm_s = time (replay ~warm:true ~shadow:false) in
+    let cold, cold_s = time (replay ~warm:false ~shadow:false) in
+    (* Instrumented shadow pass: every warm fixpoint is compared against
+       its cold reference, accumulating admctl.rounds_saved. *)
+    let reg = Gmf_obs.Metrics.default in
+    Gmf_obs.Metrics.set_enabled reg true;
+    Gmf_obs.Metrics.reset reg;
+    let shadow = replay ~warm:true ~shadow:true () in
+    Gmf_obs.Metrics.set_enabled reg false;
+    let counter name =
+      Gmf_obs.Metrics.counter_value (Gmf_obs.Metrics.counter reg name)
+    in
+    let buf = Buffer.create 512 in
+    let rate events seconds =
+      if seconds <= 0. then 0. else float_of_int events /. seconds
+    in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"benchmark\": \"admctl-churn\",\n\
+                      \  \"events\": %d,\n\
+                      \  \"final_flows\": %d,\n"
+         warm.Session.events warm.Session.flow_count);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"warm\": {\"seconds\": %.6f, \"events_per_sec\": %.1f, \
+          \"rounds_total\": %d, \"warm_hits\": %d, \"cold_resets\": %d},\n"
+         warm_s
+         (rate warm.Session.events warm_s)
+         warm.Session.rounds_total warm.Session.warm_hits
+         warm.Session.cold_resets);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"cold\": {\"seconds\": %.6f, \"events_per_sec\": %.1f, \
+          \"rounds_total\": %d},\n"
+         cold_s
+         (rate cold.Session.events cold_s)
+         cold.Session.rounds_total);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"rounds_saved\": %d,\n\
+          \  \"counters\": {\"admctl.events\": %d, \"admctl.warm_hits\": \
+          %d, \"admctl.cold_resets\": %d, \"admctl.rounds_saved\": %d}\n"
+         shadow.Session.rounds_saved (counter "admctl.events")
+         (counter "admctl.warm_hits")
+         (counter "admctl.cold_resets")
+         (counter "admctl.rounds_saved"));
+    Buffer.add_string buf "}\n";
+    let path = "BENCH_admctl.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -273,7 +418,7 @@ let tests =
     bench_e9; bench_e10; bench_mx; bench_fragment; bench_heap; bench_engine;
     bench_stride; bench_sim_100ms; bench_pathfind; bench_backlog; bench_dbf;
     bench_contract; bench_scenario_io; bench_priority_assign; bench_rerouting;
-    bench_e17; bench_e18;
+    bench_e17; bench_e18; Admctl_churn.bench;
   ]
 
 let benchmark () =
@@ -292,6 +437,10 @@ let benchmark () =
   Analyze.merge ols instances results
 
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "admctl" then begin
+    Admctl_churn.json_report ();
+    exit 0
+  end;
   let results = benchmark () in
   let table =
     Tablefmt.create

@@ -751,6 +751,80 @@ let profile_cmd =
       $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* session                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let session_cmd =
+  let file_pos_arg =
+    let doc = "Admission trace to replay (see docs/ADMCTL.md)." in
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE.admtrace" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one JSON object per event instead of transcript lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let cold_arg =
+    let doc =
+      "Disable warm starts: every event re-runs the holistic fixpoint from \
+       scratch (the baseline the churn benchmark measures against)."
+    in
+    Arg.(value & flag & info [ "cold" ] ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Shadow mode: after every fixpoint event also run the cold batch \
+       analysis and compare verdicts and bounds.  Exit non-zero on any \
+       mismatch."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run file config json cold verify metrics trace_out =
+    exit_of_result
+      (match Scenario_io.Admtrace.of_file file with
+      | Error e ->
+          Error (Format.asprintf "%s: %a" file Scenario_io.Parse.pp_error e)
+      | Ok trace ->
+          let mismatched = ref 0 in
+          let obs =
+            with_obs ?metrics ?trace_out (fun () ->
+                let result =
+                  Gmf_admctl.Replay.run ~config ~warm:(not cold)
+                    ~shadow:verify
+                    ~on_outcome:(fun o ->
+                      if json then
+                        print_endline (Gmf_admctl.Replay.outcome_jsonl o)
+                      else print_endline (Gmf_admctl.Replay.outcome_line o))
+                    trace
+                in
+                mismatched :=
+                  Gmf_admctl.Replay.mismatches result.Gmf_admctl.Replay.outcomes;
+                if not json then
+                  Format.printf "@.summary:@.%a"
+                    Gmf_admctl.Replay.pp_summary
+                    (Gmf_admctl.Session.summary
+                       result.Gmf_admctl.Replay.session))
+          in
+          match obs with
+          | Error _ as e -> e
+          | Ok () ->
+              if !mismatched > 0 then
+                Error
+                  (Printf.sprintf
+                     "%d event(s) where the warm-started fixpoint disagreed \
+                      with the cold analysis"
+                     !mismatched)
+              else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Replay an admission trace ($(b,.admtrace)) through a long-lived           admission-control session: admits, removals and updates re-run           the holistic fixpoint warm-started from the previous converged           jitter state.")
+    Term.(
+      const run $ file_pos_arg $ variant_arg $ json_arg $ cold_arg
+      $ verify_arg $ metrics_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -790,7 +864,7 @@ let main =
     [
       list_cmd; lint_cmd; analyze_cmd; simulate_cmd; admission_cmd;
       explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
-      experiment_cmd;
+      session_cmd; experiment_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

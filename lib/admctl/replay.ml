@@ -1,0 +1,134 @@
+type result = {
+  outcomes : Session.outcome list;
+  session : Session.t;
+}
+
+let session_event = function
+  | Scenario_io.Admtrace.Admit flow -> Session.Admit flow
+  | Scenario_io.Admtrace.Remove (id, _) -> Session.Remove id
+  | Scenario_io.Admtrace.Update flow -> Session.Update flow
+  | Scenario_io.Admtrace.Query -> Session.Query
+
+let run ?config ?warm ?shadow ?(on_outcome = fun _ -> ())
+    (trace : Scenario_io.Admtrace.t) =
+  let session =
+    Session.create ?config ?warm ?shadow ~switches:trace.switches
+      ~topo:trace.topo ()
+  in
+  let outcomes =
+    List.map
+      (fun (_line, ev) ->
+        let outcome = Session.apply session (session_event ev) in
+        on_outcome outcome;
+        outcome)
+      trace.events
+  in
+  { outcomes; session }
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shadow_string = function
+  | None -> ""
+  | Some { Session.cold_rounds; equivalent } ->
+      Printf.sprintf " shadow=%s cold_rounds=%d"
+        (if equivalent then "ok" else "MISMATCH")
+        cold_rounds
+
+let outcome_line (o : Session.outcome) =
+  let head =
+    Printf.sprintf "#%02d %s | %s | %s | rounds=%d start=%s flows=%d%s"
+      o.Session.seq o.Session.label
+      (if o.Session.accepted then "accepted" else "rejected")
+      (Format.asprintf "%a" Analysis.Holistic.pp_verdict o.Session.verdict)
+      o.Session.rounds
+      (Format.asprintf "%a" Session.pp_start o.Session.start)
+      o.Session.flow_count
+      (shadow_string o.Session.shadow)
+  in
+  (* Hints (e.g. GMF004 on yet-unused links of a young session) would
+     drown the transcript; they stay visible in the JSON count. *)
+  String.concat "\n"
+    (head
+    :: List.map
+         (fun d -> "     " ^ Gmf_diag.to_string d)
+         (Gmf_diag.at_least Gmf_diag.Warning o.Session.diagnostics))
+
+let transcript outcomes =
+  String.concat "" (List.map (fun o -> outcome_line o ^ "\n") outcomes)
+
+let mismatches outcomes =
+  List.length
+    (List.filter
+       (fun o ->
+         match o.Session.shadow with
+         | Some { Session.equivalent = false; _ } -> true
+         | _ -> false)
+       outcomes)
+
+let pp_summary fmt (s : Session.summary) =
+  let kv key value = Format.fprintf fmt "  %-16s %d@\n" (key ^ ":") value in
+  kv "events" s.Session.events;
+  kv "admitted" s.Session.admitted;
+  kv "rejected" s.Session.rejected;
+  kv "warm hits" s.Session.warm_hits;
+  kv "cold resets" s.Session.cold_resets;
+  kv "rounds total" s.Session.rounds_total;
+  kv "rounds saved" s.Session.rounds_saved;
+  kv "flows admitted" s.Session.flow_count
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_object fields =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           match v with
+           | `S s -> Printf.sprintf "\"%s\":\"%s\"" k (json_escape s)
+           | `I i -> Printf.sprintf "\"%s\":%d" k i
+           | `B b -> Printf.sprintf "\"%s\":%b" k b)
+         fields)
+  ^ "}"
+
+let outcome_jsonl (o : Session.outcome) =
+  let fields =
+    [
+      ("seq", `I o.Session.seq);
+      ("event", `S o.Session.label);
+      ("accepted", `B o.Session.accepted);
+      ( "verdict",
+        `S
+          (Format.asprintf "%a" Analysis.Holistic.pp_verdict
+             o.Session.verdict) );
+      ("rounds", `I o.Session.rounds);
+      ("start", `S (Format.asprintf "%a" Session.pp_start o.Session.start));
+      ("flows", `I o.Session.flow_count);
+      ("diagnostics", `I (List.length o.Session.diagnostics));
+    ]
+    @
+    match o.Session.shadow with
+    | None -> []
+    | Some { Session.cold_rounds; equivalent } ->
+        [ ("cold_rounds", `I cold_rounds); ("equivalent", `B equivalent) ]
+  in
+  json_object fields

@@ -1,0 +1,375 @@
+type event =
+  | Admit of Traffic.Flow.t
+  | Remove of Traffic.Flow.id
+  | Update of Traffic.Flow.t
+  | Query
+
+type start_kind = Warm | Cold | Skipped
+
+type shadow_result = { cold_rounds : int; equivalent : bool }
+
+type outcome = {
+  seq : int;
+  label : string;
+  accepted : bool;
+  verdict : Analysis.Holistic.verdict;
+  rounds : int;
+  start : start_kind;
+  flow_count : int;
+  diagnostics : Gmf_diag.t list;
+  shadow : shadow_result option;
+}
+
+type summary = {
+  events : int;
+  admitted : int;
+  rejected : int;
+  warm_hits : int;
+  cold_resets : int;
+  rounds_total : int;
+  rounds_saved : int;
+  flow_count : int;
+}
+
+type t = {
+  config : Analysis.Config.t;
+  topo : Network.Topology.t;
+  switches : (Network.Node.id * Click.Switch_model.t) list;
+  warm : bool;
+  shadow : bool;
+  mutable flows : Traffic.Flow.t list; (* id-ascending *)
+  mutable state : Analysis.Jitter_state.t;
+  mutable converged : bool;
+  mutable report : Analysis.Holistic.report;
+  mutable seq : int;
+  mutable s_admitted : int;
+  mutable s_rejected : int;
+  mutable s_warm : int;
+  mutable s_cold : int;
+  mutable s_rounds : int;
+  mutable s_saved : int;
+}
+
+let m_events = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "admctl.events"
+
+let m_warm_hits =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "admctl.warm_hits"
+
+let m_cold_resets =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "admctl.cold_resets"
+
+let m_rounds_saved =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "admctl.rounds_saved"
+
+let empty_report =
+  {
+    Analysis.Holistic.verdict = Analysis.Holistic.Schedulable;
+    rounds = 0;
+    results = [];
+  }
+
+let create ?(config = Analysis.Config.default) ?(warm = true)
+    ?(shadow = false) ?(switches = []) ~topo () =
+  {
+    config;
+    topo;
+    switches;
+    warm;
+    shadow;
+    flows = [];
+    state = Analysis.Jitter_state.create ();
+    converged = true;
+    report = empty_report;
+    seq = 0;
+    s_admitted = 0;
+    s_rejected = 0;
+    s_warm = 0;
+    s_cold = 0;
+    s_rounds = 0;
+    s_saved = 0;
+  }
+
+let flows t = t.flows
+let flow_count t = List.length t.flows
+let report t = t.report
+
+let summary t =
+  {
+    events = t.seq;
+    admitted = t.s_admitted;
+    rejected = t.s_rejected;
+    warm_hits = t.s_warm;
+    cold_resets = t.s_cold;
+    rounds_total = t.s_rounds;
+    rounds_saved = t.s_saved;
+    flow_count = flow_count t;
+  }
+
+let pp_start fmt = function
+  | Warm -> Format.pp_print_string fmt "warm"
+  | Cold -> Format.pp_print_string fmt "cold"
+  | Skipped -> Format.pp_print_string fmt "-"
+
+let scenario_of t flows =
+  Traffic.Scenario.make ~switches:t.switches ~topo:t.topo ~flows ()
+
+let insert_sorted flows flow =
+  List.sort
+    (fun a b -> compare a.Traffic.Flow.id b.Traffic.Flow.id)
+    (flow :: flows)
+
+let find_flow t id = List.find_opt (fun f -> f.Traffic.Flow.id = id) t.flows
+
+(* ------------------------------------------------------------------ *)
+(* Interference closure                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Over-approximation of "can interfere": two flows whose routes share a
+   node meet in some stage analysis (same first/egress link, or the same
+   switch CPU at ingress).  Flows outside the transitive closure of the
+   departed flow keep a fixpoint that is provably unchanged, so their
+   converged jitters stay valid as a warm start. *)
+let routes_share_node a b =
+  List.exists
+    (fun n -> Network.Route.mem b.Traffic.Flow.route n)
+    (Network.Route.nodes a.Traffic.Flow.route)
+
+(* Ids of [flows] transitively reachable from [seed] by node sharing;
+   always contains [seed]'s id. *)
+let interference_closure ~seed flows =
+  let closure = Hashtbl.create 16 in
+  Hashtbl.replace closure seed.Traffic.Flow.id ();
+  let frontier = ref [ seed ] in
+  while !frontier <> [] do
+    let grown =
+      List.filter
+        (fun f ->
+          (not (Hashtbl.mem closure f.Traffic.Flow.id))
+          && List.exists (routes_share_node f) !frontier)
+        flows
+    in
+    List.iter (fun f -> Hashtbl.replace closure f.Traffic.Flow.id ()) grown;
+    frontier := grown
+  done;
+  closure
+
+(* ------------------------------------------------------------------ *)
+(* Report comparison (shadow mode)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let converged_verdict = function
+  | Analysis.Holistic.Schedulable | Analysis.Holistic.Deadline_miss _ -> true
+  | Analysis.Holistic.Analysis_failed _ | Analysis.Holistic.No_fixed_point _
+    ->
+      false
+
+let same_verdict_kind a b =
+  match (a, b) with
+  | Analysis.Holistic.Schedulable, Analysis.Holistic.Schedulable
+  | Analysis.Holistic.Deadline_miss _, Analysis.Holistic.Deadline_miss _
+  | Analysis.Holistic.Analysis_failed _, Analysis.Holistic.Analysis_failed _
+  | Analysis.Holistic.No_fixed_point _, Analysis.Holistic.No_fixed_point _ ->
+      true
+  | _ -> false
+
+let bounds_of report =
+  List.map
+    (fun res ->
+      ( res.Analysis.Result_types.flow.Traffic.Flow.id,
+        Array.map
+          (fun fr -> fr.Analysis.Result_types.total)
+          res.Analysis.Result_types.frames ))
+    report.Analysis.Holistic.results
+
+let reports_equivalent a b =
+  same_verdict_kind a.Analysis.Holistic.verdict b.Analysis.Holistic.verdict
+  && (not
+        (converged_verdict a.Analysis.Holistic.verdict
+        && converged_verdict b.Analysis.Holistic.verdict)
+     || bounds_of a = bounds_of b)
+
+(* ------------------------------------------------------------------ *)
+(* Event processing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let failure_of_diag = Analysis.Admission.failure_of_diag
+
+let mk_outcome t ~label ~accepted ~verdict ~rounds ~start ~diagnostics
+    ~shadow =
+  if accepted then t.s_admitted <- t.s_admitted + 1
+  else t.s_rejected <- t.s_rejected + 1;
+  {
+    seq = t.seq;
+    label;
+    accepted;
+    verdict;
+    rounds;
+    start;
+    flow_count = flow_count t;
+    diagnostics;
+    shadow;
+  }
+
+let reject_diag t ~label diag =
+  mk_outcome t ~label ~accepted:false
+    ~verdict:(Analysis.Holistic.Analysis_failed [ failure_of_diag diag ])
+    ~rounds:0 ~start:Skipped ~diagnostics:[ diag ] ~shadow:None
+
+let duplicate_diag flow existing =
+  Gmf_diag.error ~code:"GMF014"
+    ~subject:
+      (Gmf_diag.Flow
+         { id = flow.Traffic.Flow.id; name = flow.Traffic.Flow.name })
+    ~suggestion:"allocate an unused id for the candidate"
+    "candidate id %d is already admitted (flow %S)" flow.Traffic.Flow.id
+    existing.Traffic.Flow.name
+
+let unknown_diag ~what id =
+  Gmf_diag.error ~code:"GMF015" ~subject:Gmf_diag.Scenario
+    ~suggestion:"admit the flow first" "%s of flow id %d: not admitted" what
+    id
+
+(* One fixpoint run on [scenario], warm-started from [init] when the
+   session allows it.  Returns the report, the converged jitter state and
+   the bookkeeping of how it started. *)
+let run_fixpoint t scenario ~init =
+  let init = if t.warm && t.converged then init else None in
+  let ctx = Analysis.Ctx.create ~config:t.config scenario in
+  let start, report =
+    match init with
+    | Some state ->
+        t.s_warm <- t.s_warm + 1;
+        Gmf_obs.Metrics.incr m_warm_hits;
+        (Warm, Analysis.Holistic.run_from ctx ~init:state)
+    | None ->
+        t.s_cold <- t.s_cold + 1;
+        Gmf_obs.Metrics.incr m_cold_resets;
+        (Cold, Analysis.Holistic.run ctx)
+  in
+  t.s_rounds <- t.s_rounds + report.Analysis.Holistic.rounds;
+  let shadow =
+    if not t.shadow then None
+    else
+      let cold = Analysis.Holistic.analyze ~config:t.config scenario in
+      let saved =
+        max 0 (cold.Analysis.Holistic.rounds - report.Analysis.Holistic.rounds)
+      in
+      t.s_saved <- t.s_saved + saved;
+      Gmf_obs.Metrics.incr ~by:saved m_rounds_saved;
+      Some
+        {
+          cold_rounds = cold.Analysis.Holistic.rounds;
+          equivalent = reports_equivalent report cold;
+        }
+  in
+  (report, Analysis.Ctx.snapshot ctx, start, shadow)
+
+let commit t ~flows ~state ~report =
+  t.flows <- flows;
+  t.state <- state;
+  t.converged <- converged_verdict report.Analysis.Holistic.verdict;
+  t.report <- report
+
+(* Admit and update share the accept-or-rollback shape; [init] is the
+   warm-start state appropriate to the event, [commit_on_reject] is true
+   for removals only (handled separately). *)
+let try_set t ~label ~flows ~init =
+  let scenario = scenario_of t flows in
+  let lint = Gmf_lint.Lint.run ~config:t.config scenario in
+  match Gmf_lint.Lint.errors lint with
+  | _ :: _ as errors ->
+      mk_outcome t ~label ~accepted:false
+        ~verdict:
+          (Analysis.Holistic.Analysis_failed
+             (List.map failure_of_diag errors))
+        ~rounds:0 ~start:Skipped
+        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow:None
+  | [] ->
+      let report, state, start, shadow = run_fixpoint t scenario ~init in
+      let accepted = Analysis.Holistic.is_schedulable report in
+      if accepted then commit t ~flows ~state ~report;
+      mk_outcome t ~label ~accepted
+        ~verdict:report.Analysis.Holistic.verdict
+        ~rounds:report.Analysis.Holistic.rounds ~start
+        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow
+
+let apply_admit t flow =
+  let label = "admit " ^ flow.Traffic.Flow.name in
+  match find_flow t flow.Traffic.Flow.id with
+  | Some existing -> reject_diag t ~label (duplicate_diag flow existing)
+  | None ->
+      try_set t ~label
+        ~flows:(insert_sorted t.flows flow)
+        ~init:(Some t.state)
+
+let apply_remove t id =
+  match find_flow t id with
+  | None ->
+      reject_diag t
+        ~label:(Printf.sprintf "remove #%d" id)
+        (unknown_diag ~what:"remove" id)
+  | Some victim ->
+      let label = "remove " ^ victim.Traffic.Flow.name in
+      let remaining =
+        List.filter (fun f -> f.Traffic.Flow.id <> id) t.flows
+      in
+      let closure = interference_closure ~seed:victim remaining in
+      let keep fid = not (Hashtbl.mem closure fid) in
+      let init =
+        if List.exists (fun f -> keep f.Traffic.Flow.id) remaining then
+          Some (Analysis.Jitter_state.filter_flows t.state ~keep)
+        else None
+      in
+      let scenario = scenario_of t remaining in
+      let report, state, start, shadow = run_fixpoint t scenario ~init in
+      (* The departure happens regardless of the refreshed verdict. *)
+      commit t ~flows:remaining ~state ~report;
+      mk_outcome t ~label ~accepted:true
+        ~verdict:report.Analysis.Holistic.verdict
+        ~rounds:report.Analysis.Holistic.rounds ~start ~diagnostics:[]
+        ~shadow
+
+let apply_update t flow =
+  let label = "update " ^ flow.Traffic.Flow.name in
+  match find_flow t flow.Traffic.Flow.id with
+  | None ->
+      reject_diag t ~label (unknown_diag ~what:"update" flow.Traffic.Flow.id)
+  | Some old ->
+      let rest =
+        List.filter
+          (fun f -> f.Traffic.Flow.id <> flow.Traffic.Flow.id)
+          t.flows
+      in
+      (* Invalidate everything the old parameters may have inflated; the
+         replacement flow starts from source jitters either way. *)
+      let closure = interference_closure ~seed:old rest in
+      let keep fid = not (Hashtbl.mem closure fid) in
+      let init =
+        if List.exists (fun f -> keep f.Traffic.Flow.id) rest then
+          Some (Analysis.Jitter_state.filter_flows t.state ~keep)
+        else None
+      in
+      try_set t ~label ~flows:(insert_sorted rest flow) ~init
+
+let apply_query t =
+  mk_outcome t ~label:"query"
+    ~accepted:(Analysis.Holistic.is_schedulable t.report)
+    ~verdict:t.report.Analysis.Holistic.verdict ~rounds:0 ~start:Skipped
+    ~diagnostics:[] ~shadow:None
+
+let span_name = function
+  | Admit _ -> "admctl.admit"
+  | Remove _ -> "admctl.remove"
+  | Update _ -> "admctl.update"
+  | Query -> "admctl.query"
+
+let apply t event =
+  t.seq <- t.seq + 1;
+  Gmf_obs.Metrics.incr m_events;
+  Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"admctl"
+    (span_name event) (fun () ->
+      match event with
+      | Admit flow -> apply_admit t flow
+      | Remove id -> apply_remove t id
+      | Update flow -> apply_update t flow
+      | Query -> apply_query t)

@@ -1,0 +1,114 @@
+(** Long-lived admission-control sessions with warm-started holistic
+    fixpoints (paper Section 3.5, run as a service).
+
+    A session owns the currently-admitted flow set, its converged
+    {!Analysis.Jitter_state.t} and the last committed report.  Each event
+    re-runs the Tindell & Clark-style holistic iteration on the tentative
+    flow set, but instead of starting cold it warm-starts from the
+    previous fixed point whenever that is sound:
+
+    - {e admit}: jitters grow monotonically when flows are added, so the
+      old fixed point sits below the new one and
+      {!Analysis.Holistic.run_from} converges to the {e same} verdict and
+      bounds as a cold {!Analysis.Holistic.analyze}, in at most as many
+      rounds;
+    - {e remove}/{e update}: only flows whose routes share a node —
+      transitively — with the departed flow can see their fixed point
+      shrink.  Their entries are invalidated
+      ({!Analysis.Jitter_state.filter_flows}); the rest stay warm.  When
+      the interference closure swallows every remaining flow the session
+      falls back to a cold reset.
+
+    Candidate flows are lint-gated ({!Gmf_lint}) before any fixpoint runs;
+    a lint error rejects with [rounds = 0] exactly like
+    [Analysis.Admission].  Rejected events leave the session untouched.
+
+    Telemetry: every event bumps [admctl.events] and a per-kind span on
+    the default registry/tracer; warm starts bump [admctl.warm_hits], cold
+    resets [admctl.cold_resets], and shadow mode accumulates
+    [admctl.rounds_saved]. *)
+
+type t
+
+type event =
+  | Admit of Traffic.Flow.t
+      (** Reject on duplicate id ([GMF014]), lint error, or an
+          unschedulable extended set; commit otherwise. *)
+  | Remove of Traffic.Flow.id
+      (** Reject on unknown id ([GMF015]); always commits otherwise (the
+          flow departs regardless of the refreshed verdict). *)
+  | Update of Traffic.Flow.t
+      (** Replace the flow with the same id atomically; reject (keeping
+          the old flow) on unknown id, lint error or an unschedulable
+          result. *)
+  | Query  (** Report the committed verdict; never runs a fixpoint. *)
+
+type start_kind =
+  | Warm  (** Fixpoint seeded from the previous converged state. *)
+  | Cold  (** Fixpoint from the all-zero state, as a batch run. *)
+  | Skipped  (** No fixpoint ran (query, duplicate, lint rejection). *)
+
+type shadow_result = {
+  cold_rounds : int;  (** Rounds of the cold reference run. *)
+  equivalent : bool;
+      (** Whether warm and cold agreed on verdict and per-frame bounds
+          (verdict constructor only for non-converged outcomes). *)
+}
+
+type outcome = {
+  seq : int;  (** 1-based event number within the session. *)
+  label : string;  (** e.g. ["admit voip0"], ["remove #3"]. *)
+  accepted : bool;
+  verdict : Analysis.Holistic.verdict;
+  rounds : int;  (** Holistic rounds this event executed (0 if none). *)
+  start : start_kind;
+  flow_count : int;  (** Admitted flows {e after} the event. *)
+  diagnostics : Gmf_diag.t list;  (** Lint pre-pass + session errors. *)
+  shadow : shadow_result option;  (** Present in shadow sessions only. *)
+}
+
+type summary = {
+  events : int;
+  admitted : int;  (** Events that were accepted. *)
+  rejected : int;
+  warm_hits : int;
+  cold_resets : int;
+  rounds_total : int;
+  rounds_saved : int;
+      (** Shadow sessions: sum over events of
+          [max 0 (cold rounds - warm rounds)]; 0 otherwise. *)
+  flow_count : int;
+}
+
+val create :
+  ?config:Analysis.Config.t ->
+  ?warm:bool ->
+  ?shadow:bool ->
+  ?switches:(Network.Node.id * Click.Switch_model.t) list ->
+  topo:Network.Topology.t ->
+  unit ->
+  t
+(** An empty session over a fixed topology.  [warm:false] forces a cold
+    reset on every fixpoint event — the baseline the churn benchmark
+    measures against.  [shadow:true] additionally runs the cold analysis
+    after every warm-started event and records the comparison in
+    {!outcome.shadow} (the warm result stays authoritative). *)
+
+val apply : t -> event -> outcome
+(** Process one event.  Never raises on user-level problems (duplicate or
+    unknown ids, lint errors, unschedulable sets) — those reject with
+    diagnostics.  [Invalid_argument] still escapes for caller bugs, e.g. a
+    flow routed over a different topology. *)
+
+val flows : t -> Traffic.Flow.t list
+(** The admitted set, in id order. *)
+
+val flow_count : t -> int
+
+val report : t -> Analysis.Holistic.report
+(** The last committed report (of the current admitted set). *)
+
+val summary : t -> summary
+
+val pp_start : Format.formatter -> start_kind -> unit
+(** ["warm"], ["cold"], ["-"]. *)

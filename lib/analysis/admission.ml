@@ -44,8 +44,41 @@ let rebuild scenario extra_flows =
     ~flows:(Traffic.Scenario.flows scenario @ extra_flows)
     ()
 
-let admit ?config scenario ~candidate =
+let reject_with diagnostics =
+  let errors = Gmf_diag.at_least Gmf_diag.Error diagnostics in
+  let report =
+    {
+      Holistic.verdict = Holistic.Analysis_failed (List.map failure_of_diag errors);
+      rounds = 0;
+      results = [];
+    }
+  in
+  { admitted = false; report; diagnostics }
+
+let duplicate_id_diag ~candidate ~existing =
+  Gmf_diag.error ~code:"GMF014"
+    ~subject:
+      (Gmf_diag.Flow
+         {
+           id = candidate.Traffic.Flow.id;
+           name = candidate.Traffic.Flow.name;
+         })
+    ~suggestion:"allocate an unused id for the candidate"
+    "candidate id %d is already admitted (flow %S)" candidate.Traffic.Flow.id
+    existing.Traffic.Flow.name
+
+let find_duplicate scenario candidate =
+  List.find_opt
+    (fun f -> f.Traffic.Flow.id = candidate.Traffic.Flow.id)
+    (Traffic.Scenario.flows scenario)
+
+let admit_exn ?config scenario ~candidate =
   check ?config (rebuild scenario [ candidate ])
+
+let admit ?config scenario ~candidate =
+  match find_duplicate scenario candidate with
+  | Some existing -> reject_with [ duplicate_id_diag ~candidate ~existing ]
+  | None -> admit_exn ?config scenario ~candidate
 
 let admit_greedily ?config ~topo ~switches candidates =
   let try_set flows =

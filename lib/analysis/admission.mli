@@ -30,8 +30,22 @@ val admit :
   decision
 (** [admit scenario ~candidate] tests the scenario with [candidate] added.
     The scenario itself is not modified; the caller rebuilds it on
-    acceptance.  Raises [Invalid_argument] if the candidate's id collides
-    with an existing flow. *)
+    acceptance.  A candidate whose id collides with an admitted flow is
+    {e rejected} with a [GMF014] diagnostic ([rounds = 0], no fixpoint) —
+    mirroring the lint pre-pass rather than raising. *)
+
+val admit_exn :
+  ?config:Config.t ->
+  Traffic.Scenario.t ->
+  candidate:Traffic.Flow.t ->
+  decision
+(** Pre-GMF014 behaviour of {!admit}: raises [Invalid_argument] on a
+    duplicate candidate id (via [Traffic.Scenario.make]). *)
+
+val failure_of_diag : Gmf_diag.t -> Result_types.failure
+(** The synthetic analysis failure a lint error turns into inside a
+    rejecting decision — shared with [Gmf_admctl] so session rejections
+    render like batch rejections. *)
 
 val admit_greedily :
   ?config:Config.t ->

@@ -40,6 +40,13 @@ let reset_jitters t =
   install_source_jitters t.scenario fresh;
   t.jitters <- fresh
 
+let snapshot t = Jitter_state.copy t.jitters
+
+let restore t state =
+  let fresh = Jitter_state.copy state in
+  install_source_jitters t.scenario fresh;
+  t.jitters <- fresh
+
 let params t flow ~src ~dst = Traffic.Scenario.params t.scenario flow ~src ~dst
 
 let demand t flow ~src ~dst kind =

@@ -16,6 +16,19 @@ val jitters : t -> Jitter_state.t
 val reset_jitters : t -> unit
 (** Restores the initial jitter state (source jitters only). *)
 
+val snapshot : t -> Jitter_state.t
+(** A deep copy of the current jitter state.  Taken after a converged
+    {!Holistic} run it is the fixed point of the scenario — the seed an
+    admission session hands back to {!restore} to warm-start the next
+    decision. *)
+
+val restore : t -> Jitter_state.t -> unit
+(** [restore t state] replaces the context's jitters with a copy of
+    [state] and (re-)installs every flow's source jitters on top, so a
+    state captured on a {e smaller} flow set is completed with the first
+    entries of any flow it has never seen.  The argument is not aliased;
+    later mutations of the context leave it intact. *)
+
 val mx :
   t -> Traffic.Flow.t -> src:Network.Node.id -> dst:Network.Node.id ->
   dt:Gmf_util.Timeunit.ns -> Gmf_util.Timeunit.ns

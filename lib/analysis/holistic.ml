@@ -63,8 +63,7 @@ let run_round ctx =
   in
   go flows [] []
 
-let run ctx =
-  Ctx.reset_jitters ctx;
+let iterate ctx =
   let max_rounds = (Ctx.config ctx).Config.max_holistic_rounds in
   let metrics_on = Gmf_obs.Metrics.enabled Gmf_obs.Metrics.default in
   let finish n report =
@@ -95,6 +94,14 @@ let run ctx =
   in
   Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"analysis"
     "holistic.run" (fun () -> rounds 1)
+
+let run ctx =
+  Ctx.reset_jitters ctx;
+  iterate ctx
+
+let run_from ctx ~init =
+  Ctx.restore ctx init;
+  iterate ctx
 
 let analyze ?config scenario = run (Ctx.create ?config scenario)
 

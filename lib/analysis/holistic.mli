@@ -29,6 +29,22 @@ val run : Ctx.t -> report
 (** [run ctx] executes the holistic iteration on the context's scenario,
     resetting the jitter state first. *)
 
+val run_from : Ctx.t -> init:Jitter_state.t -> report
+(** [run_from ctx ~init] warm-starts the iteration from [init] (completed
+    with every flow's source jitters) instead of the all-zero state.
+
+    Soundness: one holistic round is a monotone function [F] of the jitter
+    state, and {!run} computes the least fixed point [lfp F] from the
+    bottom state [b] (source jitters only).  For any [init] with
+    [b <= init <= lfp F], the squeeze [F^n b <= F^n init <= lfp F] shows
+    the warm iteration converges to the {e same} fixed point — identical
+    verdicts and bounds, in at most as many rounds.  A converged state of
+    a {e subset} of the scenario's flows qualifies: adding flows only adds
+    interference, so the old fixed point sits below the new one.  A state
+    from a {e larger} or parameter-changed flow set does not qualify —
+    callers must drop the entries of every flow whose fixed point may have
+    shrunk ({!Jitter_state.filter_flows}) or fall back to {!run}. *)
+
 val analyze : ?config:Config.t -> Traffic.Scenario.t -> report
 (** One-shot convenience: build a context and {!run}. *)
 

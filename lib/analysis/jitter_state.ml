@@ -25,6 +25,13 @@ let extra t ~flow ~n_frames ~stage =
 
 let copy t = Hashtbl.copy t
 
+let filter_flows t ~keep =
+  let out = create () in
+  Hashtbl.iter
+    (fun ((flow, _, _) as key) v -> if keep flow then Hashtbl.replace out key v)
+    t;
+  out
+
 let equal a b =
   let subset x y =
     Hashtbl.fold

@@ -26,6 +26,13 @@ val extra : t -> flow:Traffic.Flow.id -> n_frames:int -> stage:Stage.t ->
 val copy : t -> t
 (** Deep copy, for round-over-round comparison. *)
 
+val filter_flows : t -> keep:(Traffic.Flow.id -> bool) -> t
+(** [filter_flows t ~keep] is a fresh state holding exactly the entries of
+    the flows [keep] accepts — the partial-invalidation step of a
+    warm-started admission session: entries of flows whose fixpoint may
+    have changed are dropped (they restart from source jitters), the rest
+    carry their converged values over. *)
+
 val equal : t -> t -> bool
 (** True when both states hold exactly the same values (treating unset
     entries as 0). *)

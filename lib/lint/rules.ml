@@ -89,6 +89,24 @@ let catalog =
       reference = "Section 2.3 (payloads are positive)";
     };
     {
+      code = "GMF014";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "candidate flow id already admitted";
+      reference =
+        "Section 3.5 (admission control: produced by Analysis.Admission \
+         and Gmf_admctl sessions, not by scenario_rules)";
+    };
+    {
+      code = "GMF015";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "remove/update of a flow id the session does not hold";
+      reference =
+        "Section 3.5 (admission control: produced by Gmf_admctl sessions, \
+         not by scenario_rules)";
+    };
+    {
       code = "GMF101";
       category = Model;
       default_severity = Gmf_diag.Hint;

@@ -1,0 +1,19 @@
+(** Top-level alias of {!Parse.Admtrace}, so admission-trace consumers can
+    write [Scenario_io.Admtrace] without knowing the parser shares its
+    machinery (tokenizer, flow blocks, caret diagnostics) with the
+    scenario grammar. *)
+
+type event = Parse.Admtrace.event =
+  | Admit of Traffic.Flow.t
+  | Remove of Traffic.Flow.id * string
+  | Update of Traffic.Flow.t
+  | Query
+
+type t = Parse.Admtrace.t = {
+  topo : Network.Topology.t;
+  switches : (Network.Node.id * Click.Switch_model.t) list;
+  events : (int * event) list;
+}
+
+val of_string : string -> (t, Parse.error) result
+val of_file : string -> (t, Parse.error) result

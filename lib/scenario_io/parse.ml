@@ -376,3 +376,156 @@ let scenario_of_file path =
   | text -> scenario_of_string text
   | exception Sys_error msg ->
       Error { line = 0; column = None; source = None; message = msg }
+
+(* ------------------------------------------------------------------ *)
+(* Admission traces                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Admtrace = struct
+  type event =
+    | Admit of Traffic.Flow.t
+    | Remove of Traffic.Flow.id * string
+    | Update of Traffic.Flow.t
+    | Query
+
+  type t = {
+    topo : Network.Topology.t;
+    switches : (Network.Node.id * Click.Switch_model.t) list;
+    events : (int * event) list;
+  }
+
+  (* Same flow, different id — [update] re-uses the id of the flow it
+     replaces so the session recognizes it. *)
+  let reid flow id =
+    Traffic.Flow.with_remarks
+      (Traffic.Flow.make ~id ~name:flow.Traffic.Flow.name
+         ~spec:flow.Traffic.Flow.spec ~encap:flow.Traffic.Flow.encap
+         ~route:flow.Traffic.Flow.route
+         ~priority:flow.Traffic.Flow.priority)
+      flow.Traffic.Flow.remarks
+
+  type pending_kind = Padmit | Pupdate of Traffic.Flow.id
+
+  let of_string text =
+    let st =
+      {
+        topo = Network.Topology.create ();
+        names = Hashtbl.create 32;
+        switches = [];
+        flows = [];
+        next_flow_id = 0;
+        current = None;
+      }
+    in
+    let lines = Array.of_list (String.split_on_char '\n' text) in
+    let events = ref [] in
+    (* The statically-assumed active set (name -> id): the parser assumes
+       every admit succeeds; the session is authoritative at replay time,
+       so an event resolved against a flow the session rejected simply
+       earns a runtime rejection (GMF015) instead of a parse error. *)
+    let active : (string, Traffic.Flow.id) Hashtbl.t = Hashtbl.create 16 in
+    let pending = ref Padmit in
+    let frozen = ref false in
+    let topo_directive lineno directive rest =
+      if !frozen then
+        fail lineno "topology directives must precede the first event";
+      directive st lineno rest
+    in
+    let in_block lineno =
+      if st.current <> None then fail lineno "flow block not closed by 'end'"
+    in
+    try
+      Array.iteri
+        (fun index raw ->
+          let lineno = index + 1 in
+          match words (strip_comment raw) with
+          | [] -> ()
+          | "node" :: rest -> topo_directive lineno directive_node rest
+          | "link" :: rest -> topo_directive lineno directive_link rest
+          | "duplex" :: rest -> topo_directive lineno directive_duplex rest
+          | "switch" :: rest -> topo_directive lineno directive_switch rest
+          | "admit" :: "flow" :: rest ->
+              frozen := true;
+              in_block lineno;
+              pending := Padmit;
+              directive_flow st lineno rest
+          | "update" :: "flow" :: (name :: _ as rest) ->
+              frozen := true;
+              in_block lineno;
+              (match Hashtbl.find_opt active name with
+              | None ->
+                  fail ~token:name lineno
+                    "update of a flow that is not active: %S" name
+              | Some id -> pending := Pupdate id);
+              directive_flow st lineno rest
+          | "admit" :: _ -> fail lineno "usage: admit flow <name> ..."
+          | "update" :: _ -> fail lineno "usage: update flow <name> ..."
+          | "frame" :: rest -> directive_frame st lineno rest
+          | [ "end" ] ->
+              let start_line =
+                match st.current with
+                | Some flow -> flow.f_line
+                | None -> lineno
+              in
+              finish_flow st lineno;
+              let flow =
+                match st.flows with
+                | flow :: rest ->
+                    st.flows <- rest;
+                    flow
+                | [] -> fail lineno "internal error: no finished flow"
+              in
+              (match !pending with
+              | Padmit ->
+                  (* First admit wins the name: a duplicate admit is
+                     destined for a lint rejection (GMF001), so the name
+                     keeps referring to the flow already in place. *)
+                  if not (Hashtbl.mem active flow.Traffic.Flow.name) then
+                    Hashtbl.replace active flow.Traffic.Flow.name
+                      flow.Traffic.Flow.id;
+                  events := (start_line, Admit flow) :: !events
+              | Pupdate id ->
+                  let flow = reid flow id in
+                  Hashtbl.replace active flow.Traffic.Flow.name id;
+                  events := (start_line, Update flow) :: !events)
+          | [ "remove"; name ] ->
+              frozen := true;
+              in_block lineno;
+              (match Hashtbl.find_opt active name with
+              | None ->
+                  fail ~token:name lineno
+                    "remove of a flow that is not active: %S" name
+              | Some id ->
+                  Hashtbl.remove active name;
+                  events := (lineno, Remove (id, name)) :: !events)
+          | "remove" :: _ -> fail lineno "usage: remove <flow-name>"
+          | [ "query" ] ->
+              frozen := true;
+              in_block lineno;
+              events := (lineno, Query) :: !events
+          | "query" :: _ -> fail lineno "usage: query"
+          | "flow" :: _ ->
+              fail lineno
+                "admission traces admit flows with 'admit flow ...', not \
+                 'flow ...'"
+          | keyword :: _ ->
+              fail ~token:keyword lineno "unknown directive %S" keyword)
+        lines;
+      (match st.current with
+      | Some flow -> fail flow.f_line "flow %S not closed by 'end'" flow.f_name
+      | None -> ());
+      Ok
+        {
+          topo = st.topo;
+          switches = List.rev st.switches;
+          events = List.rev !events;
+        }
+    with Fail { line; token; message } ->
+      Error (enrich lines ~line ~token message)
+
+  let of_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> of_string text
+    | exception Sys_error msg ->
+        Error { line = 0; column = None; source = None; message = msg }
+end

@@ -45,3 +45,51 @@ val pp_error : Format.formatter -> error -> unit
       node a endhostX
                ^
     v} *)
+
+(** Parser for [.admtrace] admission-event traces — the replay input of
+    [Gmf_admctl] sessions.
+
+    A trace is a {e topology prologue} (the [node]/[link]/[duplex]/[switch]
+    directives of the scenario grammar, no [flow] blocks) followed by a
+    sequence of events:
+
+    {v
+    admit flow <name> from=.. to=.. [route=..] [prio=..] [encap=..]
+      frame period=.. deadline=.. [jitter=..] payload=..
+      ...
+    end
+    remove <name>
+    update flow <name> ...   # flow block, closed by 'end'
+    query
+    v}
+
+    [admit flow] blocks use the exact [flow] grammar of scenario files and
+    receive a fresh flow id in admission order.  [remove]/[update] name a
+    flow the parser statically assumes active (admitted earlier, not yet
+    removed); [update] keeps the id of the flow it replaces.  Topology
+    directives after the first event, and [remove]/[update] of a name that
+    was never admitted, are parse errors with the same caret rendering as
+    scenario files.  The parser is optimistic — whether an admit actually
+    succeeded is only known at replay time, so a [remove] of a flow the
+    session rejected parses fine and earns a runtime rejection instead. *)
+module Admtrace : sig
+  type event =
+    | Admit of Traffic.Flow.t
+    | Remove of Traffic.Flow.id * string
+        (** Resolved id plus the trace-level name, for rendering. *)
+    | Update of Traffic.Flow.t
+    | Query
+
+  type t = {
+    topo : Network.Topology.t;
+    switches : (Network.Node.id * Click.Switch_model.t) list;
+    events : (int * event) list;
+        (** In trace order, each with the 1-based line of the directive
+            (for a flow block: of its [admit]/[update] line). *)
+  }
+
+  val of_string : string -> (t, error) result
+
+  val of_file : string -> (t, error) result
+  (** Reads the file; an unreadable file reports on line 0. *)
+end

@@ -1,0 +1,423 @@
+(* Admission-control sessions: warm-started fixpoints must be
+   observationally identical to cold batch analysis, traces must replay
+   deterministically, and user-level mistakes must reject (GMF014/GMF015/
+   lint) instead of raising. *)
+
+module Session = Gmf_admctl.Session
+module Replay = Gmf_admctl.Replay
+
+let trace_of_string text =
+  match Scenario_io.Admtrace.of_string text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "trace parse: %a" Scenario_io.Parse.pp_error e
+
+let scenario_of_string text =
+  match Scenario_io.Parse.scenario_of_string text with
+  | Ok s -> s
+  | Error e ->
+      Alcotest.failf "scenario parse: %a" Scenario_io.Parse.pp_error e
+
+(* One switch, four phones — small enough that every event converges. *)
+let star_prologue =
+  "node h0 endhost\nnode h1 endhost\nnode h2 endhost\nnode h3 endhost\n\
+   node sw switch\n\
+   duplex h0 sw rate=100M prop=2us\nduplex h1 sw rate=100M prop=2us\n\
+   duplex h2 sw rate=100M prop=2us\nduplex h3 sw rate=100M prop=2us\n\
+   switch sw ports=4 cpus=1 croute=2.7us csend=1us\n"
+
+(* Two stars with no link between them: flows of one cluster cannot
+   interfere with the other, so churn on one side warm-starts the other. *)
+let clusters_prologue =
+  "node a0 endhost\nnode a1 endhost\nnode b0 endhost\nnode b1 endhost\n\
+   node swa switch\nnode swb switch\n\
+   duplex a0 swa rate=100M\nduplex a1 swa rate=100M\n\
+   duplex b0 swb rate=100M\nduplex b1 swb rate=100M\n\
+   switch swa ports=2 cpus=1 croute=2.7us csend=1us\n\
+   switch swb ports=2 cpus=1 croute=2.7us csend=1us\n"
+
+let admit_block ?(prio = 5) ~name ~src ~dst () =
+  Printf.sprintf
+    "admit flow %s from=%s to=%s prio=%d encap=rtp\n\
+    \  frame period=20ms deadline=150ms payload=160B\nend\n"
+    name src dst prio
+
+(* ------------------------------------------------------------------ *)
+(* Session basics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_lifecycle () =
+  let trace =
+    trace_of_string
+      (star_prologue
+      ^ admit_block ~name:"c0" ~src:"h0" ~dst:"h1" ()
+      ^ admit_block ~name:"c1" ~src:"h2" ~dst:"h3" ~prio:6 ()
+      ^ "remove c0\nquery\n")
+  in
+  let { Replay.outcomes; session } = Replay.run trace in
+  Alcotest.(check (list bool))
+    "accept flags" [ true; true; true; true ]
+    (List.map (fun (o : Session.outcome) -> o.Session.accepted) outcomes);
+  Alcotest.(check (list int))
+    "flow counts" [ 1; 2; 1; 1 ]
+    (List.map (fun (o : Session.outcome) -> o.Session.flow_count) outcomes);
+  Alcotest.(check int) "final flows" 1 (Session.flow_count session);
+  Alcotest.(check (list string))
+    "final names" [ "c1" ]
+    (List.map (fun f -> f.Traffic.Flow.name) (Session.flows session));
+  Alcotest.(check bool) "final verdict" true
+    (Analysis.Holistic.is_schedulable (Session.report session));
+  let s = Session.summary session in
+  Alcotest.(check int) "events" 4 s.Session.events;
+  Alcotest.(check int) "query runs no fixpoint" 0
+    (List.nth outcomes 3).Session.rounds
+
+let test_duplicate_id_rejects () =
+  let scenario =
+    scenario_of_string
+      (star_prologue ^ "flow c0 from=h0 to=h1 prio=7\n"
+     ^ "  frame period=20ms deadline=150ms payload=160B\nend\n")
+  in
+  let flow = List.hd (Traffic.Scenario.flows scenario) in
+  let session =
+    Session.create ~topo:(Traffic.Scenario.topo scenario) ()
+  in
+  let first = Session.apply session (Session.Admit flow) in
+  Alcotest.(check bool) "first admit" true first.Session.accepted;
+  (* Same id again (even under another parse) must reject, not raise. *)
+  let dup = Session.apply session (Session.Admit flow) in
+  Alcotest.(check bool) "duplicate rejected" false dup.Session.accepted;
+  Alcotest.(check int) "no fixpoint ran" 0 dup.Session.rounds;
+  Alcotest.(check (list string))
+    "GMF014" [ "GMF014" ]
+    (List.map (fun d -> d.Gmf_diag.code) dup.Session.diagnostics);
+  Alcotest.(check int) "set untouched" 1 (Session.flow_count session)
+
+let test_unknown_id_rejects () =
+  let trace = trace_of_string star_prologue in
+  let session =
+    Session.create ~switches:trace.Scenario_io.Admtrace.switches
+      ~topo:trace.Scenario_io.Admtrace.topo ()
+  in
+  let rm = Session.apply session (Session.Remove 9) in
+  Alcotest.(check bool) "remove rejected" false rm.Session.accepted;
+  Alcotest.(check (list string))
+    "GMF015" [ "GMF015" ]
+    (List.map (fun d -> d.Gmf_diag.code) rm.Session.diagnostics);
+  let scenario =
+    scenario_of_string
+      (star_prologue ^ "flow ghost from=h0 to=h1 prio=7\n"
+     ^ "  frame period=20ms deadline=150ms payload=160B\nend\n")
+  in
+  let ghost = List.hd (Traffic.Scenario.flows scenario) in
+  let up = Session.apply session (Session.Update ghost) in
+  Alcotest.(check bool) "update rejected" false up.Session.accepted;
+  Alcotest.(check (list string))
+    "GMF015 again" [ "GMF015" ]
+    (List.map (fun d -> d.Gmf_diag.code) up.Session.diagnostics)
+
+let test_lint_gate_rejects_duplicate_name () =
+  let trace =
+    trace_of_string
+      (star_prologue
+      ^ admit_block ~name:"c0" ~src:"h0" ~dst:"h1" ()
+      ^ admit_block ~name:"c0" ~src:"h2" ~dst:"h3" ())
+  in
+  let { Replay.outcomes; session } = Replay.run trace in
+  let dup = List.nth outcomes 1 in
+  Alcotest.(check bool) "rejected" false dup.Session.accepted;
+  Alcotest.(check int) "no fixpoint" 0 dup.Session.rounds;
+  Alcotest.(check bool) "GMF001 present" true
+    (List.exists
+       (fun d -> d.Gmf_diag.code = "GMF001")
+       dup.Session.diagnostics);
+  Alcotest.(check int) "set untouched" 1 (Session.flow_count session)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start bookkeeping                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_start_kinds () =
+  (* Disjoint clusters: removing cluster A's only flow leaves cluster B
+     outside the interference closure, so the refresh starts warm.  On a
+     shared star the closure swallows everything — cold reset. *)
+  let clusters =
+    trace_of_string
+      (clusters_prologue
+      ^ admit_block ~name:"fa" ~src:"a0" ~dst:"a1" ()
+      ^ admit_block ~name:"fb" ~src:"b0" ~dst:"b1" ~prio:6 ()
+      ^ "remove fa\n")
+  in
+  let { Replay.outcomes; _ } = Replay.run clusters in
+  Alcotest.(check string) "clustered removal stays warm" "warm"
+    (Format.asprintf "%a" Session.pp_start
+       (List.nth outcomes 2).Session.start);
+  let star =
+    trace_of_string
+      (star_prologue
+      ^ admit_block ~name:"c0" ~src:"h0" ~dst:"h1" ()
+      ^ admit_block ~name:"c1" ~src:"h2" ~dst:"h3" ~prio:6 ()
+      ^ "remove c0\n")
+  in
+  let { Replay.outcomes; _ } = Replay.run star in
+  Alcotest.(check string) "shared-switch removal resets cold" "cold"
+    (Format.asprintf "%a" Session.pp_start
+       (List.nth outcomes 2).Session.start);
+  (* With warm starts disabled every fixpoint event is cold. *)
+  let { Replay.outcomes; _ } = Replay.run ~warm:false star in
+  List.iter
+    (fun o ->
+      if o.Session.rounds > 0 then
+        Alcotest.(check string) "cold session" "cold"
+          (Format.asprintf "%a" Session.pp_start o.Session.start))
+    outcomes
+
+let test_summary_counters_match_metrics () =
+  let reg = Gmf_obs.Metrics.default in
+  Gmf_obs.Metrics.set_enabled reg true;
+  Gmf_obs.Metrics.reset reg;
+  Fun.protect
+    ~finally:(fun () -> Gmf_obs.Metrics.set_enabled reg false)
+    (fun () ->
+      let trace =
+        trace_of_string
+          (star_prologue
+          ^ admit_block ~name:"c0" ~src:"h0" ~dst:"h1" ()
+          ^ admit_block ~name:"c1" ~src:"h2" ~dst:"h3" ~prio:6 ()
+          ^ "remove c0\nquery\n")
+      in
+      let { Replay.session; _ } = Replay.run ~shadow:true trace in
+      let s = Session.summary session in
+      let counter name =
+        Gmf_obs.Metrics.counter_value (Gmf_obs.Metrics.counter reg name)
+      in
+      Alcotest.(check int) "admctl.events" s.Session.events
+        (counter "admctl.events");
+      Alcotest.(check int) "admctl.warm_hits" s.Session.warm_hits
+        (counter "admctl.warm_hits");
+      Alcotest.(check int) "admctl.cold_resets" s.Session.cold_resets
+        (counter "admctl.cold_resets");
+      Alcotest.(check int) "admctl.rounds_saved" s.Session.rounds_saved
+        (counter "admctl.rounds_saved");
+      (* two admits and one remove run a fixpoint; the query does not *)
+      Alcotest.(check int) "fixpoints = warm + cold" 3
+        (s.Session.warm_hits + s.Session.cold_resets))
+
+(* ------------------------------------------------------------------ *)
+(* Warm == cold (the tentpole property)                               *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_of report =
+  List.map
+    (fun res ->
+      ( res.Analysis.Result_types.flow.Traffic.Flow.id,
+        Array.to_list
+          (Array.map
+             (fun fr -> fr.Analysis.Result_types.total)
+             res.Analysis.Result_types.frames) ))
+    report.Analysis.Holistic.results
+
+let verdict_kind = function
+  | Analysis.Holistic.Schedulable -> "schedulable"
+  | Analysis.Holistic.Deadline_miss _ -> "deadline-miss"
+  | Analysis.Holistic.Analysis_failed _ -> "failed"
+  | Analysis.Holistic.No_fixed_point _ -> "divergent"
+
+(* Random traces over a 2-switch chain: interleaved admits (occasionally
+   heavy enough to be rejected), removals, updates and queries. *)
+let gen_trace_text rng =
+  let open Gmf_util in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "node h0 endhost\nnode h1 endhost\nnode h2 endhost\nnode h3 endhost\n\
+     node s0 switch\nnode s1 switch\n\
+     duplex h0 s0 rate=100M\nduplex h1 s0 rate=100M\n\
+     duplex h2 s1 rate=100M\nduplex h3 s1 rate=100M\n\
+     duplex s0 s1 rate=100M\n\
+     switch s0 ports=3 cpus=1 croute=2.7us csend=1us\n\
+     switch s1 ports=3 cpus=1 croute=2.7us csend=1us\n";
+  let hosts = [| "h0"; "h1"; "h2"; "h3" |] in
+  let active = ref [] in
+  let fresh = ref 0 in
+  let flow_block keyword name =
+    let src = Rng.pick rng hosts in
+    let dst = ref (Rng.pick rng hosts) in
+    while !dst = src do dst := Rng.pick rng hosts done;
+    Buffer.add_string buf
+      (Printf.sprintf "%s flow %s from=%s to=%s prio=%d encap=rtp\n" keyword
+         name src !dst (Rng.int rng 8));
+    for _ = 0 to Rng.int rng 2 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  frame period=%dms deadline=%dms jitter=%dus payload=%dB\n"
+           (1 + Rng.int rng 10)
+           (1 + Rng.int rng 30)
+           (Rng.int rng 500)
+           (60 + Rng.int rng 20000))
+    done;
+    Buffer.add_string buf "end\n"
+  in
+  let n_events = 4 + Rng.int rng 8 in
+  for _ = 1 to n_events do
+    match Rng.int rng 5 with
+    | 0 | 1 ->
+        let name = Printf.sprintf "f%d" !fresh in
+        incr fresh;
+        flow_block "admit" name;
+        if not (List.mem name !active) then active := name :: !active
+    | 2 when !active <> [] ->
+        let name = List.nth !active (Rng.int rng (List.length !active)) in
+        active := List.filter (fun n -> n <> name) !active;
+        Buffer.add_string buf (Printf.sprintf "remove %s\n" name)
+    | 3 when !active <> [] ->
+        let name = List.nth !active (Rng.int rng (List.length !active)) in
+        flow_block "update" name
+    | _ -> Buffer.add_string buf "query\n"
+  done;
+  Buffer.contents buf
+
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm session == cold batch on random traces"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Gmf_util.Rng.create ~seed in
+      let text = gen_trace_text rng in
+      let trace = trace_of_string text in
+      let { Replay.outcomes; session } = Replay.run ~shadow:true trace in
+      (* 1. every warm fixpoint agreed with its cold shadow *)
+      List.iter
+        (fun o ->
+          match o.Session.shadow with
+          | Some { Session.equivalent = false; cold_rounds } ->
+              QCheck.Test.fail_reportf
+                "event #%d (%s): warm disagrees with cold (%d rounds)@\n%s"
+                o.Session.seq o.Session.label cold_rounds text
+          | _ -> ())
+        outcomes;
+      (* 2. the committed state equals a from-scratch analysis of the
+         final admitted set *)
+      let final = Session.flows session in
+      if final = [] then true
+      else begin
+        let scenario =
+          Traffic.Scenario.make ~switches:trace.Scenario_io.Admtrace.switches
+            ~topo:trace.Scenario_io.Admtrace.topo ~flows:final ()
+        in
+        let cold = Analysis.Holistic.analyze scenario in
+        let warm = Session.report session in
+        if
+          verdict_kind cold.Analysis.Holistic.verdict
+          <> verdict_kind warm.Analysis.Holistic.verdict
+        then
+          QCheck.Test.fail_reportf "final verdicts differ: %s vs %s@\n%s"
+            (verdict_kind warm.Analysis.Holistic.verdict)
+            (verdict_kind cold.Analysis.Holistic.verdict)
+            text
+        else if bounds_of cold <> bounds_of warm then
+          QCheck.Test.fail_reportf "final bounds differ@\n%s" text
+        else true
+      end)
+
+let prop_trace_parser_total =
+  QCheck.Test.make ~name:"admtrace parser never raises on garbage"
+    ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 400))
+    (fun text ->
+      match Scenario_io.Admtrace.of_string text with
+      | Ok _ -> true
+      | Error e -> e.Scenario_io.Parse.line >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace parse errors (golden caret diagnostics)                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_parse_error ~text ~rendered () =
+  match Scenario_io.Admtrace.of_string text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      Alcotest.(check string)
+        "rendering" rendered
+        (Format.asprintf "%a" Scenario_io.Parse.pp_error e)
+
+let test_parse_errors () =
+  (* Topology after the first event: the prologue is frozen. *)
+  check_parse_error
+    ~text:
+      (star_prologue
+      ^ admit_block ~name:"c0" ~src:"h0" ~dst:"h1" ()
+      ^ "node late endhost\n")
+    ~rendered:
+      "line 14: topology directives must precede the first event\n\
+      \  node late endhost"
+    ();
+  (* Removing a name that is not active points a caret at the name. *)
+  check_parse_error ~text:(star_prologue ^ "remove nobody\n")
+    ~rendered:
+      "line 11, column 8: remove of a flow that is not active: \"nobody\"\n\
+      \  remove nobody\n\
+      \         ^"
+    ();
+  (* The scenario keyword 'flow' is redirected to 'admit flow'. *)
+  check_parse_error
+    ~text:(star_prologue ^ "flow c0 from=h0 to=h1 prio=7\n")
+    ~rendered:
+      "line 11: admission traces admit flows with 'admit flow ...', not \
+       'flow ...'\n\
+      \  flow c0 from=h0 to=h1 prio=7"
+    ();
+  (* Unclosed admit block. *)
+  check_parse_error
+    ~text:(star_prologue ^ "admit flow c0 from=h0 to=h1 prio=7\n")
+    ~rendered:"line 11: flow \"c0\" not closed by 'end'\n\
+              \  admit flow c0 from=h0 to=h1 prio=7"
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Analysis.Admission duplicate-id satellite                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_admission_duplicate_id () =
+  let scenario =
+    scenario_of_string
+      (star_prologue ^ "flow c0 from=h0 to=h1 prio=7\n"
+     ^ "  frame period=20ms deadline=150ms payload=160B\nend\n")
+  in
+  let candidate = List.hd (Traffic.Scenario.flows scenario) in
+  let decision = Analysis.Admission.admit scenario ~candidate in
+  Alcotest.(check bool) "rejected" false decision.Analysis.Admission.admitted;
+  Alcotest.(check int) "no fixpoint" 0
+    decision.Analysis.Admission.report.Analysis.Holistic.rounds;
+  Alcotest.(check (list string))
+    "GMF014" [ "GMF014" ]
+    (List.map
+       (fun d -> d.Gmf_diag.code)
+       decision.Analysis.Admission.diagnostics);
+  (match decision.Analysis.Admission.report.Analysis.Holistic.verdict with
+  | Analysis.Holistic.Analysis_failed [ _ ] -> ()
+  | v ->
+      Alcotest.failf "expected one synthetic failure, got %a"
+        Analysis.Holistic.pp_verdict v);
+  (* the raising variant keeps the historical behaviour *)
+  match Analysis.Admission.admit_exn scenario ~candidate with
+  | _ -> Alcotest.fail "admit_exn should raise on a duplicate id"
+  | exception Invalid_argument _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "replay lifecycle" `Quick test_replay_lifecycle;
+    Alcotest.test_case "duplicate id rejects (GMF014)" `Quick
+      test_duplicate_id_rejects;
+    Alcotest.test_case "unknown id rejects (GMF015)" `Quick
+      test_unknown_id_rejects;
+    Alcotest.test_case "lint gate rejects duplicate name" `Quick
+      test_lint_gate_rejects_duplicate_name;
+    Alcotest.test_case "warm/cold start kinds" `Quick test_start_kinds;
+    Alcotest.test_case "summary matches metrics counters" `Quick
+      test_summary_counters_match_metrics;
+    Alcotest.test_case "trace parse errors (caret goldens)" `Quick
+      test_parse_errors;
+    Alcotest.test_case "Admission.admit duplicate id" `Quick
+      test_admission_duplicate_id;
+    QCheck_alcotest.to_alcotest prop_warm_equals_cold;
+    QCheck_alcotest.to_alcotest prop_trace_parser_total;
+  ]
