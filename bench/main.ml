@@ -408,6 +408,157 @@ module Admctl_churn = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Fault recovery (Gmf_faults)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two costs of a link failure: the degraded-mode session fixpoint that
+   reroutes the affected flows (warm-started from the unaffected
+   remainder vs recomputed cold), and the static k=1 survivability sweep
+   of the fig1 scenario.  The session trace is a diamond carrying the
+   faulted traffic plus a disconnected multihop line whose long-haul
+   flows take several rounds to converge cold but stay outside the
+   interference closure of the failure — the state the warm start
+   preserves. *)
+module Survive_bench = struct
+  module Session = Gmf_admctl.Session
+  module Replay = Gmf_admctl.Replay
+
+  let line_switches = 4
+  let line_flows = 8
+
+  let trace_text =
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      "node src endhost\nnode dst endhost\n\
+       node sw1 switch\nnode sw2 switch\nnode sw3 switch\nnode sw4 switch\n\
+       duplex src sw1 rate=100M prop=2us\nduplex sw4 dst rate=100M prop=2us\n\
+       duplex sw1 sw2 rate=100M prop=2us\nduplex sw1 sw3 rate=100M prop=2us\n\
+       duplex sw2 sw4 rate=100M prop=2us\nduplex sw3 sw4 rate=100M prop=2us\n\
+       switch sw1 ports=3 cpus=1 croute=2.7us csend=1us\n\
+       switch sw2 ports=2 cpus=1 croute=2.7us csend=1us\n\
+       switch sw3 ports=2 cpus=1 croute=2.7us csend=1us\n\
+       switch sw4 ports=3 cpus=1 croute=2.7us csend=1us\n";
+    for s = 0 to line_switches - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "node l%d endhost\nnode ls%d switch\nduplex l%d ls%d rate=10M\n"
+           s s s s);
+      if s > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "duplex ls%d ls%d rate=10M\n" (s - 1) s)
+    done;
+    for s = 0 to line_switches - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "switch ls%d ports=3 cpus=1 croute=2.7us csend=1us\n"
+           s)
+    done;
+    Buffer.add_string buf
+      "admit flow video from=src to=dst route=src,sw1,sw2,sw4,dst prio=5 \
+       encap=rtp\n\
+      \  frame period=33ms deadline=100ms jitter=1ms payload=25000B\n\
+      \  frame period=33ms deadline=100ms payload=5000B\nend\n\
+       admit flow voice from=src to=dst route=src,sw1,sw2,sw4,dst prio=7 \
+       encap=rtp\n\
+      \  frame period=20ms deadline=150ms payload=160B\nend\n";
+    (* Long-haul flows spanning the whole line, half of them reversed,
+       with source jitter so each round moves the downstream bounds. *)
+    for f = 0 to line_flows - 1 do
+      let src, dst =
+        if f mod 2 = 0 then (0, line_switches - 1) else (line_switches - 1, 0)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "admit flow lh%d from=l%d to=l%d prio=%d encap=udp\n\
+           \  frame period=%dms deadline=900ms jitter=2ms payload=%dB\nend\n"
+           f src dst (f mod 8)
+           (33 + (5 * f))
+           (8_000 + (2_000 * f)))
+    done;
+    Buffer.add_string buf "fail link sw1 sw2\n";
+    Buffer.contents buf
+
+  let trace =
+    match Scenario_io.Admtrace.of_string trace_text with
+    | Ok t -> t
+    | Error e ->
+        failwith (Format.asprintf "%a" Scenario_io.Parse.pp_error e)
+
+  let fail_outcome outcomes =
+    match
+      List.find_opt
+        (fun (o : Session.outcome) -> o.Session.degradation <> None)
+        outcomes
+    with
+    | Some o -> o
+    | None -> failwith "trace has no fault event"
+
+  let replay ~warm ~shadow () = Replay.run ~warm ~shadow trace
+
+  let bench =
+    Test.make ~name:"ext:survive-fig1-k1"
+      (Staged.stage (fun () ->
+           ignore
+             (Gmf_faults.Survive.run ~k:1
+                (Workload.Scenarios.fig1_videoconf ()))))
+
+  let json_report () =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let warm, warm_s = time (replay ~warm:true ~shadow:false) in
+    let cold, cold_s = time (replay ~warm:false ~shadow:false) in
+    let warm_fail = fail_outcome warm.Replay.outcomes in
+    let cold_fail = fail_outcome cold.Replay.outcomes in
+    let degradation o =
+      match o.Session.degradation with
+      | Some { Session.rerouted; shed } ->
+          (List.length rerouted, List.length shed)
+      | None -> (0, 0)
+    in
+    let rerouted, shed = degradation warm_fail in
+    let static, static_s =
+      time (fun () ->
+          Gmf_faults.Survive.run ~k:1 (Workload.Scenarios.fig1_videoconf ()))
+    in
+    let static_rounds =
+      List.fold_left
+        (fun acc c -> acc + c.Gmf_faults.Survive.rounds)
+        0 static.Gmf_faults.Survive.cases
+    in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"benchmark\": \"survive\",\n\
+         \  \"session\": {\"events\": %d, \"flows\": %d, \"rerouted\": %d, \
+          \"shed\": %d,\n\
+         \    \"fail_rounds_warm\": %d, \"fail_rounds_cold\": %d, \
+          \"rounds_saved_on_failure\": %d,\n\
+         \    \"warm_seconds\": %.6f, \"cold_seconds\": %.6f},\n"
+         (Session.summary warm.Replay.session).Session.events
+         warm_fail.Session.flow_count rerouted shed warm_fail.Session.rounds
+         cold_fail.Session.rounds
+         (cold_fail.Session.rounds - warm_fail.Session.rounds)
+         warm_s cold_s);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"static\": {\"scenario\": \"fig1\", \"k\": 1, \"cases\": %d, \
+          \"rounds_total\": %d, \"shed_flows\": %d, \"seconds\": %.6f}\n"
+         (List.length static.Gmf_faults.Survive.cases)
+         static_rounds
+         (List.length static.Gmf_faults.Survive.shed_set)
+         static_s);
+    Buffer.add_string buf "}\n";
+    let path = "BENCH_survive.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,7 +569,7 @@ let tests =
     bench_e9; bench_e10; bench_mx; bench_fragment; bench_heap; bench_engine;
     bench_stride; bench_sim_100ms; bench_pathfind; bench_backlog; bench_dbf;
     bench_contract; bench_scenario_io; bench_priority_assign; bench_rerouting;
-    bench_e17; bench_e18; Admctl_churn.bench;
+    bench_e17; bench_e18; Admctl_churn.bench; Survive_bench.bench;
   ]
 
 let benchmark () =
@@ -439,6 +590,10 @@ let benchmark () =
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "admctl" then begin
     Admctl_churn.json_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "survive" then begin
+    Survive_bench.json_report ();
     exit 0
   end;
   let results = benchmark () in

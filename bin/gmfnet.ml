@@ -389,6 +389,18 @@ let simulate_cmd =
            Experiments.Exp_common.kv "fragments dropped"
              (string_of_int report.Sim.Netsim.fragments_dropped);
            List.iter
+             (fun ((sw, peer), n) ->
+               Experiments.Exp_common.kv
+                 (Printf.sprintf "drops at %d->%d" sw peer)
+                 (Printf.sprintf "%d frames" n))
+             report.Sim.Netsim.dropped_by_port;
+           if report.Sim.Netsim.fault_drops > 0 then
+             Experiments.Exp_common.kv "fault drops"
+               (string_of_int report.Sim.Netsim.fault_drops);
+           if report.Sim.Netsim.tainted_completions > 0 then
+             Experiments.Exp_common.kv "tainted completions"
+               (string_of_int report.Sim.Netsim.tainted_completions);
+           List.iter
              (fun (sw, u) ->
                Experiments.Exp_common.kv
                  (Printf.sprintf "switch %d CPU utilization" sw)
@@ -751,6 +763,45 @@ let profile_cmd =
       $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* survive                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let survive_cmd =
+  let k_arg =
+    let doc = "Maximum number of simultaneously failed components." in
+    Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the deterministic JSON report (golden-file format)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_routes_arg =
+    let doc = "Alternate routes to consider per affected flow." in
+    Arg.(value & opt int 4 & info [ "max-routes" ] ~docv:"N" ~doc)
+  in
+  let run name file rate config k json max_routes metrics trace_out =
+    exit_of_result
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           with_obs ?metrics ?trace_out (fun () ->
+               let report =
+                 Gmf_faults.Survive.run ~config ~k ~max_routes scenario
+               in
+               if json then
+                 print_string (Gmf_faults.Survive.to_json scenario report)
+               else
+                 Format.printf "%a"
+                   (Gmf_faults.Survive.pp_report scenario)
+                   report)))
+  in
+  Cmd.v
+    (Cmd.info "survive"
+       ~doc:
+         "Enumerate every failure of at most K links or switches, reroute           the affected flows around each failure and re-run the holistic           analysis, reporting which flows survive, survive only via a           reroute, or must be shed.")
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ k_arg
+      $ json_arg $ max_routes_arg $ metrics_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* session                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -864,7 +915,7 @@ let main =
     [
       list_cmd; lint_cmd; analyze_cmd; simulate_cmd; admission_cmd;
       explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
-      session_cmd; experiment_cmd;
+      session_cmd; survive_cmd; experiment_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

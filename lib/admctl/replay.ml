@@ -8,6 +8,9 @@ let session_event = function
   | Scenario_io.Admtrace.Remove (id, _) -> Session.Remove id
   | Scenario_io.Admtrace.Update flow -> Session.Update flow
   | Scenario_io.Admtrace.Query -> Session.Query
+  | Scenario_io.Admtrace.Fail_link ((a, b), _) -> Session.Fail_link (a, b)
+  | Scenario_io.Admtrace.Restore_link ((a, b), _) ->
+      Session.Restore_link (a, b)
 
 let run ?config ?warm ?shadow ?(on_outcome = fun _ -> ())
     (trace : Scenario_io.Admtrace.t) =
@@ -36,9 +39,27 @@ let shadow_string = function
         (if equivalent then "ok" else "MISMATCH")
         cold_rounds
 
+(* Only fault events carry a degradation; non-fault outcomes render
+   byte-identically to pre-fault transcripts. *)
+let degradation_string = function
+  | None -> ""
+  | Some { Session.rerouted; shed } ->
+      let names flows =
+        String.concat ","
+          (List.map (fun (f : Traffic.Flow.t) -> f.Traffic.Flow.name) flows)
+      in
+      let part label = function
+        | [] -> ""
+        | flows -> Printf.sprintf " %s=%s" label (names flows)
+      in
+      Printf.sprintf " rerouted=%d shed=%d%s%s" (List.length rerouted)
+        (List.length shed)
+        (part "moved" rerouted)
+        (part "lost" shed)
+
 let outcome_line (o : Session.outcome) =
   let head =
-    Printf.sprintf "#%02d %s | %s | %s | rounds=%d start=%s flows=%d%s"
+    Printf.sprintf "#%02d %s | %s | %s | rounds=%d start=%s flows=%d%s%s"
       o.Session.seq o.Session.label
       (if o.Session.accepted then "accepted" else "rejected")
       (Format.asprintf "%a" Analysis.Holistic.pp_verdict o.Session.verdict)
@@ -46,6 +67,7 @@ let outcome_line (o : Session.outcome) =
       (Format.asprintf "%a" Session.pp_start o.Session.start)
       o.Session.flow_count
       (shadow_string o.Session.shadow)
+      (degradation_string o.Session.degradation)
   in
   (* Hints (e.g. GMF004 on yet-unused links of a young session) would
      drown the transcript; they stay visible in the JSON count. *)
@@ -125,10 +147,17 @@ let outcome_jsonl (o : Session.outcome) =
       ("flows", `I o.Session.flow_count);
       ("diagnostics", `I (List.length o.Session.diagnostics));
     ]
+    @ (match o.Session.shadow with
+      | None -> []
+      | Some { Session.cold_rounds; equivalent } ->
+          [ ("cold_rounds", `I cold_rounds); ("equivalent", `B equivalent) ])
     @
-    match o.Session.shadow with
+    match o.Session.degradation with
     | None -> []
-    | Some { Session.cold_rounds; equivalent } ->
-        [ ("cold_rounds", `I cold_rounds); ("equivalent", `B equivalent) ]
+    | Some { Session.rerouted; shed } ->
+        [
+          ("rerouted", `I (List.length rerouted));
+          ("shed", `I (List.length shed));
+        ]
   in
   json_object fields

@@ -3,10 +3,17 @@ type event =
   | Remove of Traffic.Flow.id
   | Update of Traffic.Flow.t
   | Query
+  | Fail_link of Network.Node.id * Network.Node.id
+  | Restore_link of Network.Node.id * Network.Node.id
 
 type start_kind = Warm | Cold | Skipped
 
 type shadow_result = { cold_rounds : int; equivalent : bool }
+
+type degradation = {
+  rerouted : Traffic.Flow.t list;
+  shed : Traffic.Flow.t list;
+}
 
 type outcome = {
   seq : int;
@@ -18,6 +25,7 @@ type outcome = {
   flow_count : int;
   diagnostics : Gmf_diag.t list;
   shadow : shadow_result option;
+  degradation : degradation option;
 }
 
 type summary = {
@@ -38,6 +46,8 @@ type t = {
   warm : bool;
   shadow : bool;
   mutable flows : Traffic.Flow.t list; (* id-ascending *)
+  mutable failed : (Network.Node.id * Network.Node.id) list;
+      (* undirected failed link pairs, smaller id first, newest first *)
   mutable state : Analysis.Jitter_state.t;
   mutable converged : bool;
   mutable report : Analysis.Holistic.report;
@@ -61,6 +71,15 @@ let m_cold_resets =
 let m_rounds_saved =
   Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "admctl.rounds_saved"
 
+let m_faults =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "faults.injected"
+
+let m_rerouted =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "faults.flows_rerouted"
+
+let m_shed =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "faults.flows_shed"
+
 let empty_report =
   {
     Analysis.Holistic.verdict = Analysis.Holistic.Schedulable;
@@ -77,6 +96,7 @@ let create ?(config = Analysis.Config.default) ?(warm = true)
     warm;
     shadow;
     flows = [];
+    failed = [];
     state = Analysis.Jitter_state.create ();
     converged = true;
     report = empty_report;
@@ -92,6 +112,7 @@ let create ?(config = Analysis.Config.default) ?(warm = true)
 let flows t = t.flows
 let flow_count t = List.length t.flows
 let report t = t.report
+let failed_links t = List.rev t.failed
 
 let summary t =
   {
@@ -134,12 +155,14 @@ let routes_share_node a b =
     (fun n -> Network.Route.mem b.Traffic.Flow.route n)
     (Network.Route.nodes a.Traffic.Flow.route)
 
-(* Ids of [flows] transitively reachable from [seed] by node sharing;
-   always contains [seed]'s id. *)
-let interference_closure ~seed flows =
+(* Ids of [flows] transitively reachable from any of [seeds] by node
+   sharing; always contains the seeds' ids. *)
+let interference_closure ~seeds flows =
   let closure = Hashtbl.create 16 in
-  Hashtbl.replace closure seed.Traffic.Flow.id ();
-  let frontier = ref [ seed ] in
+  List.iter
+    (fun (s : Traffic.Flow.t) -> Hashtbl.replace closure s.Traffic.Flow.id ())
+    seeds;
+  let frontier = ref seeds in
   while !frontier <> [] do
     let grown =
       List.filter
@@ -194,8 +217,8 @@ let reports_equivalent a b =
 
 let failure_of_diag = Analysis.Admission.failure_of_diag
 
-let mk_outcome t ~label ~accepted ~verdict ~rounds ~start ~diagnostics
-    ~shadow =
+let mk_outcome t ?(degradation = None) ~label ~accepted ~verdict ~rounds
+    ~start ~diagnostics ~shadow () =
   if accepted then t.s_admitted <- t.s_admitted + 1
   else t.s_rejected <- t.s_rejected + 1;
   {
@@ -208,12 +231,13 @@ let mk_outcome t ~label ~accepted ~verdict ~rounds ~start ~diagnostics
     flow_count = flow_count t;
     diagnostics;
     shadow;
+    degradation;
   }
 
 let reject_diag t ~label diag =
   mk_outcome t ~label ~accepted:false
     ~verdict:(Analysis.Holistic.Analysis_failed [ failure_of_diag diag ])
-    ~rounds:0 ~start:Skipped ~diagnostics:[ diag ] ~shadow:None
+    ~rounds:0 ~start:Skipped ~diagnostics:[ diag ] ~shadow:None ()
 
 let duplicate_diag flow existing =
   Gmf_diag.error ~code:"GMF014"
@@ -228,6 +252,43 @@ let unknown_diag ~what id =
   Gmf_diag.error ~code:"GMF015" ~subject:Gmf_diag.Scenario
     ~suggestion:"admit the flow first" "%s of flow id %d: not admitted" what
     id
+
+(* ------------------------------------------------------------------ *)
+(* Degraded mode: link failures                                        *)
+(* ------------------------------------------------------------------ *)
+
+let norm_pair a b = (min a b, max a b)
+
+(* Both directions of every failed pair, for route matching and
+   {!Network.Pathfind} avoidance. *)
+let failed_directed failed =
+  List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) failed
+
+let route_uses avoid route =
+  List.exists (fun hop -> List.mem hop avoid) (Network.Route.hops route)
+
+let link_label t a b =
+  let name id = (Network.Topology.node t.topo id).Network.Node.name in
+  Printf.sprintf "%s<->%s" (name a) (name b)
+
+let failed_route_diag t (flow : Traffic.Flow.t) =
+  let (a, b) =
+    List.find
+      (fun hop -> Network.Route.hops flow.Traffic.Flow.route |> List.mem hop)
+      (failed_directed t.failed)
+  in
+  Gmf_diag.error ~code:"GMF016"
+    ~subject:
+      (Gmf_diag.Flow
+         { id = flow.Traffic.Flow.id; name = flow.Traffic.Flow.name })
+    ~suggestion:"route the flow elsewhere, or restore the link first"
+    "route %s crosses failed link %s"
+    (Format.asprintf "%a" Network.Route.pp flow.Traffic.Flow.route)
+    (link_label t a b)
+
+let routed_over_failure t (flow : Traffic.Flow.t) =
+  t.failed <> []
+  && route_uses (failed_directed t.failed) flow.Traffic.Flow.route
 
 (* One fixpoint run on [scenario], warm-started from [init] when the
    session allows it.  Returns the report, the converged jitter state and
@@ -283,7 +344,7 @@ let try_set t ~label ~flows ~init =
           (Analysis.Holistic.Analysis_failed
              (List.map failure_of_diag errors))
         ~rounds:0 ~start:Skipped
-        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow:None
+        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow:None ()
   | [] ->
       let report, state, start, shadow = run_fixpoint t scenario ~init in
       let accepted = Analysis.Holistic.is_schedulable report in
@@ -291,12 +352,14 @@ let try_set t ~label ~flows ~init =
       mk_outcome t ~label ~accepted
         ~verdict:report.Analysis.Holistic.verdict
         ~rounds:report.Analysis.Holistic.rounds ~start
-        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow
+        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow ()
 
 let apply_admit t flow =
   let label = "admit " ^ flow.Traffic.Flow.name in
   match find_flow t flow.Traffic.Flow.id with
   | Some existing -> reject_diag t ~label (duplicate_diag flow existing)
+  | None when routed_over_failure t flow ->
+      reject_diag t ~label (failed_route_diag t flow)
   | None ->
       try_set t ~label
         ~flows:(insert_sorted t.flows flow)
@@ -313,7 +376,7 @@ let apply_remove t id =
       let remaining =
         List.filter (fun f -> f.Traffic.Flow.id <> id) t.flows
       in
-      let closure = interference_closure ~seed:victim remaining in
+      let closure = interference_closure ~seeds:[ victim ] remaining in
       let keep fid = not (Hashtbl.mem closure fid) in
       let init =
         if List.exists (fun f -> keep f.Traffic.Flow.id) remaining then
@@ -327,13 +390,15 @@ let apply_remove t id =
       mk_outcome t ~label ~accepted:true
         ~verdict:report.Analysis.Holistic.verdict
         ~rounds:report.Analysis.Holistic.rounds ~start ~diagnostics:[]
-        ~shadow
+        ~shadow ()
 
 let apply_update t flow =
   let label = "update " ^ flow.Traffic.Flow.name in
   match find_flow t flow.Traffic.Flow.id with
   | None ->
       reject_diag t ~label (unknown_diag ~what:"update" flow.Traffic.Flow.id)
+  | Some _ when routed_over_failure t flow ->
+      reject_diag t ~label (failed_route_diag t flow)
   | Some old ->
       let rest =
         List.filter
@@ -342,7 +407,7 @@ let apply_update t flow =
       in
       (* Invalidate everything the old parameters may have inflated; the
          replacement flow starts from source jitters either way. *)
-      let closure = interference_closure ~seed:old rest in
+      let closure = interference_closure ~seeds:[ old ] rest in
       let keep fid = not (Hashtbl.mem closure fid) in
       let init =
         if List.exists (fun f -> keep f.Traffic.Flow.id) rest then
@@ -351,17 +416,188 @@ let apply_update t flow =
       in
       try_set t ~label ~flows:(insert_sorted rest flow) ~init
 
+let link_subject a b = Gmf_diag.Link { src = a; dst = b }
+
+(* A link failure commits like a removal: the outage happened whether or
+   not the degraded set stays schedulable.  Flows routed over the pair
+   are rerouted around every currently-failed link when an alternate
+   route exists, shed outright when none does, and then shed greedily
+   ({!Gmf_faults.Survive.shed_order}) until the degraded set is
+   schedulable again.  Warm start: only flows outside the interference
+   closure of the affected set keep their converged jitters — their old
+   routes never met the affected flows, so added interference from the
+   reroutes can only grow their fixpoint, keeping the monotone-squeeze
+   argument intact. *)
+let apply_fail t a b =
+  let label = "fail link " ^ link_label t a b in
+  let pair = norm_pair a b in
+  let exists =
+    Network.Topology.find_link t.topo ~src:a ~dst:b <> None
+    || Network.Topology.find_link t.topo ~src:b ~dst:a <> None
+  in
+  if not exists then
+    reject_diag t ~label
+      (Gmf_diag.error ~code:"GMF016" ~subject:(link_subject a b)
+         ~suggestion:"name two adjacent nodes of the session topology"
+         "fail link: no link %s" (link_label t a b))
+  else if List.mem pair t.failed then
+    reject_diag t ~label
+      (Gmf_diag.error ~code:"GMF016" ~subject:(link_subject a b)
+         ~suggestion:"drop the duplicate fail event"
+         "link %s is already failed" (link_label t a b))
+  else begin
+    Gmf_obs.Metrics.incr m_faults;
+    let failed = pair :: t.failed in
+    let avoid = failed_directed failed in
+    let affected, safe =
+      List.partition
+        (fun (f : Traffic.Flow.t) ->
+          route_uses avoid f.Traffic.Flow.route)
+        t.flows
+    in
+    t.failed <- failed;
+    if affected = [] then
+      mk_outcome t ~label ~accepted:true
+        ~verdict:t.report.Analysis.Holistic.verdict ~rounds:0 ~start:Skipped
+        ~diagnostics:[] ~shadow:None
+        ~degradation:(Some { rerouted = []; shed = [] })
+        ()
+    else begin
+      (* Phase 1: reroute around every failed link, or pre-shed. *)
+      let placed =
+        List.map
+          (fun (f : Traffic.Flow.t) ->
+            let route = f.Traffic.Flow.route in
+            match
+              Network.Pathfind.k_shortest ~avoid_links:avoid t.topo
+                ~src:(Network.Route.source route)
+                ~dst:(Network.Route.destination route)
+            with
+            | [] ->
+                Gmf_obs.Metrics.incr m_shed;
+                (f, None)
+            | alt :: _ ->
+                Gmf_obs.Metrics.incr m_rerouted;
+                (f, Some (Analysis.Rerouting.with_route f alt)))
+          affected
+      in
+      let pre_shed =
+        List.filter_map
+          (fun (f, s) -> if s = None then Some f else None)
+          placed
+      in
+      let closure = interference_closure ~seeds:affected t.flows in
+      let keep fid = not (Hashtbl.mem closure fid) in
+      let init =
+        if List.exists (fun (f : Traffic.Flow.t) -> keep f.Traffic.Flow.id) safe
+        then Some (Analysis.Jitter_state.filter_flows t.state ~keep)
+        else None
+      in
+      (* Phase 2: greedy shedding among the rerouted survivors until the
+         degraded set is schedulable (or no survivor is left to shed). *)
+      let rec settle pool shed rounds_acc =
+        let flows = List.sort
+            (fun (x : Traffic.Flow.t) (y : Traffic.Flow.t) ->
+              compare x.Traffic.Flow.id y.Traffic.Flow.id)
+            (safe @ pool)
+        in
+        let scenario = scenario_of t flows in
+        let lint_errors =
+          Gmf_lint.Lint.errors (Gmf_lint.Lint.run ~config:t.config scenario)
+        in
+        match (lint_errors, Gmf_faults.Survive.shed_order pool) with
+        | _ :: _, victim :: _ ->
+            (* e.g. a reroute saturates a link (GMF201): shed without
+               spending fixpoint rounds. *)
+            Gmf_obs.Metrics.incr m_shed;
+            settle
+              (List.filter
+                 (fun (f : Traffic.Flow.t) ->
+                   f.Traffic.Flow.id <> victim.Traffic.Flow.id)
+                 pool)
+              (victim :: shed) rounds_acc
+        | _ :: _, [] ->
+            let report =
+              {
+                Analysis.Holistic.verdict =
+                  Analysis.Holistic.Analysis_failed
+                    (List.map failure_of_diag lint_errors);
+                rounds = 0;
+                results = [];
+              }
+            in
+            ( flows, pool, shed, report,
+              Analysis.Jitter_state.create (), Skipped, None, rounds_acc )
+        | [], _ -> (
+            let report, state, start, shadow =
+              run_fixpoint t scenario ~init
+            in
+            let rounds_acc =
+              rounds_acc + report.Analysis.Holistic.rounds
+            in
+            if Analysis.Holistic.is_schedulable report then
+              (flows, pool, shed, report, state, start, shadow, rounds_acc)
+            else
+              match Gmf_faults.Survive.shed_order pool with
+              | [] ->
+                  (flows, pool, shed, report, state, start, shadow,
+                   rounds_acc)
+              | victim :: _ ->
+                  Gmf_obs.Metrics.incr m_shed;
+                  settle
+                    (List.filter
+                       (fun (f : Traffic.Flow.t) ->
+                         f.Traffic.Flow.id <> victim.Traffic.Flow.id)
+                       pool)
+                    (victim :: shed) rounds_acc)
+      in
+      let pool0 = List.filter_map snd placed in
+      let flows, survivors, shed, report, state, start, shadow, rounds =
+        settle pool0 [] 0
+      in
+      commit t ~flows ~state ~report;
+      mk_outcome t ~label ~accepted:true
+        ~verdict:report.Analysis.Holistic.verdict ~rounds ~start
+        ~diagnostics:[] ~shadow
+        ~degradation:
+          (Some { rerouted = survivors; shed = pre_shed @ List.rev shed })
+        ()
+    end
+  end
+
+(* Restoring a link only widens the route search space of later events;
+   flows stay on their degraded routes and the committed fixpoint stays
+   valid, so no re-analysis runs. *)
+let apply_restore t a b =
+  let label = "restore link " ^ link_label t a b in
+  let pair = norm_pair a b in
+  if not (List.mem pair t.failed) then
+    reject_diag t ~label
+      (Gmf_diag.error ~code:"GMF016" ~subject:(link_subject a b)
+         ~suggestion:"fail the link first" "link %s is not failed"
+         (link_label t a b))
+  else begin
+    t.failed <- List.filter (fun p -> p <> pair) t.failed;
+    mk_outcome t ~label ~accepted:true
+      ~verdict:t.report.Analysis.Holistic.verdict ~rounds:0 ~start:Skipped
+      ~diagnostics:[] ~shadow:None
+      ~degradation:(Some { rerouted = []; shed = [] })
+      ()
+  end
+
 let apply_query t =
   mk_outcome t ~label:"query"
     ~accepted:(Analysis.Holistic.is_schedulable t.report)
     ~verdict:t.report.Analysis.Holistic.verdict ~rounds:0 ~start:Skipped
-    ~diagnostics:[] ~shadow:None
+    ~diagnostics:[] ~shadow:None ()
 
 let span_name = function
   | Admit _ -> "admctl.admit"
   | Remove _ -> "admctl.remove"
   | Update _ -> "admctl.update"
   | Query -> "admctl.query"
+  | Fail_link _ -> "admctl.fail"
+  | Restore_link _ -> "admctl.restore"
 
 let apply t event =
   t.seq <- t.seq + 1;
@@ -372,4 +608,6 @@ let apply t event =
       | Admit flow -> apply_admit t flow
       | Remove id -> apply_remove t id
       | Update flow -> apply_update t flow
-      | Query -> apply_query t)
+      | Query -> apply_query t
+      | Fail_link (a, b) -> apply_fail t a b
+      | Restore_link (a, b) -> apply_restore t a b)

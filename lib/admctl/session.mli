@@ -42,6 +42,21 @@ type event =
           the old flow) on unknown id, lint error or an unschedulable
           result. *)
   | Query  (** Report the committed verdict; never runs a fixpoint. *)
+  | Fail_link of Network.Node.id * Network.Node.id
+      (** Both directions of the (undirected) pair go down.  Commits like
+          a removal — the outage happened regardless of the verdict:
+          flows routed over the pair are rerouted around {e every}
+          currently-failed link ({!Network.Pathfind.k_shortest}), shed
+          when no alternate route exists, then shed greedily in
+          {!Gmf_faults.Survive.shed_order} until the degraded set is
+          schedulable.  The fixpoint warm-starts from the flows outside
+          the affected set's interference closure.  Rejects ([GMF016],
+          session untouched) an unknown or already-failed pair. *)
+  | Restore_link of Network.Node.id * Network.Node.id
+      (** Marks the pair up again so later events may route over it.
+          Flows stay on their degraded routes (the committed fixpoint
+          stays valid, no re-analysis); re-admit or update them to move
+          back.  Rejects ([GMF016]) a pair that is not failed. *)
 
 type start_kind =
   | Warm  (** Fixpoint seeded from the previous converged state. *)
@@ -55,6 +70,15 @@ type shadow_result = {
           (verdict constructor only for non-converged outcomes). *)
 }
 
+type degradation = {
+  rerouted : Traffic.Flow.t list;
+      (** Affected flows that survived on an alternate route (carrying
+          their new routes), in the order they were rerouted. *)
+  shed : Traffic.Flow.t list;
+      (** Affected flows dropped from the admitted set: first those with
+          no alternate route, then greedy sheds in policy order. *)
+}
+
 type outcome = {
   seq : int;  (** 1-based event number within the session. *)
   label : string;  (** e.g. ["admit voip0"], ["remove #3"]. *)
@@ -65,6 +89,8 @@ type outcome = {
   flow_count : int;  (** Admitted flows {e after} the event. *)
   diagnostics : Gmf_diag.t list;  (** Lint pre-pass + session errors. *)
   shadow : shadow_result option;  (** Present in shadow sessions only. *)
+  degradation : degradation option;
+      (** Present on accepted [Fail_link]/[Restore_link] events only. *)
 }
 
 type summary = {
@@ -107,6 +133,9 @@ val flow_count : t -> int
 
 val report : t -> Analysis.Holistic.report
 (** The last committed report (of the current admitted set). *)
+
+val failed_links : t -> (Network.Node.id * Network.Node.id) list
+(** Currently-failed undirected pairs (smaller id first), oldest first. *)
 
 val summary : t -> summary
 

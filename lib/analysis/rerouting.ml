@@ -11,16 +11,24 @@ let with_route flow route =
     ~priority:flow.Traffic.Flow.priority
 (* Remarks are dropped deliberately: they name hops of the old route. *)
 
-let candidate_routes ?(max_routes = 4) topo flow =
+let route_avoids ?(avoid_links = []) ?(avoid_nodes = []) route =
+  List.for_all (fun hop -> not (List.mem hop avoid_links))
+    (Network.Route.hops route)
+  && List.for_all
+       (fun n -> not (List.mem n avoid_nodes))
+       (Network.Route.nodes route)
+
+let candidate_routes ?(max_routes = 4) ?avoid_links ?avoid_nodes topo flow =
   let own = flow.Traffic.Flow.route in
   let alternatives =
-    Network.Pathfind.k_shortest ~k:max_routes topo
+    Network.Pathfind.k_shortest ~k:max_routes ?avoid_links ?avoid_nodes topo
       ~src:(Network.Route.source own)
       ~dst:(Network.Route.destination own)
     |> List.filter (fun r ->
            Network.Route.nodes r <> Network.Route.nodes own)
   in
-  own :: alternatives
+  if route_avoids ?avoid_links ?avoid_nodes own then own :: alternatives
+  else alternatives
 
 let try_routes ?config ~base_flows ~topo ~switches flow routes =
   let rec go attempts last_report = function
@@ -43,9 +51,11 @@ let switch_models scenario =
   Traffic.Scenario.switch_nodes scenario
   |> List.map (fun n -> (n, Traffic.Scenario.switch_model scenario n))
 
-let admit ?config ?max_routes scenario ~candidate =
+let admit ?config ?max_routes ?avoid_links ?avoid_nodes scenario ~candidate =
   let topo = Traffic.Scenario.topo scenario in
-  let routes = candidate_routes ?max_routes topo candidate in
+  let routes =
+    candidate_routes ?max_routes ?avoid_links ?avoid_nodes topo candidate
+  in
   let accepted, attempts, report =
     try_routes ?config
       ~base_flows:(Traffic.Scenario.flows scenario)

@@ -16,16 +16,27 @@ type decision = {
           when rejected. *)
 }
 
+val with_route : Traffic.Flow.t -> Network.Route.t -> Traffic.Flow.t
+(** The same flow (id, name, spec, encapsulation, default priority) on a
+    different route.  Per-hop 802.1p remarks are dropped deliberately:
+    they name hops of the old route. *)
+
 val admit :
   ?config:Config.t ->
   ?max_routes:int ->
+  ?avoid_links:(Network.Node.id * Network.Node.id) list ->
+  ?avoid_nodes:Network.Node.id list ->
   Traffic.Scenario.t ->
   candidate:Traffic.Flow.t ->
   decision
 (** [admit scenario ~candidate] first tries the candidate's own route, then
     up to [max_routes] (default 4) alternatives from
     [Network.Pathfind.k_shortest] ordered by hop count.  The scenario
-    itself is never modified. *)
+    itself is never modified.
+
+    [avoid_links]/[avoid_nodes] describe failed components (see
+    [Gmf_faults]): avoided routes are never tried — including the
+    candidate's own route when it crosses a failed component. *)
 
 val admit_greedily :
   ?config:Config.t ->

@@ -1,0 +1,348 @@
+type component =
+  | Link of Network.Node.id * Network.Node.id
+  | Switch of Network.Node.id
+
+type fate = Unaffected | Rerouted of Network.Route.t | Shed
+
+type case_result = {
+  case : component list;
+  fates : (Traffic.Flow.t * fate) list;
+  verdict : Analysis.Holistic.verdict;
+  rounds : int;
+}
+
+type flow_verdict = Survives | Survives_with_reroute | Must_shed
+
+type report = {
+  k : int;
+  base : Analysis.Holistic.report;
+  cases : case_result list;
+  matrix : (Traffic.Flow.t * flow_verdict) list;
+  shed_set : Traffic.Flow.t list;
+}
+
+let m_cases = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "survive.cases"
+
+let m_rerouted =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "faults.flows_rerouted"
+
+let m_shed =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "faults.flows_shed"
+
+let components scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  let seen = Hashtbl.create 16 in
+  let links =
+    List.filter_map
+      (fun (l : Network.Link.t) ->
+        let a = min l.Network.Link.src l.Network.Link.dst
+        and b = max l.Network.Link.src l.Network.Link.dst in
+        if Hashtbl.mem seen (a, b) then None
+        else begin
+          Hashtbl.replace seen (a, b) ();
+          Some (Link (a, b))
+        end)
+      (Network.Topology.links topo)
+  in
+  let switches =
+    List.filter_map
+      (fun (n : Network.Node.t) ->
+        if Network.Node.is_switch n then Some (Switch n.Network.Node.id)
+        else None)
+      (Network.Topology.nodes topo)
+  in
+  links @ switches
+
+let component_name scenario component =
+  let topo = Traffic.Scenario.topo scenario in
+  let name id = (Network.Topology.node topo id).Network.Node.name in
+  match component with
+  | Link (a, b) -> Printf.sprintf "link %s<->%s" (name a) (name b)
+  | Switch n -> Printf.sprintf "switch %s" (name n)
+
+let verdict_string = function
+  | Analysis.Holistic.Schedulable -> "schedulable"
+  | Analysis.Holistic.Deadline_miss _ -> "deadline-miss"
+  | Analysis.Holistic.Analysis_failed _ -> "analysis-failed"
+  | Analysis.Holistic.No_fixed_point _ -> "no-fixed-point"
+
+(* All subsets of [comps] of size 1..k, smallest first, preserving
+   component order within a size class. *)
+let failure_cases ~k comps =
+  let rec choose n = function
+    | _ when n = 0 -> [ [] ]
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (choose (n - 1) rest) @ choose n rest
+  in
+  List.concat_map (fun size -> choose (size + 1) comps) (List.init k Fun.id)
+
+(* The directed links and nodes a failure case takes out. *)
+let failed_parts topo case =
+  let incident n =
+    List.filter_map
+      (fun (l : Network.Link.t) ->
+        if l.Network.Link.src = n || l.Network.Link.dst = n then
+          Some (l.Network.Link.src, l.Network.Link.dst)
+        else None)
+      (Network.Topology.links topo)
+  in
+  List.fold_left
+    (fun (links, nodes) -> function
+      | Link (a, b) -> ((a, b) :: (b, a) :: links, nodes)
+      | Switch n -> (incident n @ links, n :: nodes))
+    ([], []) case
+
+let route_hit route ~avoid_links ~avoid_nodes =
+  List.exists (fun hop -> List.mem hop avoid_links) (Network.Route.hops route)
+  || List.exists (fun n -> Network.Route.mem route n) avoid_nodes
+
+(* Lowest 802.1p priority first; ties shed the most recently admitted
+   (highest id) flow first.  Shared with Gmf_admctl's degraded mode. *)
+let shed_order flows =
+  List.sort
+    (fun (a : Traffic.Flow.t) (b : Traffic.Flow.t) ->
+      match compare a.Traffic.Flow.priority b.Traffic.Flow.priority with
+      | 0 -> compare b.Traffic.Flow.id a.Traffic.Flow.id
+      | c -> c)
+    flows
+
+let switch_models scenario =
+  Traffic.Scenario.switch_nodes scenario
+  |> List.map (fun n -> (n, Traffic.Scenario.switch_model scenario n))
+
+let analyze_case ~config ~max_routes scenario case =
+  Gmf_obs.Metrics.incr m_cases;
+  Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"faults" "survive.case"
+    (fun () ->
+      let topo = Traffic.Scenario.topo scenario in
+      let switches = switch_models scenario in
+      let avoid_links, avoid_nodes = failed_parts topo case in
+      let flows = Traffic.Scenario.flows scenario in
+      (* Phase 1: reroute every flow the failure touches, or shed it when
+         no alternate route survives the failure. *)
+      let placed =
+        List.map
+          (fun (f : Traffic.Flow.t) ->
+            let route = f.Traffic.Flow.route in
+            if not (route_hit route ~avoid_links ~avoid_nodes) then
+              (f, Unaffected, Some f)
+            else
+              let candidates =
+                Network.Pathfind.k_shortest ~k:max_routes ~avoid_links
+                  ~avoid_nodes topo
+                  ~src:(Network.Route.source route)
+                  ~dst:(Network.Route.destination route)
+              in
+              match candidates with
+              | [] ->
+                  Gmf_obs.Metrics.incr m_shed;
+                  (f, Shed, None)
+              | alt :: _ ->
+                  Gmf_obs.Metrics.incr m_rerouted;
+                  let moved = Analysis.Rerouting.with_route f alt in
+                  (f, Rerouted alt, Some moved))
+          flows
+      in
+      (* Phase 2: greedy shedding until the degraded set is schedulable.
+         A lint error (e.g. a rerouted flow saturating a link, GMF201)
+         sheds without spending fixpoint rounds. *)
+      let rec settle survivors shed rounds =
+        let scenario' =
+          Traffic.Scenario.make ~switches ~topo ~flows:survivors ()
+        in
+        let lint_errors =
+          Gmf_lint.Lint.errors (Gmf_lint.Lint.run ~config scenario')
+        in
+        let report, rounds =
+          if lint_errors <> [] then
+            ( {
+                Analysis.Holistic.verdict =
+                  Analysis.Holistic.Analysis_failed
+                    (List.map Analysis.Admission.failure_of_diag lint_errors);
+                rounds = 0;
+                results = [];
+              },
+              rounds )
+          else
+            let r = Analysis.Holistic.analyze ~config scenario' in
+            (r, rounds + r.Analysis.Holistic.rounds)
+        in
+        if Analysis.Holistic.is_schedulable report then (report, shed, rounds)
+        else
+          match shed_order survivors with
+          | [] -> (report, shed, rounds)
+          | victim :: _ ->
+              Gmf_obs.Metrics.incr m_shed;
+              settle
+                (List.filter
+                   (fun (f : Traffic.Flow.t) ->
+                     f.Traffic.Flow.id <> victim.Traffic.Flow.id)
+                   survivors)
+                (victim.Traffic.Flow.id :: shed)
+                rounds
+      in
+      let survivors = List.filter_map (fun (_, _, s) -> s) placed in
+      let report, shed_ids, rounds = settle survivors [] 0 in
+      let fates =
+        List.map
+          (fun ((f : Traffic.Flow.t), fate, _) ->
+            if List.mem f.Traffic.Flow.id shed_ids then (f, Shed)
+            else (f, fate))
+          placed
+      in
+      {
+        case;
+        fates;
+        verdict = report.Analysis.Holistic.verdict;
+        rounds;
+      })
+
+let run ?(config = Analysis.Config.default) ?(k = 1) ?(max_routes = 4)
+    scenario =
+  if k < 0 then invalid_arg "Survive.run: k < 0";
+  let base = Analysis.Holistic.analyze ~config scenario in
+  let cases =
+    List.map
+      (analyze_case ~config ~max_routes scenario)
+      (failure_cases ~k (components scenario))
+  in
+  let verdict_of (f : Traffic.Flow.t) =
+    let fate_in case_result =
+      List.assoc_opt f.Traffic.Flow.id
+        (List.map
+           (fun ((g : Traffic.Flow.t), fate) -> (g.Traffic.Flow.id, fate))
+           case_result.fates)
+    in
+    let fates = List.filter_map fate_in cases in
+    if List.exists (fun fate -> fate = Shed) fates then Must_shed
+    else if
+      List.exists (function Rerouted _ -> true | _ -> false) fates
+    then Survives_with_reroute
+    else Survives
+  in
+  let matrix =
+    List.map (fun f -> (f, verdict_of f)) (Traffic.Scenario.flows scenario)
+  in
+  let shed_set =
+    List.filter_map
+      (fun (f, v) -> if v = Must_shed then Some f else None)
+      matrix
+  in
+  { k; base; cases; matrix; shed_set }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fate_string = function
+  | Unaffected -> "unaffected"
+  | Rerouted _ -> "rerouted"
+  | Shed -> "shed"
+
+let flow_verdict_string = function
+  | Survives -> "survives"
+  | Survives_with_reroute -> "survives-with-reroute"
+  | Must_shed -> "must-shed"
+
+let case_name scenario case =
+  String.concat " + " (List.map (component_name scenario) case)
+
+let pp_report scenario fmt r =
+  let count pred fates = List.length (List.filter (fun (_, f) -> pred f) fates) in
+  Format.fprintf fmt "baseline: %s (%d rounds), %d flows, k=%d, %d cases@\n"
+    (verdict_string r.base.Analysis.Holistic.verdict)
+    r.base.Analysis.Holistic.rounds
+    (List.length (Traffic.Scenario.flows scenario))
+    r.k (List.length r.cases);
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %-28s %-15s rounds=%-3d rerouted=%d shed=%d@\n"
+        (case_name scenario c.case) (verdict_string c.verdict) c.rounds
+        (count (function Rerouted _ -> true | _ -> false) c.fates)
+        (count (fun f -> f = Shed) c.fates))
+    r.cases;
+  Format.fprintf fmt "per-flow verdicts:@\n";
+  List.iter
+    (fun ((f : Traffic.Flow.t), v) ->
+      Format.fprintf fmt "  %-12s %s@\n" f.Traffic.Flow.name
+        (flow_verdict_string v))
+    r.matrix;
+  match r.shed_set with
+  | [] -> Format.fprintf fmt "shed set: (empty)@\n"
+  | shed ->
+      Format.fprintf fmt "shed set: %s@\n"
+        (String.concat ", "
+           (List.map
+              (fun (f : Traffic.Flow.t) ->
+                Printf.sprintf "%s (prio %d)" f.Traffic.Flow.name
+                  f.Traffic.Flow.priority)
+              shed))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json scenario r =
+  let buf = Buffer.create 1024 in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add (Printf.sprintf "  \"k\": %d,\n" r.k);
+  add
+    (Printf.sprintf "  \"base\": %s,\n"
+       (str (verdict_string r.base.Analysis.Holistic.verdict)));
+  add "  \"cases\": [\n";
+  let case_json c =
+    let fate_json ((f : Traffic.Flow.t), fate) =
+      let route_field =
+        match fate with
+        | Rerouted route ->
+            Printf.sprintf ", \"route\": %s"
+              (str (Format.asprintf "%a" Network.Route.pp route))
+        | Unaffected | Shed -> ""
+      in
+      Printf.sprintf "{\"flow\": %s, \"fate\": %s%s}"
+        (str f.Traffic.Flow.name)
+        (str (fate_string fate))
+        route_field
+    in
+    Printf.sprintf
+      "    {\"failed\": [%s], \"verdict\": %s, \"rounds\": %d,\n\
+      \     \"flows\": [%s]}"
+      (String.concat ", "
+         (List.map (fun comp -> str (component_name scenario comp)) c.case))
+      (str (verdict_string c.verdict))
+      c.rounds
+      (String.concat ", " (List.map fate_json c.fates))
+  in
+  add (String.concat ",\n" (List.map case_json r.cases));
+  add "\n  ],\n";
+  add "  \"matrix\": [\n";
+  add
+    (String.concat ",\n"
+       (List.map
+          (fun ((f : Traffic.Flow.t), v) ->
+            Printf.sprintf "    {\"flow\": %s, \"verdict\": %s}"
+              (str f.Traffic.Flow.name)
+              (str (flow_verdict_string v)))
+          r.matrix));
+  add "\n  ],\n";
+  add
+    (Printf.sprintf "  \"shed\": [%s]\n"
+       (String.concat ", "
+          (List.map
+             (fun (f : Traffic.Flow.t) -> str f.Traffic.Flow.name)
+             r.shed_set)));
+  add "}\n";
+  Buffer.contents buf

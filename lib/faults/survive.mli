@@ -1,0 +1,95 @@
+(** Static k-failure survivability analysis.
+
+    Enumerates every combination of at most [k] failed components — an
+    undirected link (both directions die together) or a whole switch —
+    and asks, per failure case: which admitted flows keep their route,
+    which must be rerouted around the failure
+    ({!Network.Pathfind.k_shortest} avoiding the failed component), and
+    which must be shed for the rest to stay schedulable.
+
+    Each case re-runs the holistic analysis cold on the degraded flow
+    set; when the verdict is not schedulable, flows are shed greedily in
+    priority order (lowest 802.1p priority first, ties broken by higher
+    flow id — the most recently admitted flow goes first) until the
+    remainder is schedulable.  A case whose degraded scenario fails the
+    {!Gmf_lint} error gate (e.g. a rerouted flow saturates a link,
+    GMF201) sheds without burning fixpoint rounds.
+
+    Telemetry: each case bumps [survive.cases] and runs under a
+    [survive.case] span; reroutes and sheds bump [faults.flows_rerouted]
+    and [faults.flows_shed]. *)
+
+type component =
+  | Link of Network.Node.id * Network.Node.id
+      (** Undirected: stored with the smaller id first; both directions
+          fail together. *)
+  | Switch of Network.Node.id
+      (** The switch and every link touching it fail. *)
+
+type fate =
+  | Unaffected  (** The flow's route avoids the failed components. *)
+  | Rerouted of Network.Route.t
+      (** Moved to the given route, and the case is schedulable with it
+          (unless the flow was later shed — shed wins). *)
+  | Shed
+      (** No alternate route exists, or shedding it was required to keep
+          the rest schedulable. *)
+
+type case_result = {
+  case : component list;  (** The failed components, 1 to [k] of them. *)
+  fates : (Traffic.Flow.t * fate) list;  (** In scenario flow order. *)
+  verdict : Analysis.Holistic.verdict;
+      (** Of the surviving set, after any shedding. *)
+  rounds : int;  (** Holistic rounds spent on this case, all attempts. *)
+}
+
+type flow_verdict =
+  | Survives  (** Keeps its own route in every failure case. *)
+  | Survives_with_reroute  (** Rerouted somewhere, never shed. *)
+  | Must_shed  (** Shed in at least one failure case. *)
+
+type report = {
+  k : int;
+  base : Analysis.Holistic.report;  (** The fault-free analysis. *)
+  cases : case_result list;
+      (** Smallest failure sets first, then by component order. *)
+  matrix : (Traffic.Flow.t * flow_verdict) list;
+      (** Per-flow aggregate over all cases, in scenario flow order. *)
+  shed_set : Traffic.Flow.t list;
+      (** Flows shed in at least one case — what the operator stands to
+          lose under any [<= k]-failure, with the greedy shed policy. *)
+}
+
+val shed_order : Traffic.Flow.t list -> Traffic.Flow.t list
+(** The shed policy, shared with [Gmf_admctl]'s degraded mode: shed the
+    lowest 802.1p priority first, ties broken towards the higher flow id
+    (the most recently admitted flow goes first). *)
+
+val components : Traffic.Scenario.t -> component list
+(** The failure domain: every undirected link (in first-appearance
+    order), then every switch node. *)
+
+val run :
+  ?config:Analysis.Config.t ->
+  ?k:int ->
+  ?max_routes:int ->
+  Traffic.Scenario.t ->
+  report
+(** [run scenario] analyzes every failure case of at most [k] (default 1)
+    components, trying up to [max_routes] (default 4) alternate routes
+    per affected flow.  Raises [Invalid_argument] when [k < 0]. *)
+
+val component_name : Traffic.Scenario.t -> component -> string
+(** e.g. ["link a<->b"], ["switch sw0"]. *)
+
+val verdict_string : Analysis.Holistic.verdict -> string
+(** ["schedulable"], ["deadline-miss"], ["analysis-failed"],
+    ["no-fixed-point"] — constructor only, stable for goldens. *)
+
+val pp_report : Traffic.Scenario.t -> Format.formatter -> report -> unit
+(** Human-readable: one line per case, then the per-flow matrix and the
+    shed set. *)
+
+val to_json : Traffic.Scenario.t -> report -> string
+(** Deterministic indented JSON (flows and components by name), suitable
+    for golden files. *)

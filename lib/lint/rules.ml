@@ -61,6 +61,16 @@ let catalog =
       reference = "Section 2.2 (CIRC only matters on relaying switches)";
     };
     {
+      code = "GMF007";
+      category = Structural;
+      default_severity = Gmf_diag.Hint;
+      title = "single point of failure: no alternate route";
+      reference =
+        "Section 2.1 (routes are pre-specified; a flow relayed through \
+         switches with only one src/dst route cannot survive a link or \
+         switch failure, see Gmf_faults.Survive)";
+    };
+    {
       code = "GMF010";
       category = Structural;
       default_severity = Gmf_diag.Error;
@@ -105,6 +115,16 @@ let catalog =
       reference =
         "Section 3.5 (admission control: produced by Gmf_admctl sessions, \
          not by scenario_rules)";
+    };
+    {
+      code = "GMF016";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "fault event error (failed-link routing, unknown or \
+               duplicate fail/restore)";
+      reference =
+        "Section 3.5 (degraded-mode sessions: produced by Gmf_admctl \
+         fail/restore handling, not by scenario_rules)";
     };
     {
       code = "GMF101";
@@ -369,6 +389,31 @@ let check_unused_switches scenario =
              "switch model is never exercised"))
     (Traffic.Scenario.switch_nodes scenario)
 
+(* Only flows relayed through at least one switch are probed: a direct
+   host-to-host wire is trivially its only route, and flagging it would
+   drown every two-node scenario in hints. *)
+let check_single_route scenario =
+  let topo = Traffic.Scenario.topo scenario in
+  List.filter_map
+    (fun (f : Traffic.Flow.t) ->
+      let route = f.Traffic.Flow.route in
+      if Network.Route.intermediate_switches route = [] then None
+      else
+        let src = Network.Route.source route
+        and dst = Network.Route.destination route in
+        match Network.Pathfind.k_shortest ~k:2 topo ~src ~dst with
+        | [] | [ _ ] ->
+            let name id = (Network.Topology.node topo id).Network.Node.name in
+            Some
+              (Gmf_diag.hint ~code:"GMF007" ~subject:(flow_subject f)
+                 ~suggestion:
+                   "add a redundant link so the flow can survive a failure \
+                    (gmfnet survive enumerates the cases)"
+                 "single point of failure: only one route from %s to %s"
+                 (name src) (name dst))
+        | _ -> None)
+    (Traffic.Scenario.flows scenario)
+
 (* ---------------- GMF1xx: model preconditions ---------------- *)
 
 let check_deadline_vs_period scenario =
@@ -616,6 +661,7 @@ let scenario_rules ?(config = Analysis_config.default) scenario =
          check_unused_links scenario;
          check_detour_routes scenario;
          check_unused_switches scenario;
+         check_single_route scenario;
          check_deadline_vs_period scenario;
          check_jitter_vs_period scenario;
          check_fragmentation ~config scenario;

@@ -1,7 +1,12 @@
-let all_routes ?(max_hops = 8) topo ~src ~dst =
+let all_routes ?(max_hops = 8) ?(avoid_links = []) ?(avoid_nodes = []) topo
+    ~src ~dst =
   if max_hops < 1 then invalid_arg "Pathfind.all_routes: max_hops < 1";
   let ok_endpoint n = Node.may_terminate_flow (Topology.node topo n) in
-  if (not (ok_endpoint src)) || not (ok_endpoint dst) then []
+  if
+    (not (ok_endpoint src))
+    || (not (ok_endpoint dst))
+    || List.mem src avoid_nodes || List.mem dst avoid_nodes
+  then []
   else begin
     let results = ref [] in
     (* DFS over switch-only interiors.  [path] is reversed. *)
@@ -10,7 +15,11 @@ let all_routes ?(max_hops = 8) topo ~src ~dst =
       else
         List.iter
           (fun next ->
-            if not (List.mem next path) then
+            if
+              (not (List.mem next path))
+              && (not (List.mem (here, next) avoid_links))
+              && not (List.mem next avoid_nodes)
+            then
               if next = dst then
                 results := List.rev (next :: path) :: !results
               else if Node.is_switch (Topology.node topo next) then
@@ -26,12 +35,12 @@ let all_routes ?(max_hops = 8) topo ~src ~dst =
     |> List.map (Route.make topo)
   end
 
-let k_shortest ?max_hops ?(k = 4) topo ~src ~dst =
+let k_shortest ?max_hops ?avoid_links ?avoid_nodes ?(k = 4) topo ~src ~dst =
   let rec take n = function
     | [] -> []
     | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
   in
-  take k (all_routes ?max_hops topo ~src ~dst)
+  take k (all_routes ?max_hops ?avoid_links ?avoid_nodes topo ~src ~dst)
 
 let route_capacity topo route =
   Route.links route topo

@@ -7,6 +7,8 @@
 
 val all_routes :
   ?max_hops:int ->
+  ?avoid_links:(Node.id * Node.id) list ->
+  ?avoid_nodes:Node.id list ->
   Topology.t ->
   src:Node.id ->
   dst:Node.id ->
@@ -15,10 +17,18 @@ val all_routes :
     (default 8), ordered by hop count then lexicographically by node
     sequence.  Exhaustive DFS — intended for the small edge topologies this
     library targets.  Empty if the endpoints cannot terminate flows or are
-    unreachable. *)
+    unreachable.
+
+    [avoid_links] (directed [(src, dst)] pairs) and [avoid_nodes] exclude
+    failed components: no returned route crosses an avoided link or visits
+    an avoided node (a route whose endpoint is avoided does not exist).
+    Both default to empty. *)
 
 val k_shortest :
-  ?max_hops:int -> ?k:int -> Topology.t -> src:Node.id -> dst:Node.id ->
+  ?max_hops:int ->
+  ?avoid_links:(Node.id * Node.id) list ->
+  ?avoid_nodes:Node.id list ->
+  ?k:int -> Topology.t -> src:Node.id -> dst:Node.id ->
   Route.t list
 (** The first [k] (default 4) routes of {!all_routes}. *)
 

@@ -8,6 +8,8 @@ type event = Parse.Admtrace.event =
   | Remove of Traffic.Flow.id * string
   | Update of Traffic.Flow.t
   | Query
+  | Fail_link of (Network.Node.id * Network.Node.id) * (string * string)
+  | Restore_link of (Network.Node.id * Network.Node.id) * (string * string)
 
 type t = Parse.Admtrace.t = {
   topo : Network.Topology.t;

@@ -387,6 +387,8 @@ module Admtrace = struct
     | Remove of Traffic.Flow.id * string
     | Update of Traffic.Flow.t
     | Query
+    | Fail_link of (Network.Node.id * Network.Node.id) * (string * string)
+    | Restore_link of (Network.Node.id * Network.Node.id) * (string * string)
 
   type t = {
     topo : Network.Topology.t;
@@ -504,6 +506,25 @@ module Admtrace = struct
               in_block lineno;
               events := (lineno, Query) :: !events
           | "query" :: _ -> fail lineno "usage: query"
+          | [ ("fail" | "restore") as verb; "link"; a; b ] ->
+              frozen := true;
+              in_block lineno;
+              let ia = node_id st lineno a in
+              let ib = node_id st lineno b in
+              (* Either direction will do: sessions fail/restore the
+                 duplex pair.  Whether the link is currently up or down is
+                 the session's business (GMF016 at replay time). *)
+              if
+                Network.Topology.find_link st.topo ~src:ia ~dst:ib = None
+                && Network.Topology.find_link st.topo ~src:ib ~dst:ia = None
+              then fail ~token:b lineno "no link between %S and %S" a b;
+              let event =
+                if verb = "fail" then Fail_link ((ia, ib), (a, b))
+                else Restore_link ((ia, ib), (a, b))
+              in
+              events := (lineno, event) :: !events
+          | ("fail" | "restore") :: _ ->
+              fail lineno "usage: fail|restore link <node> <node>"
           | "flow" :: _ ->
               fail lineno
                 "admission traces admit flows with 'admit flow ...', not \

@@ -61,6 +61,8 @@ val pp_error : Format.formatter -> error -> unit
     remove <name>
     update flow <name> ...   # flow block, closed by 'end'
     query
+    fail link <a> <b>
+    restore link <a> <b>
     v}
 
     [admit flow] blocks use the exact [flow] grammar of scenario files and
@@ -69,9 +71,14 @@ val pp_error : Format.formatter -> error -> unit
     removed); [update] keeps the id of the flow it replaces.  Topology
     directives after the first event, and [remove]/[update] of a name that
     was never admitted, are parse errors with the same caret rendering as
-    scenario files.  The parser is optimistic — whether an admit actually
-    succeeded is only known at replay time, so a [remove] of a flow the
-    session rejected parses fine and earns a runtime rejection instead. *)
+    scenario files.  [fail link]/[restore link] name two adjacent nodes of
+    the prologue topology (either direction of a duplex pair); the session
+    degrades or recovers the flows routed over the pair, see
+    [Gmf_admctl.Session].  The parser is optimistic — whether an admit
+    actually succeeded is only known at replay time, so a [remove] of a
+    flow the session rejected parses fine and earns a runtime rejection
+    instead; likewise failing an already-failed link is a runtime
+    rejection (GMF016), not a parse error. *)
 module Admtrace : sig
   type event =
     | Admit of Traffic.Flow.t
@@ -79,6 +86,11 @@ module Admtrace : sig
         (** Resolved id plus the trace-level name, for rendering. *)
     | Update of Traffic.Flow.t
     | Query
+    | Fail_link of (Network.Node.id * Network.Node.id) * (string * string)
+        (** The resolved node pair plus the trace-level names, for
+            rendering.  The session takes {e both} directions of the pair
+            down. *)
+    | Restore_link of (Network.Node.id * Network.Node.id) * (string * string)
 
   type t = {
     topo : Network.Topology.t;

@@ -10,6 +10,7 @@ type journey = {
   j_frame : int;
   j_seq : int;
   j_events : (Timeunit.ns * string) list;  (* chronological *)
+  j_tainted : bool;
 }
 
 type t = {
@@ -21,6 +22,7 @@ type t = {
   mutable journey_total : int; (* journeys ever offered, kept or not *)
   mutable released : int;
   mutable completed : int;
+  mutable tainted : int; (* completions that crossed a fault window *)
 }
 
 let default_journey_cap = 1024
@@ -36,27 +38,35 @@ let create ?(journey_cap = default_journey_cap) () =
     journey_total = 0;
     released = 0;
     completed = 0;
+    tainted = 0;
   }
 
-let record t ~flow ~frame ~released ~completed =
+(* Tainted completions count as completed but stay out of the response
+   statistics: a journey a fault window may have perturbed cannot witness
+   a bound violation, so cross-checks compare clean journeys only. *)
+let record ?(tainted = false) t ~flow ~frame ~released ~completed =
   if completed < released then
     invalid_arg "Collector.record: completion before release";
-  let key = (flow.Traffic.Flow.id, frame) in
-  let stats =
-    match Hashtbl.find_opt t.table key with
-    | Some s -> s
-    | None ->
-        let s = Stats.create () in
-        Hashtbl.replace t.table key s;
-        s
-  in
-  Stats.add stats (completed - released);
+  if tainted then t.tainted <- t.tainted + 1
+  else begin
+    let key = (flow.Traffic.Flow.id, frame) in
+    let stats =
+      match Hashtbl.find_opt t.table key with
+      | Some s -> s
+      | None ->
+          let s = Stats.create () in
+          Hashtbl.replace t.table key s;
+          s
+    in
+    Stats.add stats (completed - released)
+  end;
   t.completed <- t.completed + 1
 
 let note_released t = t.released <- t.released + 1
 
 let completed_count t = t.completed
 let released_count t = t.released
+let tainted_count t = t.tainted
 let incomplete t = t.released - t.completed
 
 let responses t ~flow ~frame = Hashtbl.find_opt t.table (flow, frame)
@@ -97,12 +107,12 @@ let stages_seen t ~flow ~frame =
     t.stage_table []
   |> List.sort_uniq compare
 
-let record_journey t ~flow ~frame ~seq ~events =
+let record_journey ?(tainted = false) t ~flow ~frame ~seq ~events =
   t.journey_total <- t.journey_total + 1;
   if t.retained < t.journey_cap then begin
     t.journeys <-
       { j_flow = flow; j_frame = frame; j_seq = seq;
-        j_events = List.sort compare events }
+        j_events = List.sort compare events; j_tainted = tainted }
       :: t.journeys;
     t.retained <- t.retained + 1
   end

@@ -25,20 +25,28 @@ val create : ?journey_cap:int -> unit -> t
     limit.  Raises [Invalid_argument] on a negative cap. *)
 
 val record :
+  ?tainted:bool ->
   t ->
   flow:Traffic.Flow.t ->
   frame:int ->
   released:Gmf_util.Timeunit.ns ->
   completed:Gmf_util.Timeunit.ns ->
   unit
-(** Records one completed packet.  Raises [Invalid_argument] if
-    [completed < released]. *)
+(** Records one completed packet.  [tainted] (default false) marks a
+    packet whose life overlapped a fault window ({!Gmf_faults.Fault}): it
+    counts in {!completed_count} and {!tainted_count} but stays out of
+    the response statistics, so sim-vs-analysis cross-checks only assert
+    bounds on journeys the faults could not have perturbed.  Raises
+    [Invalid_argument] if [completed < released]. *)
 
 val note_released : t -> unit
 (** Counts a released packet (matched against completions at the end). *)
 
 val completed_count : t -> int
 val released_count : t -> int
+
+val tainted_count : t -> int
+(** Completions recorded with [tainted:true] — 0 in fault-free runs. *)
 
 val incomplete : t -> int
 (** Packets released but not completed when the simulation ended (in
@@ -74,9 +82,11 @@ type journey = {
   j_seq : int;  (** Per-flow packet sequence number. *)
   j_events : (Gmf_util.Timeunit.ns * string) list;
       (** Chronological boundary events of the packet's life. *)
+  j_tainted : bool;  (** Whether the packet crossed a fault window. *)
 }
 
 val record_journey :
+  ?tainted:bool ->
   t -> flow:Traffic.Flow.id -> frame:int -> seq:int ->
   events:(Gmf_util.Timeunit.ns * string) list -> unit
 (** Store one traced packet's journey (events are sorted on insert).

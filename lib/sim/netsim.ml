@@ -31,6 +31,7 @@ type port = {
   link : Network.Link.t;
   buffer : fragment Queue.t;
   mutable busy : bool;
+  mutable down : bool; (* a downed link stops transmitting *)
   mutable on_idle : unit -> unit;
 }
 
@@ -44,6 +45,8 @@ type iface = {
   mutable in_fifo_max : int;  (* high-water mark of the ingress NIC FIFO *)
   mutable prio_backlog : int; (* current total frames across prio queues *)
   mutable prio_max : int;     (* high-water mark of the egress prio queues *)
+  mutable drops : int;        (* frames discarded at this interface's
+                                 full queues, for attribution *)
 }
 
 type processor = {
@@ -52,6 +55,7 @@ type processor = {
   croute : Timeunit.ns;
   csend : Timeunit.ns;
   mutable running : bool;
+  mutable stalled : bool; (* a stalled switch CPU pauses its rotation *)
   mutable busy_ns : Timeunit.ns; (* cumulative task execution time *)
 }
 
@@ -71,7 +75,11 @@ type state = {
   frag_bits : (Traffic.Flow.id * int, int list) Hashtbl.t;
   config : Sim_config.t;
   master_rng : Rng.t;
+  faults : Gmf_faults.Fault.schedule;
+  loss : float; (* frame-loss probability, 0 when no fault asks for it *)
+  loss_rng : Rng.t;
   mutable dropped : int;
+  mutable fault_drops : int; (* frames lost to downed links / frame loss *)
   mutable traced : int; (* journeys recorded so far *)
 }
 
@@ -92,14 +100,40 @@ type report = {
   ingress_backlog : ((Network.Node.id * Network.Node.id) * int) list;
       (* ((switch, predecessor), max frames ever waiting in its NIC
          ingress FIFO) *)
+  dropped_by_port : ((Network.Node.id * Network.Node.id) * int) list;
+      (* ((switch, neighbor), frames that interface discarded at full
+         queues) — only interfaces with at least one drop *)
+  fault_drops : int;
+      (* frames lost to downed links (Drop policy) or random frame loss *)
+  tainted_completions : int;
+      (* completed packets whose life overlapped a fault window; excluded
+         from the response statistics *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Link transmission                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Full-queue drop accounting, shared by the ingress-FIFO and
+   priority-queue sites so every discard is attributable to the interface
+   that refused the frame. *)
+let drop_at st iface =
+  st.dropped <- st.dropped + 1;
+  iface.drops <- iface.drops + 1
+
 let rec try_transmit st port =
-  if not port.busy then
+  if port.down then begin
+    (* A downed link never transmits.  Under the [Drop] policy anything
+       queued behind it is discarded now; under [Hold] the frames wait in
+       the card for [Link_up]. *)
+    if st.faults.Gmf_faults.Fault.policy = Gmf_faults.Fault.Drop
+       && not (Queue.is_empty port.buffer)
+    then begin
+      st.fault_drops <- st.fault_drops + Queue.length port.buffer;
+      Queue.clear port.buffer
+    end
+  end
+  else if not port.busy then
     match Queue.take_opt port.buffer with
     | None -> ()
     | Some frag ->
@@ -162,15 +196,27 @@ and record_stage_spans (st : state) packet completed =
     (Network.Route.intermediate_switches route)
 
 and deliver st link frag =
+  if st.loss > 0. && Rng.float st.loss_rng 1.0 < st.loss then
+    (* The frame was lost on the wire; its packet never completes. *)
+    st.fault_drops <- st.fault_drops + 1
+  else deliver_intact st link frag
+
+and deliver_intact st link frag =
   let here = link.Network.Link.dst in
   let packet = frag.packet in
   if here = Traffic.Flow.destination packet.flow then begin
     packet.arrived <- packet.arrived + 1;
     if packet.arrived = packet.nfrags then begin
       let completed = Engine.now st.engine in
-      Collector.record st.collector ~flow:packet.flow ~frame:packet.frame
-        ~released:packet.released ~completed;
-      record_stage_spans st packet completed;
+      let tainted =
+        (not (Gmf_faults.Fault.is_empty st.faults))
+        && Gmf_faults.Fault.taints st.faults
+             ~route:packet.flow.Traffic.Flow.route ~from:packet.released
+             ~until:completed
+      in
+      Collector.record ~tainted st.collector ~flow:packet.flow
+        ~frame:packet.frame ~released:packet.released ~completed;
+      if not tainted then record_stage_spans st packet completed;
       let tracer = Gmf_obs.Tracer.default in
       if Gmf_obs.Tracer.enabled tracer then
         Gmf_obs.Tracer.emit tracer ~cat:"packet"
@@ -193,8 +239,9 @@ and deliver st link frag =
                    node ))
              packet.marks)
         in
-        Collector.record_journey st.collector ~flow:packet.flow.Traffic.Flow.id
-          ~frame:packet.frame ~seq:packet.seq ~events
+        Collector.record_journey ~tainted st.collector
+          ~flow:packet.flow.Traffic.Flow.id ~frame:packet.frame
+          ~seq:packet.seq ~events
       end
     end
   end
@@ -212,7 +259,7 @@ and deliver st link frag =
       | Some cap -> Queue.length iface.in_fifo >= cap
       | None -> false
     in
-    if full then st.dropped <- st.dropped + 1
+    if full then drop_at st iface
     else begin
       set_mark frag.packet 'a' here (Engine.now st.engine);
       Queue.push frag iface.in_fifo;
@@ -257,7 +304,10 @@ and task_ready (kind, iface) =
    only faster than the analysis' CIRC-per-rotation worst case, never
    slower, preserving the bound-domination property checked by E5. *)
 and cpu_step st sw proc scans =
-  if scans >= Array.length proc.tasks then proc.running <- false
+  if proc.stalled then
+    (* A stalled CPU stops its rotation; the un-stall event wakes it. *)
+    proc.running <- false
+  else if scans >= Array.length proc.tasks then proc.running <- false
   else begin
     let tid = Stride.Scheduler.select proc.sched in
     let ((kind, iface) as task) = proc.tasks.(tid) in
@@ -308,7 +358,7 @@ and route_fragment st sw frag =
         | Some cap -> iface.prio_backlog >= cap
         | None -> false
       in
-      if full then st.dropped <- st.dropped + 1
+      if full then drop_at st iface
       else begin
         set_mark frag.packet 'e' sw.sw_node (Engine.now st.engine);
         let prio =
@@ -351,7 +401,7 @@ let build_switch st node =
     let out_port =
       Network.Topology.find_link topo ~src:node ~dst:neighbor
       |> Option.map (fun link ->
-             { link; buffer = Queue.create (); busy = false;
+             { link; buffer = Queue.create (); busy = false; down = false;
                on_idle = (fun () -> ()) })
     in
     {
@@ -362,6 +412,7 @@ let build_switch st node =
       in_fifo_max = 0;
       prio_backlog = 0;
       prio_max = 0;
+      drops = 0;
     }
   in
   let ifaces = Array.of_list (List.map make_iface neighbor_ids) in
@@ -385,6 +436,7 @@ let build_switch st node =
       croute = model.Click.Switch_model.croute;
       csend = model.Click.Switch_model.csend;
       running = false;
+      stalled = false;
       busy_ns = 0;
     }
   in
@@ -413,7 +465,7 @@ let source_port st source next_hop =
       let topo = Traffic.Scenario.topo st.scenario in
       let link = Network.Topology.link_exn topo ~src:source ~dst:next_hop in
       let port =
-        { link; buffer = Queue.create (); busy = false;
+        { link; buffer = Queue.create (); busy = false; down = false;
           on_idle = (fun () -> ()) }
       in
       Hashtbl.replace st.source_ports key port;
@@ -500,10 +552,75 @@ let start_flow st flow =
   Engine.schedule_at st.engine ~at:phase (fun () -> arrivals 0 phase)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve a directed link to its simulated output port: a source node's
+   per-link queue or a switch interface's NIC.  A link no flow transmits
+   on has no port — faulting it is a harmless no-op. *)
+let fault_port st (a, b) =
+  match Hashtbl.find_opt st.source_ports (a, b) with
+  | Some port -> Some port
+  | None -> (
+      match Hashtbl.find_opt st.switches a with
+      | None -> None
+      | Some sw -> (
+          match Hashtbl.find_opt sw.by_neighbor b with
+          | None -> None
+          | Some iface -> iface.out_port))
+
+(* Processors deduplicated by physical identity (they contain closures,
+   so structural comparison is unusable). *)
+let distinct_procs sw =
+  Array.fold_left
+    (fun acc p -> if List.memq p acc then acc else p :: acc)
+    [] sw.proc_of_iface
+  |> List.rev
+
+let install_fault st = function
+  | Gmf_faults.Fault.Frame_loss _ -> () (* folded into [st.loss] *)
+  | Gmf_faults.Fault.Link_down (lid, at) -> (
+      match fault_port st lid with
+      | None -> ()
+      | Some port ->
+          Engine.schedule_at st.engine ~at (fun () ->
+              port.down <- true;
+              (* Applies the Drop policy to anything already queued. *)
+              try_transmit st port))
+  | Gmf_faults.Fault.Link_up (lid, at) -> (
+      match fault_port st lid with
+      | None -> ()
+      | Some port ->
+          Engine.schedule_at st.engine ~at (fun () ->
+              port.down <- false;
+              try_transmit st port;
+              (* Held frames may all have been drained meanwhile; let the
+                 egress task refill an idle card. *)
+              if Queue.is_empty port.buffer && not port.busy then
+                port.on_idle ()))
+  | Gmf_faults.Fault.Switch_stall (node, at, duration) -> (
+      match Hashtbl.find_opt st.switches node with
+      | None -> ()
+      | Some sw ->
+          let procs = distinct_procs sw in
+          Engine.schedule_at st.engine ~at (fun () ->
+              List.iter (fun p -> p.stalled <- true) procs);
+          Engine.schedule_at st.engine ~at:(at + duration) (fun () ->
+              List.iter
+                (fun p ->
+                  p.stalled <- false;
+                  wake st sw p)
+                procs))
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(config = Sim_config.default) scenario =
+let run ?(config = Sim_config.default)
+    ?(faults = Gmf_faults.Fault.empty) scenario =
+  (match Gmf_faults.Fault.validate (Traffic.Scenario.topo scenario) faults with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Netsim.run: " ^ msg));
   let st =
     {
       engine = Engine.create ();
@@ -519,29 +636,30 @@ let run ?(config = Sim_config.default) scenario =
       frag_bits = Hashtbl.create 64;
       config;
       master_rng = Rng.create ~seed:config.Sim_config.seed;
+      faults;
+      loss = Gmf_faults.Fault.loss_probability faults;
+      (* Independent of [master_rng] so enabling frame loss does not
+         perturb the per-flow arrival streams. *)
+      loss_rng = Rng.create ~seed:(config.Sim_config.seed lxor 0x7fa17);
       dropped = 0;
+      fault_drops = 0;
       traced = 0;
     }
   in
   List.iter (build_switch st) (Traffic.Scenario.switch_nodes scenario);
   List.iter (start_flow st) (Traffic.Scenario.flows scenario);
+  List.iter (install_fault st) faults.Gmf_faults.Fault.events;
   let wall_before = Unix.gettimeofday () in
   Engine.run st.engine;
   let wall_ns = (Unix.gettimeofday () -. wall_before) *. 1e9 in
   let egress_backlog = ref [] and ingress_backlog = ref [] in
+  let dropped_by_port = ref [] in
   let cpu_utilization = ref [] in
   let span = max 1 (Engine.now st.engine) in
   Hashtbl.iter
     (fun node sw ->
-      (* Deduplicate processors by physical identity (they contain
-         closures, so structural comparison is unusable). *)
-      let distinct =
-        Array.fold_left
-          (fun acc p -> if List.memq p acc then acc else p :: acc)
-          [] sw.proc_of_iface
-      in
       let busiest =
-        List.fold_left (fun acc p -> max acc p.busy_ns) 0 distinct
+        List.fold_left (fun acc p -> max acc p.busy_ns) 0 (distinct_procs sw)
       in
       cpu_utilization :=
         (node, float_of_int busiest /. float_of_int span)
@@ -552,11 +670,15 @@ let run ?(config = Sim_config.default) scenario =
             egress_backlog := ((node, ifc.neighbor), ifc.prio_max)
               :: !egress_backlog;
           ingress_backlog := ((node, ifc.neighbor), ifc.in_fifo_max)
-            :: !ingress_backlog)
+            :: !ingress_backlog;
+          if ifc.drops > 0 then
+            dropped_by_port := ((node, ifc.neighbor), ifc.drops)
+              :: !dropped_by_port)
         sw.ifaces)
     st.switches;
   let egress_backlog = List.sort compare !egress_backlog in
   let ingress_backlog = List.sort compare !ingress_backlog in
+  let dropped_by_port = List.sort compare !dropped_by_port in
   let metrics = Gmf_obs.Metrics.default in
   if Gmf_obs.Metrics.enabled metrics then begin
     let counter = Gmf_obs.Metrics.counter metrics in
@@ -584,7 +706,16 @@ let run ?(config = Sim_config.default) scenario =
     gauge "sim.wall_ms" (wall_ns /. 1e6);
     if wall_ns > 0. then
       gauge "sim.ratio.sim_per_wall"
-        (float_of_int (Engine.now st.engine) /. wall_ns)
+        (float_of_int (Engine.now st.engine) /. wall_ns);
+    if not (Gmf_faults.Fault.is_empty faults) then begin
+      Gmf_obs.Metrics.incr
+        ~by:(List.length faults.Gmf_faults.Fault.events)
+        (counter "faults.injected");
+      Gmf_obs.Metrics.incr ~by:st.fault_drops (counter "sim.fault_drops");
+      Gmf_obs.Metrics.incr
+        ~by:(Collector.tainted_count st.collector)
+        (counter "sim.packets.tainted")
+    end
   end;
   {
     collector = st.collector;
@@ -595,4 +726,7 @@ let run ?(config = Sim_config.default) scenario =
     cpu_utilization = List.sort compare !cpu_utilization;
     egress_backlog;
     ingress_backlog;
+    dropped_by_port;
+    fault_drops = st.fault_drops;
+    tainted_completions = Collector.tainted_count st.collector;
   }

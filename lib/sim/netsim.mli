@@ -30,13 +30,38 @@ type report = {
   ingress_backlog : ((Network.Node.id * Network.Node.id) * int) list;
       (** High-water marks of every switch ingress NIC FIFO, keyed by
           (switch, sending neighbour). *)
+  dropped_by_port : ((Network.Node.id * Network.Node.id) * int) list;
+      (** Attribution of [fragments_dropped]: frames each switch interface
+          discarded at its full queues, keyed by (switch, neighbour); only
+          interfaces with at least one drop appear. *)
+  fault_drops : int;
+      (** Ethernet frames lost to injected faults — discarded behind a
+          downed link under {!Gmf_faults.Fault.Drop}, or lost to a
+          [Frame_loss] probability.  0 in fault-free runs. *)
+  tainted_completions : int;
+      (** Completed packets whose lifetime overlapped a fault window
+          ({!Gmf_faults.Fault.taints}); they are excluded from the
+          response statistics so sim-vs-analysis cross-checks only assert
+          bounds on journeys the faults could not have perturbed. *)
 }
 
-val run : ?config:Sim_config.t -> Traffic.Scenario.t -> report
-(** [run ?config scenario] simulates the scenario for
+val run :
+  ?config:Sim_config.t -> ?faults:Gmf_faults.Fault.schedule ->
+  Traffic.Scenario.t -> report
+(** [run ?config ?faults scenario] simulates the scenario for
     [config.duration] of traffic generation, drains in-flight packets, and
     returns the collected response times.
 
+    [faults] (default {!Gmf_faults.Fault.empty}) injects a fault schedule:
+    downed links stop transmitting — frames queued behind them wait or are
+    discarded per the schedule's {!Gmf_faults.Fault.policy} — stalled
+    switches pause their stride rotation for the stall's duration, and a
+    [Frame_loss] probability discards delivered frames at random (from a
+    dedicated RNG stream, so the traffic arrival pattern is unchanged).
+    Journeys overlapping a fault window are tagged tainted, see
+    [tainted_completions].
+
     Raises [Invalid_argument] if a flow's route uses a link absent from the
     topology (scenarios built through [Traffic.Scenario.make] cannot
-    trigger this). *)
+    trigger this), or if the fault schedule fails
+    {!Gmf_faults.Fault.validate}. *)

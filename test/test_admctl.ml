@@ -171,6 +171,84 @@ let test_start_kinds () =
           (Format.asprintf "%a" Session.pp_start o.Session.start))
     outcomes
 
+(* ------------------------------------------------------------------ *)
+(* Degraded mode: fail link / restore link                            *)
+(* ------------------------------------------------------------------ *)
+
+let triangle_prologue =
+  "node h0 endhost\nnode h1 endhost\n\
+   node s0 switch\nnode s1 switch\nnode s2 switch\n\
+   duplex h0 s0 rate=100M\nduplex h1 s1 rate=100M\n\
+   duplex s0 s1 rate=100M\nduplex s0 s2 rate=100M\nduplex s2 s1 rate=100M\n\
+   switch s0 ports=3 cpus=1 croute=2.7us csend=1us\n\
+   switch s1 ports=3 cpus=1 croute=2.7us csend=1us\n\
+   switch s2 ports=2 cpus=1 croute=2.7us csend=1us\n"
+
+let test_fail_and_restore_link () =
+  let prefix =
+    triangle_prologue
+    ^ "admit flow f from=h0 to=h1 route=h0,s0,s1,h1 prio=5 encap=rtp\n\
+      \  frame period=20ms deadline=150ms payload=160B\nend\n\
+       fail link s0 s1\n"
+  in
+  (* Stop right after the fail: the outage must be on the books. *)
+  let { Replay.session = degraded; _ } =
+    Replay.run (trace_of_string prefix)
+  in
+  Alcotest.(check (list (pair int int)))
+    "failed link recorded" [ (2, 3) ]
+    (Session.failed_links degraded);
+  let trace =
+    trace_of_string
+      (prefix
+      ^ "admit flow g from=h0 to=h1 route=h0,s0,s1,h1 prio=4 encap=udp\n\
+        \  frame period=20ms deadline=150ms payload=160B\nend\n\
+         fail link s0 s1\n\
+         restore link s2 s1\n\
+         restore link s0 s1\n")
+  in
+  let { Replay.outcomes; session } = Replay.run trace in
+  let nth = List.nth outcomes in
+  (* #1 fail: the pinned flow is rerouted over s2 and stays admitted. *)
+  let fail = nth 1 in
+  Alcotest.(check bool) "fail accepted" true fail.Session.accepted;
+  (match fail.Session.degradation with
+  | Some { Session.rerouted = [ f ]; shed = [] } ->
+      Alcotest.(check (list bool))
+        "reroute avoids the failed link" [ false ]
+        (List.map
+           (fun (r : Traffic.Flow.t) ->
+             List.exists
+               (fun hop -> hop = (2, 3) || hop = (3, 2))
+               (Network.Route.hops r.Traffic.Flow.route))
+           [ f ])
+  | _ -> Alcotest.fail "expected one rerouted flow, none shed");
+  (* #2 admit over the failed link rejects with GMF016, no fixpoint. *)
+  let late = nth 2 in
+  Alcotest.(check bool) "admit over failure rejected" false
+    late.Session.accepted;
+  Alcotest.(check (list string))
+    "GMF016" [ "GMF016" ]
+    (List.map (fun d -> d.Gmf_diag.code) late.Session.diagnostics);
+  Alcotest.(check int) "no fixpoint" 0 late.Session.rounds;
+  (* #3 duplicate fail and #4 restore of a healthy link both reject. *)
+  Alcotest.(check (list bool))
+    "duplicate fail / bogus restore rejected" [ false; false ]
+    [ (nth 3).Session.accepted; (nth 4).Session.accepted ];
+  (* #5 restore succeeds without a fixpoint; the flow keeps its degraded
+     route until re-admitted. *)
+  let restore = nth 5 in
+  Alcotest.(check bool) "restore accepted" true restore.Session.accepted;
+  Alcotest.(check int) "restore runs no fixpoint" 0 restore.Session.rounds;
+  Alcotest.(check (list (pair int int)))
+    "no failed links left" []
+    (Session.failed_links session);
+  match Session.flows session with
+  | [ f ] ->
+      Alcotest.(check bool) "still on the detour via s2" true
+        (Network.Route.mem f.Traffic.Flow.route 4)
+  | flows -> Alcotest.failf "expected one flow, got %d" (List.length flows)
+
 let test_summary_counters_match_metrics () =
   let reg = Gmf_obs.Metrics.default in
   Gmf_obs.Metrics.set_enabled reg true;
@@ -222,19 +300,24 @@ let verdict_kind = function
   | Analysis.Holistic.Analysis_failed _ -> "failed"
   | Analysis.Holistic.No_fixed_point _ -> "divergent"
 
-(* Random traces over a 2-switch chain: interleaved admits (occasionally
-   heavy enough to be rejected), removals, updates and queries. *)
+(* Random traces over a switch triangle: interleaved admits (occasionally
+   heavy enough to be rejected), removals, updates, queries and
+   fail/restore of the switch-to-switch links.  The third switch s2 gives
+   the cross-cluster flows an alternate path, so a [fail link s0 s1]
+   exercises the reroute-and-warm-start machinery, not just shedding. *)
 let gen_trace_text rng =
   let open Gmf_util in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     "node h0 endhost\nnode h1 endhost\nnode h2 endhost\nnode h3 endhost\n\
-     node s0 switch\nnode s1 switch\n\
+     node s0 switch\nnode s1 switch\nnode s2 switch\n\
      duplex h0 s0 rate=100M\nduplex h1 s0 rate=100M\n\
      duplex h2 s1 rate=100M\nduplex h3 s1 rate=100M\n\
-     duplex s0 s1 rate=100M\n\
-     switch s0 ports=3 cpus=1 croute=2.7us csend=1us\n\
-     switch s1 ports=3 cpus=1 croute=2.7us csend=1us\n";
+     duplex s0 s1 rate=100M\nduplex s0 s2 rate=100M\n\
+     duplex s2 s1 rate=100M\n\
+     switch s0 ports=4 cpus=1 croute=2.7us csend=1us\n\
+     switch s1 ports=4 cpus=1 croute=2.7us csend=1us\n\
+     switch s2 ports=2 cpus=1 croute=2.7us csend=1us\n";
   let hosts = [| "h0"; "h1"; "h2"; "h3" |] in
   let active = ref [] in
   let fresh = ref 0 in
@@ -256,21 +339,35 @@ let gen_trace_text rng =
     done;
     Buffer.add_string buf "end\n"
   in
+  (* Fault churn on the relay links.  Duplicate fails and restores of a
+     healthy link are generated on purpose: the session must reject them
+     (GMF016) without raising, and the shadow check still applies to the
+     fixpoints the valid ones run. *)
+  let relay_links = [| ("s0", "s1"); ("s0", "s2"); ("s2", "s1") |] in
+  let failed = ref [] in
   let n_events = 4 + Rng.int rng 8 in
   for _ = 1 to n_events do
-    match Rng.int rng 5 with
-    | 0 | 1 ->
+    match Rng.int rng 8 with
+    | 0 | 1 | 2 ->
         let name = Printf.sprintf "f%d" !fresh in
         incr fresh;
         flow_block "admit" name;
         if not (List.mem name !active) then active := name :: !active
-    | 2 when !active <> [] ->
+    | 3 when !active <> [] ->
         let name = List.nth !active (Rng.int rng (List.length !active)) in
         active := List.filter (fun n -> n <> name) !active;
         Buffer.add_string buf (Printf.sprintf "remove %s\n" name)
-    | 3 when !active <> [] ->
+    | 4 when !active <> [] ->
         let name = List.nth !active (Rng.int rng (List.length !active)) in
         flow_block "update" name
+    | 5 ->
+        let (a, b) = Rng.pick rng relay_links in
+        if not (List.mem (a, b) !failed) then failed := (a, b) :: !failed;
+        Buffer.add_string buf (Printf.sprintf "fail link %s %s\n" a b)
+    | 6 ->
+        let (a, b) = Rng.pick rng relay_links in
+        failed := List.filter (fun l -> l <> (a, b)) !failed;
+        Buffer.add_string buf (Printf.sprintf "restore link %s %s\n" a b)
     | _ -> Buffer.add_string buf "query\n"
   done;
   Buffer.contents buf
@@ -412,6 +509,8 @@ let tests =
     Alcotest.test_case "lint gate rejects duplicate name" `Quick
       test_lint_gate_rejects_duplicate_name;
     Alcotest.test_case "warm/cold start kinds" `Quick test_start_kinds;
+    Alcotest.test_case "fail/restore link lifecycle" `Quick
+      test_fail_and_restore_link;
     Alcotest.test_case "summary matches metrics counters" `Quick
       test_summary_counters_match_metrics;
     Alcotest.test_case "trace parse errors (caret goldens)" `Quick

@@ -1,0 +1,165 @@
+(* Analysis.Ctx snapshot/restore and Jitter_state.filter_flows — the
+   state plumbing a warm-started admission session leans on.  A snapshot
+   must be an isolated deep copy, restore must re-install source jitters
+   on top, and filter_flows must behave at both edges (keep nothing /
+   keep everything). *)
+
+module Ctx = Analysis.Ctx
+module Jitter_state = Analysis.Jitter_state
+module Stage = Analysis.Stage
+
+let scenario () = Workload.Scenarios.fig1_videoconf ()
+
+let stage_of (flow : Traffic.Flow.t) =
+  List.hd (Stage.stages_of_route flow.Traffic.Flow.route)
+
+(* ------------------------------------------------------------------ *)
+(* Ctx.snapshot / Ctx.restore                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_is_isolated () =
+  let ctx = Ctx.create (scenario ()) in
+  let flow = List.hd (Traffic.Scenario.flows (Ctx.scenario ctx)) in
+  let stage = Stage.Ingress 4 in
+  Ctx.set_jitter ctx flow ~frame:0 ~stage 700;
+  let snap = Ctx.snapshot ctx in
+  Alcotest.(check int) "snapshot sees the value" 700
+    (Jitter_state.get snap ~flow:flow.Traffic.Flow.id ~stage ~frame:0);
+  (* Later context mutations must not leak into the snapshot... *)
+  Ctx.set_jitter ctx flow ~frame:0 ~stage 1_300;
+  Alcotest.(check int) "snapshot unchanged by ctx writes" 700
+    (Jitter_state.get snap ~flow:flow.Traffic.Flow.id ~stage ~frame:0);
+  (* ...and mutating the snapshot must not leak back. *)
+  Jitter_state.set snap ~flow:flow.Traffic.Flow.id ~stage ~frame:0 9_999;
+  Alcotest.(check int) "ctx unchanged by snapshot writes" 1_300
+    (Ctx.get_jitter ctx flow ~frame:0 ~stage)
+
+let test_snapshot_restore_round_trip () =
+  let ctx = Ctx.create (scenario ()) in
+  let flows = Traffic.Scenario.flows (Ctx.scenario ctx) in
+  let fa = List.nth flows 0 and fb = List.nth flows 1 in
+  Ctx.set_jitter ctx fa ~frame:0 ~stage:(Stage.Ingress 4) 111;
+  Ctx.set_jitter ctx fb ~frame:1 ~stage:(Stage.Ingress 4) 222;
+  let snap = Ctx.snapshot ctx in
+  (* Scribble over everything, then restore. *)
+  Ctx.set_jitter ctx fa ~frame:0 ~stage:(Stage.Ingress 4) 5_000;
+  Ctx.set_jitter ctx fb ~frame:1 ~stage:(Stage.Ingress 4) 6_000;
+  Ctx.set_jitter ctx fa ~frame:0 ~stage:(Stage.Ingress 6) 7_000;
+  Ctx.restore ctx snap;
+  Alcotest.(check int) "fa restored" 111
+    (Ctx.get_jitter ctx fa ~frame:0 ~stage:(Stage.Ingress 4));
+  Alcotest.(check int) "fb restored" 222
+    (Ctx.get_jitter ctx fb ~frame:1 ~stage:(Stage.Ingress 4));
+  Alcotest.(check int) "scribble gone" 0
+    (Ctx.get_jitter ctx fa ~frame:0 ~stage:(Stage.Ingress 6));
+  (* The restore argument is copied, not aliased. *)
+  Ctx.set_jitter ctx fa ~frame:0 ~stage:(Stage.Ingress 4) 8_000;
+  Alcotest.(check int) "restore argument not aliased" 111
+    (Jitter_state.get snap ~flow:fa.Traffic.Flow.id
+       ~stage:(Stage.Ingress 4) ~frame:0)
+
+let test_restore_reinstalls_source_jitters () =
+  (* fig1's video flow carries a 1 ms source jitter on its first frame;
+     restoring from an empty state must still re-install it at the
+     first-link stage, exactly as Ctx.create does. *)
+  let ctx = Ctx.create (scenario ()) in
+  let flows = Traffic.Scenario.flows (Ctx.scenario ctx) in
+  let expectations =
+    List.concat_map
+      (fun (f : Traffic.Flow.t) ->
+        let stage = stage_of f in
+        List.mapi
+          (fun k (fs : Gmf.Frame_spec.t) ->
+            (f, k, stage, fs.Gmf.Frame_spec.jitter))
+          (Array.to_list (Gmf.Spec.frames f.Traffic.Flow.spec)))
+      flows
+  in
+  Alcotest.(check bool) "fig1 has a jittered frame" true
+    (List.exists (fun (_, _, _, j) -> j > 0) expectations);
+  Ctx.restore ctx (Jitter_state.create ());
+  List.iter
+    (fun (f, k, stage, jitter) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s frame %d source jitter" f.Traffic.Flow.name k)
+        jitter
+        (Ctx.get_jitter ctx f ~frame:k ~stage))
+    expectations
+
+let test_restore_completes_unseen_flows () =
+  (* A state captured on a smaller flow set: the session admits a new
+     flow and warm-starts from the old fixpoint.  The unseen flow must
+     enter at its source jitters, the old entries must survive. *)
+  let ctx = Ctx.create (scenario ()) in
+  let flows = Traffic.Scenario.flows (Ctx.scenario ctx) in
+  let newcomer = List.hd flows in
+  let veteran = List.nth flows 1 in
+  Ctx.set_jitter ctx veteran ~frame:0 ~stage:(Stage.Ingress 4) 333;
+  let partial =
+    Jitter_state.filter_flows (Ctx.snapshot ctx)
+      ~keep:(fun id -> id <> newcomer.Traffic.Flow.id)
+  in
+  Ctx.restore ctx partial;
+  Alcotest.(check int) "veteran entry carried over" 333
+    (Ctx.get_jitter ctx veteran ~frame:0 ~stage:(Stage.Ingress 4));
+  let first_spec = (Gmf.Spec.frames newcomer.Traffic.Flow.spec).(0) in
+  Alcotest.(check int) "newcomer starts from its source jitter"
+    first_spec.Gmf.Frame_spec.jitter
+    (Ctx.get_jitter ctx newcomer ~frame:0 ~stage:(stage_of newcomer))
+
+(* ------------------------------------------------------------------ *)
+(* Jitter_state.filter_flows edges                                    *)
+(* ------------------------------------------------------------------ *)
+
+let populated () =
+  let js = Jitter_state.create () in
+  Jitter_state.set js ~flow:0 ~stage:(Stage.Ingress 4) ~frame:0 10;
+  Jitter_state.set js ~flow:0 ~stage:(Stage.Egress (4, 6)) ~frame:2 20;
+  Jitter_state.set js ~flow:1 ~stage:(Stage.Ingress 4) ~frame:0 30;
+  Jitter_state.set js ~flow:2 ~stage:(Stage.Ingress 5) ~frame:1 40;
+  js
+
+let test_filter_flows_edges () =
+  let js = populated () in
+  let none = Jitter_state.filter_flows js ~keep:(fun _ -> false) in
+  Alcotest.(check bool) "keep nothing = empty state" true
+    (Jitter_state.equal none (Jitter_state.create ()));
+  Alcotest.(check int) "empty max_value" 0 (Jitter_state.max_value none);
+  let all = Jitter_state.filter_flows js ~keep:(fun _ -> true) in
+  Alcotest.(check bool) "keep everything = same state" true
+    (Jitter_state.equal all js);
+  (* The full copy is fresh, not an alias. *)
+  Jitter_state.set all ~flow:0 ~stage:(Stage.Ingress 4) ~frame:0 99;
+  Alcotest.(check int) "filter returns a fresh state" 10
+    (Jitter_state.get js ~flow:0 ~stage:(Stage.Ingress 4) ~frame:0)
+
+let test_filter_flows_partial () =
+  let js = populated () in
+  let kept = Jitter_state.filter_flows js ~keep:(fun id -> id <> 0) in
+  Alcotest.(check int) "dropped flow reads as unset" 0
+    (Jitter_state.get kept ~flow:0 ~stage:(Stage.Ingress 4) ~frame:0);
+  Alcotest.(check int) "dropped flow extra is 0" 0
+    (Jitter_state.extra kept ~flow:0 ~n_frames:3 ~stage:(Stage.Egress (4, 6)));
+  Alcotest.(check int) "kept flow survives" 30
+    (Jitter_state.get kept ~flow:1 ~stage:(Stage.Ingress 4) ~frame:0);
+  Alcotest.(check int) "other kept flow survives" 40
+    (Jitter_state.get kept ~flow:2 ~stage:(Stage.Ingress 5) ~frame:1);
+  Alcotest.(check int) "max over the remainder" 40
+    (Jitter_state.max_value kept);
+  (* Filtering is idempotent on the survivors. *)
+  let again = Jitter_state.filter_flows kept ~keep:(fun id -> id <> 0) in
+  Alcotest.(check bool) "idempotent" true (Jitter_state.equal kept again)
+
+let tests =
+  [
+    Alcotest.test_case "snapshot is isolated" `Quick test_snapshot_is_isolated;
+    Alcotest.test_case "snapshot/restore round trip" `Quick
+      test_snapshot_restore_round_trip;
+    Alcotest.test_case "restore re-installs source jitters" `Quick
+      test_restore_reinstalls_source_jitters;
+    Alcotest.test_case "restore completes unseen flows" `Quick
+      test_restore_completes_unseen_flows;
+    Alcotest.test_case "filter_flows: keep none / keep all" `Quick
+      test_filter_flows_edges;
+    Alcotest.test_case "filter_flows: partial" `Quick
+      test_filter_flows_partial;
+  ]
