@@ -559,6 +559,83 @@ module Survive_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Case-evaluation backends (Gmf_exec)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The k=2 survivability sweep of fig1 — 60+ independent holistic
+   fixpoints — evaluated sequentially and through the fork pool.  The
+   reported speedup only means something on a multicore runner (the CI
+   machines); on a single core the pool pays fork/marshal overhead for
+   nothing.  What holds everywhere, and is asserted here, is that the
+   rendered reports are byte-identical across backends. *)
+module Exec_bench = struct
+  let scenario = Workload.Scenarios.fig1_videoconf ()
+  let k = 2
+  let jobs = 4
+
+  let sweep exec = Gmf_faults.Survive.run ~exec ~k scenario
+
+  let json_report () =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let seq, seq_s = time (fun () -> sweep Gmf_exec.seq) in
+    let pool, pool_s = time (fun () -> sweep (Gmf_exec.pool jobs)) in
+    let seq_json = Gmf_faults.Survive.to_json scenario seq in
+    let pool_json = Gmf_faults.Survive.to_json scenario pool in
+    if not (String.equal seq_json pool_json) then
+      failwith "exec bench: pool report diverges from the sequential one";
+    (* Second sequential pass against a shared memo pre-filled by the
+       first: every case should come back as a hit. *)
+    let memo = Gmf_exec.Memo.create () in
+    let reg = Gmf_obs.Metrics.default in
+    Gmf_obs.Metrics.set_enabled reg true;
+    Gmf_obs.Metrics.reset reg;
+    ignore
+      (Gmf_exec.map_cases ~memo
+         ~key:(fun i -> string_of_int i)
+         ~f:(fun i -> i * i)
+         (List.init 64 Fun.id));
+    ignore
+      (Gmf_exec.map_cases ~memo
+         ~key:(fun i -> string_of_int i)
+         ~f:(fun i -> i * i)
+         (List.init 64 Fun.id));
+    Gmf_obs.Metrics.set_enabled reg false;
+    let counter name =
+      Gmf_obs.Metrics.counter_value (Gmf_obs.Metrics.counter reg name)
+    in
+    let speedup = if pool_s <= 0. then 0. else seq_s /. pool_s in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"benchmark\": \"exec\",\n\
+         \  \"workload\": {\"scenario\": \"fig1\", \"k\": %d, \"cases\": %d},\n"
+         k
+         (List.length seq.Gmf_faults.Survive.cases));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"seq\": {\"seconds\": %.6f},\n\
+         \  \"pool\": {\"jobs\": %d, \"seconds\": %.6f},\n\
+         \  \"speedup\": %.2f,\n\
+         \  \"identical_output\": true,\n"
+         seq_s jobs pool_s speedup);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"memo\": {\"cases\": %d, \"hits\": %d}\n"
+         (counter "exec.cases") (counter "exec.memo_hits"));
+    Buffer.add_string buf "}\n";
+    let path = "BENCH_exec.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -594,6 +671,10 @@ let () =
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "survive" then begin
     Survive_bench.json_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "exec" then begin
+    Exec_bench.json_report ();
     exit 0
   end;
   let results = benchmark () in

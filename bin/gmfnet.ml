@@ -31,20 +31,28 @@ let scenarios =
      fun rate -> Workload.Scenarios.enterprise ?rate_bps:rate ());
   ]
 
-let build_scenario ?file name rate =
+(* Named scenarios carry no fault schedule; files may declare one with
+   [fault] directives.  Only [simulate] consumes the schedule. *)
+let build_scenario_faults ?file name rate =
   match file with
   | Some path -> (
-      match Scenario_io.Parse.scenario_of_file path with
-      | Ok scenario -> Ok scenario
+      match Scenario_io.Parse.scenario_faults_of_file path with
+      | Ok parsed ->
+          Ok
+            ( parsed.Scenario_io.Parse.scenario,
+              parsed.Scenario_io.Parse.faults )
       | Error e ->
           Error (Format.asprintf "%s: %a" path Scenario_io.Parse.pp_error e))
   | None -> (
       match List.find_opt (fun (n, _, _) -> n = name) scenarios with
-      | Some (_, _, f) -> Ok (f rate)
+      | Some (_, _, f) -> Ok (f rate, Gmf_faults.Fault.empty)
       | None ->
           Error
             (Printf.sprintf "unknown scenario %S (try: %s)" name
                (String.concat ", " (List.map (fun (n, _, _) -> n) scenarios))))
+
+let build_scenario ?file name rate =
+  Result.map fst (build_scenario_faults ?file name rate)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                   *)
@@ -79,6 +87,17 @@ let variant_arg =
       ]
   in
   Arg.(value & opt variant Analysis.Config.default & info [ "variant" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Evaluate independent analysis cases on $(docv) forked worker \
+     processes.  Default: sequential; when the flag is absent the \
+     $(b,GMFNET_JOBS) environment variable is consulted.  The results \
+     are byte-identical to a sequential run."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let exec_of_jobs jobs = Gmf_exec.of_jobs (Gmf_exec.resolve_jobs jobs)
 
 let exit_of_result = function
   | Ok () -> 0
@@ -357,12 +376,29 @@ let trace_arg =
   let doc = "Print the full journey of the first N completed packets." in
   Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
 
+let fault_policy_arg =
+  let doc =
+    "What happens to Ethernet frames queued behind a link a $(b,fault) \
+     directive took down: $(b,hold) (default; they wait for the link to \
+     come back) or $(b,drop) (discarded and counted as fault drops)."
+  in
+  let policy =
+    Arg.enum
+      [ ("hold", Gmf_faults.Fault.Hold); ("drop", Gmf_faults.Fault.Drop) ]
+  in
+  Arg.(
+    value
+    & opt policy Gmf_faults.Fault.Hold
+    & info [ "fault-policy" ] ~docv:"POLICY" ~doc)
+
 let simulate_cmd =
   let run name file rate duration seed jitter_mode slack capacity phasing
-      busy_poll trace_limit metrics trace_out =
+      busy_poll trace_limit fault_policy metrics trace_out =
     exit_of_result
-      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+      (Result.bind (build_scenario_faults ?file name rate)
+         (fun (scenario, faults) ->
            with_obs ?metrics ?trace_out @@ fun () ->
+           let faults = { faults with Gmf_faults.Fault.policy = fault_policy } in
            let release =
              if slack <= 0. then Sim.Sim_config.Periodic
              else Sim.Sim_config.Random_slack slack
@@ -379,7 +415,11 @@ let simulate_cmd =
                trace_limit;
              }
            in
-           let report = Sim.Netsim.run ~config scenario in
+           let report = Sim.Netsim.run ~config ~faults scenario in
+           if not (Gmf_faults.Fault.is_empty faults) then
+             Experiments.Exp_common.kv "faults injected"
+               (string_of_int
+                  (List.length faults.Gmf_faults.Fault.events));
            Experiments.Exp_common.kv "packets released"
              (string_of_int report.Sim.Netsim.packets_released);
            Experiments.Exp_common.kv "packets completed"
@@ -460,7 +500,8 @@ let simulate_cmd =
     Term.(
       const run $ scenario_arg $ file_arg $ rate_arg $ duration_arg $ seed_arg
       $ jitter_mode_arg $ slack_arg $ capacity_arg $ phasing_arg
-      $ busy_poll_arg $ trace_arg $ metrics_arg $ trace_out_arg)
+      $ busy_poll_arg $ trace_arg $ fault_policy_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* admission                                                          *)
@@ -537,14 +578,15 @@ let validate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let plan_cmd =
-  let run name file rate config =
+  let run name file rate config jobs =
     exit_of_result
       (Result.map
          (fun scenario ->
            let kv = Experiments.Exp_common.kv in
+           let exec = exec_of_jobs jobs in
            (* Traffic headroom: scale every flow's payloads. *)
            let headroom =
-             Analysis.Sensitivity.max_payload_scale ~config
+             Analysis.Sensitivity.max_payload_scale ~exec ~config
                ~build:(fun ~scale ->
                  Traffic.Scenario.map_flows scenario ~f:(fun f ->
                      Traffic.Flow.scale_payloads f scale))
@@ -577,7 +619,7 @@ let plan_cmd =
                ()
            in
            let cpu_slack =
-             Analysis.Sensitivity.max_circ ~config
+             Analysis.Sensitivity.max_circ ~exec ~config
                ~build:(fun ~circ_scale -> with_cpu_scale circ_scale)
                ()
            in
@@ -602,7 +644,8 @@ let plan_cmd =
     (Cmd.info "plan"
        ~doc:
          "Capacity planning: traffic headroom, switch-CPU slack and           per-flow deadline slack for a scenario.")
-    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg)
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* backlog                                                            *)
@@ -779,12 +822,13 @@ let survive_cmd =
     let doc = "Alternate routes to consider per affected flow." in
     Arg.(value & opt int 4 & info [ "max-routes" ] ~docv:"N" ~doc)
   in
-  let run name file rate config k json max_routes metrics trace_out =
+  let run name file rate config k json max_routes jobs metrics trace_out =
     exit_of_result
       (Result.bind (build_scenario ?file name rate) (fun scenario ->
            with_obs ?metrics ?trace_out (fun () ->
                let report =
-                 Gmf_faults.Survive.run ~config ~k ~max_routes scenario
+                 Gmf_faults.Survive.run ~exec:(exec_of_jobs jobs) ~config ~k
+                   ~max_routes scenario
                in
                if json then
                  print_string (Gmf_faults.Survive.to_json scenario report)
@@ -799,7 +843,106 @@ let survive_cmd =
          "Enumerate every failure of at most K links or switches, reroute           the affected flows around each failure and re-run the holistic           analysis, reporting which flows survive, survive only via a           reroute, or must be shed.")
     Term.(
       const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ k_arg
-      $ json_arg $ max_routes_arg $ metrics_arg $ trace_out_arg)
+      $ json_arg $ max_routes_arg $ jobs_arg $ metrics_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* assign                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let assign_cmd =
+  let policy_arg =
+    let doc =
+      "Priority policy: $(b,dm) (deadline-monotonic), $(b,rm) \
+       (rate-monotonic), $(b,light) (lightest-first), $(b,uniform) \
+       (every flow in class 0), or $(b,best) (exhaustive search for the \
+       schedulable assignment minimizing the largest bound — flow sets \
+       of about 6 flows at most)."
+    in
+    Arg.(
+      value
+      & pos 0
+          (enum
+             [
+               ("dm", `Dm); ("rm", `Rm); ("light", `Light);
+               ("uniform", `Uniform); ("best", `Best);
+             ])
+          `Dm
+      & info [] ~docv:"POLICY" ~doc)
+  in
+  let levels_arg =
+    let doc = "Number of 802.1p classes the switches support (1..8)." in
+    Arg.(value & opt int 8 & info [ "levels" ] ~docv:"N" ~doc)
+  in
+  let run name file rate config policy levels jobs metrics trace_out =
+    exit_of_result
+      (Result.bind (build_scenario ?file name rate) (fun scenario ->
+           with_obs ?metrics ?trace_out @@ fun () ->
+           let kv = Experiments.Exp_common.kv in
+           let topo = Traffic.Scenario.topo scenario in
+           let switches =
+             List.map
+               (fun n -> (n, Traffic.Scenario.switch_model scenario n))
+               (Traffic.Scenario.switch_nodes scenario)
+           in
+           let flows = Traffic.Scenario.flows scenario in
+           let assigned =
+             match policy with
+             | `Dm ->
+                 Some
+                   (Analysis.Priority_assign.assign ~levels
+                      Analysis.Priority_assign.Deadline_monotonic flows)
+             | `Rm ->
+                 Some
+                   (Analysis.Priority_assign.assign ~levels
+                      Analysis.Priority_assign.Rate_monotonic flows)
+             | `Light ->
+                 Some
+                   (Analysis.Priority_assign.assign ~levels
+                      Analysis.Priority_assign.Lightest_first flows)
+             | `Uniform ->
+                 Some
+                   (Analysis.Priority_assign.assign ~levels
+                      (Analysis.Priority_assign.Uniform 0) flows)
+             | `Best ->
+                 Option.map fst
+                   (Analysis.Priority_assign.best_exhaustive
+                      ~exec:(exec_of_jobs jobs) ~config ~levels ~topo
+                      ~switches flows)
+           in
+           match assigned with
+           | None -> kv "result" "no schedulable assignment"
+           | Some assigned ->
+               let table =
+                 Tablefmt.create
+                   ~columns:
+                     [
+                       ("flow", Tablefmt.Left); ("old prio", Tablefmt.Right);
+                       ("new prio", Tablefmt.Right);
+                     ]
+               in
+               List.iter2
+                 (fun (old : Traffic.Flow.t) (f : Traffic.Flow.t) ->
+                   Tablefmt.add_row table
+                     [
+                       f.Traffic.Flow.name;
+                       string_of_int old.Traffic.Flow.priority;
+                       string_of_int f.Traffic.Flow.priority;
+                     ])
+                 flows assigned;
+               Tablefmt.print table;
+               let report =
+                 Analysis.Holistic.analyze ~config
+                   (Traffic.Scenario.make ~switches ~topo ~flows:assigned ())
+               in
+               kv "verdict" (Experiments.Exp_common.verdict_string report)))
+  in
+  Cmd.v
+    (Cmd.info "assign"
+       ~doc:
+         "Rewrite every flow's 802.1p class with a priority-assignment           policy, or search exhaustively for the best schedulable           assignment, and report the resulting verdict.")
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg
+      $ policy_arg $ levels_arg $ jobs_arg $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* session                                                            *)
@@ -830,7 +973,16 @@ let session_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run file config json cold verify metrics trace_out =
+  let survivable_arg =
+    let doc =
+      "Survivable admission: additionally reject an admit or update whose \
+       candidate flow would have to be shed under some failure of at most \
+       $(docv) links or switches ($(b,GMF017))."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "survivable" ] ~docv:"K" ~doc)
+  in
+  let run file config json cold verify survivable jobs metrics trace_out =
     exit_of_result
       (match Scenario_io.Admtrace.of_file file with
       | Error e ->
@@ -841,7 +993,7 @@ let session_cmd =
             with_obs ?metrics ?trace_out (fun () ->
                 let result =
                   Gmf_admctl.Replay.run ~config ~warm:(not cold)
-                    ~shadow:verify
+                    ~shadow:verify ?survivable ~exec:(exec_of_jobs jobs)
                     ~on_outcome:(fun o ->
                       if json then
                         print_endline (Gmf_admctl.Replay.outcome_jsonl o)
@@ -873,7 +1025,8 @@ let session_cmd =
          "Replay an admission trace ($(b,.admtrace)) through a long-lived           admission-control session: admits, removals and updates re-run           the holistic fixpoint warm-started from the previous converged           jitter state.")
     Term.(
       const run $ file_pos_arg $ variant_arg $ json_arg $ cold_arg
-      $ verify_arg $ metrics_arg $ trace_out_arg)
+      $ verify_arg $ survivable_arg $ jobs_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                         *)
@@ -915,7 +1068,7 @@ let main =
     [
       list_cmd; lint_cmd; analyze_cmd; simulate_cmd; admission_cmd;
       explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
-      session_cmd; survive_cmd; experiment_cmd;
+      session_cmd; survive_cmd; assign_cmd; experiment_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -12,11 +12,11 @@ let session_event = function
   | Scenario_io.Admtrace.Restore_link ((a, b), _) ->
       Session.Restore_link (a, b)
 
-let run ?config ?warm ?shadow ?(on_outcome = fun _ -> ())
+let run ?config ?warm ?shadow ?survivable ?exec ?(on_outcome = fun _ -> ())
     (trace : Scenario_io.Admtrace.t) =
   let session =
-    Session.create ?config ?warm ?shadow ~switches:trace.switches
-      ~topo:trace.topo ()
+    Session.create ?config ?warm ?shadow ?survivable ?exec
+      ~switches:trace.switches ~topo:trace.topo ()
   in
   let outcomes =
     List.map

@@ -16,11 +16,14 @@ val run :
   ?config:Analysis.Config.t ->
   ?warm:bool ->
   ?shadow:bool ->
+  ?survivable:int ->
+  ?exec:Gmf_exec.t ->
   ?on_outcome:(Session.outcome -> unit) ->
   Scenario_io.Admtrace.t ->
   result
 (** Replay every event of the trace in order.  [on_outcome] fires after
-    each event (for streaming output); optional session knobs are passed
+    each event (for streaming output); optional session knobs —
+    including the [survivable] gate and its [exec] backend — are passed
     through to {!Session.create}. *)
 
 val outcome_line : Session.outcome -> string

@@ -45,6 +45,8 @@ type t = {
   switches : (Network.Node.id * Click.Switch_model.t) list;
   warm : bool;
   shadow : bool;
+  survivable : int option;
+  exec : Gmf_exec.t option;
   mutable flows : Traffic.Flow.t list; (* id-ascending *)
   mutable failed : (Network.Node.id * Network.Node.id) list;
       (* undirected failed link pairs, smaller id first, newest first *)
@@ -88,13 +90,18 @@ let empty_report =
   }
 
 let create ?(config = Analysis.Config.default) ?(warm = true)
-    ?(shadow = false) ?(switches = []) ~topo () =
+    ?(shadow = false) ?survivable ?exec ?(switches = []) ~topo () =
+  (match survivable with
+  | Some k when k < 0 -> invalid_arg "Session.create: survivable < 0"
+  | _ -> ());
   {
     config;
     topo;
     switches;
     warm;
     shadow;
+    survivable;
+    exec;
     flows = [];
     failed = [];
     state = Analysis.Jitter_state.create ();
@@ -331,10 +338,25 @@ let commit t ~flows ~state ~report =
   t.converged <- converged_verdict report.Analysis.Holistic.verdict;
   t.report <- report
 
+(* The survivability gate of admit/update events, when the session was
+   created with [?survivable].  Evaluated on the tentative scenario only
+   after the fixpoint accepts — see [try_set]. *)
+let survive_gate t (flow : Traffic.Flow.t) =
+  match t.survivable with
+  | None -> None
+  | Some k ->
+      Some
+        (fun scenario ->
+          Gmf_faults.Survive.admission_gate ?exec:t.exec ~config:t.config ~k
+            ~candidate:flow scenario)
+
 (* Admit and update share the accept-or-rollback shape; [init] is the
    warm-start state appropriate to the event, [commit_on_reject] is true
-   for removals only (handled separately). *)
-let try_set t ~label ~flows ~init =
+   for removals only (handled separately).  [gate] (survivability) runs
+   on the tentative scenario after the fixpoint accepts and before the
+   commit: a non-empty diagnostic list rejects, leaving the session
+   untouched. *)
+let try_set ?gate t ~label ~flows ~init =
   let scenario = scenario_of t flows in
   let lint = Gmf_lint.Lint.run ~config:t.config scenario in
   match Gmf_lint.Lint.errors lint with
@@ -345,14 +367,27 @@ let try_set t ~label ~flows ~init =
              (List.map failure_of_diag errors))
         ~rounds:0 ~start:Skipped
         ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow:None ()
-  | [] ->
+  | [] -> (
       let report, state, start, shadow = run_fixpoint t scenario ~init in
       let accepted = Analysis.Holistic.is_schedulable report in
-      if accepted then commit t ~flows ~state ~report;
-      mk_outcome t ~label ~accepted
-        ~verdict:report.Analysis.Holistic.verdict
-        ~rounds:report.Analysis.Holistic.rounds ~start
-        ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow ()
+      let gate_diags =
+        match gate with Some g when accepted -> g scenario | _ -> []
+      in
+      match gate_diags with
+      | _ :: _ ->
+          mk_outcome t ~label ~accepted:false
+            ~verdict:
+              (Analysis.Holistic.Analysis_failed
+                 (List.map failure_of_diag gate_diags))
+            ~rounds:report.Analysis.Holistic.rounds ~start
+            ~diagnostics:(lint.Gmf_lint.Lint.diagnostics @ gate_diags)
+            ~shadow ()
+      | [] ->
+          if accepted then commit t ~flows ~state ~report;
+          mk_outcome t ~label ~accepted
+            ~verdict:report.Analysis.Holistic.verdict
+            ~rounds:report.Analysis.Holistic.rounds ~start
+            ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow ())
 
 let apply_admit t flow =
   let label = "admit " ^ flow.Traffic.Flow.name in
@@ -361,7 +396,7 @@ let apply_admit t flow =
   | None when routed_over_failure t flow ->
       reject_diag t ~label (failed_route_diag t flow)
   | None ->
-      try_set t ~label
+      try_set t ?gate:(survive_gate t flow) ~label
         ~flows:(insert_sorted t.flows flow)
         ~init:(Some t.state)
 
@@ -414,7 +449,8 @@ let apply_update t flow =
           Some (Analysis.Jitter_state.filter_flows t.state ~keep)
         else None
       in
-      try_set t ~label ~flows:(insert_sorted rest flow) ~init
+      try_set t ?gate:(survive_gate t flow) ~label
+        ~flows:(insert_sorted rest flow) ~init
 
 let link_subject a b = Gmf_diag.Link { src = a; dst = b }
 

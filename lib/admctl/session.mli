@@ -110,6 +110,8 @@ val create :
   ?config:Analysis.Config.t ->
   ?warm:bool ->
   ?shadow:bool ->
+  ?survivable:int ->
+  ?exec:Gmf_exec.t ->
   ?switches:(Network.Node.id * Click.Switch_model.t) list ->
   topo:Network.Topology.t ->
   unit ->
@@ -118,7 +120,15 @@ val create :
     reset on every fixpoint event — the baseline the churn benchmark
     measures against.  [shadow:true] additionally runs the cold analysis
     after every warm-started event and records the comparison in
-    {!outcome.shadow} (the warm result stays authoritative). *)
+    {!outcome.shadow} (the warm result stays authoritative).
+
+    [survivable:k] arms the survivable-admission gate: an admit or
+    update whose tentative set is schedulable is additionally swept with
+    {!Gmf_faults.Survive.admission_gate} and rejected with a [GMF017]
+    diagnostic when the candidate flow would be shed under some
+    [<= k]-component failure.  The gate's failure cases are evaluated
+    through [exec] (default {!Gmf_exec.seq}; outcomes are
+    backend-independent).  Raises [Invalid_argument] when [k < 0]. *)
 
 val apply : t -> event -> outcome
 (** Process one event.  Never raises on user-level problems (duplicate or

@@ -75,10 +75,22 @@ let find_duplicate scenario candidate =
 let admit_exn ?config scenario ~candidate =
   check ?config (rebuild scenario [ candidate ])
 
-let admit ?config scenario ~candidate =
+(* The gate (e.g. Gmf_faults.Survive.admission_gate, injected by the
+   caller — depending on it here would be a cycle) only runs once the
+   extended set is schedulable: a rejection already stands on its own,
+   and the gate's k-failure sweep is the expensive part. *)
+let admit ?config ?gate scenario ~candidate =
   match find_duplicate scenario candidate with
   | Some existing -> reject_with [ duplicate_id_diag ~candidate ~existing ]
-  | None -> admit_exn ?config scenario ~candidate
+  | None -> (
+      let decision = admit_exn ?config scenario ~candidate in
+      match gate with
+      | None -> decision
+      | Some _ when not decision.admitted -> decision
+      | Some gate -> (
+          match gate (rebuild scenario [ candidate ]) with
+          | [] -> decision
+          | diags -> reject_with (decision.diagnostics @ diags)))
 
 let admit_greedily ?config ~topo ~switches candidates =
   let try_set flows =

@@ -1,0 +1,121 @@
+(* Canonical digest of an analysis case.  Every field the holistic
+   analysis reads must appear here — config knobs, topology, switch
+   models, flows with specs, routes, priorities and remarks — so equal
+   digests imply equal reports. *)
+
+let add_config buf (c : Config.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "cfg|%s|%b|%d|%d|%d|%d;"
+       (Config.variant_to_string c.Config.variant)
+       c.Config.tight_jitter c.Config.max_busy_iters c.Config.max_q
+       c.Config.horizon c.Config.max_holistic_rounds)
+
+let add_topo buf topo =
+  List.iter
+    (fun (n : Network.Node.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "n|%d|%s|%s;" n.Network.Node.id n.Network.Node.name
+           (Network.Node.kind_to_string n.Network.Node.kind)))
+    (Network.Topology.nodes topo);
+  List.iter
+    (fun (l : Network.Link.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "l|%d|%d|%d|%d;" l.Network.Link.src
+           l.Network.Link.dst l.Network.Link.rate_bps l.Network.Link.prop))
+    (Network.Topology.links topo)
+
+let add_switches buf scenario =
+  List.iter
+    (fun id ->
+      let m = Traffic.Scenario.switch_model scenario id in
+      Buffer.add_string buf
+        (Printf.sprintf "s|%d|%d|%d|%d|%d;" id
+           m.Click.Switch_model.ninterfaces m.Click.Switch_model.croute
+           m.Click.Switch_model.csend m.Click.Switch_model.processors))
+    (Traffic.Scenario.switch_nodes scenario)
+
+let add_flow buf (f : Traffic.Flow.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "f|%d|%s|%s|%d|" f.Traffic.Flow.id f.Traffic.Flow.name
+       (match f.Traffic.Flow.encap with
+       | Ethernet.Encap.Udp -> "udp"
+       | Ethernet.Encap.Rtp_udp -> "rtp")
+       f.Traffic.Flow.priority);
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "%d," n))
+    (Network.Route.nodes f.Traffic.Flow.route);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun ((a, b), p) ->
+      Buffer.add_string buf (Printf.sprintf "%d-%d:%d," a b p))
+    f.Traffic.Flow.remarks;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun (fr : Gmf.Frame_spec.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d/%d/%d/%d," fr.Gmf.Frame_spec.period
+           fr.Gmf.Frame_spec.deadline fr.Gmf.Frame_spec.jitter
+           fr.Gmf.Frame_spec.payload_bits))
+    (Gmf.Spec.frames f.Traffic.Flow.spec);
+  Buffer.add_char buf ';'
+
+let digest ~config scenario =
+  let buf = Buffer.create 1024 in
+  add_config buf config;
+  add_topo buf (Traffic.Scenario.topo scenario);
+  add_switches buf scenario;
+  List.iter (add_flow buf) (Traffic.Scenario.flows scenario);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let shared_memo : Holistic.report Gmf_exec.Memo.t = Gmf_exec.Memo.create ()
+
+(* Exec-layer failures become analysis failures so drivers stay total. *)
+let report_of_error err =
+  {
+    Holistic.verdict =
+      Holistic.Analysis_failed
+        [
+          {
+            Result_types.flow_id = -1;
+            frame = 0;
+            failed_stage = None;
+            reason = "exec: " ^ Gmf_exec.error_to_string err;
+          };
+        ];
+    rounds = 0;
+    results = [];
+  }
+
+let analyze_all ?exec ?(config = Config.default) scenarios =
+  Gmf_exec.map_cases ?exec ~memo:shared_memo ~key:(digest ~config)
+    ~f:(Holistic.analyze ~config) scenarios
+  |> List.map (function Ok r -> r | Error e -> report_of_error e)
+
+let analyze ?exec ?config scenario =
+  match analyze_all ?exec ?config [ scenario ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let schedulable ?exec ?config scenario =
+  Holistic.is_schedulable (analyze ?exec ?config scenario)
+
+type search = {
+  found : (int * Holistic.report) option;
+  last : Holistic.report option;
+  evaluated : int;
+}
+
+let search_schedulable ?exec ?(config = Config.default) scenarios =
+  let r =
+    Gmf_exec.search_first ?exec ~memo:shared_memo ~key:(digest ~config)
+      ~f:(Holistic.analyze ~config) ~accept:Holistic.is_schedulable
+      scenarios
+  in
+  {
+    found = r.Gmf_exec.found;
+    last =
+      Option.map
+        (function Ok rep -> rep | Error e -> report_of_error e)
+        r.Gmf_exec.last;
+    evaluated = r.Gmf_exec.evaluated;
+  }

@@ -1,0 +1,59 @@
+(** One analysis case = (flow set, topology, config), evaluated through
+    {!Gmf_exec}.
+
+    Every many-case driver (survivability enumeration, sensitivity
+    probes, priority search, rerouting candidates, bench sweeps) funnels
+    its whole-scenario analyses through this module so that
+
+    + the backend is pluggable ([?exec], {!Gmf_exec.seq} by default);
+    + identical cases are computed once: results are memoized in a
+      process-wide table keyed by {!digest}, so e.g. two survive cases
+      that shed down to the same remainder set, or a sensitivity probe
+      revisiting a scale, reuse the earlier fixpoint.
+
+    Exec-layer failures (per-case timeout, worker crash) degrade to an
+    [Analysis_failed] report carrying an ["exec: ..."] reason, so
+    drivers stay total and render rejections uniformly. *)
+
+val digest : config:Config.t -> Traffic.Scenario.t -> string
+(** Hex digest of the canonical serialization of (config, topology —
+    nodes and links with rates and propagation delays —, switch models,
+    and every flow's id, name, encapsulation, priority, route, remarks
+    and frame specs).  Two scenarios with equal digests are analyzed
+    identically. *)
+
+val shared_memo : Holistic.report Gmf_exec.Memo.t
+(** The process-wide report cache every entry point below shares. *)
+
+val analyze_all :
+  ?exec:Gmf_exec.t ->
+  ?config:Config.t ->
+  Traffic.Scenario.t list ->
+  Holistic.report list
+(** Analyze every scenario, in order, through the executor and the
+    shared memo. *)
+
+val analyze :
+  ?exec:Gmf_exec.t -> ?config:Config.t -> Traffic.Scenario.t ->
+  Holistic.report
+(** Single-case convenience: memoized {!Holistic.analyze}. *)
+
+val schedulable :
+  ?exec:Gmf_exec.t -> ?config:Config.t -> Traffic.Scenario.t -> bool
+(** [Holistic.is_schedulable (analyze scenario)]. *)
+
+type search = {
+  found : (int * Holistic.report) option;
+      (** Smallest index whose report is schedulable, with the report. *)
+  last : Holistic.report option;
+      (** Report of the last case sequential search would evaluate. *)
+  evaluated : int;  (** Sequential-equivalent evaluation count. *)
+}
+
+val search_schedulable :
+  ?exec:Gmf_exec.t ->
+  ?config:Config.t ->
+  Traffic.Scenario.t list ->
+  search
+(** First-match search for a schedulable scenario, deterministic across
+    backends (see {!Gmf_exec.search_first}). *)

@@ -63,34 +63,41 @@ let worst_bound report =
         (Result_types.worst_frame res).Result_types.total)
     0 report.Holistic.results
 
-let best_exhaustive ?config ?(levels = 8) ~topo ~switches flows =
+let best_exhaustive ?exec ?config ?(levels = 8) ~topo ~switches flows =
   if levels < 1 || levels > 8 then
     invalid_arg "Priority_assign.best_exhaustive: levels outside 1..8";
   let flows = Array.of_list flows in
   let n = Array.length flows in
-  let best = ref None in
   let classes = Array.init levels (fun l -> class_of_level ~levels l) in
-  let assignment = Array.make n 0 in
-  let rec enumerate i =
-    if i = n then begin
-      let candidate =
-        Array.to_list
-          (Array.mapi (fun j f -> reprioritize f classes.(assignment.(j))) flows)
-      in
-      let scenario = Traffic.Scenario.make ~switches ~topo ~flows:candidate () in
-      let report = Holistic.analyze ?config scenario in
-      if Holistic.is_schedulable report then begin
-        let bound = worst_bound report in
-        match !best with
-        | Some (_, best_bound) when best_bound <= bound -> ()
-        | _ -> best := Some (candidate, bound)
-      end
-    end
-    else
-      for level = 0 to levels - 1 do
-        assignment.(i) <- level;
-        enumerate (i + 1)
-      done
+  (* All [levels]^n candidate flow sets in enumeration order: position 0
+     varies slowest, level 0 first — the order the old recursive search
+     visited, which the fold below relies on for tie-breaking. *)
+  let candidates =
+    let rec enumerate i acc =
+      if i = n then [ List.rev acc ]
+      else
+        List.concat_map
+          (fun level ->
+            enumerate (i + 1) (reprioritize flows.(i) classes.(level) :: acc))
+          (List.init levels Fun.id)
+    in
+    enumerate 0 []
   in
-  enumerate 0;
-  !best
+  let analyze candidate =
+    Holistic.analyze ?config
+      (Traffic.Scenario.make ~switches ~topo ~flows:candidate ())
+  in
+  (* Candidates are independent cases; the fold keeps the first strict
+     minimum in enumeration order, so the winner is backend independent. *)
+  let outcomes = Gmf_exec.map_cases ?exec ~f:analyze candidates in
+  List.fold_left2
+    (fun best candidate outcome ->
+      match outcome with
+      | Ok report when Holistic.is_schedulable report -> begin
+          let bound = worst_bound report in
+          match best with
+          | Some (_, best_bound) when best_bound <= bound -> best
+          | _ -> Some (candidate, bound)
+        end
+      | Ok _ | Error _ -> best)
+    None candidates outcomes

@@ -29,6 +29,7 @@ val assign :
     Raises [Invalid_argument] if [levels] is outside 1..8. *)
 
 val best_exhaustive :
+  ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   ?levels:int ->
   topo:Network.Topology.t ->
@@ -38,4 +39,10 @@ val best_exhaustive :
 (** Exhaustively searches class assignments (at most [levels]^n — use for
     n <= 6 flows) for one that is schedulable, minimizing the largest
     worst-frame bound; [None] when no assignment is schedulable.  The
-    returned flows carry the winning priorities. *)
+    returned flows carry the winning priorities.
+
+    Assignments are independent cases evaluated through [exec] (default
+    {!Gmf_exec.seq}); ties on the minimal bound resolve to the earliest
+    assignment in enumeration order, so the winner is identical for
+    every backend.  A case the executor fails to evaluate (timeout,
+    crash) is skipped, exactly as an unschedulable assignment is. *)

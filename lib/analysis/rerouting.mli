@@ -22,6 +22,7 @@ val with_route : Traffic.Flow.t -> Network.Route.t -> Traffic.Flow.t
     they name hops of the old route. *)
 
 val admit :
+  ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   ?max_routes:int ->
   ?avoid_links:(Network.Node.id * Network.Node.id) list ->
@@ -36,9 +37,15 @@ val admit :
 
     [avoid_links]/[avoid_nodes] describe failed components (see
     [Gmf_faults]): avoided routes are never tried — including the
-    candidate's own route when it crosses a failed component. *)
+    candidate's own route when it crosses a failed component.
+
+    Candidate routes are independent cases evaluated through [exec]
+    (default {!Gmf_exec.seq}) via {!Case.search_schedulable}: the
+    accepted route and the [attempts] count are the ones sequential
+    first-match search produces, for every backend. *)
 
 val admit_greedily :
+  ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   ?max_routes:int ->
   topo:Network.Topology.t ->

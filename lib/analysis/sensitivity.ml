@@ -1,5 +1,9 @@
-let schedulable ?config scenario =
-  Holistic.is_schedulable (Holistic.analyze ?config scenario)
+(* Every probe goes through the case layer: the executor supplies the
+   per-case timeout, and the shared memo means a probe revisited across
+   searches (or by another driver) reuses its fixpoint.  The bisections
+   themselves are inherently sequential — each probe depends on the last
+   verdict — so [exec] parallelism only shows up via the memo. *)
+let schedulable ?exec ?config scenario = Case.schedulable ?exec ?config scenario
 
 (* Binary search on integers: smallest x in [lo, hi] with [ok x], given
    [not (ok lo)] and [ok hi]; stops at 1% relative resolution. *)
@@ -13,10 +17,10 @@ let search_min_int ~lo ~hi ~ok =
   in
   go lo hi
 
-let min_link_rate ?config ?(lo = 1_000_000) ?(hi = 10_000_000_000) ~build ()
-    =
+let min_link_rate ?exec ?config ?(lo = 1_000_000) ?(hi = 10_000_000_000)
+    ~build () =
   if lo <= 0 || lo > hi then invalid_arg "Sensitivity.min_link_rate: bad range";
-  let ok rate_bps = schedulable ?config (build ~rate_bps) in
+  let ok rate_bps = schedulable ?exec ?config (build ~rate_bps) in
   if not (ok hi) then None
   else if ok lo then Some lo
   else Some (search_min_int ~lo ~hi ~ok)
@@ -32,15 +36,15 @@ let search_max_float ~lo ~hi ~resolution ~ok =
   in
   go lo hi
 
-let max_payload_scale ?config ?(resolution = 0.01) ~build () =
-  let ok scale = schedulable ?config (build ~scale) in
+let max_payload_scale ?exec ?config ?(resolution = 0.01) ~build () =
+  let ok scale = schedulable ?exec ?config (build ~scale) in
   let lo = 1. /. 64. and hi = 64. in
   if not (ok lo) then None
   else if ok hi then Some hi
   else Some (search_max_float ~lo ~hi ~resolution ~ok)
 
-let max_circ ?config ~build () =
-  let ok circ_scale = schedulable ?config (build ~circ_scale) in
+let max_circ ?exec ?config ~build () =
+  let ok circ_scale = schedulable ?exec ?config (build ~circ_scale) in
   let lo = 1. /. 1024. and hi = 1024. in
   if not (ok lo) then None
   else if ok hi then Some hi

@@ -6,9 +6,15 @@
     "how much more traffic fits?", and "how slow a switch CPU can I buy?".
     Each search below binary-searches the schedulability frontier; the
     predicate is monotone in every searched parameter (more capacity never
-    breaks a schedulable set), which the test suite checks. *)
+    breaks a schedulable set), which the test suite checks.
+
+    Probes are evaluated through {!Case} (and therefore {!Gmf_exec}):
+    [?exec] supplies the per-case timeout, and revisited probes hit the
+    shared report memo.  The bisections themselves stay sequential —
+    every probe depends on the previous verdict. *)
 
 val min_link_rate :
+  ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   ?lo:int ->
   ?hi:int ->
@@ -21,6 +27,7 @@ val min_link_rate :
     Raises [Invalid_argument] if [lo <= 0] or [lo > hi]. *)
 
 val max_payload_scale :
+  ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   ?resolution:float ->
   build:(scale:float -> Traffic.Scenario.t) ->
@@ -32,6 +39,7 @@ val max_payload_scale :
     fails. *)
 
 val max_circ :
+  ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   build:(circ_scale:float -> Traffic.Scenario.t) ->
   unit ->

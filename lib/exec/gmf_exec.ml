@@ -1,0 +1,445 @@
+type backend = Seq | Pool of { jobs : int }
+type t = { backend : backend; timeout_s : float option }
+
+let seq = { backend = Seq; timeout_s = None }
+let pool ?timeout_s jobs = { backend = Pool { jobs }; timeout_s }
+
+let of_jobs ?timeout_s jobs =
+  if jobs <= 1 then { backend = Seq; timeout_s } else pool ?timeout_s jobs
+
+let jobs_from_env () =
+  match Sys.getenv_opt "GMFNET_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | _ -> None)
+
+let resolve_jobs cli =
+  match cli with
+  | Some n -> n
+  | None -> ( match jobs_from_env () with Some n -> n | None -> 1)
+
+type error = Timed_out | Crashed of string | Exn of string
+
+let error_to_string = function
+  | Timed_out -> "timeout"
+  | Crashed msg -> Printf.sprintf "crash: %s" msg
+  | Exn msg -> Printf.sprintf "exception: %s" msg
+
+type 'b outcome = ('b, error) result
+
+module Memo = struct
+  type 'b t = { tbl : (string, 'b) Hashtbl.t; mutable hits : int }
+
+  let create () = { tbl = Hashtbl.create 64; hits = 0 }
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+    | None -> None
+
+  let add t key v = Hashtbl.replace t.tbl key v
+  let hits t = t.hits
+  let size t = Hashtbl.length t.tbl
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.hits <- 0
+end
+
+let m_cases = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.cases"
+
+let m_memo_hits =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.memo_hits"
+
+let m_workers = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.workers"
+
+(* Parent-side span for one completed case.  Durations are measured
+   where the case ran (possibly a worker process) and recorded here in
+   a caller-owned time domain (lane 1, origin 0), so aggregates stay
+   correct under both backends. *)
+let emit_case_span dur_s =
+  let dur_ns = int_of_float (dur_s *. 1e9) in
+  let dur_ns = if dur_ns < 0 then 0 else dur_ns in
+  Gmf_obs.Tracer.emit ~cat:"exec" ~tid:1 Gmf_obs.Tracer.default
+    ~name:"exec.case" ~begin_ns:0 ~end_ns:dur_ns
+
+(* ------------------------------------------------------------------ *)
+(* Per-case evaluation with timeout                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Case_timed_out
+
+(* SIGALRM-based: works identically in-process (Seq) and inside pool
+   workers.  OCaml delivers signals at allocation points, so a case
+   that never allocates can overrun; analysis cases allocate heavily. *)
+let with_timeout timeout_s f =
+  match timeout_s with
+  | None -> f ()
+  | Some s when s <= 0. -> f ()
+  | Some s ->
+      let old =
+        Sys.signal Sys.sigalrm
+          (Sys.Signal_handle (fun _ -> raise Case_timed_out))
+      in
+      let finally () =
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_interval = 0.; it_value = 0. });
+        Sys.set_signal Sys.sigalrm old
+      in
+      Fun.protect ~finally (fun () ->
+          ignore
+            (Unix.setitimer Unix.ITIMER_REAL
+               { Unix.it_interval = 0.; it_value = s });
+          f ())
+
+(* Outcome plus wall-clock duration in seconds. *)
+let eval_one ~timeout_s ~f x =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match with_timeout timeout_s (fun () -> f x) with
+    | v -> Ok v
+    | exception Case_timed_out -> Error Timed_out
+    | exception e -> Error (Exn (Printexc.to_string e))
+  in
+  (outcome, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Fork pool                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  pid : int;
+  to_child : out_channel;
+  from_child : in_channel;
+  fd : Unix.file_descr;  (* read side, for select *)
+  mutable current : int option;
+  mutable dead : bool;
+}
+
+let reap_message pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> Printf.sprintf "worker exited with code %d" c
+  | _, Unix.WSIGNALED s -> Printf.sprintf "worker killed by signal %d" s
+  | _, Unix.WSTOPPED s -> Printf.sprintf "worker stopped by signal %d" s
+  | exception Unix.Unix_error _ -> "worker vanished"
+
+let close_worker w =
+  if not w.dead then begin
+    w.dead <- true;
+    (try close_out w.to_child with _ -> ());
+    (try close_in w.from_child with _ -> ());
+    try ignore (Unix.waitpid [] w.pid) with _ -> ()
+  end
+
+(* Fork one worker.  The child inherits [cases] and [f] by memory,
+   reads decimal task indices (one per line), evaluates, and marshals
+   [(idx, duration, outcome)] back — one message per task, so the
+   parent's channel buffer never holds more than one response and
+   select-readability stays truthful. *)
+let spawn ~timeout_s ~f (cases : 'a array) =
+  let task_r, task_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Unix.close task_w;
+         Unix.close res_r;
+         let ic = Unix.in_channel_of_descr task_r in
+         let oc = Unix.out_channel_of_descr res_w in
+         let rec serve () =
+           match input_line ic with
+           | exception End_of_file -> ()
+           | "q" -> ()
+           | line ->
+               let idx = int_of_string line in
+               let result = eval_one ~timeout_s ~f cases.(idx) in
+               let outcome, dur = result in
+               Marshal.to_channel oc
+                 ((idx, dur, outcome) : int * float * _ outcome)
+                 [ Marshal.Closures ];
+               flush oc;
+               serve ()
+         in
+         serve ()
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close task_r;
+      Unix.close res_w;
+      Gmf_obs.Metrics.incr m_workers;
+      {
+        pid;
+        to_child = Unix.out_channel_of_descr task_w;
+        from_child = Unix.in_channel_of_descr res_r;
+        fd = res_r;
+        current = None;
+        dead = false;
+      }
+
+(* Drive a fork pool over the wanted indices of [cases].
+
+   [want idx] says whether [idx] still needs a result (search mode
+   retires indices past the best accepted one); [record idx outcome dur]
+   stores a collected result.  Results are recorded exactly once per
+   wanted index; a worker crash records [Crashed] for the task it was
+   running and the worker is replaced while work remains.  Ordering of
+   [record] calls is scheduling-dependent — determinism is the caller's
+   job (it stores by index). *)
+let pool_run ~jobs ~timeout_s ~f ~want ~record (cases : 'a array) =
+  let n = Array.length cases in
+  let next = ref 0 in
+  let next_wanted () =
+    while !next < n && not (want !next) do incr next done;
+    if !next < n then Some !next else None
+  in
+  let respawn_budget = ref n in
+  let workers = ref [] in
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
+  in
+  let finally () =
+    List.iter close_worker !workers;
+    match old_sigpipe with
+    | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let alive () = List.filter (fun w -> not w.dead) !workers in
+      let dispatch w idx =
+        match
+          output_string w.to_child (string_of_int idx ^ "\n");
+          flush w.to_child
+        with
+        | () ->
+            w.current <- Some idx;
+            Gmf_obs.Metrics.incr m_cases;
+            incr next
+        | exception _ ->
+            (* Child died before taking a task (its real failure, if
+               any, was already collected); drop it — the next fill
+               round retries [idx] on another worker. *)
+            close_worker w
+      in
+      let spawn_one () =
+        if !respawn_budget > 0 then begin
+          decr respawn_budget;
+          workers := spawn ~timeout_s ~f cases :: !workers
+        end
+      in
+      let collect w =
+        match
+          (Marshal.from_channel w.from_child : int * float * _ outcome)
+        with
+        | idx, dur, outcome ->
+            w.current <- None;
+            if want idx then record idx outcome dur
+        | exception _ ->
+            (* EOF or truncated message: the worker died mid-task. *)
+            let msg = reap_message w.pid in
+            w.dead <- true;
+            (try close_out w.to_child with _ -> ());
+            (try close_in w.from_child with _ -> ());
+            (match w.current with
+            | Some idx ->
+                w.current <- None;
+                if want idx then record idx (Error (Crashed msg)) 0.
+            | None -> ())
+      in
+      let rec drive () =
+        (* Top up the pool and hand tasks to idle workers. *)
+        let rec fill () =
+          match next_wanted () with
+          | None -> ()
+          | Some idx -> (
+              let idle =
+                List.find_opt (fun w -> w.current = None) (alive ())
+              in
+              match idle with
+              | Some w ->
+                  dispatch w idx;
+                  fill ()
+              | None ->
+                  if List.length (alive ()) < jobs && !respawn_budget > 0
+                  then begin
+                    spawn_one ();
+                    fill ()
+                  end)
+        in
+        fill ();
+        let busy = List.filter (fun w -> w.current <> None) (alive ()) in
+        if busy = [] then begin
+          (* Nothing in flight.  If tasks remain but the respawn budget
+             is gone, fail them rather than hang. *)
+          match next_wanted () with
+          | None -> ()
+          | Some idx ->
+              if alive () = [] && !respawn_budget <= 0 then begin
+                record idx (Error (Crashed "worker pool exhausted")) 0.;
+                incr next;
+                drive ()
+              end
+              else if alive () = [] then begin
+                spawn_one ();
+                drive ()
+              end
+              else drive ()
+        end
+        else begin
+          let fds = List.map (fun w -> w.fd) busy in
+          let ready, _, _ = Unix.select fds [] [] (-1.) in
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun w -> w.fd = fd) busy with
+              | Some w -> collect w
+              | None -> ())
+            ready;
+          drive ()
+        end
+      in
+      drive ())
+
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let memo_lookup memo key x =
+  match (memo, key) with
+  | Some m, Some k -> (
+      match Memo.find m (k x) with
+      | Some v ->
+          Gmf_obs.Metrics.incr m_memo_hits;
+          Some v
+      | None -> None)
+  | _ -> None
+
+let memo_store memo key x = function
+  | Ok v -> (
+      match (memo, key) with
+      | Some m, Some k -> Memo.add m (k x) v
+      | _ -> ())
+  | Error _ -> ()
+
+let eval_seq ~timeout_s ~memo ~key ~f x =
+  match memo_lookup memo key x with
+  | Some v -> Ok v
+  | None ->
+      Gmf_obs.Metrics.incr m_cases;
+      let outcome, dur = eval_one ~timeout_s ~f x in
+      emit_case_span dur;
+      memo_store memo key x outcome;
+      outcome
+
+(* How many cases would actually be evaluated (memo hits excluded)? *)
+let count_pending ~memo ~key cases =
+  match (memo, key) with
+  | Some m, Some k ->
+      List.fold_left
+        (fun acc x ->
+          match Hashtbl.find_opt m.Memo.tbl (k x) with
+          | Some _ -> acc
+          | None -> acc + 1)
+        0 cases
+  | _ -> List.length cases
+
+let map_cases ?(exec = seq) ?memo ?key ~f cases =
+  let use_pool jobs =
+    jobs > 1 && Sys.unix && count_pending ~memo ~key cases > 1
+  in
+  match exec.backend with
+  | Pool { jobs } when use_pool jobs ->
+      let arr = Array.of_list cases in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      (* Resolve memo hits parent-side before forking. *)
+      Array.iteri
+        (fun i x ->
+          match memo_lookup memo key x with
+          | Some v -> results.(i) <- Some (Ok v)
+          | None -> ())
+        arr;
+      let want i = results.(i) = None in
+      let record i outcome dur =
+        results.(i) <- Some outcome;
+        emit_case_span dur;
+        memo_store memo key arr.(i) outcome
+      in
+      pool_run ~jobs ~timeout_s:exec.timeout_s ~f ~want ~record arr;
+      Array.to_list
+        (Array.map
+           (function
+             | Some o -> o
+             | None -> Error (Crashed "case never completed"))
+           results)
+  | Seq | Pool _ ->
+      List.map (eval_seq ~timeout_s:exec.timeout_s ~memo ~key ~f) cases
+
+type 'b search = {
+  found : (int * 'b) option;
+  last : 'b outcome option;
+  evaluated : int;
+}
+
+let search_first ?(exec = seq) ?memo ?key ~f ~accept cases =
+  let n = List.length cases in
+  let accepts = function Ok v -> accept v | Error _ -> false in
+  let finish (results : 'b outcome option array) =
+    let best = ref None in
+    Array.iteri
+      (fun i r ->
+        match (r, !best) with
+        | Some o, None when accepts o -> best := Some i
+        | _ -> ())
+      results;
+    match !best with
+    | Some i ->
+        let v = match results.(i) with Some (Ok v) -> v | _ -> assert false in
+        { found = Some (i, v); last = Some (Ok v); evaluated = i + 1 }
+    | None ->
+        let last = if n = 0 then None else results.(n - 1) in
+        { found = None; last; evaluated = n }
+  in
+  let use_pool jobs =
+    jobs > 1 && Sys.unix && count_pending ~memo ~key cases > 1
+  in
+  match exec.backend with
+  | Pool { jobs } when use_pool jobs ->
+      let arr = Array.of_list cases in
+      let results = Array.make n None in
+      let best = ref n in
+      (* Memo hits resolve before forking and can retire the tail. *)
+      Array.iteri
+        (fun i x ->
+          if i < !best then
+            match memo_lookup memo key x with
+            | Some v ->
+                results.(i) <- Some (Ok v);
+                if accept v && i < !best then best := i
+            | None -> ())
+        arr;
+      let want i = i < !best && results.(i) = None in
+      let record i outcome dur =
+        results.(i) <- Some outcome;
+        emit_case_span dur;
+        memo_store memo key arr.(i) outcome;
+        if accepts outcome && i < !best then best := i
+      in
+      if !best > 0 then
+        pool_run ~jobs ~timeout_s:exec.timeout_s ~f ~want ~record arr;
+      finish results
+  | Seq | Pool _ ->
+      let results = Array.make n None in
+      (try
+         List.iteri
+           (fun i x ->
+             let o = eval_seq ~timeout_s:exec.timeout_s ~memo ~key ~f x in
+             results.(i) <- Some o;
+             if accepts o then raise Stdlib.Exit)
+           cases
+       with Stdlib.Exit -> ());
+      finish results

@@ -1,0 +1,126 @@
+(** Case-evaluation layer shared by every "analyze many whole cases"
+    driver (survivability enumeration, sensitivity probes, priority
+    search, rerouting candidates, bench sweeps).
+
+    A driver hands the layer a list of independent cases and a pure
+    evaluation function; the layer decides {e how} the cases run — the
+    {!Seq} backend evaluates them in order in-process, the {!Pool}
+    backend fans them out over a Unix-fork worker pool — and returns
+    results {e in case order regardless of backend}, so goldens and
+    downstream folds never depend on scheduling.
+
+    Contract for [f]: it must be a pure function of its case (no
+    reliance on mutable state it shares with other cases), and under
+    {!Pool} its result is shipped back through [Marshal], so it must
+    not contain custom blocks that cannot be marshalled.  Side effects
+    performed by [f] (counter bumps, spans) happen in the worker
+    process under {!Pool} and are lost — drivers bump their own
+    counters caller-side.
+
+    Failures are per-case, never whole-run: an exception in [f], a
+    worker crash, or a per-case timeout surfaces as an [Error] for that
+    case while every other case still completes.
+
+    Telemetry (parent-side, so it works under both backends):
+    [exec.cases] counts evaluations actually performed, [exec.memo_hits]
+    counts evaluations avoided by the memo table, [exec.workers] counts
+    worker processes forked; every completed evaluation records an
+    [exec.case] span carrying its measured duration. *)
+
+type backend =
+  | Seq  (** In-process, in-order.  Always available. *)
+  | Pool of { jobs : int }
+      (** Unix-fork worker pool with [jobs] workers.  Falls back to
+          {!Seq} when [jobs <= 1] or fewer than two cases need
+          evaluating. *)
+
+type t = { backend : backend; timeout_s : float option }
+(** An executor: a backend plus an optional per-case wall-clock timeout
+    in seconds.  The timeout is delivered via [SIGALRM], so a case that
+    never allocates may outlive it; analysis cases allocate heavily. *)
+
+val seq : t
+(** The default executor: {!Seq}, no timeout. *)
+
+val pool : ?timeout_s:float -> int -> t
+(** [pool jobs] is a {!Pool} executor. *)
+
+val of_jobs : ?timeout_s:float -> int -> t
+(** [of_jobs jobs] is {!seq} when [jobs <= 1], [pool jobs] otherwise —
+    the normal way to turn a [--jobs N] flag into an executor. *)
+
+val jobs_from_env : unit -> int option
+(** The [GMFNET_JOBS] environment variable, when set to a positive
+    integer. *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs cli] picks the job count: the CLI value when given,
+    else [GMFNET_JOBS], else [1]. *)
+
+type error =
+  | Timed_out  (** The per-case timeout fired. *)
+  | Crashed of string  (** The worker evaluating the case died. *)
+  | Exn of string  (** [f] raised; the payload is [Printexc.to_string]. *)
+
+val error_to_string : error -> string
+
+type 'b outcome = ('b, error) result
+
+(** Memo table keyed by a caller-supplied digest string.  Lookups and
+    inserts happen in the parent process, so hits are shared across
+    drivers within a process; results computed inside pool workers are
+    added when they are collected, but duplicate keys dispatched within
+    one pool batch may each be evaluated once. *)
+module Memo : sig
+  type 'b t
+
+  val create : unit -> 'b t
+  val find : 'b t -> string -> 'b option
+  val add : 'b t -> string -> 'b -> unit
+
+  val hits : 'b t -> int
+  (** Lookups that found a value, since creation (or {!clear}). *)
+
+  val size : 'b t -> int
+  val clear : 'b t -> unit
+end
+
+val map_cases :
+  ?exec:t ->
+  ?memo:'b Memo.t ->
+  ?key:('a -> string) ->
+  f:('a -> 'b) ->
+  'a list ->
+  'b outcome list
+(** [map_cases ~f cases] evaluates every case and returns the outcomes
+    in case order.  When both [memo] and [key] are given, a case whose
+    key is already in the table returns the memoized value without
+    evaluating, and successful evaluations are added to the table. *)
+
+type 'b search = {
+  found : (int * 'b) option;
+      (** Index and value of the accepted case with the {e smallest
+          index}, exactly as sequential first-match search would return
+          it. *)
+  last : 'b outcome option;
+      (** Outcome of the last case sequential search would have
+          evaluated: the accepted one, or the final case when none is
+          accepted.  [None] only for an empty case list. *)
+  evaluated : int;
+      (** Cases sequential search would have evaluated ([found]'s index
+          + 1, or the full length).  Under {!Pool} a few later cases may
+          speculatively run; they are not counted here. *)
+}
+
+val search_first :
+  ?exec:t ->
+  ?memo:'b Memo.t ->
+  ?key:('a -> string) ->
+  f:('a -> 'b) ->
+  accept:('b -> bool) ->
+  'a list ->
+  'b search
+(** [search_first ~f ~accept cases] finds the first case (smallest
+    index) whose successful outcome satisfies [accept].  Error outcomes
+    are never accepted.  The result is deterministic and backend
+    independent. *)

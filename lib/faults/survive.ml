@@ -111,8 +111,10 @@ let switch_models scenario =
   Traffic.Scenario.switch_nodes scenario
   |> List.map (fun n -> (n, Traffic.Scenario.switch_model scenario n))
 
+(* Pure per-case evaluation: no counter bumps here — under a [Pool]
+   executor this runs in a worker process whose registry increments are
+   lost, so [run] derives the counters from the collected results. *)
 let analyze_case ~config ~max_routes scenario case =
-  Gmf_obs.Metrics.incr m_cases;
   Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"faults" "survive.case"
     (fun () ->
       let topo = Traffic.Scenario.topo scenario in
@@ -135,11 +137,8 @@ let analyze_case ~config ~max_routes scenario case =
                   ~dst:(Network.Route.destination route)
               in
               match candidates with
-              | [] ->
-                  Gmf_obs.Metrics.incr m_shed;
-                  (f, Shed, None)
+              | [] -> (f, Shed, None)
               | alt :: _ ->
-                  Gmf_obs.Metrics.incr m_rerouted;
                   let moved = Analysis.Rerouting.with_route f alt in
                   (f, Rerouted alt, Some moved))
           flows
@@ -165,7 +164,9 @@ let analyze_case ~config ~max_routes scenario case =
               },
               rounds )
           else
-            let r = Analysis.Holistic.analyze ~config scenario' in
+            (* Through the shared case memo: two failure cases that shed
+               down to the same remainder set reuse one fixpoint. *)
+            let r = Analysis.Case.analyze ~config scenario' in
             (r, rounds + r.Analysis.Holistic.rounds)
         in
         if Analysis.Holistic.is_schedulable report then (report, shed, rounds)
@@ -173,7 +174,6 @@ let analyze_case ~config ~max_routes scenario case =
           match shed_order survivors with
           | [] -> (report, shed, rounds)
           | victim :: _ ->
-              Gmf_obs.Metrics.incr m_shed;
               settle
                 (List.filter
                    (fun (f : Traffic.Flow.t) ->
@@ -198,15 +198,55 @@ let analyze_case ~config ~max_routes scenario case =
         rounds;
       })
 
-let run ?(config = Analysis.Config.default) ?(k = 1) ?(max_routes = 4)
+(* A case the exec layer failed to evaluate (timeout, worker crash) is
+   reported conservatively: analysis-failed verdict, every flow shed. *)
+let failed_case_result scenario err case =
+  {
+    case;
+    fates =
+      List.map
+        (fun (f : Traffic.Flow.t) -> (f, Shed))
+        (Traffic.Scenario.flows scenario);
+    verdict =
+      Analysis.Holistic.Analysis_failed
+        [
+          {
+            Analysis.Result_types.flow_id = -1;
+            frame = 0;
+            failed_stage = None;
+            reason = "exec: " ^ Gmf_exec.error_to_string err;
+          };
+        ];
+    rounds = 0;
+  }
+
+let run ?exec ?(config = Analysis.Config.default) ?(k = 1) ?(max_routes = 4)
     scenario =
   if k < 0 then invalid_arg "Survive.run: k < 0";
-  let base = Analysis.Holistic.analyze ~config scenario in
+  let base = Analysis.Case.analyze ~config scenario in
+  let case_list = failure_cases ~k (components scenario) in
+  Gmf_obs.Metrics.incr ~by:(List.length case_list) m_cases;
   let cases =
-    List.map
-      (analyze_case ~config ~max_routes scenario)
-      (failure_cases ~k (components scenario))
+    Gmf_exec.map_cases ?exec ~f:(analyze_case ~config ~max_routes scenario)
+      case_list
+    |> List.map2
+         (fun case -> function
+           | Ok r -> r
+           | Error e -> failed_case_result scenario e case)
+         case_list
   in
+  (* Counters derived from the collected fates: correct under both
+     backends (worker-side increments never reach this process). *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (_, fate) ->
+          match fate with
+          | Rerouted _ -> Gmf_obs.Metrics.incr m_rerouted
+          | Shed -> Gmf_obs.Metrics.incr m_shed
+          | Unaffected -> ())
+        c.fates)
+    cases;
   let verdict_of (f : Traffic.Flow.t) =
     let fate_in case_result =
       List.assoc_opt f.Traffic.Flow.id
@@ -230,6 +270,54 @@ let run ?(config = Analysis.Config.default) ?(k = 1) ?(max_routes = 4)
       matrix
   in
   { k; base; cases; matrix; shed_set }
+
+(* ------------------------------------------------------------------ *)
+(* Survivable-admission gate                                           *)
+(* ------------------------------------------------------------------ *)
+
+let admission_gate ?exec ?config ?(k = 1) ?max_routes
+    ~(candidate : Traffic.Flow.t) scenario =
+  let report = run ?exec ?config ~k ?max_routes scenario in
+  let verdict =
+    List.find_map
+      (fun ((f : Traffic.Flow.t), v) ->
+        if f.Traffic.Flow.id = candidate.Traffic.Flow.id then Some v
+        else None)
+      report.matrix
+  in
+  match verdict with
+  | Some Must_shed ->
+      let shed_cases =
+        List.filter
+          (fun c ->
+            List.exists
+              (fun ((f : Traffic.Flow.t), fate) ->
+                f.Traffic.Flow.id = candidate.Traffic.Flow.id && fate = Shed)
+              c.fates)
+          report.cases
+      in
+      let witness =
+        match shed_cases with
+        | c :: _ ->
+            String.concat " + " (List.map (component_name scenario) c.case)
+        | [] -> "unknown case"
+      in
+      [
+        Gmf_diag.error ~code:"GMF017"
+          ~subject:
+            (Gmf_diag.Flow
+               {
+                 id = candidate.Traffic.Flow.id;
+                 name = candidate.Traffic.Flow.name;
+               })
+          ~suggestion:
+            "add an alternate route (extra link) for the flow, raise its \
+             priority, or admit without the survivability gate"
+          "flow %S is shed in %d of %d <=%d-failure case(s) (first: %s)"
+          candidate.Traffic.Flow.name (List.length shed_cases)
+          (List.length report.cases) k witness;
+      ]
+  | Some Survives | Some Survives_with_reroute | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                          *)

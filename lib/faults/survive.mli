@@ -70,6 +70,7 @@ val components : Traffic.Scenario.t -> component list
     order), then every switch node. *)
 
 val run :
+  ?exec:Gmf_exec.t ->
   ?config:Analysis.Config.t ->
   ?k:int ->
   ?max_routes:int ->
@@ -77,7 +78,29 @@ val run :
   report
 (** [run scenario] analyzes every failure case of at most [k] (default 1)
     components, trying up to [max_routes] (default 4) alternate routes
-    per affected flow.  Raises [Invalid_argument] when [k < 0]. *)
+    per affected flow.  Cases are independent and evaluated through
+    [exec] (default {!Gmf_exec.seq}); results are identical for every
+    backend.  A case the executor fails to evaluate (per-case timeout,
+    worker crash) is reported conservatively: analysis-failed verdict
+    with an ["exec: ..."] reason and every flow shed.  Raises
+    [Invalid_argument] when [k < 0]. *)
+
+val admission_gate :
+  ?exec:Gmf_exec.t ->
+  ?config:Analysis.Config.t ->
+  ?k:int ->
+  ?max_routes:int ->
+  candidate:Traffic.Flow.t ->
+  Traffic.Scenario.t ->
+  Gmf_diag.t list
+(** Survivable-admission gate: runs {!run} on [scenario] (which must
+    already include [candidate]) and returns a single [GMF017] error
+    when [candidate]'s matrix verdict is {!Must_shed} — i.e. admitting
+    it would leave it shed under some [<= k]-component failure — citing
+    the first witnessing failure case.  Returns [[]] when the candidate
+    survives every case (with or without reroute).  Intended as the
+    [?gate] argument of [Analysis.Admission.admit] and the
+    [?survivable] mode of [Gmf_admctl.Session]. *)
 
 val component_name : Traffic.Scenario.t -> component -> string
 (** e.g. ["link a<->b"], ["switch sw0"]. *)

@@ -127,6 +127,15 @@ let catalog =
          fail/restore handling, not by scenario_rules)";
     };
     {
+      code = "GMF017";
+      category = Structural;
+      default_severity = Gmf_diag.Error;
+      title = "candidate not k-failure survivable (must-shed verdict)";
+      reference =
+        "Section 3.5 (produced by the survivable-admission gate — \
+         Gmf_faults.Survive.admission_gate — not by scenario_rules)";
+    };
+    {
       code = "GMF101";
       category = Model;
       default_severity = Gmf_diag.Hint;

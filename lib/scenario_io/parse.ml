@@ -90,6 +90,7 @@ type state = {
   mutable flows : Traffic.Flow.t list; (* reversed *)
   mutable next_flow_id : int;
   mutable current : pending_flow option;
+  mutable faults : Gmf_faults.Fault.event list; (* reversed *)
 }
 
 let node_id st lineno name =
@@ -259,6 +260,47 @@ let directive_frame st lineno rest =
       in
       flow.f_frames <- frame :: flow.f_frames
 
+(* fault link <a> <b> at=<t> [until=<t>]     — the duplex pair goes down
+   fault switch <s> stall <duration> at=<t>  — stride rotation pauses
+   Injected by [gmfnet simulate]; the static analysis commands ignore
+   the schedule (they have their own failure enumeration, [survive]). *)
+let directive_fault st lineno = function
+  | "link" :: a :: b :: rest ->
+      let kvs = parse_kvs lineno rest in
+      reject_unknown lineno kvs [ "at"; "until" ];
+      let at = unit_arg lineno Units.duration "at" (require lineno kvs "at") in
+      let ia = node_id st lineno a and ib = node_id st lineno b in
+      if
+        Network.Topology.find_link st.topo ~src:ia ~dst:ib = None
+        && Network.Topology.find_link st.topo ~src:ib ~dst:ia = None
+      then fail ~token:b lineno "no link between %S and %S" a b;
+      let down = Gmf_faults.Fault.duplex_down ~a:ia ~b:ib ~at in
+      let up =
+        match lookup kvs "until" with
+        | None -> []
+        | Some v ->
+            let until = unit_arg lineno Units.duration "until" v in
+            if until <= at then
+              fail ~token:v lineno
+                "until must lie after at (%s is not after at)" v;
+            Gmf_faults.Fault.duplex_up ~a:ia ~b:ib ~at:until
+      in
+      st.faults <- List.rev_append (down @ up) st.faults
+  | "switch" :: name :: "stall" :: duration :: rest ->
+      let kvs = parse_kvs lineno rest in
+      reject_unknown lineno kvs [ "at" ];
+      let at = unit_arg lineno Units.duration "at" (require lineno kvs "at") in
+      let duration = unit_arg lineno Units.duration "stall" duration in
+      let id = node_id st lineno name in
+      if not (Network.Node.is_switch (Network.Topology.node st.topo id)) then
+        fail ~token:name lineno "fault switch: %S is not a switch" name;
+      st.faults <-
+        Gmf_faults.Fault.Switch_stall (id, at, duration) :: st.faults
+  | _ ->
+      fail lineno
+        "usage: fault link <a> <b> at=<time> [until=<time>]  |  fault \
+         switch <name> stall <duration> at=<time>"
+
 let finish_flow st lineno =
   match st.current with
   | None -> fail lineno "'end' without a flow block"
@@ -332,7 +374,12 @@ let enrich lines ~line ~token message =
   in
   { line; column; source; message }
 
-let scenario_of_string text =
+type with_faults = {
+  scenario : Traffic.Scenario.t;
+  faults : Gmf_faults.Fault.schedule;
+}
+
+let scenario_faults_of_string text =
   let st =
     {
       topo = Network.Topology.create ();
@@ -341,6 +388,7 @@ let scenario_of_string text =
       flows = [];
       next_flow_id = 0;
       current = None;
+      faults = [];
     }
   in
   let lines = Array.of_list (String.split_on_char '\n' text) in
@@ -354,6 +402,7 @@ let scenario_of_string text =
         | "link" :: rest -> directive_link st lineno rest
         | "duplex" :: rest -> directive_duplex st lineno rest
         | "switch" :: rest -> directive_switch st lineno rest
+        | "fault" :: rest -> directive_fault st lineno rest
         | "flow" :: rest -> directive_flow st lineno rest
         | "frame" :: rest -> directive_frame st lineno rest
         | [ "end" ] -> finish_flow st lineno
@@ -363,19 +412,26 @@ let scenario_of_string text =
     | Some flow -> fail flow.f_line "flow %S not closed by 'end'" flow.f_name
     | None -> ());
     match
-      Traffic.Scenario.make ~switches:(List.rev st.switches) ~topo:st.topo
-        ~flows:(List.rev st.flows) ()
+      ( Traffic.Scenario.make ~switches:(List.rev st.switches) ~topo:st.topo
+          ~flows:(List.rev st.flows) (),
+        Gmf_faults.Fault.make (List.rev st.faults) )
     with
-    | scenario -> Ok scenario
+    | scenario, faults -> Ok { scenario; faults }
     | exception Invalid_argument msg ->
         Error { line = 0; column = None; source = None; message = msg }
   with Fail { line; token; message } -> Error (enrich lines ~line ~token message)
 
-let scenario_of_file path =
+let scenario_of_string text =
+  Result.map (fun r -> r.scenario) (scenario_faults_of_string text)
+
+let scenario_faults_of_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> scenario_of_string text
+  | text -> scenario_faults_of_string text
   | exception Sys_error msg ->
       Error { line = 0; column = None; source = None; message = msg }
+
+let scenario_of_file path =
+  Result.map (fun r -> r.scenario) (scenario_faults_of_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Admission traces                                                   *)
@@ -417,6 +473,7 @@ module Admtrace = struct
         flows = [];
         next_flow_id = 0;
         current = None;
+        faults = [];
       }
     in
     let lines = Array.of_list (String.split_on_char '\n' text) in

@@ -9,6 +9,8 @@
     duplex <a> <b> rate=<rate> [prop=<duration>]         # both directions
     switch <name> [ports=<int>] [cpus=<int>]
                   [croute=<duration>] [csend=<duration>]
+    fault link <a> <b> at=<time> [until=<time>]          # duplex outage
+    fault switch <name> stall <duration> at=<time>       # CPU hiccup
     flow <name> from=<node> to=<node> [route=<n1>,<n2>,...]
                 [prio=<0..7>] [encap=udp|rtp]
       frame period=<duration> deadline=<duration>
@@ -20,7 +22,18 @@
     A [flow] block runs until [end]; it needs at least one [frame].  When
     [route] is omitted the fewest-hops path is used.  A [switch] directive
     is optional per switch node (defaults: ports = node degree, 1 CPU, the
-    paper's measured task costs). *)
+    paper's measured task costs).
+
+    [fault] directives describe an injectable fault schedule
+    ({!Gmf_faults.Fault}) alongside the scenario: [fault link] takes both
+    directions of an existing duplex pair down at [at] (back up at
+    [until] when given, which must lie after [at]); [fault switch] pauses
+    the named switch's task rotation for [stall] starting at [at].  Nodes
+    and links must be declared before a [fault] names them.  Only
+    simulation consumes the schedule ([gmfnet simulate], via
+    {!scenario_faults_of_file}); the analysis entry points parse and
+    discard it — static what-if analysis enumerates failures itself
+    ([gmfnet survive]). *)
 
 type error = {
   line : int;  (** 1-based; 0 for whole-file problems. *)
@@ -35,6 +48,20 @@ val scenario_of_string : string -> (Traffic.Scenario.t, error) result
 
 val scenario_of_file : string -> (Traffic.Scenario.t, error) result
 (** Reads the file; an unreadable file reports on line 0. *)
+
+type with_faults = {
+  scenario : Traffic.Scenario.t;
+  faults : Gmf_faults.Fault.schedule;
+      (** The [fault] directives, in file order, with the default [Hold]
+          policy; {!Gmf_faults.Fault.empty}-equivalent when the file has
+          none. *)
+}
+
+val scenario_faults_of_string : string -> (with_faults, error) result
+
+val scenario_faults_of_file : string -> (with_faults, error) result
+(** Like {!scenario_of_file}, additionally returning the fault schedule
+    the [fault] directives describe. *)
 
 val pp_error : Format.formatter -> error -> unit
 (** Compiler-style rendering: the position and message on the first

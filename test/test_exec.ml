@@ -1,0 +1,182 @@
+(* Gmf_exec: backend equivalence, memo accounting, worker crashes and
+   per-case timeouts.
+
+   The pool tests fork real worker processes; every [f] below allocates
+   (so SIGALRM timeouts are delivered) and the case lists stay small
+   enough that a full run is fast even at one hardware thread. *)
+
+let outcome_str = function
+  | Ok n -> Printf.sprintf "ok:%d" n
+  | Error e -> "err:" ^ Gmf_exec.error_to_string e
+
+let check_outcomes = Alcotest.(check (list string))
+
+let strs os = List.map outcome_str os
+
+(* A deterministic case function with both success and failure paths. *)
+let eval x =
+  ignore (Array.make 16 x);
+  if x < 0 then failwith (Printf.sprintf "negative %d" x) else (x * 7) + 1
+
+(* --- seq == pool determinism ---------------------------------------- *)
+
+let prop_map_seq_eq_pool =
+  QCheck.Test.make ~name:"map_cases: pool results equal seq" ~count:30
+    QCheck.(pair (small_list (int_range (-3) 50)) (int_range 2 4))
+    (fun (cases, jobs) ->
+      let s = Gmf_exec.map_cases ~exec:Gmf_exec.seq ~f:eval cases in
+      let p = Gmf_exec.map_cases ~exec:(Gmf_exec.pool jobs) ~f:eval cases in
+      strs s = strs p)
+
+let prop_search_seq_eq_pool =
+  QCheck.Test.make ~name:"search_first: pool result equals seq" ~count:30
+    QCheck.(pair (small_list (int_range (-3) 50)) (int_range 2 4))
+    (fun (cases, jobs) ->
+      let accept v = v mod 3 = 0 in
+      let run exec =
+        let r = Gmf_exec.search_first ~exec ~f:eval ~accept cases in
+        ( r.Gmf_exec.found,
+          Option.map outcome_str r.Gmf_exec.last,
+          r.Gmf_exec.evaluated )
+      in
+      run Gmf_exec.seq = run (Gmf_exec.pool jobs))
+
+(* --- combinator semantics (seq) ------------------------------------- *)
+
+let test_map_order () =
+  let r = Gmf_exec.map_cases ~f:eval [ 3; -1; 0 ] in
+  check_outcomes "ordered outcomes"
+    [ "ok:22"; "err:exception: Failure(\"negative -1\")"; "ok:1" ]
+    (strs r)
+
+let test_search_semantics () =
+  let r =
+    Gmf_exec.search_first ~f:eval
+      ~accept:(fun v -> v > 20)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  (match r.Gmf_exec.found with
+  | Some (2, 22) -> ()
+  | _ -> Alcotest.fail "expected first accepted case at index 2");
+  Alcotest.(check int) "evaluated up to the hit" 3 r.Gmf_exec.evaluated;
+  let none =
+    Gmf_exec.search_first ~f:eval ~accept:(fun _ -> false) [ 1; 2 ]
+  in
+  Alcotest.(check bool) "no hit" true (none.Gmf_exec.found = None);
+  Alcotest.(check int) "all evaluated" 2 none.Gmf_exec.evaluated;
+  let empty = Gmf_exec.search_first ~f:eval ~accept:(fun _ -> true) [] in
+  Alcotest.(check bool) "empty list" true
+    (empty.Gmf_exec.found = None && empty.Gmf_exec.last = None)
+
+(* --- memo ------------------------------------------------------------ *)
+
+let test_memo_hits () =
+  let memo = Gmf_exec.Memo.create () in
+  let evals = ref 0 in
+  let f x =
+    incr evals;
+    x * 2
+  in
+  let key = string_of_int in
+  let r1 = Gmf_exec.map_cases ~memo ~key ~f [ 1; 2; 1; 3; 2 ] in
+  check_outcomes "memoized run" [ "ok:2"; "ok:4"; "ok:2"; "ok:6"; "ok:4" ]
+    (strs r1);
+  Alcotest.(check int) "distinct cases evaluated once" 3 !evals;
+  Alcotest.(check int) "hits within one run" 2 (Gmf_exec.Memo.hits memo);
+  let r2 = Gmf_exec.map_cases ~memo ~key ~f [ 3; 1 ] in
+  check_outcomes "second run all hits" [ "ok:6"; "ok:2" ] (strs r2);
+  Alcotest.(check int) "no new evaluations" 3 !evals;
+  Alcotest.(check int) "hits accumulate" 4 (Gmf_exec.Memo.hits memo);
+  Alcotest.(check int) "table size" 3 (Gmf_exec.Memo.size memo)
+
+let test_memo_counter () =
+  let reg = Gmf_obs.Metrics.default in
+  let was = Gmf_obs.Metrics.enabled reg in
+  Gmf_obs.Metrics.set_enabled reg true;
+  let hits = Gmf_obs.Metrics.counter reg "exec.memo_hits" in
+  let cases = Gmf_obs.Metrics.counter reg "exec.cases" in
+  let h0 = Gmf_obs.Metrics.counter_value hits in
+  let c0 = Gmf_obs.Metrics.counter_value cases in
+  let memo = Gmf_exec.Memo.create () in
+  ignore
+    (Gmf_exec.map_cases ~memo ~key:string_of_int
+       ~f:(fun x -> x)
+       [ 5; 5; 6 ]);
+  Gmf_obs.Metrics.set_enabled reg was;
+  Alcotest.(check int) "exec.memo_hits"
+    1
+    (Gmf_obs.Metrics.counter_value hits - h0);
+  Alcotest.(check int) "exec.cases" 2 (Gmf_obs.Metrics.counter_value cases - c0)
+
+(* --- pool failure modes ---------------------------------------------- *)
+
+let test_worker_crash () =
+  let f x =
+    ignore (Array.make 16 x);
+    if x = 2 then exit 7 else x + 100
+  in
+  let r = Gmf_exec.map_cases ~exec:(Gmf_exec.pool 2) ~f [ 0; 1; 2; 3; 4 ] in
+  let ok, err =
+    List.partition (function Ok _ -> true | Error _ -> false) r
+  in
+  Alcotest.(check int) "other cases complete" 4 (List.length ok);
+  (match err with
+  | [ Error (Gmf_exec.Crashed _) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one crash error");
+  (* The crash lands on the case that called exit. *)
+  match List.nth r 2 with
+  | Error (Gmf_exec.Crashed _) -> ()
+  | _ -> Alcotest.fail "crash not attributed to the crashing case"
+
+let spin_allocating () =
+  (* Burn wall-clock while allocating so SIGALRM gets delivered. *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec spin acc =
+    if Unix.gettimeofday () > deadline then acc
+    else spin (ignore (Array.make 64 0) :: acc)
+  in
+  List.length (spin [])
+
+let test_timeout_seq () =
+  let f x = if x = 1 then spin_allocating () else x in
+  let exec = { Gmf_exec.backend = Gmf_exec.Seq; timeout_s = Some 0.2 } in
+  let r = Gmf_exec.map_cases ~exec ~f [ 0; 1; 2 ] in
+  check_outcomes "timeout is per-case" [ "ok:0"; "err:timeout"; "ok:2" ]
+    (strs r)
+
+let test_timeout_pool () =
+  let f x = if x = 1 then spin_allocating () else x in
+  let exec = Gmf_exec.pool ~timeout_s:0.2 2 in
+  let r = Gmf_exec.map_cases ~exec ~f [ 0; 1; 2 ] in
+  check_outcomes "worker survives the killed case"
+    [ "ok:0"; "err:timeout"; "ok:2" ] (strs r)
+
+(* --- knobs ----------------------------------------------------------- *)
+
+let test_jobs_resolution () =
+  Alcotest.(check bool) "jobs<=1 is Seq" true
+    (Gmf_exec.of_jobs 1 = Gmf_exec.seq);
+  (match (Gmf_exec.of_jobs 4).Gmf_exec.backend with
+  | Gmf_exec.Pool { jobs = 4 } -> ()
+  | _ -> Alcotest.fail "of_jobs 4");
+  Unix.putenv "GMFNET_JOBS" "3";
+  Alcotest.(check int) "env fallback" 3 (Gmf_exec.resolve_jobs None);
+  Alcotest.(check int) "cli wins" 2 (Gmf_exec.resolve_jobs (Some 2));
+  Unix.putenv "GMFNET_JOBS" "bogus";
+  Alcotest.(check int) "bogus env ignored" 1 (Gmf_exec.resolve_jobs None);
+  Unix.putenv "GMFNET_JOBS" ""
+
+let tests =
+  [
+    Alcotest.test_case "map order and error capture" `Quick test_map_order;
+    Alcotest.test_case "search semantics" `Quick test_search_semantics;
+    Alcotest.test_case "memo hits" `Quick test_memo_hits;
+    Alcotest.test_case "memo counters" `Quick test_memo_counter;
+    Alcotest.test_case "worker crash is per-case" `Quick test_worker_crash;
+    Alcotest.test_case "timeout kills the case (seq)" `Quick test_timeout_seq;
+    Alcotest.test_case "timeout kills the case (pool)" `Quick
+      test_timeout_pool;
+    Alcotest.test_case "jobs knob" `Quick test_jobs_resolution;
+    QCheck_alcotest.to_alcotest prop_map_seq_eq_pool;
+    QCheck_alcotest.to_alcotest prop_search_seq_eq_pool;
+  ]

@@ -260,6 +260,74 @@ let test_roundtrip_analysis_agrees () =
   in
   Alcotest.(check (list int)) "same bounds" (totals scenario) (totals reparsed)
 
+(* ---------------- fault directives ---------------- *)
+
+let fault_text =
+  {|node a endhost
+node b endhost
+node sw switch
+duplex a sw rate=100M
+duplex b sw rate=100M
+fault link a sw at=2ms until=8ms
+fault switch sw stall 1ms at=5ms
+flow f from=a to=b prio=7 encap=rtp
+  frame period=20ms deadline=150ms payload=160B
+end
+|}
+
+let test_fault_directives () =
+  match Scenario_io.Parse.scenario_faults_of_string fault_text with
+  | Error e -> Alcotest.failf "parse failed: %a" Scenario_io.Parse.pp_error e
+  | Ok { Scenario_io.Parse.scenario; faults } ->
+      Alcotest.(check int) "one flow" 1 (Traffic.Scenario.flow_count scenario);
+      (* duplex down (2 events) + duplex up (2) + stall (1) *)
+      Alcotest.(check int) "five events" 5
+        (List.length faults.Gmf_faults.Fault.events);
+      Alcotest.(check bool) "hold policy" true
+        (faults.Gmf_faults.Fault.policy = Gmf_faults.Fault.Hold);
+      Alcotest.(check bool) "validates against the topology" true
+        (Gmf_faults.Fault.validate (Traffic.Scenario.topo scenario) faults
+        = Ok ());
+      Alcotest.(check bool) "stall carries the parsed times" true
+        (List.exists
+           (function
+             | Gmf_faults.Fault.Switch_stall (_, at, d) ->
+                 at = Timeunit.ms 5 && d = Timeunit.ms 1
+             | _ -> false)
+           faults.Gmf_faults.Fault.events);
+      (* the schedule-blind entry point parses the same text fine *)
+      let s = parse_ok fault_text in
+      Alcotest.(check int) "scenario_of_string ignores faults" 1
+        (Traffic.Scenario.flow_count s)
+
+let test_fault_errors () =
+  check_error "node a endhost\nfault link a b at=1ms" "unknown node";
+  check_error
+    "node a endhost\nnode b endhost\nfault link a b at=1ms"
+    "no link between";
+  check_error
+    "node a endhost\nnode sw switch\nduplex a sw rate=1M\n\
+     fault link a sw at=5ms until=2ms"
+    "until must lie after";
+  check_error
+    "node a endhost\nnode sw switch\nduplex a sw rate=1M\n\
+     fault switch a stall 1ms at=0"
+    "not a switch";
+  check_error "node sw switch\nfault sw down" "usage: fault";
+  check_error
+    "node a endhost\nnode sw switch\nduplex a sw rate=1M\nfault link a sw"
+    "missing required";
+  (* caret rendering points at the offending token *)
+  match
+    Scenario_io.Parse.scenario_faults_of_string
+      "node a endhost\nnode b endhost\nfault link a b at=1ms"
+  with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check int) "line" 3 e.Scenario_io.Parse.line;
+      Alcotest.(check (option int))
+        "column of the dangling endpoint" (Some 14) e.Scenario_io.Parse.column
+
 let tests =
   [
     Alcotest.test_case "units: durations" `Quick test_units_duration;
@@ -276,4 +344,6 @@ let tests =
     QCheck_alcotest.to_alcotest prop_roundtrip_random;
     Alcotest.test_case "reparsed analysis agrees" `Quick
       test_roundtrip_analysis_agrees;
+    Alcotest.test_case "fault directives" `Quick test_fault_directives;
+    Alcotest.test_case "fault directive errors" `Quick test_fault_errors;
   ]

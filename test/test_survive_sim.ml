@@ -1,0 +1,101 @@
+open Gmf_util
+
+(* Cross-check of the static survivability analysis against the
+   fault-injecting simulator on the paper's Figure 1 network.
+
+   For every single-failure case [Survive.run ~k:1] settles into a
+   schedulable degraded set, the same component is failed transiently in
+   a simulation run under the [Hold] policy (frames queued behind the
+   downed link wait for recovery).  The collector excludes journeys
+   whose lifetime overlapped the fault window plus its settle margin
+   ([Gmf_faults.Fault.taints]); the assertion is that every journey that
+   remains — i.e. one the fault could not have perturbed — still meets
+   its analytic deadline.  A miss would falsify either the taint
+   margin or the fault-free bounds. *)
+
+let fault_at = Timeunit.ms 60
+let fault_until = Timeunit.ms 90
+
+let events_of_case case =
+  List.concat_map
+    (function
+      | Gmf_faults.Survive.Link (a, b) ->
+          Gmf_faults.Fault.duplex_down ~a ~b ~at:fault_at
+          @ Gmf_faults.Fault.duplex_up ~a ~b ~at:fault_until
+      | Gmf_faults.Survive.Switch n ->
+          [ Gmf_faults.Fault.Switch_stall (n, fault_at, fault_until - fault_at) ])
+    case
+
+let check_untainted_deadlines ~label scenario (report : Sim.Netsim.report) =
+  List.iter
+    (fun (flow : Traffic.Flow.t) ->
+      for frame = 0 to Traffic.Flow.n flow - 1 do
+        match
+          Sim.Collector.responses report.Sim.Netsim.collector
+            ~flow:flow.Traffic.Flow.id ~frame
+        with
+        | None -> ()
+        | Some stats ->
+            let deadline =
+              (Gmf.Spec.frame flow.Traffic.Flow.spec frame)
+                .Gmf.Frame_spec.deadline
+            in
+            if Stats.max stats > deadline then
+              Alcotest.failf
+                "%s: untainted deadline miss: flow %s frame %d observed %s > %s"
+                label flow.Traffic.Flow.name frame
+                (Timeunit.to_string (Stats.max stats))
+                (Timeunit.to_string deadline)
+      done)
+    (Traffic.Scenario.flows scenario)
+
+let test_fig1_crosscheck () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  let survive = Gmf_faults.Survive.run ~k:1 scenario in
+  Alcotest.(check bool)
+    "baseline schedulable" true
+    (Analysis.Holistic.is_schedulable survive.Gmf_faults.Survive.base);
+  let settled =
+    List.filter
+      (fun (c : Gmf_faults.Survive.case_result) ->
+        c.Gmf_faults.Survive.verdict = Analysis.Holistic.Schedulable)
+      survive.Gmf_faults.Survive.cases
+  in
+  (* Figure 1 has redundancy between the switches only; still, every
+     failure case must settle (possibly by shedding) — an empty list here
+     means the fixture changed under us. *)
+  Alcotest.(check bool) "cases to cross-check" true (settled <> []);
+  let config =
+    {
+      Sim.Sim_config.default with
+      Sim.Sim_config.duration = Timeunit.ms 250;
+    }
+  in
+  List.iter
+    (fun (c : Gmf_faults.Survive.case_result) ->
+      let label =
+        String.concat " + "
+          (List.map
+             (Gmf_faults.Survive.component_name scenario)
+             c.Gmf_faults.Survive.case)
+      in
+      let faults = Gmf_faults.Fault.make (events_of_case c.Gmf_faults.Survive.case) in
+      let report = Sim.Netsim.run ~config ~faults scenario in
+      Alcotest.(check bool)
+        (label ^ ": packets completed")
+        true
+        (report.Sim.Netsim.packets_completed > 0);
+      (* The transient window must have touched at least one journey —
+         otherwise the check below is vacuous. *)
+      Alcotest.(check bool)
+        (label ^ ": fault window tainted some journeys")
+        true
+        (report.Sim.Netsim.tainted_completions > 0);
+      check_untainted_deadlines ~label scenario report)
+    settled
+
+let tests =
+  [
+    Alcotest.test_case "fig1: untainted sim journeys meet deadlines (k=1)"
+      `Slow test_fig1_crosscheck;
+  ]
