@@ -636,6 +636,101 @@ module Exec_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Baseline regression check                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Diff a freshly-written BENCH_*.json report against a committed
+   baseline.  Wall-time leaves (path contains "seconds") regress when the
+   current value exceeds baseline * (1 + max_regress/100); throughput
+   leaves ("events_per_sec", "speedup") regress when the current value
+   falls below baseline / (1 + max_regress/100).  Every other numeric
+   leaf (event counts, rounds, memo hits) is informational — those are
+   deterministic, so a drift shows up in the table without failing the
+   run.  The generous default tolerates the noise of shared CI runners;
+   what the gate actually catches is an accidental O(n)->O(n^2) slip. *)
+module Baseline = struct
+  module Json = Gmf_obs.Export.Json
+
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+
+  let kind path =
+    if contains ~needle:"seconds" path then `Lower_is_better
+    else if
+      contains ~needle:"events_per_sec" path || contains ~needle:"speedup" path
+    then `Higher_is_better
+    else `Informational
+
+  let leaves_of_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | text -> (
+        match Json.parse text with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok v -> Ok (Json.number_leaves v))
+
+  (* 0 = within tolerance, 1 = regression, 2 = unreadable input. *)
+  let check ~current ~baseline ~max_regress =
+    match (leaves_of_file baseline, leaves_of_file current) with
+    | Error msg, _ | _, Error msg ->
+        Printf.eprintf "bench: baseline check: %s\n" msg;
+        2
+    | Ok base_leaves, Ok cur_leaves ->
+        let slack = 1. +. (max_regress /. 100.) in
+        let table =
+          Tablefmt.create
+            ~columns:
+              [
+                ("metric", Tablefmt.Left); ("baseline", Tablefmt.Right);
+                ("current", Tablefmt.Right); ("delta", Tablefmt.Right);
+                ("verdict", Tablefmt.Left);
+              ]
+        in
+        let regressions = ref 0 in
+        List.iter
+          (fun (path, base) ->
+            let kind = kind path in
+            match List.assoc_opt path cur_leaves with
+            | None ->
+                if kind <> `Informational then incr regressions;
+                Tablefmt.add_row table
+                  [ path; Printf.sprintf "%g" base; "-"; "-"; "MISSING" ]
+            | Some cur ->
+                let delta =
+                  if base = 0. then "-"
+                  else Printf.sprintf "%+.1f%%" ((cur -. base) /. base *. 100.)
+                in
+                let verdict =
+                  match kind with
+                  | `Informational -> ""
+                  | `Lower_is_better ->
+                      if cur > base *. slack then "REGRESSED" else "ok"
+                  | `Higher_is_better ->
+                      if cur < base /. slack then "REGRESSED" else "ok"
+                in
+                if verdict = "REGRESSED" then incr regressions;
+                Tablefmt.add_row table
+                  [
+                    path; Printf.sprintf "%g" base; Printf.sprintf "%g" cur;
+                    delta; verdict;
+                  ])
+          base_leaves;
+        Printf.printf "\nbaseline check against %s (max regress %.0f%%):\n"
+          baseline max_regress;
+        Tablefmt.print table;
+        if !regressions > 0 then begin
+          Printf.printf "%d metric(s) regressed\n" !regressions;
+          1
+        end
+        else begin
+          print_endline "no regressions";
+          0
+        end
+end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -664,19 +759,41 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
+(* [bench <report> [--baseline FILE] [--max-regress PCT]]: write the
+   BENCH_*.json report, then optionally diff it against a committed
+   baseline; exit 1 on a regression, 2 on an unreadable file. *)
+let flag_value name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 2
+
+let run_report json_report current =
+  json_report ();
+  match flag_value "--baseline" with
+  | None -> exit 0
+  | Some baseline ->
+      let max_regress =
+        match flag_value "--max-regress" with
+        | None -> 100.
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some v when v >= 0. -> v
+            | _ ->
+                Printf.eprintf "bench: bad --max-regress %S\n" s;
+                exit 2)
+      in
+      exit (Baseline.check ~current ~baseline ~max_regress)
+
 let () =
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "admctl" then begin
-    Admctl_churn.json_report ();
-    exit 0
-  end;
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "survive" then begin
-    Survive_bench.json_report ();
-    exit 0
-  end;
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "exec" then begin
-    Exec_bench.json_report ();
-    exit 0
-  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "admctl" then
+    run_report Admctl_churn.json_report "BENCH_admctl.json";
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "survive" then
+    run_report Survive_bench.json_report "BENCH_survive.json";
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "exec" then
+    run_report Exec_bench.json_report "BENCH_exec.json";
   let results = benchmark () in
   let table =
     Tablefmt.create

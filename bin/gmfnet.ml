@@ -698,49 +698,111 @@ let backlog_cmd =
 (* ------------------------------------------------------------------ *)
 
 let explain_cmd =
-  let flow_arg =
-    let doc = "Flow id to explain." in
-    Arg.(value & opt int 0 & info [ "flow" ] ~docv:"ID" ~doc)
+  let scenario_pos_arg =
+    let doc =
+      "Scenario to explain: a description file when $(docv) names an \
+       existing file, a named scenario otherwise (see $(b,gmfnet list))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
   in
-  let run name file rate config flow_id =
+  let flow_arg =
+    let doc = "Restrict the per-hop detail to flow $(docv) (default: the \
+               worst flow)."
+    in
+    Arg.(value & opt (some int) None & info [ "flow" ] ~docv:"ID" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the full attribution as one JSON document instead of tables."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let convergence_arg =
+    let doc =
+      "Write per-round convergence telemetry of the holistic fixpoint to \
+       $(docv) as JSON-lines; with $(b,--trace-out) the rounds also appear \
+       as a synthetic convergence lane in the Chrome trace."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "convergence" ] ~docv:"FILE" ~doc)
+  in
+  let run pos name file rate config flow_id json convergence metrics
+      trace_out =
+    let name, file =
+      match pos with
+      | Some s when Sys.file_exists s -> (name, Some s)
+      | Some s -> (s, file)
+      | None -> (name, file)
+    in
     exit_of_result
       (Result.bind (build_scenario ?file name rate) (fun scenario ->
-           match
-             List.find_opt
-               (fun f -> f.Traffic.Flow.id = flow_id)
+           let known id =
+             List.exists
+               (fun f -> f.Traffic.Flow.id = id)
                (Traffic.Scenario.flows scenario)
-           with
-           | None -> Error (Printf.sprintf "no flow with id %d" flow_id)
-           | Some flow ->
-               let report = Analysis.Holistic.analyze ~config scenario in
-               Experiments.Exp_common.kv "flow" flow.Traffic.Flow.name;
-               Experiments.Exp_common.kv "route"
-                 (Format.asprintf "%a" Network.Route.pp flow.Traffic.Flow.route);
-               Experiments.Exp_common.kv "verdict"
-                 (Experiments.Exp_common.verdict_string report);
-               (match
-                  List.find_opt
-                    (fun r ->
-                      r.Analysis.Result_types.flow.Traffic.Flow.id = flow_id)
-                    report.Analysis.Holistic.results
-                with
-               | None ->
-                   print_endline
-                     "  (no per-frame results: the analysis did not converge)"
-               | Some res ->
-                   Array.iter
-                     (fun fr ->
-                       Format.printf "%a@."
-                         Analysis.Result_types.pp_frame_result fr)
-                     res.Analysis.Result_types.frames);
-               Ok ()))
+           in
+           match flow_id with
+           | Some id when not (known id) ->
+               Error (Printf.sprintf "no flow with id %d" id)
+           | _ ->
+               let recorded = ref None in
+               let obs =
+                 with_obs ?metrics ?trace_out (fun () ->
+                     let (attr, _report), conv =
+                       Gmf_explain.Convergence.record (fun () ->
+                           Gmf_explain.Attribution.analyze ~config scenario)
+                     in
+                     recorded := Some conv;
+                     if trace_out <> None then
+                       Gmf_explain.Convergence.emit_spans
+                         Gmf_obs.Tracer.default conv;
+                     (* Nearest-feasible probes only make sense for a
+                        converged rejection, against its worst flow. *)
+                     let hints =
+                       match
+                         ( attr.Gmf_explain.Attribution.verdict,
+                           Gmf_explain.Attribution.summarize attr )
+                       with
+                       | Analysis.Holistic.Deadline_miss _, Some s ->
+                           Gmf_explain.Hints.for_flow ~config scenario
+                             ~flow_id:s.Gmf_explain.Attribution.s_flow_id ()
+                       | _ -> []
+                     in
+                     if json then
+                       print_string
+                         (Gmf_explain.Render.to_json ?flow:flow_id ~hints
+                            attr)
+                     else begin
+                       print_endline (Gmf_explain.Render.verdict_line attr);
+                       print_endline (Gmf_explain.Render.summary_table attr);
+                       let detail =
+                         Gmf_explain.Render.detail ?flow:flow_id attr
+                       in
+                       if detail <> "" then print_endline detail;
+                       let rejection =
+                         Gmf_explain.Render.rejection ~hints attr
+                       in
+                       if rejection <> "" then print_string rejection
+                     end)
+               in
+               Result.bind obs (fun () ->
+                   match (convergence, !recorded) with
+                   | Some path, Some conv -> (
+                       try
+                         Ok
+                           (Gmf_obs.Export.write_file ~path
+                              (Gmf_explain.Convergence.to_jsonl conv))
+                       with Sys_error msg -> Error msg)
+                   | _ -> Ok ())))
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Per-stage breakdown of one flow's response-time bound (the           Figure 6 pipeline, stage by stage).")
+         "Attribute every response-time bound: per-hop transmission /           switch-software / blocking / interference terms summing to the           holistic bound exactly, the binding hop and interferer per flow,           and nearest-feasible hints on a rejection.")
     Term.(
-      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ flow_arg)
+      const run $ scenario_pos_arg $ scenario_arg $ file_arg $ rate_arg
+      $ variant_arg $ flow_arg $ json_arg $ convergence_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                            *)
@@ -982,7 +1044,15 @@ let session_cmd =
     Arg.(
       value & opt (some int) None & info [ "survivable" ] ~docv:"K" ~doc)
   in
-  let run file config json cold verify survivable jobs metrics trace_out =
+  let explain_arg =
+    let doc =
+      "Attribute every fixpoint event: append the worst frame's binding \
+       hop and interferer to each transcript line (or JSON object)."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run file config json cold verify explain survivable jobs metrics
+      trace_out =
     exit_of_result
       (match Scenario_io.Admtrace.of_file file with
       | Error e ->
@@ -993,7 +1063,8 @@ let session_cmd =
             with_obs ?metrics ?trace_out (fun () ->
                 let result =
                   Gmf_admctl.Replay.run ~config ~warm:(not cold)
-                    ~shadow:verify ?survivable ~exec:(exec_of_jobs jobs)
+                    ~shadow:verify ~explain ?survivable
+                    ~exec:(exec_of_jobs jobs)
                     ~on_outcome:(fun o ->
                       if json then
                         print_endline (Gmf_admctl.Replay.outcome_jsonl o)
@@ -1025,7 +1096,7 @@ let session_cmd =
          "Replay an admission trace ($(b,.admtrace)) through a long-lived           admission-control session: admits, removals and updates re-run           the holistic fixpoint warm-started from the previous converged           jitter state.")
     Term.(
       const run $ file_pos_arg $ variant_arg $ json_arg $ cold_arg
-      $ verify_arg $ survivable_arg $ jobs_arg $ metrics_arg
+      $ verify_arg $ explain_arg $ survivable_arg $ jobs_arg $ metrics_arg
       $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)

@@ -12,10 +12,10 @@ let session_event = function
   | Scenario_io.Admtrace.Restore_link ((a, b), _) ->
       Session.Restore_link (a, b)
 
-let run ?config ?warm ?shadow ?survivable ?exec ?(on_outcome = fun _ -> ())
-    (trace : Scenario_io.Admtrace.t) =
+let run ?config ?warm ?shadow ?explain ?survivable ?exec
+    ?(on_outcome = fun _ -> ()) (trace : Scenario_io.Admtrace.t) =
   let session =
-    Session.create ?config ?warm ?shadow ?survivable ?exec
+    Session.create ?config ?warm ?shadow ?explain ?survivable ?exec
       ~switches:trace.switches ~topo:trace.topo ()
   in
   let outcomes =
@@ -57,6 +57,42 @@ let degradation_string = function
         (part "moved" rerouted)
         (part "lost" shed)
 
+(* Explain sessions only; outcomes of plain sessions carry [None] and
+   render byte-identically to pre-explain transcripts. *)
+let explain_lines = function
+  | None -> []
+  | Some (s : Gmf_explain.Attribution.summary) ->
+      let binding =
+        if s.Gmf_explain.Attribution.s_slack < 0 then
+          Printf.sprintf
+            "     binding: flow %d (%s) frame %d bound %dns exceeds \
+             deadline %dns at %s"
+            s.Gmf_explain.Attribution.s_flow_id
+            s.Gmf_explain.Attribution.s_flow
+            s.Gmf_explain.Attribution.s_frame
+            s.Gmf_explain.Attribution.s_total
+            s.Gmf_explain.Attribution.s_deadline
+            s.Gmf_explain.Attribution.s_hop
+        else
+          Printf.sprintf
+            "     binding: flow %d (%s) frame %d slack=%dns at %s"
+            s.Gmf_explain.Attribution.s_flow_id
+            s.Gmf_explain.Attribution.s_flow
+            s.Gmf_explain.Attribution.s_frame
+            s.Gmf_explain.Attribution.s_slack
+            s.Gmf_explain.Attribution.s_hop
+      in
+      let interferer =
+        match s.Gmf_explain.Attribution.s_interferer with
+        | None -> []
+        | Some (id, name, charge) ->
+            [
+              Printf.sprintf
+                "     interferer: flow %d (%s) charges %dns" id name charge;
+            ]
+      in
+      binding :: interferer
+
 let outcome_line (o : Session.outcome) =
   let head =
     Printf.sprintf "#%02d %s | %s | %s | rounds=%d start=%s flows=%d%s%s"
@@ -72,10 +108,11 @@ let outcome_line (o : Session.outcome) =
   (* Hints (e.g. GMF004 on yet-unused links of a young session) would
      drown the transcript; they stay visible in the JSON count. *)
   String.concat "\n"
-    (head
-    :: List.map
-         (fun d -> "     " ^ Gmf_diag.to_string d)
-         (Gmf_diag.at_least Gmf_diag.Warning o.Session.diagnostics))
+    ((head
+     :: List.map
+          (fun d -> "     " ^ Gmf_diag.to_string d)
+          (Gmf_diag.at_least Gmf_diag.Warning o.Session.diagnostics))
+    @ explain_lines o.Session.explain)
 
 let transcript outcomes =
   String.concat "" (List.map (fun o -> outcome_line o ^ "\n") outcomes)
@@ -151,13 +188,32 @@ let outcome_jsonl (o : Session.outcome) =
       | None -> []
       | Some { Session.cold_rounds; equivalent } ->
           [ ("cold_rounds", `I cold_rounds); ("equivalent", `B equivalent) ])
+    @ (match o.Session.degradation with
+      | None -> []
+      | Some { Session.rerouted; shed } ->
+          [
+            ("rerouted", `I (List.length rerouted));
+            ("shed", `I (List.length shed));
+          ])
     @
-    match o.Session.degradation with
+    match o.Session.explain with
     | None -> []
-    | Some { Session.rerouted; shed } ->
+    | Some s ->
         [
-          ("rerouted", `I (List.length rerouted));
-          ("shed", `I (List.length shed));
+          ("worst_flow", `S s.Gmf_explain.Attribution.s_flow);
+          ("worst_frame", `I s.Gmf_explain.Attribution.s_frame);
+          ("worst_total_ns", `I s.Gmf_explain.Attribution.s_total);
+          ("worst_deadline_ns", `I s.Gmf_explain.Attribution.s_deadline);
+          ("worst_slack_ns", `I s.Gmf_explain.Attribution.s_slack);
+          ("binding_hop", `S s.Gmf_explain.Attribution.s_hop);
         ]
+        @ (match s.Gmf_explain.Attribution.s_interferer with
+          | None -> []
+          | Some (id, name, charge) ->
+              [
+                ("binding_interferer", `S name);
+                ("binding_interferer_id", `I id);
+                ("binding_interferer_ns", `I charge);
+              ])
   in
   json_object fields

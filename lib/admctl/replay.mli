@@ -16,6 +16,7 @@ val run :
   ?config:Analysis.Config.t ->
   ?warm:bool ->
   ?shadow:bool ->
+  ?explain:bool ->
   ?survivable:int ->
   ?exec:Gmf_exec.t ->
   ?on_outcome:(Session.outcome -> unit) ->
@@ -30,7 +31,9 @@ val outcome_line : Session.outcome -> string
 (** One transcript line per event, e.g.
     ["#03 admit bulk0 | rejected | deadline miss (2 frames) | rounds=7 start=warm flows=2"],
     followed by one indented line per warning- or error-level diagnostic
-    (hints are elided).  No trailing newline. *)
+    (hints are elided), and — explain sessions only — indented
+    ["binding: ..."] / ["interferer: ..."] lines naming the worst frame,
+    its binding hop and its binding interferer.  No trailing newline. *)
 
 val transcript : Session.outcome list -> string
 (** All {!outcome_line}s, newline-separated, with a trailing newline —

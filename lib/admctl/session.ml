@@ -26,6 +26,7 @@ type outcome = {
   diagnostics : Gmf_diag.t list;
   shadow : shadow_result option;
   degradation : degradation option;
+  explain : Gmf_explain.Attribution.summary option;
 }
 
 type summary = {
@@ -45,6 +46,7 @@ type t = {
   switches : (Network.Node.id * Click.Switch_model.t) list;
   warm : bool;
   shadow : bool;
+  explain : bool;
   survivable : int option;
   exec : Gmf_exec.t option;
   mutable flows : Traffic.Flow.t list; (* id-ascending *)
@@ -82,6 +84,26 @@ let m_rerouted =
 let m_shed =
   Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "faults.flows_shed"
 
+(* Decade buckets from 1 µs to 10 s: event latencies span lint-only
+   rejections (µs) to shadowed multi-flow fixpoints (ms and up). *)
+let latency_bounds =
+  [|
+    1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000;
+    1_000_000_000; 10_000_000_000;
+  |]
+
+let event_kind = function
+  | Admit _ -> "admit"
+  | Remove _ -> "remove"
+  | Update _ -> "update"
+  | Query -> "query"
+  | Fail_link _ -> "fail"
+  | Restore_link _ -> "restore"
+
+let m_latency kind =
+  Gmf_obs.Metrics.histogram ~bounds:latency_bounds Gmf_obs.Metrics.default
+    ("admctl.latency_ns." ^ kind)
+
 let empty_report =
   {
     Analysis.Holistic.verdict = Analysis.Holistic.Schedulable;
@@ -90,7 +112,8 @@ let empty_report =
   }
 
 let create ?(config = Analysis.Config.default) ?(warm = true)
-    ?(shadow = false) ?survivable ?exec ?(switches = []) ~topo () =
+    ?(shadow = false) ?(explain = false) ?survivable ?exec ?(switches = [])
+    ~topo () =
   (match survivable with
   | Some k when k < 0 -> invalid_arg "Session.create: survivable < 0"
   | _ -> ());
@@ -100,6 +123,7 @@ let create ?(config = Analysis.Config.default) ?(warm = true)
     switches;
     warm;
     shadow;
+    explain;
     survivable;
     exec;
     flows = [];
@@ -224,8 +248,8 @@ let reports_equivalent a b =
 
 let failure_of_diag = Analysis.Admission.failure_of_diag
 
-let mk_outcome t ?(degradation = None) ~label ~accepted ~verdict ~rounds
-    ~start ~diagnostics ~shadow () =
+let mk_outcome t ?(degradation = None) ?(explain = None) ~label ~accepted
+    ~verdict ~rounds ~start ~diagnostics ~shadow () =
   if accepted then t.s_admitted <- t.s_admitted + 1
   else t.s_rejected <- t.s_rejected + 1;
   {
@@ -239,6 +263,7 @@ let mk_outcome t ?(degradation = None) ~label ~accepted ~verdict ~rounds
     diagnostics;
     shadow;
     degradation;
+    explain;
   }
 
 let reject_diag t ~label diag =
@@ -298,8 +323,10 @@ let routed_over_failure t (flow : Traffic.Flow.t) =
   && route_uses (failed_directed t.failed) flow.Traffic.Flow.route
 
 (* One fixpoint run on [scenario], warm-started from [init] when the
-   session allows it.  Returns the report, the converged jitter state and
-   the bookkeeping of how it started. *)
+   session allows it.  Returns the report, the converged jitter state,
+   the bookkeeping of how it started, and (explain sessions only) the
+   worst-frame attribution summary — computed here because the live
+   context still holds the converged jitters the report was built on. *)
 let run_fixpoint t scenario ~init =
   let init = if t.warm && t.converged then init else None in
   let ctx = Analysis.Ctx.create ~config:t.config scenario in
@@ -330,7 +357,13 @@ let run_fixpoint t scenario ~init =
           equivalent = reports_equivalent report cold;
         }
   in
-  (report, Analysis.Ctx.snapshot ctx, start, shadow)
+  let explain =
+    if not t.explain then None
+    else
+      Gmf_explain.Attribution.summarize
+        (Gmf_explain.Attribution.of_ctx ctx report)
+  in
+  (report, Analysis.Ctx.snapshot ctx, start, shadow, explain)
 
 let commit t ~flows ~state ~report =
   t.flows <- flows;
@@ -368,7 +401,9 @@ let try_set ?gate t ~label ~flows ~init =
         ~rounds:0 ~start:Skipped
         ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow:None ()
   | [] -> (
-      let report, state, start, shadow = run_fixpoint t scenario ~init in
+      let report, state, start, shadow, explain =
+        run_fixpoint t scenario ~init
+      in
       let accepted = Analysis.Holistic.is_schedulable report in
       let gate_diags =
         match gate with Some g when accepted -> g scenario | _ -> []
@@ -381,13 +416,13 @@ let try_set ?gate t ~label ~flows ~init =
                  (List.map failure_of_diag gate_diags))
             ~rounds:report.Analysis.Holistic.rounds ~start
             ~diagnostics:(lint.Gmf_lint.Lint.diagnostics @ gate_diags)
-            ~shadow ()
+            ~shadow ~explain ()
       | [] ->
           if accepted then commit t ~flows ~state ~report;
           mk_outcome t ~label ~accepted
             ~verdict:report.Analysis.Holistic.verdict
             ~rounds:report.Analysis.Holistic.rounds ~start
-            ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow ())
+            ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow ~explain ())
 
 let apply_admit t flow =
   let label = "admit " ^ flow.Traffic.Flow.name in
@@ -419,13 +454,15 @@ let apply_remove t id =
         else None
       in
       let scenario = scenario_of t remaining in
-      let report, state, start, shadow = run_fixpoint t scenario ~init in
+      let report, state, start, shadow, explain =
+        run_fixpoint t scenario ~init
+      in
       (* The departure happens regardless of the refreshed verdict. *)
       commit t ~flows:remaining ~state ~report;
       mk_outcome t ~label ~accepted:true
         ~verdict:report.Analysis.Holistic.verdict
         ~rounds:report.Analysis.Holistic.rounds ~start ~diagnostics:[]
-        ~shadow ()
+        ~shadow ~explain ()
 
 let apply_update t flow =
   let label = "update " ^ flow.Traffic.Flow.name in
@@ -563,21 +600,23 @@ let apply_fail t a b =
               }
             in
             ( flows, pool, shed, report,
-              Analysis.Jitter_state.create (), Skipped, None, rounds_acc )
+              Analysis.Jitter_state.create (), Skipped, None, None,
+              rounds_acc )
         | [], _ -> (
-            let report, state, start, shadow =
+            let report, state, start, shadow, explain =
               run_fixpoint t scenario ~init
             in
             let rounds_acc =
               rounds_acc + report.Analysis.Holistic.rounds
             in
             if Analysis.Holistic.is_schedulable report then
-              (flows, pool, shed, report, state, start, shadow, rounds_acc)
+              ( flows, pool, shed, report, state, start, shadow, explain,
+                rounds_acc )
             else
               match Gmf_faults.Survive.shed_order pool with
               | [] ->
-                  (flows, pool, shed, report, state, start, shadow,
-                   rounds_acc)
+                  ( flows, pool, shed, report, state, start, shadow,
+                    explain, rounds_acc )
               | victim :: _ ->
                   Gmf_obs.Metrics.incr m_shed;
                   settle
@@ -588,13 +627,14 @@ let apply_fail t a b =
                     (victim :: shed) rounds_acc)
       in
       let pool0 = List.filter_map snd placed in
-      let flows, survivors, shed, report, state, start, shadow, rounds =
+      let flows, survivors, shed, report, state, start, shadow, explain,
+          rounds =
         settle pool0 [] 0
       in
       commit t ~flows ~state ~report;
       mk_outcome t ~label ~accepted:true
         ~verdict:report.Analysis.Holistic.verdict ~rounds ~start
-        ~diagnostics:[] ~shadow
+        ~diagnostics:[] ~shadow ~explain
         ~degradation:
           (Some { rerouted = survivors; shed = pre_shed @ List.rev shed })
         ()
@@ -638,12 +678,21 @@ let span_name = function
 let apply t event =
   t.seq <- t.seq + 1;
   Gmf_obs.Metrics.incr m_events;
-  Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"admctl"
-    (span_name event) (fun () ->
-      match event with
-      | Admit flow -> apply_admit t flow
-      | Remove id -> apply_remove t id
-      | Update flow -> apply_update t flow
-      | Query -> apply_query t
-      | Fail_link (a, b) -> apply_fail t a b
-      | Restore_link (a, b) -> apply_restore t a b)
+  let timed = Gmf_obs.Metrics.enabled Gmf_obs.Metrics.default in
+  let t0 = if timed then Unix.gettimeofday () else 0. in
+  let outcome =
+    Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"admctl"
+      (span_name event) (fun () ->
+        match event with
+        | Admit flow -> apply_admit t flow
+        | Remove id -> apply_remove t id
+        | Update flow -> apply_update t flow
+        | Query -> apply_query t
+        | Fail_link (a, b) -> apply_fail t a b
+        | Restore_link (a, b) -> apply_restore t a b)
+  in
+  if timed then
+    Gmf_obs.Metrics.observe
+      (m_latency (event_kind event))
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  outcome

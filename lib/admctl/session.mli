@@ -23,9 +23,10 @@
     a lint error rejects with [rounds = 0] exactly like
     [Analysis.Admission].  Rejected events leave the session untouched.
 
-    Telemetry: every event bumps [admctl.events] and a per-kind span on
-    the default registry/tracer; warm starts bump [admctl.warm_hits], cold
-    resets [admctl.cold_resets], and shadow mode accumulates
+    Telemetry: every event bumps [admctl.events], a per-kind span and an
+    [admctl.latency_ns.<kind>] histogram sample on the default
+    registry/tracer; warm starts bump [admctl.warm_hits], cold resets
+    [admctl.cold_resets], and shadow mode accumulates
     [admctl.rounds_saved]. *)
 
 type t
@@ -91,6 +92,10 @@ type outcome = {
   shadow : shadow_result option;  (** Present in shadow sessions only. *)
   degradation : degradation option;
       (** Present on accepted [Fail_link]/[Restore_link] events only. *)
+  explain : Gmf_explain.Attribution.summary option;
+      (** Explain sessions only: the worst (smallest-slack) frame of this
+          event's fixpoint run and what binds it, attributed on the live
+          context before commit.  [None] when no fixpoint ran. *)
 }
 
 type summary = {
@@ -110,6 +115,7 @@ val create :
   ?config:Analysis.Config.t ->
   ?warm:bool ->
   ?shadow:bool ->
+  ?explain:bool ->
   ?survivable:int ->
   ?exec:Gmf_exec.t ->
   ?switches:(Network.Node.id * Click.Switch_model.t) list ->
@@ -121,6 +127,8 @@ val create :
     measures against.  [shadow:true] additionally runs the cold analysis
     after every warm-started event and records the comparison in
     {!outcome.shadow} (the warm result stays authoritative).
+    [explain:true] attributes every fixpoint run and attaches the
+    worst-frame {!Gmf_explain.Attribution.summary} to the outcome.
 
     [survivable:k] arms the survivable-admission gate: an admit or
     update whose tentative set is schedulable is additionally swept with

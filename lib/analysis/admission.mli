@@ -49,6 +49,12 @@ val admit_exn :
 (** Pre-GMF014 behaviour of {!admit}: raises [Invalid_argument] on a
     duplicate candidate id (via [Traffic.Scenario.make]). *)
 
+val binding_failure : decision -> Result_types.failure option
+(** The single constraint that binds a rejection: for a deadline miss, the
+    failure of the frame with the smallest (most negative) slack; for an
+    analysis/lint failure, the first recorded failure; a synthetic failure
+    for a non-converging fixpoint.  [None] when the decision admitted. *)
+
 val failure_of_diag : Gmf_diag.t -> Result_types.failure
 (** The synthetic analysis failure a lint error turns into inside a
     rejecting decision — shared with [Gmf_admctl] so session rejections

@@ -35,12 +35,28 @@ let m_runs = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "holistic.runs"
 let m_rounds =
   Gmf_obs.Metrics.histogram Gmf_obs.Metrics.default "holistic.rounds"
 
+let m_fixpoint_rounds =
+  Gmf_obs.Metrics.histogram Gmf_obs.Metrics.default "fixpoint.rounds"
+
 let m_jitter_delta =
   Gmf_obs.Metrics.histogram
     ~bounds:
       [| 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000;
          1_000_000_000 |]
     Gmf_obs.Metrics.default "holistic.jitter_delta_ns"
+
+type round_observation = {
+  obs_round : int;
+  obs_flow_deltas : (Traffic.Flow.id * Gmf_util.Timeunit.ns) list;
+  obs_max_delta : Gmf_util.Timeunit.ns;
+}
+
+(* Process-wide hook, like the default metrics registry: the analysis
+   library cannot depend on the explain layer, so the convergence recorder
+   installs itself here for the duration of a run.  No observer, no cost
+   beyond one ref load per round. *)
+let round_observer : (round_observation -> unit) option ref = ref None
+let set_round_observer f = round_observer := f
 
 let run_round ctx =
   let flows = Traffic.Scenario.flows (Ctx.scenario ctx) in
@@ -69,6 +85,7 @@ let iterate ctx =
   let finish n report =
     Gmf_obs.Metrics.incr m_runs;
     Gmf_obs.Metrics.observe m_rounds n;
+    Gmf_obs.Metrics.observe m_fixpoint_rounds n;
     report
   in
   let rec rounds n =
@@ -80,6 +97,13 @@ let iterate ctx =
     if metrics_on then
       Gmf_obs.Metrics.observe m_jitter_delta
         (Jitter_state.max_delta before (Ctx.jitters ctx));
+    (match !round_observer with
+    | None -> ()
+    | Some observe ->
+        let deltas = Jitter_state.flow_deltas before (Ctx.jitters ctx) in
+        let max_d = List.fold_left (fun acc (_, d) -> max acc d) 0 deltas in
+        observe
+          { obs_round = n; obs_flow_deltas = deltas; obs_max_delta = max_d });
     if failures <> [] then
       finish n { verdict = Analysis_failed failures; rounds = n; results }
     else if Jitter_state.equal before (Ctx.jitters ctx) then begin

@@ -25,6 +25,26 @@ type report = {
           [verdict = Schedulable] or [Deadline_miss _]). *)
 }
 
+(** {2 Convergence observation}
+
+    One record per holistic round, handed to the installed observer right
+    after the round's pipeline pass: which flows' jitter entries moved and
+    by how much.  {!Gmf_explain.Convergence} builds its per-round telemetry
+    on this. *)
+type round_observation = {
+  obs_round : int;  (** 1-based round number within one run. *)
+  obs_flow_deltas : (Traffic.Flow.id * Gmf_util.Timeunit.ns) list;
+      (** {!Jitter_state.flow_deltas} of the round: every flow present in
+          the state, with its largest per-entry change (0 = stable). *)
+  obs_max_delta : Gmf_util.Timeunit.ns;  (** Max over [obs_flow_deltas]. *)
+}
+
+val set_round_observer : (round_observation -> unit) option -> unit
+(** Installs (or clears, with [None]) the process-wide per-round observer.
+    Fires on every round of every run — including nested warm-started runs —
+    regardless of the metrics registry's enabled flag.  Callers should
+    restore the previous value when done ([Fun.protect]). *)
+
 val run : Ctx.t -> report
 (** [run ctx] executes the holistic iteration on the context's scenario,
     resetting the jitter state first. *)

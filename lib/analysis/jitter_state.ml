@@ -52,3 +52,20 @@ let max_delta a b =
       x acc
   in
   one a b (one b a 0)
+
+let flow_deltas a b =
+  let tbl = Hashtbl.create 16 in
+  let one x y =
+    Hashtbl.iter
+      (fun ((flow, _, _) as k) v ->
+        let w = Option.value ~default:0 (Hashtbl.find_opt y k) in
+        let d = abs (v - w) in
+        match Hashtbl.find_opt tbl flow with
+        | Some cur when cur >= d -> ()
+        | _ -> Hashtbl.replace tbl flow d)
+      x
+  in
+  one a b;
+  one b a;
+  Hashtbl.fold (fun flow d acc -> (flow, d) :: acc) tbl []
+  |> List.sort compare

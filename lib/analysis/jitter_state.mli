@@ -45,3 +45,9 @@ val max_delta : t -> t -> Gmf_util.Timeunit.ns
 (** Largest absolute per-entry difference between two states (treating
     unset entries as 0); 0 iff {!equal}.  Feeds the holistic convergence
     telemetry: the per-round jitter delta. *)
+
+val flow_deltas : t -> t -> (Traffic.Flow.id * Gmf_util.Timeunit.ns) list
+(** Per-flow largest absolute entry difference between two states, sorted
+    by flow id.  Every flow with an entry in either state appears (delta 0
+    when its entries agree) — the per-round "which flows are still moving"
+    record behind {!Gmf_explain.Convergence}. *)

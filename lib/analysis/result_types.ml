@@ -5,6 +5,9 @@ type stage_response = {
   response : Timeunit.ns;
   busy_len : Timeunit.ns;
   q_count : int;
+  w_q : int;
+  w_l : int;
+  w_last : Timeunit.ns;
 }
 
 type frame_result = {

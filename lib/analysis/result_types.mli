@@ -7,6 +7,16 @@ type stage_response = {
           propagation delay, per eqs 19 and 33). *)
   busy_len : Gmf_util.Timeunit.ns;  (** Converged busy-period length. *)
   q_count : int;  (** Number of cycle instances examined (Q_i^k). *)
+  w_q : int;
+      (** Witness: the [q] (whole own cycles ahead of the analyzed
+          instance) of the busy-period shape that produced [response]. *)
+  w_l : int;
+      (** Witness: the [l] (own predecessor frames, repair R8) of that
+          shape; always 0 under [Config.Faithful]. *)
+  w_last : Gmf_util.Timeunit.ns;
+      (** Witness: the converged queuing window w(w_q, w_l).  Together with
+          [w_q]/[w_l] this lets {!Gmf_explain.Attribution} re-evaluate every
+          term of the stage recurrence and decompose [response] exactly. *)
 }
 
 type frame_result = {

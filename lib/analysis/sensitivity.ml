@@ -36,9 +36,11 @@ let search_max_float ~lo ~hi ~resolution ~ok =
   in
   go lo hi
 
-let max_payload_scale ?exec ?config ?(resolution = 0.01) ~build () =
+let max_payload_scale ?exec ?config ?(resolution = 0.01) ?(hi = 64.) ~build ()
+    =
   let ok scale = schedulable ?exec ?config (build ~scale) in
-  let lo = 1. /. 64. and hi = 64. in
+  let lo = 1. /. 64. in
+  if hi < lo then invalid_arg "Sensitivity.max_payload_scale: hi below 1/64";
   if not (ok lo) then None
   else if ok hi then Some hi
   else Some (search_max_float ~lo ~hi ~resolution ~ok)

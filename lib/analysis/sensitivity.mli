@@ -30,13 +30,16 @@ val max_payload_scale :
   ?exec:Gmf_exec.t ->
   ?config:Config.t ->
   ?resolution:float ->
+  ?hi:float ->
   build:(scale:float -> Traffic.Scenario.t) ->
   unit ->
   float option
 (** [max_payload_scale ~build ()] is the largest traffic scale factor in
-    (0, 64] (to the given relative [resolution], default 0.01) for which
-    [build ~scale] is schedulable; [None] if even the smallest probe
-    fails. *)
+    (0, [hi]] (default [hi] = 64, to the given relative [resolution],
+    default 0.01) for which [build ~scale] is schedulable; [None] if even
+    the smallest probe (1/64) fails.  Rejection hints pass [~hi:1.0] to ask
+    "how much would this flow have to shrink?".  Raises [Invalid_argument]
+    when [hi < 1/64]. *)
 
 val max_circ :
   ?exec:Gmf_exec.t ->

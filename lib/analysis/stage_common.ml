@@ -79,18 +79,32 @@ let run ~ctx ~stage ~flow ~frame ~busy_seed ~busy_step ~w_base ~w_step ~finish
       else begin
         (* Scan every candidate busy-period shape: q whole own cycles plus
            l own predecessor frames ahead of the analyzed instance.  The
-           stage bound is the worst response among them. *)
+           stage bound is the worst response among them; the winning shape
+           (q, l) and its converged window w are kept as a witness so the
+           explain layer can re-derive every term of the bound. *)
         let rec scan q l best =
           if q >= q_count then
-            Ok { Result_types.stage; response = best; busy_len; q_count }
+            let best_r, w_q, w_l, w_last = best in
+            Ok
+              {
+                Result_types.stage;
+                response = best_r;
+                busy_len;
+                q_count;
+                w_q;
+                w_l;
+                w_last;
+              }
           else if l >= l_count then scan (q + 1) 0 best
           else
             match fixed ~f:(w_step ~q ~l) ~seed:(w_base ~q ~l) with
             | Fixpoint.Diverged msg ->
                 fail (Printf.sprintf "w(q=%d,l=%d): %s" q l msg)
             | Fixpoint.Converged { value = w; _ } ->
-                scan q (l + 1) (max best (finish ~q ~l ~w))
+                let r = finish ~q ~l ~w in
+                let best_r, _, _, _ = best in
+                scan q (l + 1) (if r > best_r then (r, q, l, w) else best)
         in
-        scan 0 0 min_int
+        scan 0 0 (min_int, 0, 0, 0)
       end
     end

@@ -56,6 +56,26 @@ let m_memo_hits =
 
 let m_workers = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.workers"
 
+(* Worker-side observability recordings, marshalled back with each case
+   result.  The metrics dump replays samples into the parent registry
+   ({!Gmf_obs.Metrics.absorb}), so pooled totals — bucket counts and
+   percentiles included — match a sequential run exactly; worker spans are
+   re-emitted into the parent tracer in their case-local time domain. *)
+type telemetry = {
+  tm_metrics : Gmf_obs.Metrics.dump;
+  tm_spans : Gmf_obs.Tracer.span list;
+}
+
+let absorb_telemetry tm =
+  Gmf_obs.Metrics.absorb Gmf_obs.Metrics.default tm.tm_metrics;
+  List.iter
+    (fun (s : Gmf_obs.Tracer.span) ->
+      Gmf_obs.Tracer.emit ~cat:s.Gmf_obs.Tracer.cat ~tid:s.Gmf_obs.Tracer.tid
+        Gmf_obs.Tracer.default ~name:s.Gmf_obs.Tracer.name
+        ~begin_ns:s.Gmf_obs.Tracer.begin_ns
+        ~end_ns:(s.Gmf_obs.Tracer.begin_ns + s.Gmf_obs.Tracer.dur_ns))
+    tm.tm_spans
+
 (* Parent-side span for one completed case.  Durations are measured
    where the case ran (possibly a worker process) and recorded here in
    a caller-owned time domain (lane 1, origin 0), so aggregates stay
@@ -158,10 +178,31 @@ let spawn ~timeout_s ~f (cases : 'a array) =
            | "q" -> ()
            | line ->
                let idx = int_of_string line in
-               let result = eval_one ~timeout_s ~f cases.(idx) in
-               let outcome, dur = result in
+               let reg = Gmf_obs.Metrics.default in
+               let tracer = Gmf_obs.Tracer.default in
+               let obs_on =
+                 Gmf_obs.Metrics.enabled reg || Gmf_obs.Tracer.enabled tracer
+               in
+               (* The fork copied the parent's accumulated recordings;
+                  zero them at case start so the dump sent back carries
+                  exactly this case's activity, once. *)
+               if obs_on then begin
+                 Gmf_obs.Metrics.reset reg;
+                 Gmf_obs.Tracer.reset tracer
+               end;
+               let outcome, dur = eval_one ~timeout_s ~f cases.(idx) in
+               let telemetry =
+                 if obs_on then
+                   Some
+                     {
+                       tm_metrics = Gmf_obs.Metrics.dump reg;
+                       tm_spans = Gmf_obs.Tracer.spans tracer;
+                     }
+                 else None
+               in
                Marshal.to_channel oc
-                 ((idx, dur, outcome) : int * float * _ outcome)
+                 ((idx, dur, outcome, telemetry)
+                   : int * float * _ outcome * telemetry option)
                  [ Marshal.Closures ];
                flush oc;
                serve ()
@@ -234,9 +275,13 @@ let pool_run ~jobs ~timeout_s ~f ~want ~record (cases : 'a array) =
       in
       let collect w =
         match
-          (Marshal.from_channel w.from_child : int * float * _ outcome)
+          (Marshal.from_channel w.from_child
+            : int * float * _ outcome * telemetry option)
         with
-        | idx, dur, outcome ->
+        | idx, dur, outcome, telemetry ->
+            (match telemetry with
+            | Some tm -> absorb_telemetry tm
+            | None -> ());
             w.current <- None;
             if want idx then record idx outcome dur
         | exception _ ->

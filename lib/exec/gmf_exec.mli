@@ -12,20 +12,23 @@
     Contract for [f]: it must be a pure function of its case (no
     reliance on mutable state it shares with other cases), and under
     {!Pool} its result is shipped back through [Marshal], so it must
-    not contain custom blocks that cannot be marshalled.  Side effects
-    performed by [f] (counter bumps, spans) happen in the worker
-    process under {!Pool} and are lost — drivers bump their own
-    counters caller-side.
+    not contain custom blocks that cannot be marshalled.
 
     Failures are per-case, never whole-run: an exception in [f], a
     worker crash, or a per-case timeout surfaces as an [Error] for that
     case while every other case still completes.
 
-    Telemetry (parent-side, so it works under both backends):
-    [exec.cases] counts evaluations actually performed, [exec.memo_hits]
-    counts evaluations avoided by the memo table, [exec.workers] counts
-    worker processes forked; every completed evaluation records an
-    [exec.case] span carrying its measured duration. *)
+    Telemetry: [exec.cases] counts evaluations actually performed,
+    [exec.memo_hits] counts evaluations avoided by the memo table,
+    [exec.workers] counts worker processes forked; every completed
+    evaluation records an [exec.case] span carrying its measured
+    duration.  Recordings made {e inside} [f] (counters, histograms,
+    spans against the default registry/tracer) are preserved under both
+    backends: a {!Pool} worker resets its inherited default registry and
+    tracer at case start, dumps them with the case result, and the
+    parent replays the dump ({!Gmf_obs.Metrics.absorb}) and re-emits the
+    spans — so pooled totals, histogram percentiles included, equal a
+    sequential run's (modulo [exec.workers], which only a pool bumps). *)
 
 type backend =
   | Seq  (** In-process, in-order.  Always available. *)

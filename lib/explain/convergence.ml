@@ -1,0 +1,88 @@
+open Gmf_util
+
+type round = {
+  cv_round : int;
+  cv_max_delta : Timeunit.ns;
+  cv_moving : int;
+  cv_deltas : (Traffic.Flow.id * Timeunit.ns) list;
+}
+
+type t = { cv_rounds : round list }
+
+let record f =
+  let acc = ref [] in
+  let observe (o : Analysis.Holistic.round_observation) =
+    let moving =
+      List.length
+        (List.filter (fun (_, d) -> d > 0) o.Analysis.Holistic.obs_flow_deltas)
+    in
+    acc :=
+      {
+        cv_round = o.Analysis.Holistic.obs_round;
+        cv_max_delta = o.Analysis.Holistic.obs_max_delta;
+        cv_moving = moving;
+        cv_deltas = o.Analysis.Holistic.obs_flow_deltas;
+      }
+      :: !acc
+  in
+  Analysis.Holistic.set_round_observer (Some observe);
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Analysis.Holistic.set_round_observer None)
+      f
+  in
+  (result, { cv_rounds = List.rev !acc })
+
+let rounds_to_stabilize t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (flow, d) ->
+          if not (Hashtbl.mem tbl flow) then Hashtbl.replace tbl flow 0;
+          if d > 0 then Hashtbl.replace tbl flow r.cv_round)
+        r.cv_deltas)
+    t.cv_rounds;
+  Hashtbl.fold (fun flow n acc -> (flow, n) :: acc) tbl []
+  |> List.sort compare
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      let deltas =
+        r.cv_deltas
+        |> List.map (fun (flow, d) ->
+               Printf.sprintf "{\"flow\":%d,\"delta_ns\":%d}" flow d)
+        |> String.concat ","
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"round\":%d,\"moving\":%d,\"max_delta_ns\":%d,\"deltas\":[%s]}\n"
+           r.cv_round r.cv_moving r.cv_max_delta deltas))
+    t.cv_rounds;
+  Buffer.contents buf
+
+(* One synthetic lane in the Chrome trace: round n occupies the fixed slot
+   [(n-1)·1ms, n·1ms) on its own tid, with one span per still-moving flow
+   inside it.  The lane is not wall-clock (holistic rounds are) — it shows
+   *which* flows kept the fixpoint iterating and for how many rounds. *)
+let round_slot_ns = 1_000_000
+
+let emit_spans ?(tid = 2) tracer t =
+  List.iter
+    (fun r ->
+      let begin_ns = (r.cv_round - 1) * round_slot_ns in
+      let end_ns = r.cv_round * round_slot_ns in
+      Gmf_obs.Tracer.emit ~cat:"convergence" ~tid tracer
+        ~name:(Printf.sprintf "round %d (%d moving)" r.cv_round r.cv_moving)
+        ~begin_ns ~end_ns;
+      List.iter
+        (fun (flow, d) ->
+          if d > 0 then
+            Gmf_obs.Tracer.emit ~cat:"convergence" ~tid:(tid + 1) tracer
+              ~name:(Printf.sprintf "flow#%d moved %s" flow
+                       (Timeunit.to_string d))
+              ~begin_ns ~end_ns)
+        r.cv_deltas)
+    t.cv_rounds

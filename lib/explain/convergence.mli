@@ -1,0 +1,40 @@
+(** Per-round convergence telemetry of the holistic fixpoint.
+
+    Wrap any piece of work in {!record} and every holistic round executed
+    inside it (including warm-started session fixpoints) contributes one
+    {!round} record: which flows' jitters were still moving, by how much,
+    and when each stabilized.  Exported as JSON-lines and as a synthetic
+    Chrome-trace "convergence lane". *)
+
+type round = {
+  cv_round : int;  (** 1-based round number within one holistic run. *)
+  cv_max_delta : Gmf_util.Timeunit.ns;  (** Largest per-flow jitter move. *)
+  cv_moving : int;  (** Flows with a nonzero delta this round. *)
+  cv_deltas : (Traffic.Flow.id * Gmf_util.Timeunit.ns) list;
+      (** Every flow present in the jitter state, sorted by id; 0 = stable
+          this round. *)
+}
+
+type t = { cv_rounds : round list }  (** In execution order. *)
+
+val record : (unit -> 'a) -> 'a * t
+(** [record f] installs the {!Analysis.Holistic} round observer for the
+    duration of [f] (clearing it afterwards, even on exceptions) and
+    returns [f]'s result with the collected rounds.  Rounds of multiple
+    holistic runs inside [f] are concatenated in execution order. *)
+
+val rounds_to_stabilize : t -> (Traffic.Flow.id * int) list
+(** Per flow, the last round in which it still moved (0 = never moved),
+    sorted by id.  The converged tail of a run scores the round where the
+    flow's jitters last changed. *)
+
+val to_jsonl : t -> string
+(** One JSON object per round:
+    [{"round":N,"moving":M,"max_delta_ns":D,"deltas":[{"flow":ID,
+    "delta_ns":D},...]}], newline-terminated. *)
+
+val emit_spans : ?tid:int -> Gmf_obs.Tracer.t -> t -> unit
+(** Emits the convergence lane into a tracer: per round one span on [tid]
+    (default 2) spanning a fixed 1 ms slot, plus one span per still-moving
+    flow on [tid + 1].  Synthetic time — the lane visualizes round
+    structure, not wall clock; analysis spans stay on tid 0/1. *)

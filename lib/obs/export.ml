@@ -181,10 +181,15 @@ let metrics_to_jsonl (snap : Metrics.snapshot) =
                | None -> Printf.sprintf "{\"le\":null,\"count\":%d}" count)
         |> String.concat ","
       in
+      let opt_int = function
+        | Some v -> string_of_int v
+        | None -> "null"
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"metric\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"buckets\":[%s]}\n"
-           (json_escape name) h.Metrics.h_count h.Metrics.h_sum buckets))
+           "{\"metric\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,\"p50\":%s,\"p95\":%s,\"buckets\":[%s]}\n"
+           (json_escape name) h.Metrics.h_count h.Metrics.h_sum
+           (opt_int h.Metrics.h_p50) (opt_int h.Metrics.h_p95) buckets))
     snap.Metrics.histograms;
   Buffer.contents buf
 
@@ -227,10 +232,12 @@ let metrics_tables (snap : Metrics.snapshot) =
         ~columns:
           [
             ("histogram", Tablefmt.Left); ("count", Tablefmt.Right);
-            ("mean", Tablefmt.Right); ("max", Tablefmt.Right);
+            ("mean", Tablefmt.Right); ("p50", Tablefmt.Right);
+            ("p95", Tablefmt.Right); ("max", Tablefmt.Right);
             ("buckets", Tablefmt.Left);
           ]
     in
+    let opt_int = function Some v -> string_of_int v | None -> "-" in
     List.iter
       (fun (name, h) ->
         Tablefmt.add_row table
@@ -240,9 +247,9 @@ let metrics_tables (snap : Metrics.snapshot) =
             (match h.Metrics.h_mean with
             | Some m -> Printf.sprintf "%.1f" m
             | None -> "-");
-            (match h.Metrics.h_max with
-            | Some m -> string_of_int m
-            | None -> "-");
+            opt_int h.Metrics.h_p50;
+            opt_int h.Metrics.h_p95;
+            opt_int h.Metrics.h_max;
             bucket_cells h;
           ])
       snap.Metrics.histograms;
@@ -308,3 +315,225 @@ let write_file ~path contents =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
+
+(* ---------------- generic JSON values ---------------- *)
+
+module Json = struct
+  type value =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of value list
+    | Obj of (string * value) list
+
+  exception Fail of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n'
+          || s.[!pos] = '\r')
+      do
+        Stdlib.incr pos
+      done
+    in
+    let literal word v =
+      let k = String.length word in
+      if !pos + k <= n && String.sub s !pos k = word then begin
+        pos := !pos + k;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let add_utf8 buf code =
+      (* Standard UTF-8 encoding of one scalar value. *)
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xf0 lor (code lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let code =
+        try int_of_string ("0x" ^ String.sub s !pos 4)
+        with _ -> fail "bad \\u escape"
+      in
+      pos := !pos + 4;
+      code
+    in
+    let parse_string () =
+      if peek () <> Some '"' then fail "expected string";
+      Stdlib.incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> Stdlib.incr pos
+          | '\\' ->
+              Stdlib.incr pos;
+              if !pos >= n then fail "dangling escape";
+              let c = s.[!pos] in
+              Stdlib.incr pos;
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'u' ->
+                  let code = hex4 () in
+                  if code >= 0xd800 && code <= 0xdbff then begin
+                    (* High surrogate: must pair with a following \uDC00-. *)
+                    if
+                      !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                    then begin
+                      pos := !pos + 2;
+                      let low = hex4 () in
+                      if low < 0xdc00 || low > 0xdfff then
+                        fail "unpaired surrogate"
+                      else
+                        add_utf8 buf
+                          (0x10000
+                          + ((code - 0xd800) lsl 10)
+                          + (low - 0xdc00))
+                    end
+                    else fail "unpaired surrogate"
+                  end
+                  else if code >= 0xdc00 && code <= 0xdfff then
+                    fail "unpaired surrogate"
+                  else add_utf8 buf code
+              | c -> fail (Printf.sprintf "unknown escape '\\%c'" c));
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              Stdlib.incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && numchar s.[!pos] do
+        Stdlib.incr pos
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          Stdlib.incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            Stdlib.incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              if peek () <> Some ':' then fail "expected ':'";
+              Stdlib.incr pos;
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  Stdlib.incr pos;
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  Stdlib.incr pos;
+                  Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          Stdlib.incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            Stdlib.incr pos;
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  Stdlib.incr pos;
+                  elements (v :: acc)
+              | Some ']' ->
+                  Stdlib.incr pos;
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Fail msg -> Error msg
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+  let number_leaves v =
+    (* Flattens nested objects/arrays into dotted paths; arrays index by
+       position.  Only numeric leaves are kept — the shape bench baselines
+       need for field-by-field regression diffing. *)
+    let acc = ref [] in
+    let rec go path = function
+      | Num f -> acc := (path, f) :: !acc
+      | Obj kvs ->
+          List.iter
+            (fun (k, v) ->
+              go (if path = "" then k else path ^ "." ^ k) v)
+            kvs
+      | Arr vs ->
+          List.iteri (fun i v -> go (Printf.sprintf "%s.%d" path i) v) vs
+      | Null | Bool _ | Str _ -> ()
+    in
+    go "" v;
+    List.rev !acc
+end

@@ -108,6 +108,46 @@ let test_memo_counter () =
     (Gmf_obs.Metrics.counter_value hits - h0);
   Alcotest.(check int) "exec.cases" 2 (Gmf_obs.Metrics.counter_value cases - c0)
 
+(* Telemetry recorded inside a worker must survive the fork: the worker
+   dumps its registry with each result and the parent absorbs it, so the
+   pooled totals equal the sequential ones — except [exec.workers],
+   which only a pool spawn increments. *)
+let test_pool_metrics_merge () =
+  let reg = Gmf_obs.Metrics.default in
+  let was = Gmf_obs.Metrics.enabled reg in
+  let f x =
+    ignore (Array.make 16 x);
+    Gmf_obs.Metrics.incr ~by:x (Gmf_obs.Metrics.counter reg "test.pool.work");
+    Gmf_obs.Metrics.observe
+      (Gmf_obs.Metrics.histogram ~bounds:[| 4; 16 |] reg "test.pool.size")
+      x;
+    x * 3
+  in
+  let cases = [ 1; 2; 3; 5; 8; 13; 21 ] in
+  let run exec =
+    Gmf_obs.Metrics.set_enabled reg true;
+    Gmf_obs.Metrics.reset reg;
+    let r = Gmf_exec.map_cases ~exec ~f cases in
+    let s = Gmf_obs.Metrics.snapshot reg in
+    Gmf_obs.Metrics.set_enabled reg was;
+    (strs r, s)
+  in
+  let rs, s_seq = run Gmf_exec.seq in
+  let rp, s_pool = run (Gmf_exec.pool 2) in
+  check_outcomes "pool results equal seq" rs rp;
+  let drop_workers (s : Gmf_obs.Metrics.snapshot) =
+    {
+      s with
+      Gmf_obs.Metrics.counters =
+        List.filter (fun (n, _) -> n <> "exec.workers") s.Gmf_obs.Metrics.counters;
+    }
+  in
+  Alcotest.(check bool) "pool metrics equal seq (modulo exec.workers)" true
+    (drop_workers s_seq = drop_workers s_pool);
+  (* Sanity: the workload really reached the registry both times. *)
+  Alcotest.(check bool) "workload counter present" true
+    (List.mem_assoc "test.pool.work" s_pool.Gmf_obs.Metrics.counters)
+
 (* --- pool failure modes ---------------------------------------------- *)
 
 let test_worker_crash () =
@@ -172,6 +212,8 @@ let tests =
     Alcotest.test_case "search semantics" `Quick test_search_semantics;
     Alcotest.test_case "memo hits" `Quick test_memo_hits;
     Alcotest.test_case "memo counters" `Quick test_memo_counter;
+    Alcotest.test_case "pool merges worker telemetry" `Quick
+      test_pool_metrics_merge;
     Alcotest.test_case "worker crash is per-case" `Quick test_worker_crash;
     Alcotest.test_case "timeout kills the case (seq)" `Quick test_timeout_seq;
     Alcotest.test_case "timeout kills the case (pool)" `Quick

@@ -221,6 +221,104 @@ let test_export_metrics_formats () =
     (contains phases "holistic.round");
   Alcotest.(check string) "no phases, no table" "" (Export.phase_table [])
 
+let test_histogram_percentiles () =
+  let reg = Metrics.create ~enabled:true () in
+  let h = Metrics.histogram ~bounds:[| 10; 1_000 |] reg "lat" in
+  for i = 100 downto 1 do
+    Metrics.observe h i
+  done;
+  let summary = List.assoc "lat" (Metrics.snapshot reg).Metrics.histograms in
+  Alcotest.(check (option int)) "p50 nearest-rank" (Some 50)
+    summary.Metrics.h_p50;
+  Alcotest.(check (option int)) "p95 nearest-rank" (Some 95)
+    summary.Metrics.h_p95;
+  let empty = Metrics.histogram ~bounds:[| 10 |] reg "never" in
+  ignore empty;
+  let summary = List.assoc "never" (Metrics.snapshot reg).Metrics.histograms in
+  Alcotest.(check (option int)) "empty p50" None summary.Metrics.h_p50;
+  Alcotest.(check (option int)) "empty p95" None summary.Metrics.h_p95
+
+(* Absorbing a dump must reproduce the source registry exactly —
+   including bucket counts and order statistics, which is why the dump
+   carries raw samples, not summaries.  This is the property the
+   Gmf_exec pool relies on for seq == pool telemetry. *)
+let test_dump_absorb_equality () =
+  let src = Metrics.create ~enabled:true () in
+  Metrics.incr ~by:7 (Metrics.counter src "cases");
+  Metrics.incr (Metrics.counter src "rounds");
+  Metrics.set_gauge (Metrics.gauge src "depth") 9.0;
+  Metrics.set_gauge (Metrics.gauge src "depth") 4.0;
+  let h = Metrics.histogram ~bounds:[| 10; 100; 1_000 |] src "lat" in
+  List.iter (Metrics.observe h) [ 250; 3; 99; 17; 4_000 ];
+  let dst = Metrics.create ~enabled:true () in
+  Metrics.absorb dst (Metrics.dump src);
+  Alcotest.(check bool) "snapshots identical" true
+    (Metrics.snapshot src = Metrics.snapshot dst);
+  (* Absorbing into a registry with prior content accumulates. *)
+  Metrics.absorb dst (Metrics.dump src);
+  Alcotest.(check int) "counters add up" 14
+    (Metrics.counter_value (Metrics.counter dst "cases"));
+  let summary = List.assoc "lat" (Metrics.snapshot dst).Metrics.histograms in
+  Alcotest.(check int) "histogram samples add up" 10 summary.Metrics.h_count
+
+(* ---------------- generic JSON reader ---------------- *)
+
+let test_json_parse () =
+  let doc =
+    "{\"a\": {\"b\": [1, 2.5, -3e2]}, \"s\": \"q\\\"\\u0041\\ud83d\\ude00\", \
+     \"t\": true, \"n\": null}"
+  in
+  (match Export.Json.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+      (match Export.Json.member "s" v with
+      | Some (Export.Json.Str s) ->
+          (* A = A; the surrogate pair decodes to 4 UTF-8 bytes. *)
+          Alcotest.(check string) "string escapes" "q\"A\xf0\x9f\x98\x80" s
+      | _ -> Alcotest.fail "member s");
+      Alcotest.(check (list (pair string (float 0.))))
+        "number leaves with dotted paths"
+        [ ("a.b.0", 1.); ("a.b.1", 2.5); ("a.b.2", -300.) ]
+        (Export.Json.number_leaves v));
+  (match Export.Json.parse "{\"a\":1} trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage must not parse"
+  | Error _ -> ());
+  match Export.Json.parse "{\"a\":}" with
+  | Ok _ -> Alcotest.fail "missing value must not parse"
+  | Error _ -> ()
+
+(* ---------------- escaping fuzz ---------------- *)
+
+(* Hostile span names: quotes, backslashes, control characters, raw
+   UTF-8, printable noise.  [QCheck.string] draws from the full byte
+   range, which covers all of them. *)
+let prop_span_jsonl_roundtrip =
+  QCheck.Test.make ~name:"span jsonl round-trip survives hostile names"
+    ~count:500
+    QCheck.(pair string string)
+    (fun (name, cat) ->
+      let span =
+        { Tracer.name; cat; tid = 2; begin_ns = 40; dur_ns = 7; depth = 1 }
+      in
+      match Export.span_of_jsonl (Export.span_to_jsonl span) with
+      | Ok parsed -> parsed = span
+      | Error e ->
+          QCheck.Test.fail_reportf "no parse for %S: %s" name e)
+
+let prop_chrome_trace_valid_json =
+  QCheck.Test.make ~name:"chrome_trace escapes into valid JSON" ~count:200
+    QCheck.(small_list (pair string string))
+    (fun names ->
+      let tr = Tracer.create ~enabled:true () in
+      List.iteri
+        (fun i (name, cat) ->
+          Tracer.emit tr ~cat ~tid:(i mod 3) ~name ~begin_ns:(i * 10)
+            ~end_ns:((i * 10) + 5))
+        names;
+      match Export.Json.parse (Export.chrome_trace (Tracer.spans tr)) with
+      | Ok _ -> true
+      | Error e -> QCheck.Test.fail_reportf "invalid trace JSON: %s" e)
+
 let tests =
   [
     Alcotest.test_case "metrics disabled no-op" `Quick
@@ -241,4 +339,11 @@ let tests =
     Alcotest.test_case "chrome trace format" `Quick test_export_chrome_trace;
     Alcotest.test_case "metrics export formats" `Quick
       test_export_metrics_formats;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "dump/absorb equality" `Quick
+      test_dump_absorb_equality;
+    Alcotest.test_case "generic json reader" `Quick test_json_parse;
+    QCheck_alcotest.to_alcotest prop_span_jsonl_roundtrip;
+    QCheck_alcotest.to_alcotest prop_chrome_trace_valid_json;
   ]
