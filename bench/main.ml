@@ -636,6 +636,101 @@ module Exec_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Static precheck (Gmf_precheck + Analysis.Sharded)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* How much of each workload the static pre-analysis decides without any
+   fixpoint, and what the per-component sharded driver saves over the
+   monolithic holistic run.  The per-scenario leaves (flows, components,
+   decided, rounds) are deterministic; the timing leaves feed the
+   regression gate with the usual generous tolerance. *)
+module Precheck_bench = struct
+  (* Four switch-local clusters on one fabric: the flows of different
+     switches share no node, so the interference graph falls apart into
+     four components — the sharding setting fig1 (one dense component)
+     cannot show. *)
+  let clusters =
+    let topo, hosts, _sw =
+      Workload.Topologies.line ~hosts_per_switch:4 ~switches:4 ()
+    in
+    let rng = Gmf_util.Rng.create ~seed:7 in
+    let pairs =
+      List.concat_map
+        (fun s ->
+          [
+            (hosts.(s).(0), hosts.(s).(1));
+            (hosts.(s).(1), hosts.(s).(2));
+            (hosts.(s).(2), hosts.(s).(3));
+          ])
+        [ 0; 1; 2; 3 ]
+    in
+    let flows = Workload.Random_gen.flows_between rng ~topo ~pairs () in
+    Traffic.Scenario.make ~topo ~flows ()
+
+  let workloads =
+    [
+      ("fig1", Workload.Scenarios.fig1_videoconf ());
+      ("voip", Workload.Scenarios.single_switch_voip ());
+      ("chain", Workload.Scenarios.multihop_chain ());
+      ("enterprise", Workload.Scenarios.enterprise ());
+      ("clusters", clusters);
+    ]
+
+  let json_report () =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let rows =
+      List.map
+        (fun (name, scenario) ->
+          let mono, mono_s =
+            time (fun () -> Analysis.Holistic.analyze scenario)
+          in
+          let (sharded, pre, stats), sharded_s =
+            time (fun () -> Analysis.Sharded.analyze scenario)
+          in
+          if
+            Analysis.Holistic.is_schedulable mono
+            <> Analysis.Holistic.is_schedulable sharded
+          then
+            failwith
+              (Printf.sprintf
+                 "precheck bench: sharded verdict diverges on %s" name);
+          let st = pre.Gmf_precheck.Precheck.stats in
+          let flows = st.Gmf_precheck.Igraph.flows in
+          let decided = Gmf_precheck.Precheck.decided pre in
+          Printf.sprintf
+            "    {\"scenario\": \"%s\", \"flows\": %d, \"components\": %d,\n\
+            \     \"decided\": %d, \"decided_pct\": %.1f,\n\
+            \     \"infeasible\": %d, \"certified\": %d,\n\
+            \     \"mono_rounds\": %d, \"sharded_rounds\": %d, \"rounds_saved\": %d,\n\
+            \     \"mono\": {\"seconds\": %.6f}, \"sharded\": {\"seconds\": %.6f}}"
+            name flows st.Gmf_precheck.Igraph.components decided
+            (if flows = 0 then 0.
+             else 100. *. float_of_int decided /. float_of_int flows)
+            stats.Analysis.Sharded.flows_infeasible
+            stats.Analysis.Sharded.flows_certified
+            mono.Analysis.Holistic.rounds sharded.Analysis.Holistic.rounds
+            (max 0
+               (mono.Analysis.Holistic.rounds
+              - sharded.Analysis.Holistic.rounds))
+            mono_s sharded_s)
+        workloads
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"benchmark\": \"precheck\",\n  \"scenarios\": [\n";
+    Buffer.add_string buf (String.concat ",\n" rows);
+    Buffer.add_string buf "\n  ]\n}\n";
+    let path = "BENCH_precheck.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Baseline regression check                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -794,6 +889,8 @@ let () =
     run_report Survive_bench.json_report "BENCH_survive.json";
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "exec" then
     run_report Exec_bench.json_report "BENCH_exec.json";
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "precheck" then
+    run_report Precheck_bench.json_report "BENCH_precheck.json";
   let results = benchmark () in
   let table =
     Tablefmt.create

@@ -263,6 +263,58 @@ let lint_cmd =
       $ variant_arg $ json_arg $ deny_arg $ rules_arg)
 
 (* ------------------------------------------------------------------ *)
+(* precheck                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let precheck_cmd =
+  let file_pos_arg =
+    let doc =
+      "Scenario description file to precheck (equivalent to $(b,--file))."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the deterministic JSON report (golden-file format)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let max_component_arg =
+    let doc =
+      "Interference-component size above which GMF019 warns that the \
+       per-component fixpoint will be large."
+    in
+    Arg.(
+      value
+      & opt int Gmf_precheck.Precheck.default_max_component
+      & info [ "max-component" ] ~docv:"N" ~doc)
+  in
+  let run pos_file name file rate config json max_component =
+    let file = match pos_file with Some _ -> pos_file | None -> file in
+    match build_scenario ?file name rate with
+    | Error msg ->
+        prerr_endline ("gmfnet: " ^ msg);
+        1
+    | Ok scenario ->
+        let report = Gmf_precheck.Precheck.run ~config scenario in
+        let diags = Gmf_precheck.Precheck.diagnostics ~max_component report in
+        if json then print_string (Gmf_precheck.Precheck.to_json report)
+        else begin
+          Format.printf "%a@." Gmf_precheck.Precheck.pp report;
+          if diags <> [] then Format.printf "%a@." Gmf_diag.pp_list diags
+        end;
+        if Gmf_precheck.Precheck.infeasible report <> [] then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "precheck"
+       ~doc:
+         "Static schedulability pre-analysis: interference-graph \
+          decomposition plus certified per-flow verdicts (infeasible / \
+          schedulable / needs-fixpoint) without running any fixpoint.  \
+          Exits non-zero when a flow is certified infeasible.")
+    Term.(
+      const run $ file_pos_arg $ scenario_arg $ file_arg $ rate_arg
+      $ variant_arg $ json_arg $ max_component_arg)
+
+(* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -819,9 +871,19 @@ let profile_cmd =
            Gmf_obs.Metrics.reset reg;
            Gmf_obs.Tracer.set_enabled tr true;
            Gmf_obs.Tracer.reset tr;
+           let pre = Gmf_precheck.Precheck.run ~config scenario in
            let report = Analysis.Holistic.analyze ~config scenario in
            let kv = Experiments.Exp_common.kv in
            kv "verdict" (Experiments.Exp_common.verdict_string report);
+           kv "precheck components"
+             (string_of_int
+                pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.components);
+           kv "precheck decided"
+             (Printf.sprintf "%d/%d" (Gmf_precheck.Precheck.decided pre)
+                pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.flows);
+           kv "precheck largest component"
+             (string_of_int
+                pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.largest);
            kv "holistic rounds"
              (string_of_int report.Analysis.Holistic.rounds);
            kv "fixpoint calls"
@@ -1137,8 +1199,8 @@ let main =
   Cmd.group
     (Cmd.info "gmfnet" ~version:"1.0.0" ~doc)
     [
-      list_cmd; lint_cmd; analyze_cmd; simulate_cmd; admission_cmd;
-      explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
+      list_cmd; lint_cmd; precheck_cmd; analyze_cmd; simulate_cmd;
+      admission_cmd; explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
       session_cmd; survive_cmd; assign_cmd; experiment_cmd;
     ]
 

@@ -401,28 +401,45 @@ let try_set ?gate t ~label ~flows ~init =
         ~rounds:0 ~start:Skipped
         ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow:None ()
   | [] -> (
-      let report, state, start, shadow, explain =
-        run_fixpoint t scenario ~init
-      in
-      let accepted = Analysis.Holistic.is_schedulable report in
-      let gate_diags =
-        match gate with Some g when accepted -> g scenario | _ -> []
-      in
-      match gate_diags with
-      | _ :: _ ->
+      (* Static pre-analysis: a certified-infeasible flow rejects before
+         any fixpoint (mirroring the lint fast path), and oversized
+         interference components surface as GMF019 warnings.  Accepted
+         events still run the monolithic warm fixpoint so the session's
+         warm-start chain stays intact. *)
+      let pre = Gmf_precheck.Precheck.run ~config:t.config scenario in
+      let pre_diags = Gmf_precheck.Precheck.diagnostics pre in
+      match Gmf_diag.at_least Gmf_diag.Error pre_diags with
+      | _ :: _ as errors ->
           mk_outcome t ~label ~accepted:false
             ~verdict:
               (Analysis.Holistic.Analysis_failed
-                 (List.map failure_of_diag gate_diags))
-            ~rounds:report.Analysis.Holistic.rounds ~start
-            ~diagnostics:(lint.Gmf_lint.Lint.diagnostics @ gate_diags)
-            ~shadow ~explain ()
-      | [] ->
-          if accepted then commit t ~flows ~state ~report;
-          mk_outcome t ~label ~accepted
-            ~verdict:report.Analysis.Holistic.verdict
-            ~rounds:report.Analysis.Holistic.rounds ~start
-            ~diagnostics:lint.Gmf_lint.Lint.diagnostics ~shadow ~explain ())
+                 (List.map failure_of_diag errors))
+            ~rounds:0 ~start:Skipped
+            ~diagnostics:(lint.Gmf_lint.Lint.diagnostics @ pre_diags)
+            ~shadow:None ()
+      | [] -> (
+          let diagnostics = lint.Gmf_lint.Lint.diagnostics @ pre_diags in
+          let report, state, start, shadow, explain =
+            run_fixpoint t scenario ~init
+          in
+          let accepted = Analysis.Holistic.is_schedulable report in
+          let gate_diags =
+            match gate with Some g when accepted -> g scenario | _ -> []
+          in
+          match gate_diags with
+          | _ :: _ ->
+              mk_outcome t ~label ~accepted:false
+                ~verdict:
+                  (Analysis.Holistic.Analysis_failed
+                     (List.map failure_of_diag gate_diags))
+                ~rounds:report.Analysis.Holistic.rounds ~start
+                ~diagnostics:(diagnostics @ gate_diags) ~shadow ~explain ()
+          | [] ->
+              if accepted then commit t ~flows ~state ~report;
+              mk_outcome t ~label ~accepted
+                ~verdict:report.Analysis.Holistic.verdict
+                ~rounds:report.Analysis.Holistic.rounds ~start ~diagnostics
+                ~shadow ~explain ()))
 
 let apply_admit t flow =
   let label = "admit " ^ flow.Traffic.Flow.name in

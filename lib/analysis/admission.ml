@@ -20,7 +20,7 @@ let failure_of_diag (d : Gmf_diag.t) =
     reason = Gmf_diag.to_string d;
   }
 
-let check ?config scenario =
+let check ?exec ?config scenario =
   let lint = Gmf_lint.Lint.run ?config scenario in
   let diagnostics = lint.Gmf_lint.Lint.diagnostics in
   match Gmf_lint.Lint.errors lint with
@@ -36,7 +36,13 @@ let check ?config scenario =
       in
       { admitted = false; report; diagnostics }
   | [] ->
-      let report = Holistic.analyze ?config scenario in
+      (* Lint is clean: run the precheck-guided sharded analysis.  Decided
+         flows never enter the fixpoint; the undecided components run
+         independently (and on [exec]'s backend). *)
+      let report, pre, _stats = Sharded.analyze ?exec ?config scenario in
+      let diagnostics =
+        diagnostics @ Gmf_precheck.Precheck.diagnostics pre
+      in
       { admitted = Holistic.is_schedulable report; report; diagnostics }
 
 let binding_failure (d : decision) =
@@ -110,18 +116,18 @@ let find_duplicate scenario candidate =
     (fun f -> f.Traffic.Flow.id = candidate.Traffic.Flow.id)
     (Traffic.Scenario.flows scenario)
 
-let admit_exn ?config scenario ~candidate =
-  check ?config (rebuild scenario [ candidate ])
+let admit_exn ?exec ?config scenario ~candidate =
+  check ?exec ?config (rebuild scenario [ candidate ])
 
 (* The gate (e.g. Gmf_faults.Survive.admission_gate, injected by the
    caller — depending on it here would be a cycle) only runs once the
    extended set is schedulable: a rejection already stands on its own,
    and the gate's k-failure sweep is the expensive part. *)
-let admit ?config ?gate scenario ~candidate =
+let admit ?exec ?config ?gate scenario ~candidate =
   match find_duplicate scenario candidate with
   | Some existing -> reject_with [ duplicate_id_diag ~candidate ~existing ]
   | None -> (
-      let decision = admit_exn ?config scenario ~candidate in
+      let decision = admit_exn ?exec ?config scenario ~candidate in
       match gate with
       | None -> decision
       | Some _ when not decision.admitted -> decision

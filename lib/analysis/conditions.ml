@@ -15,15 +15,14 @@ let make_check flow stage utilization =
     satisfied = utilization < 1.0;
   }
 
+(* The inequalities themselves live in Gmf_precheck.Static_tests (the
+   single home of eqs (20)/(34)-(35)); this module keeps the Ctx-keyed
+   reporting shape the experiments consume. *)
 let check_flow ctx ~flow =
+  let scenario = Ctx.scenario ctx in
   let condition stage =
-    let utilization =
-      match stage with
-      | Stage.First_link _ -> First_hop.utilization_condition ctx ~flow
-      | Stage.Ingress node -> Ingress.utilization_condition ctx ~flow ~node
-      | Stage.Egress (node, _) -> Egress.utilization_condition ctx ~flow ~node
-    in
-    make_check flow stage utilization
+    make_check flow stage
+      (Gmf_precheck.Static_tests.stage_utilization scenario flow stage)
   in
   List.map condition (Stage.stages_of_route flow.Traffic.Flow.route)
 

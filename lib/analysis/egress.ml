@@ -55,10 +55,6 @@ let analyze ctx ~flow ~node ~frame =
     ~finish:(fun ~q ~l ~w -> w - ((q * tsum_i) + pre_t l) + c_k + prop)
 
 let utilization_condition ctx ~flow ~node =
-  let n, d = outgoing_link flow node in
-  let scenario = Ctx.scenario ctx in
-  flow :: Traffic.Scenario.hep scenario flow ~node:n
-  |> List.fold_left
-       (fun acc j ->
-         acc +. Traffic.Link_params.utilization (Ctx.params ctx j ~src:n ~dst:d))
-       0.
+  let n, _ = outgoing_link flow node in
+  Gmf_precheck.Static_tests.egress_utilization (Ctx.scenario ctx) flow
+    ~node:n

@@ -40,4 +40,4 @@ let analyze ctx ~flow ~frame =
 
 let utilization_condition ctx ~flow =
   let s, d = link_of flow in
-  Traffic.Scenario.link_utilization (Ctx.scenario ctx) ~src:s ~dst:d
+  Gmf_precheck.Static_tests.link_utilization (Ctx.scenario ctx) ~src:s ~dst:d

@@ -68,6 +68,12 @@ val run_from : Ctx.t -> init:Jitter_state.t -> report
 val analyze : ?config:Config.t -> Traffic.Scenario.t -> report
 (** One-shot convenience: build a context and {!run}. *)
 
+val deadline_misses : Result_types.flow_result list -> Result_types.failure list
+(** The per-frame deadline violations of a result set, in result order —
+    exactly the list a [Deadline_miss] verdict carries.  Exposed so
+    {!Sharded} can rebuild the monolithic verdict from merged
+    per-component results. *)
+
 val is_schedulable : report -> bool
 
 val pp_verdict : Format.formatter -> verdict -> unit

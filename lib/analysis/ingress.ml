@@ -54,12 +54,5 @@ let analyze ctx ~flow ~node ~frame =
 
 let utilization_condition ctx ~flow ~node =
   let p, n = incoming_link flow node in
-  let scenario = Ctx.scenario ctx in
-  let circ = Traffic.Scenario.circ scenario n in
-  Traffic.Scenario.flows_on scenario ~src:p ~dst:n
-  |> List.fold_left
-       (fun acc j ->
-         let params = Ctx.params ctx j ~src:p ~dst:n in
-         let demand = Traffic.Link_params.nsum params * circ in
-         acc +. (float_of_int demand /. float_of_int (Traffic.Flow.tsum j)))
-       0.
+  Gmf_precheck.Static_tests.ingress_utilization (Ctx.scenario ctx) ~src:p
+    ~node:n

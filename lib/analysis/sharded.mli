@@ -1,0 +1,50 @@
+(** Precheck-guided holistic analysis: decide statically what can be
+    decided, fixpoint the rest component by component.
+
+    {!analyze} runs {!Gmf_precheck.Precheck.run} first, then:
+
+    - statically infeasible flows are rejected without any fixpoint (the
+      certificate becomes the failure reason);
+    - certified flows get synthetic results carrying their certified
+      per-frame ceilings ([stages = []], no fixpoint either);
+    - every remaining interference component is analyzed as an
+      independent sub-scenario through {!Case.analyze_all} (so the
+      per-component fixpoints share the process-wide memo and can run on
+      any {!Gmf_exec} backend).
+
+    Because interference never crosses component boundaries (two flows
+    interfere only where their routes share a node, which is exactly an
+    {!Gmf_precheck.Igraph} edge), the union of the per-component fixed
+    points {e is} the monolithic fixed point: with [~skip_decided:false]
+    (every component fixpointed, nothing synthesized) the merged report
+    equals [Holistic.analyze] structurally — results in scenario flow
+    order, [rounds] the maximum over components, the verdict rebuilt
+    with {!Holistic.deadline_misses}.  The property tests enforce this.
+    The only caveat is an [Analysis_failed] monolithic run, which stops
+    {e every} flow at the failing round, while the sharded run lets the
+    other components converge — same verdict constructor, possibly more
+    results. *)
+
+type stats = {
+  components : int;  (** Interference components in the scenario. *)
+  components_run : int;  (** Components that actually fixpointed. *)
+  flows : int;
+  flows_infeasible : int;  (** Rejected statically. *)
+  flows_certified : int;  (** Admitted statically. *)
+}
+
+val analyze :
+  ?exec:Gmf_exec.t ->
+  ?skip_decided:bool ->
+  ?config:Config.t ->
+  Traffic.Scenario.t ->
+  Holistic.report * Gmf_precheck.Precheck.report * stats
+(** [analyze ?exec ?skip_decided ?config scenario] is the merged report,
+    the precheck report it was guided by, and the sharding counters.
+
+    [skip_decided] defaults to [true].  With [false], precheck verdicts
+    are computed but ignored: every component runs the fixpoint, which
+    makes the merged report structurally equal to the monolithic one
+    (the byte-identity property above). *)
+
+val pp_stats : Format.formatter -> stats -> unit

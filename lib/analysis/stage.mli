@@ -11,7 +11,7 @@
     - [Egress (n, d)]: priority queue of switch [n] towards [d], including
       the transmission on link [(n, d)] (Section 3.4). *)
 
-type t =
+type t = Gmf_precheck.Stage_key.t =
   | First_link of Network.Node.id * Network.Node.id
   | Ingress of Network.Node.id
   | Egress of Network.Node.id * Network.Node.id

@@ -164,9 +164,12 @@ let analyze_case ~config ~max_routes scenario case =
               },
               rounds )
           else
-            (* Through the shared case memo: two failure cases that shed
-               down to the same remainder set reuse one fixpoint. *)
-            let r = Analysis.Case.analyze ~config scenario' in
+            (* Precheck-guided and per-component, through the shared case
+               memo: two failure cases that shed down to the same remainder
+               set — or merely share an untouched interference component —
+               reuse the earlier fixpoints, and statically decided flows
+               never enter one. *)
+            let r, _pre, _stats = Analysis.Sharded.analyze ~config scenario' in
             (r, rounds + r.Analysis.Holistic.rounds)
         in
         if Analysis.Holistic.is_schedulable report then (report, shed, rounds)

@@ -136,6 +136,25 @@ let catalog =
          Gmf_faults.Survive.admission_gate — not by scenario_rules)";
     };
     {
+      code = "GMF018";
+      category = Utilization;
+      default_severity = Gmf_diag.Error;
+      title = "flow statically infeasible (precheck certificate)";
+      reference =
+        "eqs (20)/(34)-(35) and the one-shot demand floor (produced by \
+         Gmf_precheck.Precheck, not by scenario_rules)";
+    };
+    {
+      code = "GMF019";
+      category = Utilization;
+      default_severity = Gmf_diag.Warning;
+      title = "interference component larger than the configured bound";
+      reference =
+        "Section 3.5 (fixpoint cost grows with the interference \
+         component; produced by Gmf_precheck.Precheck, not by \
+         scenario_rules)";
+    };
+    {
       code = "GMF101";
       category = Model;
       default_severity = Gmf_diag.Hint;
@@ -251,45 +270,11 @@ let used_links scenario =
 
 (* Left side of eqs (34)-(35) for one ingress link (src -> switch): every
    Ethernet frame entering the switch there costs one CIRC rotation. *)
-let ingress_utilization scenario ~src ~node =
-  let circ = Traffic.Scenario.circ scenario node in
-  List.fold_left
-    (fun acc f ->
-      let p = Traffic.Scenario.params scenario f ~src ~dst:node in
-      acc
-      +. float_of_int (Traffic.Link_params.nsum p * circ)
-         /. float_of_int (Traffic.Flow.tsum f))
-    0.
-    (Traffic.Scenario.flows_on scenario ~src ~dst:node)
+let ingress_utilization = Gmf_precheck.Static_tests.ingress_utilization
 
-(* GJ + the sum of per-stage response-time lower bounds of Figure 6: own
-   transmission + propagation on every link stage, own rotations at every
-   ingress stage.  Mirrors [Pipeline.stage_min_response]. *)
-let min_response scenario (f : Traffic.Flow.t) ~frame =
-  let route = f.Traffic.Flow.route in
-  let links =
-    List.fold_left
-      (fun acc (src, dst) ->
-        let p = Traffic.Scenario.params scenario f ~src ~dst in
-        acc
-        + p.Traffic.Link_params.c.(frame)
-        + p.Traffic.Link_params.link.Network.Link.prop)
-      0 (Network.Route.hops route)
-  in
-  let ingresses =
-    List.fold_left
-      (fun acc node ->
-        let src = Network.Route.prec route node in
-        let p = Traffic.Scenario.params scenario f ~src ~dst:node in
-        let model = Traffic.Scenario.switch_model scenario node in
-        acc
-        + p.Traffic.Link_params.eth_frames.(frame)
-          * model.Click.Switch_model.croute)
-      0
-      (Network.Route.intermediate_switches route)
-  in
-  let gj = (Gmf.Spec.frame f.Traffic.Flow.spec frame).Gmf.Frame_spec.jitter in
-  gj + links + ingresses
+(* GJ + uncontended per-stage response lower bounds; the formula lives
+   in Gmf_precheck.Static_tests (single home of the static inequalities). *)
+let min_response = Gmf_precheck.Static_tests.min_response
 
 (* ---------------- GMF0xx: structural ---------------- *)
 
@@ -546,7 +531,7 @@ let check_link_utilization scenario =
   let used = used_links scenario in
   Hashtbl.fold
     (fun (src, dst) () acc ->
-      let u = Traffic.Scenario.link_utilization scenario ~src ~dst in
+      let u = Gmf_precheck.Static_tests.link_utilization scenario ~src ~dst in
       if u >= 1. then
         Gmf_diag.error ~code:"GMF201"
           ~subject:(Gmf_diag.Link { src; dst })
@@ -687,7 +672,9 @@ let flow_gate scenario (f : Traffic.Flow.t) =
   let links =
     List.filter_map
       (fun (src, dst) ->
-        let u = Traffic.Scenario.link_utilization scenario ~src ~dst in
+        let u =
+          Gmf_precheck.Static_tests.link_utilization scenario ~src ~dst
+        in
         if u >= 1. then
           Some
             (Gmf_diag.error ~code:"GMF201"

@@ -1,0 +1,119 @@
+type component = { cid : int; flow_ids : Traffic.Flow.id list }
+
+type stats = {
+  flows : int;
+  edges : int;
+  components : int;
+  largest : int;
+  singletons : int;
+  density : float;
+}
+
+type t = {
+  comps : component list;
+  comp_of : (Traffic.Flow.id, int) Hashtbl.t;
+  graph_stats : stats;
+}
+
+(* Union-find over flow array indices, with path halving. *)
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    parent.(i) <- parent.(p);
+    find parent parent.(i)
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let build scenario =
+  let flows = Array.of_list (Traffic.Scenario.flows scenario) in
+  let nf = Array.length flows in
+  let parent = Array.init nf Fun.id in
+  (* Index: route node -> indices of the flows crossing it. *)
+  let by_node : (Network.Node.id, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i f ->
+      List.iter
+        (fun node ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_node node) in
+          Hashtbl.replace by_node node (i :: prev))
+        (Network.Route.nodes f.Traffic.Flow.route))
+    flows;
+  (* Flows meeting at a node are pairwise adjacent; distinct pairs are
+     counted once even when routes share several nodes. *)
+  let edge_set = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _node members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          List.iter (fun i -> union parent first i) rest;
+          let rec pairs = function
+            | [] -> ()
+            | i :: tl ->
+                List.iter
+                  (fun j ->
+                    Hashtbl.replace edge_set (min i j, max i j) ())
+                  tl;
+                pairs tl
+          in
+          pairs members)
+    by_node;
+  let roots = Hashtbl.create 16 in
+  Array.iteri
+    (fun i f ->
+      let r = find parent i in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt roots r) in
+      Hashtbl.replace roots r (f.Traffic.Flow.id :: prev))
+    flows;
+  let comps =
+    Hashtbl.fold (fun _root ids acc -> List.sort compare ids :: acc) roots []
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+    |> List.mapi (fun cid flow_ids -> { cid; flow_ids })
+  in
+  let comp_of = Hashtbl.create nf in
+  List.iter
+    (fun c -> List.iter (fun id -> Hashtbl.replace comp_of id c.cid) c.flow_ids)
+    comps;
+  let largest =
+    List.fold_left (fun acc c -> max acc (List.length c.flow_ids)) 0 comps
+  in
+  let singletons =
+    List.length (List.filter (fun c -> List.length c.flow_ids = 1) comps)
+  in
+  let edges = Hashtbl.length edge_set in
+  let density =
+    if nf < 2 then 0.
+    else float_of_int edges /. (float_of_int (nf * (nf - 1)) /. 2.)
+  in
+  {
+    comps;
+    comp_of;
+    graph_stats =
+      {
+        flows = nf;
+        edges;
+        components = List.length comps;
+        largest;
+        singletons;
+        density;
+      };
+  }
+
+let components t = t.comps
+
+let component_of t id =
+  match Hashtbl.find_opt t.comp_of id with
+  | Some cid -> cid
+  | None -> invalid_arg (Printf.sprintf "Igraph.component_of: unknown flow %d" id)
+
+let stats t = t.graph_stats
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d flows, %d edges, %d components (largest %d, %d singletons), density \
+     %.3f"
+    s.flows s.edges s.components s.largest s.singletons s.density

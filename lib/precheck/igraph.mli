@@ -1,0 +1,37 @@
+(** The interference graph over a scenario's flows.
+
+    Two flows interact — directly or through jitter propagation — only if
+    their routes share a node: every interference set the analysis reads
+    ([flows_on], [hep]) is drawn from the flows crossing one node, and
+    jitter only travels along a flow's own route.  Flows in different
+    connected components of this graph therefore have completely
+    independent fixed points, which is what lets the holistic analysis be
+    sharded per component (see [Analysis.Sharded]) and what the closure
+    machinery in [Gmf_admctl.Session] exploits event by event. *)
+
+type component = {
+  cid : int;  (** 0-based, ordered by smallest member flow id. *)
+  flow_ids : Traffic.Flow.id list;  (** Ascending. *)
+}
+
+type stats = {
+  flows : int;
+  edges : int;  (** Distinct flow pairs sharing at least one route node. *)
+  components : int;
+  largest : int;  (** Flow count of the biggest component; 0 when empty. *)
+  singletons : int;  (** Components of exactly one flow. *)
+  density : float;
+      (** [edges / (flows choose 2)]; 0 for fewer than two flows. *)
+}
+
+type t
+
+val build : Traffic.Scenario.t -> t
+
+val components : t -> component list
+
+val component_of : t -> Traffic.Flow.id -> int
+(** Raises [Invalid_argument] on a flow id not in the scenario. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

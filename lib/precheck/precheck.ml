@@ -1,0 +1,444 @@
+type inequality =
+  | Eq20_link_overload of { src : int; dst : int }
+  | Eq34_35_ingress_overload of { src : int; node : int }
+  | Demand_floor of { frame : int; stage : Stage_key.t }
+  | One_shot_bound of { frame : int; stage : Stage_key.t }
+
+type certificate = {
+  inequality : inequality;
+  value : float;
+  limit : float;
+  slack : float;
+}
+
+type verdict =
+  | Infeasible of certificate
+  | Schedulable of certificate
+  | Needs_fixpoint of { reason : string }
+
+type flow_verdict = {
+  flow_id : Traffic.Flow.id;
+  flow_name : string;
+  component : int;
+  verdict : verdict;
+  ceilings : Gmf_util.Timeunit.ns array option;
+}
+
+type report = {
+  stats : Igraph.stats;
+  components : Igraph.component list;
+  verdicts : flow_verdict list;
+}
+
+(* ---------------- observability ---------------- *)
+
+let m_runs = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "precheck.runs"
+
+let m_components =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "precheck.components"
+
+let m_decided =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "precheck.decided"
+
+let m_infeasible =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "precheck.infeasible"
+
+let m_certified =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "precheck.certified"
+
+let g_largest =
+  Gmf_obs.Metrics.gauge Gmf_obs.Metrics.default "precheck.largest_component"
+
+(* ---------------- necessary tests per flow ---------------- *)
+
+(* Mirrors the predicate (and float arithmetic) of the lint gate
+   [Gmf_lint.Rules.flow_gate], so the two layers can never disagree on an
+   eq-(20)/(34)-(35) overload. *)
+let overload_certificate ~config scenario (flow : Traffic.Flow.t) =
+  let route = flow.Traffic.Flow.route in
+  let worst cmp l = match l with [] -> None | hd :: tl ->
+    Some (List.fold_left (fun acc c -> if cmp c acc then c else acc) hd tl)
+  in
+  let links =
+    List.filter_map
+      (fun (src, dst) ->
+        let u = Static_tests.link_utilization scenario ~src ~dst in
+        if u >= 1. then
+          Some
+            {
+              inequality = Eq20_link_overload { src; dst };
+              value = u;
+              limit = 1.;
+              slack = 1. -. u;
+            }
+        else None)
+      (Network.Route.hops route)
+  in
+  let ingresses =
+    List.filter_map
+      (fun node ->
+        let src = Network.Route.prec route node in
+        let u = Static_tests.ingress_utilization scenario ~src ~node in
+        if u >= 1. then
+          Some
+            {
+              inequality = Eq34_35_ingress_overload { src; node };
+              value = u;
+              limit = 1.;
+              slack = 1. -. u;
+            }
+        else None)
+      (Network.Route.intermediate_switches route)
+  in
+  let floors =
+    List.filter_map
+      (fun frame ->
+        let deadline =
+          (Gmf.Spec.frame flow.Traffic.Flow.spec frame).Gmf.Frame_spec.deadline
+        in
+        let total, per_stage =
+          Static_tests.demand_floor ~config scenario flow ~frame
+        in
+        if total > deadline then
+          let binding, _ =
+            List.fold_left
+              (fun (bs, bv) (stage, v) ->
+                if v > bv then (stage, v) else (bs, bv))
+              (fst (List.hd per_stage), min_int)
+              per_stage
+          in
+          Some
+            {
+              inequality = Demand_floor { frame; stage = binding };
+              value = float_of_int total;
+              limit = float_of_int deadline;
+              slack = float_of_int (deadline - total);
+            }
+        else None)
+      (List.init (Traffic.Flow.n flow) Fun.id)
+  in
+  match worst (fun a b -> a.value > b.value) links with
+  | Some c -> Some c
+  | None -> (
+      match worst (fun a b -> a.value > b.value) ingresses with
+      | Some c -> Some c
+      | None -> worst (fun a b -> a.slack < b.slack) floors)
+
+(* ---------------- the pass ---------------- *)
+
+let run ?(config = Analysis_config.default) scenario =
+  Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"precheck"
+    "precheck.run"
+  @@ fun () ->
+  let graph = Igraph.build scenario in
+  let components = Igraph.components graph in
+  let stats = Igraph.stats graph in
+  let flows = Traffic.Scenario.flows scenario in
+  let infeasible_certs = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      match overload_certificate ~config scenario f with
+      | Some cert -> Hashtbl.replace infeasible_certs f.Traffic.Flow.id cert
+      | None -> ())
+    flows;
+  (* Sufficient test, all-or-nothing per component: the jitter caps of
+     the ceilings are only invariant when every member meets them. *)
+  let component_outcome = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Igraph.component) ->
+      let members =
+        List.map (fun id -> Traffic.Scenario.flow scenario id) c.Igraph.flow_ids
+      in
+      let outcome =
+        if
+          List.exists
+            (fun (f : Traffic.Flow.t) ->
+              Hashtbl.mem infeasible_certs f.Traffic.Flow.id)
+            members
+        then Error "component holds a statically infeasible flow"
+        else
+          let rec certify acc = function
+            | [] -> Ok (List.rev acc)
+            | (f : Traffic.Flow.t) :: rest -> (
+                match Static_tests.response_ceiling ~config scenario f with
+                | Error e ->
+                    Error (Printf.sprintf "flow %s: %s" f.Traffic.Flow.name e)
+                | Ok ceiling when not (Static_tests.certifies f ceiling) ->
+                    Error
+                      (Printf.sprintf
+                         "flow %s: frame %d one-shot bound misses its \
+                          deadline by %.0f ns"
+                         f.Traffic.Flow.name
+                         ceiling.Static_tests.binding_frame
+                         (-.ceiling.Static_tests.slack))
+                | Ok ceiling -> certify ((f, ceiling) :: acc) rest)
+          in
+          certify [] members
+      in
+      Hashtbl.replace component_outcome c.Igraph.cid outcome)
+    components;
+  let verdicts =
+    List.map
+      (fun (f : Traffic.Flow.t) ->
+        let id = f.Traffic.Flow.id in
+        let component = Igraph.component_of graph id in
+        let verdict, ceilings =
+          match Hashtbl.find_opt infeasible_certs id with
+          | Some cert -> (Infeasible cert, None)
+          | None -> (
+              match Hashtbl.find component_outcome component with
+              | Error reason -> (Needs_fixpoint { reason }, None)
+              | Ok certified -> (
+                  match
+                    List.find_opt
+                      (fun ((g : Traffic.Flow.t), _) ->
+                        g.Traffic.Flow.id = id)
+                      certified
+                  with
+                  | None -> (Needs_fixpoint { reason = "uncertified" }, None)
+                  | Some (_, ceiling) ->
+                      let deadlines = Gmf.Spec.deadlines f.Traffic.Flow.spec in
+                      let k = ceiling.Static_tests.binding_frame in
+                      let cert =
+                        {
+                          inequality =
+                            One_shot_bound
+                              {
+                                frame = k;
+                                stage = ceiling.Static_tests.binding_stage;
+                              };
+                          value = Float.ceil ceiling.Static_tests.totals.(k);
+                          limit = float_of_int deadlines.(k);
+                          slack =
+                            float_of_int deadlines.(k)
+                            -. Float.ceil ceiling.Static_tests.totals.(k);
+                        }
+                      in
+                      let bounds =
+                        Array.map
+                          (fun t -> int_of_float (Float.ceil t))
+                          ceiling.Static_tests.totals
+                      in
+                      (Schedulable cert, Some bounds)))
+        in
+        { flow_id = id; flow_name = f.Traffic.Flow.name; component; verdict;
+          ceilings })
+      flows
+  in
+  let n_inf =
+    List.length
+      (List.filter (fun v -> match v.verdict with Infeasible _ -> true | _ -> false) verdicts)
+  in
+  let n_cert =
+    List.length
+      (List.filter
+         (fun v -> match v.verdict with Schedulable _ -> true | _ -> false)
+         verdicts)
+  in
+  if Gmf_obs.Metrics.enabled Gmf_obs.Metrics.default then begin
+    Gmf_obs.Metrics.incr m_runs;
+    Gmf_obs.Metrics.incr ~by:stats.Igraph.components m_components;
+    Gmf_obs.Metrics.incr ~by:(n_inf + n_cert) m_decided;
+    Gmf_obs.Metrics.incr ~by:n_inf m_infeasible;
+    Gmf_obs.Metrics.incr ~by:n_cert m_certified;
+    Gmf_obs.Metrics.set_gauge g_largest (float_of_int stats.Igraph.largest)
+  end;
+  { stats; components; verdicts }
+
+(* ---------------- accessors ---------------- *)
+
+let infeasible report =
+  List.filter
+    (fun v -> match v.verdict with Infeasible _ -> true | _ -> false)
+    report.verdicts
+
+let certified report =
+  List.filter
+    (fun v -> match v.verdict with Schedulable _ -> true | _ -> false)
+    report.verdicts
+
+let decided report = List.length (infeasible report) + List.length (certified report)
+
+let verdict_of report id =
+  match List.find_opt (fun v -> v.flow_id = id) report.verdicts with
+  | Some v -> v.verdict
+  | None -> invalid_arg (Printf.sprintf "Precheck.verdict_of: unknown flow %d" id)
+
+let undecided_components report =
+  let undecided =
+    List.filter_map
+      (fun v ->
+        match v.verdict with
+        | Needs_fixpoint _ -> Some v.component
+        | _ -> None)
+      report.verdicts
+    |> List.sort_uniq compare
+  in
+  List.filter
+    (fun (c : Igraph.component) -> List.mem c.Igraph.cid undecided)
+    report.components
+
+(* ---------------- diagnostics ---------------- *)
+
+let default_max_component = 64
+
+let inequality_name = function
+  | Eq20_link_overload _ -> "eq20-link-overload"
+  | Eq34_35_ingress_overload _ -> "eq34-35-ingress-overload"
+  | Demand_floor _ -> "demand-floor"
+  | One_shot_bound _ -> "one-shot-bound"
+
+let pp_certificate fmt c =
+  match c.inequality with
+  | Eq20_link_overload { src; dst } ->
+      Format.fprintf fmt
+        "eq (20) on link %d->%d: utilization %.3f >= 1 (slack %.3f)" src dst
+        c.value c.slack
+  | Eq34_35_ingress_overload { src; node } ->
+      Format.fprintf fmt
+        "eqs (34)-(35) at node %d via link %d->%d: rotation utilization %.3f \
+         >= 1 (slack %.3f)"
+        node src node c.value c.slack
+  | Demand_floor { frame; stage } ->
+      Format.fprintf fmt
+        "demand floor of frame %d: %.0f ns > deadline %.0f ns (binding %a, \
+         slack %.0f ns)"
+        frame c.value c.limit Stage_key.pp stage c.slack
+  | One_shot_bound { frame; stage } ->
+      Format.fprintf fmt
+        "one-shot bound of frame %d: %.0f ns <= deadline %.0f ns (binding \
+         %a, slack %.0f ns)"
+        frame c.value c.limit Stage_key.pp stage c.slack
+
+let pp_verdict fmt = function
+  | Infeasible c ->
+      Format.fprintf fmt "infeasible (%a)" pp_certificate c
+  | Schedulable c ->
+      Format.fprintf fmt "schedulable (%a)" pp_certificate c
+  | Needs_fixpoint { reason } ->
+      Format.fprintf fmt "needs-fixpoint (%s)" reason
+
+let by_code_then_message (a : Gmf_diag.t) (b : Gmf_diag.t) =
+  compare (a.Gmf_diag.code, a.Gmf_diag.message)
+    (b.Gmf_diag.code, b.Gmf_diag.message)
+
+let diagnostics ?(max_component = default_max_component) report =
+  let gmf018 =
+    List.map
+      (fun v ->
+        match v.verdict with
+        | Infeasible cert ->
+            let subject =
+              match cert.inequality with
+              | Demand_floor { frame; _ } ->
+                  Gmf_diag.Frame
+                    { id = v.flow_id; name = v.flow_name; frame }
+              | _ -> Gmf_diag.Flow { id = v.flow_id; name = v.flow_name }
+            in
+            Gmf_diag.error ~code:"GMF018" ~subject
+              ~suggestion:
+                "the holistic analysis cannot admit this flow; shed it, \
+                 reroute it or relax the violated constraint"
+              "statically infeasible: %s"
+              (Format.asprintf "%a" pp_certificate cert)
+        | _ -> assert false)
+      (infeasible report)
+  in
+  let gmf019 =
+    List.filter_map
+      (fun (c : Igraph.component) ->
+        let size = List.length c.Igraph.flow_ids in
+        if size > max_component then
+          Some
+            (Gmf_diag.warning ~code:"GMF019" ~subject:Gmf_diag.Scenario
+               ~suggestion:
+                 "the fixpoint on this component may dominate analysis \
+                  time; reduce route sharing or raise the bound"
+               "interference component %d spans %d flows (bound %d)"
+               c.Igraph.cid size max_component)
+        else None)
+      report.components
+  in
+  List.sort by_code_then_message (gmf018 @ gmf019)
+
+(* ---------------- rendering ---------------- *)
+
+let pp fmt report =
+  Format.fprintf fmt "interference graph: %a@," Igraph.pp_stats report.stats;
+  List.iter
+    (fun (c : Igraph.component) ->
+      Format.fprintf fmt "component %d (%d flows):@," c.Igraph.cid
+        (List.length c.Igraph.flow_ids);
+      List.iter
+        (fun v ->
+          if v.component = c.Igraph.cid then
+            Format.fprintf fmt "  flow %d %s: %a@," v.flow_id v.flow_name
+              pp_verdict v.verdict)
+        report.verdicts)
+    report.components;
+  Format.fprintf fmt "decided statically: %d/%d (%d infeasible, %d certified)"
+    (decided report) report.stats.Igraph.flows
+    (List.length (infeasible report))
+    (List.length (certified report))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json report =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let s = report.stats in
+  add "{\n";
+  add
+    "  \"stats\": {\"flows\": %d, \"edges\": %d, \"components\": %d, \
+     \"largest\": %d, \"singletons\": %d, \"density\": %.4f},\n"
+    s.Igraph.flows s.Igraph.edges s.Igraph.components s.Igraph.largest
+    s.Igraph.singletons s.Igraph.density;
+  add "  \"components\": [";
+  List.iteri
+    (fun i (c : Igraph.component) ->
+      if i > 0 then add ", ";
+      add "{\"cid\": %d, \"flows\": [%s]}" c.Igraph.cid
+        (String.concat ", " (List.map string_of_int c.Igraph.flow_ids)))
+    report.components;
+  add "],\n";
+  add "  \"verdicts\": [\n";
+  List.iteri
+    (fun i v ->
+      if i > 0 then add ",\n";
+      add "    {\"flow\": %d, \"name\": \"%s\", \"component\": %d, " v.flow_id
+        (json_escape v.flow_name) v.component;
+      (match v.verdict with
+      | Needs_fixpoint { reason } ->
+          add "\"verdict\": \"needs-fixpoint\", \"reason\": \"%s\"}"
+            (json_escape reason)
+      | (Infeasible cert | Schedulable cert) as verdict ->
+          add "\"verdict\": \"%s\", "
+            (match verdict with
+            | Infeasible _ -> "infeasible"
+            | _ -> "schedulable");
+          add
+            "\"certificate\": {\"inequality\": \"%s\", \"value\": %.3f, \
+             \"limit\": %.3f, \"slack\": %.3f, \"detail\": \"%s\"}"
+            (inequality_name cert.inequality)
+            cert.value cert.limit cert.slack
+            (json_escape (Format.asprintf "%a" pp_certificate cert));
+          (match v.ceilings with
+          | Some bounds ->
+              add ", \"ceilings\": [%s]}"
+                (String.concat ", "
+                   (Array.to_list (Array.map string_of_int bounds)))
+          | None -> add "}")))
+    report.verdicts;
+  add "\n  ],\n";
+  add "  \"decided\": %d\n" (decided report);
+  add "}\n";
+  Buffer.contents buf
