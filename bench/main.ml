@@ -731,6 +731,87 @@ module Precheck_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Scale benchmark: generate a TSN-class mesh and admit it            *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end admission of a generated population: 1,000 flows on a
+   25x20 mesh (500 switches, 1,000 dual-attached hosts) at 1 Gbit/s.
+   The figure of merit is flows/sec over generation + lint + precheck +
+   sharded fixpoints — the whole path an operator would run to admit a
+   fleet, and the path the per-link flow indexes and distance-pruned
+   route search keep out of quadratic territory. *)
+module Scale_bench = struct
+  let spec =
+    {
+      Gmf_topogen.Gen_spec.default with
+      Gmf_topogen.Gen_spec.family =
+        Gmf_topogen.Gen_spec.Mesh { rows = 25; cols = 20; planes = 1 };
+      hosts_per_switch = 2;
+      rate_bps = 1_000_000_000;
+      flows = 1_000;
+      seed = 42;
+    }
+
+  let json_report () =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let result, gen_s =
+      time (fun () -> Gmf_topogen.Topogen.generate spec)
+    in
+    let scenario = result.Gmf_topogen.Topogen.scenario in
+    let lint, lint_s = time (fun () -> Gmf_lint.Lint.run scenario) in
+    (if Gmf_lint.Lint.fatal ~deny:Gmf_diag.Warning lint then
+       failwith "scale bench: generated scenario is not lint-clean");
+    let (report, pre, stats), analyze_s =
+      time (fun () -> Analysis.Sharded.analyze scenario)
+    in
+    let placed = result.Gmf_topogen.Topogen.placed in
+    if placed < spec.Gmf_topogen.Gen_spec.flows then
+      failwith
+        (Printf.sprintf "scale bench: placed only %d/%d flows" placed
+           spec.Gmf_topogen.Gen_spec.flows);
+    let total_s = gen_s +. lint_s +. analyze_s in
+    let st = pre.Gmf_precheck.Precheck.stats in
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf
+      "{\n\
+      \  \"benchmark\": \"scale\",\n\
+      \  \"family\": \"%s\",\n\
+      \  \"switches\": %d,\n\
+      \  \"links\": %d,\n\
+      \  \"flows\": %d,\n\
+      \  \"igraph\": {\"edges\": %d, \"components\": %d, \"largest\": %d,\n\
+      \             \"singletons\": %d, \"density\": %.4f},\n\
+      \  \"decided\": %d,\n\
+      \  \"components_run\": %d,\n\
+      \  \"schedulable\": %b,\n\
+      \  \"gen\": {\"seconds\": %.3f},\n\
+      \  \"lint\": {\"seconds\": %.3f},\n\
+      \  \"analyze\": {\"seconds\": %.3f},\n\
+      \  \"total\": {\"seconds\": %.3f, \"flows_per_sec\": %.1f}\n\
+       }\n"
+      (Gmf_topogen.Gen_spec.family_to_string spec.Gmf_topogen.Gen_spec.family)
+      result.Gmf_topogen.Topogen.built.Gmf_topogen.Builders.switch_count
+      result.Gmf_topogen.Topogen.built.Gmf_topogen.Builders.link_count
+      placed st.Gmf_precheck.Igraph.edges st.Gmf_precheck.Igraph.components
+      st.Gmf_precheck.Igraph.largest st.Gmf_precheck.Igraph.singletons
+      st.Gmf_precheck.Igraph.density
+      (Gmf_precheck.Precheck.decided pre)
+      stats.Analysis.Sharded.components_run
+      (Analysis.Holistic.is_schedulable report)
+      gen_s lint_s analyze_s total_s
+      (float_of_int placed /. total_s);
+    let path = "BENCH_scale.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Baseline regression check                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -753,8 +834,7 @@ module Baseline = struct
 
   let kind path =
     if contains ~needle:"seconds" path then `Lower_is_better
-    else if
-      contains ~needle:"events_per_sec" path || contains ~needle:"speedup" path
+    else if contains ~needle:"per_sec" path || contains ~needle:"speedup" path
     then `Higher_is_better
     else `Informational
 
@@ -891,6 +971,8 @@ let () =
     run_report Exec_bench.json_report "BENCH_exec.json";
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "precheck" then
     run_report Precheck_bench.json_report "BENCH_precheck.json";
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "scale" then
+    run_report Scale_bench.json_report "BENCH_scale.json";
   let results = benchmark () in
   let table =
     Tablefmt.create

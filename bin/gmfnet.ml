@@ -287,14 +287,16 @@ let precheck_cmd =
       & opt int Gmf_precheck.Precheck.default_max_component
       & info [ "max-component" ] ~docv:"N" ~doc)
   in
-  let run pos_file name file rate config json max_component =
+  let run pos_file name file rate config json max_component jobs =
     let file = match pos_file with Some _ -> pos_file | None -> file in
     match build_scenario ?file name rate with
     | Error msg ->
         prerr_endline ("gmfnet: " ^ msg);
         1
     | Ok scenario ->
-        let report = Gmf_precheck.Precheck.run ~config scenario in
+        let report =
+          Gmf_precheck.Precheck.run ~exec:(exec_of_jobs jobs) ~config scenario
+        in
         let diags = Gmf_precheck.Precheck.diagnostics ~max_component report in
         if json then print_string (Gmf_precheck.Precheck.to_json report)
         else begin
@@ -312,7 +314,7 @@ let precheck_cmd =
           Exits non-zero when a flow is certified infeasible.")
     Term.(
       const run $ file_pos_arg $ scenario_arg $ file_arg $ rate_arg
-      $ variant_arg $ json_arg $ max_component_arg)
+      $ variant_arg $ json_arg $ max_component_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                            *)
@@ -358,11 +360,23 @@ let csv_arg =
     & info [ "csv" ] ~docv:"WHAT" ~doc)
 
 let analyze_cmd =
-  let run name file rate config csv metrics trace_out =
+  let run name file rate config csv jobs metrics trace_out =
     exit_of_result
       (Result.bind (build_scenario ?file name rate) (fun scenario ->
            with_obs ?metrics ?trace_out (fun () ->
-               let report = Analysis.Holistic.analyze ~config scenario in
+               (* With jobs > 1 the fixpoints run per interference
+                  component on the worker pool; the merged report is
+                  structurally identical to the monolithic one (the
+                  sharded property tests enforce it). *)
+               let report =
+                 if Gmf_exec.resolve_jobs jobs > 1 then
+                   let report, _pre, _stats =
+                     Analysis.Sharded.analyze ~exec:(exec_of_jobs jobs)
+                       ~skip_decided:false ~config scenario
+                   in
+                   report
+                 else Analysis.Holistic.analyze ~config scenario
+               in
                match csv with
                | Some "stages" ->
                    print_string (Analysis.Report_io.stage_csv report)
@@ -373,7 +387,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Upper-bound every flow's end-to-end response time.")
     Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg
-          $ csv_arg $ metrics_arg $ trace_out_arg)
+          $ csv_arg $ jobs_arg $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                           *)
@@ -556,15 +570,163 @@ let simulate_cmd =
       $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* gen                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let conv_of parse print =
+    Arg.conv ((fun s -> Result.map_error (fun e -> `Msg e) (parse s)), print)
+  in
+  let topology_arg =
+    let doc =
+      "Topology family: $(b,mesh:RxC) (2-D switch grid), \
+       $(b,mesh:RxCx2) (two disjoint planes, dual-homed hosts), \
+       $(b,fat-tree:K) (k-ary fat tree) or $(b,rings:NxS) (N local \
+       rings of S switches on a global ring)."
+    in
+    let family =
+      conv_of Gmf_topogen.Gen_spec.family_of_string (fun ppf f ->
+          Format.pp_print_string ppf
+            (Gmf_topogen.Gen_spec.family_to_string f))
+    in
+    Arg.(
+      value
+      & opt family Gmf_topogen.Gen_spec.default.Gmf_topogen.Gen_spec.family
+      & info [ "t"; "topology" ] ~docv:"FAMILY" ~doc)
+  in
+  let hosts_arg =
+    let doc = "End hosts attached to each edge switch." in
+    Arg.(value & opt int 2 & info [ "hosts-per-switch" ] ~docv:"N" ~doc)
+  in
+  let flows_arg =
+    let doc = "Flows to place (each slot retries up to 20 draws)." in
+    Arg.(value & opt int 40 & info [ "n"; "flows" ] ~docv:"N" ~doc)
+  in
+  let mix_arg =
+    let doc =
+      "Traffic mix as weighted kinds, e.g. $(b,voip=3,mpeg=1,sensor=2)."
+    in
+    let mix =
+      conv_of Gmf_topogen.Gen_spec.mix_of_string (fun ppf m ->
+          Format.pp_print_string ppf (Gmf_topogen.Gen_spec.mix_to_string m))
+    in
+    Arg.(
+      value
+      & opt mix Gmf_topogen.Gen_spec.default.Gmf_topogen.Gen_spec.mix
+      & info [ "mix" ] ~docv:"KIND=W,.." ~doc)
+  in
+  let locality_arg =
+    let doc =
+      "Probability that a flow's destination is drawn from the source's \
+       neighborhood (mesh: cells within Manhattan distance 2; fat-tree: \
+       same pod; rings: same ring)."
+    in
+    Arg.(value & opt float 0.8 & info [ "locality" ] ~docv:"P" ~doc)
+  in
+  let max_util_arg =
+    let doc =
+      "Utilization ceiling per link and per ingress rotation; candidate \
+       flows that would cross it are re-drawn."
+    in
+    Arg.(value & opt float 0.7 & info [ "max-util" ] ~docv:"U" ~doc)
+  in
+  let prio_lo_arg =
+    let doc = "Lowest 802.1p priority of the band (sensors)." in
+    Arg.(value & opt int 1 & info [ "prio-lo" ] ~docv:"P" ~doc)
+  in
+  let prio_hi_arg =
+    let doc = "Highest 802.1p priority of the band (VoIP)." in
+    Arg.(value & opt int 6 & info [ "prio-hi" ] ~docv:"P" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Generator seed.  Equal parameters and seed produce byte-identical \
+       output on every platform."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let gen_rate_arg =
+    let doc = "Bit rate of every generated link (bits per second)." in
+    Arg.(value & opt int 100_000_000 & info [ "rate" ] ~docv:"BPS" ~doc)
+  in
+  let prop_arg =
+    let doc = "Propagation delay of every generated link (nanoseconds)." in
+    Arg.(value & opt int 0 & info [ "prop" ] ~docv:"NS" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the scenario to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the generation summary on standard error." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run family hosts_per_switch flows mix locality max_util prio_lo prio_hi
+      seed rate_bps prop out quiet =
+    let spec =
+      {
+        Gmf_topogen.Gen_spec.family;
+        hosts_per_switch;
+        rate_bps;
+        prop;
+        flows;
+        mix;
+        locality;
+        max_util;
+        prio_lo;
+        prio_hi;
+        seed;
+      }
+    in
+    match Gmf_topogen.Gen_spec.validate spec with
+    | Error msg ->
+        prerr_endline ("gmfnet: " ^ msg);
+        1
+    | Ok () -> (
+        let result = Gmf_topogen.Topogen.generate spec in
+        if not quiet then
+          List.iter
+            (fun (k, v) -> Printf.eprintf "%-16s %s\n" k v)
+            (Gmf_topogen.Topogen.summary result);
+        let scenario = result.Gmf_topogen.Topogen.scenario in
+        match out with
+        | None ->
+            print_string (Gmf_topogen.Topogen.to_string scenario);
+            0
+        | Some path -> (
+            try
+              Gmf_topogen.Topogen.to_file path scenario;
+              0
+            with Sys_error msg ->
+              prerr_endline ("gmfnet: " ^ msg);
+              1))
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a synthetic scenario: a parametric topology (mesh / \
+          fat-tree / ring-of-rings) with a seeded flow population drawn \
+          from the workload catalog.  The output passes $(b,gmfnet lint \
+          --deny warning) by construction and is deterministic for a \
+          fixed seed.")
+    Term.(
+      const run $ topology_arg $ hosts_arg $ flows_arg $ mix_arg
+      $ locality_arg $ max_util_arg $ prio_lo_arg $ prio_hi_arg $ seed_arg
+      $ gen_rate_arg $ prop_arg $ out_arg $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
 (* admission                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let admission_cmd =
-  let run name file rate config =
+  let run name file rate config jobs =
     exit_of_result
       (Result.map
          (fun scenario ->
-           let decision = Analysis.Admission.check ~config scenario in
+           let decision =
+             Analysis.Admission.check ~exec:(exec_of_jobs jobs) ~config
+               scenario
+           in
            Experiments.Exp_common.kv "admitted"
              (if decision.Analysis.Admission.admitted then "yes" else "no");
            Experiments.Exp_common.kv "verdict"
@@ -581,7 +743,9 @@ let admission_cmd =
   Cmd.v
     (Cmd.info "admission"
        ~doc:"Admission-control decision with utilization conditions.")
-    Term.(const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg)
+    Term.(
+      const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                           *)
@@ -884,6 +1048,15 @@ let profile_cmd =
            kv "precheck largest component"
              (string_of_int
                 pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.largest);
+           kv "igraph edges"
+             (string_of_int
+                pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.edges);
+           kv "igraph density"
+             (Printf.sprintf "%.4f"
+                pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.density);
+           kv "igraph singletons"
+             (string_of_int
+                pre.Gmf_precheck.Precheck.stats.Gmf_precheck.Igraph.singletons);
            kv "holistic rounds"
              (string_of_int report.Analysis.Holistic.rounds);
            kv "fixpoint calls"
@@ -1199,7 +1372,7 @@ let main =
   Cmd.group
     (Cmd.info "gmfnet" ~version:"1.0.0" ~doc)
     [
-      list_cmd; lint_cmd; precheck_cmd; analyze_cmd; simulate_cmd;
+      list_cmd; lint_cmd; precheck_cmd; analyze_cmd; simulate_cmd; gen_cmd;
       admission_cmd; explain_cmd; backlog_cmd; plan_cmd; validate_cmd; profile_cmd;
       session_cmd; survive_cmd; assign_cmd; experiment_cmd;
     ]

@@ -181,29 +181,50 @@ let find_flow t id = List.find_opt (fun f -> f.Traffic.Flow.id = id) t.flows
    switch CPU at ingress).  Flows outside the transitive closure of the
    departed flow keep a fixpoint that is provably unchanged, so their
    converged jitters stay valid as a warm start. *)
-let routes_share_node a b =
-  List.exists
-    (fun n -> Network.Route.mem b.Traffic.Flow.route n)
-    (Network.Route.nodes a.Traffic.Flow.route)
 
 (* Ids of [flows] transitively reachable from any of [seeds] by node
-   sharing; always contains the seeds' ids. *)
+   sharing; always contains the seeds' ids.  BFS over a node -> flows
+   index: every route node is expanded at most once, so the closure costs
+   O(total route length) instead of rescanning the flow set per round. *)
 let interference_closure ~seeds flows =
+  let by_node = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      List.iter
+        (fun n ->
+          let prev =
+            match Hashtbl.find_opt by_node n with Some l -> l | None -> []
+          in
+          Hashtbl.replace by_node n (f :: prev))
+        (Network.Route.nodes f.Traffic.Flow.route))
+    flows;
   let closure = Hashtbl.create 16 in
+  let visited_node = Hashtbl.create 64 in
+  let frontier = ref seeds in
   List.iter
     (fun (s : Traffic.Flow.t) -> Hashtbl.replace closure s.Traffic.Flow.id ())
     seeds;
-  let frontier = ref seeds in
   while !frontier <> [] do
-    let grown =
-      List.filter
-        (fun f ->
-          (not (Hashtbl.mem closure f.Traffic.Flow.id))
-          && List.exists (routes_share_node f) !frontier)
-        flows
-    in
-    List.iter (fun f -> Hashtbl.replace closure f.Traffic.Flow.id ()) grown;
-    frontier := grown
+    let grown = ref [] in
+    List.iter
+      (fun (f : Traffic.Flow.t) ->
+        List.iter
+          (fun n ->
+            if not (Hashtbl.mem visited_node n) then begin
+              Hashtbl.replace visited_node n ();
+              List.iter
+                (fun (g : Traffic.Flow.t) ->
+                  if not (Hashtbl.mem closure g.Traffic.Flow.id) then begin
+                    Hashtbl.replace closure g.Traffic.Flow.id ();
+                    grown := g :: !grown
+                  end)
+                (match Hashtbl.find_opt by_node n with
+                | Some l -> l
+                | None -> [])
+            end)
+          (Network.Route.nodes f.Traffic.Flow.route))
+      !frontier;
+    frontier := !grown
   done;
   closure
 
@@ -553,13 +574,16 @@ let apply_fail t a b =
         ~degradation:(Some { rerouted = []; shed = [] })
         ()
     else begin
-      (* Phase 1: reroute around every failed link, or pre-shed. *)
+      (* Phase 1: reroute around every failed link, or pre-shed.  One
+         route cache per event: affected flows sharing endpoints resolve
+         to a single enumeration. *)
+      let pcache = Network.Pathfind.Cache.create t.topo in
       let placed =
         List.map
           (fun (f : Traffic.Flow.t) ->
             let route = f.Traffic.Flow.route in
             match
-              Network.Pathfind.k_shortest ~avoid_links:avoid t.topo
+              Network.Pathfind.Cache.k_shortest ~avoid_links:avoid pcache
                 ~src:(Network.Route.source route)
                 ~dst:(Network.Route.destination route)
             with

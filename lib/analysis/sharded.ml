@@ -12,9 +12,13 @@ let m_components_run =
 let m_fixpoints_skipped =
   Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "precheck.fixpoints_skipped"
 
-(* The component keeps the original topology and switch models: the stage
-   recurrences of the member flows only ever consult flows_on / entering
-   sets, which the membership filter restricts identically. *)
+(* The component keeps the original topology and the switch models of the
+   nodes its member routes traverse: the stage recurrences of the member
+   flows only ever consult flows_on / entering sets, which the membership
+   filter restricts identically, and they never look at a switch off the
+   member routes — so dropping unused models keeps the result byte-equal
+   while the per-component build stays proportional to the component, not
+   to the whole topology. *)
 let sub_scenario scenario flow_ids =
   let keep = Hashtbl.create (List.length flow_ids) in
   List.iter (fun id -> Hashtbl.replace keep id ()) flow_ids;
@@ -23,10 +27,18 @@ let sub_scenario scenario flow_ids =
       (fun f -> Hashtbl.mem keep f.Traffic.Flow.id)
       (Traffic.Scenario.flows scenario)
   in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      List.iter
+        (fun n -> Hashtbl.replace used n ())
+        (Network.Route.intermediate_switches f.Traffic.Flow.route))
+    flows;
   let switches =
-    List.map
-      (fun n -> (n, Traffic.Scenario.switch_model scenario n))
-      (Traffic.Scenario.switch_nodes scenario)
+    Hashtbl.fold
+      (fun n () acc -> (n, Traffic.Scenario.switch_model scenario n) :: acc)
+      used []
+    |> List.sort compare
   in
   Traffic.Scenario.make ~switches ~topo:(Traffic.Scenario.topo scenario)
     ~flows ()
@@ -70,7 +82,7 @@ let certified_result flow ceilings =
   { Result_types.flow; frames }
 
 let analyze ?exec ?(skip_decided = true) ?(config = Config.default) scenario =
-  let pre = Gmf_precheck.Precheck.run ~config scenario in
+  let pre = Gmf_precheck.Precheck.run ?exec ~config scenario in
   let infeasible, certified =
     if skip_decided then
       (Gmf_precheck.Precheck.infeasible pre, Gmf_precheck.Precheck.certified pre)
@@ -81,9 +93,7 @@ let analyze ?exec ?(skip_decided = true) ?(config = Config.default) scenario =
     else pre.Gmf_precheck.Precheck.components
   in
   let scenario_flows = Traffic.Scenario.flows scenario in
-  let flow_by_id id =
-    List.find (fun f -> f.Traffic.Flow.id = id) scenario_flows
-  in
+  let flow_by_id id = Traffic.Scenario.flow scenario id in
   let subs =
     List.map
       (fun (c : Gmf_precheck.Igraph.component) ->

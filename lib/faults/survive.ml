@@ -121,6 +121,9 @@ let analyze_case ~config ~max_routes scenario case =
       let switches = switch_models scenario in
       let avoid_links, avoid_nodes = failed_parts topo case in
       let flows = Traffic.Scenario.flows scenario in
+      (* One route cache per case: flows sharing endpoints under the same
+         failure resolve to one enumeration. *)
+      let pcache = Network.Pathfind.Cache.create topo in
       (* Phase 1: reroute every flow the failure touches, or shed it when
          no alternate route survives the failure. *)
       let placed =
@@ -131,8 +134,8 @@ let analyze_case ~config ~max_routes scenario case =
               (f, Unaffected, Some f)
             else
               let candidates =
-                Network.Pathfind.k_shortest ~k:max_routes ~avoid_links
-                  ~avoid_nodes topo
+                Network.Pathfind.Cache.k_shortest ~k:max_routes ~avoid_links
+                  ~avoid_nodes pcache
                   ~src:(Network.Route.source route)
                   ~dst:(Network.Route.destination route)
               in

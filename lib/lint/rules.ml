@@ -388,6 +388,17 @@ let check_unused_switches scenario =
    drown every two-node scenario in hints. *)
 let check_single_route scenario =
   let topo = Traffic.Scenario.topo scenario in
+  (* Existence, not enumeration: redundancy only needs "is there a second
+     route?", and flows sharing endpoints share the answer. *)
+  let redundant = Hashtbl.create 16 in
+  let has_second src dst =
+    match Hashtbl.find_opt redundant (src, dst) with
+    | Some b -> b
+    | None ->
+        let b = Network.Pathfind.has_at_least topo ~src ~dst 2 in
+        Hashtbl.replace redundant (src, dst) b;
+        b
+  in
   List.filter_map
     (fun (f : Traffic.Flow.t) ->
       let route = f.Traffic.Flow.route in
@@ -395,8 +406,8 @@ let check_single_route scenario =
       else
         let src = Network.Route.source route
         and dst = Network.Route.destination route in
-        match Network.Pathfind.k_shortest ~k:2 topo ~src ~dst with
-        | [] | [ _ ] ->
+        match has_second src dst with
+        | false ->
             let name id = (Network.Topology.node topo id).Network.Node.name in
             Some
               (Gmf_diag.hint ~code:"GMF007" ~subject:(flow_subject f)

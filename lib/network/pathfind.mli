@@ -32,6 +32,61 @@ val k_shortest :
   Route.t list
 (** The first [k] (default 4) routes of {!all_routes}. *)
 
+val has_at_least :
+  ?max_hops:int ->
+  ?avoid_links:(Node.id * Node.id) list ->
+  ?avoid_nodes:Node.id list ->
+  Topology.t ->
+  src:Node.id ->
+  dst:Node.id ->
+  int ->
+  bool
+(** [has_at_least topo ~src ~dst n]: does {!all_routes} hold at least [n]
+    routes?  Early-exits as soon as the [n]th route is found, so existence
+    checks (e.g. redundancy lints) stay cheap on dense topologies where
+    full enumeration would explode. *)
+
 val route_capacity : Topology.t -> Route.t -> int
 (** The smallest link rate along the route (bits/s) — a quick filter for
     candidate ordering. *)
+
+(** Per-topology route cache for callers that enumerate many candidate
+    routes on one (immutable) topology — flow-set generation, rerouting
+    sweeps.  Caches the reverse-BFS distance table per destination (it
+    also prunes the enumeration DFS) and the full route list per
+    [(src, dst, max_hops, avoids)] query.  The topology must not gain
+    nodes or links while a cache built on it is in use. *)
+module Cache : sig
+  type t
+
+  val create : Topology.t -> t
+
+  val all_routes :
+    ?max_hops:int ->
+    ?avoid_links:(Node.id * Node.id) list ->
+    ?avoid_nodes:Node.id list ->
+    t ->
+    src:Node.id ->
+    dst:Node.id ->
+    Route.t list
+  (** Same result as the top-level {!all_routes}, memoized. *)
+
+  val k_shortest :
+    ?max_hops:int ->
+    ?avoid_links:(Node.id * Node.id) list ->
+    ?avoid_nodes:Node.id list ->
+    ?k:int ->
+    t ->
+    src:Node.id ->
+    dst:Node.id ->
+    Route.t list
+  (** The first [k] (default 4) routes of {!all_routes}. *)
+
+  val shortest_len : t -> src:Node.id -> dst:Node.id -> int option
+  (** Links on a shortest valid route ([None] if unreachable), straight
+    from the cached distance table — no enumeration. *)
+
+  val hits : t -> int
+  val misses : t -> int
+  (** Route-list memo hits/misses since {!create}. *)
+end

@@ -43,24 +43,30 @@ let build scenario =
         (Network.Route.nodes f.Traffic.Flow.route))
     flows;
   (* Flows meeting at a node are pairwise adjacent; distinct pairs are
-     counted once even when routes share several nodes. *)
+     counted once even when routes share several nodes.  Consecutive nodes
+     of a shared path carry the same member list, so identical lists are
+     enumerated once; pair keys are packed into one int. *)
   let edge_set = Hashtbl.create 64 in
+  let seen_sets = Hashtbl.create 64 in
   Hashtbl.iter
     (fun _node members ->
       match members with
       | [] | [ _ ] -> ()
       | first :: rest ->
           List.iter (fun i -> union parent first i) rest;
-          let rec pairs = function
-            | [] -> ()
-            | i :: tl ->
-                List.iter
-                  (fun j ->
-                    Hashtbl.replace edge_set (min i j, max i j) ())
-                  tl;
-                pairs tl
-          in
-          pairs members)
+          if not (Hashtbl.mem seen_sets members) then begin
+            Hashtbl.replace seen_sets members ();
+            let rec pairs = function
+              | [] -> ()
+              | i :: tl ->
+                  List.iter
+                    (fun j ->
+                      Hashtbl.replace edge_set ((min i j * nf) + max i j) ())
+                    tl;
+                  pairs tl
+            in
+            pairs members
+          end)
     by_node;
   let roots = Hashtbl.create 16 in
   Array.iteri

@@ -126,7 +126,7 @@ let overload_certificate ~config scenario (flow : Traffic.Flow.t) =
 
 (* ---------------- the pass ---------------- *)
 
-let run ?(config = Analysis_config.default) scenario =
+let run ?exec ?(config = Analysis_config.default) scenario =
   Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"precheck"
     "precheck.run"
   @@ fun () ->
@@ -142,41 +142,53 @@ let run ?(config = Analysis_config.default) scenario =
       | None -> ())
     flows;
   (* Sufficient test, all-or-nothing per component: the jitter caps of
-     the ceilings are only invariant when every member meets them. *)
+     the ceilings are only invariant when every member meets them.
+     Components are independent, so with an executor the certification
+     fans out over the pool; outcomes come back in component order, so
+     the report is backend independent. *)
+  let certify_component (c : Igraph.component) =
+    let members =
+      List.map (fun id -> Traffic.Scenario.flow scenario id) c.Igraph.flow_ids
+    in
+    if
+      List.exists
+        (fun (f : Traffic.Flow.t) ->
+          Hashtbl.mem infeasible_certs f.Traffic.Flow.id)
+        members
+    then Error "component holds a statically infeasible flow"
+    else
+      let rec certify acc = function
+        | [] -> Ok (List.rev acc)
+        | (f : Traffic.Flow.t) :: rest -> (
+            match Static_tests.response_ceiling ~config scenario f with
+            | Error e ->
+                Error (Printf.sprintf "flow %s: %s" f.Traffic.Flow.name e)
+            | Ok ceiling when not (Static_tests.certifies f ceiling) ->
+                Error
+                  (Printf.sprintf
+                     "flow %s: frame %d one-shot bound misses its \
+                      deadline by %.0f ns"
+                     f.Traffic.Flow.name
+                     ceiling.Static_tests.binding_frame
+                     (-.ceiling.Static_tests.slack))
+            | Ok ceiling -> certify ((f.Traffic.Flow.id, ceiling) :: acc) rest)
+      in
+      certify [] members
+  in
+  let outcomes =
+    match exec with
+    | None -> List.map certify_component components
+    | Some exec ->
+        Gmf_exec.map_cases ~exec ~f:certify_component components
+        |> List.map (function
+             | Ok outcome -> outcome
+             | Error e -> Error ("exec: " ^ Gmf_exec.error_to_string e))
+  in
   let component_outcome = Hashtbl.create 8 in
-  List.iter
-    (fun (c : Igraph.component) ->
-      let members =
-        List.map (fun id -> Traffic.Scenario.flow scenario id) c.Igraph.flow_ids
-      in
-      let outcome =
-        if
-          List.exists
-            (fun (f : Traffic.Flow.t) ->
-              Hashtbl.mem infeasible_certs f.Traffic.Flow.id)
-            members
-        then Error "component holds a statically infeasible flow"
-        else
-          let rec certify acc = function
-            | [] -> Ok (List.rev acc)
-            | (f : Traffic.Flow.t) :: rest -> (
-                match Static_tests.response_ceiling ~config scenario f with
-                | Error e ->
-                    Error (Printf.sprintf "flow %s: %s" f.Traffic.Flow.name e)
-                | Ok ceiling when not (Static_tests.certifies f ceiling) ->
-                    Error
-                      (Printf.sprintf
-                         "flow %s: frame %d one-shot bound misses its \
-                          deadline by %.0f ns"
-                         f.Traffic.Flow.name
-                         ceiling.Static_tests.binding_frame
-                         (-.ceiling.Static_tests.slack))
-                | Ok ceiling -> certify ((f, ceiling) :: acc) rest)
-          in
-          certify [] members
-      in
+  List.iter2
+    (fun (c : Igraph.component) outcome ->
       Hashtbl.replace component_outcome c.Igraph.cid outcome)
-    components;
+    components outcomes;
   let verdicts =
     List.map
       (fun (f : Traffic.Flow.t) ->
@@ -190,10 +202,7 @@ let run ?(config = Analysis_config.default) scenario =
               | Error reason -> (Needs_fixpoint { reason }, None)
               | Ok certified -> (
                   match
-                    List.find_opt
-                      (fun ((g : Traffic.Flow.t), _) ->
-                        g.Traffic.Flow.id = id)
-                      certified
+                    List.find_opt (fun (gid, _) -> gid = id) certified
                   with
                   | None -> (Needs_fixpoint { reason = "uncertified" }, None)
                   | Some (_, ceiling) ->
@@ -265,17 +274,15 @@ let verdict_of report id =
   | None -> invalid_arg (Printf.sprintf "Precheck.verdict_of: unknown flow %d" id)
 
 let undecided_components report =
-  let undecided =
-    List.filter_map
-      (fun v ->
-        match v.verdict with
-        | Needs_fixpoint _ -> Some v.component
-        | _ -> None)
-      report.verdicts
-    |> List.sort_uniq compare
-  in
+  let undecided = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      match v.verdict with
+      | Needs_fixpoint _ -> Hashtbl.replace undecided v.component ()
+      | _ -> ())
+    report.verdicts;
   List.filter
-    (fun (c : Igraph.component) -> List.mem c.Igraph.cid undecided)
+    (fun (c : Igraph.component) -> Hashtbl.mem undecided c.Igraph.cid)
     report.components
 
 (* ---------------- diagnostics ---------------- *)

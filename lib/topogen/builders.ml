@@ -1,0 +1,183 @@
+type built = {
+  topo : Network.Topology.t;
+  hosts : Network.Node.id array;
+  host_region : int array;
+  switch_count : int;
+  link_count : int;
+}
+
+let check_valid family =
+  let probe = { Gen_spec.default with Gen_spec.family } in
+  match Gen_spec.validate probe with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Builders.build: " ^ e)
+
+let finish topo hosts regions switch_count =
+  {
+    topo;
+    hosts = Array.of_list (List.rev hosts);
+    host_region = Array.of_list (List.rev regions);
+    switch_count;
+    link_count = List.length (Network.Topology.links topo);
+  }
+
+(* Hosts are dual-homed onto every plane of a multi-plane mesh; the planes
+   themselves stay disjoint, so redundancy comes from parallel fabrics
+   rather than parallel edges (which Topology rejects). *)
+let mesh ~rate_bps ~prop ~hosts_per_switch ~rows ~cols ~planes =
+  let topo = Network.Topology.create () in
+  let sw =
+    Array.init planes (fun p ->
+        Array.init rows (fun r ->
+            Array.init cols (fun c ->
+                Network.Topology.add_node topo
+                  ~name:(Printf.sprintf "sw%d_%d_%d" p r c)
+                  ~kind:Network.Node.Switch)))
+  in
+  let connect a b =
+    Network.Topology.add_duplex_link topo ~a ~b ~rate_bps ~prop
+  in
+  for p = 0 to planes - 1 do
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if c < cols - 1 then connect sw.(p).(r).(c) sw.(p).(r).(c + 1);
+        if r < rows - 1 then connect sw.(p).(r).(c) sw.(p).(r + 1).(c)
+      done
+    done
+  done;
+  let hosts = ref [] and regions = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      for h = 0 to hosts_per_switch - 1 do
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "h%d_%d_%d" r c h)
+            ~kind:Network.Node.Endhost
+        in
+        for p = 0 to planes - 1 do
+          connect id sw.(p).(r).(c)
+        done;
+        hosts := id :: !hosts;
+        regions := ((r * cols) + c) :: !regions
+      done
+    done
+  done;
+  finish topo !hosts !regions (planes * rows * cols)
+
+let fat_tree ~rate_bps ~prop ~hosts_per_switch ~k =
+  let topo = Network.Topology.create () in
+  let half = k / 2 in
+  let connect a b =
+    Network.Topology.add_duplex_link topo ~a ~b ~rate_bps ~prop
+  in
+  let core =
+    Array.init (half * half) (fun i ->
+        Network.Topology.add_node topo
+          ~name:(Printf.sprintf "core%d" i)
+          ~kind:Network.Node.Switch)
+  in
+  let edge = Array.make_matrix k half 0 in
+  let agg = Array.make_matrix k half 0 in
+  for p = 0 to k - 1 do
+    for i = 0 to half - 1 do
+      edge.(p).(i) <-
+        Network.Topology.add_node topo
+          ~name:(Printf.sprintf "edge%d_%d" p i)
+          ~kind:Network.Node.Switch;
+      agg.(p).(i) <-
+        Network.Topology.add_node topo
+          ~name:(Printf.sprintf "agg%d_%d" p i)
+          ~kind:Network.Node.Switch
+    done;
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        connect edge.(p).(e) agg.(p).(a)
+      done
+    done;
+    for a = 0 to half - 1 do
+      for j = 0 to half - 1 do
+        connect agg.(p).(a) core.((a * half) + j)
+      done
+    done
+  done;
+  let hosts = ref [] and regions = ref [] in
+  for p = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for h = 0 to hosts_per_switch - 1 do
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "h%d_%d_%d" p e h)
+            ~kind:Network.Node.Endhost
+        in
+        connect id edge.(p).(e);
+        hosts := id :: !hosts;
+        regions := p :: !regions
+      done
+    done
+  done;
+  finish topo !hosts !regions ((k * k) + (half * half))
+
+let ring_of_rings ~rate_bps ~prop ~hosts_per_switch ~rings ~ring_size =
+  let topo = Network.Topology.create () in
+  let connect a b =
+    Network.Topology.add_duplex_link topo ~a ~b ~rate_bps ~prop
+  in
+  let sw =
+    Array.init rings (fun g ->
+        Array.init ring_size (fun i ->
+            Network.Topology.add_node topo
+              ~name:(Printf.sprintf "ring%d_sw%d" g i)
+              ~kind:Network.Node.Switch))
+  in
+  (* Local rings (a 2-switch ring is a single duplex link, not a double
+     edge; a 1-switch ring has no local links). *)
+  Array.iter
+    (fun ring ->
+      let n = Array.length ring in
+      if n = 2 then connect ring.(0) ring.(1)
+      else if n > 2 then
+        for i = 0 to n - 1 do
+          connect ring.(i) ring.((i + 1) mod n)
+        done)
+    sw;
+  (* Global ring over the gateways (switch 0 of every local ring). *)
+  if rings = 2 then connect sw.(0).(0) sw.(1).(0)
+  else if rings > 2 then
+    for g = 0 to rings - 1 do
+      connect sw.(g).(0) sw.((g + 1) mod rings).(0)
+    done;
+  let hosts = ref [] and regions = ref [] in
+  for g = 0 to rings - 1 do
+    for i = 0 to ring_size - 1 do
+      for h = 0 to hosts_per_switch - 1 do
+        let id =
+          Network.Topology.add_node topo
+            ~name:(Printf.sprintf "h%d_%d_%d" g i h)
+            ~kind:Network.Node.Endhost
+        in
+        connect id sw.(g).(i);
+        hosts := id :: !hosts;
+        regions := g :: !regions
+      done
+    done
+  done;
+  finish topo !hosts !regions (rings * ring_size)
+
+let build ~rate_bps ~prop ~hosts_per_switch family =
+  check_valid family;
+  if hosts_per_switch < 1 then
+    invalid_arg "Builders.build: hosts_per_switch must be >= 1";
+  match family with
+  | Gen_spec.Mesh { rows; cols; planes } ->
+      mesh ~rate_bps ~prop ~hosts_per_switch ~rows ~cols ~planes
+  | Gen_spec.Fat_tree { k } -> fat_tree ~rate_bps ~prop ~hosts_per_switch ~k
+  | Gen_spec.Ring_of_rings { rings; ring_size } ->
+      ring_of_rings ~rate_bps ~prop ~hosts_per_switch ~rings ~ring_size
+
+let near_regions family a b =
+  match family with
+  | Gen_spec.Mesh { cols; _ } ->
+      let ra = a / cols and ca = a mod cols in
+      let rb = b / cols and cb = b mod cols in
+      abs (ra - rb) + abs (ca - cb) <= 2
+  | Gen_spec.Fat_tree _ | Gen_spec.Ring_of_rings _ -> a = b

@@ -1,0 +1,29 @@
+(** Topology construction for the generator families.
+
+    Every builder returns the topology plus the host population and a
+    region label per host; {!Topogen} draws flow endpoints from the
+    hosts and uses the regions to implement locality. *)
+
+type built = {
+  topo : Network.Topology.t;
+  hosts : Network.Node.id array;  (** All endhosts, in creation order. *)
+  host_region : int array;
+      (** Region of [hosts.(i)]: the mesh cell ([row * cols + col],
+          plane-independent), the fat-tree pod, or the ring index. *)
+  switch_count : int;
+  link_count : int;  (** Directed links. *)
+}
+
+val build :
+  rate_bps:int ->
+  prop:Gmf_util.Timeunit.ns ->
+  hosts_per_switch:int ->
+  Gen_spec.family ->
+  built
+(** Raises [Invalid_argument] on parameters {!Gen_spec.validate} would
+    reject. *)
+
+val near_regions : Gen_spec.family -> int -> int -> bool
+(** [near_regions family a b]: are regions [a] and [b] "local" to each
+    other?  Mesh: Manhattan distance between cells <= 2; fat-tree: same
+    pod; rings: same ring. *)

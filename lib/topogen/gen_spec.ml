@@ -1,0 +1,143 @@
+type family =
+  | Mesh of { rows : int; cols : int; planes : int }
+  | Fat_tree of { k : int }
+  | Ring_of_rings of { rings : int; ring_size : int }
+
+type kind = Mpeg | Voip | Sensor
+type mix = (kind * int) list
+
+type t = {
+  family : family;
+  hosts_per_switch : int;
+  rate_bps : int;
+  prop : Gmf_util.Timeunit.ns;
+  flows : int;
+  mix : mix;
+  locality : float;
+  max_util : float;
+  prio_lo : int;
+  prio_hi : int;
+  seed : int;
+}
+
+let default =
+  {
+    family = Mesh { rows = 4; cols = 4; planes = 1 };
+    hosts_per_switch = 2;
+    rate_bps = 100_000_000;
+    prop = 0;
+    flows = 40;
+    mix = [ (Voip, 3); (Mpeg, 1); (Sensor, 2) ];
+    locality = 0.8;
+    max_util = 0.7;
+    prio_lo = 1;
+    prio_hi = 6;
+    seed = 42;
+  }
+
+let switch_count = function
+  | Mesh { rows; cols; planes } -> rows * cols * planes
+  | Fat_tree { k } -> (k * k) + (k * k / 4)
+  | Ring_of_rings { rings; ring_size } -> rings * ring_size
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match t.family with
+  | Mesh { rows; cols; planes = _ } when rows < 1 || cols < 1 ->
+      err "mesh needs rows >= 1 and cols >= 1 (got %dx%d)" rows cols
+  | Mesh { planes; _ } when planes < 1 || planes > 2 ->
+      err "mesh planes must be 1 or 2 (got %d)" planes
+  | Fat_tree { k } when k < 2 || k mod 2 <> 0 ->
+      err "fat-tree k must be even and >= 2 (got %d)" k
+  | Ring_of_rings { rings; ring_size } when rings < 1 || ring_size < 1 ->
+      err "rings needs rings >= 1 and ring_size >= 1 (got %dx%d)" rings
+        ring_size
+  | _ ->
+      if t.hosts_per_switch < 1 then err "hosts_per_switch must be >= 1"
+      else if t.rate_bps <= 0 then err "rate_bps must be positive"
+      else if t.prop < 0 then err "prop must be >= 0"
+      else if t.flows < 0 then err "flows must be >= 0"
+      else if t.mix = [] then err "mix must not be empty"
+      else if List.exists (fun (_, w) -> w <= 0) t.mix then
+        err "mix weights must be positive"
+      else if not (t.locality >= 0. && t.locality <= 1.) then
+        err "locality must be in [0, 1] (got %g)" t.locality
+      else if not (t.max_util > 0. && t.max_util <= 1.) then
+        err "max_util must be in (0, 1] (got %g)" t.max_util
+      else if t.prio_lo < 0 || t.prio_hi > 7 || t.prio_lo > t.prio_hi then
+        err "priority band must satisfy 0 <= lo <= hi <= 7 (got %d..%d)"
+          t.prio_lo t.prio_hi
+      else Ok ()
+
+let kind_to_string = function
+  | Mpeg -> "mpeg"
+  | Voip -> "voip"
+  | Sensor -> "sensor"
+
+let kind_of_string = function
+  | "mpeg" -> Ok Mpeg
+  | "voip" -> Ok Voip
+  | "sensor" -> Ok Sensor
+  | s -> Error (Printf.sprintf "unknown traffic kind %S (mpeg|voip|sensor)" s)
+
+let mix_to_string mix =
+  String.concat ","
+    (List.map (fun (k, w) -> Printf.sprintf "%s=%d" (kind_to_string k) w) mix)
+
+let mix_of_string s =
+  let parse_entry e =
+    match String.split_on_char '=' e with
+    | [ k; w ] -> (
+        match (kind_of_string k, int_of_string_opt w) with
+        | Ok k, Some w when w > 0 -> Ok (k, w)
+        | Ok _, _ ->
+            Error (Printf.sprintf "mix weight %S must be a positive integer" w)
+        | (Error _ as e), _ -> e)
+    | _ ->
+        Error (Printf.sprintf "mix entry %S is not of the form kind=weight" e)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match parse_entry e with
+        | Ok kw -> go (kw :: acc) rest
+        | Error _ as err -> err)
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [ "" ] -> Error "empty mix"
+  | entries -> go [] entries
+
+let family_to_string = function
+  | Mesh { rows; cols; planes = 1 } -> Printf.sprintf "mesh:%dx%d" rows cols
+  | Mesh { rows; cols; planes } ->
+      Printf.sprintf "mesh:%dx%dx%d" rows cols planes
+  | Fat_tree { k } -> Printf.sprintf "fat-tree:%d" k
+  | Ring_of_rings { rings; ring_size } ->
+      Printf.sprintf "rings:%dx%d" rings ring_size
+
+let family_of_string s =
+  let dims part =
+    List.map int_of_string_opt (String.split_on_char 'x' part)
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "mesh"; part ] -> (
+      match dims part with
+      | [ Some rows; Some cols ] -> Ok (Mesh { rows; cols; planes = 1 })
+      | [ Some rows; Some cols; Some planes ] ->
+          Ok (Mesh { rows; cols; planes })
+      | _ -> Error (Printf.sprintf "mesh dimensions %S: want RxC or RxCxP" part)
+      )
+  | [ "fat-tree"; part ] -> (
+      match int_of_string_opt part with
+      | Some k -> Ok (Fat_tree { k })
+      | None -> Error (Printf.sprintf "fat-tree arity %S: want an integer" part)
+      )
+  | [ "rings"; part ] -> (
+      match dims part with
+      | [ Some rings; Some ring_size ] -> Ok (Ring_of_rings { rings; ring_size })
+      | _ -> Error (Printf.sprintf "rings dimensions %S: want NxS" part))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown topology family %S (mesh:RxC[xP] | fat-tree:K | rings:NxS)"
+           s)

@@ -1,0 +1,70 @@
+(** Parameters of a generated topology + flow population.
+
+    Everything is plain data so a spec can be built from CLI flags, test
+    code or a bench target alike; {!Topogen.generate} consumes it.  The
+    textual forms parsed here ([family_of_string], [mix_of_string]) are
+    the ones [gmfnet gen] accepts. *)
+
+type family =
+  | Mesh of { rows : int; cols : int; planes : int }
+      (** [rows x cols] grid of software switches per plane, duplex links
+          between grid neighbors.  [planes = 2] builds a second, disjoint
+          copy of the fabric and dual-homes every host onto both planes
+          (redundant paths with no parallel edges). *)
+  | Fat_tree of { k : int }
+      (** Canonical k-ary fat-tree ([k] even): [k] pods of [k/2] edge and
+          [k/2] aggregation switches, [(k/2)^2] cores. *)
+  | Ring_of_rings of { rings : int; ring_size : int }
+      (** [rings] local rings of [ring_size] switches; the first switch
+          of every ring is its gateway, and the gateways form a global
+          ring. *)
+
+type kind = Mpeg | Voip | Sensor
+
+type mix = (kind * int) list
+(** Traffic mix as positive weights, e.g. [(Voip, 3); (Mpeg, 1)]. *)
+
+type t = {
+  family : family;
+  hosts_per_switch : int;  (** Hosts attached per access switch. *)
+  rate_bps : int;  (** Rate of every link. *)
+  prop : Gmf_util.Timeunit.ns;  (** Propagation delay of every link. *)
+  flows : int;  (** Target flow count. *)
+  mix : mix;
+  locality : float;
+      (** Probability in [0, 1] that a flow's destination is drawn from
+          the source's region (same mesh neighborhood / pod / ring)
+          rather than uniformly — the knob behind the hop-length
+          distribution. *)
+  max_util : float;
+      (** Per-link and per-ingress utilization ceiling a candidate flow
+          may not push any resource past; candidates that would are
+          rejected and re-drawn. *)
+  prio_lo : int;
+  prio_hi : int;
+      (** 802.1p band: sensor traffic sits at [prio_lo], VoIP at
+          [prio_hi], MPEG in between. *)
+  seed : int;
+}
+
+val default : t
+(** A small single-plane mesh (4x4, 2 hosts/switch, 40 VoIP-heavy flows,
+    locality 0.8, max_util 0.7, priorities 1..6, seed 42, 100 Mbit/s). *)
+
+val switch_count : family -> int
+(** Switches the family will build — e.g. 500 for
+    [Mesh {rows = 25; cols = 20; planes = 1}]. *)
+
+val validate : t -> (unit, string) result
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+val mix_to_string : mix -> string
+val mix_of_string : string -> (mix, string) result
+(** ["voip=3,mpeg=1,sensor=2"] — weights must be positive integers. *)
+
+val family_to_string : family -> string
+val family_of_string : string -> (family, string) result
+(** ["mesh:RxC"], ["mesh:RxCx2"] (dual plane), ["fat-tree:K"],
+    ["rings:NxS"]. *)

@@ -1,0 +1,46 @@
+(** Seeded, parametric scenario generation at TSN scale.
+
+    [generate spec] builds the topology family of [spec], then draws a
+    flow population from it: traffic kinds by mix weight, endpoints by
+    locality, shortest-path routes, 802.1p priorities banded by kind.
+    Candidates that would push any link or ingress rotation past
+    [spec.max_util], or whose uncontended response floor already misses a
+    deadline, are discarded and re-drawn — so the emitted scenario is
+    lint-clean by construction (no GMF201/GMF202/GMF203 and, with
+    [max_util <= 0.9], no saturation hints).
+
+    Generation is deterministic: equal specs produce byte-identical
+    {!to_string} output on every backend ({!Gmf_util.Rng} does not depend
+    on the OCaml runtime).
+
+    Observability: bumps [topogen.nodes], [topogen.links],
+    [topogen.flows] and [topogen.rejected] counters and the
+    [topogen.gen_seconds] gauge on the default {!Gmf_obs.Metrics}
+    registry when it is enabled. *)
+
+type result = {
+  spec : Gen_spec.t;  (** The spec that produced this result. *)
+  scenario : Traffic.Scenario.t;
+  built : Builders.built;
+  requested : int;  (** [spec.flows]. *)
+  placed : int;  (** Flows actually in the scenario. *)
+  rejected : int;
+      (** Candidate draws discarded (utilization ceiling, response floor,
+          or unreachable endpoint pair) before their slot placed or gave
+          up. *)
+  gen_seconds : float;
+}
+
+val generate : Gen_spec.t -> result
+(** Raises [Invalid_argument] when {!Gen_spec.validate} rejects the
+    spec. *)
+
+val to_string : Traffic.Scenario.t -> string
+(** The scenario in [.gmfnet] syntax ({!Scenario_io.Print.to_string}):
+    round-trips through {!Scenario_io.Parse}. *)
+
+val to_file : string -> Traffic.Scenario.t -> unit
+
+val summary : result -> (string * string) list
+(** Key/value lines for human output: family, nodes, links, switches,
+    flows placed/requested, rejected draws, generation wall time. *)

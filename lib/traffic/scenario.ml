@@ -4,6 +4,15 @@ type t = {
   switches : (Network.Node.id, Click.Switch_model.t) Hashtbl.t;
   params_cache : (Flow.id * Network.Node.id * Network.Node.id, Link_params.t)
     Hashtbl.t;
+  by_id : (Flow.id, Flow.t) Hashtbl.t;
+  (* (src, dst) -> flows whose route contains that hop, in id order.  Built
+     once in [make]; turns the per-stage interferer collection from a scan
+     over every flow into a lookup. *)
+  on_link : (Network.Node.id * Network.Node.id, Flow.t list) Hashtbl.t;
+  (* hep/lp sets are route- and priority-static, so they are shared across
+     every frame, busy-window iteration and holistic round. *)
+  hep_cache : (Flow.id * Network.Node.id, Flow.t list) Hashtbl.t;
+  lp_cache : (Flow.id * Network.Node.id, Flow.t list) Hashtbl.t;
 }
 
 let make ?(switches = []) ~topo ~flows () =
@@ -42,14 +51,40 @@ let make ?(switches = []) ~topo ~flows () =
           end)
         (Network.Route.intermediate_switches flow.Flow.route))
     flows;
-  { topo; flows; switches = table; params_cache = Hashtbl.create 64 }
+  let nflows = Array.length flows in
+  let by_id = Hashtbl.create (max 16 nflows) in
+  Array.iter (fun f -> Hashtbl.replace by_id f.Flow.id f) flows;
+  let on_link = Hashtbl.create (max 16 (4 * nflows)) in
+  (* Flows are visited in id order; prepend then reverse keeps each per-hop
+     list in id order too. *)
+  Array.iter
+    (fun f ->
+      List.iter
+        (fun hop ->
+          let prev =
+            match Hashtbl.find_opt on_link hop with Some l -> l | None -> []
+          in
+          Hashtbl.replace on_link hop (f :: prev))
+        (Network.Route.hops f.Flow.route))
+    flows;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) on_link;
+  {
+    topo;
+    flows;
+    switches = table;
+    params_cache = Hashtbl.create 64;
+    by_id;
+    on_link;
+    hep_cache = Hashtbl.create 64;
+    lp_cache = Hashtbl.create 64;
+  }
 
 let topo t = t.topo
 let flows t = Array.to_list t.flows
 let flow_count t = Array.length t.flows
 
 let flow t id =
-  match Array.find_opt (fun f -> f.Flow.id = id) t.flows with
+  match Hashtbl.find_opt t.by_id id with
   | Some f -> f
   | None -> invalid_arg (Printf.sprintf "Scenario.flow: unknown id %d" id)
 
@@ -68,25 +103,42 @@ let switch_nodes t =
   |> List.sort compare
 
 let flows_on t ~src ~dst =
-  Array.to_list t.flows
-  |> List.filter (fun f ->
-         List.mem (src, dst) (Network.Route.hops f.Flow.route))
+  match Hashtbl.find_opt t.on_link (src, dst) with
+  | Some l -> l
+  | None -> []
 
 let hep t flow_i ~node =
-  let succ = Network.Route.succ flow_i.Flow.route node in
-  flows_on t ~src:node ~dst:succ
-  |> List.filter (fun j ->
-         j.Flow.id <> flow_i.Flow.id
-         && Flow.equal_priority_or_higher ~than:flow_i ~src:node ~dst:succ j)
+  let key = (flow_i.Flow.id, node) in
+  match Hashtbl.find_opt t.hep_cache key with
+  | Some l -> l
+  | None ->
+      let succ = Network.Route.succ flow_i.Flow.route node in
+      let l =
+        flows_on t ~src:node ~dst:succ
+        |> List.filter (fun j ->
+               j.Flow.id <> flow_i.Flow.id
+               && Flow.equal_priority_or_higher ~than:flow_i ~src:node
+                    ~dst:succ j)
+      in
+      Hashtbl.replace t.hep_cache key l;
+      l
 
 let lp t flow_i ~node =
-  let succ = Network.Route.succ flow_i.Flow.route node in
-  flows_on t ~src:node ~dst:succ
-  |> List.filter (fun j ->
-         j.Flow.id <> flow_i.Flow.id
-         && not
-              (Flow.equal_priority_or_higher ~than:flow_i ~src:node ~dst:succ
-                 j))
+  let key = (flow_i.Flow.id, node) in
+  match Hashtbl.find_opt t.lp_cache key with
+  | Some l -> l
+  | None ->
+      let succ = Network.Route.succ flow_i.Flow.route node in
+      let l =
+        flows_on t ~src:node ~dst:succ
+        |> List.filter (fun j ->
+               j.Flow.id <> flow_i.Flow.id
+               && not
+                    (Flow.equal_priority_or_higher ~than:flow_i ~src:node
+                       ~dst:succ j))
+      in
+      Hashtbl.replace t.lp_cache key l;
+      l
 
 let params t flow ~src ~dst =
   let key = (flow.Flow.id, src, dst) in

@@ -79,9 +79,57 @@ let test_routes_are_valid () =
         (Network.Route.intermediate_switches route))
     routes
 
+let test_has_at_least () =
+  let net = example () in
+  let topo = net.Workload.Topologies.topo in
+  (* Figure 1 has exactly two 0->3 routes. *)
+  Alcotest.(check bool) "at least 1" true
+    (Network.Pathfind.has_at_least topo ~src:0 ~dst:3 1);
+  Alcotest.(check bool) "at least 2" true
+    (Network.Pathfind.has_at_least topo ~src:0 ~dst:3 2);
+  Alcotest.(check bool) "not 3" false
+    (Network.Pathfind.has_at_least topo ~src:0 ~dst:3 3);
+  Alcotest.(check bool) "0 is trivially true" true
+    (Network.Pathfind.has_at_least topo ~src:0 ~dst:3 0)
+
+let test_cache_equals_uncached () =
+  let topo, hosts, sw =
+    Workload.Topologies.line ~hosts_per_switch:2 ~switches:4 ()
+  in
+  let cache = Network.Pathfind.Cache.create topo in
+  let queries =
+    [
+      (hosts.(0).(0), hosts.(3).(1), [], []);
+      (hosts.(0).(0), hosts.(3).(1), [ (sw.(1), sw.(2)) ], []);
+      (hosts.(1).(0), hosts.(2).(0), [], [ sw.(0) ]);
+      (* Repeated: must come from the memo without changing the answer. *)
+      (hosts.(0).(0), hosts.(3).(1), [], []);
+    ]
+  in
+  List.iter
+    (fun (src, dst, avoid_links, avoid_nodes) ->
+      let plain =
+        Network.Pathfind.k_shortest ~k:3 ~avoid_links ~avoid_nodes topo ~src
+          ~dst
+      in
+      let cached =
+        Network.Pathfind.Cache.k_shortest ~k:3 ~avoid_links ~avoid_nodes
+          cache ~src ~dst
+      in
+      Alcotest.(check (list (list int)))
+        "cached = uncached"
+        (List.map Network.Route.nodes plain)
+        (List.map Network.Route.nodes cached))
+    queries;
+  Alcotest.(check bool) "memo actually hit" true
+    (Network.Pathfind.Cache.hits cache > 0)
+
 let tests =
   [
     Alcotest.test_case "all routes on Figure 1" `Quick test_all_routes_fig1;
+    Alcotest.test_case "has_at_least early-exit" `Quick test_has_at_least;
+    Alcotest.test_case "route cache equals uncached" `Quick
+      test_cache_equals_uncached;
     Alcotest.test_case "max hops" `Quick test_max_hops_filter;
     Alcotest.test_case "k shortest" `Quick test_k_shortest;
     Alcotest.test_case "endpoints/reachability" `Quick
