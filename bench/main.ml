@@ -812,6 +812,147 @@ module Scale_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* gmfnetd round-trip (Gmf_daemon)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon tax: one churn trace replayed in-process (Replay.run) and
+   through a live gmfnetd — fork, Unix socket, supervised worker
+   process, one fsync'd journal append per committed event.  The gated
+   leaves are the two events_per_sec figures; transcript equality with
+   the in-process run is recorded as an informational 0/1 leaf. *)
+module Daemon_bench = struct
+  module Replay = Gmf_admctl.Replay
+
+  let nhosts = 6
+  let nflows = 10
+  let churn = 20
+
+  let trace_text =
+    let buf = Buffer.create 2048 in
+    for h = 0 to nhosts - 1 do
+      Printf.bprintf buf "node h%d endhost\n" h
+    done;
+    Buffer.add_string buf "node sw switch\n";
+    for h = 0 to nhosts - 1 do
+      Printf.bprintf buf "duplex h%d sw rate=100M prop=2us\n" h
+    done;
+    Printf.bprintf buf "switch sw ports=%d cpus=1 croute=2.7us csend=1us\n"
+      nhosts;
+    let admit id =
+      let src = id mod nhosts in
+      let dst = (src + 1 + (id mod (nhosts - 1))) mod nhosts in
+      let dst = if dst = src then (src + 1) mod nhosts else dst in
+      Printf.sprintf
+        "admit flow v%d from=h%d to=h%d route=h%d,sw,h%d prio=%d encap=udp\n\
+        \  frame period=20ms deadline=150ms payload=160B\nend\n"
+        id src dst src dst (id mod 8)
+    in
+    for id = 0 to nflows - 1 do
+      Buffer.add_string buf (admit id)
+    done;
+    let next = ref nflows and oldest = ref 0 in
+    for i = 1 to churn do
+      if i mod 2 = 1 then begin
+        Printf.bprintf buf "remove v%d\n" !oldest;
+        incr oldest
+      end
+      else begin
+        Buffer.add_string buf (admit !next);
+        incr next
+      end
+    done;
+    Buffer.contents buf
+
+  let events = nflows + churn
+
+  let with_daemon f =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gmfnetd-bench-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let socket = Filename.concat dir "gmfnetd.sock" in
+    let journal_dir = Filename.concat dir "journal" in
+    match Unix.fork () with
+    | 0 ->
+        (try
+           Gmf_daemon.Server.run
+             {
+               Gmf_daemon.Server.default_config with
+               socket_path = socket;
+               journal_dir;
+             }
+         with _ -> ());
+        Unix._exit 0
+    | pid ->
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigterm with _ -> ());
+            ignore (Unix.waitpid [] pid))
+          (fun () ->
+            let rec wait n =
+              if Sys.file_exists socket then ()
+              else if n <= 0 then failwith "gmfnetd did not come up"
+              else begin
+                Unix.sleepf 0.02;
+                wait (n - 1)
+              end
+            in
+            wait 250;
+            f socket)
+
+  let json_report () =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let trace =
+      match Scenario_io.Admtrace.of_string trace_text with
+      | Ok t -> t
+      | Error e ->
+          failwith
+            (Format.asprintf "daemon bench trace: %a" Scenario_io.Parse.pp_error
+               e)
+    in
+    let inproc, inproc_s = time (fun () -> Replay.run trace) in
+    let inproc_text =
+      Replay.transcript inproc.Replay.outcomes
+      ^ "\nsummary:\n"
+      ^ Format.asprintf "%a" Replay.pp_summary
+          (Gmf_admctl.Session.summary inproc.Replay.session)
+    in
+    let daemon_r, daemon_s =
+      with_daemon (fun socket ->
+          time (fun () ->
+              match
+                Gmf_daemon.Client.run_trace ~socket ~session:"bench" trace_text
+              with
+              | Ok r -> r
+              | Error msg -> failwith ("daemon bench: " ^ msg)))
+    in
+    let rate n s = if s <= 0. then 0. else float_of_int n /. s in
+    let buf = Buffer.create 512 in
+    Printf.bprintf buf
+      "{\n\
+      \  \"benchmark\": \"daemon\",\n\
+      \  \"events\": %d,\n\
+      \  \"inprocess\": {\"seconds\": %.6f, \"events_per_sec\": %.1f},\n\
+      \  \"daemon\": {\"seconds\": %.6f, \"events_per_sec\": %.1f},\n\
+      \  \"transcript_match\": %d,\n\
+      \  \"rejected\": %d\n\
+       }\n"
+      events inproc_s (rate events inproc_s) daemon_s (rate events daemon_s)
+      (if daemon_r.Gmf_daemon.Client.output = inproc_text then 1 else 0)
+      (List.length daemon_r.Gmf_daemon.Client.rejected);
+    let path = "BENCH_daemon.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path
+end
+
+(* ------------------------------------------------------------------ *)
 (* Baseline regression check                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -973,6 +1114,8 @@ let () =
     run_report Precheck_bench.json_report "BENCH_precheck.json";
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "scale" then
     run_report Scale_bench.json_report "BENCH_scale.json";
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "daemon" then
+    run_report Daemon_bench.json_report "BENCH_daemon.json";
   let results = benchmark () in
   let table =
     Tablefmt.create

@@ -12,6 +12,11 @@ type result = {
   session : Session.t;  (** Final session, for summaries and reports. *)
 }
 
+val session_event : Scenario_io.Admtrace.event -> Session.event
+(** The trace-event to session-event mapping {!run} applies — exported
+    so streaming consumers ([gmfnetd] session workers) replay events
+    exactly as batch replay does. *)
+
 val run :
   ?config:Analysis.Config.t ->
   ?warm:bool ->

@@ -162,6 +162,46 @@ let pp_start fmt = function
   | Cold -> Format.pp_print_string fmt "cold"
   | Skipped -> Format.pp_print_string fmt "-"
 
+(* Canonical rendering of everything observable about the session —
+   admitted flows (ids, names, routes, specs, remarks), failed pairs,
+   the committed verdict and the event counters — digested to a hex
+   string.  Two sessions that processed the same events report the same
+   fingerprint, which is what the daemon's journal-replay recovery test
+   checks; deliberately independent of internal warm-state layout. *)
+let fingerprint t =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      addf "flow %d %s prio=%d encap=%s route=%s remarks=%s spec=" f.id
+        f.name f.priority
+        (match f.encap with
+        | Ethernet.Encap.Udp -> "udp"
+        | Ethernet.Encap.Rtp_udp -> "rtp")
+        (String.concat ","
+           (List.map string_of_int (Network.Route.nodes f.route)))
+        (String.concat ","
+           (List.map
+              (fun ((a, b), p) -> Printf.sprintf "%d/%d:%d" a b p)
+              f.remarks));
+      Array.iter
+        (fun (fr : Gmf.Frame_spec.t) ->
+          addf "(%d,%d,%d,%d)" fr.period fr.deadline fr.jitter
+            fr.payload_bits)
+        (Gmf.Spec.frames f.spec);
+      Buffer.add_char buf '\n')
+    t.flows;
+  List.iter
+    (fun (a, b) -> addf "failed %d-%d\n" a b)
+    (List.rev t.failed);
+  addf "verdict %s converged=%b\n"
+    (Format.asprintf "%a" Analysis.Holistic.pp_verdict
+       t.report.Analysis.Holistic.verdict)
+    t.converged;
+  addf "counters %d %d %d %d %d %d %d\n" t.seq t.s_admitted t.s_rejected
+    t.s_warm t.s_cold t.s_rounds t.s_saved;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let scenario_of t flows =
   Traffic.Scenario.make ~switches:t.switches ~topo:t.topo ~flows ()
 

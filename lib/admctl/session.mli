@@ -157,5 +157,15 @@ val failed_links : t -> (Network.Node.id * Network.Node.id) list
 
 val summary : t -> summary
 
+val fingerprint : t -> string
+(** Hex digest of the observable session state: admitted flows (ids,
+    names, priorities, routes, specs, remarks), failed link pairs, the
+    committed verdict and the event counters.  Deterministic — two
+    sessions that processed the same event sequence over the same
+    topology fingerprint identically, whatever mix of warm starts,
+    process restarts or journal replays produced them.  Internal
+    fixpoint state is deliberately excluded (it is an implementation
+    detail warm/cold equivalence already guards). *)
+
 val pp_start : Format.formatter -> start_kind -> unit
 (** ["warm"], ["cold"], ["-"]. *)

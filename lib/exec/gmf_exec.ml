@@ -56,6 +56,12 @@ let m_memo_hits =
 
 let m_workers = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.workers"
 
+let m_respawns =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.respawns"
+
+let m_pool_exhausted =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "exec.pool_exhausted"
+
 (* Worker-side observability recordings, marshalled back with each case
    result.  The metrics dump replays samples into the parent registry
    ({!Gmf_obs.Metrics.absorb}), so pooled totals — bucket counts and
@@ -94,27 +100,44 @@ exception Case_timed_out
 
 (* SIGALRM-based: works identically in-process (Seq) and inside pool
    workers.  OCaml delivers signals at allocation points, so a case
-   that never allocates can overrun; analysis cases allocate heavily. *)
+   that never allocates can overrun; analysis cases allocate heavily.
+
+   Timeouts nest: both the previous handler and the previously pending
+   alarm are saved on entry and re-armed on exit (minus the time this
+   scope consumed), so an outer deadline — e.g. a daemon-level
+   per-request deadline wrapping a per-case timeout — keeps ticking
+   instead of being clobbered.  An outer alarm that expired while the
+   inner scope ran is re-armed with a minimal positive delay and fires
+   at the next allocation point after the restore. *)
 let with_timeout timeout_s f =
   match timeout_s with
   | None -> f ()
   | Some s when s <= 0. -> f ()
   | Some s ->
-      let old =
+      let old_handler =
         Sys.signal Sys.sigalrm
           (Sys.Signal_handle (fun _ -> raise Case_timed_out))
+      in
+      let t0 = Unix.gettimeofday () in
+      let old_timer =
+        Unix.setitimer Unix.ITIMER_REAL
+          { Unix.it_interval = 0.; it_value = s }
       in
       let finally () =
         ignore
           (Unix.setitimer Unix.ITIMER_REAL
              { Unix.it_interval = 0.; it_value = 0. });
-        Sys.set_signal Sys.sigalrm old
-      in
-      Fun.protect ~finally (fun () ->
+        Sys.set_signal Sys.sigalrm old_handler;
+        if old_timer.Unix.it_value > 0. then begin
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let remaining = old_timer.Unix.it_value -. elapsed in
+          let remaining = if remaining > 0. then remaining else 1e-6 in
           ignore
             (Unix.setitimer Unix.ITIMER_REAL
-               { Unix.it_interval = 0.; it_value = s });
-          f ())
+               { old_timer with Unix.it_value = remaining })
+        end
+      in
+      Fun.protect ~finally f
 
 (* Outcome plus wall-clock duration in seconds. *)
 let eval_one ~timeout_s ~f x =
@@ -267,9 +290,15 @@ let pool_run ~jobs ~timeout_s ~f ~want ~record (cases : 'a array) =
                round retries [idx] on another worker. *)
             close_worker w
       in
+      (* The first [jobs] spawns build the pool; every later one replaces
+         a crashed worker and counts as a respawn. *)
+      let initial_spawns = ref jobs in
+      let exhausted_noted = ref false in
       let spawn_one () =
         if !respawn_budget > 0 then begin
           decr respawn_budget;
+          if !initial_spawns > 0 then decr initial_spawns
+          else Gmf_obs.Metrics.incr m_respawns;
           workers := spawn ~timeout_s ~f cases :: !workers
         end
       in
@@ -325,6 +354,10 @@ let pool_run ~jobs ~timeout_s ~f ~want ~record (cases : 'a array) =
           | None -> ()
           | Some idx ->
               if alive () = [] && !respawn_budget <= 0 then begin
+                if not !exhausted_noted then begin
+                  exhausted_noted := true;
+                  Gmf_obs.Metrics.incr m_pool_exhausted
+                end;
                 record idx (Error (Crashed "worker pool exhausted")) 0.;
                 incr next;
                 drive ()
@@ -423,6 +456,260 @@ let map_cases ?(exec = seq) ?memo ?key ~f cases =
            results)
   | Seq | Pool _ ->
       List.map (eval_seq ~timeout_s:exec.timeout_s ~memo ~key ~f) cases
+
+(* ------------------------------------------------------------------ *)
+(* Persistent supervised workers                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the fork pool above — which forks per call-site and inherits
+   its cases by memory — a persistent worker is forked once around an
+   [init] payload (e.g. a parsed topology) and then serves marshalled
+   requests until it is stopped, killed, or crashes.  The daemon keeps
+   one per admission session, so the topology ships exactly once and
+   the session state survives across events without re-marshalling. *)
+module Persistent = struct
+  type 'req message = Request of 'req | Ping | Quit
+  type 'resp reply = Reply of ('resp, string) result | Pong
+
+  type proc = {
+    pid : int;
+    to_child : out_channel;
+    from_child : in_channel;
+    fd : Unix.file_descr;  (* read side, for select *)
+  }
+
+  type ('req, 'resp) t = {
+    body : Unix.file_descr -> Unix.file_descr -> unit;
+    on_child : unit -> unit;
+    mutable proc : proc option;
+    mutable respawns : int;
+  }
+
+  (* Child-side serve loop: one [init], then strict request/reply.  An
+     exception from [handle] is caught and shipped back as an [Error]
+     string (the worker stays up); an exception from [init] or a
+     truncated stream ends the child, which the parent observes as EOF
+     ([Crashed]). *)
+  let serve ~init ~handle task_r res_w =
+    let ic = Unix.in_channel_of_descr task_r in
+    let oc = Unix.out_channel_of_descr res_w in
+    let st = init () in
+    let rec loop () =
+      match (Marshal.from_channel ic : _ message) with
+      | exception End_of_file -> ()
+      | Quit -> ()
+      | Ping ->
+          Marshal.to_channel oc (Pong : _ reply) [ Marshal.Closures ];
+          flush oc;
+          loop ()
+      | Request req ->
+          let result =
+            match handle st req with
+            | v -> Ok v
+            | exception e -> Error (Printexc.to_string e)
+          in
+          Marshal.to_channel oc (Reply result : _ reply) [ Marshal.Closures ];
+          flush oc;
+          loop ()
+    in
+    loop ()
+
+  let spawn_proc ~on_child body =
+    let task_r, task_w = Unix.pipe () in
+    let res_r, res_w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try
+           Unix.close task_w;
+           Unix.close res_r;
+           on_child ();
+           body task_r res_w
+         with _ -> ());
+        Unix._exit 0
+    | pid ->
+        Unix.close task_r;
+        Unix.close res_w;
+        Gmf_obs.Metrics.incr m_workers;
+        {
+          pid;
+          to_child = Unix.out_channel_of_descr task_w;
+          from_child = Unix.in_channel_of_descr res_r;
+          fd = res_r;
+        }
+
+  let spawn ?(on_child = fun () -> ()) ~init ~handle () =
+    let body task_r res_w = serve ~init ~handle task_r res_w in
+    { body; on_child; proc = Some (spawn_proc ~on_child body); respawns = 0 }
+
+  let alive t = t.proc <> None
+  let pid t = Option.map (fun p -> p.pid) t.proc
+  let fd t = Option.map (fun p -> p.fd) t.proc
+  let respawn_count t = t.respawns
+
+  (* Reap a dead child: close both channels, collect its exit status
+     message, drop the proc.  Safe to call once per death. *)
+  let crashed t =
+    match t.proc with
+    | None -> "worker not running"
+    | Some p ->
+        t.proc <- None;
+        (try close_out p.to_child with _ -> ());
+        (try close_in p.from_child with _ -> ());
+        reap_message p.pid
+
+  let kill t =
+    match t.proc with
+    | None -> ()
+    | Some p ->
+        (try Unix.kill p.pid Sys.sigkill with _ -> ());
+        ignore (crashed t)
+
+  (* Writing to a dead child raises EPIPE only if SIGPIPE is not fatal;
+     mask it for the duration of the write so the failure surfaces as a
+     [Crashed] result instead of killing the calling process. *)
+  let without_sigpipe f =
+    if not Sys.unix then f ()
+    else begin
+      let old =
+        try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> None
+      in
+      let finally () =
+        match old with
+        | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
+        | None -> ()
+      in
+      Fun.protect ~finally f
+    end
+
+  let stop t =
+    match t.proc with
+    | None -> ()
+    | Some p ->
+        (try
+           without_sigpipe (fun () ->
+               Marshal.to_channel p.to_child (Quit : _ message)
+                 [ Marshal.Closures ];
+               flush p.to_child)
+         with _ -> ());
+        ignore (crashed t)
+
+  let send t req =
+    match t.proc with
+    | None -> Error (Crashed "worker not running")
+    | Some p -> (
+        match
+          without_sigpipe (fun () ->
+              Marshal.to_channel p.to_child (Request req : _ message)
+                [ Marshal.Closures ];
+              flush p.to_child)
+        with
+        | () -> Ok ()
+        | exception _ -> Error (Crashed (crashed t)))
+
+  let rec recv t =
+    match t.proc with
+    | None -> Error (Crashed "worker not running")
+    | Some p -> (
+        match (Marshal.from_channel p.from_child : _ reply) with
+        | Pong -> recv t
+        | Reply (Ok v) -> Ok v
+        | Reply (Error msg) -> Error (Exn msg)
+        | exception _ -> Error (Crashed (crashed t)))
+
+  let rec wait_readable fd until =
+    let timeout =
+      match until with
+      | None -> -1.
+      | Some u -> Float.max 0. (u -. Unix.gettimeofday ())
+    in
+    match Unix.select [ fd ] [] [] timeout with
+    | ready, _, _ -> ready <> []
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd until
+
+  let call ?deadline_s t req =
+    match send t req with
+    | Error _ as e -> e
+    | Ok () -> (
+        match t.proc with
+        | None -> Error (Crashed "worker not running")
+        | Some p ->
+            let until =
+              Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s
+            in
+            if wait_readable p.fd until then recv t
+            else begin
+              kill t;
+              Error Timed_out
+            end)
+
+  let ping ?(deadline_s = 1.) t =
+    match t.proc with
+    | None -> false
+    | Some p -> (
+        match
+          without_sigpipe (fun () ->
+              Marshal.to_channel p.to_child (Ping : _ message)
+                [ Marshal.Closures ];
+              flush p.to_child)
+        with
+        | exception _ ->
+            ignore (crashed t);
+            false
+        | () ->
+            if
+              not
+                (wait_readable p.fd
+                   (Some (Unix.gettimeofday () +. deadline_s)))
+            then begin
+              kill t;
+              false
+            end
+            else (
+              match (Marshal.from_channel p.from_child : _ reply) with
+              | Pong | Reply _ -> true
+              | exception _ ->
+                  ignore (crashed t);
+                  false))
+
+  let respawn t =
+    kill t;
+    t.proc <- Some (spawn_proc ~on_child:t.on_child t.body);
+    t.respawns <- t.respawns + 1;
+    Gmf_obs.Metrics.incr m_respawns
+
+  (* Exponential-backoff bookkeeping for a supervisor deciding when a
+     crashed worker may be respawned.  Pure arithmetic on caller-supplied
+     clocks, so tests can drive it deterministically. *)
+  module Backoff = struct
+    type b = {
+      base_s : float;
+      max_s : float;
+      mutable failures : int;
+      mutable not_before : float;
+    }
+
+    let create ?(base_s = 0.1) ?(max_s = 30.) () =
+      if base_s <= 0. || max_s < base_s then
+        invalid_arg "Gmf_exec.Persistent.Backoff.create";
+      { base_s; max_s; failures = 0; not_before = 0. }
+
+    let note_failure b ~now =
+      b.failures <- b.failures + 1;
+      let delay = b.base_s *. (2. ** float_of_int (min 16 (b.failures - 1))) in
+      let delay = if delay > b.max_s then b.max_s else delay in
+      b.not_before <- now +. delay
+
+    let note_success b =
+      b.failures <- 0;
+      b.not_before <- 0.
+
+    let ready b ~now = now >= b.not_before
+    let next_try b = b.not_before
+    let failures b = b.failures
+  end
+end
 
 type 'b search = {
   found : (int * 'b) option;

@@ -20,9 +20,13 @@
 
     Telemetry: [exec.cases] counts evaluations actually performed,
     [exec.memo_hits] counts evaluations avoided by the memo table,
-    [exec.workers] counts worker processes forked; every completed
-    evaluation records an [exec.case] span carrying its measured
-    duration.  Recordings made {e inside} [f] (counters, histograms,
+    [exec.workers] counts worker processes forked, [exec.respawns]
+    counts workers forked to {e replace} a crashed one (pool refills
+    past the initial [jobs], and every {!Persistent.respawn}), and
+    [exec.pool_exhausted] counts pool runs that ran out of respawn
+    budget and had to fail their remaining cases with
+    [Crashed "worker pool exhausted"]; every completed evaluation
+    records an [exec.case] span carrying its measured duration.  Recordings made {e inside} [f] (counters, histograms,
     spans against the default registry/tracer) are preserved under both
     backends: a {!Pool} worker resets its inherited default registry and
     tracer at case start, dumps them with the case result, and the
@@ -40,7 +44,15 @@ type backend =
 type t = { backend : backend; timeout_s : float option }
 (** An executor: a backend plus an optional per-case wall-clock timeout
     in seconds.  The timeout is delivered via [SIGALRM], so a case that
-    never allocates may outlive it; analysis cases allocate heavily. *)
+    never allocates may outlive it; analysis cases allocate heavily.
+
+    Timeouts {e nest}: entering a timeout scope saves the previous
+    [SIGALRM] handler and any pending alarm, and leaving it restores the
+    handler and re-arms the outer alarm minus the time the inner scope
+    consumed (an outer alarm that expired meanwhile is re-armed with a
+    minimal delay and fires immediately after).  A daemon-level
+    per-request deadline therefore composes with the per-case timeout
+    instead of being clobbered by it. *)
 
 val seq : t
 (** The default executor: {!Seq}, no timeout. *)
@@ -127,3 +139,104 @@ val search_first :
     index) whose successful outcome satisfies [accept].  Error outcomes
     are never accepted.  The result is deterministic and backend
     independent. *)
+
+(** Persistent supervised workers.
+
+    The fork pool above is per call-site: workers are forked for one
+    batch of cases (inheriting them by memory) and die with it.  A
+    {!Persistent} worker is the long-lived complement: it forks {e once}
+    around an [init] payload — e.g. a parsed topology and an admission
+    session — and then serves marshalled request/response pairs until it
+    is stopped, killed, or crashes.  [gmfnetd] keeps one per session, so
+    the topology ships to the worker exactly once and warm fixpoint
+    state survives across events.
+
+    Protocol invariant: at most one message ([call], or [send] without
+    its matching [recv], or [ping]) may be outstanding at a time.  The
+    parent owns supervision — {!call} kills the worker on a missed
+    deadline, a crash surfaces as [Error (Crashed _)], and {!respawn}
+    (counted in [exec.respawns]) replaces the process while {!Backoff}
+    paces the retries. *)
+module Persistent : sig
+  type ('req, 'resp) t
+
+  val spawn :
+    ?on_child:(unit -> unit) ->
+    init:(unit -> 'st) ->
+    handle:('st -> 'req -> 'resp) ->
+    unit ->
+    ('req, 'resp) t
+  (** Fork a worker.  In the child, [on_child] runs first (close
+      inherited fds there), then [init ()] builds the worker state, then
+      the serve loop answers requests with [handle st req].  An
+      exception from [handle] is returned to the parent as
+      [Error (Exn _)] and the worker stays up; an exception from [init]
+      ends the child, which the parent sees as [Crashed] on first use.
+      Both closures are inherited by fork, not marshalled. *)
+
+  val alive : ('req, 'resp) t -> bool
+  (** Whether a worker process is currently attached.  [alive] does not
+      probe the process ({!ping} does): a worker that died but has not
+      been used since still reports [true] until a call notices. *)
+
+  val pid : ('req, 'resp) t -> int option
+  val fd : ('req, 'resp) t -> Unix.file_descr option
+  (** Read side of the response pipe, for a caller-owned [select] loop:
+      readable exactly when {!recv} will not block (response ready or
+      worker dead). *)
+
+  val send : ('req, 'resp) t -> 'req -> (unit, error) result
+  (** Hand the worker a request without waiting for the response —
+      the async half of {!call} for select-loop callers. *)
+
+  val recv : ('req, 'resp) t -> 'resp outcome
+  (** Collect the response to the outstanding {!send}.  Blocks unless
+      {!fd} was reported readable.  EOF (the worker died mid-request)
+      reaps the child and returns [Error (Crashed _)]. *)
+
+  val call : ?deadline_s:float -> ('req, 'resp) t -> 'req -> 'resp outcome
+  (** [send] then [recv], waiting at most [deadline_s] (forever when
+      omitted).  On deadline expiry the worker is killed — its state is
+      unrecoverable mid-request — and the call returns
+      [Error Timed_out]. *)
+
+  val ping : ?deadline_s:float -> ('req, 'resp) t -> bool
+  (** Health check: round-trip a no-op message, waiting at most
+      [deadline_s] (default 1s).  [false] kills and reaps an
+      unresponsive worker.  Only meaningful when no request is
+      outstanding. *)
+
+  val stop : ('req, 'resp) t -> unit
+  (** Graceful shutdown: ask the serve loop to exit, close the pipes and
+      reap.  Idempotent. *)
+
+  val kill : ('req, 'resp) t -> unit
+  (** [SIGKILL] the worker and reap it.  Idempotent. *)
+
+  val respawn : ('req, 'resp) t -> unit
+  (** Replace the worker process with a fresh fork of the same
+      [on_child]/[init]/[handle] (killing the old one if still
+      attached).  Bumps [exec.respawns].  The new worker re-runs [init]
+      from scratch — replaying any event journal is the caller's job. *)
+
+  val respawn_count : ('req, 'resp) t -> int
+
+  (** Exponential-backoff pacing for respawns, on caller-supplied
+      clocks (tests drive it deterministically). *)
+  module Backoff : sig
+    type b
+
+    val create : ?base_s:float -> ?max_s:float -> unit -> b
+    (** Delay after the [n]-th consecutive failure is
+        [base_s * 2^(n-1)] capped at [max_s] (defaults 0.1s / 30s).
+        Raises [Invalid_argument] unless [0 < base_s <= max_s]. *)
+
+    val note_failure : b -> now:float -> unit
+    val note_success : b -> unit
+    val ready : b -> now:float -> bool
+    val next_try : b -> float
+    (** Absolute time of the next allowed attempt (0. when unconstrained). *)
+
+    val failures : b -> int
+  end
+end

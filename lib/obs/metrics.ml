@@ -82,6 +82,13 @@ let set_gauge g v =
     if v > g.g_max then g.g_max <- v
   end
 
+let add_gauge g delta =
+  if !(g.g_enabled) then begin
+    let v = g.g_value +. delta in
+    g.g_value <- v;
+    if v > g.g_max then g.g_max <- v
+  end
+
 let gauge_value g = g.g_value
 let gauge_max g = g.g_max
 

@@ -51,6 +51,13 @@ val set_gauge : gauge -> float -> unit
 (** Records the current value (and tracks the maximum ever set) when the
     owning registry is enabled. *)
 
+val add_gauge : gauge -> float -> unit
+(** Adjusts the current value by a (possibly negative) delta when the
+    owning registry is enabled — the natural recorder for level-style
+    gauges such as queue depths, where callers see increments and
+    decrements rather than absolute readings.  Tracks the maximum like
+    {!set_gauge}. *)
+
 val gauge_value : gauge -> float
 (** Last value set; [0.] if never set. *)
 

@@ -19,3 +19,7 @@ type t = Parse.Admtrace.t = {
 
 val of_string : string -> (t, Parse.error) result
 val of_file : string -> (t, Parse.error) result
+
+module Incremental = Parse.Admtrace.Incremental
+(** The streaming line-at-a-time form of the same parser; see
+    {!Parse.Admtrace.Incremental}. *)

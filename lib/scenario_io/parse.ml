@@ -464,139 +464,204 @@ module Admtrace = struct
 
   type pending_kind = Padmit | Pupdate of Traffic.Flow.id
 
-  let of_string text =
-    let st =
+  (* Streaming form of the trace parser: the same grammar, fed one
+     source line at a time.  [of_string] below is a thin driver over it;
+     [gmfnetd] session workers feed it directly from JSONL frames, so
+     daemon traffic and batch replay share one state machine (fresh flow
+     ids in admission order, the optimistic name -> id table, the
+     frozen-prologue rule) by construction. *)
+  module Incremental = struct
+    type inc = {
+      ist : state;
+      (* The statically-assumed active set (name -> id): the parser
+         assumes every admit succeeds; the session is authoritative at
+         replay time, so an event resolved against a flow the session
+         rejected simply earns a runtime rejection (GMF015) instead of a
+         parse error. *)
+      active : (string, Traffic.Flow.id) Hashtbl.t;
+      mutable pending : pending_kind;
+      mutable frozen : bool;
+      mutable lineno : int;
+      mutable fresh : (int * event) list;  (* completed, reversed *)
+    }
+
+    type t = inc
+
+    let create () =
       {
-        topo = Network.Topology.create ();
-        names = Hashtbl.create 32;
-        switches = [];
-        flows = [];
-        next_flow_id = 0;
-        current = None;
-        faults = [];
+        ist =
+          {
+            topo = Network.Topology.create ();
+            names = Hashtbl.create 32;
+            switches = [];
+            flows = [];
+            next_flow_id = 0;
+            current = None;
+            faults = [];
+          };
+        active = Hashtbl.create 16;
+        pending = Padmit;
+        frozen = false;
+        lineno = 0;
+        fresh = [];
       }
-    in
+
+    let topology inc = inc.ist.topo
+    let switches inc = List.rev inc.ist.switches
+    let in_flow_block inc = inc.ist.current <> None
+    let line inc = inc.lineno
+
+    (* One source line; raises [Fail] on a grammar error. *)
+    let feed_exn inc raw =
+      inc.lineno <- inc.lineno + 1;
+      let lineno = inc.lineno in
+      let st = inc.ist in
+      let topo_directive directive rest =
+        if inc.frozen then
+          fail lineno "topology directives must precede the first event";
+        directive st lineno rest
+      in
+      let in_block () =
+        if st.current <> None then fail lineno "flow block not closed by 'end'"
+      in
+      match words (strip_comment raw) with
+      | [] -> ()
+      | "node" :: rest -> topo_directive directive_node rest
+      | "link" :: rest -> topo_directive directive_link rest
+      | "duplex" :: rest -> topo_directive directive_duplex rest
+      | "switch" :: rest -> topo_directive directive_switch rest
+      | "admit" :: "flow" :: rest ->
+          inc.frozen <- true;
+          in_block ();
+          inc.pending <- Padmit;
+          directive_flow st lineno rest
+      | "update" :: "flow" :: (name :: _ as rest) ->
+          inc.frozen <- true;
+          in_block ();
+          (match Hashtbl.find_opt inc.active name with
+          | None ->
+              fail ~token:name lineno
+                "update of a flow that is not active: %S" name
+          | Some id -> inc.pending <- Pupdate id);
+          directive_flow st lineno rest
+      | "admit" :: _ -> fail lineno "usage: admit flow <name> ..."
+      | "update" :: _ -> fail lineno "usage: update flow <name> ..."
+      | "frame" :: rest -> directive_frame st lineno rest
+      | [ "end" ] ->
+          let start_line =
+            match st.current with
+            | Some flow -> flow.f_line
+            | None -> lineno
+          in
+          finish_flow st lineno;
+          let flow =
+            match st.flows with
+            | flow :: rest ->
+                st.flows <- rest;
+                flow
+            | [] -> fail lineno "internal error: no finished flow"
+          in
+          (match inc.pending with
+          | Padmit ->
+              (* First admit wins the name: a duplicate admit is
+                 destined for a lint rejection (GMF001), so the name
+                 keeps referring to the flow already in place. *)
+              if not (Hashtbl.mem inc.active flow.Traffic.Flow.name) then
+                Hashtbl.replace inc.active flow.Traffic.Flow.name
+                  flow.Traffic.Flow.id;
+              inc.fresh <- (start_line, Admit flow) :: inc.fresh
+          | Pupdate id ->
+              let flow = reid flow id in
+              Hashtbl.replace inc.active flow.Traffic.Flow.name id;
+              inc.fresh <- (start_line, Update flow) :: inc.fresh)
+      | [ "remove"; name ] ->
+          inc.frozen <- true;
+          in_block ();
+          (match Hashtbl.find_opt inc.active name with
+          | None ->
+              fail ~token:name lineno
+                "remove of a flow that is not active: %S" name
+          | Some id ->
+              Hashtbl.remove inc.active name;
+              inc.fresh <- (lineno, Remove (id, name)) :: inc.fresh)
+      | "remove" :: _ -> fail lineno "usage: remove <flow-name>"
+      | [ "query" ] ->
+          inc.frozen <- true;
+          in_block ();
+          inc.fresh <- (lineno, Query) :: inc.fresh
+      | "query" :: _ -> fail lineno "usage: query"
+      | [ ("fail" | "restore") as verb; "link"; a; b ] ->
+          inc.frozen <- true;
+          in_block ();
+          let ia = node_id st lineno a in
+          let ib = node_id st lineno b in
+          (* Either direction will do: sessions fail/restore the
+             duplex pair.  Whether the link is currently up or down is
+             the session's business (GMF016 at replay time). *)
+          if
+            Network.Topology.find_link st.topo ~src:ia ~dst:ib = None
+            && Network.Topology.find_link st.topo ~src:ib ~dst:ia = None
+          then fail ~token:b lineno "no link between %S and %S" a b;
+          let event =
+            if verb = "fail" then Fail_link ((ia, ib), (a, b))
+            else Restore_link ((ia, ib), (a, b))
+          in
+          inc.fresh <- (lineno, event) :: inc.fresh
+      | ("fail" | "restore") :: _ ->
+          fail lineno "usage: fail|restore link <node> <node>"
+      | "flow" :: _ ->
+          fail lineno
+            "admission traces admit flows with 'admit flow ...', not \
+             'flow ...'"
+      | keyword :: _ ->
+          fail ~token:keyword lineno "unknown directive %S" keyword
+
+    let check_closed_exn inc =
+      match inc.ist.current with
+      | Some flow ->
+          fail flow.f_line "flow %S not closed by 'end'" flow.f_name
+      | None -> ()
+
+    let drain inc =
+      let events = List.rev inc.fresh in
+      inc.fresh <- [];
+      events
+
+    (* [enrich] against a single raw line: errors report the global line
+       number of this feed but carry the offending line itself. *)
+    let enrich_one raw ~line ~token message =
+      let column = Option.bind token (find_column raw) in
+      { line; column; source = Some raw; message }
+
+    let feed inc raw =
+      match feed_exn inc raw with
+      | () -> Ok (drain inc)
+      | exception Fail { line; token; message } ->
+          Error (enrich_one raw ~line ~token message)
+
+    let feed_text inc text =
+      let lines = String.split_on_char '\n' text in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | raw :: rest -> (
+            match feed inc raw with
+            | Ok events -> go (List.rev_append events acc) rest
+            | Error _ as e -> e)
+      in
+      go [] lines
+  end
+
+  let of_string text =
+    let inc = Incremental.create () in
     let lines = Array.of_list (String.split_on_char '\n' text) in
-    let events = ref [] in
-    (* The statically-assumed active set (name -> id): the parser assumes
-       every admit succeeds; the session is authoritative at replay time,
-       so an event resolved against a flow the session rejected simply
-       earns a runtime rejection (GMF015) instead of a parse error. *)
-    let active : (string, Traffic.Flow.id) Hashtbl.t = Hashtbl.create 16 in
-    let pending = ref Padmit in
-    let frozen = ref false in
-    let topo_directive lineno directive rest =
-      if !frozen then
-        fail lineno "topology directives must precede the first event";
-      directive st lineno rest
-    in
-    let in_block lineno =
-      if st.current <> None then fail lineno "flow block not closed by 'end'"
-    in
     try
-      Array.iteri
-        (fun index raw ->
-          let lineno = index + 1 in
-          match words (strip_comment raw) with
-          | [] -> ()
-          | "node" :: rest -> topo_directive lineno directive_node rest
-          | "link" :: rest -> topo_directive lineno directive_link rest
-          | "duplex" :: rest -> topo_directive lineno directive_duplex rest
-          | "switch" :: rest -> topo_directive lineno directive_switch rest
-          | "admit" :: "flow" :: rest ->
-              frozen := true;
-              in_block lineno;
-              pending := Padmit;
-              directive_flow st lineno rest
-          | "update" :: "flow" :: (name :: _ as rest) ->
-              frozen := true;
-              in_block lineno;
-              (match Hashtbl.find_opt active name with
-              | None ->
-                  fail ~token:name lineno
-                    "update of a flow that is not active: %S" name
-              | Some id -> pending := Pupdate id);
-              directive_flow st lineno rest
-          | "admit" :: _ -> fail lineno "usage: admit flow <name> ..."
-          | "update" :: _ -> fail lineno "usage: update flow <name> ..."
-          | "frame" :: rest -> directive_frame st lineno rest
-          | [ "end" ] ->
-              let start_line =
-                match st.current with
-                | Some flow -> flow.f_line
-                | None -> lineno
-              in
-              finish_flow st lineno;
-              let flow =
-                match st.flows with
-                | flow :: rest ->
-                    st.flows <- rest;
-                    flow
-                | [] -> fail lineno "internal error: no finished flow"
-              in
-              (match !pending with
-              | Padmit ->
-                  (* First admit wins the name: a duplicate admit is
-                     destined for a lint rejection (GMF001), so the name
-                     keeps referring to the flow already in place. *)
-                  if not (Hashtbl.mem active flow.Traffic.Flow.name) then
-                    Hashtbl.replace active flow.Traffic.Flow.name
-                      flow.Traffic.Flow.id;
-                  events := (start_line, Admit flow) :: !events
-              | Pupdate id ->
-                  let flow = reid flow id in
-                  Hashtbl.replace active flow.Traffic.Flow.name id;
-                  events := (start_line, Update flow) :: !events)
-          | [ "remove"; name ] ->
-              frozen := true;
-              in_block lineno;
-              (match Hashtbl.find_opt active name with
-              | None ->
-                  fail ~token:name lineno
-                    "remove of a flow that is not active: %S" name
-              | Some id ->
-                  Hashtbl.remove active name;
-                  events := (lineno, Remove (id, name)) :: !events)
-          | "remove" :: _ -> fail lineno "usage: remove <flow-name>"
-          | [ "query" ] ->
-              frozen := true;
-              in_block lineno;
-              events := (lineno, Query) :: !events
-          | "query" :: _ -> fail lineno "usage: query"
-          | [ ("fail" | "restore") as verb; "link"; a; b ] ->
-              frozen := true;
-              in_block lineno;
-              let ia = node_id st lineno a in
-              let ib = node_id st lineno b in
-              (* Either direction will do: sessions fail/restore the
-                 duplex pair.  Whether the link is currently up or down is
-                 the session's business (GMF016 at replay time). *)
-              if
-                Network.Topology.find_link st.topo ~src:ia ~dst:ib = None
-                && Network.Topology.find_link st.topo ~src:ib ~dst:ia = None
-              then fail ~token:b lineno "no link between %S and %S" a b;
-              let event =
-                if verb = "fail" then Fail_link ((ia, ib), (a, b))
-                else Restore_link ((ia, ib), (a, b))
-              in
-              events := (lineno, event) :: !events
-          | ("fail" | "restore") :: _ ->
-              fail lineno "usage: fail|restore link <node> <node>"
-          | "flow" :: _ ->
-              fail lineno
-                "admission traces admit flows with 'admit flow ...', not \
-                 'flow ...'"
-          | keyword :: _ ->
-              fail ~token:keyword lineno "unknown directive %S" keyword)
-        lines;
-      (match st.current with
-      | Some flow -> fail flow.f_line "flow %S not closed by 'end'" flow.f_name
-      | None -> ());
+      Array.iter (Incremental.feed_exn inc) lines;
+      Incremental.check_closed_exn inc;
       Ok
         {
-          topo = st.topo;
-          switches = List.rev st.switches;
-          events = List.rev !events;
+          topo = Incremental.topology inc;
+          switches = Incremental.switches inc;
+          events = Incremental.drain inc;
         }
     with Fail { line; token; message } ->
       Error (enrich lines ~line ~token message)

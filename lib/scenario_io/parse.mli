@@ -131,4 +131,42 @@ module Admtrace : sig
 
   val of_file : string -> (t, error) result
   (** Reads the file; an unreadable file reports on line 0. *)
+
+  (** Streaming form of the same parser, fed one source line at a time —
+      the state machine behind {!of_string}, exported for [gmfnetd]
+      session workers that receive trace text incrementally over JSONL.
+      Sharing it guarantees daemon traffic resolves names, assigns flow
+      ids and enforces the frozen-prologue rule byte-identically to
+      batch replay. *)
+  module Incremental : sig
+    type t
+
+    val create : unit -> t
+
+    val feed : t -> string -> ((int * event) list, error) result
+    (** Feed one source line (without its newline).  Returns the events
+        this line completed — usually none or one; the [end] of a flow
+        block completes its [admit]/[update].  Errors carry the global
+        (1-based) line number of the feed and the offending line as
+        [source].  After an error the parser state is unspecified;
+        callers should discard it. *)
+
+    val feed_text : t -> string -> ((int * event) list, error) result
+    (** Split on newlines and {!feed} each line; the concatenated fresh
+        events, or the first error. *)
+
+    val topology : t -> Network.Topology.t
+    (** The prologue topology accumulated so far.  Shared, not copied:
+        it keeps growing while prologue lines are fed. *)
+
+    val switches : t -> (Network.Node.id * Click.Switch_model.t) list
+
+    val in_flow_block : t -> bool
+    (** Whether a [flow] block is open (an [end] is still owed) — a
+        message boundary falling inside a block is a framing error for
+        protocol callers. *)
+
+    val line : t -> int
+    (** Global 1-based number of the last line fed; 0 initially. *)
+  end
 end

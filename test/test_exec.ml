@@ -191,6 +191,77 @@ let test_timeout_pool () =
   check_outcomes "worker survives the killed case"
     [ "ok:0"; "err:timeout"; "ok:2" ] (strs r)
 
+(* A per-case timeout must nest: an inner scoped timer (a nested
+   map_cases with its own budget) restores the outer alarm on exit, so
+   the outer deadline — the daemon's per-request deadline wrapping a
+   per-case timeout — keeps ticking instead of being clobbered. *)
+let test_timeout_nesting () =
+  let inner_fast = { Gmf_exec.backend = Gmf_exec.Seq; timeout_s = Some 10. } in
+  let outer = { Gmf_exec.backend = Gmf_exec.Seq; timeout_s = Some 0.4 } in
+  let f _ =
+    (* The inner scope completes quickly; if its restore dropped the
+       outer alarm, the spin below would run its full 30s guard. *)
+    let inner =
+      Gmf_exec.map_cases ~exec:inner_fast ~f:(fun x -> x + 1) [ 1; 2 ]
+    in
+    assert (strs inner = [ "ok:2"; "ok:3" ]);
+    spin_allocating ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Gmf_exec.map_cases ~exec:outer ~f [ 0 ] in
+  check_outcomes "outer deadline survives the inner scope" [ "err:timeout" ]
+    (strs r);
+  Alcotest.(check bool) "outer fired on its own budget" true
+    (Unix.gettimeofday () -. t0 < 10.);
+  (* Converse nesting: the inner budget expires while the outer keeps
+     ticking — the inner case fails, the outer case completes. *)
+  let inner_slow = { Gmf_exec.backend = Gmf_exec.Seq; timeout_s = Some 0.2 } in
+  let outer_wide = { Gmf_exec.backend = Gmf_exec.Seq; timeout_s = Some 30. } in
+  let g _ =
+    let inner =
+      Gmf_exec.map_cases ~exec:inner_slow
+        ~f:(fun x -> if x = 1 then spin_allocating () else x)
+        [ 0; 1 ]
+    in
+    match strs inner with
+    | [ "ok:0"; "err:timeout" ] -> 42
+    | other -> failwith (String.concat "," other)
+  in
+  let r2 = Gmf_exec.map_cases ~exec:outer_wide ~f:g [ 0 ] in
+  check_outcomes "inner timeout inside a live outer scope" [ "ok:42" ]
+    (strs r2)
+
+(* exec.respawns counts replacement forks — here via the supervised
+   persistent worker the daemon uses. *)
+let test_respawn_counter () =
+  let reg = Gmf_obs.Metrics.default in
+  let was = Gmf_obs.Metrics.enabled reg in
+  Gmf_obs.Metrics.set_enabled reg true;
+  let respawns = Gmf_obs.Metrics.counter reg "exec.respawns" in
+  let r0 = Gmf_obs.Metrics.counter_value respawns in
+  let w =
+    Gmf_exec.Persistent.spawn
+      ~init:(fun () -> ())
+      ~handle:(fun () x ->
+        if x = 0 then Unix._exit 5;
+        x * 2)
+      ()
+  in
+  (match Gmf_exec.Persistent.call w 0 with
+  | Error (Gmf_exec.Crashed _) -> ()
+  | o -> Alcotest.fail ("expected a crash, got " ^ outcome_str o));
+  Alcotest.(check int) "crash alone is not a respawn" 0
+    (Gmf_obs.Metrics.counter_value respawns - r0);
+  Gmf_exec.Persistent.respawn w;
+  Alcotest.(check bool) "replacement works" true
+    (Gmf_exec.Persistent.call w 3 = Ok 6);
+  Gmf_exec.Persistent.stop w;
+  Gmf_obs.Metrics.set_enabled reg was;
+  Alcotest.(check int) "exec.respawns counts the replacement" 1
+    (Gmf_obs.Metrics.counter_value respawns - r0);
+  Alcotest.(check int) "respawn_count agrees" 1
+    (Gmf_exec.Persistent.respawn_count w)
+
 (* --- knobs ----------------------------------------------------------- *)
 
 let test_jobs_resolution () =
@@ -218,6 +289,8 @@ let tests =
     Alcotest.test_case "timeout kills the case (seq)" `Quick test_timeout_seq;
     Alcotest.test_case "timeout kills the case (pool)" `Quick
       test_timeout_pool;
+    Alcotest.test_case "timeouts nest" `Quick test_timeout_nesting;
+    Alcotest.test_case "respawn counter" `Quick test_respawn_counter;
     Alcotest.test_case "jobs knob" `Quick test_jobs_resolution;
     QCheck_alcotest.to_alcotest prop_map_seq_eq_pool;
     QCheck_alcotest.to_alcotest prop_search_seq_eq_pool;
