@@ -62,9 +62,13 @@ let request t req =
 
 (* An event starts at a line whose first word is an event keyword.
    Inside a flow block lines are [frame]/[end]/comments, none of which
-   match, so keyword scanning slices correctly without a full parse. *)
+   match, so keyword scanning slices correctly without a full parse.
+   The grammar's tokenizer treats tabs as separators, so fold them into
+   spaces before splitting off the first word. *)
 let is_event_start raw =
-  let raw = String.trim raw in
+  let raw =
+    String.trim (String.map (fun c -> if c = '\t' then ' ' else c) raw)
+  in
   let word =
     match String.index_opt raw ' ' with
     | Some i -> String.sub raw 0 i

@@ -56,10 +56,15 @@ let g_sessions = Metrics.gauge Metrics.default "daemon.sessions"
 let g_queue = Metrics.gauge Metrics.default "daemon.queue_depth"
 
 type conn = {
-  c_fd : Unix.file_descr;
-  c_buf : Buffer.t;
+  c_fd : Unix.file_descr;  (* non-blocking *)
+  c_buf : Buffer.t;  (* inbound bytes, not yet a full line *)
+  mutable c_out : string;  (* outbound bytes the socket would not take *)
+  mutable c_out_since : float;
+      (* last time a write on [c_out] made progress; meaningless while
+         [c_out] is empty *)
   mutable c_sess : sess option;
   mutable c_closed : bool;
+      (* no further requests; the fd closes once [c_out] drains *)
 }
 
 and pending = {
@@ -93,20 +98,45 @@ type t = {
 
 (* ---------------- plumbing ---------------- *)
 
-let write_all fd data =
-  let len = String.length data in
-  let rec go off =
-    if off < len then
-      match Unix.write_substring fd data off (len - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
+(* Client sockets are non-blocking.  A response is appended to the
+   connection's output buffer and flushed opportunistically here, then
+   from the [select] writability set — so a client that stops reading
+   (send buffer full) can never stall the event loop, the other
+   sessions, deadline enforcement or the SIGTERM drain.  Such a client
+   is instead disconnected once its backlog trips [out_cap] or sits
+   without progress for [write_timeout_s]. *)
+
+let out_cap = 1 lsl 20
+let write_timeout_s = 10.
+
+(* The peer is gone or not worth waiting for: forget its backlog so
+   [prune_conns] reaps the fd immediately. *)
+let drop_conn conn =
+  conn.c_out <- "";
+  conn.c_closed <- true
+
+let rec flush_conn conn ~now =
+  if conn.c_out <> "" then
+    match
+      Unix.write_substring conn.c_fd conn.c_out 0 (String.length conn.c_out)
+    with
+    | 0 -> ()
+    | n ->
+        conn.c_out <- String.sub conn.c_out n (String.length conn.c_out - n);
+        conn.c_out_since <- now;
+        flush_conn conn ~now
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn conn ~now
+    | exception _ -> drop_conn conn
 
 let respond _t conn resp =
-  if not conn.c_closed then
-    let data = Jsonl.encode_response resp ^ "\n" in
-    try write_all conn.c_fd data with _ -> conn.c_closed <- true
+  if not conn.c_closed then begin
+    let now = Unix.gettimeofday () in
+    if conn.c_out = "" then conn.c_out_since <- now;
+    conn.c_out <- conn.c_out ^ Jsonl.encode_response resp ^ "\n";
+    flush_conn conn ~now;
+    if String.length conn.c_out > out_cap then drop_conn conn
+  end
 
 let fail_pending t p ~code ~message =
   match p.p_conn with
@@ -190,8 +220,16 @@ let rec pump t sess ~now =
             match Persistent.send w p.p_req with
             | Ok () ->
                 sess.s_inflight <- Some p;
+                (* The per-request deadline is a client-facing latency
+                   bound; journal replays ([p_conn = None]) are exempt —
+                   deadline-killing a replay that runs colder than the
+                   original request would restart the whole replay under
+                   backoff, potentially starving recovery forever.  The
+                   per-case SIGALRM timeout inside the worker still
+                   bounds each replayed analysis. *)
                 sess.s_deadline <-
-                  Option.map (fun d -> now +. d) t.cfg.deadline_s
+                  (if p.p_conn = None then None
+                   else Option.map (fun d -> now +. d) t.cfg.deadline_s)
             | Error e ->
                 Metrics.incr m_crashes;
                 fail_pending t p ~code:Jsonl.code_crashed
@@ -512,12 +550,14 @@ let process_lines t conn ~now =
 let on_conn_readable t conn ~now =
   let bytes = Bytes.create 4096 in
   match Unix.read conn.c_fd bytes 0 (Bytes.length bytes) with
-  | 0 -> conn.c_closed <- true
+  | 0 -> drop_conn conn
   | n ->
       Buffer.add_subbytes conn.c_buf bytes 0 n;
       process_lines t conn ~now
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  | exception _ -> conn.c_closed <- true
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
+  | exception _ -> drop_conn conn
 
 (* ---------------- main loop ---------------- *)
 
@@ -525,10 +565,16 @@ let stop_requested = ref false
 
 let all_idle t = Hashtbl.fold (fun _ s acc -> acc && idle s) t.sessions true
 
+(* A closed connection's fd lingers until its output buffer drains, so
+   a [close] request's [closed] response still reaches the client. *)
 let prune_conns t =
-  let closed, open_ = List.partition (fun c -> c.c_closed) t.conns in
+  let closed, open_ =
+    List.partition (fun c -> c.c_closed && c.c_out = "") t.conns
+  in
   List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) closed;
   t.conns <- open_
+
+let all_flushed t = List.for_all (fun c -> c.c_out = "") t.conns
 
 let rec loop t =
   if !stop_requested && not t.draining then begin
@@ -540,7 +586,7 @@ let rec loop t =
     end
   end;
   prune_conns t;
-  if t.draining && all_idle t then ()
+  if t.draining && all_idle t && all_flushed t then ()
   else begin
     let now = Unix.gettimeofday () in
     (* Expired per-request deadlines: kill, answer, backoff-respawn. *)
@@ -553,11 +599,24 @@ let rec loop t =
               ~message:"per-request deadline expired"
         | _ -> ())
       t.sessions;
+    (* Clients whose reads stalled long enough that their backlog made
+       no progress: disconnect them rather than hold their output (and,
+       during a drain, the daemon's exit) hostage. *)
+    List.iter
+      (fun c ->
+        if c.c_out <> "" && now -. c.c_out_since > write_timeout_s then
+          drop_conn c)
+      t.conns;
     (* Dispatch anything dispatchable (also retries expired backoffs). *)
     Hashtbl.iter (fun _ sess -> pump t sess ~now) t.sessions;
     let rfds = ref [] in
     if t.lfd_open then rfds := t.lfd :: !rfds;
     List.iter (fun c -> if not c.c_closed then rfds := c.c_fd :: !rfds) t.conns;
+    let wfds =
+      List.filter_map
+        (fun c -> if c.c_out <> "" then Some c.c_fd else None)
+        t.conns
+    in
     let worker_fds = ref [] in
     Hashtbl.iter
       (fun _ sess ->
@@ -583,19 +642,28 @@ let rec loop t =
           (* Work waiting on a backoff window. *)
           shrink (Backoff.next_try sess.s_backoff -. now))
       t.sessions;
-    match Unix.select !rfds [] [] !timeout with
+    match Unix.select !rfds wfds [] !timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop t
-    | ready, _, _ ->
+    | ready, writable, _ ->
         let now = Unix.gettimeofday () in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun c -> c.c_fd = fd) t.conns with
+            | Some c -> flush_conn c ~now
+            | None -> ())
+          writable;
         List.iter
           (fun fd ->
             if t.lfd_open && fd = t.lfd then begin
               match Unix.accept t.lfd with
               | cfd, _ ->
+                  Unix.set_nonblock cfd;
                   t.conns <-
                     {
                       c_fd = cfd;
                       c_buf = Buffer.create 256;
+                      c_out = "";
+                      c_out_since = 0.;
                       c_sess = None;
                       c_closed = false;
                     }
@@ -632,6 +700,10 @@ let shutdown t =
       Journal.close sess.s_journal)
     t.sessions;
   Hashtbl.reset t.sessions;
+  (* One best-effort flush so goodbye responses reach clients that are
+     keeping up; anything the sockets will not take right now is lost. *)
+  let now = Unix.gettimeofday () in
+  List.iter (fun c -> flush_conn c ~now) t.conns;
   List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) t.conns;
   t.conns <- [];
   if t.lfd_open then begin

@@ -22,8 +22,19 @@
       [overloaded] immediately.  Nothing is silently dropped, and
       nothing is admitted without a completed, journaled analysis.
     - {e drain}: SIGTERM/SIGINT stop the accept loop, finish every
-      queued request, stop the workers and exit; events arriving during
-      the drain are answered [shutdown].
+      queued request, flush every answer, stop the workers and exit;
+      events arriving during the drain are answered [shutdown].
+    - {e isolation}: client sockets are non-blocking with per-connection
+      output buffering flushed from the [select] writability set — a
+      client that stops reading cannot stall the loop, other sessions,
+      deadline enforcement or the drain; it is disconnected once its
+      backlog exceeds 1 MiB or makes no progress for 10 s.
+
+    Journal-replay work is internal: it is exempt from
+    {!config.deadline_s} (each replayed case is still bounded by the
+    worker's own per-case timeout), so recovery of a session whose
+    events replay slower than the client-facing latency bound cannot be
+    starved into a respawn loop.
 
     Telemetry (default registry): [daemon.requests],
     [daemon.events_committed], [daemon.events_replayed], [daemon.shed],
@@ -39,7 +50,8 @@ type config = {
           refused [overloaded]. *)
   queue_cap : int;  (** Per-session pending-request bound. *)
   deadline_s : float option;
-      (** Per-request worker deadline; [None] disables. *)
+      (** Per-request worker deadline; [None] disables.  Applies to
+          client requests only — journal replays are exempt. *)
   backoff_base_s : float;  (** Respawn backoff, first retry delay. *)
   backoff_max_s : float;  (** Respawn backoff cap. *)
   exec_jobs : int;  (** Executor width inside each worker. *)

@@ -15,7 +15,10 @@
    a flow block, an exception out of [Session.apply] — raises instead,
    so the supervisor kills the worker and rebuilds it from the journal.
    Dying is always sound here; limping on with divergent state never
-   is. *)
+   is.  The "provably untouched" half leans on [Incremental.freeze]:
+   the parser is frozen right after the prologue, so a topology
+   directive smuggled into an event request errors before reaching the
+   name/topology tables instead of mutating them and erroring later. *)
 
 module Jsonl = Scenario_io.Admtrace_jsonl
 module Incremental = Scenario_io.Admtrace.Incremental
@@ -61,6 +64,12 @@ let init ~opts ~topology () =
   | Ok [] ->
       if Incremental.in_flow_block inc then
         failwith "topology prologue ends inside a flow block");
+  (* The prologue ends here, even before the first event: a topology
+     directive arriving in an event request must fail *before* mutating
+     the name/topology tables, or a rejected (hence unjournaled) request
+     could leave the worker out of step with the journal and poison
+     every future replay. *)
+  Incremental.freeze inc;
   let session =
     Session.create ~warm:(not opts.cold) ~shadow:opts.verify
       ~explain:opts.explain ?survivable:opts.survivable
@@ -73,6 +82,18 @@ let init ~opts ~topology () =
 (* Like [Incremental.feed_text], but an error also reports the events
    completed earlier in the same text — the caller must know whether the
    parser was mutated before the failure. *)
+(* Whether [text] holds anything besides comments and blank lines — the
+   only inputs allowed to complete zero events without being an error. *)
+let has_directive text =
+  String.split_on_char '\n' text
+  |> List.exists (fun raw ->
+         let code =
+           match String.index_opt raw '#' with
+           | Some i -> String.sub raw 0 i
+           | None -> raw
+         in
+         String.exists (fun c -> not (c = ' ' || c = '\t' || c = '\r')) code)
+
 let feed_lines inc text =
   let lines = String.split_on_char '\n' text in
   let rec go acc = function
@@ -105,6 +126,12 @@ let handle st = function
       | Ok [] ->
           if Incremental.in_flow_block st.inc then
             failwith "request ends inside a flow block (missing 'end')"
+          else if has_directive text then
+            (* With the prologue frozen every non-comment line either
+               completes an event, opens a flow block, or errors — so
+               this is unreachable.  If it ever fires the parser state
+               is unaccounted for: die and recover from the journal. *)
+            failwith "request consumed directives but completed no event"
           else Reject "request text contains no event"
       | Ok events ->
           if Incremental.in_flow_block st.inc then

@@ -13,7 +13,10 @@
     parser or session state out-of-step with the journal (mid-block
     errors, text ending inside an open flow block, exceptions out of
     [Session.apply]) kills the worker instead — the supervisor respawns
-    it and replays the journal, which is always sound. *)
+    it and replays the journal, which is always sound.  The parser is
+    {!Scenario_io.Parse.Admtrace.Incremental.freeze}-frozen right after
+    the prologue, so topology directives inside event requests fail
+    before mutating parser state and stay on the [Reject] path. *)
 
 type opts = {
   verify : bool;  (** Shadow mode, as [gmfnet session --verify]. *)

@@ -510,6 +510,7 @@ module Admtrace = struct
     let switches inc = List.rev inc.ist.switches
     let in_flow_block inc = inc.ist.current <> None
     let line inc = inc.lineno
+    let freeze inc = inc.frozen <- true
 
     (* One source line; raises [Fail] on a grammar error. *)
     let feed_exn inc raw =

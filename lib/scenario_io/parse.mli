@@ -168,5 +168,14 @@ module Admtrace : sig
 
     val line : t -> int
     (** Global 1-based number of the last line fed; 0 initially. *)
+
+    val freeze : t -> unit
+    (** End the topology prologue now, as if an event had already been
+        fed: subsequent [node]/[link]/[duplex]/[switch] directives are
+        rejected — and rejected {e before} touching the topology or
+        name tables, unlike an unfrozen parser which mutates first and
+        only errors on a later line.  [gmfnetd] workers freeze right
+        after the prologue so a stray topology directive inside an
+        event request is a provably state-preserving parse error. *)
   end
 end

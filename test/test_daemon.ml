@@ -11,11 +11,17 @@ module Jsonl = Scenario_io.Admtrace_jsonl
 module Journal = Gmf_daemon.Journal
 module Server = Gmf_daemon.Server
 module Client = Gmf_daemon.Client
+module Worker = Gmf_daemon.Worker
 module Session = Gmf_admctl.Session
 module Replay = Gmf_admctl.Replay
 module Persistent = Gmf_exec.Persistent
 
 let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
 
 (* ---------------- scratch dirs and daemon lifecycle ----------------- *)
 
@@ -399,6 +405,69 @@ let test_backoff () =
     (Invalid_argument "Gmf_exec.Persistent.Backoff.create") (fun () ->
       ignore (Persistent.Backoff.create ~base_s:0. ()))
 
+(* ---------------- session workers ------------------------------------ *)
+
+(* The freeze discipline: a topology directive smuggled into an event
+   request must fail *before* mutating the worker's name/topology
+   tables, so a Reject (which is never journaled) provably leaves the
+   worker in step with the journal. *)
+let test_worker_frozen_prologue () =
+  let topology =
+    "node a endhost\nnode b switch\nnode c endhost\n\
+     duplex a b rate=100M\nduplex b c rate=100M\n"
+  in
+  let st = Worker.init ~opts:Worker.default_opts ~topology () in
+  let admit name dst =
+    Printf.sprintf
+      "admit flow %s from=a to=%s\n\
+      \  frame period=10ms deadline=10ms payload=100B\n\
+       end"
+      name dst
+  in
+  (match Worker.handle st (Worker.Event_text "node x endhost") with
+  | Worker.Reject msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "frozen-prologue rejection: %s" msg)
+        true
+        (contains ~needle:"must precede" msg)
+  | _ -> Alcotest.fail "expected Reject for a topology directive in an event");
+  (* The rejected directive left no trace: "x" is still unknown. *)
+  (match Worker.handle st (Worker.Event_text (admit "f0" "x")) with
+  | Worker.Reject msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "name table untouched: %s" msg)
+        true
+        (contains ~needle:"unknown node" msg)
+  | _ -> Alcotest.fail "expected Reject for an unknown node");
+  (* And the worker is still good: a valid admit goes through. *)
+  (match Worker.handle st (Worker.Event_text (admit "f0" "c")) with
+  | Worker.Outcome o -> Alcotest.(check int) "first committed event" 1 o.seq
+  | _ -> Alcotest.fail "expected Outcome for a valid admit");
+  (* Comment-only text stays a clean reject, not a worker death. *)
+  match Worker.handle st (Worker.Event_text "# nothing here\n\n") with
+  | Worker.Reject _ -> ()
+  | _ -> Alcotest.fail "expected Reject for comment-only text"
+
+(* The tokenizer treats tabs as separators; event slicing must too. *)
+let test_slice_tab_separated () =
+  let text =
+    "node a endhost\nnode b endhost\n\
+     admit\tflow f from=a to=b\n\
+    \  frame period=10ms deadline=10ms payload=100B\nend\n\
+     remove\tf\n"
+  in
+  let prologue, chunks = Client.slice_trace text in
+  Alcotest.(check bool) "prologue holds only topology" true
+    (contains ~needle:"node b endhost" prologue
+    && not (contains ~needle:"admit" prologue));
+  Alcotest.(check int) "two events sliced" 2 (List.length chunks);
+  match chunks with
+  | [ a; r ] ->
+      Alcotest.(check bool) "flow block chunk" true
+        (contains ~needle:"admit\tflow f" a && contains ~needle:"end" a);
+      Alcotest.(check bool) "remove chunk" true (contains ~needle:"remove" r)
+  | _ -> Alcotest.fail "expected exactly two chunks"
+
 (* ---------------- daemon end-to-end ---------------------------------- *)
 
 let expected_output steps summary =
@@ -671,6 +740,141 @@ let test_daemon_drain () =
       Alcotest.(check bool) "socket unlinked on exit" false
         (Sys.file_exists cfg.Server.socket_path)
 
+(* A client that pipelines requests without ever reading must not stall
+   the event loop: its responses park in the daemon's per-connection
+   output buffer (client fds are non-blocking) while other clients keep
+   being served, and every parked response is delivered once the
+   stalled client reads again. *)
+let test_stalled_client_isolation () =
+  let dir = fresh_dir () in
+  let cfg =
+    {
+      Server.default_config with
+      socket_path = Filename.concat dir "d.sock";
+      journal_dir = Filename.concat dir "journal";
+    }
+  in
+  let text = gen_trace_text 3 in
+  let prologue, _ = Client.slice_trace text in
+  let n = 3000 in
+  let pid = start_daemon cfg in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon pid)
+    (fun () ->
+      match Client.connect cfg.Server.socket_path with
+      | Error msg -> Alcotest.fail msg
+      | Ok a ->
+          (match
+             Client.request a
+               (Jsonl.Open
+                  {
+                    session = "stall";
+                    topology = prologue;
+                    verify = false;
+                    explain = false;
+                    cold = false;
+                    survivable = None;
+                    throttle_s = 0.;
+                  })
+           with
+          | Ok (Jsonl.Opened _) -> ()
+          | _ -> Alcotest.fail "open failed");
+          (* Enough responses to overflow the socket buffers several
+             times over while we read none of them. *)
+          for _ = 1 to n do
+            match Client.send a (Jsonl.Event { text = "query" }) with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg
+          done;
+          (* The loop must still serve a second client promptly. *)
+          let t0 = Unix.gettimeofday () in
+          (match Client.connect cfg.Server.socket_path with
+          | Error msg -> Alcotest.fail msg
+          | Ok b ->
+              Alcotest.(check bool) "ping answered while a is stalled" true
+                (Client.request b Jsonl.Ping = Ok Jsonl.Pong);
+              Client.close b);
+          Alcotest.(check bool) "answered promptly, not after a's backlog"
+            true
+            (Unix.gettimeofday () -. t0 < 5.);
+          (* Nothing was silently dropped: outcomes + explicit sheds
+             account for every pipelined request. *)
+          let outcomes = ref 0 and shed = ref 0 in
+          for _ = 1 to n do
+            match Client.recv a with
+            | Ok (Jsonl.Outcome _) -> incr outcomes
+            | Ok (Jsonl.Rejected { code; _ })
+              when code = Jsonl.code_overloaded ->
+                incr shed
+            | Ok r -> Alcotest.fail ("unexpected: " ^ Jsonl.encode_response r)
+            | Error msg -> Alcotest.fail msg
+          done;
+          Client.close a;
+          Alcotest.(check int) "every pipelined request answered" n
+            (!outcomes + !shed))
+
+(* Journal replay is exempt from the per-request deadline: a session
+   whose events replay slower than the client-facing latency bound must
+   still recover instead of being deadline-killed mid-replay and
+   restarted under backoff forever. *)
+let test_replay_exempt_from_deadline () =
+  let dir = fresh_dir () in
+  let base =
+    {
+      Server.default_config with
+      socket_path = Filename.concat dir "d.sock";
+      journal_dir = Filename.concat dir "journal";
+    }
+  in
+  let topology = "node a endhost\nnode b endhost\nduplex a b rate=100M\n" in
+  (* Phase 1: no deadline; a throttled session commits two events that
+     take ~0.3s each (the throttle is journaled with the open line, so
+     replay pays it too). *)
+  let pid = start_daemon base in
+  (match Client.connect base.Server.socket_path with
+  | Error msg ->
+      kill9_daemon pid;
+      Alcotest.fail msg
+  | Ok c ->
+      (match
+         Client.request c
+           (Jsonl.Open
+              {
+                session = "slow";
+                topology;
+                verify = false;
+                explain = false;
+                cold = false;
+                survivable = None;
+                throttle_s = 0.3;
+              })
+       with
+      | Ok (Jsonl.Opened _) -> ()
+      | _ ->
+          kill9_daemon pid;
+          Alcotest.fail "open failed");
+      for i = 1 to 2 do
+        match Client.request c (Jsonl.Event { text = "query" }) with
+        | Ok (Jsonl.Outcome _) -> ()
+        | _ ->
+            kill9_daemon pid;
+            Alcotest.fail (Printf.sprintf "query %d failed" i)
+      done;
+      Client.close c);
+  kill9_daemon pid;
+  (* Phase 2: restart with a per-request deadline shorter than a single
+     replayed event.  Recovery must complete anyway. *)
+  let pid = start_daemon { base with deadline_s = Some 0.1 } in
+  Fun.protect
+    ~finally:(fun () -> stop_daemon pid)
+    (fun () ->
+      match
+        Client.fingerprint ~socket:base.Server.socket_path ~session:"slow"
+      with
+      | Ok (_digest, events) ->
+          Alcotest.(check int) "journal replayed in full" 2 events
+      | Error msg -> Alcotest.fail msg)
+
 let tests =
   [
     Alcotest.test_case "codec: round-trip" `Quick test_codec_roundtrip;
@@ -684,9 +888,17 @@ let tests =
     Alcotest.test_case "persistent: deadline kill" `Quick
       test_persistent_deadline;
     Alcotest.test_case "persistent: backoff pacing" `Quick test_backoff;
+    Alcotest.test_case "worker: frozen prologue keeps rejects pure" `Quick
+      test_worker_frozen_prologue;
+    Alcotest.test_case "client: tab-separated event keywords" `Quick
+      test_slice_tab_separated;
     Alcotest.test_case "daemon: transcript parity" `Quick
       test_daemon_transcript_parity;
     QCheck_alcotest.to_alcotest prop_kill9_recovery;
     Alcotest.test_case "daemon: overload shedding" `Quick test_daemon_shedding;
+    Alcotest.test_case "daemon: stalled client isolation" `Quick
+      test_stalled_client_isolation;
+    Alcotest.test_case "daemon: replay exempt from deadline" `Quick
+      test_replay_exempt_from_deadline;
     Alcotest.test_case "daemon: SIGTERM drain" `Quick test_daemon_drain;
   ]
