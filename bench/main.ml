@@ -501,6 +501,124 @@ module Survive_bench = struct
              (Gmf_faults.Survive.run ~k:1
                 (Workload.Scenarios.fig1_videoconf ()))))
 
+  (* A 6x6 software-switch mesh for the k>=2 sweeps, tiled: every flow
+     stays inside a 2-cell tile of the grid (its own access switches and
+     the fabric link between them), so the interference graph fragments
+     into one component per tile — the regime the delta engine exists
+     for.  A failure case only perturbs its tiles (plus whatever tiles
+     the reroute detours borrow switches from); every other component is
+     certified untouched and carried over from the shared base, while
+     the cold engine re-analyzes all of them per case.  The failure
+     domain is the intra-tile fabric links, which keeps the k=2/k=3
+     case counts a bench, not a soak test. *)
+  let mesh_rows = 18
+  let mesh_cols = 6
+
+  (* Light frames with generous deadlines: almost every tile certifies
+     statically, so per-case cost is dominated by the full-scenario scans
+     (precheck, lint, digest) the cold engine repeats for every failure
+     case — exactly the O(N)-per-case work the delta engine's closure
+     restriction avoids.  The detour-merged components of a failed tile
+     still fall back to real fixpoints, and both engines pay those. *)
+  let mesh_profile =
+    {
+      Workload.Random_gen.default_profile with
+      Workload.Random_gen.payload_bytes = (2_000, 6_000);
+      deadline_factor = (1.5, 2.2);
+      jitter = (0, 50_000);
+    }
+
+  let mesh_scenario_and_domain =
+    lazy
+      (let built =
+         Gmf_topogen.Builders.build ~rate_bps:100_000_000
+           ~prop:Gmf_topogen.Gen_spec.default.Gmf_topogen.Gen_spec.prop
+           ~hosts_per_switch:4
+           (Gmf_topogen.Gen_spec.Mesh
+              { rows = mesh_rows; cols = mesh_cols; planes = 1 })
+       in
+       let topo = built.Gmf_topogen.Builders.topo in
+       let hosts_of = Hashtbl.create 64 in
+       Array.iteri
+         (fun i h ->
+           let c = built.Gmf_topogen.Builders.host_region.(i) in
+           Hashtbl.replace hosts_of c
+             (h :: (Option.value ~default:[] (Hashtbl.find_opt hosts_of c))))
+         built.Gmf_topogen.Builders.hosts;
+       let switch_of h = List.hd (Network.Topology.out_neighbors topo h) in
+       let rng = Gmf_util.Rng.create ~seed:42 in
+       let pairs = ref [] and domain = ref [] in
+       (* Tiles pair horizontally adjacent cells (r, 2t)-(r, 2t+1). *)
+       for r = 0 to mesh_rows - 1 do
+         for t = 0 to (mesh_cols / 2) - 1 do
+           let ca = (r * mesh_cols) + (2 * t)
+           and cb = (r * mesh_cols) + (2 * t) + 1 in
+           match (Hashtbl.find_opt hosts_of ca, Hashtbl.find_opt hosts_of cb)
+           with
+           | Some (a0 :: a1 :: a2 :: a3 :: _), Some (b0 :: b1 :: b2 :: b3 :: _)
+             ->
+               pairs :=
+                 (b0, a3) :: (a2, b3) :: (b2, a2) :: (a1, b1) :: (b1, a0)
+                 :: (a0, b0) :: !pairs;
+               let sa = switch_of a0 and sb = switch_of b0 in
+               domain :=
+                 Gmf_faults.Survive.Link (min sa sb, max sa sb) :: !domain
+           | _ -> failwith "survive bench: mesh tile missing hosts"
+         done
+       done;
+       let flows =
+         Workload.Random_gen.flows_between rng ~profile:mesh_profile ~topo
+           ~pairs:(List.rev !pairs) ()
+       in
+       (Traffic.Scenario.make ~topo ~flows (), List.rev !domain))
+
+  let mesh_domain domain n =
+    let rec take k = function
+      | x :: tl when k > 0 -> x :: take (k - 1) tl
+      | _ -> []
+    in
+    take n domain
+
+  (* Engine equivalence is part of the bench contract: render the
+     observable part of both reports (fates, matrix, shed set — not the
+     engine-dependent rounds or delta stats) and require byte equality. *)
+  let sweep_signature scenario (r : Gmf_faults.Survive.report) =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (c : Gmf_faults.Survive.case_result) ->
+        List.iter
+          (fun comp ->
+            Buffer.add_string buf
+              (Gmf_faults.Survive.component_name scenario comp);
+            Buffer.add_char buf '+')
+          c.Gmf_faults.Survive.case;
+        Buffer.add_char buf '|';
+        List.iter
+          (fun ((f : Traffic.Flow.t), fate) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d=%s;" f.Traffic.Flow.id
+                 (match fate with
+                 | Gmf_faults.Survive.Unaffected -> "u"
+                 | Gmf_faults.Survive.Rerouted _ -> "r"
+                 | Gmf_faults.Survive.Shed -> "s")))
+          c.Gmf_faults.Survive.fates;
+        Buffer.add_char buf '\n')
+      r.Gmf_faults.Survive.cases;
+    List.iter
+      (fun ((f : Traffic.Flow.t), v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d:%s;" f.Traffic.Flow.id
+             (match v with
+             | Gmf_faults.Survive.Survives -> "ok"
+             | Gmf_faults.Survive.Survives_with_reroute -> "rr"
+             | Gmf_faults.Survive.Must_shed -> "shed")))
+      r.Gmf_faults.Survive.matrix;
+    List.iter
+      (fun (f : Traffic.Flow.t) ->
+        Buffer.add_string buf (Printf.sprintf "!%d" f.Traffic.Flow.id))
+      r.Gmf_faults.Survive.shed_set;
+    Buffer.contents buf
+
   let json_report () =
     let time f =
       let t0 = Unix.gettimeofday () in
@@ -545,11 +663,65 @@ module Survive_bench = struct
     Buffer.add_string buf
       (Printf.sprintf
          "  \"static\": {\"scenario\": \"fig1\", \"k\": 1, \"cases\": %d, \
-          \"rounds_total\": %d, \"shed_flows\": %d, \"seconds\": %.6f}\n"
+          \"rounds_total\": %d, \"shed_flows\": %d, \"seconds\": %.6f},\n"
          (List.length static.Gmf_faults.Survive.cases)
          static_rounds
          (List.length static.Gmf_faults.Survive.shed_set)
          static_s);
+    (* k=2 delta vs cold on the mesh, same domain: the headline number
+       of the delta engine.  The memo is cleared before every timed run
+       so neither engine sees the other's cases. *)
+    let scenario, full_domain = Lazy.force mesh_scenario_and_domain in
+    let domain = mesh_domain full_domain 12 in
+    let clear_memos () =
+      Gmf_faults.Survive.clear_memo ();
+      Gmf_exec.Memo.clear Analysis.Case.shared_memo
+    in
+    clear_memos ();
+    let d2, d2_s =
+      time (fun () ->
+          Gmf_faults.Survive.run ~k:2 ~domain ~delta:true scenario)
+    in
+    clear_memos ();
+    let c2, c2_s =
+      time (fun () ->
+          Gmf_faults.Survive.run ~k:2 ~domain ~delta:false scenario)
+    in
+    if
+      not
+        (String.equal (sweep_signature scenario d2)
+           (sweep_signature scenario c2))
+    then failwith "survive bench: delta sweep diverges from the cold one";
+    clear_memos ();
+    let d3, d3_s =
+      time (fun () ->
+          Gmf_faults.Survive.run ~k:3 ~domain:(mesh_domain full_domain 8)
+            ~delta:true scenario)
+    in
+    let totals r =
+      match r.Gmf_faults.Survive.delta_totals with
+      | Some t ->
+          (t.Gmf_faults.Survive.d_closure, t.Gmf_faults.Survive.d_skipped,
+           t.Gmf_faults.Survive.d_saved)
+      | None -> (0, 0, 0)
+    in
+    let d2_closure, d2_skipped, d2_saved = totals d2 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"mesh\": {\"family\": \"mesh:%dx%d\", \"flows\": %d,\n\
+         \    \"k2\": {\"cases\": %d, \"delta_seconds\": %.6f, \
+          \"cold_seconds\": %.6f, \"speedup\": %.2f,\n\
+         \      \"closure_flows\": %d, \"skipped_flows\": %d, \
+          \"rounds_saved\": %d},\n\
+         \    \"k3\": {\"cases\": %d, \"delta_seconds\": %.6f}}\n"
+         mesh_rows mesh_cols
+         (List.length (Traffic.Scenario.flows scenario))
+         (List.length d2.Gmf_faults.Survive.cases)
+         d2_s c2_s
+         (c2_s /. Float.max 1e-9 d2_s)
+         d2_closure d2_skipped d2_saved
+         (List.length d3.Gmf_faults.Survive.cases)
+         d3_s);
     Buffer.add_string buf "}\n";
     let path = "BENCH_survive.json" in
     Out_channel.with_open_text path (fun oc ->

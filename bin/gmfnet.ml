@@ -1075,6 +1075,41 @@ let profile_cmd =
                 (List.length (Gmf_lint.Lint.errors lint))
                 (List.length (Gmf_lint.Lint.warnings lint))
                 (List.length (Gmf_lint.Lint.hints lint)));
+           (* Delta probe: re-analyze the scenario minus its last flow
+              against the full fixpoint, so the delta.* counters (closure
+              size, flows skipped, rounds saved) appear in the tables and
+              the probe's own numbers print as kv lines. *)
+           (match List.rev (Traffic.Scenario.flows scenario) with
+           | [] -> ()
+           | last :: _ ->
+               let dbase = Analysis.Delta.compute_base ~config scenario in
+               let switches =
+                 List.map
+                   (fun n -> (n, Traffic.Scenario.switch_model scenario n))
+                   (Traffic.Scenario.switch_nodes scenario)
+               in
+               let edited =
+                 Traffic.Scenario.make ~switches
+                   ~topo:(Traffic.Scenario.topo scenario)
+                   ~flows:
+                     (List.filter
+                        (fun (f : Traffic.Flow.t) ->
+                          f.Traffic.Flow.id <> last.Traffic.Flow.id)
+                        (Traffic.Scenario.flows scenario))
+                   ()
+               in
+               let d = Analysis.Delta.analyze dbase edited in
+               let s = d.Analysis.Delta.d_stats in
+               kv "delta probe"
+                 (Printf.sprintf "remove %s" last.Traffic.Flow.name);
+               kv "delta closure"
+                 (Printf.sprintf "%d/%d flow(s)"
+                    s.Analysis.Delta.closure_flows
+                    s.Analysis.Delta.total_flows);
+               kv "delta skipped"
+                 (string_of_int s.Analysis.Delta.skipped_flows);
+               kv "delta rounds saved"
+                 (string_of_int s.Analysis.Delta.rounds_saved));
            let snap = Gmf_obs.Metrics.snapshot reg in
            let tables = Gmf_obs.Export.metrics_tables snap in
            if tables <> "" then Printf.printf "\n%s\n" tables;
@@ -1134,13 +1169,21 @@ let survive_cmd =
     let doc = "Alternate routes to consider per affected flow." in
     Arg.(value & opt int 4 & info [ "max-routes" ] ~docv:"N" ~doc)
   in
-  let run name file rate config k json max_routes jobs metrics trace_out =
+  let cold_arg =
+    let doc =
+      "Force the cold per-case engine instead of the incremental delta \
+       engine (identical fates and matrix; per-case rounds differ)."
+    in
+    Arg.(value & flag & info [ "cold" ] ~doc)
+  in
+  let run name file rate config k json max_routes cold jobs metrics trace_out
+      =
     exit_of_result
       (Result.bind (build_scenario ?file name rate) (fun scenario ->
            with_obs ?metrics ?trace_out (fun () ->
                let report =
                  Gmf_faults.Survive.run ~exec:(exec_of_jobs jobs) ~config ~k
-                   ~max_routes scenario
+                   ~max_routes ~delta:(not cold) scenario
                in
                if json then
                  print_string (Gmf_faults.Survive.to_json scenario report)
@@ -1155,7 +1198,8 @@ let survive_cmd =
          "Enumerate every failure of at most K links or switches, reroute           the affected flows around each failure and re-run the holistic           analysis, reporting which flows survive, survive only via a           reroute, or must be shed.")
     Term.(
       const run $ scenario_arg $ file_arg $ rate_arg $ variant_arg $ k_arg
-      $ json_arg $ max_routes_arg $ jobs_arg $ metrics_arg $ trace_out_arg)
+      $ json_arg $ max_routes_arg $ cold_arg $ jobs_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* assign                                                             *)

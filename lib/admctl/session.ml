@@ -212,61 +212,11 @@ let insert_sorted flows flow =
 
 let find_flow t id = List.find_opt (fun f -> f.Traffic.Flow.id = id) t.flows
 
-(* ------------------------------------------------------------------ *)
-(* Interference closure                                               *)
-(* ------------------------------------------------------------------ *)
-
-(* Over-approximation of "can interfere": two flows whose routes share a
-   node meet in some stage analysis (same first/egress link, or the same
-   switch CPU at ingress).  Flows outside the transitive closure of the
-   departed flow keep a fixpoint that is provably unchanged, so their
-   converged jitters stay valid as a warm start. *)
-
-(* Ids of [flows] transitively reachable from any of [seeds] by node
-   sharing; always contains the seeds' ids.  BFS over a node -> flows
-   index: every route node is expanded at most once, so the closure costs
-   O(total route length) instead of rescanning the flow set per round. *)
-let interference_closure ~seeds flows =
-  let by_node = Hashtbl.create 64 in
-  List.iter
-    (fun (f : Traffic.Flow.t) ->
-      List.iter
-        (fun n ->
-          let prev =
-            match Hashtbl.find_opt by_node n with Some l -> l | None -> []
-          in
-          Hashtbl.replace by_node n (f :: prev))
-        (Network.Route.nodes f.Traffic.Flow.route))
-    flows;
-  let closure = Hashtbl.create 16 in
-  let visited_node = Hashtbl.create 64 in
-  let frontier = ref seeds in
-  List.iter
-    (fun (s : Traffic.Flow.t) -> Hashtbl.replace closure s.Traffic.Flow.id ())
-    seeds;
-  while !frontier <> [] do
-    let grown = ref [] in
-    List.iter
-      (fun (f : Traffic.Flow.t) ->
-        List.iter
-          (fun n ->
-            if not (Hashtbl.mem visited_node n) then begin
-              Hashtbl.replace visited_node n ();
-              List.iter
-                (fun (g : Traffic.Flow.t) ->
-                  if not (Hashtbl.mem closure g.Traffic.Flow.id) then begin
-                    Hashtbl.replace closure g.Traffic.Flow.id ();
-                    grown := g :: !grown
-                  end)
-                (match Hashtbl.find_opt by_node n with
-                | Some l -> l
-                | None -> [])
-            end)
-          (Network.Route.nodes f.Traffic.Flow.route))
-      !frontier;
-    frontier := !grown
-  done;
-  closure
+(* The interference-closure BFS that used to live here moved to
+   {!Analysis.Delta.interference_closure}: remove/update/fail events now
+   hand the whole edit to the delta engine, which diffs the flow sets,
+   closes the edit under node sharing and re-runs the fixpoint only over
+   the closure (see [run_fixpoint_delta] below). *)
 
 (* ------------------------------------------------------------------ *)
 (* Report comparison (shadow mode)                                    *)
@@ -388,6 +338,24 @@ let routed_over_failure t (flow : Traffic.Flow.t) =
    the bookkeeping of how it started, and (explain sessions only) the
    worst-frame attribution summary — computed here because the live
    context still holds the converged jitters the report was built on. *)
+(* Shadow mode: re-run the scenario cold through the monolithic analysis
+   and compare.  The oracle both the warm chain and the delta engine are
+   judged against — [--verify] asserts [equivalent] on every event. *)
+let shadow_check t scenario report =
+  if not t.shadow then None
+  else
+    let cold = Analysis.Holistic.analyze ~config:t.config scenario in
+    let saved =
+      max 0 (cold.Analysis.Holistic.rounds - report.Analysis.Holistic.rounds)
+    in
+    t.s_saved <- t.s_saved + saved;
+    Gmf_obs.Metrics.incr ~by:saved m_rounds_saved;
+    Some
+      {
+        cold_rounds = cold.Analysis.Holistic.rounds;
+        equivalent = reports_equivalent report cold;
+      }
+
 let run_fixpoint t scenario ~init =
   let init = if t.warm && t.converged then init else None in
   let ctx = Analysis.Ctx.create ~config:t.config scenario in
@@ -403,21 +371,7 @@ let run_fixpoint t scenario ~init =
         (Cold, Analysis.Holistic.run ctx)
   in
   t.s_rounds <- t.s_rounds + report.Analysis.Holistic.rounds;
-  let shadow =
-    if not t.shadow then None
-    else
-      let cold = Analysis.Holistic.analyze ~config:t.config scenario in
-      let saved =
-        max 0 (cold.Analysis.Holistic.rounds - report.Analysis.Holistic.rounds)
-      in
-      t.s_saved <- t.s_saved + saved;
-      Gmf_obs.Metrics.incr ~by:saved m_rounds_saved;
-      Some
-        {
-          cold_rounds = cold.Analysis.Holistic.rounds;
-          equivalent = reports_equivalent report cold;
-        }
-  in
+  let shadow = shadow_check t scenario report in
   let explain =
     if not t.explain then None
     else
@@ -425,6 +379,64 @@ let run_fixpoint t scenario ~init =
         (Gmf_explain.Attribution.of_ctx ctx report)
   in
   (report, Analysis.Ctx.snapshot ctx, start, shadow, explain)
+
+(* Delta twin of [run_fixpoint], for events that edit the committed flow
+   set (remove, update, the fail loop's degraded sets): the committed
+   scenario + state + report become an {!Analysis.Delta} base and only
+   the edit's interference closure is re-analyzed; every other flow
+   carries its committed bounds over.  Counted as a warm start exactly
+   when committed state was reused — some flow was certified untouched,
+   or a pure-growth closure was warm-seeded; an edit whose closure
+   swallows the whole set restarts from source jitters and counts cold,
+   as does an engine fallback.  A session that
+   disallows warm starts, or whose committed report never converged,
+   runs the plain cold fixpoint instead.  The committed scenario always
+   lints clean when [t.converged] (every converging path ran the lint
+   gate, and removals only relax link loads), so the delta lint-on-
+   closure rule would be sound here too; events do their own linting,
+   so the engine's gate stays off. *)
+let run_fixpoint_delta t scenario =
+  if not (t.warm && t.converged) then run_fixpoint t scenario ~init:None
+  else begin
+    let base =
+      Analysis.Delta.make_base ~lint_clean:true ~config:t.config
+        ~scenario:(scenario_of t t.flows) ~state:t.state ~report:t.report ()
+    in
+    let d = Analysis.Delta.analyze base scenario in
+    let report = d.Analysis.Delta.d_report in
+    let s = d.Analysis.Delta.d_stats in
+    let reused =
+      (not s.Analysis.Delta.cold_fallback)
+      && (s.Analysis.Delta.skipped_flows > 0 || s.Analysis.Delta.warm_seeded)
+    in
+    let start =
+      if reused then begin
+        t.s_warm <- t.s_warm + 1;
+        Gmf_obs.Metrics.incr m_warm_hits;
+        Warm
+      end
+      else begin
+        t.s_cold <- t.s_cold + 1;
+        Gmf_obs.Metrics.incr m_cold_resets;
+        Cold
+      end
+    in
+    t.s_rounds <- t.s_rounds + report.Analysis.Holistic.rounds;
+    let shadow = shadow_check t scenario report in
+    let explain =
+      if not t.explain then None
+      else begin
+        (* The delta run's context only covers the closure; rebuild one
+           over the full target and restore the merged jitters so the
+           attribution sees every flow's converged state. *)
+        let ctx = Analysis.Ctx.create ~config:t.config scenario in
+        Analysis.Ctx.restore ctx d.Analysis.Delta.d_state;
+        Gmf_explain.Attribution.summarize
+          (Gmf_explain.Attribution.of_ctx ctx report)
+      end
+    in
+    (report, d.Analysis.Delta.d_state, start, shadow, explain)
+  end
 
 let commit t ~flows ~state ~report =
   t.flows <- flows;
@@ -444,13 +456,14 @@ let survive_gate t (flow : Traffic.Flow.t) =
           Gmf_faults.Survive.admission_gate ?exec:t.exec ~config:t.config ~k
             ~candidate:flow scenario)
 
-(* Admit and update share the accept-or-rollback shape; [init] is the
-   warm-start state appropriate to the event, [commit_on_reject] is true
-   for removals only (handled separately).  [gate] (survivability) runs
-   on the tentative scenario after the fixpoint accepts and before the
+(* Admit and update share the accept-or-rollback shape; [run] is the
+   fixpoint engine appropriate to the event (monolithic warm chain for
+   admissions, delta for updates), [commit_on_reject] is true for
+   removals only (handled separately).  [gate] (survivability) runs on
+   the tentative scenario after the fixpoint accepts and before the
    commit: a non-empty diagnostic list rejects, leaving the session
    untouched. *)
-let try_set ?gate t ~label ~flows ~init =
+let try_set ?gate t ~label ~flows ~run =
   let scenario = scenario_of t flows in
   let lint = Gmf_lint.Lint.run ~config:t.config scenario in
   match Gmf_lint.Lint.errors lint with
@@ -480,9 +493,7 @@ let try_set ?gate t ~label ~flows ~init =
             ~shadow:None ()
       | [] -> (
           let diagnostics = lint.Gmf_lint.Lint.diagnostics @ pre_diags in
-          let report, state, start, shadow, explain =
-            run_fixpoint t scenario ~init
-          in
+          let report, state, start, shadow, explain = run scenario in
           let accepted = Analysis.Holistic.is_schedulable report in
           let gate_diags =
             match gate with Some g when accepted -> g scenario | _ -> []
@@ -511,7 +522,8 @@ let apply_admit t flow =
   | None ->
       try_set t ?gate:(survive_gate t flow) ~label
         ~flows:(insert_sorted t.flows flow)
-        ~init:(Some t.state)
+        ~run:(fun scenario ->
+          run_fixpoint t scenario ~init:(Some t.state))
 
 let apply_remove t id =
   match find_flow t id with
@@ -524,16 +536,9 @@ let apply_remove t id =
       let remaining =
         List.filter (fun f -> f.Traffic.Flow.id <> id) t.flows
       in
-      let closure = interference_closure ~seeds:[ victim ] remaining in
-      let keep fid = not (Hashtbl.mem closure fid) in
-      let init =
-        if List.exists (fun f -> keep f.Traffic.Flow.id) remaining then
-          Some (Analysis.Jitter_state.filter_flows t.state ~keep)
-        else None
-      in
       let scenario = scenario_of t remaining in
       let report, state, start, shadow, explain =
-        run_fixpoint t scenario ~init
+        run_fixpoint_delta t scenario
       in
       (* The departure happens regardless of the refreshed verdict. *)
       commit t ~flows:remaining ~state ~report;
@@ -549,23 +554,17 @@ let apply_update t flow =
       reject_diag t ~label (unknown_diag ~what:"update" flow.Traffic.Flow.id)
   | Some _ when routed_over_failure t flow ->
       reject_diag t ~label (failed_route_diag t flow)
-  | Some old ->
+  | Some _ ->
       let rest =
         List.filter
           (fun f -> f.Traffic.Flow.id <> flow.Traffic.Flow.id)
           t.flows
       in
-      (* Invalidate everything the old parameters may have inflated; the
-         replacement flow starts from source jitters either way. *)
-      let closure = interference_closure ~seeds:[ old ] rest in
-      let keep fid = not (Hashtbl.mem closure fid) in
-      let init =
-        if List.exists (fun f -> keep f.Traffic.Flow.id) rest then
-          Some (Analysis.Jitter_state.filter_flows t.state ~keep)
-        else None
-      in
+      (* The delta engine diffs old vs new parameters itself, closes the
+         edit under interference and restarts only the closure from
+         source jitters (a parameter change is never a pure growth). *)
       try_set t ?gate:(survive_gate t flow) ~label
-        ~flows:(insert_sorted rest flow) ~init
+        ~flows:(insert_sorted rest flow) ~run:(run_fixpoint_delta t)
 
 let link_subject a b = Gmf_diag.Link { src = a; dst = b }
 
@@ -574,11 +573,11 @@ let link_subject a b = Gmf_diag.Link { src = a; dst = b }
    are rerouted around every currently-failed link when an alternate
    route exists, shed outright when none does, and then shed greedily
    ({!Gmf_faults.Survive.shed_order}) until the degraded set is
-   schedulable again.  Warm start: only flows outside the interference
-   closure of the affected set keep their converged jitters — their old
-   routes never met the affected flows, so added interference from the
-   reroutes can only grow their fixpoint, keeping the monotone-squeeze
-   argument intact. *)
+   schedulable again.  Every settle attempt runs through the delta
+   engine against the committed pre-failure fixpoint: flows outside the
+   interference closure of the affected set keep their converged bounds
+   outright (their routes never met the affected flows), and only the
+   closure is re-analyzed. *)
 let apply_fail t a b =
   let label = "fail link " ^ link_label t a b in
   let pair = norm_pair a b in
@@ -640,15 +639,12 @@ let apply_fail t a b =
           (fun (f, s) -> if s = None then Some f else None)
           placed
       in
-      let closure = interference_closure ~seeds:affected t.flows in
-      let keep fid = not (Hashtbl.mem closure fid) in
-      let init =
-        if List.exists (fun (f : Traffic.Flow.t) -> keep f.Traffic.Flow.id) safe
-        then Some (Analysis.Jitter_state.filter_flows t.state ~keep)
-        else None
-      in
       (* Phase 2: greedy shedding among the rerouted survivors until the
-         degraded set is schedulable (or no survivor is left to shed). *)
+         degraded set is schedulable (or no survivor is left to shed).
+         Each attempt is a delta against the committed pre-failure
+         fixpoint: reroutes are changed flows, sheds are removals, so
+         only their interference closure re-runs while flows the outage
+         never touched keep their committed bounds. *)
       let rec settle pool shed rounds_acc =
         let flows = List.sort
             (fun (x : Traffic.Flow.t) (y : Traffic.Flow.t) ->
@@ -685,7 +681,7 @@ let apply_fail t a b =
               rounds_acc )
         | [], _ -> (
             let report, state, start, shadow, explain =
-              run_fixpoint t scenario ~init
+              run_fixpoint_delta t scenario
             in
             let rounds_acc =
               rounds_acc + report.Analysis.Holistic.rounds

@@ -12,12 +12,14 @@
       {!Analysis.Holistic.run_from} converges to the {e same} verdict and
       bounds as a cold {!Analysis.Holistic.analyze}, in at most as many
       rounds;
-    - {e remove}/{e update}: only flows whose routes share a node —
-      transitively — with the departed flow can see their fixed point
-      shrink.  Their entries are invalidated
-      ({!Analysis.Jitter_state.filter_flows}); the rest stay warm.  When
-      the interference closure swallows every remaining flow the session
-      falls back to a cold reset.
+    - {e remove}/{e update}/{e fail}: the edit goes through the
+      {!Analysis.Delta} engine — the committed scenario, jitter state
+      and report form the delta base, only the edit's interference
+      closure is re-analyzed, and every flow outside it carries its
+      committed bounds over unrecomputed.  An event counts [Warm] when
+      committed state was actually reused (flows certified untouched);
+      an edit whose closure swallows the whole set restarts from source
+      jitters and counts [Cold].
 
     Candidate flows are lint-gated ({!Gmf_lint}) before any fixpoint runs;
     a lint error rejects with [rounds = 0] exactly like
@@ -50,8 +52,9 @@ type event =
           currently-failed link ({!Network.Pathfind.k_shortest}), shed
           when no alternate route exists, then shed greedily in
           {!Gmf_faults.Survive.shed_order} until the degraded set is
-          schedulable.  The fixpoint warm-starts from the flows outside
-          the affected set's interference closure.  Rejects ([GMF016],
+          schedulable.  Each attempt is an {!Analysis.Delta} run against
+          the committed pre-failure fixpoint: flows outside the affected
+          set's interference closure keep their bounds.  Rejects ([GMF016],
           session untouched) an unknown or already-failed pair. *)
   | Restore_link of Network.Node.id * Network.Node.id
       (** Marks the pair up again so later events may route over it.
@@ -60,7 +63,10 @@ type event =
           back.  Rejects ([GMF016]) a pair that is not failed. *)
 
 type start_kind =
-  | Warm  (** Fixpoint seeded from the previous converged state. *)
+  | Warm
+      (** Committed state was reused: the fixpoint was seeded from the
+          previous converged state, or the delta engine certified flows
+          untouched and carried their bounds over. *)
   | Cold  (** Fixpoint from the all-zero state, as a batch run. *)
   | Skipped  (** No fixpoint ran (query, duplicate, lint rejection). *)
 

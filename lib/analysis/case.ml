@@ -59,13 +59,26 @@ let add_flow buf (f : Traffic.Flow.t) =
     (Gmf.Spec.frames f.Traffic.Flow.spec);
   Buffer.add_char buf ';'
 
+let flow_digest (f : Traffic.Flow.t) =
+  let buf = Buffer.create 128 in
+  add_flow buf f;
+  Buffer.contents buf
+
+(* The digest is cached inside the scenario value, keyed by the config's
+   canonical serialization: repeated memo probes (one per survive case,
+   per admission-gate candidate, per sensitivity probe) stop
+   re-serializing the whole scenario — hot at 1,000-flow scale. *)
 let digest ~config scenario =
-  let buf = Buffer.create 1024 in
-  add_config buf config;
-  add_topo buf (Traffic.Scenario.topo scenario);
-  add_switches buf scenario;
-  List.iter (add_flow buf) (Traffic.Scenario.flows scenario);
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+  let cfg = Buffer.create 64 in
+  add_config cfg config;
+  let cfg = Buffer.contents cfg in
+  Traffic.Scenario.cached scenario ~key:("case.digest|" ^ cfg) (fun () ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf cfg;
+      add_topo buf (Traffic.Scenario.topo scenario);
+      add_switches buf scenario;
+      List.iter (add_flow buf) (Traffic.Scenario.flows scenario);
+      Digest.to_hex (Digest.string (Buffer.contents buf)))
 
 let shared_memo : Holistic.report Gmf_exec.Memo.t = Gmf_exec.Memo.create ()
 

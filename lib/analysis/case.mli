@@ -20,7 +20,15 @@ val digest : config:Config.t -> Traffic.Scenario.t -> string
     nodes and links with rates and propagation delays —, switch models,
     and every flow's id, name, encapsulation, priority, route, remarks
     and frame specs).  Two scenarios with equal digests are analyzed
-    identically. *)
+    identically.  Cached per (scenario value, config) via
+    {!Traffic.Scenario.cached}: the serialization runs once, later memo
+    probes are a table lookup. *)
+
+val flow_digest : Traffic.Flow.t -> string
+(** The canonical per-flow fragment of {!digest} (id, name,
+    encapsulation, priority, route, remarks, frame specs).  Two flows
+    with equal fragments are interchangeable for the analysis; {!Delta}
+    diffs flow sets with it. *)
 
 val shared_memo : Holistic.report Gmf_exec.Memo.t
 (** The process-wide report cache every entry point below shares. *)

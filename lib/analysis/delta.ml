@@ -1,0 +1,407 @@
+(* Incremental re-analysis against a converged base fixpoint: diff the
+   flow sets, close the edit under interference (routes sharing a node),
+   fixpoint only the closure, carry everything else over.  See delta.mli
+   for the soundness argument; docs/DELTA.md spells it out in full. *)
+
+type base = {
+  b_config : Config.t;
+  b_scenario : Traffic.Scenario.t;
+  b_state : Jitter_state.t;
+  b_report : Holistic.report;
+  b_ok : bool;
+  b_lint_clean : bool;
+}
+
+type stats = {
+  total_flows : int;
+  closure_flows : int;
+  skipped_flows : int;
+  rounds : int;
+  rounds_saved : int;
+  cold_fallback : bool;
+  warm_seeded : bool;
+}
+
+type result = {
+  d_report : Holistic.report;
+  d_state : Jitter_state.t;
+  d_untouched : Traffic.Flow.id list;
+  d_stats : stats;
+}
+
+let m_runs = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "delta.runs"
+
+let m_closure =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "delta.closure_flows"
+
+let m_skipped =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "delta.flows_skipped"
+
+let m_saved =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "delta.rounds_saved"
+
+let m_fallbacks =
+  Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "delta.cold_fallbacks"
+
+let converged_verdict = function
+  | Holistic.Schedulable | Holistic.Deadline_miss _ -> true
+  | Holistic.Analysis_failed _ | Holistic.No_fixed_point _ -> false
+
+let make_base ?(lint_clean = true) ~config ~scenario ~state ~report () =
+  {
+    b_config = config;
+    b_scenario = scenario;
+    b_state = state;
+    b_report = report;
+    b_ok = converged_verdict report.Holistic.verdict;
+    b_lint_clean = lint_clean;
+  }
+
+let compute_base ?(config = Config.default) scenario =
+  let ctx = Ctx.create ~config scenario in
+  let report = Holistic.run ctx in
+  let lint_clean =
+    Gmf_lint.Lint.errors (Gmf_lint.Lint.run ~config scenario) = []
+  in
+  {
+    b_config = config;
+    b_scenario = scenario;
+    b_state = Ctx.snapshot ctx;
+    b_report = report;
+    b_ok = converged_verdict report.Holistic.verdict;
+    b_lint_clean = lint_clean;
+  }
+
+let base_report b = b.b_report
+let base_state b = b.b_state
+let base_ok b = b.b_ok
+let base_digest b = Case.digest ~config:b.b_config b.b_scenario
+
+(* ------------------------------------------------------------------ *)
+(* Structure comparison and flow diff                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The comparison only holds when everything outside the flow sets is
+   identical: topology (nodes and links), config (shared by
+   construction) and the models of every switch both scenarios know.  A
+   switch only one side models serves only routes of added/removed/
+   changed flows — those are closure seeds anyway. *)
+let same_structure b target =
+  let bt = Traffic.Scenario.topo b.b_scenario
+  and tt = Traffic.Scenario.topo target in
+  (bt == tt
+  || Network.Topology.nodes bt = Network.Topology.nodes tt
+     && Network.Topology.links bt = Network.Topology.links tt)
+  && List.for_all
+       (fun n ->
+         match Traffic.Scenario.switch_model b.b_scenario n with
+         | bm -> bm = Traffic.Scenario.switch_model target n
+         | exception Invalid_argument _ -> true)
+       (List.filter
+          (fun n -> List.mem n (Traffic.Scenario.switch_nodes b.b_scenario))
+          (Traffic.Scenario.switch_nodes target))
+
+(* Added/removed/changed (old, new) between the base and target flow
+   sets, by id.  Physical equality short-circuits the canonical
+   serialization — the common case, since drivers reuse the unchanged
+   flow records. *)
+let diff_flows base_flows target_flows =
+  let btbl = Hashtbl.create 64 and ttbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Traffic.Flow.t) -> Hashtbl.replace btbl f.Traffic.Flow.id f)
+    base_flows;
+  List.iter
+    (fun (f : Traffic.Flow.t) -> Hashtbl.replace ttbl f.Traffic.Flow.id f)
+    target_flows;
+  let added =
+    List.filter
+      (fun (f : Traffic.Flow.t) -> not (Hashtbl.mem btbl f.Traffic.Flow.id))
+      target_flows
+  in
+  let removed =
+    List.filter
+      (fun (f : Traffic.Flow.t) -> not (Hashtbl.mem ttbl f.Traffic.Flow.id))
+      base_flows
+  in
+  let changed =
+    List.filter_map
+      (fun (nw : Traffic.Flow.t) ->
+        match Hashtbl.find_opt btbl nw.Traffic.Flow.id with
+        | Some old when old != nw && Case.flow_digest old <> Case.flow_digest nw
+          ->
+            Some (old, nw)
+        | _ -> None)
+      target_flows
+  in
+  (added, removed, changed)
+
+(* ------------------------------------------------------------------ *)
+(* Interference closure (node-sharing BFS)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Ids of [flows] transitively reachable from any of [seeds] by node
+   sharing; always contains the seeds' ids.  BFS over a node -> flows
+   index: every route node is expanded at most once, so the closure
+   costs O(total route length).  Formerly lived in Gmf_admctl.Session;
+   shared here by every delta caller. *)
+let interference_closure ~seeds flows =
+  let by_node = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Traffic.Flow.t) ->
+      List.iter
+        (fun n ->
+          let prev =
+            match Hashtbl.find_opt by_node n with Some l -> l | None -> []
+          in
+          Hashtbl.replace by_node n (f :: prev))
+        (Network.Route.nodes f.Traffic.Flow.route))
+    flows;
+  let closure = Hashtbl.create 16 in
+  let visited_node = Hashtbl.create 64 in
+  let frontier = ref seeds in
+  List.iter
+    (fun (s : Traffic.Flow.t) -> Hashtbl.replace closure s.Traffic.Flow.id ())
+    seeds;
+  while !frontier <> [] do
+    let grown = ref [] in
+    List.iter
+      (fun (f : Traffic.Flow.t) ->
+        List.iter
+          (fun n ->
+            if not (Hashtbl.mem visited_node n) then begin
+              Hashtbl.replace visited_node n ();
+              List.iter
+                (fun (g : Traffic.Flow.t) ->
+                  if not (Hashtbl.mem closure g.Traffic.Flow.id) then begin
+                    Hashtbl.replace closure g.Traffic.Flow.id ();
+                    grown := g :: !grown
+                  end)
+                (match Hashtbl.find_opt by_node n with
+                | Some l -> l
+                | None -> [])
+            end)
+          (Network.Route.nodes f.Traffic.Flow.route))
+      !frontier;
+    frontier := !grown
+  done;
+  closure
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lint_reject ~config scenario =
+  match Gmf_lint.Lint.errors (Gmf_lint.Lint.run ~config scenario) with
+  | [] -> None
+  | errors ->
+      Some
+        {
+          Holistic.verdict =
+            Holistic.Analysis_failed
+              (List.map Admission.failure_of_diag errors);
+          rounds = 0;
+          results = [];
+        }
+
+let mk_stats ~total ~closure ~rounds ~saved ~fallback ~warm =
+  if Gmf_obs.Metrics.enabled Gmf_obs.Metrics.default then begin
+    Gmf_obs.Metrics.incr ~by:closure m_closure;
+    Gmf_obs.Metrics.incr ~by:(total - closure) m_skipped;
+    Gmf_obs.Metrics.incr ~by:saved m_saved;
+    if fallback then Gmf_obs.Metrics.incr m_fallbacks
+  end;
+  {
+    total_flows = total;
+    closure_flows = closure;
+    skipped_flows = total - closure;
+    rounds;
+    rounds_saved = saved;
+    cold_fallback = fallback;
+    warm_seeded = warm;
+  }
+
+(* Comparison ruled out: analyze the target cold (optionally through the
+   full-scenario lint gate), certify nothing. *)
+let cold_fallback ~lint ~config target ~total =
+  match if lint then lint_reject ~config target else None with
+  | Some report ->
+      {
+        d_report = report;
+        d_state = Jitter_state.create ();
+        d_untouched = [];
+        d_stats =
+          mk_stats ~total ~closure:total ~rounds:0 ~saved:0 ~fallback:true
+            ~warm:false;
+      }
+  | None ->
+      let ctx = Ctx.create ~config target in
+      let report = Holistic.run ctx in
+      {
+        d_report = report;
+        d_state = Ctx.snapshot ctx;
+        d_untouched = [];
+        d_stats =
+          mk_stats ~total ~closure:total ~rounds:report.Holistic.rounds
+            ~saved:0 ~fallback:true ~warm:false;
+      }
+
+let analyze ?(lint = false) ?(precheck = false) base target =
+  Gmf_obs.Metrics.incr m_runs;
+  let config = base.b_config in
+  let target_flows = Traffic.Scenario.flows target in
+  let total = List.length target_flows in
+  if not (base.b_ok && same_structure base target) then
+    cold_fallback ~lint ~config target ~total
+  else begin
+    let base_flows = Traffic.Scenario.flows base.b_scenario in
+    let added, removed, changed = diff_flows base_flows target_flows in
+    if added = [] && removed = [] && changed = [] then
+      (* Identity edit: the base fixpoint is the answer. *)
+      {
+        d_report = base.b_report;
+        d_state = Jitter_state.copy base.b_state;
+        d_untouched =
+          List.map (fun (f : Traffic.Flow.t) -> f.Traffic.Flow.id)
+            target_flows;
+        d_stats =
+          mk_stats ~total ~closure:0 ~rounds:0
+            ~saved:base.b_report.Holistic.rounds ~fallback:false ~warm:false;
+      }
+    else begin
+      (* Both versions of every changed flow seed the closure, over the
+         union of the two flow sets: a removed flow may be the only
+         bridge between two target components, and the closure must
+         still join them. *)
+      let seeds =
+        removed @ List.map fst changed @ List.map snd changed @ added
+      in
+      let union_flows = base_flows @ List.map snd changed @ added in
+      let closure = interference_closure ~seeds union_flows in
+      let in_closure (f : Traffic.Flow.t) =
+        Hashtbl.mem closure f.Traffic.Flow.id
+      in
+      let closure_ids =
+        List.filter_map
+          (fun (f : Traffic.Flow.t) ->
+            if in_closure f then Some f.Traffic.Flow.id else None)
+          target_flows
+      in
+      let untouched =
+        List.filter (fun f -> not (in_closure f)) target_flows
+      in
+      let untouched_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (f : Traffic.Flow.t) ->
+          Hashtbl.replace untouched_tbl f.Traffic.Flow.id ())
+        untouched;
+      let sub = Sharded.sub_scenario target closure_ids in
+      (* Sound because the closure is a union of complete target
+         components: a lint error of the degraded scenario involves a
+         changed component (the base lints clean), and changed
+         components are wholly inside the restriction. *)
+      let lint_gate =
+        if not lint then None
+        else if base.b_lint_clean then lint_reject ~config sub
+        else lint_reject ~config target
+      in
+      match lint_gate with
+      | Some report ->
+          {
+            d_report = report;
+            d_state = Jitter_state.create ();
+            d_untouched = [];
+            d_stats =
+              mk_stats ~total
+                ~closure:(List.length closure_ids)
+                ~rounds:0 ~saved:0 ~fallback:false ~warm:false;
+          }
+      | None ->
+          let pure_growth = removed = [] && changed = [] in
+          let sub_report, sub_state =
+            if pure_growth then begin
+              (* From below: the base fixed point restricted to the
+                 closure sits under the new least fixed point (added
+                 flows only add interference), so the monotone squeeze
+                 converges to the same fixpoint in fewer rounds. *)
+              let ctx = Ctx.create ~config sub in
+              let r =
+                Holistic.run_from ctx
+                  ~init:
+                    (Jitter_state.filter_flows base.b_state
+                       ~keep:(Hashtbl.mem closure))
+              in
+              (r, Ctx.snapshot ctx)
+            end
+            else if precheck then
+              (* Shrinking or mixed edit under [~precheck:true]: restart
+                 the closure cold through the precheck-guided sharded
+                 engine — the same path a cold {!Sharded.analyze} of the
+                 full target takes, restricted to the closure.  Flows
+                 precheck decides statically never burn fixpoint rounds,
+                 but their synthetic results carry certified ceilings
+                 rather than converged bounds, so no jitter state comes
+                 back: [d_state] keeps only the untouched flows' base
+                 entries (a sound — if partial — warm seed, since absent
+                 entries restart from source jitters). *)
+              let r, _precheck, _stats = Sharded.analyze ~config sub in
+              (r, Jitter_state.create ())
+            else begin
+              (* Shrinking or mixed edit: iterating down from a stale
+                 state may stop above the least fixed point, so the
+                 closure restarts from source jitters. *)
+              let ctx = Ctx.create ~config sub in
+              let r = Holistic.run ctx in
+              (r, Ctx.snapshot ctx)
+            end
+          in
+          (* Merge: untouched flows keep their base result records
+             (physically — the certificate the tests check), closure
+             flows take the re-converged ones; scenario flow order. *)
+          let by_id = Hashtbl.create 64 in
+          List.iter
+            (fun (r : Result_types.flow_result) ->
+              let id = r.Result_types.flow.Traffic.Flow.id in
+              if Hashtbl.mem untouched_tbl id then Hashtbl.replace by_id id r)
+            base.b_report.Holistic.results;
+          List.iter
+            (fun (r : Result_types.flow_result) ->
+              Hashtbl.replace by_id r.Result_types.flow.Traffic.Flow.id r)
+            sub_report.Holistic.results;
+          let results =
+            List.filter_map
+              (fun (f : Traffic.Flow.t) ->
+                Hashtbl.find_opt by_id f.Traffic.Flow.id)
+              target_flows
+          in
+          let verdict =
+            match sub_report.Holistic.verdict with
+            | Holistic.Analysis_failed _ | Holistic.No_fixed_point _ ->
+                sub_report.Holistic.verdict
+            | Holistic.Schedulable | Holistic.Deadline_miss _ -> (
+                match Holistic.deadline_misses results with
+                | [] -> Holistic.Schedulable
+                | misses -> Holistic.Deadline_miss misses)
+          in
+          let rounds = sub_report.Holistic.rounds in
+          let d_state =
+            Jitter_state.union
+              (Jitter_state.filter_flows base.b_state
+                 ~keep:(Hashtbl.mem untouched_tbl))
+              sub_state
+          in
+          {
+            d_report = { Holistic.verdict; rounds; results };
+            d_state;
+            d_untouched =
+              List.map
+                (fun (f : Traffic.Flow.t) -> f.Traffic.Flow.id)
+                untouched;
+            d_stats =
+              mk_stats ~total
+                ~closure:(List.length closure_ids)
+                ~rounds
+                ~saved:(max 0 (base.b_report.Holistic.rounds - rounds))
+                ~fallback:false ~warm:pure_growth;
+          }
+    end
+  end

@@ -1,0 +1,146 @@
+(** Incremental ("delta") re-analysis against a converged base fixpoint.
+
+    Every what-if driver in the system — the k-failure survivability
+    sweep, the admission session's remove/update/fail events, the daemon
+    workers behind them — evaluates scenarios that differ from an
+    already-analyzed base by a handful of flows (a reroute, a shed, an
+    update).  This module re-runs the holistic fixpoint only over the
+    edit's {e interference closure} and certifies every other flow as
+    provably untouched:
+
+    + {b Diff.}  Base and target flow sets are diffed by id; a flow
+      counts as changed when its canonical serialization
+      ({!Case.flow_digest}) differs (physical equality short-circuits).
+      A target whose topology, switch models or convergence status rule
+      the comparison out falls back to a cold run
+      ([stats.cold_fallback]).
+    + {b Closure.}  Two flows interfere only where their routes share a
+      node (exactly an {!Gmf_precheck.Igraph} edge), so the edit's blast
+      radius is the node-sharing transitive closure of the changed flows
+      — computed by a node-indexed BFS over the {e union} of base and
+      target flow sets (both versions of every changed flow seed it).
+      The target flows inside the closure form a union of complete
+      interference components of the target.
+    + {b Fixpoint.}  Only the closure is re-analyzed, as a
+      {!Sharded.sub_scenario} restriction.  A pure-growth edit (flows
+      added, none removed or changed) warm-starts from the base jitter
+      entries of the closure flows: the base fixed point sits below the
+      new one, so the monotone squeeze of {!Holistic.run_from} converges
+      to the same least fixed point from below.  Any shrinking or mixed
+      edit restarts the closure from source jitters — iterating down
+      from a stale state is {e not} guaranteed to reach the least fixed
+      point, so soundness-ambiguous seeds are never used.
+    + {b Certificate.}  Flows outside the closure keep their base
+      results — the very same report records, never recomputed (the
+      tests check physical equality) — and are listed in
+      [d_untouched].  Their interference components are structurally
+      unchanged, so their least fixed point is unchanged.
+
+    Verdicts of a merged report are rebuilt exactly as {!Sharded} does:
+    closure-run failures and divergence win, otherwise
+    {!Holistic.deadline_misses} over the merged results decides.
+
+    Telemetry: [delta.runs], [delta.closure_flows], [delta.flows_skipped],
+    [delta.rounds_saved] (estimate: base rounds minus closure rounds) and
+    [delta.cold_fallbacks] in the default registry. *)
+
+type base
+(** A converged base fixpoint: scenario, config, jitter state, report. *)
+
+val make_base :
+  ?lint_clean:bool ->
+  config:Config.t ->
+  scenario:Traffic.Scenario.t ->
+  state:Jitter_state.t ->
+  report:Holistic.report ->
+  unit ->
+  base
+(** Wrap an already-computed fixpoint (e.g. an admission session's
+    committed state) as a delta base, at no analysis cost.  [state] must
+    be the converged jitter state of [report] on [scenario] under
+    [config]; a non-converged [report] ([Analysis_failed] /
+    [No_fixed_point]) yields a base every {!analyze} call falls back
+    cold from.  [lint_clean] (default [true]) asserts the base scenario
+    passes the {!Gmf_lint} error gate, which lets [analyze ~lint:true]
+    lint only the closure restriction; pass [false] when unknown and the
+    full target is linted instead. *)
+
+val compute_base : ?config:Config.t -> Traffic.Scenario.t -> base
+(** Cold-analyze [scenario] ({!Holistic.run}) and wrap the result; also
+    records whether the scenario lints clean. *)
+
+val base_report : base -> Holistic.report
+val base_state : base -> Jitter_state.t
+val base_ok : base -> bool
+(** Whether the base converged — [false] means every {!analyze} against
+    it falls back cold. *)
+
+val base_digest : base -> string
+(** {!Case.digest} of the base scenario under the base config — the
+    base half of a delta-memo key (cached inside the scenario value). *)
+
+type stats = {
+  total_flows : int;  (** Flows in the target scenario. *)
+  closure_flows : int;  (** Target flows the fixpoint re-ran over. *)
+  skipped_flows : int;  (** Certified untouched, results carried over. *)
+  rounds : int;  (** Holistic rounds actually spent on the closure. *)
+  rounds_saved : int;
+      (** Estimate of avoided work: base rounds minus closure rounds
+          (never negative, 0 on a cold fallback). *)
+  cold_fallback : bool;
+      (** The comparison was ruled out (structure changed, base not
+          converged) and the target was analyzed cold. *)
+  warm_seeded : bool;
+      (** Pure-growth edit: the closure fixpoint started from the base
+          jitter entries instead of source jitters. *)
+}
+
+type result = {
+  d_report : Holistic.report;
+      (** Merged report over the full target flow set, results in
+          scenario flow order — untouched flows carry their base result
+          records, closure flows their re-converged ones. *)
+  d_state : Jitter_state.t;
+      (** Merged converged jitter state of the target — the warm-start
+          seed for the next edit. *)
+  d_untouched : Traffic.Flow.id list;
+      (** The certificate: ids (ascending) whose fixed point is provably
+          unchanged — results copied, never recomputed. *)
+  d_stats : stats;
+}
+
+val interference_closure :
+  seeds:Traffic.Flow.t list ->
+  Traffic.Flow.t list ->
+  (Traffic.Flow.id, unit) Hashtbl.t
+(** Ids of the given flows transitively reachable from any seed by node
+    sharing (routes meeting at a node — exactly an {!Gmf_precheck.Igraph}
+    edge); always contains the seeds' ids.  Node-indexed BFS, O(total
+    route length).  Exposed for callers that need the blast radius
+    without a full delta run; {!analyze} uses it internally. *)
+
+val analyze :
+  ?lint:bool -> ?precheck:bool -> base -> Traffic.Scenario.t -> result
+(** [analyze base target] incrementally re-analyzes [target] against
+    [base] (under the base's config).  With [~lint:true] the closure
+    restriction is run through the {!Gmf_lint} error gate first (sound
+    when the base lints clean: an error involves only flows of changed
+    components, and a component is wholly inside or outside the
+    closure); errors yield an [Analysis_failed] report with zero rounds,
+    mirroring the shed-without-fixpoint fast path of the survive loop.
+
+    [precheck] (default [false]) routes a shrinking or mixed edit's cold
+    closure restart through the precheck-guided {!Sharded.analyze}
+    instead of a monolithic {!Holistic.run}: flows decided statically
+    skip the fixpoint, matching the cold survive engine's own path.
+    The schedulability class, fates and matrices are unchanged
+    (precheck is schedulability-exact), but closure flows decided
+    statically carry certified ceilings instead of converged bounds and
+    contribute no jitter state — callers that reuse [d_state] as the
+    committed session state (exact bounds required) must leave it off.
+
+    Exactness: the merged verdict and bounds equal a cold analysis of
+    [target] — the closure is a union of complete interference
+    components (sharding property), untouched components keep their
+    least fixed point, and the closure either restarts from source
+    jitters or (pure growth) squeezes up from below it. *)

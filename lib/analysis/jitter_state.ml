@@ -32,6 +32,11 @@ let filter_flows t ~keep =
     t;
   out
 
+let union a b =
+  let out = copy a in
+  Hashtbl.iter (Hashtbl.replace out) b;
+  out
+
 let equal a b =
   let subset x y =
     Hashtbl.fold

@@ -33,6 +33,13 @@ val filter_flows : t -> keep:(Traffic.Flow.id -> bool) -> t
     have changed are dropped (they restart from source jitters), the rest
     carry their converged values over. *)
 
+val union : t -> t -> t
+(** [union a b] is a fresh state holding the entries of both; on a shared
+    key the entry of [b] wins.  The incremental engine ({!Delta}) merges
+    the carried-over entries of untouched flows with the re-converged
+    entries of the edit's interference closure this way — the two sides
+    are disjoint by construction there. *)
+
 val equal : t -> t -> bool
 (** True when both states hold exactly the same values (treating unset
     entries as 0). *)

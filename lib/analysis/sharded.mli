@@ -33,6 +33,14 @@ type stats = {
   flows_certified : int;  (** Admitted statically. *)
 }
 
+val sub_scenario : Traffic.Scenario.t -> Traffic.Flow.id list -> Traffic.Scenario.t
+(** [sub_scenario scenario flow_ids] restricts the scenario to the given
+    flows, keeping the full topology and only the switch models the member
+    routes traverse.  When [flow_ids] is a union of complete interference
+    components, analyzing the restriction is byte-equal to restricting the
+    analysis (the sharding property above).  Exposed for {!Delta}, which
+    fixpoints exactly the interference closure of an edit. *)
+
 val analyze :
   ?exec:Gmf_exec.t ->
   ?skip_decided:bool ->

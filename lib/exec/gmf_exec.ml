@@ -254,8 +254,16 @@ let spawn ~timeout_s ~f (cases : 'a array) =
    wanted index; a worker crash records [Crashed] for the task it was
    running and the worker is replaced while work remains.  Ordering of
    [record] calls is scheduling-dependent — determinism is the caller's
-   job (it stores by index). *)
-let pool_run ~jobs ~timeout_s ~f ~want ~record (cases : 'a array) =
+   job (it stores by index).
+
+   [defer idx] (default never) holds a wanted index back while other
+   tasks are in flight — the speculation throttle of [search_first]'s
+   adaptive window.  Deferral is advisory only: a deferred index is
+   re-offered on every fill round (the cursor never moves past it), and
+   it is dispatched regardless when nothing is in flight, so [defer] can
+   delay work but never deadlock or starve it. *)
+let pool_run ~jobs ~timeout_s ?(defer = fun _ -> false) ~f ~want ~record
+    (cases : 'a array) =
   let n = Array.length cases in
   let next = ref 0 in
   let next_wanted () =
@@ -331,19 +339,27 @@ let pool_run ~jobs ~timeout_s ~f ~want ~record (cases : 'a array) =
           match next_wanted () with
           | None -> ()
           | Some idx -> (
-              let idle =
-                List.find_opt (fun w -> w.current = None) (alive ())
+              let in_flight =
+                List.exists (fun w -> w.current <> None) (alive ())
               in
-              match idle with
-              | Some w ->
-                  dispatch w idx;
-                  fill ()
-              | None ->
-                  if List.length (alive ()) < jobs && !respawn_budget > 0
-                  then begin
-                    spawn_one ();
+              if defer idx && in_flight then
+                (* Held back; the next collect re-runs fill and
+                   re-offers [idx] (the cursor has not moved). *)
+                ()
+              else
+                let idle =
+                  List.find_opt (fun w -> w.current = None) (alive ())
+                in
+                match idle with
+                | Some w ->
+                    dispatch w idx;
                     fill ()
-                  end)
+                | None ->
+                    if List.length (alive ()) < jobs && !respawn_budget > 0
+                    then begin
+                      spawn_one ();
+                      fill ()
+                    end)
         in
         fill ();
         let busy = List.filter (fun w -> w.current <> None) (alive ()) in
@@ -755,14 +771,33 @@ let search_first ?(exec = seq) ?memo ?key ~f ~accept cases =
             | None -> ())
         arr;
       let want i = i < !best && results.(i) = None in
+      (* Adaptive speculative window.  Sequential-equivalent search only
+         needs the frontier (first unresolved index); running the whole
+         tail in parallel wastes workers when an early case accepts.
+         Start [jobs] wide and double on every recorded rejection (capped
+         at [n]): while rejections dominate — the admission-gate and
+         sensitivity-search regime — the window opens up to full
+         parallelism, and a fast-accepting prefix keeps speculation
+         cheap. *)
+      let window = ref (max jobs 1) in
+      let frontier = ref 0 in
+      let advance_frontier () =
+        while !frontier < n && results.(!frontier) <> None do
+          incr frontier
+        done
+      in
+      advance_frontier ();
+      let defer i = i >= !frontier + !window in
       let record i outcome dur =
         results.(i) <- Some outcome;
         emit_case_span dur;
         memo_store memo key arr.(i) outcome;
         if accepts outcome && i < !best then best := i
+        else if not (accepts outcome) then window := min n (!window * 2);
+        advance_frontier ()
       in
       if !best > 0 then
-        pool_run ~jobs ~timeout_s:exec.timeout_s ~f ~want ~record arr;
+        pool_run ~jobs ~timeout_s:exec.timeout_s ~defer ~want ~record ~f arr;
       finish results
   | Seq | Pool _ ->
       let results = Array.make n None in

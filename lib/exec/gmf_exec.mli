@@ -138,7 +138,15 @@ val search_first :
 (** [search_first ~f ~accept cases] finds the first case (smallest
     index) whose successful outcome satisfies [accept].  Error outcomes
     are never accepted.  The result is deterministic and backend
-    independent. *)
+    independent.
+
+    Under {!Pool} the speculation past the frontier (first unresolved
+    index) is throttled by an adaptive window: it starts [jobs] cases
+    wide and doubles on every rejection (capped at the case count), so a
+    search that accepts early wastes little speculative work while a
+    rejection-dominated search — the admission-gate regime — opens up to
+    full parallelism.  The window only affects scheduling, never the
+    result. *)
 
 (** Persistent supervised workers.
 

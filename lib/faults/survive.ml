@@ -4,11 +4,20 @@ type component =
 
 type fate = Unaffected | Rerouted of Network.Route.t | Shed
 
+type delta = {
+  d_closure : int;
+  d_skipped : int;
+  d_saved : int;
+  d_fallbacks : int;
+  d_warm : int;
+}
+
 type case_result = {
   case : component list;
   fates : (Traffic.Flow.t * fate) list;
   verdict : Analysis.Holistic.verdict;
   rounds : int;
+  delta : delta option;
 }
 
 type flow_verdict = Survives | Survives_with_reroute | Must_shed
@@ -19,6 +28,7 @@ type report = {
   cases : case_result list;
   matrix : (Traffic.Flow.t * flow_verdict) list;
   shed_set : Traffic.Flow.t list;
+  delta_totals : delta option;
 }
 
 let m_cases = Gmf_obs.Metrics.counter Gmf_obs.Metrics.default "survive.cases"
@@ -66,16 +76,34 @@ let verdict_string = function
   | Analysis.Holistic.Analysis_failed _ -> "analysis-failed"
   | Analysis.Holistic.No_fixed_point _ -> "no-fixed-point"
 
-(* All subsets of [comps] of size 1..k, smallest first, preserving
-   component order within a size class. *)
+(* All subsets of [comps] of size 1..k, smallest size first.  Within a
+   size class the subsets walk in revolving-door Gray order: consecutive
+   cases differ by swapping exactly one component in and one out, so
+   adjacent failure cases share most of their degraded flow set and the
+   delta engine's closures (and the shared case memo behind it) stay
+   small along the walk.  Each subset lists its components in [comps]
+   order, and the size-1 class is exactly [comps] — the k=1 case order
+   (and its golden) is unchanged from the naive enumeration. *)
 let failure_cases ~k comps =
-  let rec choose n = function
-    | _ when n = 0 -> [ [] ]
-    | [] -> []
-    | x :: rest ->
-        List.map (fun c -> x :: c) (choose (n - 1) rest) @ choose n rest
+  let arr = Array.of_list comps in
+  let n = Array.length arr in
+  (* Revolving-door: R(n,t) = R(n-1,t) ++ reverse(R(n-1,t-1)) * {n-1}.
+     The last of R(n-1,t) and the first of the reversed block differ by
+     one swap, as do neighbours inside each block (induction). *)
+  let rec revolving n t =
+    if t = 0 then [ [] ]
+    else if t > n then []
+    else if t = n then [ List.init n Fun.id ]
+    else
+      revolving (n - 1) t
+      @ List.map
+          (fun c -> c @ [ n - 1 ])
+          (List.rev (revolving (n - 1) (t - 1)))
   in
-  List.concat_map (fun size -> choose (size + 1) comps) (List.init k Fun.id)
+  List.concat_map
+    (fun size ->
+      List.map (List.map (Array.get arr)) (revolving n (size + 1)))
+    (List.init k Fun.id)
 
 (* The directed links and nodes a failure case takes out. *)
 let failed_parts topo case =
@@ -98,9 +126,13 @@ let route_hit route ~avoid_links ~avoid_nodes =
   || List.exists (fun n -> Network.Route.mem route n) avoid_nodes
 
 (* Lowest 802.1p priority first; ties shed the most recently admitted
-   (highest id) flow first.  Shared with Gmf_admctl's degraded mode. *)
+   (highest id) flow first.  The comparator is total (flow ids are
+   unique), and [stable_sort] pins the permutation even if that ever
+   stops holding — the delta walk and a cold enumeration may present
+   survivors in different arrangements, and both must pick identical
+   victims.  Shared with Gmf_admctl's degraded mode. *)
 let shed_order flows =
-  List.sort
+  List.stable_sort
     (fun (a : Traffic.Flow.t) (b : Traffic.Flow.t) ->
       match compare a.Traffic.Flow.priority b.Traffic.Flow.priority with
       | 0 -> compare b.Traffic.Flow.id a.Traffic.Flow.id
@@ -202,6 +234,97 @@ let analyze_case ~config ~max_routes scenario case =
         fates;
         verdict = report.Analysis.Holistic.verdict;
         rounds;
+        delta = None;
+      })
+
+(* Delta twin of [analyze_case]: same reroute phase and greedy shed
+   loop, but every settle attempt re-analyzes only the interference
+   closure of the case's edit against the shared fault-free base
+   ({!Analysis.Delta.analyze}, lint gate included).  Per-attempt delta
+   stats are summed into the case result — under a [Pool] executor the
+   worker's registry increments are lost, so the embedded copy is the
+   one the report (and its JSON) aggregates deterministically. *)
+let analyze_case_delta ~config:_ ~max_routes dbase scenario case =
+  Gmf_obs.Tracer.with_span Gmf_obs.Tracer.default ~cat:"faults" "survive.case"
+    (fun () ->
+      let topo = Traffic.Scenario.topo scenario in
+      let switches = switch_models scenario in
+      let avoid_links, avoid_nodes = failed_parts topo case in
+      let flows = Traffic.Scenario.flows scenario in
+      let pcache = Network.Pathfind.Cache.create topo in
+      let placed =
+        List.map
+          (fun (f : Traffic.Flow.t) ->
+            let route = f.Traffic.Flow.route in
+            if not (route_hit route ~avoid_links ~avoid_nodes) then
+              (f, Unaffected, Some f)
+            else
+              let candidates =
+                Network.Pathfind.Cache.k_shortest ~k:max_routes ~avoid_links
+                  ~avoid_nodes pcache
+                  ~src:(Network.Route.source route)
+                  ~dst:(Network.Route.destination route)
+              in
+              match candidates with
+              | [] -> (f, Shed, None)
+              | alt :: _ ->
+                  let moved = Analysis.Rerouting.with_route f alt in
+                  (f, Rerouted alt, Some moved))
+          flows
+      in
+      let acc =
+        ref { d_closure = 0; d_skipped = 0; d_saved = 0; d_fallbacks = 0;
+              d_warm = 0 }
+      in
+      let rec settle survivors shed rounds =
+        let scenario' =
+          Traffic.Scenario.make ~switches ~topo ~flows:survivors ()
+        in
+        let d =
+          Analysis.Delta.analyze ~lint:true ~precheck:true dbase scenario'
+        in
+        let s = d.Analysis.Delta.d_stats in
+        acc :=
+          {
+            d_closure = !acc.d_closure + s.Analysis.Delta.closure_flows;
+            d_skipped = !acc.d_skipped + s.Analysis.Delta.skipped_flows;
+            d_saved = !acc.d_saved + s.Analysis.Delta.rounds_saved;
+            d_fallbacks =
+              (!acc.d_fallbacks
+              + if s.Analysis.Delta.cold_fallback then 1 else 0);
+            d_warm =
+              (!acc.d_warm + if s.Analysis.Delta.warm_seeded then 1 else 0);
+          };
+        let report = d.Analysis.Delta.d_report in
+        let rounds = rounds + report.Analysis.Holistic.rounds in
+        if Analysis.Holistic.is_schedulable report then (report, shed, rounds)
+        else
+          match shed_order survivors with
+          | [] -> (report, shed, rounds)
+          | victim :: _ ->
+              settle
+                (List.filter
+                   (fun (f : Traffic.Flow.t) ->
+                     f.Traffic.Flow.id <> victim.Traffic.Flow.id)
+                   survivors)
+                (victim.Traffic.Flow.id :: shed)
+                rounds
+      in
+      let survivors = List.filter_map (fun (_, _, s) -> s) placed in
+      let report, shed_ids, rounds = settle survivors [] 0 in
+      let fates =
+        List.map
+          (fun ((f : Traffic.Flow.t), fate, _) ->
+            if List.mem f.Traffic.Flow.id shed_ids then (f, Shed)
+            else (f, fate))
+          placed
+      in
+      {
+        case;
+        fates;
+        verdict = report.Analysis.Holistic.verdict;
+        rounds;
+        delta = Some !acc;
       })
 
 (* A case the exec layer failed to evaluate (timeout, worker crash) is
@@ -224,20 +347,93 @@ let failed_case_result scenario err case =
           };
         ];
     rounds = 0;
+    delta = None;
+  }
+
+(* Case results memoized across runs: repeated sweeps over the same
+   scenario (bench comparisons, per-candidate admission gates that share
+   failure cases) reuse whole case evaluations.  The key pins everything
+   a result depends on: the engine (delta and cold report different
+   rounds), the base scenario + config ({!Analysis.Case.digest}), the
+   route budget, and the failed components. *)
+let case_memo : case_result Gmf_exec.Memo.t = Gmf_exec.Memo.create ()
+
+let clear_memo () = Gmf_exec.Memo.clear case_memo
+
+let case_key ~engine ~base_digest ~max_routes case =
+  let comp = function
+    | Link (a, b) -> Printf.sprintf "L%d-%d" a b
+    | Switch n -> Printf.sprintf "S%d" n
+  in
+  Printf.sprintf "survive|%s|%s|%d|%s" engine base_digest max_routes
+    (String.concat "+" (List.map comp case))
+
+let delta_zero =
+  { d_closure = 0; d_skipped = 0; d_saved = 0; d_fallbacks = 0; d_warm = 0 }
+
+let delta_add a b =
+  {
+    d_closure = a.d_closure + b.d_closure;
+    d_skipped = a.d_skipped + b.d_skipped;
+    d_saved = a.d_saved + b.d_saved;
+    d_fallbacks = a.d_fallbacks + b.d_fallbacks;
+    d_warm = a.d_warm + b.d_warm;
   }
 
 let run ?exec ?(config = Analysis.Config.default) ?(k = 1) ?(max_routes = 4)
-    scenario =
+    ?(delta = true) ?domain scenario =
   if k < 0 then invalid_arg "Survive.run: k < 0";
-  let base = Analysis.Case.analyze ~config scenario in
-  let case_list = failure_cases ~k (components scenario) in
+  (* One base fixpoint shared by every case of the sweep.  A base the
+     delta engine cannot certify against (non-converged) demotes the
+     whole sweep to the cold engine rather than falling back per case. *)
+  let dbase =
+    if delta then
+      let b = Analysis.Delta.compute_base ~config scenario in
+      if Analysis.Delta.base_ok b then Some b else None
+    else None
+  in
+  let base =
+    match dbase with
+    | Some b -> Analysis.Delta.base_report b
+    | None -> Analysis.Case.analyze ~config scenario
+  in
+  let comps = match domain with Some d -> d | None -> components scenario in
+  let case_list = failure_cases ~k comps in
   Gmf_obs.Metrics.incr ~by:(List.length case_list) m_cases;
+  let engine = match dbase with Some _ -> "delta" | None -> "cold" in
+  let base_digest = Analysis.Case.digest ~config scenario in
+  let f =
+    match dbase with
+    | Some b -> analyze_case_delta ~config ~max_routes b scenario
+    | None -> analyze_case ~config ~max_routes scenario
+  in
+  (* A memo hit may come from an earlier run on a byte-identical but
+     physically distinct scenario value; rebind its fates to this run's
+     flow records so [fates] stays keyed by the scenario's own flows
+     (callers use physical equality against [Scenario.flows]). *)
+  let flow_by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Traffic.Flow.t) -> Hashtbl.replace flow_by_id f.Traffic.Flow.id f)
+    (Traffic.Scenario.flows scenario);
+  let rebind c =
+    {
+      c with
+      fates =
+        List.map
+          (fun ((f : Traffic.Flow.t), fate) ->
+            match Hashtbl.find_opt flow_by_id f.Traffic.Flow.id with
+            | Some f' -> (f', fate)
+            | None -> (f, fate))
+          c.fates;
+    }
+  in
   let cases =
-    Gmf_exec.map_cases ?exec ~f:(analyze_case ~config ~max_routes scenario)
-      case_list
+    Gmf_exec.map_cases ?exec ~memo:case_memo
+      ~key:(case_key ~engine ~base_digest ~max_routes)
+      ~f case_list
     |> List.map2
          (fun case -> function
-           | Ok r -> r
+           | Ok r -> rebind r
            | Error e -> failed_case_result scenario e case)
          case_list
   in
@@ -275,7 +471,17 @@ let run ?exec ?(config = Analysis.Config.default) ?(k = 1) ?(max_routes = 4)
       (fun (f, v) -> if v = Must_shed then Some f else None)
       matrix
   in
-  { k; base; cases; matrix; shed_set }
+  let delta_totals =
+    match dbase with
+    | None -> None
+    | Some _ ->
+        Some
+          (List.fold_left
+             (fun acc c ->
+               match c.delta with Some d -> delta_add acc d | None -> acc)
+             delta_zero cases)
+  in
+  { k; base; cases; matrix; shed_set; delta_totals }
 
 (* ------------------------------------------------------------------ *)
 (* Survivable-admission gate                                           *)
@@ -349,6 +555,12 @@ let pp_report scenario fmt r =
     r.base.Analysis.Holistic.rounds
     (List.length (Traffic.Scenario.flows scenario))
     r.k (List.length r.cases);
+  (match r.delta_totals with
+  | None -> ()
+  | Some d ->
+      Format.fprintf fmt
+        "delta: closure=%d skipped=%d rounds-saved=%d warm=%d fallbacks=%d@\n"
+        d.d_closure d.d_skipped d.d_saved d.d_warm d.d_fallbacks);
   List.iter
     (fun c ->
       Format.fprintf fmt "  %-28s %-15s rounds=%-3d rerouted=%d shed=%d@\n"
@@ -396,6 +608,15 @@ let to_json scenario r =
   add
     (Printf.sprintf "  \"base\": %s,\n"
        (str (verdict_string r.base.Analysis.Holistic.verdict)));
+  (match r.delta_totals with
+  | None -> add "  \"delta\": null,\n"
+  | Some d ->
+      add
+        (Printf.sprintf
+           "  \"delta\": {\"closure_flows\": %d, \"flows_skipped\": %d, \
+            \"rounds_saved\": %d, \"warm_seeded\": %d, \"cold_fallbacks\": \
+            %d},\n"
+           d.d_closure d.d_skipped d.d_saved d.d_warm d.d_fallbacks));
   add "  \"cases\": [\n";
   let case_json c =
     let fate_json ((f : Traffic.Flow.t), fate) =

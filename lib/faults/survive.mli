@@ -7,8 +7,19 @@
     ({!Network.Pathfind.k_shortest} avoiding the failed component), and
     which must be shed for the rest to stay schedulable.
 
-    Each case re-runs the holistic analysis cold on the degraded flow
-    set; when the verdict is not schedulable, flows are shed greedily in
+    By default each case is evaluated {e incrementally} against one
+    shared fault-free base fixpoint ({!Analysis.Delta}): only the
+    interference closure of the case's edit (rerouted and shed flows) is
+    re-analyzed, every other flow carries its base bounds over, and the
+    enumeration walks same-size failure sets in revolving-door Gray
+    order so consecutive cases share most of their degraded sets.  With
+    [~delta:false] — or when the fault-free base does not converge —
+    each case re-runs the sharded analysis cold on the degraded flow
+    set.  Both engines produce identical fates, matrices and shed sets
+    (the delta report certifies untouched flows exactly); per-case
+    [rounds] naturally differ.
+
+    When the verdict is not schedulable, flows are shed greedily in
     priority order (lowest 802.1p priority first, ties broken by higher
     flow id — the most recently admitted flow goes first) until the
     remainder is schedulable.  A case whose degraded scenario fails the
@@ -17,7 +28,11 @@
 
     Telemetry: each case bumps [survive.cases] and runs under a
     [survive.case] span; reroutes and sheds bump [faults.flows_rerouted]
-    and [faults.flows_shed]. *)
+    and [faults.flows_shed].  Delta statistics are additionally embedded
+    in every case result (and summed in [report.delta_totals]) because
+    registry increments made inside [Pool] workers never reach the
+    parent — the embedded copies keep the report, its JSON and the
+    [delta.*] counters deterministic across backends. *)
 
 type component =
   | Link of Network.Node.id * Network.Node.id
@@ -35,12 +50,25 @@ type fate =
       (** No alternate route exists, or shedding it was required to keep
           the rest schedulable. *)
 
+type delta = {
+  d_closure : int;
+      (** Flows the incremental fixpoints actually re-ran over, summed
+          across the case's settle attempts. *)
+  d_skipped : int;  (** Flows certified untouched, summed likewise. *)
+  d_saved : int;  (** Sum of per-attempt [rounds_saved] estimates. *)
+  d_fallbacks : int;  (** Attempts that fell back to a cold analysis. *)
+  d_warm : int;  (** Pure-growth attempts warm-seeded from the base. *)
+}
+(** Delta-engine statistics (see {!Analysis.Delta.stats}). *)
+
 type case_result = {
   case : component list;  (** The failed components, 1 to [k] of them. *)
   fates : (Traffic.Flow.t * fate) list;  (** In scenario flow order. *)
   verdict : Analysis.Holistic.verdict;
       (** Of the surviving set, after any shedding. *)
   rounds : int;  (** Holistic rounds spent on this case, all attempts. *)
+  delta : delta option;
+      (** Per-case delta statistics; [None] under the cold engine. *)
 }
 
 type flow_verdict =
@@ -58,6 +86,9 @@ type report = {
   shed_set : Traffic.Flow.t list;
       (** Flows shed in at least one case — what the operator stands to
           lose under any [<= k]-failure, with the greedy shed policy. *)
+  delta_totals : delta option;
+      (** Sum of every case's delta statistics; [None] when the sweep
+          ran the cold engine. *)
 }
 
 val shed_order : Traffic.Flow.t list -> Traffic.Flow.t list
@@ -69,11 +100,20 @@ val components : Traffic.Scenario.t -> component list
 (** The failure domain: every undirected link (in first-appearance
     order), then every switch node. *)
 
+val failure_cases : k:int -> component list -> component list list
+(** Every subset of 1..k components, smallest size first; within a size
+    class the subsets walk in revolving-door Gray order (consecutive
+    cases swap exactly one component), each subset listing its
+    components in input order.  The size-1 class is the input list
+    itself.  This is the exact case order {!run} evaluates. *)
+
 val run :
   ?exec:Gmf_exec.t ->
   ?config:Analysis.Config.t ->
   ?k:int ->
   ?max_routes:int ->
+  ?delta:bool ->
+  ?domain:component list ->
   Traffic.Scenario.t ->
   report
 (** [run scenario] analyzes every failure case of at most [k] (default 1)
@@ -83,7 +123,22 @@ val run :
     backend.  A case the executor fails to evaluate (per-case timeout,
     worker crash) is reported conservatively: analysis-failed verdict
     with an ["exec: ..."] reason and every flow shed.  Raises
-    [Invalid_argument] when [k < 0]. *)
+    [Invalid_argument] when [k < 0].
+
+    [delta] (default [true]) selects the incremental engine: one
+    fault-free base fixpoint is computed up front and every case
+    re-analyzes only its edit's interference closure against it.  Pass
+    [~delta:false] to force the cold per-case engine (the soundness
+    oracle the tests compare against).  [domain] restricts the failure
+    enumeration to the given components (default: every component of
+    {!components}) — bench sweeps use it to bound k>=2 case counts.
+
+    Case evaluations are memoized process-wide, keyed by engine, base
+    scenario digest, route budget and failed component set; {!clear_memo}
+    resets the table (timing loops must call it between runs). *)
+
+val clear_memo : unit -> unit
+(** Drop every memoized case evaluation. *)
 
 val admission_gate :
   ?exec:Gmf_exec.t ->

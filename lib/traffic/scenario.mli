@@ -63,6 +63,16 @@ val params : t -> Flow.t -> src:Network.Node.id -> dst:Network.Node.id ->
 val link_utilization : t -> src:Network.Node.id -> dst:Network.Node.id -> float
 (** Sum over flows(src,dst) of CSUM/TSUM — the left side of eq (20). *)
 
+val cached : t -> key:string -> (unit -> string) -> string
+(** [cached t ~key compute] memoizes a derived string per scenario value
+    (computed at most once per key).  Scenarios are immutable once built,
+    so any function of the scenario alone — plus whatever the caller
+    encodes into [key], e.g. an analysis config — is safe to cache this
+    way.  Used by [Analysis.Case.digest] so repeated memo probes stop
+    re-serializing the whole scenario.  The slot lives inside the value:
+    a scenario marshalled to a worker process carries (and keeps) its own
+    cache, with no global revision counter to fall out of sync. *)
+
 val map_flows : t -> f:(Flow.t -> Flow.t) -> t
 (** [map_flows t ~f] rebuilds the scenario with every flow transformed
     (same topology and switch models).  [f] must preserve flow ids'

@@ -1,0 +1,338 @@
+(* Delta fixpoint engine: incremental re-analysis must be observationally
+   identical to a cold run — same schedulability, same per-frame bounds,
+   identical survive matrices — while provably-untouched flows are never
+   recomputed (their result records are carried over physically). *)
+
+open Gmf_util
+module Delta = Analysis.Delta
+module Survive = Gmf_faults.Survive
+module Session = Gmf_admctl.Session
+module Replay = Gmf_admctl.Replay
+
+let bounds_of (report : Analysis.Holistic.report) =
+  List.map
+    (fun res ->
+      ( res.Analysis.Result_types.flow.Traffic.Flow.id,
+        Array.map
+          (fun fr -> fr.Analysis.Result_types.total)
+          res.Analysis.Result_types.frames ))
+    report.Analysis.Holistic.results
+
+let schedulable_of v =
+  match v with Analysis.Holistic.Schedulable -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Directed: untouched flows are carried over, not recomputed          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two host clusters on a two-switch line; the clusters' flows stay
+   inside their own switch, so editing one cluster must leave the
+   other's results physically intact. *)
+let two_cluster_scenario () =
+  let topo, hosts, _sw =
+    Workload.Topologies.line ~hosts_per_switch:3 ~switches:2 ()
+  in
+  let rng = Rng.create ~seed:7 in
+  let pairs =
+    [
+      (hosts.(0).(0), hosts.(0).(1));
+      (hosts.(0).(1), hosts.(0).(2));
+      (hosts.(1).(0), hosts.(1).(1));
+    ]
+  in
+  let flows = Workload.Random_gen.flows_between rng ~topo ~pairs () in
+  Traffic.Scenario.make ~topo ~flows ()
+
+let drop_flow scenario id =
+  let switches =
+    List.map
+      (fun n -> (n, Traffic.Scenario.switch_model scenario n))
+      (Traffic.Scenario.switch_nodes scenario)
+  in
+  Traffic.Scenario.make ~switches ~topo:(Traffic.Scenario.topo scenario)
+    ~flows:
+      (List.filter
+         (fun (f : Traffic.Flow.t) -> f.Traffic.Flow.id <> id)
+         (Traffic.Scenario.flows scenario))
+    ()
+
+let result_of (report : Analysis.Holistic.report) id =
+  List.find
+    (fun r -> r.Analysis.Result_types.flow.Traffic.Flow.id = id)
+    report.Analysis.Holistic.results
+
+let test_untouched_carried_over () =
+  let scenario = two_cluster_scenario () in
+  let base = Delta.compute_base scenario in
+  Alcotest.(check bool) "base converged" true (Delta.base_ok base);
+  (* Remove flow 0 (first cluster): flow 1 shares its cluster, flow 2
+     lives on the other switch. *)
+  let target = drop_flow scenario 0 in
+  let d = Delta.analyze base target in
+  Alcotest.(check bool) "flow 2 certified untouched" true
+    (List.mem 2 d.Delta.d_untouched);
+  Alcotest.(check bool) "flow 1 not certified" false
+    (List.mem 1 d.Delta.d_untouched);
+  Alcotest.(check bool) "untouched result record carried over physically"
+    true
+    (result_of (Delta.base_report base) 2 == result_of d.Delta.d_report 2);
+  Alcotest.(check int) "stats closure" 1 d.Delta.d_stats.Delta.closure_flows;
+  Alcotest.(check int) "stats skipped" 1 d.Delta.d_stats.Delta.skipped_flows;
+  Alcotest.(check bool) "no fallback" false
+    d.Delta.d_stats.Delta.cold_fallback;
+  (* The merged report equals a cold analysis of the target. *)
+  let cold = Analysis.Holistic.analyze target in
+  Alcotest.(check bool) "bounds equal cold" true
+    (bounds_of cold = bounds_of d.Delta.d_report);
+  Alcotest.(check bool) "verdict class equals cold" true
+    (schedulable_of cold.Analysis.Holistic.verdict
+    = schedulable_of d.Delta.d_report.Analysis.Holistic.verdict)
+
+let test_identity_edit_free () =
+  let scenario = two_cluster_scenario () in
+  let base = Delta.compute_base scenario in
+  let d = Delta.analyze base scenario in
+  Alcotest.(check int) "no closure" 0 d.Delta.d_stats.Delta.closure_flows;
+  Alcotest.(check int) "no rounds" 0 d.Delta.d_stats.Delta.rounds;
+  Alcotest.(check int) "everything untouched" 3
+    (List.length d.Delta.d_untouched);
+  Alcotest.(check bool) "report reused" true
+    (Delta.base_report base == d.Delta.d_report)
+
+let test_structure_change_falls_back () =
+  let scenario = two_cluster_scenario () in
+  let base = Delta.compute_base scenario in
+  let other_topo, hosts, _ =
+    Workload.Topologies.line ~hosts_per_switch:3 ~switches:3 ()
+  in
+  let rng = Rng.create ~seed:7 in
+  let flows =
+    Workload.Random_gen.flows_between rng ~topo:other_topo
+      ~pairs:[ (hosts.(0).(0), hosts.(0).(1)) ]
+      ()
+  in
+  let target = Traffic.Scenario.make ~topo:other_topo ~flows () in
+  let d = Delta.analyze base target in
+  Alcotest.(check bool) "cold fallback" true
+    d.Delta.d_stats.Delta.cold_fallback;
+  Alcotest.(check bool) "nothing certified" true (d.Delta.d_untouched = []);
+  let cold = Analysis.Holistic.analyze target in
+  Alcotest.(check bool) "fallback bounds equal cold" true
+    (bounds_of cold = bounds_of d.Delta.d_report)
+
+(* ------------------------------------------------------------------ *)
+(* Survive sweeps: delta engine vs cold engine                         *)
+(* ------------------------------------------------------------------ *)
+
+let fates_key (c : Survive.case_result) =
+  List.map
+    (fun ((f : Traffic.Flow.t), fate) -> (f.Traffic.Flow.id, fate))
+    c.Survive.fates
+
+(* [fail] so the same comparison serves Alcotest and QCheck callers. *)
+let check_sweeps_agree ~what ~fail (d : Survive.report) (c : Survive.report) =
+  if List.length d.Survive.cases <> List.length c.Survive.cases then
+    fail (Printf.sprintf "%s: case counts differ" what);
+  List.iteri
+    (fun i ((dc : Survive.case_result), (cc : Survive.case_result)) ->
+      if dc.Survive.case <> cc.Survive.case then
+        fail (Printf.sprintf "%s: case order differs at #%d" what i);
+      if schedulable_of dc.Survive.verdict <> schedulable_of cc.Survive.verdict
+      then fail (Printf.sprintf "%s: schedulability differs at #%d" what i);
+      if fates_key dc <> fates_key cc then
+        fail (Printf.sprintf "%s: fates differ at #%d" what i))
+    (List.combine d.Survive.cases c.Survive.cases);
+  (* Matrix and shed set are functions of the fates, but compare them
+     directly too — they are what the golden files render. *)
+  let matrix_key (r : Survive.report) =
+    List.map
+      (fun ((f : Traffic.Flow.t), v) -> (f.Traffic.Flow.id, v))
+      r.Survive.matrix
+  in
+  let shed_key (r : Survive.report) =
+    List.map (fun (f : Traffic.Flow.t) -> f.Traffic.Flow.id) r.Survive.shed_set
+  in
+  if matrix_key d <> matrix_key c then
+    fail (Printf.sprintf "%s: matrices differ" what);
+  if shed_key d <> shed_key c then
+    fail (Printf.sprintf "%s: shed sets differ" what)
+
+let prop_survive_delta_equals_cold =
+  QCheck.Test.make ~name:"survive delta == cold on random scenarios"
+    ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let scenario = Test_precheck.gen_scenario rng in
+      Survive.clear_memo ();
+      let d = Survive.run ~k:1 ~delta:true scenario in
+      Survive.clear_memo ();
+      let c = Survive.run ~k:1 ~delta:false scenario in
+      check_sweeps_agree ~what:"k=1"
+        ~fail:(fun msg -> QCheck.Test.fail_report msg)
+        d c;
+      true)
+
+let test_survive_delta_equals_cold_k2 () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  Survive.clear_memo ();
+  let d = Survive.run ~k:2 ~delta:true scenario in
+  Survive.clear_memo ();
+  let c = Survive.run ~k:2 ~delta:false scenario in
+  check_sweeps_agree ~what:"k=2" ~fail:Alcotest.fail d c;
+  match (d.Survive.delta_totals, c.Survive.delta_totals) with
+  | Some totals, None ->
+      Alcotest.(check bool) "delta certified untouched flows" true
+        (totals.Survive.d_skipped > 0)
+  | _ -> Alcotest.fail "delta_totals: expected Some under delta, None cold"
+
+(* ------------------------------------------------------------------ *)
+(* Admission churn: delta-driven session vs cold shadow                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_churn_delta_sound =
+  QCheck.Test.make ~name:"delta session == cold shadow on admtrace churn"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let text = Test_admctl.gen_trace_text rng in
+      let trace = Test_admctl.trace_of_string text in
+      let { Replay.outcomes; session } = Replay.run ~shadow:true trace in
+      (* Every remove/update/fail now routes through Analysis.Delta; the
+         cold shadow is the soundness oracle. *)
+      List.iter
+        (fun (o : Session.outcome) ->
+          match o.Session.shadow with
+          | Some { Session.equivalent = false; cold_rounds } ->
+              QCheck.Test.fail_reportf
+                "event #%d (%s): delta disagrees with cold shadow (%d \
+                 rounds)@\n\
+                 %s"
+                o.Session.seq o.Session.label cold_rounds text
+          | _ -> ())
+        outcomes;
+      (* The committed state doubles as a valid delta base: re-analyzing
+         the committed set against itself is free and exact. *)
+      (match Session.flows session with
+      | [] -> ()
+      | flows ->
+          let scenario =
+            Traffic.Scenario.make
+              ~switches:trace.Scenario_io.Admtrace.switches
+              ~topo:trace.Scenario_io.Admtrace.topo ~flows ()
+          in
+          let base = Delta.compute_base scenario in
+          if Delta.base_ok base then begin
+            let d = Delta.analyze base scenario in
+            if d.Delta.d_stats.Delta.rounds <> 0 then
+              QCheck.Test.fail_reportf "identity edit burned rounds@\n%s"
+                text;
+            if
+              bounds_of (Session.report session) <> bounds_of d.Delta.d_report
+            then
+              QCheck.Test.fail_reportf
+                "committed bounds differ from a fresh base@\n%s" text
+          end);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration order and shed-order determinism                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec binom n t =
+  if t < 0 || t > n then 0
+  else if t = 0 || t = n then 1
+  else binom (n - 1) (t - 1) + binom (n - 1) t
+
+let component_key c =
+  match c with
+  | Survive.Link (a, b) -> Printf.sprintf "L%d-%d" a b
+  | Survive.Switch n -> Printf.sprintf "S%d" n
+
+let test_gray_code_walk () =
+  let comps = List.init 6 (fun i -> Survive.Link (i, i + 100)) in
+  let sym_diff a b =
+    List.length (List.filter (fun x -> not (List.mem x b)) a)
+    + List.length (List.filter (fun x -> not (List.mem x a)) b)
+  in
+  List.iter
+    (fun k ->
+      let cases = Survive.failure_cases ~k comps in
+      let expected =
+        List.fold_left ( + ) 0 (List.init k (fun t -> binom 6 (t + 1)))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d case count" k)
+        expected (List.length cases);
+      (* Unique, sizes ascending, and revolving-door adjacency: two
+         consecutive same-size cases swap exactly one component. *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun case ->
+          let key = String.concat "+" (List.map component_key case) in
+          if Hashtbl.mem seen key then
+            Alcotest.failf "k=%d: duplicate case %s" k key;
+          Hashtbl.replace seen key ())
+        cases;
+      ignore
+        (List.fold_left
+           (fun prev case ->
+             (match prev with
+             | Some p when List.length p = List.length case ->
+                 Alcotest.(check int)
+                   (Printf.sprintf "k=%d adjacent swap" k)
+                   2 (sym_diff p case)
+             | Some p ->
+                 Alcotest.(check bool)
+                   (Printf.sprintf "k=%d sizes ascend" k)
+                   true
+                   (List.length p < List.length case)
+             | None -> ());
+             Some case)
+           None cases))
+    [ 1; 2; 3; 4 ];
+  (* The size-1 class is the component list itself — k=1 sweeps (and
+     their goldens) are order-stable under the Gray walk. *)
+  Alcotest.(check bool) "k=1 order is the component order" true
+    (Survive.failure_cases ~k:1 comps = List.map (fun c -> [ c ]) comps)
+
+let test_shed_order_permutation_invariant () =
+  let scenario = Workload.Scenarios.fig1_videoconf () in
+  (* Force priority ties so the id tie-break actually decides. *)
+  let flows =
+    List.map
+      (fun (f : Traffic.Flow.t) ->
+        Traffic.Flow.make ~id:f.Traffic.Flow.id ~name:f.Traffic.Flow.name
+          ~spec:f.Traffic.Flow.spec ~encap:f.Traffic.Flow.encap
+          ~route:f.Traffic.Flow.route
+          ~priority:(f.Traffic.Flow.id mod 2))
+      (Traffic.Scenario.flows scenario)
+  in
+  let expected = Survive.shed_order flows in
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10 do
+    (* Deterministic shuffle: sort by a fresh random key each round. *)
+    let keyed = List.map (fun f -> (Rng.int rng 1_000_000, f)) flows in
+    let shuffled =
+      List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) keyed)
+    in
+    Alcotest.(check bool) "same victims in the same order" true
+      (Survive.shed_order shuffled = expected)
+  done
+
+let tests =
+  [
+    Alcotest.test_case "untouched flows carried over" `Quick
+      test_untouched_carried_over;
+    Alcotest.test_case "identity edit is free" `Quick test_identity_edit_free;
+    Alcotest.test_case "structure change falls back cold" `Quick
+      test_structure_change_falls_back;
+    Alcotest.test_case "survive delta == cold at k=2 (fig1)" `Quick
+      test_survive_delta_equals_cold_k2;
+    Alcotest.test_case "gray-code failure walk" `Quick test_gray_code_walk;
+    Alcotest.test_case "shed order permutation-invariant" `Quick
+      test_shed_order_permutation_invariant;
+    QCheck_alcotest.to_alcotest prop_survive_delta_equals_cold;
+    QCheck_alcotest.to_alcotest prop_churn_delta_sound;
+  ]
